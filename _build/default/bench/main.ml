@@ -1,0 +1,385 @@
+(* Benchmark harness reproducing the experimental evaluation of
+   FleXPath (SIGMOD 2004), §6 — one table per figure, plus ablations
+   and Bechamel micro-benchmarks of the substrates.
+
+   Usage:
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- fig9 fig13  # selected figures
+     dune exec bench/main.exe -- quick       # reduced sizes (CI-speed)
+     dune exec bench/main.exe -- micro       # Bechamel micro-benches only
+
+   Size scaling: the paper runs XMark documents of 1-100 MB on a 2 GHz
+   P4.  We map one "paper megabyte" to 100 XMark items (roughly a tenth
+   of the byte size), which preserves the structural ratios the
+   algorithms are sensitive to — number of items, relaxation
+   opportunities per item, answer counts — while keeping a full run in
+   minutes.  Absolute times are not comparable to the paper; the
+   reported series shapes (who wins, how gaps grow with K, document
+   size and number of relaxations) are. *)
+
+module Doc = Xmldom.Doc
+module Xpath = Tpq.Xpath
+module Env = Flexpath.Env
+module Ranking = Flexpath.Ranking
+
+let items_per_paper_mb = 200
+
+(* The three queries of §6. *)
+let q1_str = "//item[./description/parlist]"
+let q2_str = "//item[./description/parlist and ./mailbox/mail/text]"
+
+let q3_str =
+  "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and \
+   ./emph] and ./name and ./incategory]"
+
+let queries = [ ("Q1", q1_str); ("Q2", q2_str); ("Q3", q3_str) ]
+
+(* ------------------------------------------------------------------ *)
+(* Environment cache: one indexed document per size. *)
+
+let env_cache : (int, Env.t) Hashtbl.t = Hashtbl.create 8
+
+let env_for_mb mb =
+  let items = max 10 (int_of_float (mb *. float_of_int items_per_paper_mb)) in
+  match Hashtbl.find_opt env_cache items with
+  | Some env -> env
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let doc = Xmark.Auction.doc ~seed:2004 ~items () in
+    let env = Env.make doc in
+    Printf.printf "  [setup] %gMB: %d items, %d elements, built in %.1fs\n%!" mb items
+      (Doc.size doc)
+      (Unix.gettimeofday () -. t0);
+    Hashtbl.add env_cache items env;
+    env
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* Median of three timed runs (after the first, which also serves as
+   warm-up) — the algorithm comparisons are sensitive to GC state. *)
+let time_median f =
+  let r, t1 = time f in
+  let _, t2 = time f in
+  let _, t3 = time f in
+  let sorted = List.sort Float.compare [ t1; t2; t3 ] in
+  (r, List.nth sorted 1)
+
+let run_algo env ~algorithm ~k q =
+  time_median (fun () -> Flexpath.run ~algorithm ~scheme:Ranking.Structure_first env ~k q)
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let header title caption columns =
+  Printf.printf "\n=== %s ===\n%s\n%!" title caption;
+  Printf.printf "%-14s" "x";
+  List.iter (fun c -> Printf.printf "%14s" c) columns;
+  print_newline ()
+
+let row label cells =
+  Printf.printf "%-14s" label;
+  List.iter (fun c -> Printf.printf "%14s" c) cells;
+  print_newline ();
+  flush stdout
+
+let ms v = Printf.sprintf "%.1f" v
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+(* Fig. 9: execution time vs number of relaxations (queries Q1-Q3),
+   1MB document, K = 50, DPO vs SSO. *)
+let fig9 ~quick () =
+  let env = env_for_mb (if quick then 0.5 else 1.0) in
+  let k = 50 in
+  header "Figure 9" "Varying number of relaxations (1MB, K=50): DPO vs SSO, time in ms"
+    [ "relaxations"; "DPO"; "SSO" ];
+  List.iter
+    (fun (name, qs) ->
+      let q = Xpath.parse_exn qs in
+      let rd, td = run_algo env ~algorithm:Flexpath.DPO ~k q in
+      let _, ts = run_algo env ~algorithm:Flexpath.SSO ~k q in
+      row name [ string_of_int rd.Flexpath.Common.relaxations_evaluated; ms td; ms ts ])
+    queries
+
+(* Fig. 10: execution time vs K, 10MB document, query Q3, DPO vs SSO. *)
+let fig10 ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q3_str in
+  header "Figure 10" "Varying K (10MB, Q3): DPO vs SSO, time in ms" [ "DPO"; "SSO" ];
+  List.iter
+    (fun k ->
+      let _, td = run_algo env ~algorithm:Flexpath.DPO ~k q in
+      let _, ts = run_algo env ~algorithm:Flexpath.SSO ~k q in
+      row (string_of_int k) [ ms td; ms ts ])
+    (if quick then [ 50; 200; 600 ] else [ 50; 100; 200; 300; 400; 500; 600 ])
+
+(* Fig. 11 / 12: execution time vs document size, query Q2,
+   K = 12 and K = 500, DPO vs SSO. *)
+let fig_docsize ~quick ~k name =
+  let q = Xpath.parse_exn q2_str in
+  header name
+    (Printf.sprintf "Varying document size (Q2, K=%d): DPO vs SSO, time in ms" k)
+    [ "DPO"; "SSO" ];
+  List.iter
+    (fun mb ->
+      let env = env_for_mb mb in
+      let _, td = run_algo env ~algorithm:Flexpath.DPO ~k q in
+      let _, ts = run_algo env ~algorithm:Flexpath.SSO ~k q in
+      row (Printf.sprintf "%gMB" mb) [ ms td; ms ts ])
+    (if quick then [ 1.0; 5.0 ] else [ 1.0; 10.0; 25.0; 50.0; 100.0 ])
+
+let fig11 ~quick () = fig_docsize ~quick ~k:12 "Figure 11"
+let fig12 ~quick () = fig_docsize ~quick ~k:500 "Figure 12"
+
+(* Fig. 13: varying number of relaxations, 10MB, K = 500,
+   SSO vs Hybrid. *)
+let fig13 ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let k = 500 in
+  header "Figure 13" "Varying number of relaxations (10MB, K=500): SSO vs Hybrid, time in ms"
+    [ "relaxations"; "SSO"; "Hybrid" ];
+  List.iter
+    (fun (name, qs) ->
+      let q = Xpath.parse_exn qs in
+      let rs, ts = run_algo env ~algorithm:Flexpath.SSO ~k q in
+      let _, th = run_algo env ~algorithm:Flexpath.Hybrid ~k q in
+      row name [ string_of_int rs.Flexpath.Common.relaxations_evaluated; ms ts; ms th ])
+    queries
+
+(* Fig. 14: varying document size, Q3, K = 500, SSO vs Hybrid. *)
+let fig14 ~quick () =
+  let q = Xpath.parse_exn q3_str in
+  header "Figure 14" "Varying document size (Q3, K=500): SSO vs Hybrid, time in ms"
+    [ "SSO"; "Hybrid" ];
+  List.iter
+    (fun mb ->
+      let env = env_for_mb mb in
+      let _, ts = run_algo env ~algorithm:Flexpath.SSO ~k:500 q in
+      let _, th = run_algo env ~algorithm:Flexpath.Hybrid ~k:500 q in
+      row (Printf.sprintf "%gMB" mb) [ ms ts; ms th ])
+    (if quick then [ 1.0; 5.0 ] else [ 1.0; 10.0; 25.0; 50.0; 100.0 ])
+
+(* Fig. 15 / 16: varying K, query Q3, SSO vs Hybrid, on 10MB and 100MB. *)
+let fig_k_sso_hybrid ~quick ~mb name =
+  let env = env_for_mb mb in
+  let q = Xpath.parse_exn q3_str in
+  header name
+    (Printf.sprintf "Varying K (%gMB, Q3): SSO vs Hybrid, time in ms" mb)
+    [ "SSO"; "Hybrid" ];
+  List.iter
+    (fun k ->
+      let _, ts = run_algo env ~algorithm:Flexpath.SSO ~k q in
+      let _, th = run_algo env ~algorithm:Flexpath.Hybrid ~k q in
+      row (string_of_int k) [ ms ts; ms th ])
+    (if quick then [ 50; 600 ] else [ 50; 100; 200; 300; 400; 500; 600 ])
+
+let fig15 ~quick () = fig_k_sso_hybrid ~quick ~mb:(if quick then 2.0 else 10.0) "Figure 15"
+let fig16 ~quick () = fig_k_sso_hybrid ~quick ~mb:(if quick then 5.0 else 100.0) "Figure 16"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out. *)
+
+let deep_plan env q =
+  let penv = Env.penalty_env env q in
+  let chain = Relax.Space.sequence ~max_steps:32 penv in
+  let deep = List.nth chain (List.length chain - 1) in
+  (penv, Joins.Encoded.of_ops_exn q deep.Relax.Space.ops)
+
+(* Bucketization (Hybrid) vs score re-sorting (SSO) vs neither, at
+   fixed relaxation depth: isolates the §5.2.2 "fundamental tension"
+   between node-id order and score order. *)
+let abl_bucketize ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q3_str in
+  header "Ablation: bucketization"
+    "Same fully-relaxed plan, K=500: score re-sorting vs buckets vs neither; time in ms"
+    [ "time"; "sorted-tuples" ];
+  let run name sort_on_score bucketize prune =
+    let penv, enc = deep_plan env q in
+    let metrics = Joins.Exec.fresh_metrics () in
+    let strategy =
+      {
+        Joins.Exec.sort_on_score;
+        bucketize;
+        prune_k = (if prune then Some 500 else None);
+        prune_slack = 0.0;
+      }
+    in
+    let _, t = time (fun () -> Joins.Exec.run ~metrics (Env.exec_env env penv) enc strategy) in
+    row name [ ms t; string_of_int metrics.Joins.Exec.score_sorted_tuples ]
+  in
+  run "sso-style" true false true;
+  run "hybrid-style" false true true;
+  run "no-order" false false true;
+  run "no-pruning" false false false
+
+(* Threshold + maxScoreGrowth pruning on/off for SSO. *)
+let abl_pruning ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q3_str in
+  header "Ablation: pruning" "SSO plan with and without threshold/maxScoreGrowth pruning (K=500)"
+    [ "time"; "tuples"; "pruned" ];
+  let run name prune =
+    let penv, enc = deep_plan env q in
+    let metrics = Joins.Exec.fresh_metrics () in
+    let strategy =
+      {
+        Joins.Exec.sort_on_score = true;
+        bucketize = false;
+        prune_k = (if prune then Some 500 else None);
+        prune_slack = 0.0;
+      }
+    in
+    let _, t = time (fun () -> Joins.Exec.run ~metrics (Env.exec_env env penv) enc strategy) in
+    row name
+      [
+        ms t;
+        string_of_int metrics.Joins.Exec.tuples_produced;
+        string_of_int metrics.Joins.Exec.tuples_pruned;
+      ]
+  in
+  run "with-pruning" true;
+  run "without" false
+
+(* Selectivity estimation: SSO's static cut vs a purely restart-driven
+   walk of the chain (what running without an estimator degrades to). *)
+let abl_estimator ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q2_str in
+  header "Ablation: estimator"
+    "SSO with estimator-chosen cut vs walking the chain pass by pass (K=500)"
+    [ "time"; "passes"; "restarts" ];
+  let r, t = run_algo env ~algorithm:Flexpath.SSO ~k:500 q in
+  row "with-estimator"
+    [ ms t; string_of_int r.Flexpath.Common.passes; string_of_int r.Flexpath.Common.restarts ];
+  let r', t' = run_algo env ~algorithm:Flexpath.DPO ~k:500 q in
+  row "pass-by-pass"
+    [ ms t'; string_of_int r'.Flexpath.Common.passes; string_of_int r'.Flexpath.Common.restarts ]
+
+(* Ranking schemes (§4.3 / §5.1): structure-first admits the strongest
+   pruning and earliest cuts; Combined keeps a keyword slack; keyword-
+   first must encode the whole chain and cannot prune on structure. *)
+let abl_schemes ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q2_str in
+  header "Ablation: ranking schemes"
+    "Hybrid, Q2, K=100 under the three ranking schemes; time in ms"
+    [ "time"; "relaxations"; "pruned" ];
+  List.iter
+    (fun scheme ->
+      let r, t =
+        time_median (fun () -> Flexpath.run ~algorithm:Flexpath.Hybrid ~scheme env ~k:100 q)
+      in
+      row (Ranking.to_string scheme)
+        [
+          ms t;
+          string_of_int r.Flexpath.Common.relaxations_evaluated;
+          string_of_int r.Flexpath.Common.metrics.Joins.Exec.tuples_pruned;
+        ])
+    Ranking.all
+
+(* Data relaxation (APPROXML, §7) vs query relaxation (SSO): the third
+   evaluation strategy the paper rejects because it "quickly fails with
+   large databases".  We measure the materialized closure and the
+   evaluation cost as documents grow. *)
+let abl_approxml ~quick () =
+  let q = Xpath.parse_exn "//item[./description/parlist]" in
+  header "Ablation: data relaxation (APPROXML)"
+    "Materialized closure size and query time vs SSO query relaxation (Q1, K=100)"
+    [ "closure-edges"; "build-ms"; "eval-ms"; "SSO-ms" ];
+  List.iter
+    (fun mb ->
+      let env = env_for_mb mb in
+      let t, build_ms = time (fun () -> Approxml.build env.Env.doc) in
+      (match t with
+      | Error msg -> row (Printf.sprintf "%gMB" mb) [ "-"; "-"; msg; "-" ]
+      | Ok t ->
+        let _, eval_ms = time_median (fun () -> Approxml.answers t env.Env.index q) in
+        let _, sso_ms = run_algo env ~algorithm:Flexpath.SSO ~k:100 q in
+        row (Printf.sprintf "%gMB" mb)
+          [ string_of_int (Approxml.edge_count t); ms build_ms; ms eval_ms; ms sso_ms ]))
+    (if quick then [ 1.0; 5.0 ] else [ 1.0; 10.0; 25.0; 50.0; 100.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrates. *)
+
+let micro () =
+  let open Bechamel in
+  let doc = Xmark.Auction.doc ~seed:5 ~items:100 () in
+  let items = Doc.by_tag_name doc "item" in
+  let texts = Doc.by_tag_name doc "text" in
+  let q3 = Xpath.parse_exn q3_str in
+  let preds = Tpq.Query.to_preds q3 in
+  let xml_string = Xmldom.Xml.to_string (Doc.to_tree doc) in
+  let tests =
+    [
+      Test.make ~name:"structural-join ad(item,text)"
+        (Staged.stage (fun () -> ignore (Joins.Structural_join.ad_pairs doc ~anc:items ~desc:texts)));
+      Test.make ~name:"closure of Q3" (Staged.stage (fun () -> ignore (Tpq.Closure.closure preds)));
+      Test.make ~name:"core of Q3" (Staged.stage (fun () -> ignore (Tpq.Closure.core preds)));
+      Test.make ~name:"xpath parse Q3" (Staged.stage (fun () -> ignore (Xpath.parse_exn q3_str)));
+      Test.make ~name:"porter stem"
+        (Staged.stage (fun () -> ignore (Fulltext.Stemmer.stem "relational")));
+      Test.make ~name:"index build (100 items)"
+        (Staged.stage (fun () -> ignore (Fulltext.Index.build doc)));
+      Test.make ~name:"xml parse (100 items)"
+        (Staged.stage (fun () -> ignore (Xmldom.Xml_parser.parse_exn xml_string)));
+      Test.make ~name:"stats build (100 items)" (Staged.stage (fun () -> ignore (Stats.build doc)));
+    ]
+  in
+  Printf.printf "\n=== Micro-benchmarks (Bechamel) ===\n%!";
+  List.iter
+    (fun test ->
+      let clock = Toolkit.Instance.monotonic_clock in
+      let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~kde:None () in
+      let raw = Benchmark.all cfg [ clock ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_figures =
+  [
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("abl_bucketize", abl_bucketize);
+    ("abl_pruning", abl_pruning);
+    ("abl_estimator", abl_estimator);
+    ("abl_schemes", abl_schemes);
+    ("abl_approxml", abl_approxml);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick" && a <> "micro") args in
+  let micro_requested = List.mem "micro" args in
+  if micro_requested && selected = [] then micro ()
+  else begin
+    Printf.printf "FleXPath benchmark harness — reproducing SIGMOD 2004 figures 9-16%s\n%!"
+      (if quick then " (quick mode)" else "");
+    List.iter
+      (fun (name, f) -> if selected = [] || List.mem name selected then f ~quick ())
+      all_figures;
+    if selected = [] then micro ()
+  end

@@ -1,0 +1,315 @@
+(* flexpath — command-line interface.
+
+   Subcommands:
+     query     run a top-K query against a document
+     relax     show the penalty-ordered relaxation chain of a query
+     stats     show document statistics
+     generate  emit synthetic XMark-style or article-collection XML *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Document sources *)
+
+let load_doc ~file ~xmark_items ~articles_count =
+  match (file, xmark_items, articles_count) with
+  | Some path, None, None -> (
+    match Xmldom.Doc.of_file path with
+    | Ok doc -> Ok doc
+    | Error e when e.Xmldom.Xml_parser.line = 0 ->
+      (* I/O errors already carry the path *)
+      Error (Format.asprintf "%a" Xmldom.Xml_parser.pp_error e)
+    | Error e -> Error (Format.asprintf "%s: %a" path Xmldom.Xml_parser.pp_error e))
+  | None, Some items, None -> Ok (Xmark.Auction.doc ~items ())
+  | None, None, Some count -> Ok (Xmark.Articles.doc ~count ())
+  | None, None, None -> Error "no input: pass --file, --xmark or --articles"
+  | _ -> Error "pass exactly one of --file, --xmark, --articles"
+
+let load_hierarchy = function
+  | None -> Ok Tpq.Hierarchy.empty
+  | Some path -> Tpq.Hierarchy.parse_file path
+
+let load_thesaurus = function
+  | None -> Ok Fulltext.Thesaurus.empty
+  | Some path -> Fulltext.Thesaurus.parse_file path
+
+(* Rewrite every contains predicate of the query through the
+   thesaurus. *)
+let expand_query thesaurus q =
+  if Fulltext.Thesaurus.is_empty thesaurus then q
+  else
+    List.fold_left
+      (fun q v ->
+        Tpq.Query.update_node q v (fun n ->
+            { n with contains = List.map (Fulltext.Thesaurus.expand thesaurus) n.contains }))
+      q (Tpq.Query.vars q)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH" ~doc:"XML document to query.")
+
+let hierarchy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hierarchy" ] ~docv:"PATH"
+        ~doc:"Type hierarchy file: one 'sub < super' declaration per line (enables tag generalization).")
+
+let thesaurus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "thesaurus" ] ~docv:"PATH"
+        ~doc:"Thesaurus file: one comma-separated synonym ring per line (expands keywords).")
+
+let weights_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "weights" ] ~docv:"SPEC"
+        ~doc:"Predicate weights, e.g. 'structural=2,contains=0.5,var3=4'.")
+
+let load_weights = function
+  | None -> Ok Relax.Weights.uniform
+  | Some spec -> Relax.Weights.parse spec
+
+let xmark_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "xmark" ] ~docv:"ITEMS" ~doc:"Generate an XMark-style document with $(docv) items.")
+
+let articles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "articles" ] ~docv:"COUNT" ~doc:"Generate an article collection with $(docv) articles.")
+
+(* ------------------------------------------------------------------ *)
+(* query *)
+
+let conv_of_parser name parse to_string =
+  let parser s = match parse s with Ok v -> Ok v | Error msg -> Error (`Msg msg) in
+  let printer fmt v = Format.pp_print_string fmt (to_string v) in
+  Arg.conv ~docv:name (parser, printer)
+
+let algo_conv =
+  conv_of_parser "ALGO" Flexpath.algorithm_of_string Flexpath.algorithm_to_string
+
+let scheme_conv =
+  conv_of_parser "SCHEME" Flexpath.Ranking.of_string Flexpath.Ranking.to_string
+
+let query_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH" ~doc:"Query expression.")
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k" ] ~doc:"Number of answers.") in
+  let algo_arg =
+    Arg.(value & opt algo_conv Flexpath.Hybrid & info [ "algo" ] ~doc:"dpo, sso or hybrid.")
+  in
+  let scheme_arg =
+    Arg.(
+      value
+      & opt scheme_conv Flexpath.Ranking.Structure_first
+      & info [ "scheme" ] ~doc:"structure-first, keyword-first or combined.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print metrics.") in
+  let text_arg =
+    Arg.(value & flag & info [ "text" ] ~doc:"Print the matched element's text content.")
+  in
+  let env_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "env" ] ~docv:"PATH" ~doc:"Load a saved environment (see the index subcommand).")
+  in
+  let run file xmark articles query k algo scheme verbose text hierarchy_file thesaurus_file
+      weights_spec env_file =
+    let ( let* ) r f =
+      match r with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+      | Ok v -> f v
+    in
+    let* thesaurus = load_thesaurus thesaurus_file in
+    let* weights = load_weights weights_spec in
+    let env_result =
+      match env_file with
+      | Some path -> Flexpath.Storage.load ~weights path
+      | None ->
+        Result.bind (load_doc ~file ~xmark_items:xmark ~articles_count:articles) (fun doc ->
+            Result.map
+              (fun hierarchy -> Flexpath.Env.make ~weights ~hierarchy doc)
+              (load_hierarchy hierarchy_file))
+    in
+    let* env = env_result in
+    let doc = env.Flexpath.Env.doc in
+    match Tpq.Xpath.parse query with
+      | Error msg ->
+        Printf.eprintf "query error: %s\n" msg;
+        1
+      | Ok q ->
+        let q = expand_query thesaurus q in
+        let result = Flexpath.run ~algorithm:algo ~scheme env ~k q in
+        List.iteri
+          (fun i (a : Flexpath.Answer.t) ->
+            Format.printf "%2d. %a@." (i + 1) (Flexpath.Answer.pp doc) a;
+            if text then begin
+              let body = Xmldom.Doc.deep_text doc a.node in
+              let body =
+                if String.length body > 160 then String.sub body 0 160 ^ "..." else body
+              in
+              Format.printf "      %s@." body
+            end)
+          result.answers;
+        if verbose then
+          Format.printf
+            "-- %d answers; %d relaxations; %d passes; %d restarts; %d tuples (%d pruned, %d \
+             score-sorted)@."
+            (List.length result.answers)
+            result.relaxations_evaluated result.passes result.restarts
+            result.metrics.tuples_produced result.metrics.tuples_pruned
+            result.metrics.score_sorted_tuples;
+        0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ xmark_arg $ articles_arg $ query_arg $ k_arg $ algo_arg $ scheme_arg
+      $ verbose_arg $ text_arg $ hierarchy_arg $ thesaurus_arg $ weights_arg $ env_arg)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a top-K query with structural relaxation.") term
+
+(* ------------------------------------------------------------------ *)
+(* relax *)
+
+let relax_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH" ~doc:"Query expression.")
+  in
+  let steps_arg = Arg.(value & opt int 16 & info [ "steps" ] ~doc:"Maximum chain length.") in
+  let run file xmark articles query steps hierarchy_file =
+    match load_doc ~file ~xmark_items:xmark ~articles_count:articles with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok doc -> (
+      match (Tpq.Xpath.parse query, load_hierarchy hierarchy_file) with
+      | Error msg, _ | _, Error msg ->
+        Printf.eprintf "query error: %s\n" msg;
+        1
+      | Ok q, Ok hierarchy ->
+        let env = Flexpath.Env.make ~hierarchy doc in
+        let penv = Flexpath.Env.penalty_env env q in
+        let chain = Relax.Space.sequence ~max_steps:steps penv in
+        List.iteri
+          (fun i (entry : Relax.Space.entry) ->
+            let ops =
+              match entry.ops with
+              | [] -> "(original)"
+              | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
+            in
+            Format.printf "%2d. score=%.4f penalty=%.4f  %s@.    %s@." i entry.score
+              entry.penalty ops
+              (Tpq.Xpath.to_string entry.query))
+          chain;
+        0)
+  in
+  let term =
+    Term.(const run $ file_arg $ xmark_arg $ articles_arg $ query_arg $ steps_arg $ hierarchy_arg)
+  in
+  Cmd.v (Cmd.info "relax" ~doc:"Show the penalty-ordered relaxation chain.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run file xmark articles =
+    match load_doc ~file ~xmark_items:xmark ~articles_count:articles with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok doc ->
+      let stats = Stats.build doc in
+      let idx = Fulltext.Index.build doc in
+      Format.printf "%a@." Stats.pp stats;
+      Format.printf "elements: %d@." (Xmldom.Doc.size doc);
+      Format.printf "serialized size: %d bytes@." (Xmldom.Doc.serialized_size doc);
+      Format.printf "indexed tokens: %d (%d distinct terms)@." (Fulltext.Index.n_tokens idx)
+        (Fulltext.Index.distinct_terms idx);
+      0
+  in
+  let term = Term.(const run $ file_arg $ xmark_arg $ articles_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Show document statistics.") term
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let run xmark articles out seed =
+    let tree =
+      match (xmark, articles) with
+      | Some items, None -> Some (Xmark.Auction.site ~seed ~items ())
+      | None, Some count -> Some (Xmark.Articles.collection ~seed ~count ())
+      | _ -> None
+    in
+    match tree with
+    | None ->
+      Printf.eprintf "error: pass exactly one of --xmark ITEMS, --articles COUNT\n";
+      1
+    | Some tree -> (
+      let s = Xmldom.Xml.to_string ~decl:true tree in
+      match out with
+      | None ->
+        print_string s;
+        0
+      | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "wrote %d bytes to %s\n" (String.length s) path;
+        0)
+  in
+  let term = Term.(const run $ xmark_arg $ articles_arg $ out_arg $ seed_arg) in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit synthetic XML.") term
+
+(* ------------------------------------------------------------------ *)
+(* index: build and save an environment *)
+
+let index_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Where to write the environment.")
+  in
+  let run file xmark articles hierarchy_file out =
+    match
+      ( load_doc ~file ~xmark_items:xmark ~articles_count:articles,
+        load_hierarchy hierarchy_file )
+    with
+    | Error msg, _ | _, Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok doc, Ok hierarchy -> (
+      let env = Flexpath.Env.make ~hierarchy doc in
+      match Flexpath.Storage.save env out with
+      | Ok () ->
+        Printf.printf "indexed %d elements into %s\n" (Xmldom.Doc.size doc) out;
+        0
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1)
+  in
+  let term = Term.(const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ out_arg) in
+  Cmd.v (Cmd.info "index" ~doc:"Build the index and statistics once, save them for later queries.") term
+
+let () =
+  let info =
+    Cmd.info "flexpath" ~version:"1.0.0"
+      ~doc:"Flexible structure and full-text querying for XML (FleXPath, SIGMOD 2004)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ query_cmd; relax_cmd; stats_cmd; generate_cmd; index_cmd ]))

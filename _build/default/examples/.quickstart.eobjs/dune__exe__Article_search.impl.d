@@ -1,0 +1,1 @@
+examples/article_search.ml: Array Flexpath Float Format Hashtbl List Option Printf Tpq Xmark Xmldom

@@ -1,0 +1,1 @@
+examples/article_search.mli:

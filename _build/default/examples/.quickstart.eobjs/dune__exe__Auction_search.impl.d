@@ -1,0 +1,1 @@
+examples/auction_search.ml: Array Flexpath Format Joins List Option Tpq Unix Xmark Xmldom

@@ -1,0 +1,1 @@
+examples/bibliography_hierarchy.ml: Flexpath Format Fulltext List Tpq Xmldom

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flexpath Format List Xmldom

@@ -1,0 +1,1 @@
+examples/relaxation_explorer.ml: Array Flexpath Format Hashtbl List Option Relax Stats Sys Tpq Xmark

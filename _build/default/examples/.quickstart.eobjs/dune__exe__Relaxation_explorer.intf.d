@@ -1,0 +1,1 @@
+examples/relaxation_explorer.mli:

@@ -1,0 +1,97 @@
+(* The §3.4 "other relaxations" in action: a type hierarchy over element
+   tags (article <: publication, etc.) lets tag predicates generalize,
+   and a thesaurus widens keywords — both composing with the structural
+   relaxations of the core framework.
+
+   Run with:  dune exec examples/bibliography_hierarchy.exe *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+
+let el = Xml.element
+let txt = Xml.text
+
+let bibliography =
+  el "bibliography"
+    [
+      el "article"
+        [
+          el "title" [ txt "Streaming XML query evaluation" ];
+          el "venue" [ txt "SIGMOD" ];
+        ];
+      el "book"
+        [
+          el "title" [ txt "XML stream processing systems" ];
+          el "publisher" [ txt "Springer" ];
+        ];
+      el "thesis"
+        [
+          el "title" [ txt "Relaxed matching for XML streams" ];
+          el "school" [ txt "UBC" ];
+        ];
+      el "techreport"
+        [ el "title" [ txt "XML firehose ingestion" ]; el "institution" [ txt "AT&T" ] ];
+      el "webpage" [ el "title" [ txt "cooking recipes" ] ];
+    ]
+
+let hierarchy =
+  Tpq.Hierarchy.of_list_exn
+    [
+      ("article", "publication");
+      ("book", "publication");
+      ("thesis", "publication");
+      ("techreport", "publication");
+    ]
+
+let thesaurus = Fulltext.Thesaurus.of_list [ [ "stream"; "firehose" ] ]
+
+let query = "//article[./title[.contains(\"xml\" and \"stream\")]]"
+
+let () =
+  let env = Flexpath.Env.of_tree ~hierarchy bibliography in
+  let q = Tpq.Xpath.parse_exn query in
+  Format.printf "Query: %s@.@." query;
+
+  let show title answers =
+    Format.printf "--- %s ---@." title;
+    List.iteri
+      (fun i (a : Flexpath.Answer.t) ->
+        Format.printf "%d. <%s> %-38s ss=%.3f ks=%.3f@." (i + 1)
+          (Doc.tag_name env.doc a.node)
+          (match Doc.children env.doc a.node with
+          | t :: _ -> Doc.deep_text env.doc t
+          | [] -> "?")
+          a.sscore a.kscore)
+      answers;
+    Format.printf "@."
+  in
+
+  (* Strict semantics: only the article. *)
+  Format.printf "--- Exact matches ---@.";
+  List.iteri
+    (fun i node ->
+      Format.printf "%d. <%s> %s@." (i + 1) (Doc.tag_name env.doc node)
+        (match Doc.children env.doc node with
+        | t :: _ -> Doc.deep_text env.doc t
+        | [] -> "?"))
+    (Flexpath.exact_answers env q);
+  Format.printf "@.";
+
+  (* Structural + tag relaxation: book, thesis, techreport surface via
+     article -> publication generalization, ranked below the exact
+     article. *)
+  show "With tag generalization (article < publication)"
+    (Flexpath.top_k env ~k:10 q);
+
+  (* Add the thesaurus: "stream" also matches "firehose", so the
+     techreport's title satisfies the keywords too. *)
+  let q_wide =
+    List.fold_left
+      (fun q v ->
+        Tpq.Query.update_node q v (fun n ->
+            { n with contains = List.map (Fulltext.Thesaurus.expand thesaurus) n.contains }))
+      q (Tpq.Query.vars q)
+  in
+  show "Plus thesaurus (stream ~ firehose)" (Flexpath.top_k env ~k:10 q_wide);
+  Format.printf "The cooking webpage is never returned: it matches neither the@.";
+  Format.printf "structure template, the type hierarchy, nor the keywords.@."

@@ -1,0 +1,60 @@
+(* Quickstart: index a document, ask a structural + full-text query, and
+   see exact matches ranked above relaxed ones.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let document =
+  {|<library>
+  <book genre="databases">
+    <title>Streaming XML processing</title>
+    <chapter>
+      <heading>Query evaluation</heading>
+      <p>Efficient streaming evaluation of XML queries with automata.</p>
+    </chapter>
+  </book>
+  <book genre="databases">
+    <title>XML retrieval</title>
+    <abstract>Relaxed matching of streaming XML queries against heterogeneous data.</abstract>
+  </book>
+  <book genre="networking">
+    <title>Packet switching</title>
+    <chapter>
+      <heading>Routing</heading>
+      <p>Nothing about markup languages here.</p>
+    </chapter>
+  </book>
+</library>|}
+
+(* The query asks for books with a chapter whose paragraph mentions both
+   keywords.  Book 1 matches exactly; book 2 has the keywords only in
+   its abstract, so it only matches a relaxation — and is still
+   returned, with a lower structural score.  Book 3 is irrelevant and
+   never shows up. *)
+let query = {|//book[./chapter/p[.contains("streaming" and "xml")]]|}
+
+let () =
+  let env =
+    match Flexpath.Env.of_string document with
+    | Ok env -> env
+    | Error msg -> failwith msg
+  in
+  Format.printf "Query: %s@.@." query;
+  match Flexpath.top_k_xpath env ~k:5 query with
+  | Error msg -> failwith msg
+  | Ok answers ->
+    List.iteri
+      (fun i (a : Flexpath.Answer.t) ->
+        let title =
+          match
+            Xmldom.Doc.children env.doc a.node
+            |> List.find_opt (fun c -> Xmldom.Doc.tag_name env.doc c = "title")
+          with
+          | Some t -> Xmldom.Doc.deep_text env.doc t
+          | None -> "(untitled)"
+        in
+        Format.printf "%d. %-28s  structural=%.3f keyword=%.3f %s@." (i + 1) title a.sscore
+          a.kscore
+          (if Flexpath.Answer.is_exact a then "exact match" else "via relaxation"))
+      answers;
+    Format.printf "@.%d answers — the exact match outranks the relaxed one;@." (List.length answers);
+    Format.printf "the networking book is never returned.@."

@@ -1,0 +1,60 @@
+(* Exploring the relaxation space of a query: the four operators of
+   §3.5, the penalty-ordered chain DPO/SSO walk, and the size of the
+   full space.
+
+   Run with:  dune exec examples/relaxation_explorer.exe [XPATH] *)
+
+let default_query =
+  "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+
+let () =
+  let query = if Array.length Sys.argv > 1 then Sys.argv.(1) else default_query in
+  let doc = Xmark.Articles.doc ~seed:99 ~count:120 () in
+  let env = Flexpath.Env.make doc in
+  let q =
+    match Tpq.Xpath.parse query with
+    | Ok q -> q
+    | Error msg -> failwith ("bad query: " ^ msg)
+  in
+  Format.printf "Query: %s@.@." (Tpq.Xpath.to_string q);
+  Format.printf "%s@." (Tpq.Query.to_string q);
+
+  (* The operators applicable right now. *)
+  Format.printf "--- Applicable operators ---@.";
+  List.iter (fun op -> Format.printf "  %s@." (Relax.Op.to_string op)) (Relax.Op.applicable q);
+
+  (* The closure (Figure 4 of the paper). *)
+  let penv = Flexpath.Env.penalty_env env q in
+  Format.printf "@.--- Closure with penalties ---@.";
+  List.iter
+    (fun p ->
+      let pen = Relax.Penalty.predicate_penalty penv p in
+      if Tpq.Pred.is_structural p || Tpq.Pred.is_contains p then
+        Format.printf "  %-50s penalty %.4f@." (Tpq.Pred.to_string p) pen)
+    (Relax.Penalty.closure penv);
+
+  (* The greedy penalty-ordered chain with estimated and actual
+     cardinalities. *)
+  Format.printf "@.--- Penalty-ordered relaxation chain ---@.";
+  Format.printf "%-4s %-9s %-9s %-8s %s@." "step" "score" "est.card" "actual" "query";
+  List.iteri
+    (fun i (entry : Relax.Space.entry) ->
+      let est = Stats.estimate_answers env.Flexpath.Env.stats entry.query in
+      let actual = List.length (Flexpath.exact_answers env entry.query) in
+      Format.printf "%-4d %-9.4f %-9.1f %-8d %s@." i entry.score est actual
+        (Tpq.Xpath.to_string entry.query))
+    (Relax.Space.sequence ~max_steps:16 penv);
+
+  (* The whole space (deduplicated up to isomorphism). *)
+  let space = Relax.Space.enumerate ~max_queries:500 q in
+  Format.printf "@.--- Full relaxation space ---@.";
+  Format.printf "distinct relaxations (capped at 500): %d@." (List.length space);
+  let by_ops = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ops) ->
+      let n = List.length ops in
+      Hashtbl.replace by_ops n (1 + Option.value ~default:0 (Hashtbl.find_opt by_ops n)))
+    space;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_ops []
+  |> List.sort compare
+  |> List.iter (fun (steps, count) -> Format.printf "  %d ops: %d queries@." steps count)

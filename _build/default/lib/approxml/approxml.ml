@@ -1,0 +1,111 @@
+module Doc = Xmldom.Doc
+module Index = Fulltext.Index
+module Query = Tpq.Query
+module Semantics = Tpq.Semantics
+
+type t = {
+  doc : Doc.t;
+  (* CSR-style closure: for element e, targets/distances in
+     [offsets.(e) .. offsets.(e+1) - 1].  Every (ancestor, descendant)
+     pair on a common path is materialized. *)
+  offsets : int array;
+  targets : int array;
+  distances : int array;
+}
+
+let build ?(max_edges = 20_000_000) doc =
+  let n = Doc.size doc in
+  (* total edges = Σ_e depth(e) *)
+  let total = ref 0 in
+  (try
+     Doc.iter_elements doc (fun e ->
+         total := !total + Doc.level doc e;
+         if !total > max_edges then raise Exit)
+   with Exit -> ());
+  if !total > max_edges then
+    Error
+      (Printf.sprintf
+         "document closure needs more than %d shortcut edges (%d elements): data relaxation \
+          does not scale to this document"
+         max_edges n)
+  else begin
+    let offsets = Array.make (n + 1) 0 in
+    Doc.iter_elements doc (fun e ->
+        (* edges start at ancestors; count per source below *)
+        List.iter (fun a -> offsets.(a + 1) <- offsets.(a + 1) + 1) (Doc.ancestors doc e));
+    for i = 1 to n do
+      offsets.(i) <- offsets.(i) + offsets.(i - 1)
+    done;
+    let m = offsets.(n) in
+    let targets = Array.make (max 1 m) 0 in
+    let distances = Array.make (max 1 m) 0 in
+    let fill = Array.copy offsets in
+    Doc.iter_elements doc (fun e ->
+        let le = Doc.level doc e in
+        List.iter
+          (fun a ->
+            let slot = fill.(a) in
+            fill.(a) <- slot + 1;
+            targets.(slot) <- e;
+            distances.(slot) <- le - Doc.level doc a)
+          (Doc.ancestors doc e));
+    Ok { doc; offsets; targets; distances }
+  end
+
+let build_exn ?max_edges doc =
+  match build ?max_edges doc with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Approxml.build_exn: " ^ msg)
+
+let doc t = t.doc
+let edge_count t = t.offsets.(Array.length t.offsets - 1)
+
+let memory_words t =
+  Array.length t.offsets + Array.length t.targets + Array.length t.distances
+
+let edges_from t e =
+  let out = ref [] in
+  for i = t.offsets.(e + 1) - 1 downto t.offsets.(e) do
+    out := (t.targets.(i), t.distances.(i)) :: !out
+  done;
+  !out
+
+let answers t idx q =
+  let doc = t.doc in
+  let order = Query.descendant_vars q (Query.root q) in
+  let best : (Doc.elem, float * int) Hashtbl.t = Hashtbl.create 64 in
+  let dist_var = Query.distinguished q in
+  (* weight of binding v under anchor: edge score by shortcut distance *)
+  let rec go env score edges = function
+    | [] ->
+      let target = List.assoc dist_var env in
+      let avg = if edges = 0 then 1.0 else score /. float_of_int edges in
+      (match Hashtbl.find_opt best target with
+      | Some (s, _) when s >= avg -> ()
+      | _ -> Hashtbl.replace best target (avg, edges))
+    | v :: rest -> (
+      let node = Query.node q v in
+      match Query.parent q v with
+      | None ->
+        Array.iter
+          (fun e ->
+            if Semantics.satisfies_node doc idx node e then go ((v, e) :: env) score edges rest)
+          (Semantics.candidates doc node)
+      | Some (p, axis) ->
+        let anc = List.assoc p env in
+        List.iter
+          (fun (e, d) ->
+            if Semantics.satisfies_node doc idx node e then begin
+              let edge_score =
+                match axis with
+                | Query.Child -> 1.0 /. float_of_int d
+                | Query.Descendant -> 1.0
+              in
+              go ((v, e) :: env) (score +. edge_score) (edges + 1) rest
+            end)
+          (edges_from t anc))
+  in
+  go [] 0.0 0 order;
+  Hashtbl.fold (fun e (s, _) acc -> (e, s) :: acc) best []
+  |> List.sort (fun (e1, s1) (e2, s2) ->
+         match Float.compare s2 s1 with 0 -> Int.compare e1 e2 | c -> c)

@@ -1,0 +1,45 @@
+(** The data-relaxation baseline (§7; Damiani et al., "The APPROXML
+    Tool", EDBT 2002).
+
+    Where FleXPath relaxes the {e query}, APPROXML relaxes the {e
+    data}: it materializes the closure of the document graph, inserting
+    a shortcut edge between every pair of nodes on the same root-to-leaf
+    path, weighted by the distance it skips.  A parent-child query edge
+    then matches any shortcut, discounted by its length, so approximate
+    answers fall out of ordinary evaluation over the enriched graph.
+
+    The paper dismisses this strategy because "it was shown to quickly
+    fail with large databases": the closure carries Θ(n·depth) explicit
+    edges, an order of magnitude beyond the document itself, all of it
+    materialized before the first query runs.  This module implements
+    the strategy faithfully enough to measure exactly that behaviour
+    (see the [abl_approxml] benchmark). *)
+
+type t
+
+val build : ?max_edges:int -> Xmldom.Doc.t -> (t, string) result
+(** Materializes the closure.  Refuses to proceed past [max_edges]
+    shortcut edges (default 20 million), reporting how far it got —
+    the failure mode the paper alludes to. *)
+
+val build_exn : ?max_edges:int -> Xmldom.Doc.t -> t
+
+val doc : t -> Xmldom.Doc.t
+
+val edge_count : t -> int
+(** Number of materialized shortcut edges. *)
+
+val memory_words : t -> int
+(** Approximate heap words held by the closure structures. *)
+
+val edges_from : t -> Xmldom.Doc.elem -> (Xmldom.Doc.elem * int) list
+(** Outgoing shortcut edges [(descendant, distance)], distance ≥ 1. *)
+
+val answers :
+  t -> Fulltext.Index.t -> Tpq.Query.t -> (Xmldom.Doc.elem * float) list
+(** Evaluate a tree pattern query over the enriched graph.  A pc-edge
+    matched by a distance-d shortcut contributes 1/d to the answer's
+    score (1 when exact); ad-edges contribute 1 whenever some shortcut
+    connects the pair.  Per answer the best embedding's average edge
+    score is kept; results are sorted best-first.  Exact matches score
+    1.0. *)

@@ -1,0 +1,1 @@
+lib/flexpath/flexpath.ml: Answer Common Dpo Env Hybrid Printf Ranking Result Sso Storage String Tpq

@@ -1,0 +1,1 @@
+lib/flexpath/flexpath.mli: Answer Common Dpo Env Hybrid Ranking Sso Storage Tpq Xmldom

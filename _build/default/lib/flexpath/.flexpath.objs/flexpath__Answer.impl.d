@@ -1,0 +1,1 @@
+lib/flexpath/answer.ml: Format Int Joins List Printf Ranking Xmldom

@@ -1,0 +1,1 @@
+lib/flexpath/answer.mli: Format Joins Ranking Xmldom

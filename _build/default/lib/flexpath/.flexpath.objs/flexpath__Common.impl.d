@@ -1,0 +1,1 @@
+lib/flexpath/common.ml: Answer Array Env Float Fulltext Hashtbl Joins List Logs Ranking Relax Tpq

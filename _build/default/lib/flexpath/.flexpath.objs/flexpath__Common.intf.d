@@ -1,0 +1,1 @@
+lib/flexpath/common.mli: Answer Env Joins Logs Ranking Relax Tpq

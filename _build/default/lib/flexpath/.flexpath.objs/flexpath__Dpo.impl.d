@@ -1,0 +1,1 @@
+lib/flexpath/dpo.ml: Answer Common Hashtbl Joins List Ranking Relax Xmldom

@@ -1,0 +1,1 @@
+lib/flexpath/dpo.mli: Common Env Ranking Tpq

@@ -1,0 +1,1 @@
+lib/flexpath/env.ml: Format Fulltext Joins Relax Stats Tpq Xmldom

@@ -1,0 +1,1 @@
+lib/flexpath/env.mli: Fulltext Joins Relax Stats Tpq Xmldom

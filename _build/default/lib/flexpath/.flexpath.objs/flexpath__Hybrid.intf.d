@@ -1,0 +1,1 @@
+lib/flexpath/hybrid.mli: Common Env Ranking Tpq

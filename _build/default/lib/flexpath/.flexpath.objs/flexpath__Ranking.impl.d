@@ -1,0 +1,1 @@
+lib/flexpath/ranking.ml: Printf String

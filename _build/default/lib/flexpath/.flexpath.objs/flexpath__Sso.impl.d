@@ -1,0 +1,1 @@
+lib/flexpath/sso.ml: Answer Array Common Env Joins List Ranking Relax Stats

@@ -1,0 +1,1 @@
+lib/flexpath/sso.mli: Common Env Ranking Relax Tpq

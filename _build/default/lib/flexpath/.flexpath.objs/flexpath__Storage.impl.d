@@ -1,0 +1,1 @@
+lib/flexpath/storage.ml: Env Fulltext Marshal Printf Relax Stats String Tpq Xmldom

@@ -1,0 +1,1 @@
+lib/flexpath/storage.mli: Env Relax

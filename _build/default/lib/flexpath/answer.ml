@@ -1,0 +1,34 @@
+type t = {
+  node : Xmldom.Doc.elem;
+  sscore : float;
+  kscore : float;
+  dropped_predicates : int;
+}
+
+let is_exact a = a.dropped_predicates = 0
+
+let score a = { Ranking.sscore = a.sscore; kscore = a.kscore }
+
+let compare_desc scheme a b =
+  match Ranking.compare_desc scheme (score a) (score b) with
+  | 0 -> Int.compare a.node b.node
+  | c -> c
+
+let of_exec (e : Joins.Exec.answer) =
+  {
+    node = e.target;
+    sscore = e.sscore;
+    kscore = e.kscore;
+    dropped_predicates = List.length e.failed;
+  }
+
+let sort_and_truncate scheme k answers =
+  let sorted = List.sort (compare_desc scheme) answers in
+  List.filteri (fun i _ -> i < k) sorted
+
+let pp doc fmt a =
+  Format.fprintf fmt "%s  ss=%.4f ks=%.4f%s"
+    (Xmldom.Doc.path_to_root doc a.node)
+    a.sscore a.kscore
+    (if is_exact a then "  exact"
+     else Printf.sprintf "  (%d predicates relaxed)" a.dropped_predicates)

@@ -1,0 +1,24 @@
+(** A ranked query answer. *)
+
+type t = {
+  node : Xmldom.Doc.elem;
+  sscore : float;  (** Structural score (§4.3.2). *)
+  kscore : float;  (** Keyword score: weighted sum of normalized IR scores. *)
+  dropped_predicates : int;
+      (** Number of original-closure predicates this answer fails;
+          0 for exact matches. *)
+}
+
+val is_exact : t -> bool
+
+val score : t -> Ranking.score
+
+val compare_desc : Ranking.scheme -> t -> t -> int
+(** Best first; ties broken by node id for determinism. *)
+
+val of_exec : Joins.Exec.answer -> t
+
+val sort_and_truncate : Ranking.scheme -> int -> t list -> t list
+(** Top-K of Definition 4: sort best-first, keep [k]. *)
+
+val pp : Xmldom.Doc.t -> Format.formatter -> t -> unit

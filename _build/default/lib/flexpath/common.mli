@@ -1,0 +1,51 @@
+(** Shared machinery of the three top-K algorithms (§5.1).
+
+    All algorithms walk the same penalty-ordered relaxation chain
+    [Q = Q0 ⊂ Q1 ⊂ ...] ({!Relax.Space.sequence}) and differ in how
+    much of it they evaluate and how.  Early termination is sound: any
+    answer not yet produced by relaxation [Qi] must violate at least
+    one closure predicate [Qi] still enforces, so its structural score
+    is at most [base − min π(p)] over those predicates
+    ({!unseen_bound}); once the current K-th answer reaches that bound
+    no further relaxation can change the top-K. *)
+
+val log_src : Logs.src
+(** Log source ["flexpath"]: debug-level traces of chain construction,
+    cut selection and pass counts. *)
+
+module Log : Logs.LOG
+
+type result = {
+  answers : Answer.t list;  (** Top-K, best first. *)
+  metrics : Joins.Exec.metrics;
+  relaxations_evaluated : int;
+      (** Chain steps evaluated (DPO) or encoded in the plan (SSO /
+          Hybrid). *)
+  passes : int;  (** Full evaluation passes over the data. *)
+  restarts : int;  (** SSO/Hybrid restarts after underestimation. *)
+}
+
+val chain :
+  Env.t -> ?max_steps:int -> Tpq.Query.t -> Relax.Penalty.t * Relax.Space.entry list
+(** The penalty environment and greedy relaxation chain for a query
+    (first entry is the original query itself). *)
+
+val unseen_bound : Ranking.scheme -> Relax.Penalty.t -> Relax.Space.entry -> float
+(** Upper bound on {!Ranking.total} of any answer not produced by the
+    entry's query.  [neg_infinity] when every scored predicate is
+    already dropped. *)
+
+val kth_total : Ranking.scheme -> int -> Answer.t list -> float option
+(** The K-th best primary score among collected answers; [None] when
+    fewer than [k] are present. *)
+
+val evaluate :
+  ?metrics:Joins.Exec.metrics ->
+  Env.t ->
+  Relax.Penalty.t ->
+  Tpq.Query.t ->
+  Relax.Op.t list ->
+  Joins.Exec.strategy ->
+  Answer.t list
+(** Evaluate the query obtained by applying [ops] to the original,
+    scored against the original's closure. *)

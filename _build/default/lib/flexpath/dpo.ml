@@ -1,0 +1,43 @@
+let run ?max_steps env ~scheme ~k q =
+  let penv, chain = Common.chain env ?max_steps q in
+  let metrics = Joins.Exec.fresh_metrics () in
+  (* An answer node can gain a better-scoring embedding once a deeper
+     relaxation widens the embedding space, so keep the best score seen
+     per node.  The stopping bound covers improvements too: an
+     embedding invalid under the current relaxation scores at most
+     [unseen_bound]. *)
+  let best : (Xmldom.Doc.elem, Answer.t) Hashtbl.t = Hashtbl.create 64 in
+  let passes = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | (entry : Relax.Space.entry) :: rest ->
+      incr passes;
+      let answers =
+        Common.evaluate ~metrics env penv q entry.ops Joins.Exec.exact_strategy
+      in
+      List.iter
+        (fun (a : Answer.t) ->
+          match Hashtbl.find_opt best a.node with
+          | None -> Hashtbl.replace best a.node a
+          | Some prev ->
+            if Ranking.compare_desc scheme (Answer.score a) (Answer.score prev) < 0 then
+              Hashtbl.replace best a.node a)
+        answers;
+      let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
+      let finished =
+        match Common.kth_total scheme k collected with
+        | None -> false
+        | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+      in
+      if not finished then go rest
+  in
+  go chain;
+  Common.Log.debug (fun m -> m "DPO: %d passes, %d distinct answers" !passes (Hashtbl.length best));
+  let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
+  {
+    Common.answers = Answer.sort_and_truncate scheme k collected;
+    metrics;
+    relaxations_evaluated = !passes;
+    passes = !passes;
+    restarts = 0;
+  }

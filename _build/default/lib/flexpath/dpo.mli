@@ -1,0 +1,16 @@
+(** DPO — Dynamic Penalty Order (§5.1.1).
+
+    Evaluates the relaxation chain one query at a time, in increasing
+    penalty order, re-running a full evaluation pass per step, and stops
+    as soon as the collected top-K can no longer change.  Its strength
+    is exact knowledge (no estimates, no wasted relaxations); its
+    weakness is the repeated passes over the data, which the experiments
+    of §6 measure against SSO and Hybrid. *)
+
+val run :
+  ?max_steps:int ->
+  Env.t ->
+  scheme:Ranking.scheme ->
+  k:int ->
+  Tpq.Query.t ->
+  Common.result

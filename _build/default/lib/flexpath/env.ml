@@ -1,0 +1,25 @@
+type t = {
+  doc : Xmldom.Doc.t;
+  index : Fulltext.Index.t;
+  stats : Stats.t;
+  weights : Relax.Penalty.weights;
+  hierarchy : Tpq.Hierarchy.t;
+}
+
+let make ?(weights = Relax.Penalty.uniform) ?(hierarchy = Tpq.Hierarchy.empty) ?scorer doc =
+  let index = Fulltext.Index.build ?scorer doc in
+  let stats = Stats.build doc in
+  Stats.set_index stats index;
+  { doc; index; stats; weights; hierarchy }
+
+let of_tree ?weights ?hierarchy ?scorer tree =
+  make ?weights ?hierarchy ?scorer (Xmldom.Doc.of_tree tree)
+
+let of_string ?weights ?hierarchy ?scorer s =
+  match Xmldom.Doc.of_string s with
+  | Ok doc -> Ok (make ?weights ?hierarchy ?scorer doc)
+  | Error e -> Error (Format.asprintf "%a" Xmldom.Xml_parser.pp_error e)
+
+let penalty_env env q = Relax.Penalty.make ~hierarchy:env.hierarchy env.stats env.weights q
+
+let exec_env env penalty = { Joins.Exec.doc = env.doc; index = env.index; penalty }

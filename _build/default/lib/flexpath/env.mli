@@ -1,0 +1,42 @@
+(** Query-processing environment: a document with its full-text index,
+    statistics and predicate weights — everything Figure 7's
+    architecture shares between the XPath engine, the IR engine and the
+    relaxation machinery. *)
+
+type t = {
+  doc : Xmldom.Doc.t;
+  index : Fulltext.Index.t;
+  stats : Stats.t;
+  weights : Relax.Penalty.weights;
+  hierarchy : Tpq.Hierarchy.t;
+}
+
+val make :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  Xmldom.Doc.t ->
+  t
+(** Builds the index and statistics (and attaches the index to the
+    statistics for [#contains] counting).  Default weights are uniform
+    1, as in Example 1; the default hierarchy is empty (tags match
+    exactly); the default scorer is tf-idf. *)
+
+val of_tree :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  Xmldom.Xml.t ->
+  t
+
+val of_string :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  string ->
+  (t, string) result
+
+val penalty_env : t -> Tpq.Query.t -> Relax.Penalty.t
+(** Penalty environment for one original query. *)
+
+val exec_env : t -> Relax.Penalty.t -> Joins.Exec.env

@@ -1,0 +1,36 @@
+module Ranking = Ranking
+module Env = Env
+module Answer = Answer
+module Common = Common
+module Dpo = Dpo
+module Sso = Sso
+module Hybrid = Hybrid
+module Storage = Storage
+
+type algorithm = DPO | SSO | Hybrid
+
+let algorithm_to_string = function DPO -> "dpo" | SSO -> "sso" | Hybrid -> "hybrid"
+
+let algorithm_of_string s =
+  match String.lowercase_ascii s with
+  | "dpo" -> Ok DPO
+  | "sso" -> Ok SSO
+  | "hybrid" -> Ok Hybrid
+  | other -> Error (Printf.sprintf "unknown algorithm %S (expected dpo, sso or hybrid)" other)
+
+let all_algorithms = [ DPO; SSO; Hybrid ]
+
+let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps env ~k q =
+  match algorithm with
+  | DPO -> Dpo.run ?max_steps env ~scheme ~k q
+  | SSO -> Sso.run ?max_steps env ~scheme ~k q
+  | Hybrid -> Hybrid.run ?max_steps env ~scheme ~k q
+
+let top_k ?algorithm ?scheme ?max_steps env ~k q =
+  (run ?algorithm ?scheme ?max_steps env ~k q).Common.answers
+
+let top_k_xpath ?algorithm ?scheme ?max_steps env ~k s =
+  Result.map (top_k ?algorithm ?scheme ?max_steps env ~k) (Tpq.Xpath.parse s)
+
+let exact_answers (env : Env.t) q =
+  Tpq.Semantics.answers ~hierarchy:env.hierarchy env.doc env.index q

@@ -1,0 +1,69 @@
+(** FleXPath: flexible structure and full-text querying for XML
+    (Amer-Yahia, Lakshmanan, Pandit — SIGMOD 2004).
+
+    The façade for the whole system.  Typical use:
+
+    {[
+      let env = Flexpath.Env.of_string xml_text |> Result.get_ok in
+      let result =
+        Flexpath.top_k_xpath env ~k:10
+          "//article[./section[./algorithm and \
+           ./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+        |> Result.get_ok
+      in
+      List.iter
+        (fun a -> Format.printf "%a@." (Flexpath.Answer.pp env.doc) a)
+        result.answers
+    ]}
+
+    The structural part of the query is a template: answers matching it
+    exactly come first, answers matching a relaxation follow with
+    scores discounted by data-derived penalties (§3, §4). *)
+
+module Ranking = Ranking
+module Env = Env
+module Answer = Answer
+module Common = Common
+module Dpo = Dpo
+module Sso = Sso
+module Hybrid = Hybrid
+module Storage = Storage
+
+type algorithm = DPO | SSO | Hybrid
+
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> (algorithm, string) result
+val all_algorithms : algorithm list
+
+val run :
+  ?algorithm:algorithm ->
+  ?scheme:Ranking.scheme ->
+  ?max_steps:int ->
+  Env.t ->
+  k:int ->
+  Tpq.Query.t ->
+  Common.result
+(** Top-K evaluation.  Defaults: [Hybrid], [Structure_first]. *)
+
+val top_k :
+  ?algorithm:algorithm ->
+  ?scheme:Ranking.scheme ->
+  ?max_steps:int ->
+  Env.t ->
+  k:int ->
+  Tpq.Query.t ->
+  Answer.t list
+
+val top_k_xpath :
+  ?algorithm:algorithm ->
+  ?scheme:Ranking.scheme ->
+  ?max_steps:int ->
+  Env.t ->
+  k:int ->
+  string ->
+  (Answer.t list, string) result
+(** Parse the XPath fragment, then {!top_k}. *)
+
+val exact_answers : Env.t -> Tpq.Query.t -> Xmldom.Doc.elem list
+(** Classical exact-match semantics (no relaxation) — the baseline the
+    flexible semantics consistently extends. *)

@@ -1,0 +1,16 @@
+(** Hybrid (§5.2.3, Algorithm 2).
+
+    Same single-plan evaluation as SSO, but intermediate results are
+    kept in buckets keyed by the set of satisfied predicates: all
+    answers in a bucket share a score, buckets are ordered by score, and
+    tuples inside a bucket stay in node-id order — so no re-sorting on
+    score ever happens, while threshold / maxScoreGrowth pruning still
+    applies per bucket. *)
+
+val run :
+  ?max_steps:int ->
+  Env.t ->
+  scheme:Ranking.scheme ->
+  k:int ->
+  Tpq.Query.t ->
+  Common.result

@@ -1,0 +1,39 @@
+type scheme = Structure_first | Keyword_first | Combined
+
+type score = { sscore : float; kscore : float }
+
+let eps = 1e-9
+
+let cmp_float_desc a b = if a > b +. eps then -1 else if b > a +. eps then 1 else 0
+
+let compare_desc scheme a b =
+  match scheme with
+  | Structure_first -> (
+    match cmp_float_desc a.sscore b.sscore with
+    | 0 -> cmp_float_desc a.kscore b.kscore
+    | c -> c)
+  | Keyword_first -> (
+    match cmp_float_desc a.kscore b.kscore with
+    | 0 -> cmp_float_desc a.sscore b.sscore
+    | c -> c)
+  | Combined -> cmp_float_desc (a.sscore +. a.kscore) (b.sscore +. b.kscore)
+
+let total scheme s =
+  match scheme with
+  | Structure_first -> s.sscore
+  | Keyword_first -> s.kscore
+  | Combined -> s.sscore +. s.kscore
+
+let all = [ Structure_first; Keyword_first; Combined ]
+
+let to_string = function
+  | Structure_first -> "structure-first"
+  | Keyword_first -> "keyword-first"
+  | Combined -> "combined"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "structure-first" | "structure" | "ss" -> Ok Structure_first
+  | "keyword-first" | "keyword" | "ks" -> Ok Keyword_first
+  | "combined" | "sum" -> Ok Combined
+  | other -> Error (Printf.sprintf "unknown ranking scheme %S" other)

@@ -1,0 +1,24 @@
+(** Ranking schemes (§4.3.2).
+
+    An answer carries a structural score [ss] and a keyword score [ks];
+    the three schemes combine them as the paper proposes:
+    - [Structure_first]: order by the pair [(ss, ks)] lexicographically;
+    - [Keyword_first]: order by [(ks, ss)];
+    - [Combined]: order by the sum [ks + ss].
+
+    All three are order-invariant (Theorem 3): they aggregate
+    per-predicate weights that do not depend on the relaxation path. *)
+
+type scheme = Structure_first | Keyword_first | Combined
+
+type score = { sscore : float; kscore : float }
+
+val compare_desc : scheme -> score -> score -> int
+(** Best first: negative when the first argument ranks higher. *)
+
+val total : scheme -> score -> float
+(** The primary sort key ([ss], [ks] or [ks + ss]). *)
+
+val all : scheme list
+val to_string : scheme -> string
+val of_string : string -> (scheme, string) result

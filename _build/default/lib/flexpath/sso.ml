@@ -1,0 +1,70 @@
+let pick_cut env ~scheme ~k chain =
+  let n = List.length chain in
+  match scheme with
+  | Ranking.Keyword_first -> n - 1
+  | Ranking.Structure_first | Ranking.Combined ->
+    let rec go i = function
+      | [] -> n - 1
+      | (entry : Relax.Space.entry) :: rest ->
+        if Stats.estimate_answers env.Env.stats entry.query >= float_of_int k then i
+        else go (i + 1) rest
+    in
+    go 0 chain
+
+(* Pruning per §5.1: full strength for structure-first, slack of [m]
+   (the weight of the contains predicates) for Combined, and none at
+   all for keyword-first — "an answer with the worst structural score
+   might still make it to the top-K". *)
+let prune_for scheme penv k =
+  match scheme with
+  | Ranking.Structure_first -> (Some k, 0.0)
+  | Ranking.Combined -> (Some k, Relax.Penalty.max_keyword_score penv)
+  | Ranking.Keyword_first -> (None, 0.0)
+
+let run_with ?(max_steps = 32) ~sort_on_score ~bucketize env ~scheme ~k q =
+  let penv, chain = Common.chain env ~max_steps q in
+  let chain_arr = Array.of_list chain in
+  let metrics = Joins.Exec.fresh_metrics () in
+  let cut = pick_cut env ~scheme ~k chain in
+  (* §5.1: having estimated that relaxations up to [cut] yield K
+     answers, also encode every further relaxation that could still
+     contribute a top-K answer — the smallest j with score bound below
+     the K-th score the [cut]-level answers guarantee.  This keeps the
+     evaluation to a single plan unless the estimate itself was bad. *)
+  let cut =
+    let floor_score = chain_arr.(cut).Relax.Space.score in
+    let rec extend j =
+      if j >= Array.length chain_arr - 1 then j
+      else if Common.unseen_bound scheme penv chain_arr.(j) <= floor_score +. 1e-9 then j
+      else extend (j + 1)
+    in
+    extend cut
+  in
+  let prune_k, prune_slack = prune_for scheme penv k in
+  let strategy = { Joins.Exec.sort_on_score; bucketize; prune_k; prune_slack } in
+  let rec attempt cut restarts passes =
+    let entry = chain_arr.(cut) in
+    Common.Log.debug (fun m ->
+        m "SSO/Hybrid: evaluating cut %d (%d relaxations, score floor %.3f), attempt %d" cut
+          (List.length entry.Relax.Space.ops)
+          entry.Relax.Space.score (restarts + 1));
+    let answers = Common.evaluate ~metrics env penv q entry.ops strategy in
+    let enough =
+      match Common.kth_total scheme k answers with
+      | None -> false
+      | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+    in
+    if enough || cut >= Array.length chain_arr - 1 then
+      {
+        Common.answers = Answer.sort_and_truncate scheme k answers;
+        metrics;
+        relaxations_evaluated = List.length entry.ops;
+        passes;
+        restarts;
+      }
+    else attempt (cut + 1) (restarts + 1) (passes + 1)
+  in
+  attempt cut 0 1
+
+let run ?max_steps env ~scheme ~k q =
+  run_with ?max_steps ~sort_on_score:true ~bucketize:false env ~scheme ~k q

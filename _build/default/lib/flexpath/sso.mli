@@ -1,0 +1,35 @@
+(** SSO — Static Selectivity Order (§5.1.2, Algorithm 1).
+
+    Uses the selectivity estimator to decide {e before evaluation} how
+    many relaxations to encode into a single plan, then evaluates that
+    plan once, keeping intermediate results sorted on score and pruning
+    with threshold + maxScoreGrowth.  When the estimate was too
+    optimistic and fewer than K answers come back, it deepens the
+    encoding and restarts (pseudocode lines 11-12). *)
+
+val run :
+  ?max_steps:int ->
+  Env.t ->
+  scheme:Ranking.scheme ->
+  k:int ->
+  Tpq.Query.t ->
+  Common.result
+
+val pick_cut :
+  Env.t -> scheme:Ranking.scheme -> k:int -> Relax.Space.entry list -> int
+(** Index into the chain of the first entry whose estimated answer
+    count reaches K (keyword-first always encodes the full chain, as
+    §5.1 requires).  Exposed for the estimator ablation bench. *)
+
+val run_with :
+  ?max_steps:int ->
+  sort_on_score:bool ->
+  bucketize:bool ->
+  Env.t ->
+  scheme:Ranking.scheme ->
+  k:int ->
+  Tpq.Query.t ->
+  Common.result
+(** The SSO skeleton with a custom execution strategy — Hybrid is this
+    skeleton with bucketization instead of score sorting.  Pruning
+    strength is derived from the ranking scheme (§5.1). *)

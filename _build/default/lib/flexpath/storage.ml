@@ -1,0 +1,47 @@
+let magic = "FLEXPATH-ENV\x01"
+
+(* Everything except the weight function (closures do not marshal). *)
+type payload = {
+  doc : Xmldom.Doc.t;
+  index : Fulltext.Index.t;
+  stats : Stats.t;
+  hierarchy : Tpq.Hierarchy.t;
+}
+
+let save (env : Env.t) path =
+  try
+    let oc = open_out_bin path in
+    output_string oc magic;
+    Marshal.to_channel oc
+      { doc = env.doc; index = env.index; stats = env.stats; hierarchy = env.hierarchy }
+      [];
+    close_out oc;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ?(weights = Relax.Penalty.uniform) path =
+  try
+    let ic = open_in_bin path in
+    let finish r =
+      close_in ic;
+      r
+    in
+    let header = really_input_string ic (String.length magic) in
+    if header <> magic then
+      finish (Error (Printf.sprintf "%s: not a FleXPath environment file" path))
+    else begin
+      let payload : payload = Marshal.from_channel ic in
+      finish
+        (Ok
+           {
+             Env.doc = payload.doc;
+             index = payload.index;
+             stats = payload.stats;
+             hierarchy = payload.hierarchy;
+             weights;
+           })
+    end
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error (Printf.sprintf "%s: truncated environment file" path)
+  | Failure msg -> Error (Printf.sprintf "%s: %s" path msg)

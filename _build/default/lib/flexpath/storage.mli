@@ -1,0 +1,21 @@
+(** Saving and loading indexed environments.
+
+    Building the index and statistics is a full pass over the document;
+    for repeated querying of the same collection, [save] writes the
+    arena document, inverted index, statistics and type hierarchy to a
+    versioned binary file that [load] restores without re-parsing or
+    re-indexing.
+
+    Predicate weights are functions and cannot be persisted; supply
+    them again at load time (default uniform). *)
+
+val save : Env.t -> string -> (unit, string) result
+(** [save env path]. *)
+
+val load : ?weights:Relax.Penalty.weights -> string -> (Env.t, string) result
+(** [load path] — fails on missing files, foreign files (magic-number
+    check) and version mismatches.  The file must come from the same
+    program version: the format is OCaml's Marshal. *)
+
+val magic : string
+(** First bytes of every environment file. *)

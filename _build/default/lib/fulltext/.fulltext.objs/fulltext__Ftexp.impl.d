@@ -1,0 +1,1 @@
+lib/fulltext/ftexp.ml: Buffer Char Format Hashtbl List Printf Stdlib String Tokenizer

@@ -1,0 +1,1 @@
+lib/fulltext/index.mli: Ftexp Scorer Xmldom

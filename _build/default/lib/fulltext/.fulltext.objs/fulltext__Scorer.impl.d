@@ -1,0 +1,1 @@
+lib/fulltext/scorer.ml: Printf String

@@ -1,0 +1,1 @@
+lib/fulltext/stemmer.ml: Bytes String

@@ -1,0 +1,1 @@
+lib/fulltext/thesaurus.ml: Array Ftexp Int List Map String

@@ -1,0 +1,1 @@
+lib/fulltext/thesaurus.mli: Ftexp

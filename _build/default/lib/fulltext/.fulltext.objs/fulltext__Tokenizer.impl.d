@@ -1,0 +1,1 @@
+lib/fulltext/tokenizer.ml: Buffer Char List String

@@ -1,0 +1,56 @@
+(** Full-text search expressions — the [FTExp] language of the paper's
+    [contains($i, FTExp)] predicate (§2.1).
+
+    An expression is evaluated relative to a context element: it holds on
+    an element when the element's subtree text satisfies it.  Supported
+    forms: keywords (stemmed), conjunction, disjunction, negation,
+    phrases and proximity windows — "as complex as an IR engine can
+    handle" per the paper. *)
+
+type t =
+  | Term of string  (** A single keyword, matched after stemming. *)
+  | And of t * t
+  | Or of t * t
+  | Not of t  (** Satisfied when the operand is not. *)
+  | Phrase of string list  (** Consecutive tokens, in order. *)
+  | Window of int * string list
+      (** [Window (n, ws)]: all of [ws] occur within some span of [n]
+          consecutive tokens, in any order. *)
+
+val term : string -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val not_ : t -> t
+val phrase : string list -> t
+val window : int -> string list -> t
+
+val keywords : t -> string list
+(** All keywords mentioned, in first-occurrence order, unstemmed. *)
+
+val positive_keywords : t -> string list
+(** Keywords not under a [Not] — the terms whose occurrences can
+    contribute evidence to a match. *)
+
+val is_positive : t -> bool
+(** [true] when the expression contains no [Not]: satisfaction is then
+    monotone, i.e. preserved by ancestors ([ad + contains] inference
+    rule of Figure 3 applies unconditionally). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's concrete syntax, e.g.
+    ["XML" and "streaming"]. *)
+
+val to_string : t -> string
+
+type parse_error = { position : int; message : string }
+
+val of_string : string -> (t, parse_error) result
+(** Parses the concrete syntax: quoted words or bare words, [and], [or],
+    [not], parentheses, ["w1 w2"] phrases (a quoted string with spaces),
+    and [window(n, "w1", "w2", ...)]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,309 @@
+module Doc = Xmldom.Doc
+module Tag = Xmldom.Tag
+
+type t = {
+  doc : Doc.t;
+  term_ids : (string, int) Hashtbl.t; (* stemmed term -> tid *)
+  postings : int array array; (* tid -> sorted token positions *)
+  tok_term : int array; (* token position -> tid *)
+  tok_owner : int array; (* token position -> innermost element *)
+  tok_start : int array; (* element -> first subtree token *)
+  tok_end : int array; (* element -> one past last subtree token *)
+  n_tokens : int;
+  scorer : Scorer.t;
+  avg_scope_len : float; (* mean token-range length of text-bearing elements *)
+}
+
+let build ?(scorer = Scorer.default) doc =
+  let term_ids = Hashtbl.create 1024 in
+  let next_tid = ref 0 in
+  let tid_of term =
+    match Hashtbl.find_opt term_ids term with
+    | Some tid -> tid
+    | None ->
+      let tid = !next_tid in
+      incr next_tid;
+      Hashtbl.add term_ids term tid;
+      tid
+  in
+  (* First pass over chunks: assign positions, record term and owner. *)
+  let terms_rev = ref [] in
+  let owners_rev = ref [] in
+  let n_tokens = ref 0 in
+  let n = Doc.size doc in
+  let own_start = Array.make n max_int in
+  let own_end = Array.make n min_int in
+  for c = 0 to Doc.chunk_count doc - 1 do
+    let owner = Doc.chunk_owner doc c in
+    Tokenizer.iter (Doc.chunk_text doc c) (fun w ->
+        if not (Stopwords.is_stopword w) then begin
+          let tid = tid_of (Stemmer.stem w) in
+          let pos = !n_tokens in
+          incr n_tokens;
+          terms_rev := tid :: !terms_rev;
+          owners_rev := owner :: !owners_rev;
+          if pos < own_start.(owner) then own_start.(owner) <- pos;
+          if pos + 1 > own_end.(owner) then own_end.(owner) <- pos + 1
+        end)
+  done;
+  let n_tok = !n_tokens in
+  let tok_term = Array.make (max 1 n_tok) 0 in
+  let tok_owner = Array.make (max 1 n_tok) 0 in
+  List.iteri (fun i tid -> tok_term.(n_tok - 1 - i) <- tid) !terms_rev;
+  List.iteri (fun i owner -> tok_owner.(n_tok - 1 - i) <- owner) !owners_rev;
+  terms_rev := [];
+  owners_rev := [];
+  (* Subtree token ranges: chunks were visited in document order, so each
+     subtree covers a contiguous position range.  Merge child ranges into
+     parents in reverse pre-order. *)
+  let tok_start = own_start and tok_end = own_end in
+  for e = n - 1 downto 1 do
+    match Doc.parent doc e with
+    | None -> ()
+    | Some p ->
+      if tok_start.(e) < tok_start.(p) then tok_start.(p) <- tok_start.(e);
+      if tok_end.(e) > tok_end.(p) then tok_end.(p) <- tok_end.(e)
+  done;
+  for e = 0 to n - 1 do
+    if tok_start.(e) = max_int then begin
+      tok_start.(e) <- 0;
+      tok_end.(e) <- 0
+    end
+  done;
+  (* Postings: counting sort by term id, positions stay ascending. *)
+  let n_terms = !next_tid in
+  let counts = Array.make (max 1 n_terms) 0 in
+  Array.iter (fun tid -> counts.(tid) <- counts.(tid) + 1) (Array.sub tok_term 0 n_tok);
+  let postings = Array.init n_terms (fun tid -> Array.make counts.(tid) 0) in
+  let fill = Array.make (max 1 n_terms) 0 in
+  for pos = 0 to n_tok - 1 do
+    let tid = tok_term.(pos) in
+    postings.(tid).(fill.(tid)) <- pos;
+    fill.(tid) <- fill.(tid) + 1
+  done;
+  let text_bearing = ref 0 in
+  let total_len = ref 0 in
+  for e = 0 to n - 1 do
+    let len = tok_end.(e) - tok_start.(e) in
+    if len > 0 then begin
+      incr text_bearing;
+      total_len := !total_len + len
+    end
+  done;
+  let avg_scope_len =
+    if !text_bearing = 0 then 0.0 else float_of_int !total_len /. float_of_int !text_bearing
+  in
+  {
+    doc;
+    term_ids;
+    postings;
+    tok_term;
+    tok_owner;
+    tok_start;
+    tok_end;
+    n_tokens = n_tok;
+    scorer;
+    avg_scope_len;
+  }
+
+let doc idx = idx.doc
+let scorer idx = idx.scorer
+let n_tokens idx = idx.n_tokens
+let distinct_terms idx = Array.length idx.postings
+
+let tid_opt idx w = Hashtbl.find_opt idx.term_ids (Stemmer.stem w)
+
+let term_positions idx w =
+  match tid_opt idx w with
+  | None -> [||]
+  | Some tid -> idx.postings.(tid)
+
+let tok_range idx e = (idx.tok_start.(e), idx.tok_end.(e))
+
+(* Index of the first element of [a] that is >= x, in [0 .. length a]. *)
+let lower_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_in_range a lo hi =
+  if hi <= lo then 0 else lower_bound a hi - lower_bound a lo
+
+let occurrences idx w lo hi = count_in_range (term_positions idx w) lo hi
+
+let phrase_at idx ws =
+  (* Precompute term ids; None means a word absent from the index. *)
+  match
+    List.fold_right
+      (fun w acc ->
+        match (acc, tid_opt idx w) with
+        | Some tids, Some tid -> Some (tid :: tids)
+        | _ -> None)
+      ws (Some [])
+  with
+  | None -> None
+  | Some tids -> Some (Array.of_list tids)
+
+let phrase_in_range idx ws lo hi =
+  match phrase_at idx ws with
+  | None -> false
+  | Some tids ->
+    let k = Array.length tids in
+    if k = 0 then false
+    else begin
+      let first = idx.postings.(tids.(0)) in
+      let start = lower_bound first lo in
+      let rec try_pos i =
+        if i >= Array.length first then false
+        else
+          let p = first.(i) in
+          if p + k > hi then false
+          else begin
+            let rec all j = j = k || (idx.tok_term.(p + j) = tids.(j) && all (j + 1)) in
+            if all 1 then true else try_pos (i + 1)
+          end
+      in
+      try_pos start
+    end
+
+let window_in_range idx width ws lo hi =
+  let lists = List.map (fun w -> term_positions idx w) ws in
+  if List.exists (fun a -> Array.length a = 0) lists then false
+  else begin
+    let lists = Array.of_list lists in
+    let k = Array.length lists in
+    let ptr = Array.map (fun a -> lower_bound a lo) lists in
+    let in_bounds i = ptr.(i) < Array.length lists.(i) && lists.(i).(ptr.(i)) < hi in
+    let rec go () =
+      if not (Array.for_all Fun.id (Array.init k in_bounds)) then false
+      else begin
+        let min_i = ref 0 and min_p = ref max_int and max_p = ref min_int in
+        for i = 0 to k - 1 do
+          let p = lists.(i).(ptr.(i)) in
+          if p < !min_p then begin
+            min_p := p;
+            min_i := i
+          end;
+          if p > !max_p then max_p := p
+        done;
+        if !max_p - !min_p < width then true
+        else begin
+          ptr.(!min_i) <- ptr.(!min_i) + 1;
+          go ()
+        end
+      end
+    in
+    go ()
+  end
+
+let rec satisfies_range idx f lo hi =
+  match f with
+  | Ftexp.Term w -> occurrences idx w lo hi > 0
+  | Ftexp.And (a, b) -> satisfies_range idx a lo hi && satisfies_range idx b lo hi
+  | Ftexp.Or (a, b) -> satisfies_range idx a lo hi || satisfies_range idx b lo hi
+  | Ftexp.Not a -> not (satisfies_range idx a lo hi)
+  | Ftexp.Phrase ws -> phrase_in_range idx ws lo hi
+  | Ftexp.Window (width, ws) -> window_in_range idx width ws lo hi
+
+let satisfies idx f e = satisfies_range idx f idx.tok_start.(e) idx.tok_end.(e)
+
+module Int_set = Set.Make (Int)
+
+(* Candidate elements for a positive expression: owners of occurrences of
+   positive keywords, plus all their ancestors. *)
+let positive_candidates idx f =
+  let words = Ftexp.positive_keywords f in
+  let acc = ref Int_set.empty in
+  List.iter
+    (fun w ->
+      Array.iter
+        (fun pos ->
+          let e = idx.tok_owner.(pos) in
+          if not (Int_set.mem e !acc) then begin
+            acc := Int_set.add e !acc;
+            List.iter
+              (fun a -> acc := Int_set.add a !acc)
+              (Doc.ancestors idx.doc e)
+          end)
+        (term_positions idx w))
+    words;
+  !acc
+
+let all_satisfying idx f =
+  if Ftexp.is_positive f then
+    Int_set.elements (positive_candidates idx f) |> List.filter (fun e -> satisfies idx f e)
+  else begin
+    let out = ref [] in
+    for e = Doc.size idx.doc - 1 downto 0 do
+      if satisfies idx f e then out := e :: !out
+    done;
+    !out
+  end
+
+let most_specific idx f =
+  let sat = Array.of_list (all_satisfying idx f) in
+  let n = Array.length sat in
+  let keep = ref [] in
+  (* sat is sorted by pre; e is minimal iff the next satisfying element
+     after it does not lie in its subtree. *)
+  for i = n - 1 downto 0 do
+    let e = sat.(i) in
+    let minimal = i + 1 >= n || sat.(i + 1) >= Doc.subtree_end idx.doc e in
+    if minimal then keep := e :: !keep
+  done;
+  !keep
+
+let term_evidence idx w ~tf lo hi =
+  let df = Array.length (term_positions idx w) in
+  Scorer.term_score idx.scorer ~tf ~df ~n_tokens:idx.n_tokens ~scope_len:(hi - lo)
+    ~avg_scope_len:idx.avg_scope_len
+
+let rec raw_score_range idx f lo hi =
+  match f with
+  | Ftexp.Term w ->
+    let c = occurrences idx w lo hi in
+    if c = 0 then 0.0 else term_evidence idx w ~tf:c lo hi
+  | Ftexp.And (a, b) ->
+    if satisfies_range idx a lo hi && satisfies_range idx b lo hi then
+      raw_score_range idx a lo hi +. raw_score_range idx b lo hi
+    else 0.0
+  | Ftexp.Or (a, b) ->
+    let sa = raw_score_range idx a lo hi and sb = raw_score_range idx b lo hi in
+    if satisfies_range idx a lo hi || satisfies_range idx b lo hi then Float.max sa sb +. (0.25 *. Float.min sa sb)
+    else 0.0
+  | Ftexp.Not a -> if satisfies_range idx a lo hi then 0.0 else 1.0
+  | Ftexp.Phrase ws ->
+    if phrase_in_range idx ws lo hi then
+      List.fold_left (fun acc w -> acc +. term_evidence idx w ~tf:1 lo hi) 0.0 ws
+    else 0.0
+  | Ftexp.Window (width, ws) ->
+    if window_in_range idx width ws lo hi then
+      List.fold_left (fun acc w -> acc +. term_evidence idx w ~tf:1 lo hi) 0.0 ws
+    else 0.0
+
+let raw_score idx f e =
+  let lo, hi = tok_range idx e in
+  if satisfies_range idx f lo hi then raw_score_range idx f lo hi else 0.0
+
+let normalized_score idx f e =
+  let denom = raw_score idx f (Doc.root idx.doc) in
+  if denom <= 0.0 then if satisfies idx f e then 1.0 else 0.0
+  else Float.min 1.0 (raw_score idx f e /. denom)
+
+let matches idx f =
+  let nodes = most_specific idx f in
+  let scored = List.map (fun e -> (e, raw_score idx f e)) nodes in
+  let max_raw = List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 scored in
+  let norm = if max_raw <= 0.0 then fun s -> s else fun s -> s /. max_raw in
+  List.map (fun (e, s) -> (e, norm s)) scored
+  |> List.sort (fun (e1, s1) (e2, s2) ->
+         match Float.compare s2 s1 with 0 -> Int.compare e1 e2 | c -> c)
+
+let count_satisfying_with_tag idx f tag =
+  Array.fold_left
+    (fun acc e -> if satisfies idx f e then acc + 1 else acc)
+    0
+    (Doc.by_tag idx.doc tag)

@@ -1,0 +1,64 @@
+(** Inverted index over a document, and evaluation of {!Ftexp}
+    expressions.
+
+    Indexing walks the document's text chunks in document order and
+    assigns each indexed token a globally increasing position, so the
+    tokens of any element's subtree form a contiguous position range
+    [tok_range].  [contains(e, f)] then reduces to range queries on
+    posting lists.  Stopwords are not indexed (positions are assigned
+    only to indexed tokens, so phrases match across elided stopwords);
+    terms are stemmed with {!Stemmer}.
+
+    Following the paper (§5.1), [matches] returns the {e most specific}
+    elements satisfying an expression — as in XRANK [20] and nearest
+    concept queries [29] — with scores normalized to [0, 1]. *)
+
+type t
+
+val build : ?scorer:Scorer.t -> Xmldom.Doc.t -> t
+(** [scorer] selects the keyword-evidence function (default
+    {!Scorer.Tf_idf}; see {!Scorer}). *)
+
+val doc : t -> Xmldom.Doc.t
+val scorer : t -> Scorer.t
+
+val n_tokens : t -> int
+(** Number of indexed (non-stopword) tokens. *)
+
+val distinct_terms : t -> int
+
+val term_positions : t -> string -> int array
+(** [term_positions idx w] is the sorted posting list of [stem w];
+    [[||]] for unknown terms.  Shared: do not mutate. *)
+
+val tok_range : t -> Xmldom.Doc.elem -> int * int
+(** [(lo, hi)]: the subtree of the element covers token positions
+    [lo .. hi - 1]. *)
+
+val satisfies : t -> Ftexp.t -> Xmldom.Doc.elem -> bool
+(** [satisfies idx f e]: does the subtree text of [e] satisfy [f]? *)
+
+val all_satisfying : t -> Ftexp.t -> Xmldom.Doc.elem list
+(** All elements satisfying [f], sorted by pre-order id.  For positive
+    expressions this set is closed under ancestors. *)
+
+val most_specific : t -> Ftexp.t -> Xmldom.Doc.elem list
+(** Elements satisfying [f] with no satisfying descendant, sorted by
+    pre-order id. *)
+
+val raw_score : t -> Ftexp.t -> Xmldom.Doc.elem -> float
+(** tf·idf evidence for [f] within [e]'s subtree; 0 when [e] does not
+    satisfy [f].  Monotone along ancestor paths for positive [f]. *)
+
+val normalized_score : t -> Ftexp.t -> Xmldom.Doc.elem -> float
+(** [raw_score] divided by the document root's raw score (the maximum
+    for positive expressions); always in [0, 1]. *)
+
+val matches : t -> Ftexp.t -> (Xmldom.Doc.elem * float) list
+(** Most specific elements with normalized scores, best first — the
+    ranked (node, score) list the paper's architecture expects from the
+    IR engine. *)
+
+val count_satisfying_with_tag : t -> Ftexp.t -> Xmldom.Tag.t -> int
+(** [#contains] statistic of §4.3.1: how many elements with the given
+    tag satisfy the expression. *)

@@ -1,0 +1,30 @@
+type t = Tf_idf | Bm25 of { k1 : float; b : float }
+
+let default = Tf_idf
+let bm25 ?(k1 = 1.2) ?(b = 0.75) () = Bm25 { k1; b }
+
+let term_score t ~tf ~df ~n_tokens ~scope_len ~avg_scope_len =
+  if tf <= 0 || df <= 0 then 0.0
+  else begin
+    let tf = float_of_int tf and df = float_of_int df in
+    let n = float_of_int n_tokens in
+    match t with
+    | Tf_idf -> (1.0 +. log tf) *. log (1.0 +. (n /. df))
+    | Bm25 { k1; b } ->
+      let idf = log (1.0 +. ((n -. df +. 0.5) /. (df +. 0.5))) in
+      let norm =
+        if avg_scope_len <= 0.0 then 1.0
+        else 1.0 -. b +. (b *. float_of_int scope_len /. avg_scope_len)
+      in
+      idf *. (tf *. (k1 +. 1.0) /. (tf +. (k1 *. norm)))
+  end
+
+let to_string = function
+  | Tf_idf -> "tfidf"
+  | Bm25 { k1; b } -> Printf.sprintf "bm25(k1=%g,b=%g)" k1 b
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tfidf" | "tf-idf" -> Ok Tf_idf
+  | "bm25" -> Ok (bm25 ())
+  | other -> Error (Printf.sprintf "unknown scorer %S (expected tfidf or bm25)" other)

@@ -1,0 +1,29 @@
+(** Keyword-evidence scoring functions.
+
+    §4.1 deliberately does not commit to an IR ranking algorithm ("our
+    intention is not to propose yet another ranking algorithm for
+    keyword search"), so the index takes the scorer as a parameter.
+    Two standard choices are provided; both consume the same term
+    statistics. *)
+
+type t =
+  | Tf_idf
+      (** [(1 + ln tf) · ln(1 + N/df)] per matched term — the default,
+          monotone along ancestor paths. *)
+  | Bm25 of { k1 : float; b : float }
+      (** Okapi BM25 with element-length normalization.  Longer scopes
+          are discounted, so scores are {e not} monotone along ancestor
+          paths (an exact paragraph can outscore its section). *)
+
+val default : t
+val bm25 : ?k1:float -> ?b:float -> unit -> t
+(** Standard parameters k1 = 1.2, b = 0.75. *)
+
+val term_score :
+  t -> tf:int -> df:int -> n_tokens:int -> scope_len:int -> avg_scope_len:float -> float
+(** Evidence contributed by one term occurring [tf] times in a scope of
+    [scope_len] tokens; [df] is the term's collection frequency and
+    [n_tokens] the collection size. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result

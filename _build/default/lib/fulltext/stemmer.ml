@@ -1,0 +1,207 @@
+(* A faithful implementation of the original Porter algorithm, following
+   the step structure of the 1980 paper.  The word is held in a mutable
+   buffer [b] with logical end [k] (inclusive index of last character). *)
+
+type state = { mutable b : Bytes.t; mutable k : int }
+
+let is_letter c = c >= 'a' && c <= 'z'
+
+(* [cons st i] is true when the character at [i] is a consonant, using
+   Porter's rule: 'y' is a consonant when at position 0 or preceded by a
+   vowel position (i.e. preceded by a consonant makes it a vowel). *)
+let rec cons st i =
+  match Bytes.get st.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (cons st (i - 1))
+  | _ -> true
+
+(* [measure st j] is m in the Porter paper, counted over [0..j]. *)
+let measure st j =
+  let n = ref 0 in
+  let i = ref 0 in
+  let continue_ = ref true in
+  (* skip initial consonants *)
+  while !continue_ do
+    if !i > j then continue_ := false
+    else if not (cons st !i) then continue_ := false
+    else incr i
+  done;
+  if !i <= j then begin
+    let in_vowel = ref true in
+    incr i;
+    while !i <= j do
+      let c = cons st !i in
+      if !in_vowel && c then begin
+        incr n;
+        in_vowel := false
+      end
+      else if (not !in_vowel) && not c then in_vowel := true;
+      incr i
+    done;
+    if not !in_vowel then () (* ended in consonant run already counted *)
+  end;
+  !n
+
+let vowel_in_stem st j =
+  let rec go i = if i > j then false else if not (cons st i) then true else go (i + 1) in
+  go 0
+
+let double_cons st j = j >= 1 && Bytes.get st.b j = Bytes.get st.b (j - 1) && cons st j
+
+(* consonant-vowel-consonant ending, where the final consonant is not w,
+   x or y: signals a short stem like "hop" -> "hopping". *)
+let cvc st i =
+  i >= 2
+  && cons st i
+  && (not (cons st (i - 1)))
+  && cons st (i - 2)
+  &&
+  match Bytes.get st.b i with
+  | 'w' | 'x' | 'y' -> false
+  | _ -> true
+
+let ends st suffix =
+  let ls = String.length suffix in
+  let off = st.k - ls + 1 in
+  if off < 0 then false
+  else begin
+    let rec eq i = i = ls || (Bytes.get st.b (off + i) = suffix.[i] && eq (i + 1)) in
+    eq 0
+  end
+
+(* Length of the stem before [suffix] (index of its last char). *)
+let stem_end st suffix = st.k - String.length suffix
+
+let set_to st j replacement =
+  (* Replace the suffix after position [j] with [replacement]. *)
+  let lr = String.length replacement in
+  Bytes.blit_string replacement 0 st.b (j + 1) lr;
+  st.k <- j + lr
+
+let replace_if_measure st suffix replacement threshold =
+  if ends st suffix then begin
+    let j = stem_end st suffix in
+    if measure st j > threshold then set_to st j replacement;
+    true
+  end
+  else false
+
+(* Step 1a: plurals. *)
+let step1a st =
+  if ends st "sses" then st.k <- st.k - 2
+  else if ends st "ies" then set_to st (stem_end st "ies") "i"
+  else if ends st "ss" then ()
+  else if ends st "s" then st.k <- st.k - 1
+
+(* Step 1b: -ed and -ing. *)
+let step1b st =
+  let cleanup () =
+    if ends st "at" then set_to st (stem_end st "at") "ate"
+    else if ends st "bl" then set_to st (stem_end st "bl") "ble"
+    else if ends st "iz" then set_to st (stem_end st "iz") "ize"
+    else if double_cons st st.k then begin
+      match Bytes.get st.b st.k with
+      | 'l' | 's' | 'z' -> ()
+      | _ -> st.k <- st.k - 1
+    end
+    else if measure st st.k = 1 && cvc st st.k then set_to st st.k "e"
+  in
+  if ends st "eed" then begin
+    let j = stem_end st "eed" in
+    if measure st j > 0 then st.k <- st.k - 1
+  end
+  else if ends st "ed" then begin
+    let j = stem_end st "ed" in
+    if vowel_in_stem st j then begin
+      st.k <- j;
+      cleanup ()
+    end
+  end
+  else if ends st "ing" then begin
+    let j = stem_end st "ing" in
+    if vowel_in_stem st j then begin
+      st.k <- j;
+      cleanup ()
+    end
+  end
+
+(* Step 1c: terminal y -> i when there is a vowel in the stem. *)
+let step1c st =
+  if ends st "y" && vowel_in_stem st (st.k - 1) then Bytes.set st.b st.k 'i'
+
+let step2_pairs =
+  [
+    ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+    ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent");
+    ("eli", "e"); ("ousli", "ous"); ("ization", "ize"); ("ation", "ate");
+    ("ator", "ate"); ("alism", "al"); ("iveness", "ive"); ("fulness", "ful");
+    ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+  ]
+
+let step3_pairs =
+  [
+    ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic");
+    ("ical", "ic"); ("ful", ""); ("ness", "");
+  ]
+
+let run_pairs st pairs =
+  let rec go = function
+    | [] -> ()
+    | (suffix, replacement) :: rest ->
+      if replace_if_measure st suffix replacement 0 then () else go rest
+  in
+  go pairs
+
+let step4_suffixes =
+  [
+    "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment";
+    "ent"; "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize";
+  ]
+
+(* Step 4: drop suffix when measure of the stem exceeds 1.  -ion only
+   drops after s or t. *)
+let step4 st =
+  let drop suffix =
+    let j = stem_end st suffix in
+    if measure st j > 1 then st.k <- j;
+    true
+  in
+  let rec go = function
+    | [] ->
+      if ends st "ion" then begin
+        let j = stem_end st "ion" in
+        if j >= 0 && (Bytes.get st.b j = 's' || Bytes.get st.b j = 't') && measure st j > 1 then
+          st.k <- j
+      end
+    | suffix :: rest -> if ends st suffix then ignore (drop suffix) else go rest
+  in
+  go step4_suffixes
+
+(* Step 5a: remove terminal e. *)
+let step5a st =
+  if ends st "e" then begin
+    let j = st.k - 1 in
+    let m = measure st j in
+    if m > 1 || (m = 1 && not (cvc st j)) then st.k <- j
+  end
+
+(* Step 5b: -ll -> -l when m > 1. *)
+let step5b st =
+  if Bytes.get st.b st.k = 'l' && double_cons st st.k && measure st st.k > 1 then
+    st.k <- st.k - 1
+
+let stem w =
+  let n = String.length w in
+  if n < 3 || not (String.for_all is_letter w) then w
+  else begin
+    let st = { b = Bytes.of_string w; k = n - 1 } in
+    step1a st;
+    step1b st;
+    step1c st;
+    run_pairs st step2_pairs;
+    run_pairs st step3_pairs;
+    step4 st;
+    step5a st;
+    step5b st;
+    Bytes.sub_string st.b 0 (st.k + 1)
+  end

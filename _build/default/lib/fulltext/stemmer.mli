@@ -1,0 +1,11 @@
+(** The Porter stemming algorithm (Porter, 1980).
+
+    Maps inflected English word forms onto a common stem, e.g.
+    ["streaming"], ["streamed"] and ["streams"] all stem to ["stream"].
+    The paper's full-text predicate relies on an IR engine with stemming;
+    this module is that substrate. *)
+
+val stem : string -> string
+(** [stem w] is the Porter stem of [w].  [w] is expected to be lowercase
+    ASCII (as produced by {!Tokenizer}); words shorter than three
+    characters and words containing non-letters are returned unchanged. *)

@@ -1,0 +1,9 @@
+(** A small English stopword list.
+
+    Stopwords are skipped during indexing and query analysis so that
+    scores are not dominated by function words. *)
+
+val is_stopword : string -> bool
+(** [is_stopword w] — [w] must be lowercase. *)
+
+val all : string list

@@ -1,0 +1,67 @@
+module Smap = Map.Make (String)
+
+(* ring id per word, and the words of each ring *)
+type t = { ring_of : int Smap.t; rings : string list array }
+
+let empty = { ring_of = Smap.empty; rings = [||] }
+
+let normalize w = String.lowercase_ascii (String.trim w)
+
+let add_ring t ws =
+  let ws = List.sort_uniq String.compare (List.map normalize ws) in
+  let ws = List.filter (fun w -> w <> "") ws in
+  if List.length ws < 2 then t
+  else begin
+    (* merge with any existing rings the words belong to *)
+    let ring_ids =
+      List.sort_uniq Int.compare (List.filter_map (fun w -> Smap.find_opt w t.ring_of) ws)
+    in
+    let merged =
+      List.sort_uniq String.compare
+        (ws @ List.concat_map (fun id -> t.rings.(id)) ring_ids)
+    in
+    let new_id = Array.length t.rings in
+    let rings = Array.append t.rings [| merged |] in
+    let ring_of = List.fold_left (fun acc w -> Smap.add w new_id acc) t.ring_of merged in
+    { ring_of; rings }
+  end
+
+let of_list ringss = List.fold_left add_ring empty ringss
+
+let synonyms t w =
+  let w = normalize w in
+  match Smap.find_opt w t.ring_of with
+  | None -> []
+  | Some id -> List.filter (fun w' -> w' <> w) t.rings.(id)
+
+let is_empty t = Smap.is_empty t.ring_of
+
+(* Expansion must only broaden the expression's matches (it is a
+   relaxation), so negated subtrees are left alone: widening a keyword
+   under [Not] would narrow the overall match. *)
+let rec expand t e =
+  match e with
+  | Ftexp.Term w -> (
+    match synonyms t w with
+    | [] -> e
+    | syns -> List.fold_left (fun acc s -> Ftexp.Or (acc, Ftexp.Term s)) (Ftexp.Term w) syns)
+  | Ftexp.And (a, b) -> Ftexp.And (expand t a, expand t b)
+  | Ftexp.Or (a, b) -> Ftexp.Or (expand t a, expand t b)
+  | Ftexp.Not _ -> e
+  | Ftexp.Phrase _ | Ftexp.Window _ -> e
+
+let parse_file path =
+  try
+    let ic = open_in path in
+    let rec lines acc =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        Ok acc
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then lines acc
+        else lines (add_ring acc (String.split_on_char ',' line))
+    in
+    lines empty
+  with Sys_error msg -> Error msg

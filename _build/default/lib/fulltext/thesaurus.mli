@@ -1,0 +1,34 @@
+(** Thesaurus-based keyword expansion (§3.4).
+
+    The paper's third "other relaxation" replaces keywords with more
+    general ones via a thesaurus, and notes such relaxations "can
+    already be performed by a separate IR engine before returning its
+    results".  This module is that pre-processing step: it rewrites a
+    full-text expression so every keyword also matches its declared
+    synonyms.  It composes with, and is orthogonal to, the structural
+    relaxations. *)
+
+type t
+
+val empty : t
+
+val add_ring : t -> string list -> t
+(** [add_ring t ws] declares the words of [ws] mutually synonymous
+    (lowercased).  Rings merge when they share a word. *)
+
+val of_list : string list list -> t
+
+val synonyms : t -> string -> string list
+(** Synonyms of a word, excluding the word itself; sorted. *)
+
+val is_empty : t -> bool
+
+val expand : t -> Ftexp.t -> Ftexp.t
+(** Rewrites every positively-occurring [Term w] with synonyms into the
+    disjunction of [w] and its synonyms.  Negated subtrees, phrases and
+    windows are left unchanged: expansion must only broaden matches,
+    and widening a keyword under [Not] would narrow them. *)
+
+val parse_file : string -> (t, string) result
+(** One comma-separated synonym ring per line; [#] comments and blank
+    lines ignored. *)

@@ -1,0 +1,31 @@
+let is_word_byte c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | c -> Char.code c >= 128
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let iter s f =
+  let n = String.length s in
+  let b = Buffer.create 16 in
+  let flush () =
+    if Buffer.length b > 0 then begin
+      f (Buffer.contents b);
+      Buffer.clear b
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if is_word_byte c then Buffer.add_char b (lower c) else flush ()
+  done;
+  flush ()
+
+let tokens s =
+  let acc = ref [] in
+  iter s (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let count s =
+  let n = ref 0 in
+  iter s (fun _ -> incr n);
+  !n

@@ -1,0 +1,15 @@
+(** Lexical analysis of character data.
+
+    Tokens are maximal runs of ASCII letters and digits, lowercased.
+    Bytes >= 128 are treated as letters so UTF-8 words survive as single
+    tokens (without case folding). *)
+
+val tokens : string -> string list
+(** [tokens s] is the token list of [s], in order. *)
+
+val iter : string -> (string -> unit) -> unit
+(** [iter s f] applies [f] to each token of [s] without building a
+    list. *)
+
+val count : string -> int
+(** Number of tokens in [s]. *)

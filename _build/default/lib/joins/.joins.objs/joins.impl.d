@@ -1,0 +1,1 @@
+lib/joins/joins.ml: Encoded Exec Structural_join

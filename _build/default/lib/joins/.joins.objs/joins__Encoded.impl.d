@@ -1,0 +1,1 @@
+lib/joins/encoded.ml: Array Format Fulltext Hashtbl Int List Option Printf Relax String Tpq

@@ -1,0 +1,1 @@
+lib/joins/encoded.mli: Format Fulltext Relax Tpq

@@ -1,0 +1,1 @@
+lib/joins/exec.ml: Array Either Encoded Float Fulltext Hashtbl Int List Relax String Structural_join Tpq Xmldom

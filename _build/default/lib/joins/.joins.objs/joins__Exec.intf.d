@@ -1,0 +1,1 @@
+lib/joins/exec.mli: Encoded Fulltext Relax Tpq Xmldom

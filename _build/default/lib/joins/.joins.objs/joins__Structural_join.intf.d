@@ -1,0 +1,1 @@
+lib/joins/structural_join.mli: Xmldom

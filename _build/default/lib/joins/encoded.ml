@@ -1,0 +1,124 @@
+module Query = Tpq.Query
+module Op = Relax.Op
+
+type var_spec = {
+  var : int;
+  tag : string option;
+  attrs : Tpq.Pred.attr_pred list;
+  required_contains : Fulltext.Ftexp.t list;
+  anchor : (int * Query.axis) option;
+  optional : bool;
+}
+
+type t = {
+  original : Query.t;
+  specs : var_spec list; (* anchor-before-spec order, root first *)
+  distinguished : int;
+  slots : (int, int) Hashtbl.t;
+  vars : int array;
+}
+
+(* Information retained for a deleted variable: what it looked like and
+   where it was attached at deletion time. *)
+type tombstone = { t_tag : string option; t_attrs : Tpq.Pred.attr_pred list; t_anchor : int * Query.axis }
+
+let of_ops ?(hierarchy = Tpq.Hierarchy.empty) orig ops =
+  let rec replay q tombstones = function
+    | [] -> Ok (q, tombstones)
+    | op :: rest -> (
+      match op with
+      | Op.Leaf_deletion v -> (
+        match Query.parent q v with
+        | None -> Error (Printf.sprintf "cannot delete $%d: no parent" v)
+        | Some anchor -> (
+          match Op.apply ~hierarchy q op with
+          | Error msg -> Error (Op.to_string op ^ ": " ^ msg)
+          | Ok q' ->
+            let n = Query.node q v in
+            let tomb = { t_tag = n.tag; t_attrs = n.attrs; t_anchor = anchor } in
+            replay q' ((v, tomb) :: tombstones) rest))
+      | _ -> (
+        match Op.apply ~hierarchy q op with
+        | Error msg -> Error (Op.to_string op ^ ": " ^ msg)
+        | Ok q' -> replay q' tombstones rest))
+  in
+  match replay orig [] ops with
+  | Error _ as e -> e
+  | Ok (final, tombstones) ->
+    (* children map across live and deleted variables *)
+    let kids = Hashtbl.create 16 in
+    let add_kid p c = Hashtbl.replace kids p (c :: Option.value ~default:[] (Hashtbl.find_opt kids p)) in
+    List.iter
+      (fun v ->
+        match Query.parent final v with
+        | None -> ()
+        | Some (p, _) -> add_kid p v)
+      (Query.vars final);
+    List.iter (fun (v, tomb) -> add_kid (fst tomb.t_anchor) v) tombstones;
+    let spec_of v =
+      match List.assoc_opt v tombstones with
+      | Some tomb ->
+        {
+          var = v;
+          tag = tomb.t_tag;
+          attrs = tomb.t_attrs;
+          required_contains = [];
+          anchor = Some tomb.t_anchor;
+          optional = true;
+        }
+      | None ->
+        let n = Query.node final v in
+        {
+          var = v;
+          tag = n.tag;
+          attrs = n.attrs;
+          required_contains = n.contains;
+          anchor = Query.parent final v;
+          optional = false;
+        }
+    in
+    let rec dfs v acc =
+      let children = List.sort Int.compare (Option.value ~default:[] (Hashtbl.find_opt kids v)) in
+      List.fold_left (fun acc c -> dfs c acc) (spec_of v :: acc) children
+    in
+    let specs = List.rev (dfs (Query.root final) []) in
+    let vars = Array.of_list (List.map (fun s -> s.var) specs) in
+    let slots = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.replace slots v i) vars;
+    Ok { original = orig; specs; distinguished = Query.distinguished final; slots; vars }
+
+let of_ops_exn ?hierarchy orig ops =
+  match of_ops ?hierarchy orig ops with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Encoded.of_ops_exn: " ^ msg)
+
+let original t = t.original
+let specs t = t.specs
+let spec t v = List.find (fun s -> s.var = v) t.specs
+let distinguished t = t.distinguished
+let var_count t = Array.length t.vars
+
+let slot_of_var t v =
+  match Hashtbl.find_opt t.slots v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Encoded.slot_of_var: unknown variable $%d" v)
+
+let var_of_slot t i = t.vars.(i)
+
+let pp fmt t =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "$%d:%s%s%s%s@."
+        s.var
+        (match s.tag with Some tg -> tg | None -> "*")
+        (match s.anchor with
+        | None -> " (root)"
+        | Some (p, Query.Child) -> Printf.sprintf " child-of $%d" p
+        | Some (p, Query.Descendant) -> Printf.sprintf " desc-of $%d" p)
+        (if s.optional then " optional" else "")
+        (if s.required_contains = [] then ""
+         else
+           " contains:"
+           ^ String.concat ","
+               (List.map Fulltext.Ftexp.to_string s.required_contains)))
+    t.specs

@@ -1,0 +1,52 @@
+(** A query with relaxations encoded as evaluation options (§5.2.1).
+
+    SSO and Hybrid evaluate one plan that encodes several relaxations at
+    once, as in tree-pattern-relaxation plans [3]: a generalized axis
+    accepts descendants where the original asked for children, a
+    promoted subtree hangs off an ancestor variable, a deleted leaf
+    becomes an {e optional} match ("predicate dropping makes predicates
+    optional, not lost"), and a promoted contains predicate is required
+    of an ancestor instead of the original variable.
+
+    [of_ops] replays an operator sequence over the original query and
+    produces one variable spec per original variable, in an order where
+    every spec's anchor precedes it. *)
+
+type var_spec = {
+  var : int;  (** Original variable id. *)
+  tag : string option;
+  attrs : Tpq.Pred.attr_pred list;
+  required_contains : Fulltext.Ftexp.t list;
+      (** Contains predicates that must hold at this variable under the
+          encoded query (after promotions). *)
+  anchor : (int * Tpq.Query.axis) option;
+      (** Effective attachment after the operators; [None] for the
+          root. *)
+  optional : bool;
+      (** True when some operator deleted this variable: a match may
+          leave it unbound. *)
+}
+
+type t
+
+val of_ops :
+  ?hierarchy:Tpq.Hierarchy.t -> Tpq.Query.t -> Relax.Op.t list -> (t, string) result
+(** Fails when an operator in the sequence is inapplicable at its
+    position. *)
+
+val of_ops_exn : ?hierarchy:Tpq.Hierarchy.t -> Tpq.Query.t -> Relax.Op.t list -> t
+
+val original : t -> Tpq.Query.t
+val specs : t -> var_spec list
+(** Anchor-before-spec order; the first spec is the root. *)
+
+val spec : t -> int -> var_spec
+val distinguished : t -> int
+val var_count : t -> int
+
+val slot_of_var : t -> int -> int
+(** Dense slot index used by the tuple executor. *)
+
+val var_of_slot : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

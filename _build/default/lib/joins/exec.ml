@@ -1,0 +1,343 @@
+module Doc = Xmldom.Doc
+module Index = Fulltext.Index
+module Ftexp = Fulltext.Ftexp
+module Pred = Tpq.Pred
+module Query = Tpq.Query
+
+type env = { doc : Doc.t; index : Index.t; penalty : Relax.Penalty.t }
+
+type answer = {
+  target : Doc.elem;
+  sscore : float;
+  kscore : float;
+  satisfied : Pred.t list;
+  failed : Pred.t list;
+  bindings : (int * Doc.elem) list;
+}
+
+type strategy = {
+  sort_on_score : bool;
+  bucketize : bool;
+  prune_k : int option;
+  prune_slack : float;
+}
+
+let exact_strategy =
+  { sort_on_score = false; bucketize = false; prune_k = None; prune_slack = 0.0 }
+
+type metrics = {
+  mutable tuples_produced : int;
+  mutable tuples_pruned : int;
+  mutable score_sorted_tuples : int;
+  mutable buckets_touched : int;
+  mutable stages : int;
+}
+
+let fresh_metrics () =
+  { tuples_produced = 0; tuples_pruned = 0; score_sorted_tuples = 0; buckets_touched = 0; stages = 0 }
+
+(* A tuple in flight: bindings per slot (-1 unbound / not yet reached),
+   the mask of scored predicates already found satisfied, and the
+   running score. *)
+type tuple = { bindings : int array; mask : int; score : float }
+
+(* Compiled pipeline: for each stage (slot), the scored closure
+   predicates that become fully determined once that slot is bound. *)
+type check = { pred_ix : int; pred : Pred.t; pen : float }
+
+type compiled = {
+  enc : Encoded.t;
+  scored_preds : Pred.t array; (* structural + contains preds of the closure *)
+  penalties : float array;
+  checks : check list array; (* per stage *)
+  remaining : float array; (* Σ penalties of checks at stages > s — maxScoreGrowth *)
+  live : int array array;
+      (* live.(s): slots still needed after stage s — anchors of later
+         specs, variables of later checks, and the distinguished slot.
+         Dead slots are projected away and tuples deduplicated, which
+         keeps branchy queries from exploding combinatorially. *)
+  base : float;
+  dist_slot : int;
+  n_slots : int;
+}
+
+let compile env enc =
+  let penv = env.penalty in
+  let scored_preds = Array.of_list (Relax.Penalty.scored_preds penv) in
+  let n_preds = Array.length scored_preds in
+  if n_preds > 62 then
+    invalid_arg "Exec.compile: query closure has more than 62 scored predicates";
+  let penalties = Array.map (Relax.Penalty.predicate_penalty penv) scored_preds in
+  let n_slots = Encoded.var_count enc in
+  let slot_of v = Encoded.slot_of_var enc v in
+  let checks = Array.make n_slots [] in
+  Array.iteri
+    (fun ix p ->
+      let stage = List.fold_left (fun acc v -> max acc (slot_of v)) 0 (Pred.vars p) in
+      checks.(stage) <- { pred_ix = ix; pred = p; pen = penalties.(ix) } :: checks.(stage))
+    scored_preds;
+  let remaining = Array.make n_slots 0.0 in
+  for s = n_slots - 2 downto 0 do
+    remaining.(s) <-
+      remaining.(s + 1) +. List.fold_left (fun acc c -> acc +. c.pen) 0.0 checks.(s + 1)
+  done;
+  let dist_slot = slot_of (Encoded.distinguished enc) in
+  let specs = Array.of_list (Encoded.specs enc) in
+  let live =
+    Array.init n_slots (fun s ->
+        let needed = Hashtbl.create 8 in
+        Hashtbl.replace needed dist_slot ();
+        for s' = s + 1 to n_slots - 1 do
+          (match specs.(s').Encoded.anchor with
+          | Some (p, _) -> Hashtbl.replace needed (slot_of p) ()
+          | None -> ());
+          List.iter
+            (fun c ->
+              List.iter (fun v -> Hashtbl.replace needed (slot_of v) ()) (Pred.vars c.pred))
+            checks.(s')
+        done;
+        Hashtbl.fold (fun slot () acc -> slot :: acc) needed []
+        |> List.filter (fun slot -> slot <= s)
+        |> List.sort Int.compare |> Array.of_list)
+  in
+  {
+    enc;
+    scored_preds;
+    penalties;
+    checks;
+    remaining;
+    live;
+    base = Relax.Penalty.base_score penv;
+    dist_slot;
+    n_slots;
+  }
+
+(* Does predicate [p] hold for the (partial) bindings?  All variables of
+   [p] are guaranteed bound-or-unbound-final when this is called. *)
+let pred_holds env cp bindings p =
+  let b v = bindings.(Encoded.slot_of_var cp.enc v) in
+  match p with
+  | Pred.Pc (x, y) ->
+    let ex = b x and ey = b y in
+    ex >= 0 && ey >= 0 && Doc.is_parent env.doc ex ey
+  | Pred.Ad (x, y) ->
+    let ex = b x and ey = b y in
+    ex >= 0 && ey >= 0 && Doc.is_ancestor env.doc ex ey
+  | Pred.Contains (x, f) ->
+    let ex = b x in
+    ex >= 0 && Index.satisfies env.index f ex
+  | Pred.Tag_eq (x, t) ->
+    let ex = b x in
+    ex >= 0 && String.equal (Doc.tag_name env.doc ex) t
+  | Pred.Attr (x, _) -> b x >= 0
+
+(* Apply the checks of stage [s] to a tuple whose slot [s] was just
+   decided, updating mask and score. *)
+let settle env cp s t =
+  List.fold_left
+    (fun t c ->
+      if pred_holds env cp t.bindings c.pred then { t with mask = t.mask lor (1 lsl c.pred_ix) }
+      else { t with score = t.score -. c.pen })
+    t cp.checks.(s)
+
+let hierarchy env = Relax.Penalty.hierarchy env.penalty
+
+let node_satisfies env (spec : Encoded.var_spec) e =
+  (match spec.tag with
+  | None -> true
+  | Some t ->
+    Tpq.Hierarchy.matches (hierarchy env) ~query_tag:t ~element_tag:(Doc.tag_name env.doc e))
+  && List.for_all (fun p -> Pred.eval_attr p (Doc.attribute env.doc e)) spec.attrs
+  && List.for_all (fun f -> Index.satisfies env.index f e) spec.required_contains
+
+let candidate_pool env (spec : Encoded.var_spec) =
+  Tpq.Semantics.candidates ~hierarchy:(hierarchy env) env.doc
+    (Query.node_spec ?tag:spec.tag ())
+
+(* Candidates for binding [spec] below anchor element [anchor]. *)
+let candidates_below env spec axis anchor =
+  let pool = candidate_pool env spec in
+  match axis with
+  | Query.Child ->
+    List.filter (node_satisfies env spec) (Structural_join.children_with_tag env.doc pool anchor)
+  | Query.Descendant ->
+    let lo, hi = Structural_join.subtree_slice env.doc pool anchor in
+    let out = ref [] in
+    for i = hi - 1 downto lo do
+      if node_satisfies env spec pool.(i) then out := pool.(i) :: !out
+    done;
+    !out
+
+(* Keyword score: each contains predicate of the original query
+   contributes the normalized IR score of the answer element itself —
+   the widest scope a relaxation could promote the predicate to within
+   this answer.  Evaluating at the answer node (rather than at some
+   embedding's binding) makes the keyword score a function of the
+   answer alone, so all algorithms assign identical scores regardless
+   of which embedding they discovered first. *)
+let keyword_score env target contains_preds =
+  List.fold_left
+    (fun acc (_, f) ->
+      if Index.satisfies env.index f target then
+        acc +. Index.normalized_score env.index f target
+      else acc)
+    0.0 contains_preds
+
+let prune_threshold cp metrics k s tuples =
+  (* Guaranteed final score of the current k-th best distinct target:
+     every tuple's score can still drop by at most remaining(s). *)
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let target = t.bindings.(cp.dist_slot) in
+      if target >= 0 then begin
+        let lower = t.score -. cp.remaining.(s) in
+        match Hashtbl.find_opt best target with
+        | Some l when l >= lower -> ()
+        | _ -> Hashtbl.replace best target lower
+      end)
+    tuples;
+  let lowers = Hashtbl.fold (fun _ l acc -> l :: acc) best [] in
+  if List.length lowers < k then None
+  else begin
+    ignore metrics;
+    let sorted = List.sort (fun a b -> Float.compare b a) lowers in
+    Some (List.nth sorted (k - 1))
+  end
+
+let run ?(metrics = fresh_metrics ()) env enc strategy =
+  let cp = compile env enc in
+  let specs = Array.of_list (Encoded.specs enc) in
+  let n = cp.n_slots in
+  (* stage 0: scan for the root spec *)
+  let root_spec = specs.(0) in
+  let init =
+    Array.fold_right
+      (fun e acc ->
+        if node_satisfies env root_spec e then begin
+          let bindings = Array.make n (-1) in
+          bindings.(0) <- e;
+          settle env cp 0 { bindings; mask = 0; score = cp.base } :: acc
+        end
+        else acc)
+      (candidate_pool env root_spec)
+      []
+  in
+  metrics.tuples_produced <- metrics.tuples_produced + List.length init;
+  (* Dead-column projection: tuples that agree on the satisfied-set and
+     on every binding still referenced by later stages are
+     interchangeable (the score is a function of the mask), so keep one
+     representative.  This is what keeps cross-products of sibling
+     branches from exploding. *)
+  let project s tuples =
+    let live = cp.live.(s) in
+    let seen = Hashtbl.create 256 in
+    List.filter
+      (fun t ->
+        let key = (t.mask, Array.map (fun slot -> t.bindings.(slot)) live) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      tuples
+  in
+  let apply_strategy s tuples =
+    let tuples =
+      match strategy.prune_k with
+      | Some k when s >= cp.dist_slot -> (
+        match prune_threshold cp metrics k s tuples with
+        | None -> tuples
+        | Some threshold ->
+          let kept =
+            List.filter (fun t -> t.score +. strategy.prune_slack >= threshold -. 1e-9) tuples
+          in
+          metrics.tuples_pruned <- metrics.tuples_pruned + (List.length tuples - List.length kept);
+          kept)
+      | _ -> tuples
+    in
+    if strategy.sort_on_score then begin
+      metrics.score_sorted_tuples <- metrics.score_sorted_tuples + List.length tuples;
+      List.stable_sort (fun a b -> Float.compare b.score a.score) tuples
+    end
+    else if strategy.bucketize then begin
+      (* Hybrid's bucketization (§5.2.3): a bucket per satisfied-
+         predicate set, identified by the tuple's mask.  Maintaining the
+         buckets costs one hash upsert per tuple; ordering them on score
+         costs a sort of the (few) bucket keys only — never of the
+         tuples, which stay in node-id order. *)
+      let buckets = Hashtbl.create 64 in
+      List.iter
+        (fun t -> if not (Hashtbl.mem buckets t.mask) then Hashtbl.replace buckets t.mask t.score)
+        tuples;
+      metrics.buckets_touched <- metrics.buckets_touched + Hashtbl.length buckets;
+      let keys = Hashtbl.fold (fun mask score acc -> (mask, score) :: acc) buckets [] in
+      ignore (List.sort (fun (_, s1) (_, s2) -> Float.compare s2 s1) keys);
+      tuples
+    end
+    else tuples
+  in
+  let step tuples s =
+    metrics.stages <- metrics.stages + 1;
+    let spec = specs.(s) in
+    let anchor_slot, axis =
+      match spec.anchor with
+      | Some (p, a) -> (Encoded.slot_of_var enc p, a)
+      | None -> invalid_arg "Exec.run: non-root spec without anchor"
+    in
+    let extend t e =
+      let bindings = Array.copy t.bindings in
+      bindings.(s) <- e;
+      settle env cp s { t with bindings }
+    in
+    let out =
+      List.concat_map
+        (fun t ->
+          let anchor = t.bindings.(anchor_slot) in
+          if anchor < 0 then [ settle env cp s t ]
+          else begin
+            match candidates_below env spec axis anchor with
+            | [] -> if spec.optional then [ settle env cp s t ] else []
+            | cands -> List.map (extend t) cands
+          end)
+        tuples
+    in
+    metrics.tuples_produced <- metrics.tuples_produced + List.length out;
+    apply_strategy s (project s out)
+  in
+  let final = ref (apply_strategy 0 (project 0 init)) in
+  for s = 1 to n - 1 do
+    final := step !final s
+  done;
+  (* One answer per distinct distinguished binding: keep the embedding
+     with the best structural score (the keyword score depends only on
+     the answer node). *)
+  let contains_preds = Query.contains_preds (Relax.Penalty.original env.penalty) in
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let target = t.bindings.(cp.dist_slot) in
+      if target >= 0 then begin
+        let better =
+          match Hashtbl.find_opt best target with
+          | None -> true
+          | Some t' -> t.score > t'.score +. 1e-12
+        in
+        if better then Hashtbl.replace best target t
+      end)
+    !final;
+  Hashtbl.fold
+    (fun target t acc ->
+      let ks = keyword_score env target contains_preds in
+      let satisfied, failed =
+        Array.to_list cp.scored_preds
+        |> List.mapi (fun ix p -> (t.mask land (1 lsl ix) <> 0, p))
+        |> List.partition_map (fun (sat, p) -> if sat then Either.Left p else Either.Right p)
+      in
+      let bindings =
+        Array.to_list t.bindings
+        |> List.mapi (fun slot e -> (Encoded.var_of_slot enc slot, e))
+        |> List.filter (fun (_, e) -> e >= 0)
+      in
+      { target; sscore = t.score; kscore = ks; satisfied; failed; bindings } :: acc)
+    best []

@@ -1,0 +1,68 @@
+(** Scored evaluation of an encoded query — the common machinery behind
+    the three top-K algorithms (§5).
+
+    The executor processes the variable specs of an {!Encoded.t} as a
+    left-deep pipeline: a scan for the root, then one join stage per
+    further variable.  Each intermediate tuple carries the set of
+    original-closure predicates already known (un)satisfied and the
+    corresponding running structural score (base − penalties of
+    predicates found unsatisfied, Definition 3 / §4.3.2).
+
+    Strategy knobs reproduce the algorithmic differences the paper
+    measures:
+    - [sort_on_score] re-sorts the intermediate tuple list on score at
+      every stage — SSO's behaviour, whose cost §5.2.2 calls the
+      "fundamental tension" between node-id order and score order;
+    - [bucketize] groups tuples by satisfied-predicate set instead, so
+      only bucket {e keys} are ordered and tuples stay in node-id order —
+      Hybrid's bucketization (§5.2.3);
+    - [prune_k] enables threshold + maxScoreGrowth pruning: a tuple is
+      discarded when even its best achievable final score cannot reach
+      the current K-th answer's guaranteed score. *)
+
+type env = { doc : Xmldom.Doc.t; index : Fulltext.Index.t; penalty : Relax.Penalty.t }
+
+type answer = {
+  target : Xmldom.Doc.elem;  (** Binding of the distinguished variable. *)
+  sscore : float;
+  kscore : float;
+  satisfied : Tpq.Pred.t list;
+      (** Predicates of the original closure this answer satisfies. *)
+  failed : Tpq.Pred.t list;
+      (** Scored closure predicates it does not satisfy; empty for
+          exact matches. *)
+  bindings : (int * Xmldom.Doc.elem) list;
+      (** Variable bindings; unbound optional variables are absent. *)
+}
+
+type strategy = {
+  sort_on_score : bool;
+  bucketize : bool;
+  prune_k : int option;
+  prune_slack : float;
+      (** Admissible non-structural gain a pruned tuple could still
+          collect — the [m] of the §5.1 rule for the Combined scheme
+          (0 for structure-first; keyword-first must not prune at
+          all). *)
+}
+
+val exact_strategy : strategy
+(** No sorting, no buckets, no pruning — plain evaluation (DPO uses
+    this per relaxation). *)
+
+type metrics = {
+  mutable tuples_produced : int;
+  mutable tuples_pruned : int;
+  mutable score_sorted_tuples : int;
+      (** Total tuples passed through score re-sorts (SSO's overhead). *)
+  mutable buckets_touched : int;
+  mutable stages : int;
+}
+
+val fresh_metrics : unit -> metrics
+
+val run : ?metrics:metrics -> env -> Encoded.t -> strategy -> answer list
+(** All answers of the encoded query, one per distinct distinguished
+    binding (the best-scoring embedding is kept), unordered.  With
+    [prune_k = Some k], answers outside any possible top-k may be
+    missing — by design. *)

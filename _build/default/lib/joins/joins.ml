@@ -1,0 +1,9 @@
+(** The structural-join evaluation engine: {!Joins.Structural_join} is
+    the Al-Khalifa et al. merge primitive, {!Joins.Encoded} expresses a
+    query with relaxations encoded as evaluation options (§5.2.1), and
+    {!Joins.Exec} runs the scored left-deep pipeline with the SSO /
+    Hybrid strategy knobs (§5.2.2-5.2.3). *)
+
+module Structural_join = Structural_join
+module Encoded = Encoded
+module Exec = Exec

@@ -1,0 +1,56 @@
+module Doc = Xmldom.Doc
+
+(* Stack-tree-desc of Al-Khalifa et al.: sweep both sorted lists in
+   document order, keeping the stack of ancestor candidates whose
+   subtrees are still open.  Every stack member containing the current
+   descendant produces a pair. *)
+let ad_pairs doc ~anc ~desc =
+  let out = ref [] in
+  let stack = ref [] in
+  let na = Array.length anc and nd = Array.length desc in
+  let ai = ref 0 and di = ref 0 in
+  let pop_closed e =
+    (* drop stack entries whose subtree ended before [e] *)
+    let rec go = function
+      | s :: rest when e >= Doc.subtree_end doc s -> go rest
+      | stack -> stack
+    in
+    stack := go !stack
+  in
+  while !di < nd do
+    let d = desc.(!di) in
+    (* push all ancestors starting before d *)
+    while !ai < na && anc.(!ai) <= d do
+      pop_closed anc.(!ai);
+      stack := anc.(!ai) :: !stack;
+      incr ai
+    done;
+    pop_closed d;
+    List.iter (fun a -> if a <> d then out := (a, d) :: !out) !stack;
+    incr di
+  done;
+  List.rev !out
+
+let pc_pairs doc ~anc ~desc =
+  List.filter (fun (a, d) -> Doc.is_parent doc a d) (ad_pairs doc ~anc ~desc)
+
+let lower_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let subtree_slice doc sorted e =
+  let lo = lower_bound sorted (e + 1) in
+  let hi = lower_bound sorted (Doc.subtree_end doc e) in
+  (lo, hi)
+
+let children_with_tag doc sorted e =
+  let lo, hi = subtree_slice doc sorted e in
+  let out = ref [] in
+  for i = hi - 1 downto lo do
+    if Doc.is_parent doc e sorted.(i) then out := sorted.(i) :: !out
+  done;
+  !out

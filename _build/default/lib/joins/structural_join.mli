@@ -1,0 +1,29 @@
+(** The stack-based structural join of Al-Khalifa et al. (ICDE 2002) —
+    the evaluation primitive the paper's join plans are built from
+    (§5.2.1).
+
+    Both inputs are element arrays sorted by pre-order id; the output
+    enumerates qualifying (ancestor, descendant) or (parent, child)
+    pairs.  The merge runs in O(|anc| + |desc| + |output|) using a stack
+    of nested ancestor candidates. *)
+
+val ad_pairs :
+  Xmldom.Doc.t -> anc:Xmldom.Doc.elem array -> desc:Xmldom.Doc.elem array ->
+  (Xmldom.Doc.elem * Xmldom.Doc.elem) list
+(** Strict ancestor-descendant pairs, sorted by (descendant, ancestor)
+    pre-order id. *)
+
+val pc_pairs :
+  Xmldom.Doc.t -> anc:Xmldom.Doc.elem array -> desc:Xmldom.Doc.elem array ->
+  (Xmldom.Doc.elem * Xmldom.Doc.elem) list
+(** Parent-child pairs, same order. *)
+
+val subtree_slice :
+  Xmldom.Doc.t -> Xmldom.Doc.elem array -> Xmldom.Doc.elem -> int * int
+(** [subtree_slice d sorted e] is the index range [(lo, hi)] of [sorted]
+    whose elements lie strictly inside the subtree of [e] — the
+    skip-join primitive used by the tuple pipeline. *)
+
+val children_with_tag :
+  Xmldom.Doc.t -> Xmldom.Doc.elem array -> Xmldom.Doc.elem -> Xmldom.Doc.elem list
+(** Elements of the sorted array that are children of [e]. *)

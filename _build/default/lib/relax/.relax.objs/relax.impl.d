@@ -1,0 +1,1 @@
+lib/relax/relax.ml: Op Penalty Space Weights

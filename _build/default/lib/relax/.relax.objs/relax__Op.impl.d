@@ -1,0 +1,1 @@
+lib/relax/op.ml: Format Fulltext List Printf Result Stdlib Tpq

@@ -1,0 +1,1 @@
+lib/relax/op.mli: Format Fulltext Tpq

@@ -1,0 +1,1 @@
+lib/relax/penalty.ml: Float List Option Stats Tpq Xmldom

@@ -1,0 +1,1 @@
+lib/relax/penalty.mli: Stats Tpq

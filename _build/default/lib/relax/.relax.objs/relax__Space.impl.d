@@ -1,0 +1,1 @@
+lib/relax/space.ml: Float Hashtbl List Op Penalty Queue Tpq

@@ -1,0 +1,1 @@
+lib/relax/space.mli: Op Penalty Tpq

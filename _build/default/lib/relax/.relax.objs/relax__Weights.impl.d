@@ -1,0 +1,1 @@
+lib/relax/weights.ml: List Penalty Printf String Tpq

@@ -1,0 +1,1 @@
+lib/relax/weights.mli: Penalty

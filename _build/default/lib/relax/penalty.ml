@@ -1,0 +1,126 @@
+module Pred = Tpq.Pred
+module Query = Tpq.Query
+module Closure = Tpq.Closure
+module Hierarchy = Tpq.Hierarchy
+
+type weights = Pred.t -> float
+
+let uniform _ = 1.0
+let scaled c _ = c
+
+type t = {
+  stats : Stats.t;
+  weights : weights;
+  orig : Query.t;
+  hierarchy : Hierarchy.t;
+  closure_set : Pred.Set.t;
+  tag_of : int -> string option; (* variable tags in the original query *)
+  parent_of : int -> int option;
+}
+
+let make ?(hierarchy = Hierarchy.empty) stats weights orig =
+  let closure_set = Closure.closure_set (Pred.Set.of_list (Query.to_preds orig)) in
+  let tag_of v = if Query.mem orig v then (Query.node orig v).tag else None in
+  let parent_of v =
+    if Query.mem orig v then Option.map fst (Query.parent orig v) else None
+  in
+  { stats; weights; orig; hierarchy; closure_set; tag_of; parent_of }
+
+let original env = env.orig
+let hierarchy env = env.hierarchy
+let closure env = Pred.Set.elements env.closure_set
+
+(* A predicate participates in scoring when a relaxation can drop it:
+   structural and contains predicates always, tag predicates only when
+   the hierarchy offers a supertype to generalize to. *)
+let is_scored env p =
+  match p with
+  | Pred.Pc _ | Pred.Ad _ | Pred.Contains _ -> true
+  | Pred.Tag_eq (_, t) -> Hierarchy.supertype env.hierarchy t <> None
+  | Pred.Attr _ -> false
+
+let scored_preds env = List.filter (is_scored env) (closure env)
+
+(* Counts for possibly-wildcard tags; a missing tag behaves like a
+   wildcard (total counts), which only makes penalties conservative. *)
+let count_tag env = function
+  | Some t -> Stats.count_tag env.stats t
+  | None -> Xmldom.Doc.size (Stats.doc env.stats)
+
+(* Extension of a tag under the hierarchy: its own elements plus those
+   of all transitive subtypes. *)
+let count_extension env t =
+  List.fold_left
+    (fun acc sub -> acc + Stats.count_tag env.stats sub)
+    (Stats.count_tag env.stats t)
+    (Hierarchy.subtypes env.hierarchy t)
+
+let count_pc env t1 t2 =
+  match (t1, t2) with
+  | Some a, Some b -> Stats.count_pc env.stats a b
+  | _ -> count_tag env t2 (* loose upper bound for wildcards *)
+
+let count_ad env t1 t2 =
+  match (t1, t2) with
+  | Some a, Some b -> Stats.count_ad env.stats a b
+  | _ -> count_tag env t2
+
+let predicate_penalty env p =
+  let w = env.weights p in
+  match p with
+  | Pred.Pc (i, j) ->
+    let ti = env.tag_of i and tj = env.tag_of j in
+    let ad = count_ad env ti tj in
+    if ad = 0 then w else float_of_int (count_pc env ti tj) /. float_of_int ad *. w
+  | Pred.Ad (i, j) ->
+    let ti = env.tag_of i and tj = env.tag_of j in
+    let ni = count_tag env ti and nj = count_tag env tj in
+    if ni = 0 || nj = 0 then w
+    else float_of_int (count_ad env ti tj) /. (float_of_int ni *. float_of_int nj) *. w
+  | Pred.Contains (i, f) -> (
+    match (env.tag_of i, env.parent_of i) with
+    | Some ti, Some l -> (
+      match env.tag_of l with
+      | Some tl ->
+        let child = Stats.count_contains env.stats ti f in
+        let parent = Stats.count_contains env.stats tl f in
+        if parent = 0 then w else Float.min 1.0 (float_of_int child /. float_of_int parent) *. w
+      | None -> w)
+    | _ -> w)
+  | Pred.Tag_eq (_, t) -> (
+    (* Generalizing tag t to its supertype broadens the extension; the
+       penalty mirrors the pc/ad style: the larger the share of the
+       supertype's extension t already covers, the fewer new answers
+       the relaxation admits and the heavier the penalty. *)
+    match Hierarchy.supertype env.hierarchy t with
+    | None -> 0.0
+    | Some super ->
+      let ext = count_extension env super in
+      if ext = 0 then w
+      else float_of_int (Stats.count_tag env.stats t) /. float_of_int ext *. w)
+  | Pred.Attr _ -> 0.0
+
+let dropped_preds env relaxed =
+  let relaxed_closure = Closure.closure_set (Pred.Set.of_list (Query.to_preds relaxed)) in
+  Pred.Set.elements (Pred.Set.diff env.closure_set relaxed_closure)
+  |> List.filter (is_scored env)
+
+let base_score env =
+  List.fold_left
+    (fun acc p -> acc +. env.weights p)
+    0.0
+    (Query.structural_preds env.orig)
+
+let max_keyword_score env =
+  List.fold_left
+    (fun acc (v, f) -> acc +. env.weights (Pred.Contains (v, f)))
+    0.0
+    (Query.contains_preds env.orig)
+
+let score_of_dropped env dropped =
+  base_score env -. List.fold_left (fun acc p -> acc +. predicate_penalty env p) 0.0 dropped
+
+let relaxation_penalty env relaxed =
+  List.fold_left (fun acc p -> acc +. predicate_penalty env p) 0.0 (dropped_preds env relaxed)
+
+let structural_score env relaxed = base_score env -. relaxation_penalty env relaxed

@@ -1,0 +1,69 @@
+(** Predicate weights, penalties and structural scores (§4.3).
+
+    All penalties are computed against the {e original} query's closure:
+    the weight function is keyed by predicates of that closure, and the
+    penalty of a relaxed query is the sum of the penalties of the
+    closure predicates it no longer implies.  Because the sum only
+    depends on the set of dropped predicates, scores are
+    order-invariant (Theorem 3). *)
+
+type weights = Tpq.Pred.t -> float
+
+val uniform : weights
+(** Weight 1 for every predicate — the assignment of Example 1. *)
+
+val scaled : float -> weights
+(** Constant weight [c]. *)
+
+type t
+(** Penalty environment: the original query, its closure, tag bindings,
+    statistics, weights and (optionally) a type hierarchy. *)
+
+val make : ?hierarchy:Tpq.Hierarchy.t -> Stats.t -> weights -> Tpq.Query.t -> t
+
+val original : t -> Tpq.Query.t
+val hierarchy : t -> Tpq.Hierarchy.t
+val closure : t -> Tpq.Pred.t list
+
+val scored_preds : t -> Tpq.Pred.t list
+(** The closure predicates that participate in scoring: structural and
+    contains predicates, plus tag predicates that the hierarchy allows
+    to be generalized.  The executor and the termination bounds share
+    this definition. *)
+
+val predicate_penalty : t -> Tpq.Pred.t -> float
+(** π(p) for a scored predicate of the original closure (§4.3.1):
+    - dropping [pc($i,$j)] (keeping ad): [#pc/#ad × w];
+    - dropping [ad($i,$j)]: [#ad/(#ti·#tj) × w];
+    - dropping [contains($i,F)]: [#contains(ti,F)/#contains(tl,F) × w]
+      with [$l] the parent of [$i] in the original query (factor 1 for
+      the root);
+    - generalizing [$i.tag = t] to its supertype s:
+      [#(t)/#(extension of s) × w] (§3.4 analog).
+    Attribute predicates have penalty 0 (they are dropped only as a
+    side effect of node deletion, §3.3). *)
+
+val dropped_preds : t -> Tpq.Query.t -> Tpq.Pred.t list
+(** Predicates of the original closure not implied by the relaxed
+    query: [closure(orig) \ closure(relaxed)], restricted to structural
+    and contains predicates over surviving-or-deleted variables. *)
+
+val base_score : t -> float
+(** Σ w(p) over the structural predicates present in the original query
+    — the structural score of an exact answer (Example 1: 3 for Q1). *)
+
+val max_keyword_score : t -> float
+(** Σ w over the contains predicates of the original query, each worth
+    at most 1 after IR normalization — the [m] of the §5.1 pruning
+    rule. *)
+
+val structural_score : t -> Tpq.Query.t -> float
+(** [base_score − Σ π(p) for p dropped]: the structural score shared by
+    every answer to the given relaxed query (as evaluated by DPO). *)
+
+val relaxation_penalty : t -> Tpq.Query.t -> float
+(** Σ π(p) over [dropped_preds]. *)
+
+val score_of_dropped : t -> Tpq.Pred.t list -> float
+(** [base_score − Σ π(p)] for an explicit dropped set — used by the
+    join engine, which tracks per-answer satisfied predicate sets. *)

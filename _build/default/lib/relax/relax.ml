@@ -1,0 +1,10 @@
+(** Query relaxation (§3): {!Relax.Op} implements the four relaxation
+    operators (axis generalization, leaf deletion, subtree promotion,
+    contains promotion), {!Relax.Penalty} the predicate weights and
+    data-derived penalties of §4.3, and {!Relax.Space} the enumeration
+    and penalty-ordered traversal of the relaxation space. *)
+
+module Op = Op
+module Penalty = Penalty
+module Space = Space
+module Weights = Weights

@@ -1,0 +1,50 @@
+module Pred = Tpq.Pred
+
+let uniform = Penalty.uniform
+
+let by_kind ?(structural = 1.0) ?(contains = 1.0) ?(tag = 1.0) () p =
+  match p with
+  | Pred.Pc _ | Pred.Ad _ -> structural
+  | Pred.Contains _ -> contains
+  | Pred.Tag_eq _ -> tag
+  | Pred.Attr _ -> 1.0
+
+let per_var overrides base p =
+  List.fold_left
+    (fun w v ->
+      match List.assoc_opt v overrides with
+      | Some factor -> w *. factor
+      | None -> w)
+    (base p) (Pred.vars p)
+
+let scale c base p = c *. base p
+
+let parse spec =
+  let parts = String.split_on_char ',' spec |> List.map String.trim in
+  let parts = List.filter (fun s -> s <> "") parts in
+  let rec go structural contains tag vars = function
+    | [] ->
+      Ok (per_var vars (by_kind ~structural ~contains ~tag ()))
+    | part :: rest -> (
+      match String.index_opt part '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" part)
+      | Some i -> (
+        let key = String.trim (String.sub part 0 i) in
+        let value = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+        match float_of_string_opt value with
+        | None -> Error (Printf.sprintf "bad weight %S" value)
+        | Some w when w < 0.0 -> Error "weights must be non-negative"
+        | Some w -> (
+          match key with
+          | "structural" -> go w contains tag vars rest
+          | "contains" -> go structural w tag vars rest
+          | "tag" -> go structural contains w vars rest
+          | _ ->
+            if String.length key > 3 && String.sub key 0 3 = "var" then begin
+              match int_of_string_opt (String.sub key 3 (String.length key - 3)) with
+              | Some v -> go structural contains tag ((v, w) :: vars) rest
+              | None -> Error (Printf.sprintf "bad variable in %S" key)
+            end
+            else Error (Printf.sprintf "unknown weight key %S" key))))
+  in
+  go 1.0 1.0 1.0 [] parts

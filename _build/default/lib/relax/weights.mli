@@ -1,0 +1,26 @@
+(** Weight assignments for query predicates (§4.1).
+
+    "A ranking scheme may associate a weight with each predicate present
+    in the query.  This weight may be user-specified, or computed by
+    analyzing the input document."  This module provides the
+    user-specified side: combinators to build a {!Penalty.weights}
+    function, and a concrete syntax for the command line. *)
+
+val uniform : Penalty.weights
+(** Weight 1 everywhere — Example 1's assignment. *)
+
+val by_kind : ?structural:float -> ?contains:float -> ?tag:float -> unit -> Penalty.weights
+(** Constant weight per predicate kind (defaults 1). *)
+
+val per_var : (int * float) list -> Penalty.weights -> Penalty.weights
+(** [per_var overrides base] multiplies the base weight of every
+    predicate by the factor of each variable it mentions (missing
+    variables count as factor 1).  A pc($1,$2) predicate with overrides
+    on both $1 and $2 is scaled by both. *)
+
+val scale : float -> Penalty.weights -> Penalty.weights
+
+val parse : string -> (Penalty.weights, string) result
+(** Comma-separated spec, e.g. ["structural=2,contains=0.5,var3=4"]:
+    [structural], [contains] and [tag] set per-kind weights; [varN]
+    multiplies predicates mentioning variable N. *)

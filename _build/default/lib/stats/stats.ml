@@ -1,0 +1,249 @@
+module Doc = Xmldom.Doc
+module Tag = Xmldom.Tag
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Query = Tpq.Query
+
+type pair_key = int * int
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = pair_key
+
+  let equal (a, b) (c, d) = a = c && b = d
+  let hash (a, b) = (a * 92821) lxor b
+end)
+
+type t = {
+  doc : Doc.t;
+  n_by_tag : int array;
+  pc : int Pair_tbl.t;
+  ad : int Pair_tbl.t;
+  children_total : int array; (* #pc(t, any) *)
+  desc_total : int array; (* #ad(t, any) *)
+  depth_total : int array; (* #ad(any, t) *)
+  total_ad : int;
+  mutable index : Index.t option;
+  contains_cache : (string * string, int) Hashtbl.t;
+}
+
+let build doc =
+  let n = Doc.size doc in
+  let n_tags = Tag.count (Doc.tags doc) in
+  let n_by_tag = Array.make n_tags 0 in
+  let pc = Pair_tbl.create 256 in
+  let ad = Pair_tbl.create 1024 in
+  let children_total = Array.make n_tags 0 in
+  let desc_total = Array.make n_tags 0 in
+  let depth_total = Array.make n_tags 0 in
+  let total_ad = ref 0 in
+  let bump tbl key = Pair_tbl.replace tbl key (1 + Option.value ~default:0 (Pair_tbl.find_opt tbl key)) in
+  for e = 0 to n - 1 do
+    let te = Doc.tag doc e in
+    n_by_tag.(te) <- n_by_tag.(te) + 1;
+    (match Doc.parent doc e with
+    | None -> ()
+    | Some p ->
+      let tp = Doc.tag doc p in
+      bump pc (tp, te);
+      children_total.(tp) <- children_total.(tp) + 1);
+    desc_total.(te) <- desc_total.(te) + (Doc.subtree_end doc e - e - 1);
+    let d = Doc.level doc e in
+    depth_total.(te) <- depth_total.(te) + d;
+    total_ad := !total_ad + d;
+    List.iter (fun a -> bump ad (Doc.tag doc a, te)) (Doc.ancestors doc e)
+  done;
+  {
+    doc;
+    n_by_tag;
+    pc;
+    ad;
+    children_total;
+    desc_total;
+    depth_total;
+    total_ad = !total_ad;
+    index = None;
+    contains_cache = Hashtbl.create 64;
+  }
+
+let doc st = st.doc
+let tag_id st name = Tag.find (Doc.tags st.doc) name
+
+let count_tag st name =
+  match tag_id st name with None -> 0 | Some t -> st.n_by_tag.(t)
+
+let pair_count tbl k = Option.value ~default:0 (Pair_tbl.find_opt tbl k)
+
+let count_pc st t1 t2 =
+  match (tag_id st t1, tag_id st t2) with
+  | Some a, Some b -> pair_count st.pc (a, b)
+  | _ -> 0
+
+let count_ad st t1 t2 =
+  match (tag_id st t1, tag_id st t2) with
+  | Some a, Some b -> pair_count st.ad (a, b)
+  | _ -> 0
+
+let set_index st idx = st.index <- Some idx
+
+let count_contains st tag f =
+  let key = (tag, Ftexp.to_string f) in
+  match Hashtbl.find_opt st.contains_cache key with
+  | Some n -> n
+  | None ->
+    let n =
+      match (st.index, tag_id st tag) with
+      | Some idx, Some t -> Index.count_satisfying_with_tag idx f t
+      | _, None -> 0
+      | None, _ -> invalid_arg "Stats.count_contains: no index attached (use set_index)"
+    in
+    Hashtbl.add st.contains_cache key n;
+    n
+
+let pc_fraction st t1 t2 =
+  let a = count_ad st t1 t2 in
+  if a = 0 then 0.0 else float_of_int (count_pc st t1 t2) /. float_of_int a
+
+let ad_density st t1 t2 =
+  let n1 = count_tag st t1 and n2 = count_tag st t2 in
+  if n1 = 0 || n2 = 0 then 0.0
+  else float_of_int (count_ad st t1 t2) /. (float_of_int n1 *. float_of_int n2)
+
+let contains_fraction st ~child ~parent f =
+  let denom = count_contains st parent f in
+  if denom = 0 then 1.0
+  else Float.min 1.0 (float_of_int (count_contains st child f) /. float_of_int denom)
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity estimation.
+
+   Wildcard-aware counts: [None] stands for any tag. *)
+
+let total_elems st = Array.fold_left ( + ) 0 st.n_by_tag
+
+let count_tag_opt st = function
+  | None -> total_elems st
+  | Some name -> count_tag st name
+
+let count_pc_opt st t1 t2 =
+  match (t1, t2) with
+  | Some a, Some b -> count_pc st a b
+  | Some a, None -> ( match tag_id st a with None -> 0 | Some t -> st.children_total.(t))
+  | None, Some b -> (
+    (* every non-root element has one parent *)
+    match tag_id st b with
+    | None -> 0
+    | Some t -> st.n_by_tag.(t) - (if Doc.tag st.doc (Doc.root st.doc) = t then 1 else 0))
+  | None, None -> total_elems st - 1
+
+let count_ad_opt st t1 t2 =
+  match (t1, t2) with
+  | Some a, Some b -> count_ad st a b
+  | Some a, None -> ( match tag_id st a with None -> 0 | Some t -> st.desc_total.(t))
+  | None, Some b -> ( match tag_id st b with None -> 0 | Some t -> st.depth_total.(t))
+  | None, None -> st.total_ad
+
+(* Fraction of [parent_tag] elements expected to have at least one
+   qualifying child/descendant of [child_tag]. *)
+let edge_fraction st parent_tag axis child_tag =
+  let np = count_tag_opt st parent_tag in
+  if np = 0 then 0.0
+  else begin
+    let pairs =
+      match axis with
+      | Query.Child -> count_pc_opt st parent_tag child_tag
+      | Query.Descendant -> count_ad_opt st parent_tag child_tag
+    in
+    Float.min 1.0 (float_of_int pairs /. float_of_int np)
+  end
+
+let self_fraction st (n : Query.node) =
+  (* Probability that an element of this node's tag satisfies the node's
+     own contains predicates. *)
+  match n.tag with
+  | None -> 1.0
+  | Some tag ->
+    let nt = count_tag st tag in
+    if nt = 0 then 0.0
+    else
+      List.fold_left
+        (fun acc f ->
+          acc *. Float.min 1.0 (float_of_int (count_contains st tag f) /. float_of_int nt))
+        1.0 n.contains
+
+(* P(a fixed element matching node v's tag has a full embedding of v's
+   subtree below it), under independence. *)
+let rec subtree_prob st q v =
+  let n = Query.node q v in
+  let own = self_fraction st n in
+  List.fold_left
+    (fun acc (c, axis) ->
+      let cn = Query.node q c in
+      acc *. edge_fraction st n.tag axis cn.tag *. subtree_prob st q c)
+    own (Query.children q v)
+
+(* P(a fixed element matching the distinguished node extends upward to
+   the root, with all side branches matching). *)
+let upward_prob st q =
+  let rec go v =
+    match Query.parent q v with
+    | None -> 1.0
+    | Some (p, axis) ->
+      let pn = Query.node q p in
+      let vn = Query.node q v in
+      let nv = count_tag_opt st vn.tag in
+      if nv = 0 then 0.0
+      else begin
+        let pairs =
+          match axis with
+          | Query.Child -> count_pc_opt st pn.tag vn.tag
+          | Query.Descendant -> count_ad_opt st pn.tag vn.tag
+        in
+        let has_anc = Float.min 1.0 (float_of_int pairs /. float_of_int nv) in
+        let siblings =
+          List.fold_left
+            (fun acc (c, ax) ->
+              if c = v then acc
+              else
+                let cn = Query.node q c in
+                acc *. edge_fraction st pn.tag ax cn.tag *. subtree_prob st q c)
+            1.0 (Query.children q p)
+        in
+        has_anc *. siblings *. self_fraction st pn *. go p
+      end
+  in
+  go (Query.distinguished q)
+
+let estimate_answers st q =
+  let d = Query.distinguished q in
+  let dn = Query.node q d in
+  float_of_int (count_tag_opt st dn.tag) *. subtree_prob st q d *. upward_prob st q
+
+let estimate_matches st q =
+  let rec expected v =
+    let n = Query.node q v in
+    List.fold_left
+      (fun acc (c, axis) ->
+        let cn = Query.node q c in
+        let np = count_tag_opt st n.tag in
+        let per_parent =
+          if np = 0 then 0.0
+          else begin
+            let pairs =
+              match axis with
+              | Query.Child -> count_pc_opt st n.tag cn.tag
+              | Query.Descendant -> count_ad_opt st n.tag cn.tag
+            in
+            float_of_int pairs /. float_of_int np
+          end
+        in
+        acc *. per_parent *. self_fraction st cn *. expected c)
+      1.0 (Query.children q v)
+  in
+  let r = Query.root q in
+  float_of_int (count_tag_opt st (Query.node q r).tag)
+  *. self_fraction st (Query.node q r)
+  *. expected r
+
+let pp fmt st =
+  Format.fprintf fmt "stats: %d elements, %d tags, %d pc pairs, %d ad entries" (total_elems st)
+    (Array.length st.n_by_tag) (Pair_tbl.length st.pc) (Pair_tbl.length st.ad)

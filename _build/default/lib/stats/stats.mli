@@ -1,0 +1,66 @@
+(** Document statistics and selectivity estimation.
+
+    The penalty formulas of §4.3.1 need the counts [#(t)], [#pc(t1,t2)],
+    [#ad(t1,t2)] and [#contains($i, FTExp)]; the SSO algorithm (§5.1.2)
+    additionally needs a selectivity estimator for tree pattern queries.
+    Following §6, the estimator pre-processes the document to count
+    nodes and edges, then assumes a uniform, location-independent
+    distribution of elements: if 60% of A elements have a B child, that
+    fraction is assumed wherever A occurs. *)
+
+type t
+
+val build : Xmldom.Doc.t -> t
+(** One pass over the document (plus one ancestor-stack pass for the
+    [#ad] table). *)
+
+val doc : t -> Xmldom.Doc.t
+
+(** {2 Counts (§4.3.1 notation)} *)
+
+val count_tag : t -> string -> int
+(** [#(t)]: number of elements with tag [t]. *)
+
+val count_pc : t -> string -> string -> int
+(** [#pc(t1,t2)]: parent-child pairs with those tags. *)
+
+val count_ad : t -> string -> string -> int
+(** [#ad(t1,t2)]: ancestor-descendant pairs (strict) with those tags. *)
+
+val count_contains : t -> string -> Fulltext.Ftexp.t -> int
+(** [#contains]: elements with the given tag satisfying the expression.
+    Needs an index: computed on first use via {!set_index} and cached
+    per (tag, expression). *)
+
+val set_index : t -> Fulltext.Index.t -> unit
+(** Attach the full-text index used by {!count_contains} and
+    {!contains_fraction}.  (The index is built separately because many
+    benchmarks share one index across statistics objects.) *)
+
+(** {2 Fractions used by penalties and the estimator} *)
+
+val pc_fraction : t -> string -> string -> float
+(** [#pc(t1,t2) / #ad(t1,t2)], the §4.3.1 factor for relaxing a
+    pc-predicate to ad; 0 when no ad pairs exist. *)
+
+val ad_density : t -> string -> string -> float
+(** [#ad(t1,t2) / (#(t1) · #(t2))], the factor for dropping an
+    ad-predicate; 0 when either tag is absent. *)
+
+val contains_fraction : t -> child:string -> parent:string -> Fulltext.Ftexp.t -> float
+(** [#contains(child_tag, F) / #contains(parent_tag, F)], the factor for
+    promoting a contains predicate from a child to its parent; 1 when
+    the denominator is 0. *)
+
+(** {2 Selectivity estimation (§6)} *)
+
+val estimate_answers : t -> Tpq.Query.t -> float
+(** Expected number of distinct bindings of the distinguished variable
+    under the uniform-distribution assumption.  A lower-is-safer
+    estimate: SSO restarts when the real count falls short (§5.1.2). *)
+
+val estimate_matches : t -> Tpq.Query.t -> float
+(** Expected number of full matches (can exceed [estimate_answers]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary: distinct tags, pc/ad table sizes. *)

@@ -1,0 +1,1 @@
+lib/tpq/tpq.ml: Closure Containment Hierarchy Pred Query Semantics Xpath

@@ -1,0 +1,1 @@
+lib/tpq/closure.ml: Fulltext Pred Query

@@ -1,0 +1,1 @@
+lib/tpq/closure.mli: Pred Query

@@ -1,0 +1,1 @@
+lib/tpq/containment.ml: Closure Fulltext Hierarchy List Pred Query Semantics

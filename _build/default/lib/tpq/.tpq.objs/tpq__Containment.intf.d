@@ -1,0 +1,1 @@
+lib/tpq/containment.mli: Fulltext Hierarchy Query Xmldom

@@ -1,0 +1,1 @@
+lib/tpq/hierarchy.ml: List Map Printf Result String

@@ -1,0 +1,1 @@
+lib/tpq/hierarchy.mli:

@@ -1,0 +1,1 @@
+lib/tpq/pred.ml: Float Format Fulltext Set Stdlib String

@@ -1,0 +1,1 @@
+lib/tpq/pred.mli: Format Fulltext Set

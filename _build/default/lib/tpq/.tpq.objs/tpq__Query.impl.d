@@ -1,0 +1,1 @@
+lib/tpq/query.ml: Buffer Format Fulltext Hashtbl Int List Map Pred Printf String

@@ -1,0 +1,1 @@
+lib/tpq/query.mli: Format Fulltext Pred

@@ -1,0 +1,1 @@
+lib/tpq/semantics.ml: Array Fulltext Fun Hierarchy Int List Pred Query Set Xmldom

@@ -1,0 +1,1 @@
+lib/tpq/semantics.mli: Fulltext Hierarchy Query Xmldom

@@ -1,0 +1,1 @@
+lib/tpq/xpath.ml: Buffer Format Fulltext List Pred Printf Query String

@@ -1,0 +1,58 @@
+module Ftexp = Fulltext.Ftexp
+
+let closure_set preds =
+  let current = ref preds in
+  let changed = ref true in
+  let add p =
+    if not (Pred.Set.mem p !current) then begin
+      current := Pred.Set.add p !current;
+      changed := true
+    end
+  in
+  while !changed do
+    changed := false;
+    let snapshot = !current in
+    Pred.Set.iter
+      (fun p ->
+        match p with
+        | Pred.Pc (x, y) -> add (Pred.Ad (x, y))
+        | Pred.Ad (x, y) ->
+          Pred.Set.iter
+            (fun p' ->
+              match p' with
+              | Pred.Ad (y', z) when y' = y -> add (Pred.Ad (x, z))
+              | Pred.Contains (y', f) when y' = y && Ftexp.is_positive f ->
+                add (Pred.Contains (x, f))
+              | _ -> ())
+            snapshot
+        | Pred.Tag_eq _ | Pred.Attr _ | Pred.Contains _ -> ())
+      snapshot
+  done;
+  !current
+
+let closure preds = Pred.Set.elements (closure_set (Pred.Set.of_list preds))
+
+let derivable from p =
+  let from = Pred.Set.remove p from in
+  Pred.Set.mem p (closure_set from)
+
+let is_redundant c p = Pred.Set.mem p c && derivable c p
+
+let core preds =
+  let c = closure_set (Pred.Set.of_list preds) in
+  Pred.Set.elements (Pred.Set.filter (fun p -> not (is_redundant c p)) c)
+
+let equivalent a b =
+  Pred.Set.equal (closure_set (Pred.Set.of_list a)) (closure_set (Pred.Set.of_list b))
+
+let subsumes weaker stronger =
+  Pred.Set.subset
+    (closure_set (Pred.Set.of_list weaker))
+    (closure_set (Pred.Set.of_list stronger))
+
+let minimize q =
+  match Query.of_preds ~distinguished:(Query.distinguished q) (core (Query.to_preds q)) with
+  | Ok q' -> q'
+  | Error msg ->
+    (* the core of a valid TPQ's own closure is always a TPQ *)
+    invalid_arg ("Closure.minimize: " ^ msg)

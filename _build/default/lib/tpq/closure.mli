@@ -1,0 +1,47 @@
+(** Closure and core of tree pattern queries (§3.2).
+
+    The inference rules of Figure 3:
+    {ul
+    {- [pc($x,$y) ⊢ ad($x,$y)]}
+    {- [ad($x,$y), ad($y,$z) ⊢ ad($x,$z)]}
+    {- [ad($x,$y), contains($y,F) ⊢ contains($x,F)]}}
+
+    The last rule is applied only to {e positive} full-text expressions
+    (no negation): an ancestor's scope includes a descendant's, so
+    monotone satisfaction propagates upward; with negation it does not.
+    The paper's expressions are conjunctions of keywords, which are
+    positive. *)
+
+val closure : Pred.t list -> Pred.t list
+(** [closure preds] conjoins everything derivable by the inference
+    rules, e.g. Figure 4 for query Q1.  Idempotent; sorted output.
+    Requires the structural predicates to be acyclic (true of any
+    TPQ). *)
+
+val closure_set : Pred.Set.t -> Pred.Set.t
+
+val derivable : Pred.Set.t -> Pred.t -> bool
+(** [derivable from p]: can [p] be obtained from [from] (without using
+    [p] itself) by the inference rules? *)
+
+val is_redundant : Pred.Set.t -> Pred.t -> bool
+(** [is_redundant c p]: [p ∈ c] and [p] is derivable from [c \ {p}]. *)
+
+val core : Pred.t list -> Pred.t list
+(** The unique minimal predicate set equivalent to the input
+    (Theorem 1): the closure with all redundant predicates removed.
+    Sorted output. *)
+
+val equivalent : Pred.t list -> Pred.t list -> bool
+(** Same closure. *)
+
+val subsumes : Pred.t list -> Pred.t list -> bool
+(** [subsumes weaker stronger]: every predicate of [closure weaker]
+    appears in [closure stronger] — i.e. the query with predicates
+    [stronger] is contained in the one with [weaker], over the same
+    variables. *)
+
+val minimize : Query.t -> Query.t
+(** The unique minimal query equivalent to the input (Theorem 1 /
+    Flesca et al.): rebuilds the query from the core of its closure.
+    Variable ids are preserved. *)

@@ -1,0 +1,47 @@
+module Ftexp = Fulltext.Ftexp
+
+(* Can variable [v'] of [q'] map onto variable [v] of [q]?  Value-based
+   predicates of [v'] must be implied at [v]; [cl] is the closure of
+   [q]'s predicates, which carries the derived contains predicates.
+   Under a type hierarchy, tag t at [v] implies tag t' at [v'] when
+   every element of t's extension lies in t''s extension, i.e. t' is t
+   or one of its supertypes. *)
+let node_implied hierarchy q' q cl v' v =
+  let n' = Query.node q' v' in
+  let n = Query.node q v in
+  (match n'.tag with
+  | None -> true
+  | Some t' -> (
+    match n.tag with
+    | Some t -> Hierarchy.matches hierarchy ~query_tag:t' ~element_tag:t
+    | None -> false))
+  && List.for_all (fun p -> List.mem p n.attrs) n'.attrs
+  && List.for_all (fun f -> Pred.Set.mem (Pred.Contains (v, f)) cl) n'.contains
+
+let homomorphism ?(hierarchy = Hierarchy.empty) q' q =
+  let cl = Closure.closure_set (Pred.Set.of_list (Query.to_preds q)) in
+  let order = Query.descendant_vars q' (Query.root q') in
+  let q_vars = Query.vars q in
+  let rec go env = function
+    | [] -> true
+    | v' :: rest ->
+      let try_image v =
+        (if v' = Query.distinguished q' then v = Query.distinguished q else true)
+        && node_implied hierarchy q' q cl v' v
+        && (match Query.parent q' v' with
+           | None -> true
+           | Some (p', axis) -> (
+             let p = List.assoc p' env in
+             match axis with
+             | Query.Child -> Pred.Set.mem (Pred.Pc (p, v)) cl
+             | Query.Descendant -> Pred.Set.mem (Pred.Ad (p, v)) cl))
+        && go ((v', v) :: env) rest
+      in
+      List.exists try_image q_vars
+  in
+  go [] order
+
+let contained ?hierarchy q q' = homomorphism ?hierarchy q' q
+
+let equivalent_on ?hierarchy doc idx a b =
+  Semantics.answers ?hierarchy doc idx a = Semantics.answers ?hierarchy doc idx b

@@ -1,0 +1,26 @@
+(** Query containment for tree pattern queries.
+
+    [Q ⊆ Q'] holds when every answer of [Q] is an answer of [Q'] on
+    every document (§2.1).  The general problem is coNP-hard for this
+    fragment [Miklau & Suciu, PODS 2002]; we implement the standard
+    homomorphism test, which is sound, and complete in the absence of
+    interacting wildcard/branching patterns — in particular on the
+    closure-based relaxations generated in this system, whose queries
+    are wildcard-free. *)
+
+val homomorphism : ?hierarchy:Hierarchy.t -> Query.t -> Query.t -> bool
+(** [homomorphism q' q] — is there a mapping h from the variables of
+    [q'] to those of [q] such that h maps the distinguished node of
+    [q'] to that of [q], pc-edges map to pc-edges, ad-edges to ancestor
+    paths, and every value-based predicate of a [q'] variable is
+    implied by those on its image (tags up to the hierarchy)?  Its
+    existence proves [q ⊆ q']. *)
+
+val contained : ?hierarchy:Hierarchy.t -> Query.t -> Query.t -> bool
+(** [contained q q'] = [homomorphism q' q]: sound test for [q ⊆ q']. *)
+
+val equivalent_on :
+  ?hierarchy:Hierarchy.t ->
+  Xmldom.Doc.t -> Fulltext.Index.t -> Query.t -> Query.t -> bool
+(** Answer sets coincide on one concrete document — used by tests as a
+    ground-truth cross-check. *)

@@ -1,0 +1,80 @@
+module Smap = Map.Make (String)
+
+type t = { parent : string Smap.t }
+
+let empty = { parent = Smap.empty }
+
+let supertypes h tag =
+  let rec go tag acc =
+    match Smap.find_opt tag h.parent with
+    | None -> List.rev acc
+    | Some super -> go super (super :: acc)
+  in
+  go tag []
+
+let add h ~sub ~super =
+  if String.equal sub super then Error "a tag cannot be its own supertype"
+  else if Smap.mem sub h.parent then
+    Error (Printf.sprintf "%s already has a supertype" sub)
+  else if List.mem sub (supertypes h super) then
+    Error (Printf.sprintf "cycle: %s is already above %s" sub super)
+  else Ok { parent = Smap.add sub super h.parent }
+
+let of_list pairs =
+  List.fold_left
+    (fun acc (sub, super) -> Result.bind acc (fun h -> add h ~sub ~super))
+    (Ok empty) pairs
+
+let of_list_exn pairs =
+  match of_list pairs with
+  | Ok h -> h
+  | Error msg -> invalid_arg ("Hierarchy.of_list_exn: " ^ msg)
+
+let is_empty h = Smap.is_empty h.parent
+
+let supertype h tag = Smap.find_opt tag h.parent
+
+let subtypes h tag =
+  Smap.fold
+    (fun sub _ acc -> if List.mem tag (supertypes h sub) then sub :: acc else acc)
+    h.parent []
+
+let matches h ~query_tag ~element_tag =
+  String.equal query_tag element_tag
+  || (not (is_empty h)) && List.mem query_tag (supertypes h element_tag)
+
+let tags h =
+  Smap.fold
+    (fun sub super acc ->
+      let acc = if List.mem sub acc then acc else sub :: acc in
+      if List.mem super acc then acc else super :: acc)
+    h.parent []
+
+let parse_file path =
+  try
+    let ic = open_in path in
+    let rec lines acc n =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then lines acc (n + 1)
+        else begin
+          match String.index_opt line '<' with
+          | None ->
+            close_in ic;
+            Error (Printf.sprintf "%s:%d: expected 'sub < super'" path n)
+          | Some i ->
+            let sub = String.trim (String.sub line 0 i) in
+            let super = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            if sub = "" || super = "" then begin
+              close_in ic;
+              Error (Printf.sprintf "%s:%d: expected 'sub < super'" path n)
+            end
+            else lines ((sub, super) :: acc) (n + 1)
+        end
+    in
+    Result.bind (lines [] 1) of_list
+  with Sys_error msg -> Error msg

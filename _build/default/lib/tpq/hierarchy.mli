@@ -1,0 +1,47 @@
+(** Element type hierarchies (§3.4).
+
+    The paper's first "other relaxation" assumes a subtype relation on
+    element types: if [article] is declared a subtype of [publication],
+    the tag predicate [$1.tag = article] can be relaxed to
+    [$1.tag = publication], and a query node constrained to
+    [publication] matches elements of any of its subtypes.
+
+    The hierarchy is a forest — each tag has at most one immediate
+    supertype — which keeps the relaxation step (and its penalty)
+    unique, mirroring how contains-promotion moves to {e the} parent. *)
+
+type t
+
+val empty : t
+
+val add : t -> sub:string -> super:string -> (t, string) result
+(** Declares [sub <: super].  Fails if [sub] already has a supertype or
+    the edge would create a cycle. *)
+
+val of_list : (string * string) list -> (t, string) result
+(** [(sub, super)] pairs. *)
+
+val of_list_exn : (string * string) list -> t
+
+val is_empty : t -> bool
+
+val supertype : t -> string -> string option
+(** Immediate supertype. *)
+
+val supertypes : t -> string -> string list
+(** Transitive supertypes, nearest first. *)
+
+val subtypes : t -> string -> string list
+(** Transitive subtypes, not including the tag itself; unordered. *)
+
+val matches : t -> query_tag:string -> element_tag:string -> bool
+(** Does an element with [element_tag] satisfy a query node constrained
+    to [query_tag]?  True when equal or [element_tag] is a (transitive)
+    subtype. *)
+
+val tags : t -> string list
+(** Every tag mentioned. *)
+
+val parse_file : string -> (t, string) result
+(** One [sub < super] declaration per line; [#] comments and blank
+    lines ignored. *)

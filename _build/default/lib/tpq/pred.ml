@@ -1,0 +1,73 @@
+type relop = Eq | Neq | Lt | Le | Gt | Ge
+
+type attr_value = S of string | F of float
+
+type attr_pred = { attr : string; op : relop; value : attr_value }
+
+type t =
+  | Pc of int * int
+  | Ad of int * int
+  | Tag_eq of int * string
+  | Attr of int * attr_pred
+  | Contains of int * Fulltext.Ftexp.t
+
+let is_structural = function Pc _ | Ad _ -> true | Tag_eq _ | Attr _ | Contains _ -> false
+let is_contains = function Contains _ -> true | Pc _ | Ad _ | Tag_eq _ | Attr _ -> false
+
+let vars = function
+  | Pc (x, y) | Ad (x, y) -> [ x; y ]
+  | Tag_eq (x, _) | Attr (x, _) | Contains (x, _) -> [ x ]
+
+let rename f = function
+  | Pc (x, y) -> Pc (f x, f y)
+  | Ad (x, y) -> Ad (f x, f y)
+  | Tag_eq (x, t) -> Tag_eq (f x, t)
+  | Attr (x, p) -> Attr (f x, p)
+  | Contains (x, e) -> Contains (f x, e)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let cmp_relop op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let eval_attr p lookup =
+  match lookup p.attr with
+  | None -> false
+  | Some raw -> (
+    match p.value with
+    | S s -> cmp_relop p.op (String.compare raw s)
+    | F f -> (
+      match float_of_string_opt (String.trim raw) with
+      | None -> false
+      | Some v -> cmp_relop p.op (Float.compare v f)))
+
+let pp_relop fmt op =
+  let s = match op with Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" in
+  Format.pp_print_string fmt s
+
+let pp fmt = function
+  | Pc (x, y) -> Format.fprintf fmt "pc($%d,$%d)" x y
+  | Ad (x, y) -> Format.fprintf fmt "ad($%d,$%d)" x y
+  | Tag_eq (x, t) -> Format.fprintf fmt "$%d.tag = %s" x t
+  | Attr (x, { attr; op; value }) ->
+    let pp_value fmt = function
+      | S s -> Format.fprintf fmt "%S" s
+      | F f -> Format.fprintf fmt "%g" f
+    in
+    Format.fprintf fmt "$%d.%s %a %a" x attr pp_relop op pp_value value
+  | Contains (x, e) -> Format.fprintf fmt "contains($%d, %a)" x Fulltext.Ftexp.pp e
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

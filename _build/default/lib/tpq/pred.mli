@@ -1,0 +1,47 @@
+(** Logical predicates of tree pattern queries (§2.1).
+
+    A TPQ is logically the conjunction of structural predicates
+    [pc($i,$j)] / [ad($i,$j)] with value-based predicates: tag
+    constraints, attribute comparisons and [contains($i, FTExp)].
+    Variables are integers, conventionally printed [$i]. *)
+
+type relop = Eq | Neq | Lt | Le | Gt | Ge
+
+type attr_value = S of string | F of float
+
+type attr_pred = { attr : string; op : relop; value : attr_value }
+
+type t =
+  | Pc of int * int  (** [Pc (x, y)]: $y is a child of $x. *)
+  | Ad of int * int  (** [Ad (x, y)]: $y is a descendant of $x (strict). *)
+  | Tag_eq of int * string  (** [$x.tag = name]. *)
+  | Attr of int * attr_pred  (** [$x.attr relOp value]. *)
+  | Contains of int * Fulltext.Ftexp.t
+      (** [contains($x, FTExp)]: some text in $x's scope satisfies the
+          full-text expression. *)
+
+val is_structural : t -> bool
+(** [Pc] and [Ad] predicates. *)
+
+val is_contains : t -> bool
+
+val vars : t -> int list
+(** The variables mentioned: one or two entries. *)
+
+val rename : (int -> int) -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val eval_attr : attr_pred -> (string -> string option) -> bool
+(** [eval_attr p lookup] evaluates the comparison against the attribute
+    value returned by [lookup p.attr].  String values compare
+    lexicographically; numeric values require the attribute to parse as
+    a float. *)
+
+val pp_relop : Format.formatter -> relop -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

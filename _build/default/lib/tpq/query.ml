@@ -1,0 +1,287 @@
+module Imap = Map.Make (Int)
+module Ftexp = Fulltext.Ftexp
+
+type axis = Child | Descendant
+
+type node = { tag : string option; attrs : Pred.attr_pred list; contains : Ftexp.t list }
+
+type t = {
+  root : int;
+  nodes : node Imap.t;
+  edges : (int * axis) Imap.t; (* child var -> (parent var, axis) *)
+  distinguished : int;
+}
+
+let node_spec ?tag ?(attrs = []) ?(contains = []) () = { tag; attrs; contains }
+
+let validate q =
+  if not (Imap.mem q.root q.nodes) then Error "root is not a node"
+  else if not (Imap.mem q.distinguished q.nodes) then Error "distinguished is not a node"
+  else if Imap.mem q.root q.edges then Error "root has a parent edge"
+  else begin
+    let bad_edge =
+      Imap.exists
+        (fun child (parent, _) ->
+          (not (Imap.mem child q.nodes)) || not (Imap.mem parent q.nodes))
+        q.edges
+    in
+    if bad_edge then Error "edge mentions an unknown variable"
+    else begin
+      (* Every non-root node needs a parent, and following parents must
+         reach the root (no cycles). *)
+      let ok_node v _ =
+        if v = q.root then true
+        else begin
+          let rec walk v steps =
+            if steps > Imap.cardinal q.nodes then false
+            else if v = q.root then true
+            else
+              match Imap.find_opt v q.edges with
+              | None -> false
+              | Some (p, _) -> walk p (steps + 1)
+          in
+          Imap.mem v q.edges && walk v 0
+        end
+      in
+      if Imap.for_all ok_node q.nodes then Ok q else Error "edges do not form a tree rooted at root"
+    end
+  end
+
+let make ~root ~nodes ~edges ~distinguished =
+  let nodes =
+    List.fold_left (fun acc (v, info) -> Imap.add v info acc) Imap.empty nodes
+  in
+  let edges =
+    List.fold_left (fun acc (p, c, a) -> Imap.add c (p, a) acc) Imap.empty edges
+  in
+  validate { root; nodes; edges; distinguished }
+
+let make_exn ~root ~nodes ~edges ~distinguished =
+  match make ~root ~nodes ~edges ~distinguished with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Query.make_exn: " ^ msg)
+
+let root q = q.root
+let distinguished q = q.distinguished
+let vars q = Imap.bindings q.nodes |> List.map fst
+let size q = Imap.cardinal q.nodes
+let mem q v = Imap.mem v q.nodes
+
+let node q v =
+  match Imap.find_opt v q.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Query.node: unknown variable $%d" v)
+
+let parent q v = Imap.find_opt v q.edges
+
+let children q v =
+  Imap.fold (fun c (p, a) acc -> if p = v then (c, a) :: acc else acc) q.edges []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let rec descendant_vars q v =
+  v :: List.concat_map (fun (c, _) -> descendant_vars q c) (children q v)
+
+let is_leaf q v = children q v = []
+let leaves q = List.filter (is_leaf q) (vars q)
+
+let depth q v =
+  let rec go v acc = match parent q v with None -> acc | Some (p, _) -> go p (acc + 1) in
+  go v 0
+
+let fresh_var q = 1 + Imap.fold (fun v _ acc -> max v acc) q.nodes 0
+
+let set_axis q v a =
+  match Imap.find_opt v q.edges with
+  | None -> invalid_arg "Query.set_axis: variable has no incoming edge"
+  | Some (p, _) -> { q with edges = Imap.add v (p, a) q.edges }
+
+let delete_leaf q v =
+  if v = q.root then Error "cannot delete the root"
+  else if not (mem q v) then Error "unknown variable"
+  else if not (is_leaf q v) then Error "not a leaf"
+  else begin
+    let distinguished =
+      if q.distinguished = v then fst (Imap.find v q.edges) else q.distinguished
+    in
+    Ok { q with nodes = Imap.remove v q.nodes; edges = Imap.remove v q.edges; distinguished }
+  end
+
+let reparent q v p a =
+  if v = q.root then Error "cannot reparent the root"
+  else if not (mem q v && mem q p) then Error "unknown variable"
+  else if List.mem p (descendant_vars q v) then Error "new parent lies inside the subtree"
+  else Ok { q with edges = Imap.add v (p, a) q.edges }
+
+let update_node q v f =
+  match Imap.find_opt v q.nodes with
+  | None -> invalid_arg "Query.update_node: unknown variable"
+  | Some n -> { q with nodes = Imap.add v (f n) q.nodes }
+
+let move_contains q ~from_var ~to_var e =
+  if not (mem q from_var && mem q to_var) then Error "unknown variable"
+  else begin
+    let src = node q from_var in
+    if not (List.exists (Ftexp.equal e) src.contains) then
+      Error "contains predicate not present on source variable"
+    else begin
+      let remove_once lst =
+        let rec go = function
+          | [] -> []
+          | x :: rest -> if Ftexp.equal x e then rest else x :: go rest
+        in
+        go lst
+      in
+      let q = update_node q from_var (fun n -> { n with contains = remove_once n.contains }) in
+      let q = update_node q to_var (fun n -> { n with contains = n.contains @ [ e ] }) in
+      Ok q
+    end
+  end
+
+let to_preds q =
+  let structural =
+    Imap.fold
+      (fun c (p, a) acc ->
+        (match a with Child -> Pred.Pc (p, c) | Descendant -> Pred.Ad (p, c)) :: acc)
+      q.edges []
+  in
+  let value_based =
+    Imap.fold
+      (fun v n acc ->
+        let tag = match n.tag with Some t -> [ Pred.Tag_eq (v, t) ] | None -> [] in
+        let attrs = List.map (fun p -> Pred.Attr (v, p)) n.attrs in
+        let conts = List.map (fun e -> Pred.Contains (v, e)) n.contains in
+        tag @ attrs @ conts @ acc)
+      q.nodes []
+  in
+  List.sort Pred.compare (structural @ value_based)
+
+let structural_preds q = List.filter Pred.is_structural (to_preds q)
+
+let contains_preds q =
+  Imap.fold (fun v n acc -> List.map (fun e -> (v, e)) n.contains @ acc) q.nodes []
+  |> List.sort compare
+
+let of_preds ~distinguished preds =
+  let vars =
+    List.fold_left (fun acc p -> List.fold_left (fun acc v -> Imap.add v () acc) acc (Pred.vars p))
+      Imap.empty preds
+    |> Imap.bindings |> List.map fst
+  in
+  if vars = [] then Error "no variables"
+  else begin
+    (* Incoming structural edges per variable; Pc wins over Ad on the
+       same (parent, child) pair. *)
+    let edges = Hashtbl.create 16 in
+    let conflict = ref None in
+    List.iter
+      (fun p ->
+        match p with
+        | Pred.Pc (x, y) -> (
+          match Hashtbl.find_opt edges y with
+          | None -> Hashtbl.replace edges y (x, Child)
+          | Some (x', Descendant) when x' = x -> Hashtbl.replace edges y (x, Child)
+          | Some (x', _) when x' = x -> ()
+          | Some _ -> conflict := Some y)
+        | Pred.Ad (x, y) -> (
+          match Hashtbl.find_opt edges y with
+          | None -> Hashtbl.replace edges y (x, Descendant)
+          | Some (x', _) when x' = x -> ()
+          | Some _ -> conflict := Some y)
+        | Pred.Tag_eq _ | Pred.Attr _ | Pred.Contains _ -> ())
+      preds;
+    match !conflict with
+    | Some v -> Error (Printf.sprintf "variable $%d has two distinct parents" v)
+    | None ->
+      let roots = List.filter (fun v -> not (Hashtbl.mem edges v)) vars in
+      (match roots with
+      | [ root ] ->
+        let info v =
+          let tag =
+            List.find_map (function Pred.Tag_eq (x, t) when x = v -> Some t | _ -> None) preds
+          in
+          let attrs =
+            List.filter_map (function Pred.Attr (x, p) when x = v -> Some p | _ -> None) preds
+          in
+          let contains =
+            List.filter_map (function Pred.Contains (x, e) when x = v -> Some e | _ -> None) preds
+          in
+          { tag; attrs; contains }
+        in
+        let nodes = List.map (fun v -> (v, info v)) vars in
+        let edge_list = Hashtbl.fold (fun c (p, a) acc -> (p, c, a) :: acc) edges [] in
+        if not (List.mem distinguished vars) then Error "distinguished variable was dropped"
+        else make ~root ~nodes ~edges:edge_list ~distinguished
+      | [] -> Error "no root (cyclic structural predicates)"
+      | _ -> Error "disconnected pattern: multiple roots")
+  end
+
+let equal a b =
+  a.root = b.root && a.distinguished = b.distinguished
+  && Imap.equal (fun (n : node) m -> n = m) a.nodes b.nodes
+  && Imap.equal (fun e f -> e = f) a.edges b.edges
+
+let canonical_key q =
+  let b = Buffer.create 128 in
+  let rec emit v =
+    let n = node q v in
+    Buffer.add_char b '(';
+    Buffer.add_string b (match n.tag with Some t -> t | None -> "*");
+    if v = q.distinguished then Buffer.add_char b '!';
+    List.iter
+      (fun (p : Pred.attr_pred) ->
+        Buffer.add_char b '@';
+        Buffer.add_string b (Pred.to_string (Pred.Attr (0, p))))
+      (List.sort compare n.attrs);
+    List.iter
+      (fun e ->
+        Buffer.add_char b '~';
+        Buffer.add_string b (Ftexp.to_string e))
+      (List.sort Ftexp.compare n.contains);
+    let kid_keys =
+      List.map
+        (fun (c, a) ->
+          let prefix = match a with Child -> "/" | Descendant -> "//" in
+          let save = Buffer.contents b in
+          Buffer.clear b;
+          emit c;
+          let key = prefix ^ Buffer.contents b in
+          Buffer.clear b;
+          Buffer.add_string b save;
+          key)
+        (children q v)
+    in
+    List.iter (Buffer.add_string b) (List.sort String.compare kid_keys);
+    Buffer.add_char b ')'
+  in
+  emit q.root;
+  Buffer.contents b
+
+let pp fmt q =
+  let rec pp_tree indent v =
+    let n = node q v in
+    let axis_str =
+      match parent q v with
+      | None -> ""
+      | Some (_, Child) -> "/"
+      | Some (_, Descendant) -> "//"
+    in
+    Format.fprintf fmt "%s%s$%d:%s%s@."
+      (String.make indent ' ')
+      axis_str v
+      (match n.tag with Some t -> t | None -> "*")
+      (if v = q.distinguished then "  <answer>" else "");
+    List.iter
+      (fun (p : Pred.attr_pred) ->
+        Format.fprintf fmt "%s  where %s@." (String.make indent ' ')
+          (Pred.to_string (Pred.Attr (v, p))))
+      n.attrs;
+    List.iter
+      (fun e ->
+        Format.fprintf fmt "%s  where contains($%d, %s)@." (String.make indent ' ') v
+          (Ftexp.to_string e))
+      n.contains;
+    List.iter (fun (c, _) -> pp_tree (indent + 2) c) (children q v)
+  in
+  pp_tree 0 q.root
+
+let to_string q = Format.asprintf "%a" pp q

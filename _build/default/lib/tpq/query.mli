@@ -1,0 +1,117 @@
+(** Tree pattern queries (TPQ, §2.1): a rooted tree whose nodes are
+    variables carrying value-based predicates, whose edges are
+    parent-child or ancestor-descendant, and with one distinguished node
+    identifying query answers.
+
+    Variable ids are stable: relaxation operators delete and rewire
+    nodes without renumbering, so predicate weights and penalties keyed
+    by the original query's variables stay meaningful. *)
+
+type axis = Child | Descendant
+
+type node = {
+  tag : string option;  (** [None] is the wildcard [*]. *)
+  attrs : Pred.attr_pred list;
+  contains : Fulltext.Ftexp.t list;
+}
+
+type t
+
+val make :
+  root:int ->
+  nodes:(int * node) list ->
+  edges:(int * int * axis) list ->
+  distinguished:int ->
+  (t, string) result
+(** [make ~root ~nodes ~edges ~distinguished] builds a TPQ.  [edges] are
+    [(parent, child, axis)].  Fails unless the edges form a tree rooted
+    at [root] covering exactly [nodes], with [distinguished] among
+    them. *)
+
+val make_exn :
+  root:int ->
+  nodes:(int * node) list ->
+  edges:(int * int * axis) list ->
+  distinguished:int ->
+  t
+
+val node_spec :
+  ?tag:string -> ?attrs:Pred.attr_pred list -> ?contains:Fulltext.Ftexp.t list -> unit -> node
+
+(** {2 Accessors} *)
+
+val root : t -> int
+val distinguished : t -> int
+val vars : t -> int list
+(** Sorted. *)
+
+val size : t -> int
+val mem : t -> int -> bool
+val node : t -> int -> node
+val parent : t -> int -> (int * axis) option
+(** [parent q v] is [(parent, axis of the edge into v)]; [None] for the
+    root. *)
+
+val children : t -> int -> (int * axis) list
+(** Sorted by child var. *)
+
+val descendant_vars : t -> int -> int list
+(** Vars in the subtree rooted at [v], including [v]. *)
+
+val is_leaf : t -> int -> bool
+val leaves : t -> int list
+val depth : t -> int -> int
+val fresh_var : t -> int
+(** A variable id not used by the query. *)
+
+(** {2 Structure editing}
+
+    These rebuild the query; they are the primitives the relaxation
+    operators are written with.  All preserve variable identity. *)
+
+val set_axis : t -> int -> axis -> t
+(** [set_axis q v a] changes the axis of the edge into [v]. *)
+
+val delete_leaf : t -> int -> (t, string) result
+(** Removes leaf [v] (§3.5.2).  If [v] is distinguished, its parent
+    becomes distinguished.  Fails if [v] is the root or not a leaf. *)
+
+val reparent : t -> int -> int -> axis -> (t, string) result
+(** [reparent q v p a] moves the subtree rooted at [v] under [p] with
+    axis [a].  Fails if [v] is the root or [p] is inside [v]'s
+    subtree. *)
+
+val update_node : t -> int -> (node -> node) -> t
+
+val move_contains : t -> from_var:int -> to_var:int -> Fulltext.Ftexp.t -> (t, string) result
+(** Moves one [contains] predicate between variables (§3.5.4). *)
+
+(** {2 Logical form} *)
+
+val to_preds : t -> Pred.t list
+(** The logical expression of the query (Figure 2): structural edge
+    predicates plus all value-based predicates. *)
+
+val structural_preds : t -> Pred.t list
+val contains_preds : t -> (int * Fulltext.Ftexp.t) list
+
+val of_preds : distinguished:int -> Pred.t list -> (t, string) result
+(** Rebuild a TPQ from predicates: every non-root variable must have
+    exactly one incoming structural predicate, [Pc] winning over [Ad]
+    for the same pair; the result must be a tree.  This is how the core
+    of a relaxed closure is turned back into a TPQ (§3.3). *)
+
+(** {2 Comparison} *)
+
+val equal : t -> t -> bool
+(** Structural equality with identical variable ids. *)
+
+val canonical_key : t -> string
+(** A key equal for isomorphic queries (same shape, tags, predicates and
+    distinguished position, up to variable renaming); used to
+    de-duplicate the relaxation space. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering of tree and predicates, as in Figure 1. *)
+
+val to_string : t -> string

@@ -1,0 +1,129 @@
+module Doc = Xmldom.Doc
+module Index = Fulltext.Index
+
+type binding = (int * Doc.elem) list
+
+let tag_ok hierarchy query_tag doc e =
+  match query_tag with
+  | None -> true
+  | Some t -> Hierarchy.matches hierarchy ~query_tag:t ~element_tag:(Doc.tag_name doc e)
+
+let satisfies_node ?(hierarchy = Hierarchy.empty) doc idx (n : Query.node) e =
+  tag_ok hierarchy n.tag doc e
+  && List.for_all (fun p -> Pred.eval_attr p (Doc.attribute doc e)) n.attrs
+  && List.for_all (fun f -> Index.satisfies idx f e) n.contains
+
+(* Merge pre-sorted element arrays (pairwise; the lists are short). *)
+let merge_sorted a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    if a.(!i) <= b.(!j) then begin
+      out.(!k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(!k) <- b.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  Array.blit a !i out !k (na - !i);
+  Array.blit b !j out !k (nb - !j);
+  out
+
+let candidates ?(hierarchy = Hierarchy.empty) doc (n : Query.node) =
+  match n.tag with
+  | None -> Array.init (Doc.size doc) Fun.id
+  | Some t ->
+    let base = Doc.by_tag_name doc t in
+    if Hierarchy.is_empty hierarchy then base
+    else
+      List.fold_left
+        (fun acc sub -> merge_sorted acc (Doc.by_tag_name doc sub))
+        base (Hierarchy.subtypes hierarchy t)
+
+(* Elements below [anc] that can bind a query node, respecting the axis. *)
+let below hierarchy doc idx q v axis anc =
+  let n = Query.node q v in
+  match axis with
+  | Query.Child ->
+    List.filter (satisfies_node ~hierarchy doc idx n) (Doc.children doc anc)
+  | Query.Descendant ->
+    let pool = candidates ~hierarchy doc n in
+    let lo = anc + 1 and hi = Doc.subtree_end doc anc in
+    (* pool is sorted by pre-order id: slice the subtree range. *)
+    let first =
+      let lo' = ref 0 and hi' = ref (Array.length pool) in
+      while !lo' < !hi' do
+        let mid = (!lo' + !hi') / 2 in
+        if pool.(mid) < lo then lo' := mid + 1 else hi' := mid
+      done;
+      !lo'
+    in
+    let out = ref [] in
+    let i = ref first in
+    while !i < Array.length pool && pool.(!i) < hi do
+      let e = pool.(!i) in
+      if satisfies_node ~hierarchy doc idx n e then out := e :: !out;
+      incr i
+    done;
+    List.rev !out
+
+let iter_matches hierarchy doc idx q f =
+  (* Variables in root-first DFS order: every variable's parent is bound
+     before the variable itself. *)
+  let order = Query.descendant_vars q (Query.root q) in
+  let rec go env = function
+    | [] -> f (List.sort compare env)
+    | v :: rest -> (
+      match Query.parent q v with
+      | None ->
+        let n = Query.node q v in
+        Array.iter
+          (fun e -> if satisfies_node ~hierarchy doc idx n e then go ((v, e) :: env) rest)
+          (candidates ~hierarchy doc n)
+      | Some (p, axis) ->
+        let anc = List.assoc p env in
+        List.iter (fun e -> go ((v, e) :: env) rest) (below hierarchy doc idx q v axis anc))
+  in
+  go [] order
+
+exception Stop
+
+let matches ?(hierarchy = Hierarchy.empty) ?limit doc idx q =
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     iter_matches hierarchy doc idx q (fun env ->
+         out := env :: !out;
+         incr count;
+         match limit with Some l when !count >= l -> raise Stop | _ -> ())
+   with Stop -> ());
+  List.rev !out
+
+let count_matches ?(hierarchy = Hierarchy.empty) doc idx q =
+  let n = ref 0 in
+  iter_matches hierarchy doc idx q (fun _ -> incr n);
+  !n
+
+module Int_set = Set.Make (Int)
+
+let answers ?(hierarchy = Hierarchy.empty) doc idx q =
+  let d = Query.distinguished q in
+  let acc = ref Int_set.empty in
+  iter_matches hierarchy doc idx q (fun env -> acc := Int_set.add (List.assoc d env) !acc);
+  Int_set.elements !acc
+
+let holds_at ?(hierarchy = Hierarchy.empty) doc idx q e =
+  let d = Query.distinguished q in
+  let found = ref false in
+  (try
+     iter_matches hierarchy doc idx q (fun env ->
+         if List.assoc d env = e then begin
+           found := true;
+           raise Stop
+         end)
+   with Stop -> ());
+  !found

@@ -1,0 +1,47 @@
+(** Reference (exact-match) semantics of tree pattern queries (§2.1).
+
+    A match is a function from query variables to document elements
+    preserving all structural relationships and satisfying all
+    value-based predicates; the answer set is the image of the
+    distinguished variable.  This evaluator is deliberately simple — a
+    backtracking tree search — and serves as the correctness oracle for
+    the structural-join engine and for the relaxation soundness
+    properties.
+
+    When a type [hierarchy] is supplied (§3.4), a tag constraint matches
+    elements of the tag or any of its transitive subtypes. *)
+
+type binding = (int * Xmldom.Doc.elem) list
+(** One match: sorted association list from variable to element. *)
+
+val answers :
+  ?hierarchy:Hierarchy.t ->
+  Xmldom.Doc.t -> Fulltext.Index.t -> Query.t -> Xmldom.Doc.elem list
+(** Distinct bindings of the distinguished variable, sorted by
+    pre-order id. *)
+
+val matches :
+  ?hierarchy:Hierarchy.t ->
+  ?limit:int -> Xmldom.Doc.t -> Fulltext.Index.t -> Query.t -> binding list
+(** All full matches (up to [limit], default unbounded). *)
+
+val count_matches :
+  ?hierarchy:Hierarchy.t -> Xmldom.Doc.t -> Fulltext.Index.t -> Query.t -> int
+
+val holds_at :
+  ?hierarchy:Hierarchy.t ->
+  Xmldom.Doc.t -> Fulltext.Index.t -> Query.t -> Xmldom.Doc.elem -> bool
+(** Is there a match binding the distinguished variable to the given
+    element? *)
+
+val satisfies_node :
+  ?hierarchy:Hierarchy.t ->
+  Xmldom.Doc.t -> Fulltext.Index.t -> Query.node -> Xmldom.Doc.elem -> bool
+(** Value-based predicates of a single query node (tag, attributes,
+    contains) at an element. *)
+
+val candidates :
+  ?hierarchy:Hierarchy.t -> Xmldom.Doc.t -> Query.node -> Xmldom.Doc.elem array
+(** Elements that can match a query node by tag alone, sorted by
+    pre-order id: the tag's elements (merged with its subtypes'
+    elements under a hierarchy), or every element for a wildcard. *)

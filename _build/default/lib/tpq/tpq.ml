@@ -1,0 +1,15 @@
+(** Tree pattern queries with full-text predicates — the query model of
+    FleXPath (SIGMOD 2004).
+
+    {!Tpq.Query} is the pattern type, {!Tpq.Pred} its logical form,
+    {!Tpq.Closure} the inference-rule closure and unique core (§3.2),
+    {!Tpq.Xpath} the concrete syntax, {!Tpq.Semantics} the exact-match
+    reference evaluator and {!Tpq.Containment} the containment test. *)
+
+module Pred = Pred
+module Query = Query
+module Closure = Closure
+module Xpath = Xpath
+module Semantics = Semantics
+module Containment = Containment
+module Hierarchy = Hierarchy

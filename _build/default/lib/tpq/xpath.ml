@@ -1,0 +1,310 @@
+module Ftexp = Fulltext.Ftexp
+
+type st = { src : string; len : int; mutable pos : int; mutable next_var : int }
+
+exception Err of string
+
+let fail st msg = raise (Err (Printf.sprintf "at offset %d: %s" st.pos msg))
+let eof st = st.pos >= st.len
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= st.len && String.sub st.src st.pos n = prefix
+
+let skip_ws st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t' || peek st = '\n') do
+    st.pos <- st.pos + 1
+  done
+
+let eat st prefix =
+  skip_ws st;
+  if looking_at st prefix then begin
+    st.pos <- st.pos + String.length prefix;
+    true
+  end
+  else false
+
+let expect st prefix = if not (eat st prefix) then fail st (Printf.sprintf "expected %S" prefix)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let parse_name st =
+  skip_ws st;
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let fresh st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  v
+
+(* Scan to the matching close parenthesis, respecting quotes, and parse
+   the spanned text as a full-text expression. *)
+let parse_ftexp_until_rparen st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let in_str = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if eof st then fail st "unterminated contains(...)";
+    let c = peek st in
+    if !in_str then begin
+      if c = '"' then in_str := false;
+      st.pos <- st.pos + 1
+    end
+    else if c = '"' then begin
+      in_str := true;
+      st.pos <- st.pos + 1
+    end
+    else if c = '(' then begin
+      incr depth;
+      st.pos <- st.pos + 1
+    end
+    else if c = ')' then
+      if !depth = 0 then continue_ := false
+      else begin
+        decr depth;
+        st.pos <- st.pos + 1
+      end
+    else st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  (* consume ')' *)
+  match Ftexp.of_string text with
+  | Ok e -> e
+  | Error { message; _ } -> fail st ("bad full-text expression: " ^ message)
+
+let parse_relop st =
+  skip_ws st;
+  if eat st "!=" then Pred.Neq
+  else if eat st "<=" then Pred.Le
+  else if eat st ">=" then Pred.Ge
+  else if eat st "=" then Pred.Eq
+  else if eat st "<" then Pred.Lt
+  else if eat st ">" then Pred.Gt
+  else fail st "expected a comparison operator"
+
+let parse_literal st =
+  skip_ws st;
+  if peek st = '"' || peek st = '\'' then begin
+    let quote = peek st in
+    st.pos <- st.pos + 1;
+    let start = st.pos in
+    while (not (eof st)) && peek st <> quote do
+      st.pos <- st.pos + 1
+    done;
+    if eof st then fail st "unterminated string literal";
+    let s = String.sub st.src start (st.pos - start) in
+    st.pos <- st.pos + 1;
+    Pred.S s
+  end
+  else begin
+    let start = st.pos in
+    while
+      (not (eof st))
+      && (match peek st with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+    do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = start then fail st "expected a literal";
+    match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+    | Some f -> Pred.F f
+    | None -> fail st "bad numeric literal"
+  end
+
+(* Parse results are accumulated imperatively into these growing lists
+   of nodes and edges; each step allocates a fresh variable. *)
+type acc = {
+  mutable nodes : (int * Query.node) list;
+  mutable edges : (int * int * Query.axis) list;
+}
+
+let add_node acc v ?tag ?(attrs = []) ?(contains = []) () =
+  acc.nodes <- (v, Query.node_spec ?tag ~attrs ~contains ()) :: acc.nodes
+
+let amend_node acc v f =
+  acc.nodes <-
+    List.map (fun (v', n) -> if v' = v then (v', f n) else (v', n)) acc.nodes
+
+(* step: name or '*', then optional predicate list.  Returns the step's
+   variable. *)
+let rec parse_step st acc parent_var axis =
+  skip_ws st;
+  let tag = if eat st "*" then None else Some (parse_name st) in
+  let v = fresh st in
+  add_node acc v ?tag ();
+  (match (parent_var, axis) with
+  | Some p, Some a -> acc.edges <- (p, v, a) :: acc.edges
+  | None, None -> ()
+  | _ -> assert false);
+  skip_ws st;
+  if eat st "[" then begin
+    parse_pred st acc v;
+    let rec more () =
+      skip_ws st;
+      if eat st "and" then begin
+        parse_pred st acc v;
+        more ()
+      end
+    in
+    more ();
+    expect st "]"
+  end;
+  v
+
+(* A predicate in context variable [v]. *)
+and parse_pred st acc v =
+  skip_ws st;
+  if eat st "@" then begin
+    let attr = parse_name st in
+    let op = parse_relop st in
+    let value = parse_literal st in
+    amend_node acc v (fun n -> { n with attrs = n.attrs @ [ { attr; op; value } ] })
+  end
+  else if looking_at st "contains" then begin
+    expect st "contains";
+    expect st "(";
+    skip_ws st;
+    let target =
+      if looking_at st "./" || looking_at st ".//" then parse_relpath st acc v
+      else begin
+        expect st ".";
+        v
+      end
+    in
+    expect st ",";
+    let e = parse_ftexp_until_rparen st in
+    amend_node acc target (fun n -> { n with contains = n.contains @ [ e ] })
+  end
+  else if looking_at st "." then begin
+    (* Either a relative path, possibly ending in .contains(...), or the
+       paper-style bare .contains(...). *)
+    if looking_at st ".contains" then begin
+      expect st ".contains";
+      expect st "(";
+      let e = parse_ftexp_until_rparen st in
+      amend_node acc v (fun n -> { n with contains = n.contains @ [ e ] })
+    end
+    else begin
+      let target = parse_relpath st acc v in
+      skip_ws st;
+      if looking_at st ".contains" then begin
+        expect st ".contains";
+        expect st "(";
+        let e = parse_ftexp_until_rparen st in
+        amend_node acc target (fun n -> { n with contains = n.contains @ [ e ] })
+      end
+    end
+  end
+  else fail st "expected a predicate"
+
+(* relpath: '.' then (('/' | '//') step)* — returns the final variable
+   (which is [v] itself for a bare '.'). *)
+and parse_relpath st acc v =
+  expect st ".";
+  let rec steps current =
+    if looking_at st ".contains" then current
+    else if eat st "//" then steps (parse_step st acc (Some current) (Some Query.Descendant))
+    else if eat st "/" then steps (parse_step st acc (Some current) (Some Query.Child))
+    else current
+  in
+  steps v
+
+let parse s =
+  let st = { src = s; len = String.length s; pos = 0; next_var = 1 } in
+  let acc = { nodes = []; edges = [] } in
+  try
+    skip_ws st;
+    let first_axis () =
+      if eat st "//" then () else if eat st "/" then () else fail st "query must start with / or //"
+    in
+    first_axis ();
+    let root = parse_step st acc None None in
+    let rec main_steps last =
+      skip_ws st;
+      if eat st "//" then main_steps (parse_step st acc (Some last) (Some Query.Descendant))
+      else if eat st "/" then main_steps (parse_step st acc (Some last) (Some Query.Child))
+      else last
+    in
+    let dist = main_steps root in
+    skip_ws st;
+    if not (eof st) then fail st "trailing characters";
+    Query.make ~root ~nodes:acc.nodes ~edges:acc.edges ~distinguished:dist
+  with Err msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error msg -> invalid_arg ("Xpath.parse_exn: " ^ msg)
+
+let to_string q =
+  let b = Buffer.create 128 in
+  (* The main path must run from the root to the distinguished node, so
+     re-parsing the output recovers the same answer variable. *)
+  let spine =
+    let rec up v acc =
+      match Query.parent q v with None -> v :: acc | Some (p, _) -> up p (v :: acc)
+    in
+    up (Query.distinguished q) []
+  in
+  let on_spine v = List.mem v spine in
+  let axis_str = function Query.Child -> "/" | Query.Descendant -> "//" in
+  let add_predicates v emit_kid =
+    let n = Query.node q v in
+    let kids = List.filter (fun (c, _) -> not (on_spine c)) (Query.children q v) in
+    let preds_present = kids <> [] || n.attrs <> [] || n.contains <> [] in
+    if preds_present then begin
+      Buffer.add_char b '[';
+      let first = ref true in
+      let sep () = if !first then first := false else Buffer.add_string b " and " in
+      List.iter
+        (fun (c, a) ->
+          sep ();
+          Buffer.add_char b '.';
+          emit_kid c a)
+        kids;
+      List.iter
+        (fun e ->
+          sep ();
+          Buffer.add_string b ".contains(";
+          Buffer.add_string b (Ftexp.to_string e);
+          Buffer.add_char b ')')
+        n.contains;
+      List.iter
+        (fun (p : Pred.attr_pred) ->
+          sep ();
+          Buffer.add_char b '@';
+          Buffer.add_string b p.attr;
+          Buffer.add_string b (Format.asprintf " %a " Pred.pp_relop p.op);
+          Buffer.add_string b
+            (match p.value with S s -> Printf.sprintf "%S" s | F f -> Printf.sprintf "%g" f))
+        n.attrs;
+      Buffer.add_char b ']'
+    end
+  in
+  let rec emit_pred_step v axis =
+    Buffer.add_string b (axis_str axis);
+    let n = Query.node q v in
+    Buffer.add_string b (match n.tag with Some t -> t | None -> "*");
+    add_predicates v emit_pred_step
+  in
+  let rec emit_spine = function
+    | [] -> ()
+    | v :: rest ->
+      let axis =
+        match Query.parent q v with None -> Query.Descendant | Some (_, a) -> a
+      in
+      Buffer.add_string b (axis_str axis);
+      let n = Query.node q v in
+      Buffer.add_string b (match n.tag with Some t -> t | None -> "*");
+      add_predicates v emit_pred_step;
+      emit_spine rest
+  in
+  emit_spine spine;
+  Buffer.contents b

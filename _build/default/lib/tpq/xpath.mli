@@ -1,0 +1,33 @@
+(** Concrete syntax for tree pattern queries — the XPath fragment of the
+    paper (child/descendant axes, branching predicates, attribute
+    comparisons and [contains]).
+
+    Grammar (informal):
+    {v
+    query   ::= ('/' | '//') step (('/' | '//') step)*
+    step    ::= (name | '*') ('[' pred (and pred)* ']')?
+    pred    ::= relpath
+              | 'contains(' ('.' | relpath) ',' ftexp ')'
+              | relpath? '.contains(' ftexp ')'        (paper style)
+              | '@' name relop literal
+    relpath ::= '.' (('/' | '//') step)*
+    v}
+
+    The distinguished (answer) node is the last step of the outermost
+    path, as in [//article[...]] returning articles.  A leading '/' or
+    '//' both mean "anywhere in the document": the data model has a
+    single document, and the paper's queries all start with '//'.
+
+    Variables are numbered $1, $2, ... in the order steps appear, so the
+    examples of Figure 1 parse to the same numbering used in the
+    paper. *)
+
+val parse : string -> (Query.t, string) result
+
+val parse_exn : string -> Query.t
+(** @raise Invalid_argument on syntax errors. *)
+
+val to_string : Query.t -> string
+(** Renders back to the XPath fragment, using the paper's
+    [.contains(...)] style for full-text predicates.  Parsing the output
+    yields a query isomorphic to the input. *)

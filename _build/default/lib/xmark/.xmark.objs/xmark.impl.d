@@ -1,0 +1,1 @@
+lib/xmark/xmark.ml: Articles Auction Prng Vocab

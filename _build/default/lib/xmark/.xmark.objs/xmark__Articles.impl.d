@@ -1,0 +1,1 @@
+lib/xmark/articles.ml: List Prng String Vocab Xmldom

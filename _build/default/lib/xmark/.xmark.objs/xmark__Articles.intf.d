@@ -1,0 +1,1 @@
+lib/xmark/articles.mli: Prng Xmldom

@@ -1,0 +1,1 @@
+lib/xmark/auction.ml: Array List Printf Prng String Vocab Xmldom

@@ -1,0 +1,96 @@
+module Xml = Xmldom.Xml
+
+let el = Xml.element
+let txt = Xml.text
+let keywords = ("XML", "streaming")
+
+type archetype =
+  | Exact
+  | Title_keywords
+  | Algo_elsewhere
+  | No_algorithm
+  | Keywords_only
+  | Irrelevant
+
+let prose rng n = Vocab.sentence rng n
+
+let cs_prose rng n =
+  String.concat " " (List.init n (fun _ -> Prng.pick rng Vocab.cs_terms))
+
+let keyword_sentence rng =
+  let kw1, kw2 = keywords in
+  String.concat " "
+    [ prose rng 3; kw1; cs_prose rng 2; kw2; prose rng 3 ]
+
+let paragraph rng ~with_keywords =
+  let body = if with_keywords then keyword_sentence rng else prose rng (6 + Prng.int rng 8) in
+  el "paragraph" [ txt body ]
+
+let algorithm rng =
+  el "algorithm"
+    [ el "caption" [ txt (cs_prose rng 3) ]; el "body" [ txt (prose rng (5 + Prng.int rng 5)) ] ]
+
+let section rng ~title_keywords ~with_algo ~kw_paragraph =
+  let title_text = if title_keywords then keyword_sentence rng else cs_prose rng 4 in
+  let n_paras = 1 + Prng.int rng 3 in
+  let kw_at = if kw_paragraph then Prng.int rng n_paras else -1 in
+  let paras = List.init n_paras (fun i -> paragraph rng ~with_keywords:(i = kw_at)) in
+  let algo = if with_algo then [ algorithm rng ] else [] in
+  el "section" ((el "title" [ txt title_text ] :: paras) @ algo)
+
+let plain_section rng = section rng ~title_keywords:false ~with_algo:(Prng.bool rng 0.2) ~kw_paragraph:false
+
+let article rng archetype id =
+  let author _ =
+    el "author" [ txt (Prng.pick rng Vocab.first_names ^ " " ^ Prng.pick rng Vocab.last_names) ]
+  in
+  let special =
+    match archetype with
+    | Exact -> [ section rng ~title_keywords:false ~with_algo:true ~kw_paragraph:true ]
+    | Title_keywords -> [ section rng ~title_keywords:true ~with_algo:true ~kw_paragraph:false ]
+    | Algo_elsewhere ->
+      [
+        section rng ~title_keywords:false ~with_algo:false ~kw_paragraph:true;
+        section rng ~title_keywords:false ~with_algo:true ~kw_paragraph:false;
+      ]
+    | No_algorithm -> [ section rng ~title_keywords:false ~with_algo:false ~kw_paragraph:true ]
+    | Keywords_only | Irrelevant -> []
+  in
+  let abstract_text =
+    match archetype with
+    | Keywords_only -> keyword_sentence rng
+    | _ -> prose rng (8 + Prng.int rng 6)
+  in
+  let fillers = List.init (Prng.int rng 3) (fun _ -> plain_section rng) in
+  (* Articles with No_algorithm must truly contain no algorithm. *)
+  let fillers =
+    match archetype with
+    | No_algorithm ->
+      List.map
+        (fun _ -> section rng ~title_keywords:false ~with_algo:false ~kw_paragraph:false)
+        fillers
+    | _ -> fillers
+  in
+  el "article"
+    ~attrs:[ ("id", "article" ^ string_of_int id) ]
+    ([
+       el "title" [ txt (cs_prose rng 5) ];
+       author 0;
+       author 1;
+       el "abstract" [ el "paragraph" [ txt abstract_text ] ];
+     ]
+    @ special @ fillers)
+
+let archetype_of_roll r =
+  if r < 0.25 then Exact
+  else if r < 0.37 then Title_keywords
+  else if r < 0.49 then Algo_elsewhere
+  else if r < 0.61 then No_algorithm
+  else if r < 0.73 then Keywords_only
+  else Irrelevant
+
+let collection ?(seed = 7) ~count () =
+  let rng = Prng.create seed in
+  el "collection" (List.init count (fun i -> article rng (archetype_of_roll (Prng.float rng 1.0)) i))
+
+let doc ?seed ~count () = Xmldom.Doc.of_tree (collection ?seed ~count ())

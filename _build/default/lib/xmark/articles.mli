@@ -1,0 +1,39 @@
+(** INEX / SIGMOD-Record-style article collections — the data of the
+    paper's running example (Figure 1).
+
+    Articles are generated from archetypes chosen so that the example
+    queries Q1 ⊂ Q2, Q3 ⊂ Q4 ⊂ Q5 ⊂ Q6 have strictly growing answer
+    sets:
+
+    - [Exact]: a section contains an algorithm and a paragraph with the
+      keywords — matches Q1.
+    - [Title_keywords]: the matching section's keywords sit in its
+      title, not in a paragraph — matches Q2 but not Q1.
+    - [Algo_elsewhere]: the keyword paragraph and the algorithm are in
+      different sections — matches Q3 but not Q1/Q2.
+    - [No_algorithm]: keywords in a paragraph, no algorithm anywhere —
+      matches Q5 only.
+    - [Keywords_only]: keywords only in the article abstract — matches
+      Q6 only.
+    - [Irrelevant]: no target keywords at all. *)
+
+type archetype =
+  | Exact
+  | Title_keywords
+  | Algo_elsewhere
+  | No_algorithm
+  | Keywords_only
+  | Irrelevant
+
+val article : Prng.t -> archetype -> int -> Xmldom.Xml.t
+(** [article rng archetype id]. *)
+
+val collection : ?seed:int -> count:int -> unit -> Xmldom.Xml.t
+(** A [<collection>] of [count] articles with a fixed archetype mix
+    (roughly 25% [Exact], 12% [Title_keywords], 12% [Algo_elsewhere],
+    12% [No_algorithm], 12% [Keywords_only], 27% [Irrelevant]). *)
+
+val doc : ?seed:int -> count:int -> unit -> Xmldom.Doc.t
+
+val keywords : string * string
+(** The target keyword pair, [("XML", "streaming")]. *)

@@ -1,0 +1,187 @@
+module Xml = Xmldom.Xml
+
+let el = Xml.element
+let txt = Xml.text
+
+(* Mixed-content text element with optional inline markup.  [full_markup]
+   forces all three of bold/keyword/emph to be present (a fraction of
+   items must satisfy text[./bold and ./keyword and ./emph] exactly). *)
+let text_element rng ?(inject = []) ?(full_markup = false) () =
+  let part () = txt (Vocab.sentence rng ~inject (3 + Prng.int rng 6)) in
+  let inline name = el name [ txt (Prng.pick rng Vocab.auction_terms) ] in
+  let kids = ref [ part () ] in
+  let maybe name p =
+    if full_markup || Prng.bool rng p then begin
+      kids := part () :: inline name :: !kids
+    end
+  in
+  maybe "bold" 0.45;
+  maybe "keyword" 0.5;
+  maybe "emph" 0.45;
+  el "text" (List.rev !kids)
+
+let rec parlist rng depth ~inject =
+  let n_items = 1 + Prng.int rng 3 in
+  let listitem _ =
+    if depth < 2 && Prng.bool rng 0.3 then el "listitem" [ parlist rng (depth + 1) ~inject ]
+    else el "listitem" [ text_element rng ~inject () ]
+  in
+  el "parlist" (List.init n_items listitem)
+
+let description rng ~inject =
+  let body =
+    let r = Prng.float rng 1.0 in
+    if r < 0.45 then [ text_element rng ~inject () ]
+    else if r < 0.85 then [ parlist rng 0 ~inject ]
+    else
+      (* annotation interposes: description//parlist but not
+         description/parlist *)
+      [ el "annotation" [ parlist rng 0 ~inject ] ]
+  in
+  el "description" body
+
+let mail rng ~inject =
+  let person () =
+    Prng.pick rng Vocab.first_names ^ " " ^ Prng.pick rng Vocab.last_names
+  in
+  let full_markup = Prng.bool rng 0.2 in
+  el "mail"
+    [
+      el "from" [ txt (person ()) ];
+      el "to" [ txt (person ()) ];
+      el "date" [ txt (Printf.sprintf "%02d/%02d/2003" (1 + Prng.int rng 12) (1 + Prng.int rng 28)) ];
+      text_element rng ~inject ~full_markup ();
+    ]
+
+let item rng i =
+  (* Keywords injected into this item's prose: a couple of auction terms
+     at moderate rates, so contains predicates are selective but not
+     vanishing. *)
+  let inject =
+    [ ("gold", 0.12); ("antique", 0.15); ("auction", 0.2); ("vintage", 0.1) ]
+  in
+  let name_words =
+    String.concat " "
+      (List.init (2 + Prng.int rng 2) (fun _ -> Prng.pick rng Vocab.auction_terms))
+  in
+  let incategories =
+    if Prng.bool rng 0.3 then []
+    else
+      List.init (1 + Prng.int rng 3) (fun _ ->
+          el "incategory"
+            ~attrs:[ ("category", "category" ^ string_of_int (Prng.int rng 12)) ]
+            [])
+  in
+  (* Mailboxes are rare, as in XMark: queries over mail content stay
+     selective enough that top-K forces relaxation even on large
+     documents (the regime of the paper's figures 10-16). *)
+  let mailbox =
+    let n = if Prng.bool rng 0.88 then 0 else 1 + Prng.int rng 3 in
+    el "mailbox" (List.init n (fun _ -> mail rng ~inject))
+  in
+  el "item"
+    ~attrs:[ ("id", "item" ^ string_of_int i) ]
+    ([
+       el "location" [ txt (Prng.pick rng Vocab.countries) ];
+       el "quantity" [ txt (string_of_int (1 + Prng.int rng 5)) ];
+       el "name" [ txt name_words ];
+       el "payment" [ txt (if Prng.bool rng 0.5 then "Creditcard" else "Cash") ];
+       description rng ~inject;
+       el "shipping" [ txt "Will ship internationally" ];
+     ]
+    @ incategories
+    @ [ mailbox ])
+
+let category rng i =
+  el "category"
+    ~attrs:[ ("id", "category" ^ string_of_int i) ]
+    [
+      el "name" [ txt Vocab.categories.(i mod Array.length Vocab.categories) ];
+      el "description" [ text_element rng () ];
+    ]
+
+let person rng i =
+  el "person"
+    ~attrs:[ ("id", "person" ^ string_of_int i) ]
+    [
+      el "name" [ txt (Prng.pick rng Vocab.first_names ^ " " ^ Prng.pick rng Vocab.last_names) ];
+      el "emailaddress" [ txt (Printf.sprintf "mailto:user%d@example.org" i) ];
+      el "country" [ txt (Prng.pick rng Vocab.countries) ];
+    ]
+
+let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+(* Open auctions carry numeric price data as attributes and elements —
+   the substrate for value-based predicates like [@currentprice < 100]
+   (§2.1) — plus bids and an annotation with the shared description
+   structure. *)
+let open_auction rng i ~items =
+  let initial = 5 + Prng.int rng 200 in
+  let n_bids = Prng.int rng 5 in
+  let increases = List.init n_bids (fun _ -> 1 + Prng.int rng 30) in
+  let current = List.fold_left ( + ) initial increases in
+  let bid increase =
+    el "bidder"
+      [
+        el "date" [ txt (Printf.sprintf "%02d/%02d/2003" (1 + Prng.int rng 12) (1 + Prng.int rng 28)) ];
+        el "personref" ~attrs:[ ("person", "person" ^ string_of_int (Prng.int rng (max 1 (items / 4)))) ] [];
+        el "increase" [ txt (string_of_int increase) ];
+      ]
+  in
+  el "open_auction"
+    ~attrs:
+      [
+        ("id", "open_auction" ^ string_of_int i);
+        ("currentprice", string_of_int current);
+      ]
+    ([
+       el "initial" [ txt (string_of_int initial) ];
+       el "itemref" ~attrs:[ ("item", "item" ^ string_of_int (Prng.int rng items)) ] [];
+     ]
+    @ List.map bid increases
+    @ [
+        el "current" [ txt (string_of_int current) ];
+        el "annotation" [ description rng ~inject:[ ("auction", 0.3) ] ];
+      ])
+
+let closed_auction rng i ~items =
+  let price = 10 + Prng.int rng 500 in
+  el "closed_auction"
+    ~attrs:[ ("id", "closed_auction" ^ string_of_int i); ("price", string_of_int price) ]
+    [
+      el "seller" ~attrs:[ ("person", "person" ^ string_of_int (Prng.int rng (max 1 (items / 4)))) ] [];
+      el "buyer" ~attrs:[ ("person", "person" ^ string_of_int (Prng.int rng (max 1 (items / 4)))) ] [];
+      el "itemref" ~attrs:[ ("item", "item" ^ string_of_int (Prng.int rng items)) ] [];
+      el "price" [ txt (string_of_int price) ];
+      el "date" [ txt (Printf.sprintf "%02d/%02d/2003" (1 + Prng.int rng 12) (1 + Prng.int rng 28)) ];
+    ]
+
+let site ?(seed = 42) ~items () =
+  let rng = Prng.create seed in
+  let n_regions = Array.length region_names in
+  let region_items = Array.make n_regions [] in
+  for i = items - 1 downto 0 do
+    let r = i mod n_regions in
+    region_items.(r) <- item rng i :: region_items.(r)
+  done;
+  let regions =
+    el "regions"
+      (Array.to_list (Array.mapi (fun r name -> el name region_items.(r)) region_names))
+  in
+  let categories = el "categories" (List.init 12 (fun i -> category rng i)) in
+  let people = el "people" (List.init (max 1 (items / 4)) (fun i -> person rng i)) in
+  let open_auctions =
+    el "open_auctions" (List.init (max 1 (items / 2)) (fun i -> open_auction rng i ~items))
+  in
+  let closed_auctions =
+    el "closed_auctions" (List.init (max 1 (items / 4)) (fun i -> closed_auction rng i ~items))
+  in
+  el "site" [ regions; categories; people; open_auctions; closed_auctions ]
+
+let doc ?seed ~items () = Xmldom.Doc.of_tree (site ?seed ~items ())
+
+let items_per_mb = 200
+
+let doc_of_mb ?seed mb =
+  let items = max 6 (int_of_float (mb *. float_of_int items_per_mb)) in
+  doc ?seed ~items ()

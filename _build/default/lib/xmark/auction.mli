@@ -1,0 +1,29 @@
+(** XMark-style auction documents (the dataset of the paper's §6).
+
+    The generator reproduces the schema features the FleXPath
+    experiments exploit: the recursive [parlist]/[listitem] nesting
+    (enables axis generalization), the optional [incategory] and the
+    variable [bold]/[keyword]/[emph] markup (enable leaf deletion), and
+    the [text] element shared between [mail] and [listitem] (enables
+    subtree promotion).  A small [annotation] wrapper occasionally
+    interposes between [description] and [parlist], so
+    [description/parlist] vs [description//parlist] differ — the
+    generalization the paper's query Q1 admits.
+
+    Documents scale linearly in [items]; roughly 200 items serialize to
+    ~0.5 MB.  All randomness is deterministic in [seed]. *)
+
+val site : ?seed:int -> items:int -> unit -> Xmldom.Xml.t
+(** The [<site>] document tree with [items] items spread over the six
+    regions, plus proportional [categories] and [people] sections. *)
+
+val doc : ?seed:int -> items:int -> unit -> Xmldom.Doc.t
+(** [site] converted to the arena representation. *)
+
+val items_per_mb : int
+(** Calibration constant: the number of items whose serialization is
+    roughly one "paper megabyte" (see DESIGN.md on size scaling). *)
+
+val doc_of_mb : ?seed:int -> float -> Xmldom.Doc.t
+(** [doc_of_mb mb] generates a document sized like an [mb]-megabyte
+    XMark file in the paper's setup. *)

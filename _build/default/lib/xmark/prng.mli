@@ -1,0 +1,25 @@
+(** A small deterministic PRNG (splitmix64).
+
+    Benchmarks and tests need identical documents across runs and across
+    machines, so data generation never touches [Random]. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val next : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [0 .. n-1].  [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0 .. x). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val split : t -> t
+(** An independent stream. *)

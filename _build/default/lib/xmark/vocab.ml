@@ -1,0 +1,77 @@
+let common =
+  [|
+    "sorrow"; "general"; "cage"; "preserver"; "duteous"; "hour"; "softly";
+    "achieve"; "report"; "shortly"; "rejoices"; "king"; "realm"; "butter";
+    "golden"; "officer"; "ready"; "honour"; "garden"; "thought"; "strange";
+    "morning"; "silver"; "wonder"; "signal"; "mirror"; "castle"; "harvest";
+    "gentle"; "summer"; "winter"; "answer"; "letter"; "marble"; "bridge";
+    "window"; "market"; "village"; "journey"; "evening"; "river"; "mountain";
+    "feather"; "candle"; "shadow"; "whisper"; "story"; "music"; "dream";
+    "ancient"; "noble"; "quiet"; "bright"; "hidden"; "secret"; "simple";
+    "velvet"; "copper"; "crystal"; "ember"; "meadow"; "orchard"; "harbor";
+    "lantern"; "thunder"; "breeze"; "pearl"; "amber"; "willow"; "raven";
+  |]
+
+let auction_terms =
+  [|
+    "antique"; "vintage"; "rare"; "mint"; "collectible"; "estate"; "auction";
+    "bid"; "reserve"; "shipping"; "payment"; "creditcard"; "cash"; "check";
+    "gold"; "jewel"; "painting"; "sculpture"; "porcelain"; "furniture";
+    "clock"; "watch"; "camera"; "guitar"; "stamp"; "coin"; "carpet"; "vase";
+  |]
+
+let cs_terms =
+  [|
+    "xml"; "streaming"; "query"; "database"; "index"; "algorithm"; "join";
+    "pattern"; "tree"; "relaxation"; "ranking"; "keyword"; "search";
+    "optimization"; "semantics"; "evaluation"; "fragment"; "schema";
+    "document"; "structure"; "fulltext"; "retrieval"; "selectivity";
+    "estimation"; "topk"; "pruning"; "bucket"; "score";
+  |]
+
+let first_names =
+  [|
+    "Amara"; "Boris"; "Chen"; "Dalia"; "Emil"; "Farah"; "Goran"; "Hana";
+    "Ivan"; "Jun"; "Kira"; "Liam"; "Mona"; "Nils"; "Olga"; "Pavel"; "Qiu";
+    "Rosa"; "Sven"; "Tara"; "Umar"; "Vera"; "Wei"; "Xena"; "Yuri"; "Zara";
+  |]
+
+let last_names =
+  [|
+    "Abbott"; "Bishop"; "Castro"; "Duval"; "Engel"; "Fischer"; "Garcia";
+    "Huang"; "Ivanov"; "Jansen"; "Kovacs"; "Larsen"; "Meyer"; "Novak";
+    "Okafor"; "Petrov"; "Quinn"; "Rossi"; "Suzuki"; "Tanaka"; "Ueda";
+    "Vargas"; "Weber"; "Xu"; "Yamada"; "Zhang";
+  |]
+
+let countries =
+  [|
+    "United States"; "Germany"; "Japan"; "Brazil"; "Kenya"; "Australia";
+    "Canada"; "France"; "India"; "Mexico"; "Norway"; "Poland"; "Spain";
+  |]
+
+let categories =
+  [|
+    "art"; "books"; "coins"; "electronics"; "furniture"; "instruments";
+    "jewelry"; "maps"; "photography"; "pottery"; "stamps"; "textiles";
+  |]
+
+let sentence rng ?(inject = []) n =
+  let words = ref [] in
+  for _ = 1 to n do
+    words := Prng.pick rng common :: !words
+  done;
+  List.iter
+    (fun (w, p) ->
+      if Prng.bool rng p then begin
+        (* insert at a random position *)
+        let pos = Prng.int rng (List.length !words + 1) in
+        let rec insert i = function
+          | rest when i = pos -> w :: rest
+          | [] -> [ w ]
+          | x :: rest -> x :: insert (i + 1) rest
+        in
+        words := insert 0 !words
+      end)
+    inject;
+  String.concat " " !words

@@ -1,0 +1,21 @@
+(** Word lists for synthetic text generation. *)
+
+val common : string array
+(** Frequent filler words (Shakespeare-derived, as in XMark). *)
+
+val auction_terms : string array
+(** Domain words for auction descriptions. *)
+
+val cs_terms : string array
+(** Domain words for article text (the paper's intro examples query for
+    "XML" and "streaming"). *)
+
+val first_names : string array
+val last_names : string array
+val countries : string array
+val categories : string array
+
+val sentence : Prng.t -> ?inject:(string * float) list -> int -> string
+(** [sentence rng ~inject n] builds a sentence of roughly [n] words from
+    {!common}; each [(word, p)] in [inject] is independently inserted at
+    a random position with probability [p]. *)

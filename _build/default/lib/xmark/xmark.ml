@@ -1,0 +1,10 @@
+(** Deterministic synthetic data: {!Xmark.Auction} generates the
+    XMark-style documents of the paper's experiments (§6);
+    {!Xmark.Articles} generates the article collections of its running
+    example (§1); {!Xmark.Prng} and {!Xmark.Vocab} are their building
+    blocks. *)
+
+module Prng = Prng
+module Vocab = Vocab
+module Auction = Auction
+module Articles = Articles

@@ -1,0 +1,1 @@
+lib/xmldom/doc.ml: Array Buffer List Printf Result String Tag Xml Xml_parser

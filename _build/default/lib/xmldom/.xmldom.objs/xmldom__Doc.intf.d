@@ -1,0 +1,1 @@
+lib/xmldom/doc.mli: Tag Xml Xml_parser

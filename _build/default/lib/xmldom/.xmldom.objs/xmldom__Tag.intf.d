@@ -1,0 +1,1 @@
+lib/xmldom/tag.mli:

@@ -1,0 +1,1 @@
+lib/xmldom/xml.ml: Buffer Format List String

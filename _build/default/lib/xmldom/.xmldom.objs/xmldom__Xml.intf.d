@@ -1,0 +1,1 @@
+lib/xmldom/xml.mli: Buffer Format

@@ -1,0 +1,1 @@
+lib/xmldom/xml_parser.ml: Buffer Char Format List Printf String Xml

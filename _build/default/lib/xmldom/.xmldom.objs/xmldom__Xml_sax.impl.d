@@ -1,0 +1,1 @@
+lib/xmldom/xml_sax.ml: List Printf Result Xml Xml_parser

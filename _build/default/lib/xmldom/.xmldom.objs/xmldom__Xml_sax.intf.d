@@ -1,0 +1,1 @@
+lib/xmldom/xml_sax.mli: Xml Xml_parser

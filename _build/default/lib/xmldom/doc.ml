@@ -1,0 +1,220 @@
+type elem = int
+
+type t = {
+  tags : Tag.table;
+  n : int;
+  tag : int array;
+  post : int array;
+  level : int array;
+  parent : int array; (* -1 for the root *)
+  subtree_end : int array;
+  attrs : Xml.attr list array;
+  (* Per-element content in document order: item >= 0 is a child element
+     id, item < 0 is chunk index [-item - 1].  Preserves the interleaving
+     of text and element children for faithful reconstruction. *)
+  content : int array array;
+  chunk_owner : int array;
+  chunk_text : string array;
+  by_tag : elem array array;
+}
+
+let count_chunks tree =
+  let rec go acc = function
+    | Xml.Text _ -> acc + 1
+    | Xml.Element (_, _, kids) -> List.fold_left go acc kids
+  in
+  go 0 tree
+
+let of_tree tree =
+  (match tree with
+  | Xml.Text _ -> invalid_arg "Doc.of_tree: root must be an element"
+  | Xml.Element _ -> ());
+  let n = Xml.count_elements tree in
+  let n_chunks = count_chunks tree in
+  let tags = Tag.create () in
+  let tag = Array.make n 0 in
+  let post = Array.make n 0 in
+  let level = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let subtree_end = Array.make n 0 in
+  let attrs = Array.make n [] in
+  let content = Array.make n [||] in
+  let chunk_owner = Array.make (max 1 n_chunks) 0 in
+  let chunk_text = Array.make (max 1 n_chunks) "" in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  let next_chunk = ref 0 in
+  let rec build node par lvl =
+    match node with
+    | Xml.Text _ -> assert false
+    | Xml.Element (name, ats, kids) ->
+      let id = !next_pre in
+      incr next_pre;
+      tag.(id) <- Tag.intern tags name;
+      level.(id) <- lvl;
+      parent.(id) <- par;
+      attrs.(id) <- ats;
+      let items =
+        List.map
+          (fun kid ->
+            match kid with
+            | Xml.Text s ->
+              let c = !next_chunk in
+              incr next_chunk;
+              chunk_owner.(c) <- id;
+              chunk_text.(c) <- s;
+              -c - 1
+            | Xml.Element _ -> build kid id (lvl + 1))
+          kids
+      in
+      content.(id) <- Array.of_list items;
+      post.(id) <- !next_post;
+      incr next_post;
+      subtree_end.(id) <- !next_pre;
+      id
+  in
+  let root = build tree (-1) 0 in
+  assert (root = 0);
+  let counts = Array.make (Tag.count tags) 0 in
+  Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tag;
+  let by_tag = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (Tag.count tags) 0 in
+  for e = 0 to n - 1 do
+    let t = tag.(e) in
+    by_tag.(t).(fill.(t)) <- e;
+    fill.(t) <- fill.(t) + 1
+  done;
+  {
+    tags;
+    n;
+    tag;
+    post;
+    level;
+    parent;
+    subtree_end;
+    attrs;
+    content;
+    chunk_owner = (if n_chunks = 0 then [||] else chunk_owner);
+    chunk_text = (if n_chunks = 0 then [||] else chunk_text);
+    by_tag;
+  }
+
+let of_string s = Result.map of_tree (Xml_parser.parse s)
+let of_file path = Result.map of_tree (Xml_parser.parse_file path)
+
+let size d = d.n
+let root _ = 0
+let tags d = d.tags
+let tag d e = d.tag.(e)
+let tag_name d e = Tag.name d.tags d.tag.(e)
+let post d e = d.post.(e)
+let level d e = d.level.(e)
+let parent d e = if d.parent.(e) < 0 then None else Some d.parent.(e)
+
+let first_child d e =
+  let items = d.content.(e) in
+  let rec go i =
+    if i >= Array.length items then None
+    else if items.(i) >= 0 then Some items.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let children d e =
+  Array.fold_right (fun item acc -> if item >= 0 then item :: acc else acc) d.content.(e) []
+
+let next_sibling d e =
+  match parent d e with
+  | None -> None
+  | Some p ->
+    let items = d.content.(p) in
+    let rec go i seen =
+      if i >= Array.length items then None
+      else if items.(i) = e then go (i + 1) true
+      else if seen && items.(i) >= 0 then Some items.(i)
+      else go (i + 1) seen
+    in
+    go 0 false
+
+let attributes d e = d.attrs.(e)
+let attribute d e name = List.assoc_opt name d.attrs.(e)
+let subtree_end d e = d.subtree_end.(e)
+let is_ancestor d a b = a < b && b < d.subtree_end.(a)
+let is_parent d a b = b >= 0 && d.parent.(b) = a
+
+let ancestors d e =
+  let rec go acc e =
+    match parent d e with
+    | None -> List.rev acc
+    | Some p -> go (p :: acc) p
+  in
+  go [] e
+
+let by_tag d t = if t < 0 || t >= Array.length d.by_tag then [||] else d.by_tag.(t)
+
+let by_tag_name d name =
+  match Tag.find d.tags name with
+  | None -> [||]
+  | Some t -> by_tag d t
+
+let chunk_count d = Array.length d.chunk_text
+let chunk_owner d c = d.chunk_owner.(c)
+let chunk_text d c = d.chunk_text.(c)
+
+let direct_text d e =
+  let b = Buffer.create 16 in
+  Array.iter (fun item -> if item < 0 then Buffer.add_string b d.chunk_text.(-item - 1)) d.content.(e);
+  Buffer.contents b
+
+let deep_text d e =
+  let b = Buffer.create 64 in
+  let rec go e =
+    Array.iter
+      (fun item -> if item < 0 then Buffer.add_string b d.chunk_text.(-item - 1) else go item)
+      d.content.(e)
+  in
+  go e;
+  Buffer.contents b
+
+let iter_elements d f =
+  for e = 0 to d.n - 1 do
+    f e
+  done
+
+let to_tree d =
+  let rec rebuild e =
+    let kids =
+      Array.to_list d.content.(e)
+      |> List.map (fun item ->
+             if item < 0 then Xml.Text d.chunk_text.(-item - 1) else rebuild item)
+    in
+    Xml.Element (tag_name d e, d.attrs.(e), kids)
+  in
+  rebuild 0
+
+let serialized_size d = String.length (Xml.to_string (to_tree d))
+
+let path_to_root d e =
+  let sibling_rank e =
+    (* 1-based rank of [e] among same-tag siblings. *)
+    match parent d e with
+    | None -> 1
+    | Some p ->
+      let rank = ref 0 in
+      let found = ref 1 in
+      List.iter
+        (fun c ->
+          if d.tag.(c) = d.tag.(e) then begin
+            incr rank;
+            if c = e then found := !rank
+          end)
+        (children d p);
+      !found
+  in
+  let rec go e acc =
+    let step = Printf.sprintf "%s[%d]" (tag_name d e) (sibling_rank e) in
+    match parent d e with
+    | None -> step :: acc
+    | Some p -> go p (step :: acc)
+  in
+  String.concat "/" (go e [])

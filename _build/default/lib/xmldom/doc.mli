@@ -1,0 +1,87 @@
+(** Arena representation of an XML document.
+
+    Elements are numbered by pre-order position ([0 .. size - 1]); the
+    classic (pre, post, level) numbering supports O(1) containment tests,
+    which is the interface the structural-join algorithms of Al-Khalifa
+    et al. (ICDE 2002) require.  Character data is kept as a flat array of
+    (owner, text) chunks in document order, so full-text indexing can
+    assign globally increasing token positions whose per-subtree ranges
+    are contiguous. *)
+
+type elem = int
+(** An element id: the pre-order rank of the element. *)
+
+type t
+
+val of_tree : Xml.t -> t
+(** [of_tree t] builds the arena for the tree rooted at [t].
+    @raise Invalid_argument if the root is a text node. *)
+
+val of_string : string -> (t, Xml_parser.error) result
+(** Parse then build. *)
+
+val of_file : string -> (t, Xml_parser.error) result
+
+val size : t -> int
+(** Number of elements. *)
+
+val root : t -> elem
+(** The document element (always [0]). *)
+
+val tags : t -> Tag.table
+(** The intern table used by this document. *)
+
+val tag : t -> elem -> Tag.t
+val tag_name : t -> elem -> string
+val post : t -> elem -> int
+val level : t -> elem -> int
+(** [level d e] is the depth of [e]; the root has level 0. *)
+
+val parent : t -> elem -> elem option
+val first_child : t -> elem -> elem option
+val next_sibling : t -> elem -> elem option
+val children : t -> elem -> elem list
+val attributes : t -> elem -> Xml.attr list
+val attribute : t -> elem -> string -> string option
+
+val subtree_end : t -> elem -> int
+(** [subtree_end d e] is one past the last pre-order id in the subtree of
+    [e]; descendants of [e] are exactly [e + 1 .. subtree_end d e - 1]. *)
+
+val is_ancestor : t -> elem -> elem -> bool
+(** [is_ancestor d a b] — strict: [a <> b]. *)
+
+val is_parent : t -> elem -> elem -> bool
+
+val ancestors : t -> elem -> elem list
+(** Ancestors of [e], nearest first, excluding [e]. *)
+
+val by_tag : t -> Tag.t -> elem array
+(** [by_tag d t] is the array of elements with tag [t], sorted by
+    pre-order id.  The returned array is shared: do not mutate. *)
+
+val by_tag_name : t -> string -> elem array
+(** Like {!by_tag}, resolving the name first; [||] for unknown tags. *)
+
+val chunk_count : t -> int
+val chunk_owner : t -> int -> elem
+val chunk_text : t -> int -> string
+
+val direct_text : t -> elem -> string
+(** Concatenated character data directly under [e]. *)
+
+val deep_text : t -> elem -> string
+(** Concatenated character data in the subtree of [e], document order. *)
+
+val iter_elements : t -> (elem -> unit) -> unit
+
+val to_tree : t -> Xml.t
+(** Rebuild an {!Xml.t}.  Direct text chunks are emitted in document
+    order relative to element children. *)
+
+val serialized_size : t -> int
+(** Byte length of [Xml.to_string (to_tree d)] — used by benchmarks to
+    report document sizes. *)
+
+val path_to_root : t -> elem -> string
+(** Human-readable location like ["article[3]/section[1]/p[2]"]. *)

@@ -1,0 +1,32 @@
+type t = int
+
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; names = Array.make 64 ""; n = 0 }
+
+let intern tbl name =
+  match Hashtbl.find_opt tbl.by_name name with
+  | Some id -> id
+  | None ->
+    let id = tbl.n in
+    if id = Array.length tbl.names then begin
+      let grown = Array.make (2 * id) "" in
+      Array.blit tbl.names 0 grown 0 id;
+      tbl.names <- grown
+    end;
+    tbl.names.(id) <- name;
+    tbl.n <- id + 1;
+    Hashtbl.add tbl.by_name name id;
+    id
+
+let find tbl name = Hashtbl.find_opt tbl.by_name name
+
+let name tbl id =
+  if id < 0 || id >= tbl.n then invalid_arg "Tag.name: unknown tag id";
+  tbl.names.(id)
+
+let count tbl = tbl.n

@@ -1,0 +1,28 @@
+(** Interned element names.
+
+    Query processing compares tags constantly; interning turns those
+    comparisons into integer equality and lets {!Doc} index elements by
+    tag with plain arrays. *)
+
+type t = int
+(** An interned tag.  Valid only with respect to the {!table} that
+    produced it. *)
+
+type table
+(** A mutable intern table. *)
+
+val create : unit -> table
+
+val intern : table -> string -> t
+(** [intern tbl name] returns the id for [name], allocating one on first
+    use.  Ids are dense, starting at 0. *)
+
+val find : table -> string -> t option
+(** [find tbl name] returns the id for [name] if already interned. *)
+
+val name : table -> t -> string
+(** [name tbl id] is the string for [id].
+    @raise Invalid_argument if [id] was not allocated by [tbl]. *)
+
+val count : table -> int
+(** Number of distinct tags interned so far. *)

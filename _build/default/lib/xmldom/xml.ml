@@ -1,0 +1,138 @@
+type attr = string * string
+
+type t =
+  | Element of string * attr list * t list
+  | Text of string
+
+let element ?(attrs = []) name children = Element (name, attrs, children)
+let text s = Text s
+
+let tag = function
+  | Element (name, _, _) -> Some name
+  | Text _ -> None
+
+let children = function
+  | Element (_, _, kids) -> kids
+  | Text _ -> []
+
+let attribute t name =
+  match t with
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let direct_text t =
+  match t with
+  | Text s -> s
+  | Element (_, _, kids) ->
+    let b = Buffer.create 16 in
+    let add = function
+      | Text s -> Buffer.add_string b s
+      | Element _ -> ()
+    in
+    List.iter add kids;
+    Buffer.contents b
+
+let deep_text t =
+  let b = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string b s
+    | Element (_, _, kids) -> List.iter go kids
+  in
+  go t;
+  Buffer.contents b
+
+let count_elements t =
+  let rec go acc = function
+    | Text _ -> acc
+    | Element (_, _, kids) -> List.fold_left go (acc + 1) kids
+  in
+  go 0 t
+
+let escape s =
+  let needs_escape = function
+    | '&' | '<' | '>' | '"' | '\'' -> true
+    | _ -> false
+  in
+  if not (String.exists needs_escape s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string b "&amp;"
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '"' -> Buffer.add_string b "&quot;"
+        | '\'' -> Buffer.add_string b "&apos;"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let add_attrs b attrs =
+  let add (name, value) =
+    Buffer.add_char b ' ';
+    Buffer.add_string b name;
+    Buffer.add_string b "=\"";
+    Buffer.add_string b (escape value);
+    Buffer.add_char b '"'
+  in
+  List.iter add attrs
+
+let rec to_buffer b t =
+  match t with
+  | Text s -> Buffer.add_string b (escape s)
+  | Element (name, attrs, kids) ->
+    Buffer.add_char b '<';
+    Buffer.add_string b name;
+    add_attrs b attrs;
+    if kids = [] then Buffer.add_string b "/>"
+    else begin
+      Buffer.add_char b '>';
+      List.iter (to_buffer b) kids;
+      Buffer.add_string b "</";
+      Buffer.add_string b name;
+      Buffer.add_char b '>'
+    end
+
+let to_string ?(decl = false) t =
+  let b = Buffer.create 1024 in
+  if decl then Buffer.add_string b "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  to_buffer b t;
+  Buffer.contents b
+
+let has_element_child kids = List.exists (function Element _ -> true | Text _ -> false) kids
+let has_text_child kids = List.exists (function Text _ -> true | Element _ -> false) kids
+
+let rec pp fmt t =
+  match t with
+  | Text s -> Format.pp_print_string fmt (escape s)
+  | Element (name, attrs, kids) ->
+    let attrs_str =
+      let b = Buffer.create 16 in
+      add_attrs b attrs;
+      Buffer.contents b
+    in
+    if kids = [] then Format.fprintf fmt "<%s%s/>" name attrs_str
+    else if has_text_child kids || not (has_element_child kids) then begin
+      (* Mixed or text-only content: inline to keep character data intact. *)
+      Format.fprintf fmt "<%s%s>" name attrs_str;
+      List.iter (pp fmt) kids;
+      Format.fprintf fmt "</%s>" name
+    end
+    else begin
+      Format.fprintf fmt "@[<v 2><%s%s>" name attrs_str;
+      List.iter (fun k -> Format.fprintf fmt "@,%a" pp k) kids;
+      Format.fprintf fmt "@]@,</%s>" name
+    end
+
+let rec equal a b =
+  match (a, b) with
+  | Text s, Text s' -> String.equal s s'
+  | Element (n, at, k), Element (n', at', k') ->
+    String.equal n n'
+    && List.length at = List.length at'
+    && List.for_all (fun (name, v) -> List.assoc_opt name at' = Some v) at
+    && List.length k = List.length k'
+    && List.for_all2 equal k k'
+  | Text _, Element _ | Element _, Text _ -> false

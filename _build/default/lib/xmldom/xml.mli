@@ -1,0 +1,58 @@
+(** In-memory XML trees.
+
+    This is the exchange format between the parser, the programmatic
+    builders and {!Doc} (the arena representation used by the query
+    engines).  Only elements, attributes and character data are modelled;
+    comments and processing instructions are discarded at parse time. *)
+
+type attr = string * string
+(** An attribute: [(name, value)].  Values are stored unescaped. *)
+
+type t =
+  | Element of string * attr list * t list
+  | Text of string  (** Character data, unescaped. *)
+
+val element : ?attrs:attr list -> string -> t list -> t
+(** [element ~attrs name children] builds an element node. *)
+
+val text : string -> t
+(** [text s] builds a character-data node. *)
+
+val tag : t -> string option
+(** [tag t] is the element name of [t], or [None] for text nodes. *)
+
+val children : t -> t list
+(** [children t] is the child list of an element, [[]] for text nodes. *)
+
+val attribute : t -> string -> string option
+(** [attribute t name] looks up attribute [name] on an element. *)
+
+val direct_text : t -> string
+(** [direct_text t] concatenates the character data appearing directly
+    under [t] (not under its descendants). *)
+
+val deep_text : t -> string
+(** [deep_text t] concatenates all character data in the subtree rooted
+    at [t], in document order. *)
+
+val count_elements : t -> int
+(** [count_elements t] is the number of element nodes in the subtree. *)
+
+val escape : string -> string
+(** [escape s] replaces ampersand, angle brackets and both quote
+    characters with the predefined XML entities. *)
+
+val to_string : ?decl:bool -> t -> string
+(** [to_string t] serializes [t] to a compact XML string.  [decl]
+    (default [false]) prepends an XML declaration. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** [to_buffer b t] appends the serialization of [t] to [b]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] pretty-prints [t] with two-space indentation.  Mixed
+    content (elements with both text and element children) is printed
+    inline to preserve character data. *)
+
+val equal : t -> t -> bool
+(** Structural equality, ignoring attribute order. *)

@@ -1,0 +1,366 @@
+type error = { position : int; line : int; column : int; message : string }
+
+let pp_error fmt e =
+  (* line 0 marks I/O failures, which have no source position *)
+  if e.line = 0 then Format.pp_print_string fmt e.message
+  else Format.fprintf fmt "XML parse error at line %d, column %d: %s" e.line e.column e.message
+
+exception Parse_error of error
+
+type state = { src : string; len : int; mutable pos : int }
+
+let line_col src pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min (pos - 1) (String.length src - 1) do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, column = line_col st.src st.pos in
+  raise (Parse_error { position = st.pos; line; column; message })
+
+let eof st = st.pos >= st.len
+let peek st = if eof st then '\000' else st.src.[st.pos]
+let peek2 st = if st.pos + 1 >= st.len then '\000' else st.src.[st.pos + 1]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= st.len && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while (not (eof st)) && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode an entity reference starting just after '&'. *)
+let parse_entity st b =
+  let start = st.pos in
+  let rec find_semi () =
+    if eof st then fail st "unterminated entity reference"
+    else if peek st = ';' then ()
+    else begin
+      advance st;
+      find_semi ()
+    end
+  in
+  find_semi ();
+  let name = String.sub st.src start (st.pos - start) in
+  advance st;
+  let add_codepoint cp =
+    (* UTF-8 encode. *)
+    if cp < 0 then fail st "negative character reference"
+    else if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp <= 0x10FFFF then begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else fail st "character reference out of range"
+  in
+  match name with
+  | "amp" -> Buffer.add_char b '&'
+  | "lt" -> Buffer.add_char b '<'
+  | "gt" -> Buffer.add_char b '>'
+  | "quot" -> Buffer.add_char b '"'
+  | "apos" -> Buffer.add_char b '\''
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let cp =
+        try
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string (String.sub name 1 (String.length name - 1))
+        with Failure _ -> fail st (Printf.sprintf "bad character reference &%s;" name)
+      in
+      add_codepoint cp
+    end
+    else fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      let c = peek st in
+      if c = quote then advance st
+      else if c = '&' then begin
+        advance st;
+        parse_entity st b;
+        go ()
+      end
+      else if c = '<' then fail st "'<' in attribute value"
+      else begin
+        Buffer.add_char b c;
+        advance st;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents b
+
+let parse_attrs st =
+  let rec go acc =
+    skip_ws st;
+    let c = peek st in
+    if c = '>' || c = '/' || c = '?' then List.rev acc
+    else begin
+      let name = parse_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let value = parse_attr_value st in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+let skip_until st stop =
+  let n = String.length stop in
+  let rec go () =
+    if st.pos + n > st.len then fail st (Printf.sprintf "expected %S before end of input" stop)
+    else if looking_at st stop then st.pos <- st.pos + n
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_comment st = skip_until st "-->"
+let skip_pi st = skip_until st "?>"
+
+(* Skip a DOCTYPE declaration, tolerating an internal subset. *)
+let skip_doctype st =
+  let rec go depth =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+        advance st;
+        go (depth + 1)
+      | ']' ->
+        advance st;
+        go (depth - 1)
+      | '>' when depth = 0 -> advance st
+      | _ ->
+        advance st;
+        go depth
+  in
+  go 0
+
+let parse_cdata st b =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 3 > st.len then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then ()
+    else begin
+      advance st;
+      find ()
+    end
+  in
+  find ();
+  Buffer.add_substring b st.src start (st.pos - start);
+  st.pos <- st.pos + 3
+
+let all_ws s = String.for_all is_ws s
+
+type event =
+  | Start_element of string * Xml.attr list
+  | End_element of string
+  | Text of string
+
+(* The streaming core: emit events for one element and its content.
+   [open_tags] is the stack of currently open element names. *)
+let scan_document st emit =
+  let open_tags = ref [] in
+  let start_element () =
+    expect st "<";
+    let name = parse_name st in
+    let attrs = parse_attrs st in
+    skip_ws st;
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      emit (Start_element (name, attrs));
+      emit (End_element name)
+    end
+    else begin
+      expect st ">";
+      emit (Start_element (name, attrs));
+      open_tags := name :: !open_tags
+    end
+  in
+  start_element ();
+  while !open_tags <> [] do
+    let name = match !open_tags with n :: _ -> n | [] -> assert false in
+    if eof st then fail st (Printf.sprintf "unterminated element <%s>" name)
+    else if looking_at st "</" then begin
+      st.pos <- st.pos + 2;
+      let close = parse_name st in
+      if close <> name then
+        fail st (Printf.sprintf "mismatched closing tag: expected </%s>, got </%s>" name close);
+      skip_ws st;
+      expect st ">";
+      emit (End_element name);
+      open_tags := List.tl !open_tags
+    end
+    else if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_comment st
+    end
+    else if looking_at st "<![CDATA[" then begin
+      let b = Buffer.create 32 in
+      parse_cdata st b;
+      emit (Text (Buffer.contents b))
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_pi st
+    end
+    else if peek st = '<' then start_element ()
+    else begin
+      let b = Buffer.create 32 in
+      while (not (eof st)) && peek st <> '<' do
+        if peek st = '&' then begin
+          advance st;
+          parse_entity st b
+        end
+        else begin
+          Buffer.add_char b (peek st);
+          advance st
+        end
+      done;
+      let s = Buffer.contents b in
+      (* Whitespace-only text between elements is insignificant for the
+         document collections we target; drop it. *)
+      if not (all_ws s) then emit (Text s)
+    end
+  done
+
+let skip_prolog st =
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_pi st;
+      go ()
+    end
+    else if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      st.pos <- st.pos + 9;
+      skip_doctype st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_epilog st =
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_pi st;
+      go ()
+    end
+    else if not (eof st) then fail st "trailing content after document element"
+  in
+  go ()
+
+let scan_exn s ~init ~f =
+  let st = { src = s; len = String.length s; pos = 0 } in
+  skip_prolog st;
+  if peek st <> '<' || peek2 st = '/' then fail st "expected document element";
+  let acc = ref init in
+  scan_document st (fun ev -> acc := f !acc ev);
+  skip_epilog st;
+  !acc
+
+let scan s ~init ~f = try Ok (scan_exn s ~init ~f) with Parse_error e -> Error e
+
+(* DOM construction on top of the event stream: a stack of open
+   elements accumulating children in reverse. *)
+type frame = { name : string; attrs : Xml.attr list; mutable rev_kids : Xml.t list }
+
+let parse_exn s =
+  let stack = ref [] in
+  let result = ref None in
+  let push_kid kid =
+    match !stack with
+    | frame :: _ -> frame.rev_kids <- kid :: frame.rev_kids
+    | [] -> result := Some kid
+  in
+  let on_event () ev =
+    match ev with
+    | Start_element (name, attrs) -> stack := { name; attrs; rev_kids = [] } :: !stack
+    | End_element _ -> (
+      match !stack with
+      | frame :: rest ->
+        stack := rest;
+        push_kid (Xml.Element (frame.name, frame.attrs, List.rev frame.rev_kids))
+      | [] -> assert false)
+    | Text s -> push_kid (Xml.Text s)
+  in
+  scan_exn s ~init:() ~f:on_event;
+  match !result with
+  | Some tree -> tree
+  | None -> assert false (* scan_document always emits a balanced root *)
+
+let parse s = try Ok (parse_exn s) with Parse_error e -> Error e
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error message -> Error { position = 0; line = 0; column = 0; message }
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s

@@ -1,0 +1,35 @@
+(** A small, dependency-free XML parser.
+
+    Supports the subset of XML needed for document collections: elements,
+    attributes, character data, CDATA sections, comments, processing
+    instructions, the XML declaration, a DOCTYPE declaration (skipped,
+    internal subsets included), the five predefined entities and numeric
+    character references.  Namespaces are not interpreted (prefixed names
+    are kept verbatim).  DTD-defined entities are not expanded. *)
+
+type error = { position : int; line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+type event =
+  | Start_element of string * Xml.attr list
+  | End_element of string
+  | Text of string
+      (** The streaming core's events; {!Xml_sax} wraps them in a
+          user-facing API, and {!parse} builds trees from them. *)
+
+val scan : string -> init:'a -> f:('a -> event -> 'a) -> ('a, error) result
+(** Fold over the document's events without building a tree. *)
+
+val parse : string -> (Xml.t, error) result
+(** [parse s] parses a complete XML document from [s].  Whitespace-only
+    text nodes are dropped (element-content whitespace); all other
+    character data is kept verbatim. *)
+
+val parse_exn : string -> Xml.t
+(** Like {!parse} but raises {!Parse_error}. *)
+
+val parse_file : string -> (Xml.t, error) result
+(** [parse_file path] reads and parses the file at [path]. *)

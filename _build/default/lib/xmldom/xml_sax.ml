@@ -1,0 +1,38 @@
+type event = Xml_parser.event =
+  | Start_element of string * Xml.attr list
+  | End_element of string
+  | Text of string
+
+let fold s ~init ~f = Xml_parser.scan s ~init ~f
+
+let iter s ~f = Xml_parser.scan s ~init:() ~f:(fun () ev -> f ev)
+
+let fold_file path ~init ~f =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  fold s ~init ~f
+
+let events s = Result.map List.rev (fold s ~init:[] ~f:(fun acc ev -> ev :: acc))
+
+let tree_of_events evs =
+  let rec go stack evs =
+    match (evs, stack) with
+    | [], [ (`Done tree) ] -> Ok tree
+    | [], _ -> Error "unbalanced events"
+    | Start_element (name, attrs) :: rest, _ -> go (`Open (name, attrs, []) :: stack) rest
+    | End_element name :: rest, `Open (name', attrs, rev_kids) :: stack' ->
+      if name <> name' then Error (Printf.sprintf "mismatched end: %s vs %s" name name')
+      else begin
+        let tree = Xml.Element (name', attrs, List.rev rev_kids) in
+        match stack' with
+        | `Open (n, a, kids) :: up -> go (`Open (n, a, tree :: kids) :: up) rest
+        | [] -> go [ `Done tree ] rest
+        | `Done _ :: _ -> Error "content after document element"
+      end
+    | End_element _ :: _, _ -> Error "end without matching start"
+    | Text s :: rest, `Open (n, a, kids) :: up -> go (`Open (n, a, Xml.Text s :: kids) :: up) rest
+    | Text _ :: _, _ -> Error "text outside the document element"
+  in
+  go [] evs

@@ -1,0 +1,31 @@
+(** Streaming (SAX-style) XML parsing.
+
+    The paper's implementation sat on top of the expat SAX parser; this
+    module provides the same push-event interface over the same XML
+    subset as {!Xml_parser}, without materializing a tree.  Useful for
+    single-pass statistics, filtering, or feeding an indexer directly.
+
+    Events arrive in document order; element nesting is guaranteed
+    well-formed (mismatched tags raise the usual parse error).
+    Whitespace-only text between elements is dropped, as in
+    {!Xml_parser}. *)
+
+type event =
+  | Start_element of string * Xml.attr list
+  | End_element of string
+  | Text of string
+
+val fold : string -> init:'a -> f:('a -> event -> 'a) -> ('a, Xml_parser.error) result
+(** [fold s ~init ~f] runs [f] over every event of the document in
+    [s]. *)
+
+val iter : string -> f:(event -> unit) -> (unit, Xml_parser.error) result
+
+val fold_file : string -> init:'a -> f:('a -> event -> 'a) -> ('a, Xml_parser.error) result
+
+val tree_of_events : event list -> (Xml.t, string) result
+(** Reassemble a tree from an event list — mostly for testing that the
+    streaming and DOM views agree. *)
+
+val events : string -> (event list, Xml_parser.error) result
+(** All events, materialized. *)

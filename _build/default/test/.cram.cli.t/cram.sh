@@ -1,0 +1,15 @@
+  $ flexpath_cli generate --articles 5 --seed 3 -o articles.xml
+  $ flexpath_cli stats --file articles.xml | head -2
+  $ flexpath_cli query --file articles.xml -k 3 --algo dpo '//article[.contains("xml" and "streaming")]' > dpo.out
+  $ flexpath_cli query --file articles.xml -k 3 --algo sso '//article[.contains("xml" and "streaming")]' > sso.out
+  $ flexpath_cli query --file articles.xml -k 3 --algo hybrid '//article[.contains("xml" and "streaming")]' > hybrid.out
+  $ diff dpo.out sso.out
+  $ diff sso.out hybrid.out
+  $ head -1 dpo.out
+  $ flexpath_cli relax --file articles.xml '//article[./section/paragraph]' | head -2
+  $ flexpath_cli query --file articles.xml -k 1 --weights structural=2 '//article[./section/paragraph]' | head -1
+  $ flexpath_cli index --file articles.xml -o articles.env
+  $ flexpath_cli query --env articles.env -k 3 '//article[.contains("xml" and "streaming")]' > env.out
+  $ diff dpo.out env.out
+  $ flexpath_cli query --file articles.xml '//['
+  $ flexpath_cli query --file missing.xml '//a'

@@ -1,0 +1,1 @@
+test/test_approxml.ml: Alcotest Approxml Float Fulltext List String Tpq Xmark Xmldom

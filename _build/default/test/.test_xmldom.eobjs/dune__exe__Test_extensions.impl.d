@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Flexpath Float Fulltext List Relax Result Stats Sys Tpq Xmldom

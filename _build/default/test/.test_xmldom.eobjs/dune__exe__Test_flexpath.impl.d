@@ -1,0 +1,1 @@
+test/test_flexpath.ml: Alcotest Filename Flexpath Float Fulltext Int Joins Lazy List Printf QCheck2 QCheck_alcotest Result Sys Tpq Xmark Xmldom

@@ -1,0 +1,1 @@
+test/test_flexpath.mli:

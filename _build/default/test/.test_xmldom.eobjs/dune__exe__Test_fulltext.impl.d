@@ -1,0 +1,1 @@
+test/test_fulltext.ml: Alcotest Float Fulltext List Option QCheck2 QCheck_alcotest Result String Xmldom

@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Array Float Fulltext Int Joins List Relax Result Stats String Tpq Xmark Xmldom

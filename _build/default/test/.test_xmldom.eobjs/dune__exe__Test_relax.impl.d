@@ -1,0 +1,1 @@
+test/test_relax.ml: Alcotest Fulltext List QCheck2 QCheck_alcotest Relax Result Stats String Tpq Xmldom

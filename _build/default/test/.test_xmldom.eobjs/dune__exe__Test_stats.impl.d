@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Format Fulltext List Printf Stats String Tpq Xmark Xmldom

@@ -1,0 +1,1 @@
+test/test_tpq.ml: Alcotest Array Fulltext List QCheck2 QCheck_alcotest Result String Tpq Xmldom

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Array Fulltext Lazy List Option Tpq Xmark Xmldom

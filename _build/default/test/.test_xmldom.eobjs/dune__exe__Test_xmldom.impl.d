@@ -1,0 +1,1 @@
+test/test_xmldom.ml: Alcotest Array Format List Option QCheck2 QCheck_alcotest Result String Xmark Xmldom

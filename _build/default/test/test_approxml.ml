@@ -1,0 +1,90 @@
+(* Tests for the APPROXML data-relaxation baseline. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Index = Fulltext.Index
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+
+let el = Xml.element
+let txt = Xml.text
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* <r><a><b><c/></b></a><a><c/></a></r>
+   r=0 a=1 b=2 c=3 a=4 c=5 *)
+let sample () =
+  Doc.of_tree (el "r" [ el "a" [ el "b" [ el "c" [] ] ]; el "a" [ el "c" [] ] ])
+
+let test_edge_count () =
+  let t = Approxml.build_exn (sample ()) in
+  (* Σ depth: a=1 b=2 c=3 a=1 c=2 -> 9 *)
+  check_int "closure edges" 9 (Approxml.edge_count t);
+  check_bool "memory accounted" true (Approxml.memory_words t >= 9 * 2)
+
+let test_edges_from () =
+  let t = Approxml.build_exn (sample ()) in
+  check_bool "root reaches everything" true
+    (List.length (Approxml.edges_from t 0) = 5);
+  check_bool "distances recorded" true
+    (List.mem (3, 2) (Approxml.edges_from t 1) && List.mem (2, 1) (Approxml.edges_from t 1))
+
+let test_build_cap () =
+  match Approxml.build ~max_edges:3 (sample ()) with
+  | Ok _ -> Alcotest.fail "expected the cap to trip"
+  | Error msg -> check_bool "explains failure" true (String.length msg > 10)
+
+let test_exact_answers_score_one () =
+  let d = sample () in
+  let idx = Index.build d in
+  let t = Approxml.build_exn d in
+  let q = Xpath.parse_exn "//a[./c]" in
+  let results = Approxml.answers t idx q in
+  (* a=4 has c as a direct child (score 1); a=1 reaches c only via b
+     (score 1/2) *)
+  check_int "both as returned" 2 (List.length results);
+  let top_e, top_s = List.hd results in
+  check_int "exact first" 4 top_e;
+  check_bool "exact scores 1" true (Float.abs (top_s -. 1.0) < 1e-9);
+  let rel_e, rel_s = List.nth results 1 in
+  check_int "relaxed second" 1 rel_e;
+  check_bool "relaxed scores 1/2" true (Float.abs (rel_s -. 0.5) < 1e-9)
+
+let test_agrees_with_flexpath_on_relevance () =
+  (* Every element FleXPath's relaxed semantics returns for a pure
+     structural query is also found by data relaxation. *)
+  let d = Xmark.Articles.doc ~seed:3 ~count:20 () in
+  let idx = Index.build d in
+  let t = Approxml.build_exn d in
+  let q = Xpath.parse_exn "//article[./section/algorithm]" in
+  let approx = List.map fst (Approxml.answers t idx q) in
+  let exact = Semantics.answers d idx q in
+  check_bool "superset of exact answers" true (List.for_all (fun e -> List.mem e approx) exact);
+  let relaxed = Semantics.answers d idx (Xpath.parse_exn "//article[.//algorithm]") in
+  check_bool "covers axis relaxation" true
+    (List.for_all (fun e -> List.mem e approx) relaxed)
+
+let test_keywords_respected () =
+  let d =
+    Doc.of_tree
+      (el "r"
+         [ el "a" [ el "p" [ txt "xml here" ] ]; el "a" [ el "p" [ txt "nothing" ] ] ])
+  in
+  let idx = Index.build d in
+  let t = Approxml.build_exn d in
+  let q = Xpath.parse_exn "//a[./p[.contains(\"xml\")]]" in
+  check_int "contains still strict" 1 (List.length (Approxml.answers t idx q))
+
+let () =
+  Alcotest.run "approxml"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "edge count" `Quick test_edge_count;
+          Alcotest.test_case "edges from" `Quick test_edges_from;
+          Alcotest.test_case "build cap" `Quick test_build_cap;
+          Alcotest.test_case "exact answers score 1" `Quick test_exact_answers_score_one;
+          Alcotest.test_case "covers query relaxation" `Quick test_agrees_with_flexpath_on_relevance;
+          Alcotest.test_case "keywords respected" `Quick test_keywords_respected;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for the §3.4 extension relaxations: type-hierarchy tag
+   generalization and thesaurus-based keyword expansion. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Thesaurus = Fulltext.Thesaurus
+module Pred = Tpq.Pred
+module Query = Tpq.Query
+module Xpath = Tpq.Xpath
+module Hierarchy = Tpq.Hierarchy
+module Semantics = Tpq.Semantics
+module Op = Relax.Op
+module Penalty = Relax.Penalty
+
+let el = Xml.element
+let txt = Xml.text
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_slist = Alcotest.(check (list string))
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy structure *)
+
+let pub_hierarchy () =
+  Hierarchy.of_list_exn
+    [ ("article", "publication"); ("book", "publication"); ("thesis", "book") ]
+
+let test_hierarchy_basics () =
+  let h = pub_hierarchy () in
+  check_bool "supertype" true (Hierarchy.supertype h "article" = Some "publication");
+  check_bool "no supertype" true (Hierarchy.supertype h "publication" = None);
+  check_slist "chain" [ "book"; "publication" ] (Hierarchy.supertypes h "thesis");
+  check_slist "subtypes sorted" [ "article"; "book"; "thesis" ]
+    (List.sort compare (Hierarchy.subtypes h "publication"));
+  check_bool "matches self" true (Hierarchy.matches h ~query_tag:"book" ~element_tag:"book");
+  check_bool "matches transitive subtype" true
+    (Hierarchy.matches h ~query_tag:"publication" ~element_tag:"thesis");
+  check_bool "no upward match" false
+    (Hierarchy.matches h ~query_tag:"thesis" ~element_tag:"book");
+  check_bool "empty hierarchy exact only" false
+    (Hierarchy.matches Hierarchy.empty ~query_tag:"publication" ~element_tag:"article")
+
+let test_hierarchy_validation () =
+  let bad pairs =
+    match Hierarchy.of_list pairs with
+    | Ok _ -> Alcotest.fail "expected rejection"
+    | Error _ -> ()
+  in
+  bad [ ("a", "a") ];
+  bad [ ("a", "b"); ("a", "c") ];
+  (* two supertypes *)
+  bad [ ("a", "b"); ("b", "c"); ("c", "a") ] (* cycle *)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy-aware matching *)
+
+let library_doc () =
+  Doc.of_tree
+    (el "library"
+       [
+         el "article" [ el "title" [ txt "xml streams" ] ];
+         el "book" [ el "title" [ txt "xml databases" ] ];
+         el "thesis" [ el "title" [ txt "query relaxation" ] ];
+         el "report" [ el "title" [ txt "unrelated" ] ];
+       ])
+
+let test_semantics_with_hierarchy () =
+  let d = library_doc () in
+  let idx = Index.build d in
+  let h = pub_hierarchy () in
+  let q = Xpath.parse_exn "//publication" in
+  check_int "no hierarchy: nothing" 0 (List.length (Semantics.answers d idx q));
+  check_int "hierarchy: article+book+thesis" 3
+    (List.length (Semantics.answers ~hierarchy:h d idx q));
+  let qb = Xpath.parse_exn "//book" in
+  check_int "book covers thesis" 2 (List.length (Semantics.answers ~hierarchy:h d idx qb))
+
+let test_candidates_merged_sorted () =
+  let d = library_doc () in
+  let h = pub_hierarchy () in
+  let pool = Semantics.candidates ~hierarchy:h d (Query.node_spec ~tag:"publication" ()) in
+  check_int "three candidates" 3 (Array.length pool);
+  check_bool "sorted" true (pool.(0) < pool.(1) && pool.(1) < pool.(2))
+
+(* ------------------------------------------------------------------ *)
+(* Tag generalization operator *)
+
+let test_tag_generalization_op () =
+  let h = pub_hierarchy () in
+  let q = Xpath.parse_exn "//article[./title]" in
+  let root = Query.root q in
+  match Op.apply ~hierarchy:h q (Op.Tag_generalization (root, "publication")) with
+  | Error e -> Alcotest.fail e
+  | Ok q' ->
+    check_bool "tag generalized" true ((Query.node q' root).tag = Some "publication");
+    check_bool "skipping a level fails" true
+      (Result.is_error (Op.apply ~hierarchy:h (Xpath.parse_exn "//thesis") (Op.Tag_generalization (1, "publication"))));
+    check_bool "without hierarchy fails" true
+      (Result.is_error (Op.apply q (Op.Tag_generalization (root, "publication"))))
+
+let test_tag_generalization_applicable () =
+  let h = pub_hierarchy () in
+  let q = Xpath.parse_exn "//article[./title]" in
+  let ops = Op.applicable ~hierarchy:h q in
+  check_bool "offered" true (List.mem (Op.Tag_generalization (1, "publication")) ops);
+  let ops_no_h = Op.applicable q in
+  check_bool "not offered without hierarchy" false
+    (List.exists (function Op.Tag_generalization _ -> true | _ -> false) ops_no_h)
+
+let test_tag_generalization_sound () =
+  let d = library_doc () in
+  let idx = Index.build d in
+  let h = pub_hierarchy () in
+  let q = Xpath.parse_exn "//book" in
+  let q' = Op.apply_exn ~hierarchy:h q (Op.Tag_generalization (1, "publication")) in
+  let before = Semantics.answers ~hierarchy:h d idx q in
+  let after = Semantics.answers ~hierarchy:h d idx q' in
+  check_bool "answers only grow" true (List.for_all (fun x -> List.mem x after) before);
+  check_bool "strictly more" true (List.length after > List.length before)
+
+let test_tag_penalty () =
+  let d = library_doc () in
+  let idx = Index.build d in
+  let st = Stats.build d in
+  Stats.set_index st idx;
+  let h = pub_hierarchy () in
+  let q = Xpath.parse_exn "//article[./title]" in
+  let penv = Penalty.make ~hierarchy:h st Penalty.uniform q in
+  (* #(article) = 1, extension(publication) = article+book+thesis = 3 *)
+  check_float "tag penalty" (1.0 /. 3.0) (Penalty.predicate_penalty penv (Pred.Tag_eq (1, "article")));
+  check_bool "tag pred is scored" true
+    (List.exists (Pred.equal (Pred.Tag_eq (1, "article"))) (Penalty.scored_preds penv));
+  (* without hierarchy the tag predicate is unscored *)
+  let penv0 = Penalty.make st Penalty.uniform q in
+  check_float "unscored without hierarchy" 0.0
+    (Penalty.predicate_penalty penv0 (Pred.Tag_eq (1, "article")));
+  check_bool "not in scored set" false
+    (List.exists (Pred.equal (Pred.Tag_eq (1, "article"))) (Penalty.scored_preds penv0))
+
+(* End-to-end: top-K with hierarchy surfaces subtype-tag answers after
+   relaxation, ranked below exact-tag answers. *)
+let test_topk_with_hierarchy () =
+  let tree =
+    el "library"
+      [
+        el "article" [ el "title" [ txt "xml streaming" ] ];
+        el "book" [ el "title" [ txt "xml streaming" ] ];
+        el "report" [ el "title" [ txt "xml streaming" ] ];
+      ]
+  in
+  let h = pub_hierarchy () in
+  let env = Flexpath.Env.of_tree ~hierarchy:h tree in
+  let q = Xpath.parse_exn "//article[./title[.contains(\"xml\")]]" in
+  let answers = Flexpath.top_k env ~k:10 q in
+  (* the article matches exactly; the book becomes reachable through
+     article -> publication generalization; the report never does *)
+  check_int "two answers" 2 (List.length answers);
+  let first = List.hd answers and second = List.nth answers 1 in
+  check_bool "article first" true (Doc.tag_name env.doc first.Flexpath.Answer.node = "article");
+  check_bool "book second" true (Doc.tag_name env.doc second.Flexpath.Answer.node = "book");
+  check_bool "book scored lower" true
+    (second.Flexpath.Answer.sscore < first.Flexpath.Answer.sscore -. 1e-9)
+
+let test_topk_hierarchy_algorithms_agree () =
+  let h = pub_hierarchy () in
+  let rng_doc =
+    el "library"
+      (List.init 30 (fun i ->
+           let tag = match i mod 4 with 0 -> "article" | 1 -> "book" | 2 -> "thesis" | _ -> "report" in
+           el tag [ el "title" [ txt (if i mod 3 = 0 then "xml streaming" else "other words") ] ]))
+  in
+  let env = Flexpath.Env.of_tree ~hierarchy:h rng_doc in
+  let q = Xpath.parse_exn "//article[./title[.contains(\"xml\")]]" in
+  let key (a : Flexpath.Answer.t) = (a.node, Float.round (a.sscore *. 1e6)) in
+  let run algorithm = List.map key (Flexpath.top_k ~algorithm env ~k:12 q) in
+  let d = run Flexpath.DPO and s = run Flexpath.SSO and hy = run Flexpath.Hybrid in
+  check_bool "all agree" true (d = s && s = hy)
+
+let test_hierarchy_parse_file () =
+  let path = Filename.temp_file "hier" ".txt" in
+  let oc = open_out path in
+  output_string oc "# bibliography types\narticle < publication\n\nbook < publication\n";
+  close_out oc;
+  (match Hierarchy.parse_file path with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+    check_bool "parsed" true (Hierarchy.supertype h "article" = Some "publication"));
+  Sys.remove path;
+  let bad = Filename.temp_file "hier" ".txt" in
+  let oc = open_out bad in
+  output_string oc "article publication\n";
+  close_out oc;
+  check_bool "missing < rejected" true (Result.is_error (Hierarchy.parse_file bad));
+  Sys.remove bad;
+  check_bool "missing file" true (Result.is_error (Hierarchy.parse_file "/nonexistent"))
+
+let test_thesaurus_parse_file () =
+  let path = Filename.temp_file "thes" ".txt" in
+  let oc = open_out path in
+  output_string oc "# synonyms\ncar, automobile, auto\n\nxml, markup\n";
+  close_out oc;
+  (match Thesaurus.parse_file path with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check_slist "ring parsed" [ "auto"; "automobile" ] (Thesaurus.synonyms t "car");
+    check_slist "second ring" [ "markup" ] (Thesaurus.synonyms t "xml"));
+  Sys.remove path;
+  check_bool "missing file" true (Result.is_error (Thesaurus.parse_file "/nonexistent"))
+
+(* ------------------------------------------------------------------ *)
+(* Thesaurus *)
+
+let test_thesaurus_basics () =
+  let t = Thesaurus.of_list [ [ "car"; "automobile" ]; [ "xml"; "markup" ] ] in
+  check_slist "synonyms" [ "automobile" ] (Thesaurus.synonyms t "car");
+  check_slist "case folded" [ "automobile" ] (Thesaurus.synonyms t "CAR");
+  check_slist "none" [] (Thesaurus.synonyms t "bicycle");
+  check_bool "empty" true (Thesaurus.is_empty Thesaurus.empty)
+
+let test_thesaurus_ring_merge () =
+  let t = Thesaurus.of_list [ [ "a"; "b" ]; [ "b"; "c" ] ] in
+  check_slist "transitive ring" [ "b"; "c" ] (Thesaurus.synonyms t "a")
+
+let test_thesaurus_expand () =
+  let t = Thesaurus.of_list [ [ "car"; "automobile" ] ] in
+  let e = Ftexp.(Term "car" &&& Term "cheap") in
+  let e' = Thesaurus.expand t e in
+  check_bool "expanded" true
+    (Ftexp.equal e' Ftexp.(And (Or (Term "car", Term "automobile"), Term "cheap")))
+
+let test_thesaurus_expand_not_untouched () =
+  let t = Thesaurus.of_list [ [ "car"; "automobile" ] ] in
+  let e = Ftexp.(Not (Term "car")) in
+  check_bool "negation untouched" true (Ftexp.equal (Thesaurus.expand t e) e)
+
+let test_thesaurus_broadens_matches () =
+  let d =
+    Doc.of_tree
+      (el "ads"
+         [ el "ad" [ txt "automobile for sale" ]; el "ad" [ txt "car for sale" ];
+           el "ad" [ txt "bicycle for sale" ] ])
+  in
+  let idx = Index.build d in
+  let t = Thesaurus.of_list [ [ "car"; "automobile" ] ] in
+  let plain = Ftexp.Term "car" in
+  let wide = Thesaurus.expand t plain in
+  let count f =
+    Array.fold_left
+      (fun acc e -> if Index.satisfies idx f e then acc + 1 else acc)
+      0
+      (Doc.by_tag_name d "ad")
+  in
+  check_int "plain" 1 (count plain);
+  check_int "expanded" 2 (count wide)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "basics" `Quick test_hierarchy_basics;
+          Alcotest.test_case "validation" `Quick test_hierarchy_validation;
+          Alcotest.test_case "semantics" `Quick test_semantics_with_hierarchy;
+          Alcotest.test_case "merged candidates" `Quick test_candidates_merged_sorted;
+          Alcotest.test_case "parse file" `Quick test_hierarchy_parse_file;
+        ] );
+      ( "tag-generalization",
+        [
+          Alcotest.test_case "operator" `Quick test_tag_generalization_op;
+          Alcotest.test_case "applicability" `Quick test_tag_generalization_applicable;
+          Alcotest.test_case "soundness" `Quick test_tag_generalization_sound;
+          Alcotest.test_case "penalty" `Quick test_tag_penalty;
+          Alcotest.test_case "top-k end to end" `Quick test_topk_with_hierarchy;
+          Alcotest.test_case "algorithms agree" `Quick test_topk_hierarchy_algorithms_agree;
+        ] );
+      ( "thesaurus",
+        [
+          Alcotest.test_case "basics" `Quick test_thesaurus_basics;
+          Alcotest.test_case "ring merge" `Quick test_thesaurus_ring_merge;
+          Alcotest.test_case "expand" `Quick test_thesaurus_expand;
+          Alcotest.test_case "negation untouched" `Quick test_thesaurus_expand_not_untouched;
+          Alcotest.test_case "broadens matches" `Quick test_thesaurus_broadens_matches;
+          Alcotest.test_case "parse file" `Quick test_thesaurus_parse_file;
+        ] );
+    ]

@@ -1,0 +1,389 @@
+(* Integration tests for the FleXPath top-K algorithms and ranking
+   schemes. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Query = Tpq.Query
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+module Ranking = Flexpath.Ranking
+module Answer = Flexpath.Answer
+module Env = Flexpath.Env
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let q1_str =
+  "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+
+let xmark_q2 = "//item[./description/parlist and ./mailbox/mail/text]"
+
+let article_env = lazy (Env.make (Xmark.Articles.doc ~seed:21 ~count:80 ()))
+let auction_env = lazy (Env.make (Xmark.Auction.doc ~seed:22 ~items:100 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ranking *)
+
+let test_ranking_compare () =
+  let mk ss ks = { Ranking.sscore = ss; kscore = ks } in
+  let better scheme a b = Ranking.compare_desc scheme a b < 0 in
+  check_bool "structure first prefers ss" true
+    (better Ranking.Structure_first (mk 3.0 0.1) (mk 2.0 0.9));
+  check_bool "structure first ties on ks" true
+    (better Ranking.Structure_first (mk 3.0 0.9) (mk 3.0 0.1));
+  check_bool "keyword first prefers ks" true
+    (better Ranking.Keyword_first (mk 2.0 0.9) (mk 3.0 0.1));
+  check_bool "combined sums" true (better Ranking.Combined (mk 2.0 0.9) (mk 2.5 0.1));
+  check_bool "total structure" true (Ranking.total Ranking.Structure_first (mk 2.0 0.5) = 2.0);
+  check_bool "total combined" true (Ranking.total Ranking.Combined (mk 2.0 0.5) = 2.5)
+
+let test_ranking_strings () =
+  List.iter
+    (fun s ->
+      match Ranking.of_string (Ranking.to_string s) with
+      | Ok s' -> check_bool "roundtrip" true (s = s')
+      | Error e -> Alcotest.fail e)
+    Ranking.all;
+  check_bool "unknown rejected" true (Result.is_error (Ranking.of_string "nope"))
+
+let test_algorithm_strings () =
+  List.iter
+    (fun a ->
+      match Flexpath.algorithm_of_string (Flexpath.algorithm_to_string a) with
+      | Ok a' -> check_bool "roundtrip" true (a = a')
+      | Error e -> Alcotest.fail e)
+    Flexpath.all_algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Consistency with classical semantics: when the document has at least
+   K exact matches, flexible top-K returns exact matches only. *)
+
+let test_extends_classical_semantics () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let exact = Flexpath.exact_answers env q in
+  let k = min 5 (List.length exact) in
+  check_bool "enough exact answers in fixture" true (k >= 3);
+  let answers = Flexpath.top_k env ~k q in
+  check_int "k answers" k (List.length answers);
+  List.iter
+    (fun (a : Answer.t) ->
+      check_bool "answer is an exact match" true (List.mem a.node exact);
+      check_bool "full structural score" true (Float.abs (a.sscore -. 3.0) < 1e-9))
+    answers
+
+(* All three algorithms return the same top-K under every scheme. *)
+let algorithms_agree env q ~k ~scheme =
+  let key (a : Answer.t) =
+    (a.Answer.node, Float.round (a.Answer.sscore *. 1e6), Float.round (a.Answer.kscore *. 1e6))
+  in
+  let run algorithm = List.map key (Flexpath.top_k ~algorithm ~scheme env ~k q) in
+  let d = run Flexpath.DPO in
+  let s = run Flexpath.SSO in
+  let h = run Flexpath.Hybrid in
+  (d = s && s = h, d)
+
+let test_algorithms_agree_articles () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun scheme ->
+          let ok, _ = algorithms_agree env q ~k ~scheme in
+          check_bool
+            (Printf.sprintf "k=%d scheme=%s" k (Ranking.to_string scheme))
+            true ok)
+        [ Ranking.Structure_first; Ranking.Combined ])
+    [ 1; 5; 20; 60 ]
+
+let test_algorithms_agree_keyword_first () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let ok, _ = algorithms_agree env q ~k:10 ~scheme:Ranking.Keyword_first in
+  check_bool "keyword-first agreement" true ok
+
+let test_algorithms_agree_auction () =
+  let env = Lazy.force auction_env in
+  let q = Xpath.parse_exn xmark_q2 in
+  List.iter
+    (fun k ->
+      let ok, _ = algorithms_agree env q ~k ~scheme:Ranking.Structure_first in
+      check_bool (Printf.sprintf "xmark k=%d" k) true ok)
+    [ 5; 25; 80 ]
+
+(* Relaxed answers rank strictly below exact ones under
+   structure-first — the Relevance Scoring property (§4.2). *)
+let test_relevance_scoring_property () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let exact = Flexpath.exact_answers env q in
+  let k = List.length exact + 10 in
+  let answers = Flexpath.top_k env ~k q in
+  check_bool "more than exact" true (List.length answers > List.length exact);
+  List.iter
+    (fun (a : Answer.t) ->
+      if List.mem a.node exact then
+        check_bool "exact answers have the top structural score" true
+          (Float.abs (a.sscore -. 3.0) < 1e-9)
+      else check_bool "relaxed answers score lower" true (a.sscore < 3.0 -. 1e-9))
+    answers
+
+(* Top-K answers are sorted best-first under the chosen scheme. *)
+let test_answers_sorted () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  List.iter
+    (fun scheme ->
+      let answers = Flexpath.top_k ~scheme env ~k:30 q in
+      let rec sorted = function
+        | a :: b :: rest ->
+          Ranking.compare_desc scheme (Answer.score a) (Answer.score b) <= 0 && sorted (b :: rest)
+        | _ -> true
+      in
+      check_bool (Ranking.to_string scheme ^ " sorted") true (sorted answers))
+    Ranking.all
+
+(* Growing K only extends the answer list. *)
+let test_k_monotone () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let a10 = Flexpath.top_k env ~k:10 q in
+  let a25 = Flexpath.top_k env ~k:25 q in
+  let nodes l = List.map (fun (a : Answer.t) -> a.Answer.node) l in
+  let n10 = nodes a10 and n25 = nodes a25 in
+  check_bool "prefix preserved" true
+    (List.for_all2 (fun a b -> a = b) n10 (List.filteri (fun i _ -> i < 10) n25))
+
+(* Every answer in the flexible top-K satisfies the loosest relaxation:
+   it contains the keywords somewhere. *)
+let test_all_answers_relevant () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let kw = Ftexp.(Term "xml" &&& Term "streaming") in
+  let answers = Flexpath.top_k env ~k:100 q in
+  List.iter
+    (fun (a : Answer.t) ->
+      check_bool "article tag" true (Doc.tag_name env.doc a.node = "article");
+      if a.sscore > 0.0 then
+        (* answers retaining any contains predicate satisfy the search *)
+        check_bool "keywords reachable" true
+          (Fulltext.Index.satisfies env.index kw a.node
+          || a.kscore = 0.0))
+    answers
+
+(* DPO stops early for small K on data with plenty of exact matches,
+   and evaluates more relaxations as K grows. *)
+let test_dpo_pass_scaling () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let small = Flexpath.Dpo.run env ~scheme:Ranking.Structure_first ~k:3 q in
+  let large = Flexpath.Dpo.run env ~scheme:Ranking.Structure_first ~k:60 q in
+  check_bool "more passes for larger K" true (large.Flexpath.Common.passes > small.Flexpath.Common.passes)
+
+(* SSO evaluates a single pass when the estimator is adequate. *)
+let test_sso_single_pass () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let r = Flexpath.Sso.run env ~scheme:Ranking.Structure_first ~k:20 q in
+  check_bool "one or two passes" true (r.Flexpath.Common.passes <= 2);
+  check_bool "sorting happened" true (r.Flexpath.Common.metrics.Joins.Exec.score_sorted_tuples > 0)
+
+(* Hybrid buckets instead of sorting. *)
+let test_hybrid_buckets_no_sort () =
+  let env = Lazy.force article_env in
+  let q = Xpath.parse_exn q1_str in
+  let r = Flexpath.Hybrid.run env ~scheme:Ranking.Structure_first ~k:20 q in
+  check_int "no score sorting" 0 r.Flexpath.Common.metrics.Joins.Exec.score_sorted_tuples;
+  check_bool "buckets used" true (r.Flexpath.Common.metrics.Joins.Exec.buckets_touched > 0)
+
+(* top_k_xpath round trip and error path *)
+let test_top_k_xpath () =
+  let env = Lazy.force article_env in
+  (match Flexpath.top_k_xpath env ~k:3 q1_str with
+  | Ok answers -> check_int "three answers" 3 (List.length answers)
+  | Error e -> Alcotest.fail e);
+  check_bool "syntax error surfaces" true (Result.is_error (Flexpath.top_k_xpath env ~k:3 "//["))
+
+(* Kth answer scores dominate any dropped candidate: compare against a
+   brute-force evaluation over the enumerated relaxation space. *)
+let test_topk_against_bruteforce () =
+  let tree =
+    Xml.element "c"
+      [
+        Xml.element "article"
+          [
+            Xml.element "section"
+              [
+                Xml.element "algorithm" [];
+                Xml.element "paragraph" [ Xml.text "xml streaming fun" ];
+              ];
+          ];
+        Xml.element "article"
+          [ Xml.element "section" [ Xml.element "paragraph" [ Xml.text "xml streaming" ] ] ];
+        Xml.element "article" [ Xml.element "abstract" [ Xml.text "xml streaming" ] ];
+        Xml.element "article" [ Xml.element "section" [ Xml.element "paragraph" [ Xml.text "none" ] ] ];
+      ]
+  in
+  let env = Env.of_tree tree in
+  let q = Xpath.parse_exn q1_str in
+  let answers = Flexpath.top_k env ~k:3 q in
+  (* article ids: 1, 6, 10, 14 — expect the exact match first, then the
+     no-algorithm one, then the abstract-only one *)
+  let nodes = List.map (fun (a : Answer.t) -> a.Answer.node) answers in
+  check_int "three answers" 3 (List.length nodes);
+  check_int "exact first" 1 (List.hd nodes);
+  let scores = List.map (fun (a : Answer.t) -> a.Answer.sscore) answers in
+  let rec strictly_decreasing = function
+    | a :: b :: rest -> a > b -. 1e-12 && strictly_decreasing (b :: rest)
+    | _ -> true
+  in
+  check_bool "scores non-increasing" true (strictly_decreasing scores)
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+let test_storage_roundtrip () =
+  let env = Lazy.force article_env in
+  let path = Filename.temp_file "flexpath" ".env" in
+  (match Flexpath.Storage.save env path with
+  | Error e -> Alcotest.fail e
+  | Ok () -> ());
+  (match Flexpath.Storage.load path with
+  | Error e -> Alcotest.fail e
+  | Ok env' ->
+    let q = Xpath.parse_exn q1_str in
+    let key (a : Answer.t) = (a.node, Float.round (a.sscore *. 1e6)) in
+    check_bool "same answers after reload" true
+      (List.map key (Flexpath.top_k env ~k:15 q) = List.map key (Flexpath.top_k env' ~k:15 q)));
+  Sys.remove path
+
+let test_storage_rejects_foreign_files () =
+  let path = Filename.temp_file "flexpath" ".env" in
+  let oc = open_out path in
+  output_string oc "<xml>not an env</xml>";
+  close_out oc;
+  check_bool "foreign file rejected" true (Result.is_error (Flexpath.Storage.load path));
+  Sys.remove path;
+  check_bool "missing file rejected" true
+    (Result.is_error (Flexpath.Storage.load "/nonexistent/path.env"))
+
+(* ------------------------------------------------------------------ *)
+(* Property: the three algorithms return identical top-K lists on
+   random tree pattern queries over generated data, for every ranking
+   scheme.  This is the strongest cross-cutting invariant of the
+   system. *)
+
+let gen_random_query =
+  let open QCheck2.Gen in
+  let tag_gen = oneofl [ "article"; "section"; "paragraph"; "algorithm"; "title"; "abstract" ] in
+  let kw_gen = oneofl [ "xml"; "streaming"; "algorithm"; "query" ] in
+  let node_gen =
+    let* t = tag_gen in
+    let* n_kw = oneofl [ 0; 0; 1 ] in
+    let* ws = list_repeat n_kw kw_gen in
+    return (Query.node_spec ~tag:t ~contains:(List.map Ftexp.term ws) ())
+  in
+  let* n_nodes = 1 -- 4 in
+  let* nodes = list_repeat n_nodes node_gen in
+  let* axes = list_repeat n_nodes (oneofl [ Query.Child; Query.Descendant ]) in
+  let* parents =
+    flatten_l (List.init n_nodes (fun i -> if i = 0 then return 0 else 0 -- (i - 1)))
+  in
+  let nodes = List.mapi (fun i n -> (i + 1, n)) nodes in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun i (p, a) -> if i = 0 then [] else [ (p + 1, i + 1, a) ])
+         (List.combine parents axes))
+  in
+  let* dist = 1 -- n_nodes in
+  match Query.make ~root:1 ~nodes ~edges ~distinguished:dist with
+  | Ok q -> return q
+  | Error _ -> assert false
+
+let prop_env = lazy (Env.make (Xmark.Articles.doc ~seed:77 ~count:25 ()))
+
+(* Definition 4's top-K is a set of K highest-scored answers; when
+   several answers tie at the K-th score, any of them may fill the last
+   slots.  The invariant all algorithms must share: identical ranked
+   score lists, and identical answer sets strictly above the K-th
+   score. *)
+let score_key (a : Answer.t) =
+  (Float.round (a.sscore *. 1e6), Float.round (a.kscore *. 1e6))
+
+let above_kth scheme answers =
+  match List.rev answers with
+  | [] -> []
+  | last :: _ ->
+    let kth = Ranking.total scheme (Answer.score last) in
+    List.filter (fun a -> Ranking.total scheme (Answer.score a) > kth +. 1e-7) answers
+    |> List.map (fun (a : Answer.t) -> a.Answer.node)
+    |> List.sort Int.compare
+
+let prop_algorithms_agree =
+  QCheck2.Test.make ~name:"DPO = SSO = Hybrid on random queries, all schemes" ~count:40
+    (QCheck2.Gen.pair gen_random_query (QCheck2.Gen.oneofl [ 3; 10; 40 ]))
+    (fun (q, k) ->
+      let env = Lazy.force prop_env in
+      List.for_all
+        (fun scheme ->
+          let run algorithm = Flexpath.top_k ~algorithm ~scheme env ~k q in
+          let d = run Flexpath.DPO and s = run Flexpath.SSO and h = run Flexpath.Hybrid in
+          let scores l = List.map score_key l in
+          scores d = scores s && scores s = scores h
+          && above_kth scheme d = above_kth scheme s
+          && above_kth scheme s = above_kth scheme h)
+        [ Ranking.Structure_first; Ranking.Combined; Ranking.Keyword_first ])
+
+let prop_topk_prefix_of_all_answers =
+  QCheck2.Test.make ~name:"top-k scores are a prefix of the full ranked scores" ~count:30
+    gen_random_query (fun q ->
+      let env = Lazy.force prop_env in
+      let small = Flexpath.top_k env ~k:5 q in
+      let large = Flexpath.top_k env ~k:100 q in
+      let scores l = List.map score_key l in
+      let ss = scores small and sl = scores large in
+      List.length ss <= List.length sl
+      && List.for_all2 (fun a b -> a = b) ss (List.filteri (fun i _ -> i < List.length ss) sl))
+
+let () =
+  Alcotest.run "flexpath"
+    [
+      ( "ranking",
+        [
+          Alcotest.test_case "comparisons" `Quick test_ranking_compare;
+          Alcotest.test_case "scheme strings" `Quick test_ranking_strings;
+          Alcotest.test_case "algorithm strings" `Quick test_algorithm_strings;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "extends classical semantics" `Quick test_extends_classical_semantics;
+          Alcotest.test_case "relevance scoring property" `Quick test_relevance_scoring_property;
+          Alcotest.test_case "answers sorted" `Quick test_answers_sorted;
+          Alcotest.test_case "K monotone" `Quick test_k_monotone;
+          Alcotest.test_case "answers relevant" `Quick test_all_answers_relevant;
+          Alcotest.test_case "small fixture ordering" `Quick test_topk_against_bruteforce;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "agree on articles" `Quick test_algorithms_agree_articles;
+          Alcotest.test_case "agree keyword-first" `Quick test_algorithms_agree_keyword_first;
+          Alcotest.test_case "agree on auction data" `Quick test_algorithms_agree_auction;
+          Alcotest.test_case "dpo pass scaling" `Quick test_dpo_pass_scaling;
+          Alcotest.test_case "sso single pass" `Quick test_sso_single_pass;
+          Alcotest.test_case "hybrid buckets" `Quick test_hybrid_buckets_no_sort;
+          Alcotest.test_case "xpath entry point" `Quick test_top_k_xpath;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_storage_roundtrip;
+          Alcotest.test_case "rejects foreign files" `Quick test_storage_rejects_foreign_files;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_algorithms_agree;
+          QCheck_alcotest.to_alcotest prop_topk_prefix_of_all_answers;
+        ] );
+    ]

@@ -1,0 +1,432 @@
+(* Tests for the structural-join engine: the Al-Khalifa primitive, the
+   relaxation-encoded specs and the scored tuple executor. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Pred = Tpq.Pred
+module Query = Tpq.Query
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+module Op = Relax.Op
+module Penalty = Relax.Penalty
+module Sj = Joins.Structural_join
+module Encoded = Joins.Encoded
+module Exec = Joins.Exec
+
+let el = Xml.element
+let txt = Xml.text
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
+
+let kw = Ftexp.(Term "xml" &&& Term "streaming")
+
+(* ------------------------------------------------------------------ *)
+(* Structural join primitive *)
+
+let pairs_naive doc anc desc ~pc =
+  let out = ref [] in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun d ->
+          let ok = if pc then Doc.is_parent doc a d else Doc.is_ancestor doc a d in
+          if ok then out := (a, d) :: !out)
+        desc)
+    anc;
+  List.sort compare !out
+
+let random_doc seed =
+  Xmark.Articles.doc ~seed ~count:6 ()
+
+let test_ad_pairs_match_naive () =
+  let d = random_doc 3 in
+  let anc = Doc.by_tag_name d "section" in
+  let desc = Doc.by_tag_name d "paragraph" in
+  let fast = List.sort compare (Sj.ad_pairs d ~anc ~desc) in
+  check_bool "same pairs" true (fast = pairs_naive d anc desc ~pc:false)
+
+let test_pc_pairs_match_naive () =
+  let d = random_doc 4 in
+  let anc = Doc.by_tag_name d "article" in
+  let desc = Doc.by_tag_name d "section" in
+  let fast = List.sort compare (Sj.pc_pairs d ~anc ~desc) in
+  check_bool "same pairs" true (fast = pairs_naive d anc desc ~pc:true)
+
+let test_ad_pairs_nested_ancestors () =
+  (* parlist under parlist: the stack must report both ancestors *)
+  let d =
+    Doc.of_tree
+      (el "r" [ el "p" [ el "p" [ el "x" [] ] ] ])
+  in
+  let anc = Doc.by_tag_name d "p" in
+  let desc = Doc.by_tag_name d "x" in
+  check_int "two ancestors" 2 (List.length (Sj.ad_pairs d ~anc ~desc))
+
+let test_ad_pairs_empty_inputs () =
+  let d = random_doc 1 in
+  check_int "no anc" 0 (List.length (Sj.ad_pairs d ~anc:[||] ~desc:(Doc.by_tag_name d "section")));
+  check_int "no desc" 0 (List.length (Sj.ad_pairs d ~anc:(Doc.by_tag_name d "section") ~desc:[||]))
+
+let test_subtree_slice () =
+  let d =
+    Doc.of_tree (el "r" [ el "a" [ el "x" []; el "x" [] ]; el "a" [ el "x" [] ] ])
+  in
+  let xs = Doc.by_tag_name d "x" in
+  let a1 = (Doc.by_tag_name d "a").(0) in
+  let lo, hi = Sj.subtree_slice d xs a1 in
+  check_int "two x under first a" 2 (hi - lo);
+  let a2 = (Doc.by_tag_name d "a").(1) in
+  let lo2, hi2 = Sj.subtree_slice d xs a2 in
+  check_int "one x under second a" 1 (hi2 - lo2)
+
+let test_children_with_tag () =
+  let d = Doc.of_tree (el "r" [ el "x" [ el "x" [] ]; el "x" [] ]) in
+  let xs = Doc.by_tag_name d "x" in
+  check_int "two x children of root" 2 (List.length (Sj.children_with_tag d xs 0))
+
+(* ------------------------------------------------------------------ *)
+(* Encoded queries *)
+
+let q1 () =
+  Xpath.parse_exn
+    "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+
+let test_encoded_exact () =
+  let enc = Encoded.of_ops_exn (q1 ()) [] in
+  check_int "four specs" 4 (Encoded.var_count enc);
+  let specs = Encoded.specs enc in
+  check_bool "root first" true ((List.hd specs).Encoded.var = 1);
+  check_bool "none optional" true (List.for_all (fun s -> not s.Encoded.optional) specs);
+  check_int "distinguished" 1 (Encoded.distinguished enc)
+
+let test_encoded_axis_gen () =
+  let enc = Encoded.of_ops_exn (q1 ()) [ Op.Axis_generalization 2 ] in
+  let s2 = Encoded.spec enc 2 in
+  check_bool "ad anchor" true (s2.Encoded.anchor = Some (1, Query.Descendant))
+
+let test_encoded_leaf_deletion_is_optional () =
+  let enc = Encoded.of_ops_exn (q1 ()) [ Op.Leaf_deletion 3 ] in
+  let s3 = Encoded.spec enc 3 in
+  check_bool "optional" true s3.Encoded.optional;
+  check_bool "keeps anchor" true (s3.Encoded.anchor = Some (2, Query.Child));
+  check_bool "keeps tag" true (s3.Encoded.tag = Some "algorithm");
+  check_int "still four specs" 4 (Encoded.var_count enc)
+
+let test_encoded_subtree_promotion () =
+  let enc = Encoded.of_ops_exn (q1 ()) [ Op.Subtree_promotion 3 ] in
+  let s3 = Encoded.spec enc 3 in
+  check_bool "anchored at grandparent" true (s3.Encoded.anchor = Some (1, Query.Descendant))
+
+let test_encoded_contains_promotion () =
+  let enc = Encoded.of_ops_exn (q1 ()) [ Op.Contains_promotion (4, kw) ] in
+  let s4 = Encoded.spec enc 4 in
+  let s2 = Encoded.spec enc 2 in
+  check_bool "contains gone from $4" true (s4.Encoded.required_contains = []);
+  check_bool "contains now on $2" true (s2.Encoded.required_contains = [ kw ])
+
+let test_encoded_deleted_distinguished () =
+  (* deleting the distinguished variable is not a relaxation (the
+     answers would bind a different variable), so the encoding rejects
+     it *)
+  let q = Xpath.parse_exn "//a/b" in
+  check_bool "rejected" true (Result.is_error (Encoded.of_ops q [ Op.Leaf_deletion 2 ]))
+
+let test_encoded_bad_ops () =
+  check_bool "inapplicable op rejected" true
+    (Result.is_error (Encoded.of_ops (q1 ()) [ Op.Leaf_deletion 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Executor vs reference semantics *)
+
+let make_env d =
+  let idx = Index.build d in
+  let st = Stats.build d in
+  Stats.set_index st idx;
+  (d, idx, st)
+
+let exec_env d idx st q =
+  { Exec.doc = d; index = idx; penalty = Penalty.make st Penalty.uniform q }
+
+let targets answers = List.sort Int.compare (List.map (fun (a : Exec.answer) -> a.Exec.target) answers)
+
+let test_exec_exact_matches_semantics () =
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:8 ~count:40 ()) in
+  List.iter
+    (fun s ->
+      let q = Xpath.parse_exn s in
+      let env = exec_env d idx st q in
+      let enc = Encoded.of_ops_exn q [] in
+      let got = targets (Exec.run env enc Exec.exact_strategy) in
+      let want = Semantics.answers d idx q in
+      check_ilist ("exact: " ^ s) want got)
+    [
+      "//article";
+      "//article[./section[./algorithm]]";
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+      "//article[.//algorithm]";
+      "//section[./paragraph and .contains(\"xml\")]";
+    ]
+
+let test_exec_relaxed_matches_semantics () =
+  (* evaluating with ops encoded must return exactly the answers of the
+     relaxed query *)
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:9 ~count:40 ()) in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  List.iter
+    (fun ops ->
+      let relaxed = List.fold_left Op.apply_exn q ops in
+      let enc = Encoded.of_ops_exn q ops in
+      let got = targets (Exec.run env enc Exec.exact_strategy) in
+      let want = Semantics.answers d idx relaxed in
+      check_ilist
+        (String.concat ";" (List.map Op.to_string ops))
+        want got)
+    [
+      [ Op.Axis_generalization 2 ];
+      [ Op.Contains_promotion (4, kw) ];
+      [ Op.Subtree_promotion 3 ];
+      [ Op.Contains_promotion (4, kw); Op.Leaf_deletion 3 ];
+      [ Op.Contains_promotion (4, kw); Op.Leaf_deletion 3; Op.Leaf_deletion 4 ];
+    ]
+
+let test_exec_scores_exact_answers_full () =
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:8 ~count:40 ()) in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  let enc = Encoded.of_ops_exn q [] in
+  let answers = Exec.run env enc Exec.exact_strategy in
+  check_bool "nonempty" true (answers <> []);
+  List.iter
+    (fun (a : Exec.answer) ->
+      check_bool "exact answers score base" true (Float.abs (a.Exec.sscore -. 3.0) < 1e-9);
+      check_bool "keyword score in [0,1]" true (a.Exec.kscore >= 0.0 && a.Exec.kscore <= 1.0 +. 1e-9))
+    answers
+
+let test_exec_relaxed_scores_lower () =
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:8 ~count:60 ()) in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  let exact = Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy in
+  let exact_targets = targets exact in
+  let relaxed =
+    Exec.run env (Encoded.of_ops_exn q [ Op.Contains_promotion (4, kw) ]) Exec.exact_strategy
+  in
+  check_bool "relaxed superset" true
+    (List.for_all (fun t -> List.mem t (targets relaxed)) exact_targets);
+  List.iter
+    (fun (a : Exec.answer) ->
+      if not (List.mem a.Exec.target exact_targets) then
+        check_bool "new answers scored lower" true (a.Exec.sscore < 3.0 -. 1e-9))
+    relaxed
+
+let test_exec_satisfied_sets () =
+  let d, idx, st =
+    make_env
+      (Doc.of_tree
+         (el "c"
+            [
+              el "article"
+                [ el "section" [ el "algorithm" []; el "paragraph" [ txt "xml streaming" ] ] ];
+              el "article"
+                [ el "section" [ el "title" [ txt "xml streaming" ]; el "algorithm" []; el "paragraph" [ txt "none" ] ] ];
+            ]))
+  in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  let enc = Encoded.of_ops_exn q [ Op.Contains_promotion (4, kw) ] in
+  let answers = Exec.run env enc Exec.exact_strategy in
+  check_int "both articles" 2 (List.length answers);
+  List.iter
+    (fun (a : Exec.answer) ->
+      let has p = List.exists (Pred.equal p) a.Exec.satisfied in
+      check_bool "structural preds satisfied" true (has (Pred.Pc (1, 2)) && has (Pred.Pc (2, 3)));
+      (* first article satisfies contains($4), second only contains($2) *)
+      if a.Exec.target = 1 then check_bool "contains $4 held" true (has (Pred.Contains (4, kw)))
+      else check_bool "contains $4 failed" false (has (Pred.Contains (4, kw))))
+    answers
+
+let all_strategies k =
+  [
+    ("exact", Exec.exact_strategy);
+    ("sso", { Exec.sort_on_score = true; bucketize = false; prune_k = Some k; prune_slack = 0.0 });
+    ("hybrid", { Exec.sort_on_score = false; bucketize = true; prune_k = Some k; prune_slack = 0.0 });
+  ]
+
+let test_strategies_agree_on_topk () =
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:12 ~count:60 ()) in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  let k = 10 in
+  let enc = Encoded.of_ops_exn q [ Op.Contains_promotion (4, kw); Op.Subtree_promotion 3 ] in
+  let top answers =
+    answers
+    |> List.sort (fun (a : Exec.answer) b ->
+           match Float.compare b.Exec.sscore a.Exec.sscore with
+           | 0 -> Int.compare a.Exec.target b.Exec.target
+           | c -> c)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun (a : Exec.answer) -> (a.Exec.target, Float.round (a.Exec.sscore *. 1e6)))
+  in
+  let reference = top (Exec.run env enc Exec.exact_strategy) in
+  List.iter
+    (fun (name, strategy) ->
+      let got = top (Exec.run env enc strategy) in
+      check_bool (name ^ " agrees") true (got = reference))
+    (all_strategies k)
+
+let test_metrics_reflect_strategy () =
+  let d, idx, st = make_env (Xmark.Articles.doc ~seed:12 ~count:60 ()) in
+  let q = q1 () in
+  let env = exec_env d idx st q in
+  let enc = Encoded.of_ops_exn q [ Op.Contains_promotion (4, kw) ] in
+  let run strategy =
+    let m = Exec.fresh_metrics () in
+    ignore (Exec.run ~metrics:m env enc strategy);
+    m
+  in
+  let m_exact = run Exec.exact_strategy in
+  let m_sso = run { Exec.sort_on_score = true; bucketize = false; prune_k = Some 5; prune_slack = 0.0 } in
+  let m_hyb = run { Exec.sort_on_score = false; bucketize = true; prune_k = Some 5; prune_slack = 0.0 } in
+  check_int "exact does not sort" 0 m_exact.Exec.score_sorted_tuples;
+  check_bool "sso sorts" true (m_sso.Exec.score_sorted_tuples > 0);
+  check_int "hybrid does not sort" 0 m_hyb.Exec.score_sorted_tuples;
+  check_bool "hybrid buckets" true (m_hyb.Exec.buckets_touched > 0);
+  check_bool "pruning happens" true (m_sso.Exec.tuples_pruned > 0 || m_hyb.Exec.tuples_pruned > 0)
+
+let test_pruning_preserves_topk_scores () =
+  (* with prune_k = K, the best K answers must survive with unchanged
+     scores *)
+  let d, idx, st = make_env (Xmark.Auction.doc ~seed:5 ~items:60 ()) in
+  let q = Xpath.parse_exn "//item[./description/parlist and ./mailbox/mail/text]" in
+  let env = exec_env d idx st q in
+  let enc = Encoded.of_ops_exn q [ Op.Axis_generalization 3 ] in
+  let k = 8 in
+  let sorted answers =
+    answers
+    |> List.sort (fun (a : Exec.answer) b ->
+           match Float.compare b.Exec.sscore a.Exec.sscore with
+           | 0 -> Int.compare a.Exec.target b.Exec.target
+           | c -> c)
+  in
+  let full = sorted (Exec.run env enc Exec.exact_strategy) in
+  let pruned =
+    sorted (Exec.run env enc { Exec.sort_on_score = false; bucketize = false; prune_k = Some k; prune_slack = 0.0 })
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let key (a : Exec.answer) = (a.Exec.target, Float.round (a.Exec.sscore *. 1e6)) in
+  check_bool "top-k preserved" true
+    (List.map key (take k full) = List.map key (take k pruned))
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases *)
+
+let test_exec_wildcard_root () =
+  let d, idx, st = make_env (Doc.of_tree (el "r" [ el "a" [ el "b" [] ]; el "b" [] ])) in
+  let q = Xpath.parse_exn "//*[./b]" in
+  let env = exec_env d idx st q in
+  let got = targets (Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy) in
+  check_ilist "wildcard root" (Semantics.answers d idx q) got
+
+let test_exec_single_var_query () =
+  let d, idx, st = make_env (Doc.of_tree (el "r" [ el "a" []; el "a" [] ])) in
+  let q = Xpath.parse_exn "//a" in
+  let env = exec_env d idx st q in
+  check_int "two answers" 2 (List.length (Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy))
+
+let test_exec_no_matches () =
+  let d, idx, st = make_env (Doc.of_tree (el "r" [ el "a" [] ])) in
+  let q = Xpath.parse_exn "//zzz[./a]" in
+  let env = exec_env d idx st q in
+  check_int "empty" 0 (List.length (Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy))
+
+let test_exec_nested_optional_chain () =
+  (* delete a whole branch bottom-up: both vars become optional and the
+     child stays anchored under the (optional) parent *)
+  let d, idx, st =
+    make_env
+      (Doc.of_tree
+         (el "r"
+            [
+              el "a" [ el "b" [ el "c" [] ] ];
+              el "a" [ el "b" [] ];
+              el "a" [];
+            ]))
+  in
+  let q = Xpath.parse_exn "//a[./b/c]" in
+  let env = exec_env d idx st q in
+  let enc = Encoded.of_ops_exn q [ Op.Leaf_deletion 3; Op.Leaf_deletion 2 ] in
+  let answers = Exec.run env enc Exec.exact_strategy in
+  check_int "all three a's" 3 (List.length answers);
+  (* the a with the full chain scores highest, bare a lowest *)
+  let score_of target =
+    (List.find (fun (a : Exec.answer) -> a.Exec.target = target) answers).Exec.sscore
+  in
+  check_bool "full chain best" true (score_of 1 > score_of 4 && score_of 4 > score_of 6)
+
+let test_exec_same_tag_parent_child () =
+  (* parlist under parlist: query and document share tags *)
+  let d, idx, st =
+    make_env (Doc.of_tree (el "r" [ el "p" [ el "p" [ el "p" [] ] ] ]))
+  in
+  let q = Xpath.parse_exn "//p[./p]" in
+  let env = exec_env d idx st q in
+  let got = targets (Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy) in
+  check_ilist "self-nested tags" (Semantics.answers d idx q) got
+
+let test_exec_attr_filter () =
+  let d, idx, st =
+    make_env
+      (Doc.of_tree
+         (el "r" [ el "x" ~attrs:[ ("v", "3") ] []; el "x" ~attrs:[ ("v", "30") ] [] ]))
+  in
+  let q = Xpath.parse_exn "//x[@v < 10]" in
+  let env = exec_env d idx st q in
+  check_int "attr filtered" 1 (List.length (Exec.run env (Encoded.of_ops_exn q []) Exec.exact_strategy))
+
+let () =
+  Alcotest.run "joins"
+    [
+      ( "structural-join",
+        [
+          Alcotest.test_case "ad pairs vs naive" `Quick test_ad_pairs_match_naive;
+          Alcotest.test_case "pc pairs vs naive" `Quick test_pc_pairs_match_naive;
+          Alcotest.test_case "nested ancestors" `Quick test_ad_pairs_nested_ancestors;
+          Alcotest.test_case "empty inputs" `Quick test_ad_pairs_empty_inputs;
+          Alcotest.test_case "subtree slice" `Quick test_subtree_slice;
+          Alcotest.test_case "children with tag" `Quick test_children_with_tag;
+        ] );
+      ( "encoded",
+        [
+          Alcotest.test_case "exact" `Quick test_encoded_exact;
+          Alcotest.test_case "axis generalization" `Quick test_encoded_axis_gen;
+          Alcotest.test_case "leaf deletion optional" `Quick test_encoded_leaf_deletion_is_optional;
+          Alcotest.test_case "subtree promotion" `Quick test_encoded_subtree_promotion;
+          Alcotest.test_case "contains promotion" `Quick test_encoded_contains_promotion;
+          Alcotest.test_case "deleted distinguished" `Quick test_encoded_deleted_distinguished;
+          Alcotest.test_case "bad ops" `Quick test_encoded_bad_ops;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "exact = reference semantics" `Quick test_exec_exact_matches_semantics;
+          Alcotest.test_case "relaxed = reference semantics" `Quick test_exec_relaxed_matches_semantics;
+          Alcotest.test_case "exact answers score base" `Quick test_exec_scores_exact_answers_full;
+          Alcotest.test_case "relaxed answers score lower" `Quick test_exec_relaxed_scores_lower;
+          Alcotest.test_case "satisfied predicate sets" `Quick test_exec_satisfied_sets;
+          Alcotest.test_case "strategies agree on top-k" `Quick test_strategies_agree_on_topk;
+          Alcotest.test_case "metrics reflect strategy" `Quick test_metrics_reflect_strategy;
+          Alcotest.test_case "pruning preserves top-k" `Quick test_pruning_preserves_topk_scores;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "wildcard root" `Quick test_exec_wildcard_root;
+          Alcotest.test_case "single variable" `Quick test_exec_single_var_query;
+          Alcotest.test_case "no matches" `Quick test_exec_no_matches;
+          Alcotest.test_case "nested optional chain" `Quick test_exec_nested_optional_chain;
+          Alcotest.test_case "self-nested tags" `Quick test_exec_same_tag_parent_child;
+          Alcotest.test_case "attribute filter" `Quick test_exec_attr_filter;
+        ] );
+    ]

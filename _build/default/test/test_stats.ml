@@ -1,0 +1,170 @@
+(* Tests for document statistics and the selectivity estimator. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Query = Tpq.Query
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+
+let el = Xml.element
+let txt = Xml.text
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* <r>
+     <a><b/><b><c/></b></a>
+     <a><c/></a>
+     <b/>
+   </r>
+   r=0 a=1 b=2 b=3 c=4 a=5 c=6 b=7 *)
+let sample () =
+  Doc.of_tree
+    (el "r"
+       [
+         el "a" [ el "b" []; el "b" [ el "c" [] ] ];
+         el "a" [ el "c" [] ];
+         el "b" [];
+       ])
+
+let test_tag_counts () =
+  let st = Stats.build (sample ()) in
+  check_int "r" 1 (Stats.count_tag st "r");
+  check_int "a" 2 (Stats.count_tag st "a");
+  check_int "b" 3 (Stats.count_tag st "b");
+  check_int "c" 2 (Stats.count_tag st "c");
+  check_int "unknown" 0 (Stats.count_tag st "z")
+
+let test_pc_counts () =
+  let st = Stats.build (sample ()) in
+  check_int "r->a" 2 (Stats.count_pc st "r" "a");
+  check_int "r->b" 1 (Stats.count_pc st "r" "b");
+  check_int "a->b" 2 (Stats.count_pc st "a" "b");
+  check_int "a->c" 1 (Stats.count_pc st "a" "c");
+  check_int "b->c" 1 (Stats.count_pc st "b" "c");
+  check_int "none" 0 (Stats.count_pc st "c" "a")
+
+let test_ad_counts () =
+  let st = Stats.build (sample ()) in
+  check_int "r anc of all" 7 (Stats.count_ad st "r" "a" + Stats.count_ad st "r" "b" + Stats.count_ad st "r" "c");
+  check_int "a-c pairs" 2 (Stats.count_ad st "a" "c");
+  check_int "a-b pairs" 2 (Stats.count_ad st "a" "b");
+  check_int "b-c" 1 (Stats.count_ad st "b" "c")
+
+let test_fractions () =
+  let st = Stats.build (sample ()) in
+  (* all a-b ad pairs are pc pairs *)
+  check_float "pc fraction a/b" 1.0 (Stats.pc_fraction st "a" "b");
+  (* half the a-c ancestor pairs are parent-child *)
+  check_float "pc fraction a/c" 0.5 (Stats.pc_fraction st "a" "c");
+  check_float "ad density a/c" (2.0 /. 4.0) (Stats.ad_density st "a" "c");
+  check_float "zero when absent" 0.0 (Stats.pc_fraction st "z" "c")
+
+let test_contains_counts () =
+  (* s1 carries "xml" in its own text, s2 only through its child a:
+     one of two satisfying sections owes it to a child. *)
+  let d =
+    Doc.of_tree
+      (el "r"
+         [
+           el "s" [ txt "xml"; el "a" [ txt "data" ] ];
+           el "s" [ el "a" [ txt "xml data" ] ];
+         ])
+  in
+  let st = Stats.build d in
+  Stats.set_index st (Index.build d);
+  check_int "a with xml" 1 (Stats.count_contains st "a" (Ftexp.Term "xml"));
+  check_int "s with xml" 2 (Stats.count_contains st "s" (Ftexp.Term "xml"));
+  check_float "contains fraction" 0.5
+    (Stats.contains_fraction st ~child:"a" ~parent:"s" (Ftexp.Term "xml"));
+  (* cache answers the same on repeat *)
+  check_int "cached" 1 (Stats.count_contains st "a" (Ftexp.Term "xml"))
+
+let test_estimate_simple_path () =
+  let st = Stats.build (sample ()) in
+  (* //a : two elements *)
+  let q = Xpath.parse_exn "//a" in
+  check_float "count of a" 2.0 (Stats.estimate_answers st q);
+  (* //a[./b] : 2 a's, 2 pc(a,b) pairs -> capped fraction 1.0 -> 2 *)
+  let q2 = Xpath.parse_exn "//a[./b]" in
+  check_float "a with b child" 2.0 (Stats.estimate_answers st q2)
+
+let test_estimate_vs_actual_on_xmark () =
+  let d = Xmark.Auction.doc ~seed:3 ~items:80 () in
+  let idx = Index.build d in
+  let st = Stats.build d in
+  Stats.set_index st idx;
+  let check_query s =
+    let q = Xpath.parse_exn s in
+    let actual = float_of_int (List.length (Semantics.answers d idx q)) in
+    let est = Stats.estimate_answers st q in
+    (* the uniform-distribution estimator should land within 3x of the
+       truth on XMark's regular structure (when there are answers) *)
+    if actual > 0.0 then
+      check_bool
+        (Printf.sprintf "%s: est %.1f vs actual %.0f" s est actual)
+        true
+        (est >= actual /. 3.0 && est <= actual *. 3.0)
+  in
+  check_query "//item";
+  check_query "//item[./description/parlist]";
+  check_query "//item[./incategory]";
+  check_query "//item[./mailbox/mail/text]"
+
+let test_estimate_monotone_under_relaxation () =
+  (* relaxing a query should not decrease its estimate *)
+  let d = Xmark.Auction.doc ~seed:3 ~items:60 () in
+  let st = Stats.build d in
+  Stats.set_index st (Index.build d);
+  let strict = Xpath.parse_exn "//item[./description/parlist]" in
+  let relaxed = Xpath.parse_exn "//item[./description//parlist]" in
+  check_bool "relaxation increases estimate" true
+    (Stats.estimate_answers st relaxed >= Stats.estimate_answers st strict -. 1e-9)
+
+let test_estimate_matches_vs_answers () =
+  let st = Stats.build (sample ()) in
+  (* //a/b yields 2 matches but... both under distinct a answers *)
+  let q = Xpath.parse_exn "//a/b" in
+  check_bool "matches >= answers" true
+    (Stats.estimate_matches st q >= Stats.estimate_answers st q -. 1e-9)
+
+let test_estimate_with_contains () =
+  let d =
+    Doc.of_tree
+      (el "r"
+         [
+           el "a" [ txt "xml" ]; el "a" [ txt "xml" ]; el "a" [ txt "data" ]; el "a" [ txt "etc" ];
+         ])
+  in
+  let st = Stats.build d in
+  Stats.set_index st (Index.build d);
+  let q = Xpath.parse_exn "//a[.contains(\"xml\")]" in
+  check_float "half the a's" 2.0 (Stats.estimate_answers st q)
+
+let test_pp_smoke () =
+  let st = Stats.build (sample ()) in
+  check_bool "pp" true (String.length (Format.asprintf "%a" Stats.pp st) > 0)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "counts",
+        [
+          Alcotest.test_case "tags" `Quick test_tag_counts;
+          Alcotest.test_case "pc pairs" `Quick test_pc_counts;
+          Alcotest.test_case "ad pairs" `Quick test_ad_counts;
+          Alcotest.test_case "fractions" `Quick test_fractions;
+          Alcotest.test_case "contains" `Quick test_contains_counts;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "simple paths" `Quick test_estimate_simple_path;
+          Alcotest.test_case "xmark accuracy" `Quick test_estimate_vs_actual_on_xmark;
+          Alcotest.test_case "monotone under relaxation" `Quick test_estimate_monotone_under_relaxation;
+          Alcotest.test_case "matches vs answers" `Quick test_estimate_matches_vs_answers;
+          Alcotest.test_case "with contains" `Quick test_estimate_with_contains;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

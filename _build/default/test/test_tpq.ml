@@ -1,0 +1,560 @@
+(* Tests for tree pattern queries: model, parser, closure/core,
+   reference semantics, containment.  The fixtures follow the paper's
+   Figures 1-6. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Pred = Tpq.Pred
+module Query = Tpq.Query
+module Closure = Tpq.Closure
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+module Containment = Tpq.Containment
+
+let el = Xml.element
+let txt = Xml.text
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
+
+let kw = Ftexp.(Term "xml" &&& Term "streaming")
+
+(* Q1 of Figure 1:
+   //article[./section[./algorithm and ./paragraph[.contains("XML" and "streaming")]]]
+   $1=article, $2=section, $3=algorithm, $4=paragraph *)
+let q1 () =
+  Query.make_exn ~root:1
+    ~nodes:
+      [
+        (1, Query.node_spec ~tag:"article" ());
+        (2, Query.node_spec ~tag:"section" ());
+        (3, Query.node_spec ~tag:"algorithm" ());
+        (4, Query.node_spec ~tag:"paragraph" ~contains:[ kw ] ());
+      ]
+    ~edges:[ (1, 2, Query.Child); (2, 3, Query.Child); (2, 4, Query.Child) ]
+    ~distinguished:1
+
+(* Q3: algorithm promoted to a descendant of article. *)
+let q3 () =
+  Query.make_exn ~root:1
+    ~nodes:
+      [
+        (1, Query.node_spec ~tag:"article" ());
+        (2, Query.node_spec ~tag:"section" ());
+        (3, Query.node_spec ~tag:"algorithm" ());
+        (4, Query.node_spec ~tag:"paragraph" ~contains:[ kw ] ());
+      ]
+    ~edges:[ (1, 2, Query.Child); (1, 3, Query.Descendant); (2, 4, Query.Child) ]
+    ~distinguished:1
+
+(* Q5: no algorithm node; contains promoted to section. *)
+let q5 () =
+  Query.make_exn ~root:1
+    ~nodes:
+      [
+        (1, Query.node_spec ~tag:"article" ());
+        (2, Query.node_spec ~tag:"section" ~contains:[ kw ] ());
+        (4, Query.node_spec ~tag:"paragraph" ());
+      ]
+    ~edges:[ (1, 2, Query.Child); (2, 4, Query.Child) ]
+    ~distinguished:1
+
+(* Q6: keywords anywhere in the article. *)
+let q6 () =
+  Query.make_exn ~root:1
+    ~nodes:[ (1, Query.node_spec ~tag:"article" ~contains:[ kw ] ()) ]
+    ~edges:[] ~distinguished:1
+
+(* ------------------------------------------------------------------ *)
+(* Query model *)
+
+let test_make_validation () =
+  let bad_make ~root ~nodes ~edges ~distinguished =
+    match Query.make ~root ~nodes ~edges ~distinguished with
+    | Ok _ -> Alcotest.fail "expected validation error"
+    | Error _ -> ()
+  in
+  let n = Query.node_spec ~tag:"a" () in
+  bad_make ~root:1 ~nodes:[ (2, n) ] ~edges:[] ~distinguished:2;
+  bad_make ~root:1 ~nodes:[ (1, n) ] ~edges:[] ~distinguished:9;
+  bad_make ~root:1 ~nodes:[ (1, n); (2, n) ] ~edges:[] ~distinguished:1;
+  (* disconnected *)
+  bad_make ~root:1
+    ~nodes:[ (1, n); (2, n); (3, n) ]
+    ~edges:[ (2, 3, Query.Child) ]
+    ~distinguished:1 (* 2 unreachable from root *)
+
+let test_accessors () =
+  let q = q1 () in
+  check_int "size" 4 (Query.size q);
+  check_int "root" 1 (Query.root q);
+  check_int "distinguished" 1 (Query.distinguished q);
+  check_ilist "vars" [ 1; 2; 3; 4 ] (Query.vars q);
+  check_bool "parent of 4" true (Query.parent q 4 = Some (2, Query.Child));
+  check_bool "children of 2" true (Query.children q 2 = [ (3, Query.Child); (4, Query.Child) ]);
+  check_ilist "leaves" [ 3; 4 ] (Query.leaves q);
+  check_int "depth of 4" 2 (Query.depth q 4);
+  check_int "fresh var" 5 (Query.fresh_var q);
+  check_ilist "subtree of 2" [ 2; 3; 4 ] (Query.descendant_vars q 2)
+
+let test_edit_set_axis () =
+  let q = Query.set_axis (q1 ()) 2 Query.Descendant in
+  check_bool "axis changed" true (Query.parent q 2 = Some (1, Query.Descendant))
+
+let test_edit_delete_leaf () =
+  match Query.delete_leaf (q1 ()) 3 with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    check_int "size" 3 (Query.size q);
+    check_bool "gone" false (Query.mem q 3);
+    check_bool "delete root fails" true (Result.is_error (Query.delete_leaf q 1));
+    check_bool "delete non-leaf fails" true (Result.is_error (Query.delete_leaf q 2))
+
+let test_edit_delete_distinguished_leaf () =
+  let q =
+    Query.make_exn ~root:1
+      ~nodes:[ (1, Query.node_spec ~tag:"a" ()); (2, Query.node_spec ~tag:"b" ()) ]
+      ~edges:[ (1, 2, Query.Child) ]
+      ~distinguished:2
+  in
+  match Query.delete_leaf q 2 with
+  | Error e -> Alcotest.fail e
+  | Ok q' -> check_int "distinguished moved to parent" 1 (Query.distinguished q')
+
+let test_edit_reparent () =
+  match Query.reparent (q1 ()) 3 1 Query.Descendant with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    check_bool "moved" true (Query.parent q 3 = Some (1, Query.Descendant));
+    check_bool "isomorphic to Q3" true (String.equal (Query.canonical_key q) (Query.canonical_key (q3 ())));
+    check_bool "reparent into own subtree fails" true
+      (Result.is_error (Query.reparent q 2 4 Query.Child))
+
+let test_edit_move_contains () =
+  match Query.move_contains (q1 ()) ~from_var:4 ~to_var:2 kw with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    check_bool "gone from 4" true ((Query.node q 4).contains = []);
+    check_bool "on 2" true (List.exists (Ftexp.equal kw) (Query.node q 2).contains);
+    check_bool "absent move fails" true
+      (Result.is_error (Query.move_contains q ~from_var:4 ~to_var:2 kw))
+
+(* ------------------------------------------------------------------ *)
+(* Logical form and closure (Figures 2 and 4) *)
+
+let test_to_preds_q1 () =
+  let preds = Query.to_preds (q1 ()) in
+  let expect =
+    [
+      Pred.Pc (1, 2); Pred.Pc (2, 3); Pred.Pc (2, 4);
+      Pred.Tag_eq (1, "article"); Pred.Tag_eq (2, "section");
+      Pred.Tag_eq (3, "algorithm"); Pred.Tag_eq (4, "paragraph");
+      Pred.Contains (4, kw);
+    ]
+  in
+  List.iter
+    (fun p -> check_bool (Pred.to_string p) true (List.exists (Pred.equal p) preds))
+    expect;
+  check_int "exactly these" (List.length expect) (List.length preds)
+
+let test_closure_q1 () =
+  (* Figure 4: the closure adds five ad predicates and two derived
+     contains predicates. *)
+  let cl = Closure.closure (Query.to_preds (q1 ())) in
+  let derived =
+    [
+      Pred.Ad (1, 2); Pred.Ad (2, 3); Pred.Ad (2, 4); Pred.Ad (1, 3); Pred.Ad (1, 4);
+      Pred.Contains (2, kw); Pred.Contains (1, kw);
+    ]
+  in
+  List.iter
+    (fun p -> check_bool (Pred.to_string p) true (List.exists (Pred.equal p) cl))
+    derived;
+  check_int "8 original + 7 derived" 15 (List.length cl)
+
+let test_closure_idempotent () =
+  let cl = Closure.closure (Query.to_preds (q1 ())) in
+  check_bool "idempotent" true (Closure.closure cl = cl)
+
+let test_closure_no_contains_through_negation () =
+  let neg = Ftexp.Not (Ftexp.Term "x") in
+  let preds = [ Pred.Pc (1, 2); Pred.Contains (2, neg) ] in
+  let cl = Closure.closure preds in
+  check_bool "negative contains not propagated" false
+    (List.exists (Pred.equal (Pred.Contains (1, neg))) cl)
+
+let test_redundancy () =
+  let cl = Closure.closure_set (Pred.Set.of_list (Query.to_preds (q1 ()))) in
+  check_bool "derived ad redundant" true (Closure.is_redundant cl (Pred.Ad (1, 3)));
+  check_bool "pc not redundant" false (Closure.is_redundant cl (Pred.Pc (1, 2)));
+  check_bool "original contains not redundant" false
+    (Closure.is_redundant cl (Pred.Contains (4, kw)))
+
+let test_core_q1 () =
+  (* The core of Q1's closure is Q1's own predicate set. *)
+  let core = Closure.core (Query.to_preds (q1 ())) in
+  check_bool "core = original" true (core = Query.to_preds (q1 ()))
+
+let test_core_unique_viewpoint () =
+  (* Dropping pc(2,3) and ad(2,3) from Q1's closure then taking the core
+     yields exactly Q3 (Figure 5). *)
+  let cl = Closure.closure (Query.to_preds (q1 ())) in
+  let s = Pred.Set.of_list [ Pred.Pc (2, 3); Pred.Ad (2, 3) ] in
+  let remaining = List.filter (fun p -> not (Pred.Set.mem p s)) cl in
+  let core = Closure.core remaining in
+  match Query.of_preds ~distinguished:1 core with
+  | Error e -> Alcotest.fail e
+  | Ok q -> check_bool "core is Q3" true (Query.equal q (q3 ()))
+
+let test_equivalence () =
+  let preds = Query.to_preds (q1 ()) in
+  let cl = Closure.closure preds in
+  check_bool "query equiv closure" true (Closure.equivalent preds cl);
+  (* dropping only the derivable ad(1,3) keeps equivalence *)
+  let without = List.filter (fun p -> not (Pred.equal p (Pred.Ad (1, 3)))) cl in
+  check_bool "minus derivable" true (Closure.equivalent preds without);
+  (* dropping pc(1,2) does not *)
+  let without_pc = List.filter (fun p -> not (Pred.equal p (Pred.Pc (1, 2)))) cl in
+  check_bool "minus pc differs" false (Closure.equivalent preds without_pc)
+
+let test_minimize () =
+  (* build a query whose edges include a derivable ad edge by hand:
+     a//c with an intermediate b child chain is already minimal, but a
+     query from the closure including ad(1,3) collapses back *)
+  let q = q1 () in
+  check_bool "minimal query unchanged" true (Query.equal (Closure.minimize q) q);
+  (* of_preds over a full closure reconstructs the same query after
+     minimization *)
+  let cl = Closure.closure (Query.to_preds q) in
+  match Query.of_preds ~distinguished:1 (Closure.core cl) with
+  | Error e -> Alcotest.fail e
+  | Ok rebuilt -> check_bool "closure core round trip" true (Query.equal (Closure.minimize rebuilt) q)
+
+let test_of_preds_rejects () =
+  let bad preds =
+    match Query.of_preds ~distinguished:1 preds with
+    | Ok _ -> Alcotest.fail "expected rejection"
+    | Error _ -> ()
+  in
+  (* two parents *)
+  bad [ Pred.Pc (1, 3); Pred.Pc (2, 3); Pred.Tag_eq (1, "a") ];
+  (* disconnected *)
+  bad [ Pred.Pc (1, 2); Pred.Pc (3, 4) ];
+  (* cycle *)
+  bad [ Pred.Pc (1, 2); Pred.Pc (2, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* XPath parser and printer *)
+
+let test_xpath_parse_q1 () =
+  let q =
+    Xpath.parse_exn
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+  in
+  check_bool "parses to Q1 shape" true
+    (String.equal (Query.canonical_key q) (Query.canonical_key (q1 ())))
+
+let test_xpath_parse_q3 () =
+  let q =
+    Xpath.parse_exn
+      "//article[.//algorithm and ./section[./paragraph[.contains(\"XML\" and \"streaming\")]]]"
+  in
+  check_bool "parses to Q3 shape" true
+    (String.equal (Query.canonical_key q) (Query.canonical_key (q3 ())))
+
+let test_xpath_parse_main_path () =
+  let q = Xpath.parse_exn "//article/section//paragraph" in
+  check_int "three vars" 3 (Query.size q);
+  check_bool "distinguished is last step" true
+    ((Query.node q (Query.distinguished q)).tag = Some "paragraph")
+
+let test_xpath_parse_wildcard_attr () =
+  let q = Xpath.parse_exn "//item[@id = \"item5\" and ./*[@category != \"c\"]]" in
+  check_int "two vars" 2 (Query.size q);
+  let root_node = Query.node q (Query.root q) in
+  check_bool "attr pred parsed" true
+    (root_node.attrs = [ { Pred.attr = "id"; op = Pred.Eq; value = Pred.S "item5" } ]);
+  let child = List.hd (Query.children q (Query.root q)) |> fst in
+  check_bool "wildcard" true ((Query.node q child).tag = None)
+
+let test_xpath_parse_numeric_attr () =
+  let q = Xpath.parse_exn "//item[@price <= 100]" in
+  let root_node = Query.node q (Query.root q) in
+  check_bool "numeric" true
+    (root_node.attrs = [ { Pred.attr = "price"; op = Pred.Le; value = Pred.F 100.0 } ])
+
+let test_xpath_parse_fn_contains () =
+  let q = Xpath.parse_exn "//section[contains(., \"xml\")]" in
+  check_bool "contains on self" true
+    ((Query.node q (Query.root q)).contains = [ Ftexp.Term "xml" ])
+
+let test_xpath_parse_errors () =
+  let bad s = match Xpath.parse s with Ok _ -> Alcotest.failf "expected error: %S" s | Error _ -> () in
+  bad "";
+  bad "article";
+  bad "//";
+  bad "//a[";
+  bad "//a[./b";
+  bad "//a[.contains(]";
+  bad "//a]"
+
+let test_xpath_roundtrip () =
+  let queries = [ q1 (); q3 (); q5 (); q6 () ] in
+  List.iter
+    (fun q ->
+      let s = Xpath.to_string q in
+      let q' = Xpath.parse_exn s in
+      check_bool ("roundtrip " ^ s) true
+        (String.equal (Query.canonical_key q) (Query.canonical_key q')))
+    queries
+
+let test_xpath_roundtrip_deep_distinguished () =
+  let s = "//article/section/paragraph[.contains(\"xml\")]" in
+  let q = Xpath.parse_exn s in
+  let q' = Xpath.parse_exn (Xpath.to_string q) in
+  check_bool "distinguished preserved" true
+    ((Query.node q' (Query.distinguished q')).tag = Some "paragraph")
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics on the running example *)
+
+let sample_doc () =
+  (* article0: exact Q1 match
+     article1: keywords in section title only (Q2-style)
+     article2: algorithm in another section (Q3-style)
+     article3: no algorithm at all (Q5-style)
+     article4: keywords only at top level (Q6-style) *)
+  let kwtxt = txt "xml streaming" in
+  let d =
+    el "collection"
+      [
+        el "article"
+          [ el "section" [ el "algorithm" [ txt "a" ]; el "paragraph" [ kwtxt ] ] ];
+        el "article"
+          [
+            el "section"
+              [ el "title" [ kwtxt ]; el "algorithm" [ txt "a" ]; el "paragraph" [ txt "p" ] ];
+          ];
+        el "article"
+          [
+            el "section" [ el "paragraph" [ kwtxt ] ];
+            el "section" [ el "algorithm" [ txt "a" ] ];
+          ];
+        el "article" [ el "section" [ el "paragraph" [ kwtxt ] ] ];
+        el "article" [ el "abstract" [ kwtxt ] ];
+      ]
+  in
+  let doc = Doc.of_tree d in
+  (doc, Index.build doc)
+
+let article_ids doc =
+  Array.to_list (Doc.by_tag_name doc "article")
+
+let test_semantics_q1 () =
+  let doc, idx = sample_doc () in
+  let arts = article_ids doc in
+  check_ilist "only exact article" [ List.nth arts 0 ] (Semantics.answers doc idx (q1 ()))
+
+let test_semantics_q3 () =
+  let doc, idx = sample_doc () in
+  let arts = article_ids doc in
+  check_ilist "exact + algo-elsewhere" [ List.nth arts 0; List.nth arts 2 ]
+    (Semantics.answers doc idx (q3 ()))
+
+let test_semantics_q5 () =
+  let doc, idx = sample_doc () in
+  let arts = article_ids doc in
+  (* Q5 asks for a section containing the keywords anywhere plus a
+     paragraph child: article1's keywords sit in the section title, which
+     still satisfies contains($2). *)
+  check_ilist "sections with keywords and a paragraph"
+    [ List.nth arts 0; List.nth arts 1; List.nth arts 2; List.nth arts 3 ]
+    (Semantics.answers doc idx (q5 ()))
+
+let test_semantics_q6 () =
+  let doc, idx = sample_doc () in
+  let arts = article_ids doc in
+  check_ilist "all keyword articles" [ List.nth arts 0; List.nth arts 1; List.nth arts 2; List.nth arts 3; List.nth arts 4 ]
+    (Semantics.answers doc idx (q6 ()))
+
+let test_semantics_matches_and_count () =
+  let doc, idx = sample_doc () in
+  let q = q1 () in
+  check_int "count" (List.length (Semantics.matches doc idx q)) (Semantics.count_matches doc idx q);
+  check_int "limit" 1 (List.length (Semantics.matches ~limit:1 doc idx (q6 ())))
+
+let test_semantics_holds_at () =
+  let doc, idx = sample_doc () in
+  let arts = article_ids doc in
+  check_bool "holds at exact" true (Semantics.holds_at doc idx (q1 ()) (List.nth arts 0));
+  check_bool "fails elsewhere" false (Semantics.holds_at doc idx (q1 ()) (List.nth arts 1))
+
+let test_semantics_wildcard () =
+  let doc, idx = sample_doc () in
+  let q = Xpath.parse_exn "//article/*[.contains(\"xml\")]" in
+  (* one section per keyword-bearing article plus article4's abstract *)
+  check_int "wildcard matches" 5 (List.length (Semantics.answers doc idx q))
+
+let test_semantics_attr () =
+  let d = Doc.of_tree (el "r" [ el "x" ~attrs:[ ("p", "5") ] []; el "x" ~attrs:[ ("p", "50") ] [] ]) in
+  let idx = Index.build d in
+  let q = Xpath.parse_exn "//x[@p < 10]" in
+  check_int "numeric filter" 1 (List.length (Semantics.answers d idx q))
+
+(* ------------------------------------------------------------------ *)
+(* Containment *)
+
+let test_containment_chain () =
+  (* Q1 ⊆ Q3 ⊆ Q5-with-contains ⊆ Q6 per the paper. *)
+  check_bool "Q1 in Q3" true (Containment.contained (q1 ()) (q3 ()));
+  check_bool "Q3 not in Q1" false (Containment.contained (q3 ()) (q1 ()));
+  check_bool "Q1 in Q6" true (Containment.contained (q1 ()) (q6 ()));
+  check_bool "Q3 in Q6" true (Containment.contained (q3 ()) (q6 ()));
+  check_bool "Q5 in Q6" true (Containment.contained (q5 ()) (q6 ()));
+  check_bool "Q6 not in Q1" false (Containment.contained (q6 ()) (q1 ()))
+
+let test_containment_reflexive () =
+  List.iter
+    (fun q -> check_bool "self" true (Containment.contained q q))
+    [ q1 (); q3 (); q5 (); q6 () ]
+
+let test_containment_on_data () =
+  let doc, idx = sample_doc () in
+  let sub a b =
+    let aa = Semantics.answers doc idx a and bb = Semantics.answers doc idx b in
+    List.for_all (fun x -> List.mem x bb) aa
+  in
+  check_bool "data agrees Q1 in Q3" true (sub (q1 ()) (q3 ()));
+  check_bool "data agrees Q3 in Q6" true (sub (q3 ()) (q6 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random TPQs against random documents *)
+
+let gen_doc =
+  let open QCheck2.Gen in
+  let tag_gen = oneofl [ "a"; "b"; "c" ] in
+  let word_gen = oneofl [ "xml"; "data"; "query" ] in
+  sized @@ fix (fun self n ->
+      let* t = tag_gen in
+      if n <= 0 then
+        let* w = word_gen in
+        return (Xml.Element (t, [], [ Xml.Text w ]))
+      else
+        let* kids = list_size (1 -- 3) (self (n / 3)) in
+        let* w = word_gen in
+        return (Xml.Element (t, [], Xml.Text w :: kids)))
+
+let gen_query =
+  let open QCheck2.Gen in
+  let tag_gen = oneofl [ "a"; "b"; "c" ] in
+  let word_gen = oneofl [ "xml"; "data"; "query" ] in
+  let node_gen =
+    let* t = tag_gen in
+    let* has_kw = bool in
+    let* w = word_gen in
+    return (Query.node_spec ~tag:t ~contains:(if has_kw then [ Ftexp.Term w ] else []) ())
+  in
+  let* n_nodes = 1 -- 4 in
+  let* nodes = list_repeat n_nodes node_gen in
+  let* axes = list_repeat n_nodes (oneofl [ Query.Child; Query.Descendant ]) in
+  let* parents = flatten_l (List.init n_nodes (fun i -> if i = 0 then return 0 else 0 -- (i - 1))) in
+  let nodes = List.mapi (fun i n -> (i + 1, n)) nodes in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun i (p, a) -> if i = 0 then [] else [ (p + 1, i + 1, a) ])
+         (List.combine parents axes))
+  in
+  let* dist = 1 -- n_nodes in
+  match Query.make ~root:1 ~nodes ~edges ~distinguished:dist with
+  | Ok q -> return q
+  | Error _ -> assert false
+
+let prop_closure_preserves_answers =
+  QCheck2.Test.make ~name:"closure-equivalent queries give equal answers" ~count:60
+    (QCheck2.Gen.pair gen_query gen_doc) (fun (q, tree) ->
+      let doc = Doc.of_tree tree in
+      let idx = Index.build doc in
+      (* rebuild the query from the core of its closure *)
+      match Query.of_preds ~distinguished:(Query.distinguished q) (Closure.core (Query.to_preds q)) with
+      | Error _ -> false
+      | Ok q' -> Semantics.answers doc idx q = Semantics.answers doc idx q')
+
+let prop_homomorphism_sound =
+  QCheck2.Test.make ~name:"containment test sound on data" ~count:60
+    (QCheck2.Gen.triple gen_query gen_query gen_doc) (fun (a, b, tree) ->
+      if Containment.contained a b then begin
+        let doc = Doc.of_tree tree in
+        let idx = Index.build doc in
+        let aa = Semantics.answers doc idx a and bb = Semantics.answers doc idx b in
+        List.for_all (fun x -> List.mem x bb) aa
+      end
+      else true)
+
+let prop_core_minimal =
+  QCheck2.Test.make ~name:"core has no redundant predicate" ~count:60 gen_query (fun q ->
+      let core = Closure.core (Query.to_preds q) in
+      let cs = Pred.Set.of_list core in
+      not (List.exists (fun p -> Closure.is_redundant cs p) core))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tpq"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "set_axis" `Quick test_edit_set_axis;
+          Alcotest.test_case "delete_leaf" `Quick test_edit_delete_leaf;
+          Alcotest.test_case "delete distinguished leaf" `Quick test_edit_delete_distinguished_leaf;
+          Alcotest.test_case "reparent" `Quick test_edit_reparent;
+          Alcotest.test_case "move_contains" `Quick test_edit_move_contains;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "logical form of Q1 (Fig 2)" `Quick test_to_preds_q1;
+          Alcotest.test_case "closure of Q1 (Fig 4)" `Quick test_closure_q1;
+          Alcotest.test_case "idempotent" `Quick test_closure_idempotent;
+          Alcotest.test_case "negation blocks contains rule" `Quick test_closure_no_contains_through_negation;
+          Alcotest.test_case "redundancy" `Quick test_redundancy;
+          Alcotest.test_case "core of Q1" `Quick test_core_q1;
+          Alcotest.test_case "core after dropping (Fig 5)" `Quick test_core_unique_viewpoint;
+          Alcotest.test_case "equivalence" `Quick test_equivalence;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          Alcotest.test_case "of_preds rejections" `Quick test_of_preds_rejects;
+        ] );
+      ( "xpath",
+        [
+          Alcotest.test_case "parse Q1" `Quick test_xpath_parse_q1;
+          Alcotest.test_case "parse Q3" `Quick test_xpath_parse_q3;
+          Alcotest.test_case "main path" `Quick test_xpath_parse_main_path;
+          Alcotest.test_case "wildcard and attr" `Quick test_xpath_parse_wildcard_attr;
+          Alcotest.test_case "numeric attr" `Quick test_xpath_parse_numeric_attr;
+          Alcotest.test_case "fn contains" `Quick test_xpath_parse_fn_contains;
+          Alcotest.test_case "errors" `Quick test_xpath_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_xpath_roundtrip;
+          Alcotest.test_case "deep distinguished roundtrip" `Quick test_xpath_roundtrip_deep_distinguished;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "Q1 answers" `Quick test_semantics_q1;
+          Alcotest.test_case "Q3 answers" `Quick test_semantics_q3;
+          Alcotest.test_case "Q5 answers" `Quick test_semantics_q5;
+          Alcotest.test_case "Q6 answers" `Quick test_semantics_q6;
+          Alcotest.test_case "matches and count" `Quick test_semantics_matches_and_count;
+          Alcotest.test_case "holds_at" `Quick test_semantics_holds_at;
+          Alcotest.test_case "wildcard" `Quick test_semantics_wildcard;
+          Alcotest.test_case "attribute predicate" `Quick test_semantics_attr;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "paper chain" `Quick test_containment_chain;
+          Alcotest.test_case "reflexive" `Quick test_containment_reflexive;
+          Alcotest.test_case "agrees with data" `Quick test_containment_on_data;
+        ] );
+      ( "properties",
+        [ q prop_closure_preserves_answers; q prop_homomorphism_sound; q prop_core_minimal ] );
+    ]

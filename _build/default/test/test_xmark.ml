@@ -1,0 +1,226 @@
+(* Tests for the synthetic data generators. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Ftexp = Fulltext.Ftexp
+module Index = Fulltext.Index
+module Xpath = Tpq.Xpath
+module Semantics = Tpq.Semantics
+module Prng = Xmark.Prng
+module Auction = Xmark.Auction
+module Articles = Xmark.Articles
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* PRNG *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 1 and b = Prng.create 1 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.next a = Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check_bool "different seeds differ" true (Prng.next a <> Prng.next b)
+
+let test_prng_int_range () =
+  let r = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done
+
+let test_prng_float_range () =
+  let r = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_bool_bias () =
+  let r = Prng.create 5 in
+  let n = 10_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool r 0.25 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  check_bool "roughly 25%" true (ratio > 0.2 && ratio < 0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Auction generator *)
+
+let auction_doc = lazy (Auction.doc ~seed:11 ~items:120 ())
+
+let test_auction_deterministic () =
+  let a = Auction.site ~seed:3 ~items:20 () in
+  let b = Auction.site ~seed:3 ~items:20 () in
+  check_bool "same seed same doc" true (Xml.equal a b);
+  let c = Auction.site ~seed:4 ~items:20 () in
+  check_bool "different seed differs" false (Xml.equal a c)
+
+let test_auction_item_count () =
+  let d = Lazy.force auction_doc in
+  check_int "items" 120 (Array.length (Doc.by_tag_name d "item"))
+
+let test_auction_schema_features () =
+  let d = Lazy.force auction_doc in
+  let idx = Index.build d in
+  let count s = List.length (Semantics.answers d idx (Xpath.parse_exn s)) in
+  (* recursive parlist: nested listitem/parlist pairs exist *)
+  check_bool "recursive parlist" true (count "//parlist//parlist" > 0);
+  (* annotation interposition: // strictly beats / on description-parlist *)
+  let direct = count "//item[./description/parlist]" in
+  let trans = count "//item[./description//parlist]" in
+  check_bool "axis generalization adds answers" true (trans > direct && direct > 0);
+  (* optional incategory *)
+  let all = count "//item" in
+  let with_cat = count "//item[./incategory]" in
+  check_bool "incategory optional" true (with_cat > 0 && with_cat < all);
+  (* shared text element under both mail and listitem *)
+  check_bool "text under mail" true (count "//mail/text" > 0);
+  check_bool "text under listitem" true (count "//listitem/text" > 0);
+  (* full markup sometimes *)
+  let full = count "//text[./bold and ./keyword and ./emph]" in
+  let any = count "//text" in
+  check_bool "full markup is a strict subset" true (full > 0 && full < any)
+
+let test_auction_paper_queries_progression () =
+  let d = Lazy.force auction_doc in
+  let idx = Index.build d in
+  let count s = List.length (Semantics.answers d idx (Xpath.parse_exn s)) in
+  let q1 = count "//item[./description/parlist]" in
+  let q2 = count "//item[./description/parlist and ./mailbox/mail/text]" in
+  let q3 =
+    count
+      "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and \
+       ./emph] and ./name and ./incategory]"
+  in
+  check_bool "Q3 most selective" true (q3 < q2 && q2 <= q1);
+  check_bool "Q3 nonempty" true (q3 > 0)
+
+let test_auction_size_scaling () =
+  let small = Doc.serialized_size (Auction.doc ~seed:1 ~items:40 ()) in
+  let big = Doc.serialized_size (Auction.doc ~seed:1 ~items:160 ()) in
+  let ratio = float_of_int big /. float_of_int small in
+  check_bool "roughly linear in items" true (ratio > 2.5 && ratio < 6.0)
+
+let test_auction_open_auctions () =
+  let d = Lazy.force auction_doc in
+  let idx = Index.build d in
+  let count s = List.length (Semantics.answers d idx (Xpath.parse_exn s)) in
+  check_int "open auctions" 60 (count "//open_auction");
+  check_int "closed auctions" 30 (count "//closed_auction");
+  check_bool "bidders exist" true (count "//open_auction[./bidder]" > 0);
+  (* numeric attribute predicates over generated prices *)
+  let cheap = count "//open_auction[@currentprice < 50]" in
+  let total = count "//open_auction" in
+  check_bool "price filter selective" true (cheap > 0 && cheap < total);
+  check_bool "closed price filter" true (count "//closed_auction[@price >= 100]" > 0)
+
+let test_auction_keywords_present () =
+  let d = Lazy.force auction_doc in
+  let idx = Index.build d in
+  let gold = Index.count_satisfying_with_tag idx (Ftexp.Term "gold")
+      (Option.get (Xmldom.Tag.find (Doc.tags d) "item"))
+  in
+  let items = Array.length (Doc.by_tag_name d "item") in
+  check_bool "keyword selective" true (gold > 0 && gold < items)
+
+(* ------------------------------------------------------------------ *)
+(* Articles generator *)
+
+let articles_doc = lazy (Articles.doc ~seed:5 ~count:150 ())
+
+let figure1 =
+  [
+    ( "q1",
+      "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]" );
+    ( "q2",
+      "//article[./section[./algorithm and .contains(\"XML\" and \"streaming\")]]" );
+    ( "q3",
+      "//article[.//algorithm and ./section[./paragraph[.contains(\"XML\" and \"streaming\")]]]" );
+    ( "q4", "//article[.//algorithm and ./section[./paragraph and .contains(\"XML\" and \"streaming\")]]" );
+    ( "q5", "//article[./section[./paragraph and .contains(\"XML\" and \"streaming\")]]" );
+    ( "q6", "//article[.contains(\"XML\" and \"streaming\")]" );
+  ]
+
+let answers_of name =
+  let d = Lazy.force articles_doc in
+  let idx = Index.build d in
+  Semantics.answers d idx (Xpath.parse_exn (List.assoc name figure1))
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let test_articles_figure1_containments () =
+  let a1 = answers_of "q1" and a2 = answers_of "q2" and a3 = answers_of "q3" in
+  let a4 = answers_of "q4" and a5 = answers_of "q5" and a6 = answers_of "q6" in
+  check_bool "Q1 in Q2" true (subset a1 a2);
+  check_bool "Q1 in Q3" true (subset a1 a3);
+  check_bool "Q2 in Q4" true (subset a2 a4);
+  check_bool "Q3 in Q4" true (subset a3 a4);
+  check_bool "Q4 in Q5" true (subset a4 a5);
+  check_bool "Q5 in Q6" true (subset a5 a6)
+
+let test_articles_figure1_strictness () =
+  (* The archetype mix guarantees each relaxation step surfaces new
+     answers. *)
+  let n name = List.length (answers_of name) in
+  check_bool "Q1 nonempty" true (n "q1" > 0);
+  check_bool "Q2 adds" true (n "q2" > n "q1");
+  check_bool "Q3 adds" true (n "q3" > n "q1");
+  check_bool "Q5 adds over Q4" true (n "q5" > n "q4");
+  check_bool "Q6 adds over Q5" true (n "q6" > n "q5")
+
+let test_articles_deterministic () =
+  let a = Articles.collection ~seed:9 ~count:10 () in
+  let b = Articles.collection ~seed:9 ~count:10 () in
+  check_bool "deterministic" true (Xml.equal a b)
+
+let test_articles_no_algorithm_archetype () =
+  let rng = Prng.create 1 in
+  let art = Articles.article rng Articles.No_algorithm 0 in
+  let d = Doc.of_tree art in
+  check_int "no algorithm anywhere" 0 (Array.length (Doc.by_tag_name d "algorithm"))
+
+let test_articles_exact_archetype () =
+  let rng = Prng.create 1 in
+  let art = Articles.article rng Articles.Exact 0 in
+  let d = Doc.of_tree (Xml.element "collection" [ art ]) in
+  let idx = Index.build d in
+  let q = Xpath.parse_exn (List.assoc "q1" figure1) in
+  check_int "exact matches Q1" 1 (List.length (Semantics.answers d idx q))
+
+let () =
+  Alcotest.run "xmark"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bool bias" `Quick test_prng_bool_bias;
+        ] );
+      ( "auction",
+        [
+          Alcotest.test_case "deterministic" `Quick test_auction_deterministic;
+          Alcotest.test_case "item count" `Quick test_auction_item_count;
+          Alcotest.test_case "schema features" `Quick test_auction_schema_features;
+          Alcotest.test_case "paper query progression" `Quick test_auction_paper_queries_progression;
+          Alcotest.test_case "size scaling" `Quick test_auction_size_scaling;
+          Alcotest.test_case "open auctions" `Quick test_auction_open_auctions;
+          Alcotest.test_case "keywords present" `Quick test_auction_keywords_present;
+        ] );
+      ( "articles",
+        [
+          Alcotest.test_case "figure 1 containments" `Quick test_articles_figure1_containments;
+          Alcotest.test_case "figure 1 strictness" `Quick test_articles_figure1_strictness;
+          Alcotest.test_case "deterministic" `Quick test_articles_deterministic;
+          Alcotest.test_case "no-algorithm archetype" `Quick test_articles_no_algorithm_archetype;
+          Alcotest.test_case "exact archetype" `Quick test_articles_exact_archetype;
+        ] );
+    ]
