@@ -1,0 +1,79 @@
+The CLI end to end: generate a deterministic document, query it under
+each algorithm, show a relaxation chain, and round-trip a saved
+environment.
+
+  $ flexpath_cli generate --articles 5 --seed 3 -o articles.xml
+  wrote 3106 bytes to articles.xml
+
+  $ flexpath_cli stats --file articles.xml | head -2
+  stats: 61 elements, 10 tags, 11 pc pairs, 25 ad entries
+  elements: 61
+
+Exact matches first, relaxed answers after, same answers per algorithm:
+
+  $ flexpath_cli query --file articles.xml -k 3 --algo dpo '//article[.contains("xml" and "streaming")]' > dpo.out
+  $ flexpath_cli query --file articles.xml -k 3 --algo sso '//article[.contains("xml" and "streaming")]' > sso.out
+  $ flexpath_cli query --file articles.xml -k 3 --algo hybrid '//article[.contains("xml" and "streaming")]' > hybrid.out
+  $ diff dpo.out sso.out
+  $ diff sso.out hybrid.out
+  $ head -1 dpo.out
+   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
+
+The relaxation chain starts at the original query:
+
+  $ flexpath_cli relax --file articles.xml '//article[./section/paragraph]' | head -2
+   0. score=2.0000 penalty=0.0000  (original)
+      //article[./section[./paragraph]]
+
+Weights rescale scores:
+
+  $ flexpath_cli query --file articles.xml -k 1 --weights structural=2 '//article[./section/paragraph]' | head -1
+   1. collection[1]/article[2]  ss=4.0000 ks=0.0000  exact
+
+Saved environments answer the same queries:
+
+  $ flexpath_cli index --file articles.xml -o articles.env
+  indexed 61 elements into articles.env
+  $ flexpath_cli query --env articles.env -k 3 '//article[.contains("xml" and "streaming")]' > env.out
+  $ diff dpo.out env.out
+
+Errors are reported, not crashes, with distinct exit codes: 2 for
+parse errors (query or document), 1 for I/O, configuration and
+internal-limit errors.
+
+  $ flexpath_cli query --file articles.xml '//['
+  query error: at offset 2: expected a name
+  [2]
+  $ flexpath_cli query --file missing.xml '//a'
+  error: missing.xml: No such file or directory
+  [1]
+  $ printf '<a>\n  <b></a>' > broken.xml
+  $ flexpath_cli query --file broken.xml '//a'
+  error: broken.xml: line 2, column 9: mismatched closing tag: expected </b>, got </a>
+  [2]
+  $ flexpath_cli query --file articles.xml --weights nonsense '//a'
+  error: bad weights: expected key=value, got "nonsense"
+  [1]
+  $ flexpath_cli query --file articles.xml '//a/b/c/d/e/f/g/h/i/j/k/l'
+  error: capacity exceeded: scored predicates in the query closure (77 > limit 62)
+  [1]
+
+A budget-exceeded query still prints the best-effort answers it
+collected, then reports the trip on stderr and exits 3:
+
+  $ flexpath_cli query --file articles.xml -k 3 --algo dpo --step-budget 1 '//article[.contains("xml" and "streaming")]'
+   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
+   2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
+   3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
+  $ flexpath_cli query --file articles.xml -k 3 --timeout-ms 0 '//article[./section/paragraph]'
+  budget exceeded (deadline): 0 partial answers shown; unreported answers score at most 2.0000
+  [3]
+
+Injected faults surface as typed errors end to end:
+
+  $ FLEXPATH_FAILPOINTS=exec.run flexpath_cli query --file articles.xml '//article[./section/paragraph]'
+  error: injected fault at exec.run
+  [1]
+  $ FLEXPATH_FAILPOINTS=index.build flexpath_cli stats --file articles.xml
+  error: injected fault at index.build
+  [1]

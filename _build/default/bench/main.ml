@@ -68,7 +68,7 @@ let time_median f =
   (r, List.nth sorted 1)
 
 let run_algo env ~algorithm ~k q =
-  time_median (fun () -> Flexpath.run ~algorithm ~scheme:Ranking.Structure_first env ~k q)
+  time_median (fun () -> Flexpath.run_exn ~algorithm ~scheme:Ranking.Structure_first env ~k q)
 
 (* ------------------------------------------------------------------ *)
 (* Table printing *)
@@ -272,7 +272,7 @@ let abl_schemes ~quick () =
   List.iter
     (fun scheme ->
       let r, t =
-        time_median (fun () -> Flexpath.run ~algorithm:Flexpath.Hybrid ~scheme env ~k:100 q)
+        time_median (fun () -> Flexpath.run_exn ~algorithm:Flexpath.Hybrid ~scheme env ~k:100 q)
       in
       row (Ranking.to_string scheme)
         [
@@ -281,6 +281,42 @@ let abl_schemes ~quick () =
           string_of_int r.Flexpath.Common.metrics.Joins.Exec.tuples_pruned;
         ])
     Ranking.all
+
+(* Resource governance: what a budget costs when it never trips
+   (cancellation-polling overhead) and what it buys when it does
+   (bounded latency against best-effort answer counts). *)
+let abl_governance ~quick () =
+  let env = env_for_mb (if quick then 2.0 else 10.0) in
+  let q = Xpath.parse_exn q3_str in
+  let k = 500 in
+  header "Ablation: resource governance"
+    "DPO, Q3, K=500 under shrinking budgets: latency vs answers kept; time in ms"
+    [ "time"; "answers"; "passes"; "state"; "bound" ];
+  let run name budget =
+    let r, t =
+      time_median (fun () -> Flexpath.run_exn ~algorithm:Flexpath.DPO ?budget env ~k q)
+    in
+    let state, bound =
+      match r.Flexpath.Common.completeness with
+      | Flexpath.Common.Complete -> ("complete", "-")
+      | Flexpath.Common.Truncated { reason; score_bound } ->
+        (Flexpath.Guard.reason_to_string reason, Printf.sprintf "%.3f" score_bound)
+    in
+    row name
+      [
+        ms t;
+        string_of_int (List.length r.Flexpath.Common.answers);
+        string_of_int r.Flexpath.Common.passes;
+        state;
+        bound;
+      ]
+  in
+  run "unlimited" None;
+  run "ungoverned-poll" (Some (Flexpath.Guard.budget ~tuple_budget:max_int ()));
+  run "steps=2" (Some (Flexpath.Guard.budget ~step_budget:2 ()));
+  run "tuples=50k" (Some (Flexpath.Guard.budget ~tuple_budget:50_000 ()));
+  run "tuples=5k" (Some (Flexpath.Guard.budget ~tuple_budget:5_000 ()));
+  run "deadline=5ms" (Some (Flexpath.Guard.budget ~deadline_ms:5.0 ()))
 
 (* Data relaxation (APPROXML, §7) vs query relaxation (SSO): the third
    evaluation strategy the paper rejects because it "quickly fails with
@@ -366,6 +402,7 @@ let all_figures =
     ("abl_pruning", abl_pruning);
     ("abl_estimator", abl_estimator);
     ("abl_schemes", abl_schemes);
+    ("abl_governance", abl_governance);
     ("abl_approxml", abl_approxml);
   ]
 

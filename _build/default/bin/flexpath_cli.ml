@@ -9,6 +9,16 @@
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
+(* Exit codes: 0 success, 1 usage / I/O / internal errors, 2 parse
+   errors (document or query), 3 budget exhausted (partial results were
+   printed).  Everything that is not an answer goes to stderr. *)
+
+let exit_usage = 1
+let exit_budget = 3
+
+module Error = Flexpath.Error
+
+(* ------------------------------------------------------------------ *)
 (* Document sources *)
 
 let load_doc ~file ~xmark_items ~articles_count =
@@ -18,20 +28,33 @@ let load_doc ~file ~xmark_items ~articles_count =
     | Ok doc -> Ok doc
     | Error e when e.Xmldom.Xml_parser.line = 0 ->
       (* I/O errors already carry the path *)
-      Error (Format.asprintf "%a" Xmldom.Xml_parser.pp_error e)
-    | Error e -> Error (Format.asprintf "%s: %a" path Xmldom.Xml_parser.pp_error e))
+      Error (Error.Io_error { path = ""; message = e.message })
+    | Error e ->
+      Error
+        (Error.Xml_error
+           { path = Some path; line = e.line; column = e.column; message = e.message }))
   | None, Some items, None -> Ok (Xmark.Auction.doc ~items ())
   | None, None, Some count -> Ok (Xmark.Articles.doc ~count ())
-  | None, None, None -> Error "no input: pass --file, --xmark or --articles"
-  | _ -> Error "pass exactly one of --file, --xmark, --articles"
+  | None, None, None ->
+    Error (Error.Config_error { what = "input"; message = "pass --file, --xmark or --articles" })
+  | _ ->
+    Error
+      (Error.Config_error
+         { what = "input"; message = "pass exactly one of --file, --xmark, --articles" })
 
 let load_hierarchy = function
   | None -> Ok Tpq.Hierarchy.empty
-  | Some path -> Tpq.Hierarchy.parse_file path
+  | Some path ->
+    Result.map_error
+      (fun message -> Error.Config_error { what = "hierarchy"; message })
+      (Tpq.Hierarchy.parse_file path)
 
 let load_thesaurus = function
   | None -> Ok Fulltext.Thesaurus.empty
-  | Some path -> Fulltext.Thesaurus.parse_file path
+  | Some path ->
+    Result.map_error
+      (fun message -> Error.Config_error { what = "thesaurus"; message })
+      (Fulltext.Thesaurus.parse_file path)
 
 (* Rewrite every contains predicate of the query through the
    thesaurus. *)
@@ -70,7 +93,10 @@ let weights_arg =
 
 let load_weights = function
   | None -> Ok Relax.Weights.uniform
-  | Some spec -> Relax.Weights.parse spec
+  | Some spec ->
+    Result.map_error
+      (fun message -> Error.Config_error { what = "weights"; message })
+      (Relax.Weights.parse spec)
 
 let xmark_arg =
   Arg.(
@@ -122,35 +148,80 @@ let query_cmd =
       & opt (some string) None
       & info [ "env" ] ~docv:"PATH" ~doc:"Load a saved environment (see the index subcommand).")
   in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget in milliseconds; on expiry the best answers found so far are \
+             printed and the exit code is 3.")
+  in
+  let tuple_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tuple-budget" ] ~docv:"N"
+          ~doc:"Executor tuple budget (cumulative over all passes); exceeded means exit code 3.")
+  in
+  let step_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "step-budget" ] ~docv:"N"
+          ~doc:"Relaxation steps (evaluation passes) allowed before truncating.")
+  in
+  let restart_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "restart-cap" ] ~docv:"N"
+          ~doc:
+            "SSO/Hybrid restarts allowed after an underestimated cut before falling back to \
+             DPO's per-step evaluation.")
+  in
   let run file xmark articles query k algo scheme verbose text hierarchy_file thesaurus_file
-      weights_spec env_file =
+      weights_spec env_file timeout_ms tuple_budget step_budget restart_cap =
     let ( let* ) r f =
       match r with
-      | Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        1
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
       | Ok v -> f v
     in
     let* thesaurus = load_thesaurus thesaurus_file in
     let* weights = load_weights weights_spec in
     let env_result =
       match env_file with
-      | Some path -> Flexpath.Storage.load ~weights path
+      | Some path ->
+        Result.map_error
+          (fun message -> Error.Config_error { what = "environment file"; message })
+          (Flexpath.Storage.load ~weights path)
       | None ->
         Result.bind (load_doc ~file ~xmark_items:xmark ~articles_count:articles) (fun doc ->
-            Result.map
-              (fun hierarchy -> Flexpath.Env.make ~weights ~hierarchy doc)
-              (load_hierarchy hierarchy_file))
+            Result.bind (load_hierarchy hierarchy_file) (fun hierarchy ->
+                Flexpath.Env.build ~weights ~hierarchy doc))
     in
     let* env = env_result in
     let doc = env.Flexpath.Env.doc in
     match Tpq.Xpath.parse query with
-      | Error msg ->
-        Printf.eprintf "query error: %s\n" msg;
-        1
-      | Ok q ->
-        let q = expand_query thesaurus q in
-        let result = Flexpath.run ~algorithm:algo ~scheme env ~k q in
+    | Error { offset; message } ->
+      let e = Error.Query_error { offset; message } in
+      Printf.eprintf "query error: %s\n" (Error.to_string e);
+      Error.exit_code e
+    | Ok q -> (
+      let q = expand_query thesaurus q in
+      let budget =
+        match (timeout_ms, tuple_budget, step_budget, restart_cap) with
+        | None, None, None, None -> None
+        | deadline_ms, tuple_budget, step_budget, restart_cap ->
+          Some { Flexpath.Guard.deadline_ms; tuple_budget; step_budget; restart_cap }
+      in
+      match Flexpath.run ~algorithm:algo ~scheme ?budget env ~k q with
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
+      | Ok result ->
         List.iteri
           (fun i (a : Flexpath.Answer.t) ->
             Format.printf "%2d. %a@." (i + 1) (Flexpath.Answer.pp doc) a;
@@ -165,17 +236,29 @@ let query_cmd =
         if verbose then
           Format.printf
             "-- %d answers; %d relaxations; %d passes; %d restarts; %d tuples (%d pruned, %d \
-             score-sorted)@."
+             score-sorted)%s@."
             (List.length result.answers)
             result.relaxations_evaluated result.passes result.restarts
             result.metrics.tuples_produced result.metrics.tuples_pruned
-            result.metrics.score_sorted_tuples;
-        0
+            result.metrics.score_sorted_tuples
+            (if result.degraded then "; degraded to dpo" else "");
+        (match result.completeness with
+        | Flexpath.Common.Complete -> 0
+        | Flexpath.Common.Truncated { reason; score_bound } ->
+          Format.pp_print_flush Format.std_formatter ();
+          flush stdout;
+          Printf.eprintf
+            "budget exceeded (%s): %d partial answers shown; unreported answers score at most \
+             %.4f\n"
+            (Flexpath.Guard.reason_to_string reason)
+            (List.length result.answers) score_bound;
+          exit_budget))
   in
   let term =
     Term.(
       const run $ file_arg $ xmark_arg $ articles_arg $ query_arg $ k_arg $ algo_arg $ scheme_arg
-      $ verbose_arg $ text_arg $ hierarchy_arg $ thesaurus_arg $ weights_arg $ env_arg)
+      $ verbose_arg $ text_arg $ hierarchy_arg $ thesaurus_arg $ weights_arg $ env_arg
+      $ timeout_arg $ tuple_budget_arg $ step_budget_arg $ restart_cap_arg)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a top-K query with structural relaxation.") term
 
@@ -188,31 +271,36 @@ let relax_cmd =
   in
   let steps_arg = Arg.(value & opt int 16 & info [ "steps" ] ~doc:"Maximum chain length.") in
   let run file xmark articles query steps hierarchy_file =
-    match load_doc ~file ~xmark_items:xmark ~articles_count:articles with
-    | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Ok doc -> (
-      match (Tpq.Xpath.parse query, load_hierarchy hierarchy_file) with
-      | Error msg, _ | _, Error msg ->
-        Printf.eprintf "query error: %s\n" msg;
-        1
-      | Ok q, Ok hierarchy ->
-        let env = Flexpath.Env.make ~hierarchy doc in
-        let penv = Flexpath.Env.penalty_env env q in
-        let chain = Relax.Space.sequence ~max_steps:steps penv in
-        List.iteri
-          (fun i (entry : Relax.Space.entry) ->
-            let ops =
-              match entry.ops with
-              | [] -> "(original)"
-              | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
-            in
-            Format.printf "%2d. score=%.4f penalty=%.4f  %s@.    %s@." i entry.score
-              entry.penalty ops
-              (Tpq.Xpath.to_string entry.query))
-          chain;
-        0)
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
+      | Ok v -> f v
+    in
+    let* doc = load_doc ~file ~xmark_items:xmark ~articles_count:articles in
+    match Tpq.Xpath.parse query with
+    | Error { offset; message } ->
+      let e = Error.Query_error { offset; message } in
+      Printf.eprintf "query error: %s\n" (Error.to_string e);
+      Error.exit_code e
+    | Ok q ->
+      let* hierarchy = load_hierarchy hierarchy_file in
+      let* env = Flexpath.Env.build ~hierarchy doc in
+      let penv = Flexpath.Env.penalty_env env q in
+      let chain = Relax.Space.sequence ~max_steps:steps penv in
+      List.iteri
+        (fun i (entry : Relax.Space.entry) ->
+          let ops =
+            match entry.ops with
+            | [] -> "(original)"
+            | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
+          in
+          Format.printf "%2d. score=%.4f penalty=%.4f  %s@.    %s@." i entry.score
+            entry.penalty ops
+            (Tpq.Xpath.to_string entry.query))
+        chain;
+      0
   in
   let term =
     Term.(const run $ file_arg $ xmark_arg $ articles_arg $ query_arg $ steps_arg $ hierarchy_arg)
@@ -225,18 +313,26 @@ let relax_cmd =
 let stats_cmd =
   let run file xmark articles =
     match load_doc ~file ~xmark_items:xmark ~articles_count:articles with
-    | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Ok doc ->
-      let stats = Stats.build doc in
-      let idx = Fulltext.Index.build doc in
-      Format.printf "%a@." Stats.pp stats;
-      Format.printf "elements: %d@." (Xmldom.Doc.size doc);
-      Format.printf "serialized size: %d bytes@." (Xmldom.Doc.serialized_size doc);
-      Format.printf "indexed tokens: %d (%d distinct terms)@." (Fulltext.Index.n_tokens idx)
-        (Fulltext.Index.distinct_terms idx);
-      0
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Error.to_string e);
+      Error.exit_code e
+    | Ok doc -> (
+      match
+        let stats = Stats.build doc in
+        let idx = Fulltext.Index.build doc in
+        (stats, idx)
+      with
+      | exception Flexpath.Failpoint.Injected point ->
+        let e = Error.Fault point in
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
+      | stats, idx ->
+        Format.printf "%a@." Stats.pp stats;
+        Format.printf "elements: %d@." (Xmldom.Doc.size doc);
+        Format.printf "serialized size: %d bytes@." (Xmldom.Doc.serialized_size doc);
+        Format.printf "indexed tokens: %d (%d distinct terms)@." (Fulltext.Index.n_tokens idx)
+          (Fulltext.Index.distinct_terms idx);
+        0)
   in
   let term = Term.(const run $ file_arg $ xmark_arg $ articles_arg) in
   Cmd.v (Cmd.info "stats" ~doc:"Show document statistics.") term
@@ -259,7 +355,7 @@ let generate_cmd =
     match tree with
     | None ->
       Printf.eprintf "error: pass exactly one of --xmark ITEMS, --articles COUNT\n";
-      1
+      exit_usage
     | Some tree -> (
       let s = Xmldom.Xml.to_string ~decl:true tree in
       match out with
@@ -287,22 +383,24 @@ let index_cmd =
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Where to write the environment.")
   in
   let run file xmark articles hierarchy_file out =
-    match
-      ( load_doc ~file ~xmark_items:xmark ~articles_count:articles,
-        load_hierarchy hierarchy_file )
-    with
-    | Error msg, _ | _, Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Ok doc, Ok hierarchy -> (
-      let env = Flexpath.Env.make ~hierarchy doc in
-      match Flexpath.Storage.save env out with
-      | Ok () ->
-        Printf.printf "indexed %d elements into %s\n" (Xmldom.Doc.size doc) out;
-        0
-      | Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        1)
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
+      | Ok v -> f v
+    in
+    let* doc = load_doc ~file ~xmark_items:xmark ~articles_count:articles in
+    let* hierarchy = load_hierarchy hierarchy_file in
+    let* env = Flexpath.Env.build ~hierarchy doc in
+    let* () =
+      Result.map_error
+        (* Sys_error strings already name the path *)
+        (fun message -> Error.Io_error { path = ""; message })
+        (Flexpath.Storage.save env out)
+    in
+    Printf.printf "indexed %d elements into %s\n" (Xmldom.Doc.size doc) out;
+    0
   in
   let term = Term.(const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ out_arg) in
   Cmd.v (Cmd.info "index" ~doc:"Build the index and statistics once, save them for later queries.") term

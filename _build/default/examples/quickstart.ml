@@ -36,11 +36,11 @@ let () =
   let env =
     match Flexpath.Env.of_string document with
     | Ok env -> env
-    | Error msg -> failwith msg
+    | Error e -> failwith (Flexpath.Error.to_string e)
   in
   Format.printf "Query: %s@.@." query;
   match Flexpath.top_k_xpath env ~k:5 query with
-  | Error msg -> failwith msg
+  | Error e -> failwith (Flexpath.Error.to_string e)
   | Ok answers ->
     List.iteri
       (fun i (a : Flexpath.Answer.t) ->

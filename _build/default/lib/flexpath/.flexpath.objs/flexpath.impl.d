@@ -1,1 +1,1 @@
-lib/flexpath/flexpath.ml: Answer Common Dpo Env Hybrid Printf Ranking Result Sso Storage String Tpq
+lib/flexpath/flexpath.ml: Answer Common Dpo Env Error Failpoint Guard Hybrid Joins Printf Ranking Result Sso Storage String Tpq

@@ -1,1 +1,1 @@
-lib/flexpath/flexpath.mli: Answer Common Dpo Env Hybrid Ranking Sso Storage Tpq Xmldom
+lib/flexpath/flexpath.mli: Answer Common Dpo Env Error Failpoint Guard Hybrid Ranking Sso Storage Tpq Xmldom

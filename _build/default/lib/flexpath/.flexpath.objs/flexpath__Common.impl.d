@@ -1,1 +1,1 @@
-lib/flexpath/common.ml: Answer Array Env Float Fulltext Hashtbl Joins List Logs Ranking Relax Tpq
+lib/flexpath/common.ml: Answer Array Env Failpoint Float Fulltext Guard Hashtbl Joins List Logs Ranking Relax Tpq

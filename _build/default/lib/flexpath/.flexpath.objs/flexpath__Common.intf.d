@@ -1,1 +1,1 @@
-lib/flexpath/common.mli: Answer Env Joins Logs Ranking Relax Tpq
+lib/flexpath/common.mli: Answer Env Guard Joins Logs Ranking Relax Tpq

@@ -1,1 +1,1 @@
-lib/flexpath/dpo.ml: Answer Common Hashtbl Joins List Ranking Relax Xmldom
+lib/flexpath/dpo.ml: Answer Common Guard Hashtbl Joins List Ranking Relax Xmldom

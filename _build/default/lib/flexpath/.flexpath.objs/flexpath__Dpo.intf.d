@@ -1,1 +1,1 @@
-lib/flexpath/dpo.mli: Common Env Ranking Tpq
+lib/flexpath/dpo.mli: Common Env Guard Joins Ranking Tpq

@@ -1,1 +1,1 @@
-lib/flexpath/env.ml: Format Fulltext Joins Relax Stats Tpq Xmldom
+lib/flexpath/env.ml: Error Failpoint Fulltext Joins Relax Stats Tpq Xmldom

@@ -1,1 +1,1 @@
-lib/flexpath/env.mli: Fulltext Joins Relax Stats Tpq Xmldom
+lib/flexpath/env.mli: Error Fulltext Joins Relax Stats Tpq Xmldom

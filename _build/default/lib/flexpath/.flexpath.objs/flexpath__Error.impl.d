@@ -1,0 +1,1 @@
+lib/flexpath/error.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/flexpath/error.mli: Format

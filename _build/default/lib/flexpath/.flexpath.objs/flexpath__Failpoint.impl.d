@@ -1,0 +1,1 @@
+lib/flexpath/failpoint.ml: Fulltext Hashtbl Joins List Printf String Sys

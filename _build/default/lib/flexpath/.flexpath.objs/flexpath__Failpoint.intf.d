@@ -1,0 +1,1 @@
+lib/flexpath/failpoint.mli:

@@ -1,0 +1,1 @@
+lib/flexpath/guard.mli:

@@ -1,1 +1,1 @@
-lib/flexpath/hybrid.mli: Common Env Ranking Tpq
+lib/flexpath/hybrid.mli: Common Env Guard Ranking Tpq

@@ -1,1 +1,1 @@
-lib/flexpath/sso.ml: Answer Array Common Env Joins List Ranking Relax Stats
+lib/flexpath/sso.ml: Answer Array Common Dpo Env Guard Joins List Ranking Relax Stats

@@ -1,1 +1,1 @@
-lib/flexpath/sso.mli: Common Env Ranking Relax Tpq
+lib/flexpath/sso.mli: Common Env Guard Ranking Relax Tpq

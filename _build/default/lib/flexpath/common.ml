@@ -4,15 +4,20 @@ let log_src = Logs.Src.create "flexpath" ~doc:"FleXPath top-K query evaluation"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type completeness = Complete | Truncated of { reason : Guard.reason; score_bound : float }
+
 type result = {
   answers : Answer.t list;
   metrics : Joins.Exec.metrics;
   relaxations_evaluated : int;
   passes : int;
   restarts : int;
+  completeness : completeness;
+  degraded : bool;
 }
 
 let chain env ?(max_steps = 32) q =
+  Failpoint.hit "chain.build";
   let penv = Env.penalty_env env q in
   let entries = Relax.Space.sequence ~max_steps penv in
   Log.debug (fun m ->
@@ -160,7 +165,20 @@ let kth_total scheme k answers =
     Some (List.nth totals (k - 1))
   end
 
-let evaluate ?metrics env penv orig ops strategy =
+(* The best primary score any answer at all can reach under a scheme —
+   the truncation bound when not even the original query finished. *)
+let max_total scheme penv =
+  match scheme with
+  | Ranking.Structure_first -> Relax.Penalty.base_score penv
+  | Ranking.Keyword_first -> Relax.Penalty.max_keyword_score penv
+  | Ranking.Combined -> Relax.Penalty.base_score penv +. Relax.Penalty.max_keyword_score penv
+
+let truncation_bound scheme penv last_completed =
+  match last_completed with
+  | Some entry -> Float.min (max_total scheme penv) (unseen_bound scheme penv entry)
+  | None -> max_total scheme penv
+
+let evaluate ?metrics ?cancel env penv orig ops strategy =
   let enc = Joins.Encoded.of_ops_exn ~hierarchy:(Relax.Penalty.hierarchy penv) orig ops in
-  Joins.Exec.run ?metrics (Env.exec_env env penv) enc strategy
+  Joins.Exec.run ?metrics ?cancel (Env.exec_env env penv) enc strategy
   |> List.map Answer.of_exec

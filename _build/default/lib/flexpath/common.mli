@@ -15,6 +15,17 @@ val log_src : Logs.src
 
 module Log : Logs.LOG
 
+type completeness =
+  | Complete  (** The reported top-K is the true top-K. *)
+  | Truncated of { reason : Guard.reason; score_bound : float }
+      (** A budget tripped before the stopping bound was reached: the
+          answers are the best found so far, correctly ordered, but an
+          unreported answer could score up to [score_bound] on the
+          scheme's primary key.  Sound by the same argument as early
+          termination: any answer not produced by the last {e completed}
+          relaxation violates a predicate it still enforces
+          ({!unseen_bound}). *)
+
 type result = {
   answers : Answer.t list;  (** Top-K, best first. *)
   metrics : Joins.Exec.metrics;
@@ -23,6 +34,10 @@ type result = {
           Hybrid). *)
   passes : int;  (** Full evaluation passes over the data. *)
   restarts : int;  (** SSO/Hybrid restarts after underestimation. *)
+  completeness : completeness;
+  degraded : bool;
+      (** True when SSO/Hybrid gave up restarting (budget's
+          [restart_cap]) and fell back to DPO's per-step evaluation. *)
 }
 
 val chain :
@@ -39,8 +54,19 @@ val kth_total : Ranking.scheme -> int -> Answer.t list -> float option
 (** The K-th best primary score among collected answers; [None] when
     fewer than [k] are present. *)
 
+val max_total : Ranking.scheme -> Relax.Penalty.t -> float
+(** The best primary score any answer can reach under the scheme —
+    the vacuous truncation bound when no pass completed. *)
+
+val truncation_bound :
+  Ranking.scheme -> Relax.Penalty.t -> Relax.Space.entry option -> float
+(** The [score_bound] to report when a budget trips: {!unseen_bound} of
+    the last fully completed chain entry, or {!max_total} when not even
+    the original query's pass finished. *)
+
 val evaluate :
   ?metrics:Joins.Exec.metrics ->
+  ?cancel:(int -> bool) ->
   Env.t ->
   Relax.Penalty.t ->
   Tpq.Query.t ->
@@ -48,4 +74,6 @@ val evaluate :
   Joins.Exec.strategy ->
   Answer.t list
 (** Evaluate the query obtained by applying [ops] to the original,
-    scored against the original's closure. *)
+    scored against the original's closure.  [cancel] is threaded to
+    {!Joins.Exec.run}; when it aborts, {!Joins.Exec.Cancelled} escapes
+    to the calling algorithm. *)

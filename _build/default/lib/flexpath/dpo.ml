@@ -1,6 +1,7 @@
-let run ?max_steps env ~scheme ~k q =
+let run ?max_steps ?(guard = Guard.none) ?metrics env ~scheme ~k q =
   let penv, chain = Common.chain env ?max_steps q in
-  let metrics = Joins.Exec.fresh_metrics () in
+  let metrics = match metrics with Some m -> m | None -> Joins.Exec.fresh_metrics () in
+  let cancel = Guard.cancel_fn guard in
   (* An answer node can gain a better-scoring embedding once a deeper
      relaxation widens the embedding space, so keep the best score seen
      per node.  The stopping bound covers improvements too: an
@@ -8,28 +9,45 @@ let run ?max_steps env ~scheme ~k q =
      [unseen_bound]. *)
   let best : (Xmldom.Doc.elem, Answer.t) Hashtbl.t = Hashtbl.create 64 in
   let passes = ref 0 in
+  (* The deepest entry whose pass ran to completion: budget truncation
+     reports [unseen_bound] of this entry as the sound score bound for
+     whatever was not collected. *)
+  let last_completed = ref None in
+  let completeness = ref Common.Complete in
+  let truncate reason =
+    completeness :=
+      Common.Truncated { reason; score_bound = Common.truncation_bound scheme penv !last_completed }
+  in
   let rec go = function
     | [] -> ()
-    | (entry : Relax.Space.entry) :: rest ->
-      incr passes;
-      let answers =
-        Common.evaluate ~metrics env penv q entry.ops Joins.Exec.exact_strategy
-      in
-      List.iter
-        (fun (a : Answer.t) ->
-          match Hashtbl.find_opt best a.node with
-          | None -> Hashtbl.replace best a.node a
-          | Some prev ->
-            if Ranking.compare_desc scheme (Answer.score a) (Answer.score prev) < 0 then
-              Hashtbl.replace best a.node a)
-        answers;
-      let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
-      let finished =
-        match Common.kth_total scheme k collected with
-        | None -> false
-        | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
-      in
-      if not finished then go rest
+    | (entry : Relax.Space.entry) :: rest -> (
+      match Guard.pass_allowed guard ~passes:!passes with
+      | Some reason -> truncate reason
+      | None -> (
+        incr passes;
+        match Common.evaluate ~metrics ?cancel env penv q entry.ops Joins.Exec.exact_strategy with
+        | exception Joins.Exec.Cancelled ->
+          (* The pass was abandoned mid-join: nothing of it is kept, the
+             bound stays that of the last completed entry. *)
+          truncate
+            (match Guard.tripped guard with Some r -> r | None -> Guard.Deadline)
+        | answers ->
+          List.iter
+            (fun (a : Answer.t) ->
+              match Hashtbl.find_opt best a.node with
+              | None -> Hashtbl.replace best a.node a
+              | Some prev ->
+                if Ranking.compare_desc scheme (Answer.score a) (Answer.score prev) < 0 then
+                  Hashtbl.replace best a.node a)
+            answers;
+          last_completed := Some entry;
+          let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
+          let finished =
+            match Common.kth_total scheme k collected with
+            | None -> false
+            | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+          in
+          if not finished then go rest))
   in
   go chain;
   Common.Log.debug (fun m -> m "DPO: %d passes, %d distinct answers" !passes (Hashtbl.length best));
@@ -40,4 +58,6 @@ let run ?max_steps env ~scheme ~k q =
     relaxations_evaluated = !passes;
     passes = !passes;
     restarts = 0;
+    completeness = !completeness;
+    degraded = false;
   }

@@ -5,12 +5,23 @@
     as soon as the collected top-K can no longer change.  Its strength
     is exact knowledge (no estimates, no wasted relaxations); its
     weakness is the repeated passes over the data, which the experiments
-    of §6 measure against SSO and Hybrid. *)
+    of §6 measure against SSO and Hybrid.
+
+    DPO is the engine's {e anytime} algorithm: pass boundaries are
+    natural budget checkpoints, so under a {!Guard} it returns the
+    best-effort top-K of the passes that completed, marked
+    [Truncated].  SSO/Hybrid degrade to it when their restart cap is
+    exhausted. *)
 
 val run :
   ?max_steps:int ->
+  ?guard:Guard.t ->
+  ?metrics:Joins.Exec.metrics ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
   Tpq.Query.t ->
   Common.result
+(** [guard] governs the whole run (default {!Guard.none}); [metrics]
+    lets a caller that already accumulated executor metrics (the
+    SSO/Hybrid fallback path) keep one running total. *)

@@ -7,18 +7,36 @@ type t = {
 }
 
 let make ?(weights = Relax.Penalty.uniform) ?(hierarchy = Tpq.Hierarchy.empty) ?scorer doc =
+  Failpoint.hit "env.make";
   let index = Fulltext.Index.build ?scorer doc in
   let stats = Stats.build doc in
   Stats.set_index stats index;
   { doc; index; stats; weights; hierarchy }
 
+let build ?weights ?hierarchy ?scorer doc =
+  match make ?weights ?hierarchy ?scorer doc with
+  | env -> Ok env
+  | exception Failpoint.Injected p -> Error (Error.Fault p)
+
 let of_tree ?weights ?hierarchy ?scorer tree =
   make ?weights ?hierarchy ?scorer (Xmldom.Doc.of_tree tree)
 
+let xml_error ?path (e : Xmldom.Xml_parser.error) =
+  if e.line = 0 then
+    (* The parser reports I/O failures with a zeroed position; their
+       message already names the path (it comes from [Sys_error]). *)
+    Error.Io_error { path = ""; message = e.message }
+  else Error.Xml_error { path; line = e.line; column = e.column; message = e.message }
+
 let of_string ?weights ?hierarchy ?scorer s =
   match Xmldom.Doc.of_string s with
-  | Ok doc -> Ok (make ?weights ?hierarchy ?scorer doc)
-  | Error e -> Error (Format.asprintf "%a" Xmldom.Xml_parser.pp_error e)
+  | Ok doc -> build ?weights ?hierarchy ?scorer doc
+  | Error e -> Error (xml_error e)
+
+let of_file ?weights ?hierarchy ?scorer path =
+  match Xmldom.Doc.of_file path with
+  | Ok doc -> build ?weights ?hierarchy ?scorer doc
+  | Error e -> Error (xml_error ~path e)
 
 let penalty_env env q = Relax.Penalty.make ~hierarchy:env.hierarchy env.stats env.weights q
 

@@ -20,7 +20,18 @@ val make :
 (** Builds the index and statistics (and attaches the index to the
     statistics for [#contains] counting).  Default weights are uniform
     1, as in Example 1; the default hierarchy is empty (tags match
-    exactly); the default scorer is tf-idf. *)
+    exactly); the default scorer is tf-idf.
+    @raise Failpoint.Injected when an env-build failpoint is armed —
+    use {!build} for the result-typed construction path. *)
+
+val build :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  Xmldom.Doc.t ->
+  (t, Error.t) result
+(** {!make} with injected faults reified as [Error.Fault]; never
+    raises. *)
 
 val of_tree :
   ?weights:Relax.Penalty.weights ->
@@ -34,7 +45,18 @@ val of_string :
   ?hierarchy:Tpq.Hierarchy.t ->
   ?scorer:Fulltext.Scorer.t ->
   string ->
-  (t, string) result
+  (t, Error.t) result
+(** Parses, indexes and never raises: malformed XML becomes
+    [Error.Xml_error] with the parser's 1-based line/column. *)
+
+val of_file :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  string ->
+  (t, Error.t) result
+(** Like {!of_string} from a file; unreadable files become
+    [Error.Io_error]. *)
 
 val penalty_env : t -> Tpq.Query.t -> Relax.Penalty.t
 (** Penalty environment for one original query. *)

@@ -1,0 +1,26 @@
+type t =
+  | Xml_error of { path : string option; line : int; column : int; message : string }
+  | Query_error of { offset : int; message : string }
+  | Capacity of { what : string; limit : int; actual : int }
+  | Io_error of { path : string; message : string }
+  | Config_error of { what : string; message : string }
+  | Fault of string
+
+let to_string = function
+  | Xml_error { path = Some p; line; column; message } ->
+    Printf.sprintf "%s: line %d, column %d: %s" p line column message
+  | Xml_error { path = None; line; column; message } ->
+    Printf.sprintf "line %d, column %d: %s" line column message
+  | Query_error { offset; message } -> Printf.sprintf "at offset %d: %s" offset message
+  | Capacity { what; limit; actual } ->
+    Printf.sprintf "capacity exceeded: %s (%d > limit %d)" what actual limit
+  | Io_error { path = ""; message } -> message
+  | Io_error { path; message } -> Printf.sprintf "%s: %s" path message
+  | Config_error { what; message } -> Printf.sprintf "bad %s: %s" what message
+  | Fault point -> Printf.sprintf "injected fault at %s" point
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let exit_code = function
+  | Xml_error _ | Query_error _ -> 2
+  | Capacity _ | Io_error _ | Config_error _ | Fault _ -> 1

@@ -1,0 +1,38 @@
+(** Unified structured errors for the whole engine.
+
+    Every failure mode a user-supplied input can provoke — malformed
+    XML, bad query syntax, missing files, unusable configuration,
+    executor capacity limits and injected faults — surfaces as a value
+    of this one type.  {!Flexpath.run} and the environment constructors
+    return [('a, t) result] and never raise on user input; the CLI maps
+    constructors to distinct exit codes. *)
+
+type t =
+  | Xml_error of { path : string option; line : int; column : int; message : string }
+      (** The document is not well-formed XML.  [line]/[column] are
+          1-based and point at the offending input; [path] is present
+          when the document came from a file. *)
+  | Query_error of { offset : int; message : string }
+      (** The XPath fragment (or a full-text expression inside it)
+          failed to parse; [offset] is a 0-based byte offset into the
+          query string. *)
+  | Capacity of { what : string; limit : int; actual : int }
+      (** A structural limit of the engine was exceeded (for example the
+          62-predicate closure capacity of the scored executor). *)
+  | Io_error of { path : string; message : string }
+      (** A file could not be read or written.  [path] may be [""] when
+          [message] already names it (system error strings do). *)
+  | Config_error of { what : string; message : string }
+      (** A hierarchy, thesaurus, weights or saved-environment input was
+          unusable; [what] names the input kind. *)
+  | Fault of string
+      (** An activated {!Failpoint} fired; the payload is the failpoint
+          name. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** CLI conventions: 2 for parse errors ([Xml_error], [Query_error]),
+    1 for everything else.  (Exit code 3 is reserved for budget
+    exhaustion, which is a truncated result, not an error.) *)

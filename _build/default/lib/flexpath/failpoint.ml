@@ -1,0 +1,37 @@
+exception Injected of string
+
+let catalog = [ "exec.compile"; "exec.run"; "exec.stage"; "index.build"; "env.make"; "chain.build" ]
+
+let armed : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let activate name =
+  if List.mem name catalog then begin
+    Hashtbl.replace armed name ();
+    Ok ()
+  end
+  else Error (Printf.sprintf "unknown failpoint %S (known: %s)" name (String.concat ", " catalog))
+
+let deactivate name = Hashtbl.remove armed name
+let reset () = Hashtbl.reset armed
+let is_active name = Hashtbl.mem armed name
+let active () = List.filter is_active catalog
+let hit name = if is_active name then raise (Injected name)
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Joins.Exec.failpoint := hit;
+    Fulltext.Index.failpoint := hit;
+    match Sys.getenv_opt "FLEXPATH_FAILPOINTS" with
+    | None | Some "" -> ()
+    | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun name ->
+             let name = String.trim name in
+             if name <> "" then
+               match activate name with
+               | Ok () -> ()
+               | Error msg -> Printf.eprintf "warning: FLEXPATH_FAILPOINTS: %s\n%!" msg)
+  end

@@ -1,0 +1,44 @@
+(** Deterministic fault injection.
+
+    A failpoint is a named place in the engine where a failure can be
+    provoked on demand: the executor's plan compiler, its join loop, the
+    index builder, environment construction, relaxation-chain building.
+    Activating a point makes the next passage through it raise
+    {!Injected}; the façade converts that into [Error.Fault], so every
+    registered failure path is provable to return a typed error (the
+    fault-injection test suite does exactly that).
+
+    Points live below the façade in libraries that cannot depend on this
+    module ({!Joins.Exec}, {!Fulltext.Index}); they expose a hook
+    reference into which {!install} plants the registry's trigger.
+    [install] runs automatically when the [Flexpath] library is
+    initialized, and also activates every point named in the
+    [FLEXPATH_FAILPOINTS] environment variable (comma-separated), which
+    is how the CLI's failure paths are exercised end-to-end. *)
+
+exception Injected of string
+(** Raised when execution passes an activated failpoint. *)
+
+val catalog : string list
+(** Every registered point:
+    ["exec.compile"; "exec.run"; "exec.stage"; "index.build";
+     "env.make"; "chain.build"]. *)
+
+val activate : string -> (unit, string) result
+(** Arms a point; fails on names outside {!catalog}. *)
+
+val deactivate : string -> unit
+val reset : unit -> unit  (** Disarms every point. *)
+
+val is_active : string -> bool
+val active : unit -> string list
+
+val hit : string -> unit
+(** The trigger: raises [Injected name] when [name] is active, returns
+    otherwise.  Engine code calls this (directly or through an installed
+    hook) at each registered point. *)
+
+val install : unit -> unit
+(** Plants {!hit} into the lower-layer hooks and arms the points named
+    in [FLEXPATH_FAILPOINTS].  Idempotent; runs at library
+    initialization. *)

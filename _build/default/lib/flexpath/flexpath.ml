@@ -6,6 +6,15 @@ module Dpo = Dpo
 module Sso = Sso
 module Hybrid = Hybrid
 module Storage = Storage
+module Error = Error
+module Guard = Guard
+module Failpoint = Failpoint
+
+(* Plant the fault-injection registry into the lower layers (and arm
+   FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)
+let () = Failpoint.install ()
+
+exception Failed of Error.t
 
 type algorithm = DPO | SSO | Hybrid
 
@@ -20,17 +29,31 @@ let algorithm_of_string s =
 
 let all_algorithms = [ DPO; SSO; Hybrid ]
 
-let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps env ~k q =
-  match algorithm with
-  | DPO -> Dpo.run ?max_steps env ~scheme ~k q
-  | SSO -> Sso.run ?max_steps env ~scheme ~k q
-  | Hybrid -> Hybrid.run ?max_steps env ~scheme ~k q
+let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?budget env ~k q =
+  let guard = match budget with None -> Guard.none | Some b -> Guard.start b in
+  match
+    match algorithm with
+    | DPO -> Dpo.run ?max_steps ~guard env ~scheme ~k q
+    | SSO -> Sso.run ?max_steps ~guard env ~scheme ~k q
+    | Hybrid -> Hybrid.run ?max_steps ~guard env ~scheme ~k q
+  with
+  | result -> Ok result
+  | exception Joins.Exec.Capacity_exceeded { what; limit; actual } ->
+    Error (Error.Capacity { what; limit; actual })
+  | exception Failpoint.Injected point -> Error (Error.Fault point)
 
-let top_k ?algorithm ?scheme ?max_steps env ~k q =
-  (run ?algorithm ?scheme ?max_steps env ~k q).Common.answers
+let run_exn ?algorithm ?scheme ?max_steps ?budget env ~k q =
+  match run ?algorithm ?scheme ?max_steps ?budget env ~k q with
+  | Ok result -> result
+  | Error e -> raise (Failed e)
 
-let top_k_xpath ?algorithm ?scheme ?max_steps env ~k s =
-  Result.map (top_k ?algorithm ?scheme ?max_steps env ~k) (Tpq.Xpath.parse s)
+let top_k ?algorithm ?scheme ?max_steps ?budget env ~k q =
+  (run_exn ?algorithm ?scheme ?max_steps ?budget env ~k q).Common.answers
+
+let top_k_xpath ?algorithm ?scheme ?max_steps ?budget env ~k s =
+  match Tpq.Xpath.parse s with
+  | Error { offset; message } -> Error (Error.Query_error { offset; message })
+  | Ok q -> Result.map (fun r -> r.Common.answers) (run ?algorithm ?scheme ?max_steps ?budget env ~k q)
 
 let exact_answers (env : Env.t) q =
   Tpq.Semantics.answers ~hierarchy:env.hierarchy env.doc env.index q

@@ -18,7 +18,19 @@
 
     The structural part of the query is a template: answers matching it
     exactly come first, answers matching a relaxation follow with
-    scores discounted by data-derived penalties (§3, §4). *)
+    scores discounted by data-derived penalties (§3, §4).
+
+    {2 Robustness}
+
+    Every failure a user input can provoke is a value of
+    {!Error.t} — {!run} never raises on user input.  An optional
+    {!Guard.budget} bounds a query's wall-clock time, executor tuples
+    and relaxation steps; exhausting it yields a best-effort,
+    correctly ordered partial top-K marked
+    {!Common.completeness.Truncated}, never an exception
+    (§5's early-termination bound makes the truncation sound).
+    {!Failpoint} injects deterministic faults for testing every
+    failure path. *)
 
 module Ranking = Ranking
 module Env = Env
@@ -28,6 +40,12 @@ module Dpo = Dpo
 module Sso = Sso
 module Hybrid = Hybrid
 module Storage = Storage
+module Error = Error
+module Guard = Guard
+module Failpoint = Failpoint
+
+exception Failed of Error.t
+(** Raised only by the [_exn] conveniences ({!run_exn}, {!top_k}). *)
 
 type algorithm = DPO | SSO | Hybrid
 
@@ -39,30 +57,49 @@ val run :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
+  ?budget:Guard.budget ->
+  Env.t ->
+  k:int ->
+  Tpq.Query.t ->
+  (Common.result, Error.t) result
+(** Top-K evaluation.  Defaults: [Hybrid], [Structure_first], no
+    budget.  Never raises on user input: closure-capacity overflows and
+    injected faults come back as [Error], budget exhaustion as a
+    [Truncated] {!Common.result}. *)
+
+val run_exn :
+  ?algorithm:algorithm ->
+  ?scheme:Ranking.scheme ->
+  ?max_steps:int ->
+  ?budget:Guard.budget ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
   Common.result
-(** Top-K evaluation.  Defaults: [Hybrid], [Structure_first]. *)
+(** {!run}, raising {!Failed}. *)
 
 val top_k :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
+  ?budget:Guard.budget ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
   Answer.t list
+(** The answers of {!run_exn}. *)
 
 val top_k_xpath :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
+  ?budget:Guard.budget ->
   Env.t ->
   k:int ->
   string ->
-  (Answer.t list, string) result
-(** Parse the XPath fragment, then {!top_k}. *)
+  (Answer.t list, Error.t) result
+(** Parse the XPath fragment, then {!run}; syntax errors come back as
+    [Error.Query_error] with a byte offset. *)
 
 val exact_answers : Env.t -> Tpq.Query.t -> Xmldom.Doc.elem list
 (** Classical exact-match semantics (no relaxation) — the baseline the

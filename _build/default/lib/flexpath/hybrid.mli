@@ -9,6 +9,7 @@
 
 val run :
   ?max_steps:int ->
+  ?guard:Guard.t ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->

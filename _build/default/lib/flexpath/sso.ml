@@ -21,10 +21,11 @@ let prune_for scheme penv k =
   | Ranking.Combined -> (Some k, Relax.Penalty.max_keyword_score penv)
   | Ranking.Keyword_first -> (None, 0.0)
 
-let run_with ?(max_steps = 32) ~sort_on_score ~bucketize env ~scheme ~k q =
+let run_with ?(max_steps = 32) ?(guard = Guard.none) ~sort_on_score ~bucketize env ~scheme ~k q =
   let penv, chain = Common.chain env ~max_steps q in
   let chain_arr = Array.of_list chain in
   let metrics = Joins.Exec.fresh_metrics () in
+  let cancel = Guard.cancel_fn guard in
   let cut = pick_cut env ~scheme ~k chain in
   (* §5.1: having estimated that relaxations up to [cut] yield K
      answers, also encode every further relaxation that could still
@@ -42,29 +43,62 @@ let run_with ?(max_steps = 32) ~sort_on_score ~bucketize env ~scheme ~k q =
   in
   let prune_k, prune_slack = prune_for scheme penv k in
   let strategy = { Joins.Exec.sort_on_score; bucketize; prune_k; prune_slack } in
-  let rec attempt cut restarts passes =
-    let entry = chain_arr.(cut) in
+  (* Fallback (graceful degradation): hand the rest of the budget to
+     DPO's exact per-step evaluation, which can surface partial answers
+     at every pass boundary.  Reached when the restart cap is exhausted
+     or when a budget trips mid-plan — a single-plan evaluation that
+     dies before its last stage has produced no answers at all, so
+     per-step evaluation is the only way to salvage anything from
+     whatever budget remains. *)
+  let degrade restarts passes =
     Common.Log.debug (fun m ->
-        m "SSO/Hybrid: evaluating cut %d (%d relaxations, score floor %.3f), attempt %d" cut
-          (List.length entry.Relax.Space.ops)
-          entry.Relax.Space.score (restarts + 1));
-    let answers = Common.evaluate ~metrics env penv q entry.ops strategy in
-    let enough =
-      match Common.kth_total scheme k answers with
-      | None -> false
-      | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
-    in
-    if enough || cut >= Array.length chain_arr - 1 then
-      {
-        Common.answers = Answer.sort_and_truncate scheme k answers;
-        metrics;
-        relaxations_evaluated = List.length entry.ops;
-        passes;
-        restarts;
-      }
-    else attempt (cut + 1) (restarts + 1) (passes + 1)
+        m "SSO/Hybrid: degrading to DPO per-step evaluation after %d restarts" restarts);
+    let r = Dpo.run ~max_steps ~guard ~metrics env ~scheme ~k q in
+    { r with Common.restarts; passes = passes + r.Common.passes; degraded = true }
   in
-  attempt cut 0 1
+  (* [done_] counts completed evaluation passes; the pass about to run
+     is [done_ + 1]. *)
+  let rec attempt cut restarts done_ =
+    match Guard.pass_allowed guard ~passes:done_ with
+    | Some reason ->
+      {
+        Common.answers = [];
+        metrics;
+        relaxations_evaluated = 0;
+        passes = done_;
+        restarts;
+        completeness =
+          Common.Truncated { reason; score_bound = Common.truncation_bound scheme penv None };
+        degraded = false;
+      }
+    | None -> (
+      let entry = chain_arr.(cut) in
+      Common.Log.debug (fun m ->
+          m "SSO/Hybrid: evaluating cut %d (%d relaxations, score floor %.3f), attempt %d" cut
+            (List.length entry.Relax.Space.ops)
+            entry.Relax.Space.score (restarts + 1));
+      match Common.evaluate ~metrics ?cancel env penv q entry.ops strategy with
+      | exception Joins.Exec.Cancelled -> degrade restarts (done_ + 1)
+      | answers ->
+        let enough =
+          match Common.kth_total scheme k answers with
+          | None -> false
+          | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+        in
+        if enough || cut >= Array.length chain_arr - 1 then
+          {
+            Common.answers = Answer.sort_and_truncate scheme k answers;
+            metrics;
+            relaxations_evaluated = List.length entry.ops;
+            passes = done_ + 1;
+            restarts;
+            completeness = Common.Complete;
+            degraded = false;
+          }
+        else if Guard.restart_exhausted guard ~restarts then degrade restarts (done_ + 1)
+        else attempt (cut + 1) (restarts + 1) (done_ + 1))
+  in
+  attempt cut 0 0
 
-let run ?max_steps env ~scheme ~k q =
-  run_with ?max_steps ~sort_on_score:true ~bucketize:false env ~scheme ~k q
+let run ?max_steps ?guard env ~scheme ~k q =
+  run_with ?max_steps ?guard ~sort_on_score:true ~bucketize:false env ~scheme ~k q

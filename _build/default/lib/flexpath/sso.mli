@@ -5,10 +5,17 @@
     plan once, keeping intermediate results sorted on score and pruning
     with threshold + maxScoreGrowth.  When the estimate was too
     optimistic and fewer than K answers come back, it deepens the
-    encoding and restarts (pseudocode lines 11-12). *)
+    encoding and restarts (pseudocode lines 11-12).
+
+    Under a {!Guard}, the restart loop is capped
+    ([budget.restart_cap]); past the cap — or when a budget trips in
+    the middle of the single plan, which cannot yield partial answers —
+    the engine degrades to {!Dpo}'s exact per-step evaluation with
+    whatever budget remains and marks the result [degraded]. *)
 
 val run :
   ?max_steps:int ->
+  ?guard:Guard.t ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
@@ -23,6 +30,7 @@ val pick_cut :
 
 val run_with :
   ?max_steps:int ->
+  ?guard:Guard.t ->
   sort_on_score:bool ->
   bucketize:bool ->
   Env.t ->

@@ -14,7 +14,10 @@ type t = {
   avg_scope_len : float; (* mean token-range length of text-bearing elements *)
 }
 
+let failpoint : (string -> unit) ref = ref (fun _ -> ())
+
 let build ?(scorer = Scorer.default) doc =
+  !failpoint "index.build";
   let term_ids = Hashtbl.create 1024 in
   let next_tid = ref 0 in
   let tid_of term =

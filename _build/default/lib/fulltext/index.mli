@@ -15,6 +15,11 @@
 
 type t
 
+val failpoint : (string -> unit) ref
+(** Fault-injection hook, consulted as "index.build" on entry to
+    {!build}.  A no-op until the FleXPath failpoint registry installs
+    itself here; an installed hook raises to simulate the failure. *)
+
 val build : ?scorer:Scorer.t -> Xmldom.Doc.t -> t
 (** [scorer] selects the keyword-evidence function (default
     {!Scorer.Tf_idf}; see {!Scorer}). *)

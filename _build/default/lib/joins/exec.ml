@@ -6,6 +6,12 @@ module Query = Tpq.Query
 
 type env = { doc : Doc.t; index : Index.t; penalty : Relax.Penalty.t }
 
+exception Cancelled
+exception Capacity_exceeded of { what : string; limit : int; actual : int }
+
+let max_scored_preds = 62
+let failpoint : (string -> unit) ref = ref (fun _ -> ())
+
 type answer = {
   target : Doc.elem;
   sscore : float;
@@ -31,10 +37,18 @@ type metrics = {
   mutable score_sorted_tuples : int;
   mutable buckets_touched : int;
   mutable stages : int;
+  mutable cancel_polls : int;
 }
 
 let fresh_metrics () =
-  { tuples_produced = 0; tuples_pruned = 0; score_sorted_tuples = 0; buckets_touched = 0; stages = 0 }
+  {
+    tuples_produced = 0;
+    tuples_pruned = 0;
+    score_sorted_tuples = 0;
+    buckets_touched = 0;
+    stages = 0;
+    cancel_polls = 0;
+  }
 
 (* A tuple in flight: bindings per slot (-1 unbound / not yet reached),
    the mask of scored predicates already found satisfied, and the
@@ -62,11 +76,14 @@ type compiled = {
 }
 
 let compile env enc =
+  !failpoint "exec.compile";
   let penv = env.penalty in
   let scored_preds = Array.of_list (Relax.Penalty.scored_preds penv) in
   let n_preds = Array.length scored_preds in
-  if n_preds > 62 then
-    invalid_arg "Exec.compile: query closure has more than 62 scored predicates";
+  if n_preds > max_scored_preds then
+    raise
+      (Capacity_exceeded
+         { what = "scored predicates in the query closure"; limit = max_scored_preds; actual = n_preds });
   let penalties = Array.map (Relax.Penalty.predicate_penalty penv) scored_preds in
   let n_slots = Encoded.var_count enc in
   let slot_of v = Encoded.slot_of_var enc v in
@@ -205,10 +222,34 @@ let prune_threshold cp metrics k s tuples =
     Some (List.nth sorted (k - 1))
   end
 
-let run ?(metrics = fresh_metrics ()) env enc strategy =
+let poll_interval = 4096
+
+let run ?(metrics = fresh_metrics ()) ?cancel env enc strategy =
+  !failpoint "exec.run";
   let cp = compile env enc in
   let specs = Array.of_list (Encoded.specs enc) in
   let n = cp.n_slots in
+  (* Cooperative cancellation: count tuples locally and consult the
+     callback only every [poll_interval], so the governed fast path
+     stays a counter increment and a comparison.  [flush_tick] reports
+     the leftover count at stage boundaries, keeping the caller's
+     cumulative tuple accounting exact between stages. *)
+  let unpolled = ref 0 in
+  let consult f =
+    metrics.cancel_polls <- metrics.cancel_polls + 1;
+    let d = !unpolled in
+    unpolled := 0;
+    if f d then raise Cancelled
+  in
+  let tick, flush_tick =
+    match cancel with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some f ->
+      ( (fun produced ->
+          unpolled := !unpolled + produced;
+          if !unpolled >= poll_interval then consult f),
+        fun () -> if !unpolled > 0 then consult f )
+  in
   (* stage 0: scan for the root spec *)
   let root_spec = specs.(0) in
   let init =
@@ -278,6 +319,7 @@ let run ?(metrics = fresh_metrics ()) env enc strategy =
     else tuples
   in
   let step tuples s =
+    !failpoint "exec.stage";
     metrics.stages <- metrics.stages + 1;
     let spec = specs.(s) in
     let anchor_slot, axis =
@@ -294,17 +336,30 @@ let run ?(metrics = fresh_metrics ()) env enc strategy =
       List.concat_map
         (fun t ->
           let anchor = t.bindings.(anchor_slot) in
-          if anchor < 0 then [ settle env cp s t ]
+          if anchor < 0 then begin
+            tick 1;
+            [ settle env cp s t ]
+          end
           else begin
             match candidates_below env spec axis anchor with
-            | [] -> if spec.optional then [ settle env cp s t ] else []
-            | cands -> List.map (extend t) cands
+            | [] ->
+              if spec.optional then begin
+                tick 1;
+                [ settle env cp s t ]
+              end
+              else []
+            | cands ->
+              tick (List.length cands);
+              List.map (extend t) cands
           end)
         tuples
     in
     metrics.tuples_produced <- metrics.tuples_produced + List.length out;
+    flush_tick ();
     apply_strategy s (project s out)
   in
+  tick (List.length init);
+  flush_tick ();
   let final = ref (apply_strategy 0 (project 0 init)) in
   for s = 1 to n - 1 do
     final := step !final s

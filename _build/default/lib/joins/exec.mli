@@ -22,6 +22,26 @@
 
 type env = { doc : Xmldom.Doc.t; index : Fulltext.Index.t; penalty : Relax.Penalty.t }
 
+exception Cancelled
+(** Raised from {!run} when the [cancel] callback asks to stop.  Never
+    escapes the top-K algorithms: they catch it and return the
+    best-effort answers collected from completed passes. *)
+
+exception Capacity_exceeded of { what : string; limit : int; actual : int }
+(** Raised by {!run} when the query's closure does not fit the
+    executor's fixed capacities (the satisfied-predicate bitmask holds
+    at most {!max_scored_preds} scored predicates).  A typed condition
+    the façade converts to an error value — never an abort. *)
+
+val max_scored_preds : int
+(** Scored closure predicates the tuple bitmask can track (62). *)
+
+val failpoint : (string -> unit) ref
+(** Fault-injection hook: called with a point name ("exec.compile",
+    "exec.run", "exec.stage") at the corresponding code path.  A no-op
+    until {!Flexpath.Failpoint} installs itself here; an installed hook
+    raises to simulate the failure. *)
+
 type answer = {
   target : Xmldom.Doc.elem;  (** Binding of the distinguished variable. *)
   sscore : float;
@@ -57,12 +77,21 @@ type metrics = {
       (** Total tuples passed through score re-sorts (SSO's overhead). *)
   mutable buckets_touched : int;
   mutable stages : int;
+  mutable cancel_polls : int;
+      (** Times the cooperative cancellation callback was consulted. *)
 }
 
 val fresh_metrics : unit -> metrics
 
-val run : ?metrics:metrics -> env -> Encoded.t -> strategy -> answer list
+val run :
+  ?metrics:metrics -> ?cancel:(int -> bool) -> env -> Encoded.t -> strategy -> answer list
 (** All answers of the encoded query, one per distinct distinguished
     binding (the best-scoring embedding is kept), unordered.  With
     [prune_k = Some k], answers outside any possible top-k may be
-    missing — by design. *)
+    missing — by design.
+
+    [cancel] is the cooperative cancellation check: it is polled from
+    the join loop roughly every 4096 tuples (and at every stage
+    boundary) with the number of tuples produced since the previous
+    poll; returning [true] aborts the evaluation by raising
+    {!Cancelled}.  Without [cancel] the hot path is unchanged. *)

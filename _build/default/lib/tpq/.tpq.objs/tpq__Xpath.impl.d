@@ -1,1 +1,1 @@
-lib/tpq/xpath.ml: Buffer Format Fulltext List Pred Printf Query String
+lib/tpq/xpath.ml: Buffer Format Fulltext List Pred Printf Query Result String

@@ -22,7 +22,16 @@
     examples of Figure 1 parse to the same numbering used in the
     paper. *)
 
-val parse : string -> (Query.t, string) result
+type error = { offset : int; message : string }
+(** A syntax error at a 0-based byte offset into the query string.
+    Errors inside an embedded full-text expression carry the offset of
+    the offending character within the whole query, not within the
+    expression. *)
+
+val error_to_string : error -> string
+(** ["at offset %d: %s"]. *)
+
+val parse : string -> (Query.t, error) result
 
 val parse_exn : string -> Query.t
 (** @raise Invalid_argument on syntax errors. *)

@@ -13,3 +13,11 @@
   $ diff dpo.out env.out
   $ flexpath_cli query --file articles.xml '//['
   $ flexpath_cli query --file missing.xml '//a'
+  $ printf '<a>\n  <b></a>' > broken.xml
+  $ flexpath_cli query --file broken.xml '//a'
+  $ flexpath_cli query --file articles.xml --weights nonsense '//a'
+  $ flexpath_cli query --file articles.xml '//a/b/c/d/e/f/g/h/i/j/k/l'
+  $ flexpath_cli query --file articles.xml -k 5 --algo dpo --step-budget 1 '//article[./section[./algorithm and ./paragraph]]'
+  $ flexpath_cli query --file articles.xml -k 3 --timeout-ms 0 '//article[./section/paragraph]'
+  $ FLEXPATH_FAILPOINTS=exec.run flexpath_cli query --file articles.xml '//article[./section/paragraph]'
+  $ FLEXPATH_FAILPOINTS=index.build flexpath_cli stats --file articles.xml

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Flexpath Float Fun Joins Lazy List Result Tpq Xmark

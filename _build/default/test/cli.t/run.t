@@ -37,11 +37,44 @@ Saved environments answer the same queries:
   $ flexpath_cli query --env articles.env -k 3 '//article[.contains("xml" and "streaming")]' > env.out
   $ diff dpo.out env.out
 
-Errors are reported, not crashes:
+Errors are reported, not crashes, with distinct exit codes: 2 for
+parse errors (query or document), 1 for I/O, configuration and
+internal-limit errors.
 
   $ flexpath_cli query --file articles.xml '//['
   query error: at offset 2: expected a name
-  [1]
+  [2]
   $ flexpath_cli query --file missing.xml '//a'
   error: missing.xml: No such file or directory
+  [1]
+  $ printf '<a>\n  <b></a>' > broken.xml
+  $ flexpath_cli query --file broken.xml '//a'
+  error: broken.xml: line 2, column 9: mismatched closing tag: expected </b>, got </a>
+  [2]
+  $ flexpath_cli query --file articles.xml --weights nonsense '//a'
+  error: bad weights: expected key=value, got "nonsense"
+  [1]
+  $ flexpath_cli query --file articles.xml '//a/b/c/d/e/f/g/h/i/j/k/l'
+  error: capacity exceeded: scored predicates in the query closure (77 > limit 62)
+  [1]
+
+A budget-exceeded query still prints the best-effort answers it
+collected, then reports the trip on stderr and exits 3:
+
+  $ flexpath_cli query --file articles.xml -k 5 --algo dpo --step-budget 1 '//article[./section[./algorithm and ./paragraph]]'
+   1. collection[1]/article[3]  ss=3.0000 ks=0.0000  exact
+   2. collection[1]/article[4]  ss=3.0000 ks=0.0000  exact
+  budget exceeded (step budget): 2 partial answers shown; unreported answers score at most 2.0000
+  [3]
+  $ flexpath_cli query --file articles.xml -k 3 --timeout-ms 0 '//article[./section/paragraph]'
+  budget exceeded (deadline): 0 partial answers shown; unreported answers score at most 2.0000
+  [3]
+
+Injected faults surface as typed errors end to end:
+
+  $ FLEXPATH_FAILPOINTS=exec.run flexpath_cli query --file articles.xml '//article[./section/paragraph]'
+  error: injected fault at exec.run
+  [1]
+  $ FLEXPATH_FAILPOINTS=index.build flexpath_cli stats --file articles.xml
+  error: injected fault at index.build
   [1]

@@ -203,7 +203,7 @@ let test_top_k_xpath () =
   let env = Lazy.force article_env in
   (match Flexpath.top_k_xpath env ~k:3 q1_str with
   | Ok answers -> check_int "three answers" 3 (List.length answers)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Flexpath.Error.to_string e));
   check_bool "syntax error surfaces" true (Result.is_error (Flexpath.top_k_xpath env ~k:3 "//["))
 
 (* Kth answer scores dominate any dropped candidate: compare against a

@@ -48,7 +48,7 @@ let () =
   let q3 = Tpq.Xpath.parse_exn (snd (List.nth queries 2)) in
   List.iter
     (fun algorithm ->
-      let result, dt = time (fun () -> Flexpath.run ~algorithm env ~k:100 q3) in
+      let result, dt = time (fun () -> Flexpath.run_exn ~algorithm env ~k:100 q3) in
       let m = result.Flexpath.Common.metrics in
       Format.printf
         "%-7s %6.1f ms  passes=%d relaxations=%d tuples=%d pruned=%d score-sorted=%d buckets=%d@."
@@ -60,7 +60,7 @@ let () =
 
   Format.printf "@.--- Keyword search in context: %s ---@." keyword_query;
   (match Flexpath.top_k_xpath env ~k:5 keyword_query with
-  | Error msg -> failwith msg
+  | Error e -> failwith (Flexpath.Error.to_string e)
   | Ok answers ->
     List.iteri
       (fun i (a : Flexpath.Answer.t) ->

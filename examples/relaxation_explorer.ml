@@ -14,7 +14,7 @@ let () =
   let q =
     match Tpq.Xpath.parse query with
     | Ok q -> q
-    | Error msg -> failwith ("bad query: " ^ msg)
+    | Error e -> failwith ("bad query: " ^ Tpq.Xpath.error_to_string e)
   in
   Format.printf "Query: %s@.@." (Tpq.Xpath.to_string q);
   Format.printf "%s@." (Tpq.Query.to_string q);

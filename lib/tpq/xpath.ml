@@ -2,9 +2,14 @@ module Ftexp = Fulltext.Ftexp
 
 type st = { src : string; len : int; mutable pos : int; mutable next_var : int }
 
-exception Err of string
+type error = { offset : int; message : string }
 
-let fail st msg = raise (Err (Printf.sprintf "at offset %d: %s" st.pos msg))
+let error_to_string { offset; message } = Printf.sprintf "at offset %d: %s" offset message
+
+exception Err of error
+
+let fail st msg = raise (Err { offset = st.pos; message = msg })
+let fail_at offset msg = raise (Err { offset; message = msg })
 let eof st = st.pos >= st.len
 let peek st = if eof st then '\000' else st.src.[st.pos]
 
@@ -80,7 +85,8 @@ let parse_ftexp_until_rparen st =
   (* consume ')' *)
   match Ftexp.of_string text with
   | Ok e -> e
-  | Error { message; _ } -> fail st ("bad full-text expression: " ^ message)
+  | Error { message; position } ->
+    fail_at (start + position) ("bad full-text expression: " ^ message)
 
 let parse_relop st =
   skip_ws st;
@@ -237,11 +243,15 @@ let parse s =
     let dist = main_steps root in
     skip_ws st;
     if not (eof st) then fail st "trailing characters";
-    Query.make ~root ~nodes:acc.nodes ~edges:acc.edges ~distinguished:dist
-  with Err msg -> Error msg
+    Result.map_error
+      (fun message -> { offset = 0; message })
+      (Query.make ~root ~nodes:acc.nodes ~edges:acc.edges ~distinguished:dist)
+  with Err e -> Error e
 
 let parse_exn s =
-  match parse s with Ok q -> q | Error msg -> invalid_arg ("Xpath.parse_exn: " ^ msg)
+  match parse s with
+  | Ok q -> q
+  | Error e -> invalid_arg ("Xpath.parse_exn: " ^ error_to_string e)
 
 let to_string q =
   let b = Buffer.create 128 in
