@@ -61,10 +61,11 @@ internal-limit errors.
 A budget-exceeded query still prints the best-effort answers it
 collected, then reports the trip on stderr and exits 3:
 
-  $ flexpath_cli query --file articles.xml -k 3 --algo dpo --step-budget 1 '//article[.contains("xml" and "streaming")]'
-   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
-   2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
-   3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
+  $ flexpath_cli query --file articles.xml -k 5 --algo dpo --step-budget 1 '//article[./section[./algorithm and ./paragraph]]'
+   1. collection[1]/article[3]  ss=3.0000 ks=0.0000  exact
+   2. collection[1]/article[4]  ss=3.0000 ks=0.0000  exact
+  budget exceeded (step budget): 2 partial answers shown; unreported answers score at most 2.0000
+  [3]
   $ flexpath_cli query --file articles.xml -k 3 --timeout-ms 0 '//article[./section/paragraph]'
   budget exceeded (deadline): 0 partial answers shown; unreported answers score at most 2.0000
   [3]
@@ -76,4 +77,91 @@ Injected faults surface as typed errors end to end:
   [1]
   $ FLEXPATH_FAILPOINTS=index.build flexpath_cli stats --file articles.xml
   error: injected fault at index.build
+  [1]
+
+Snapshot integrity: --verify recomputes every checksum and reports
+per-section status, exit 0 when intact:
+
+  $ flexpath_cli index --verify articles.env
+  articles.env:
+  format v2, 4 sections
+    document           offset 69           3044 bytes  ok
+    index              offset 3113         3574 bytes  ok
+    statistics         offset 6687         1566 bytes  ok
+    hierarchy          offset 8253           22 bytes  ok
+    footer ok
+  intact
+
+Corrupted snapshots are typed errors with exit code 4, for both query
+and verify:
+
+  $ head -c 100 articles.env > trunc.env
+  $ flexpath_cli query --env trunc.env -k 3 '//article' 2>&1
+  error: trunc.env: truncated snapshot (document cut short)
+  [4]
+  $ flexpath_cli index --verify trunc.env
+  trunc.env:
+  format v2, 4 sections
+    document           offset 69           3044 bytes  CORRUPT
+    index              offset 3113         3574 bytes  CORRUPT
+    statistics         offset 6687         1566 bytes  CORRUPT
+    hierarchy          offset 8253           22 bytes  CORRUPT
+    footer CORRUPT
+  corrupt, not recoverable
+  [4]
+  $ cp articles.env garbage.env && printf 'junk' >> garbage.env
+  $ flexpath_cli query --env garbage.env -k 3 '//article'
+  error: garbage.env: 4 bytes of trailing garbage after the snapshot footer
+  [4]
+
+Damage confined to a derived section degrades gracefully: the query
+warns, rebuilds from the document section, and answers identically.
+Flip the last payload byte (inside the hierarchy section, just before
+the 8-byte footer):
+
+  $ cp articles.env flipped.env
+  $ SIZE=$(wc -c < articles.env)
+  $ printf '\377' | dd of=flipped.env bs=1 seek=$((SIZE - 9)) conv=notrunc 2>/dev/null
+  $ flexpath_cli query --env flipped.env -k 3 '//article[.contains("xml" and "streaming")]' > flipped.out
+  warning: flipped.env: corrupt snapshot recovered; rebuilt from the document section: hierarchy
+  $ diff dpo.out flipped.out
+  $ flexpath_cli index --verify flipped.env
+  flipped.env:
+  format v2, 4 sections
+    document           offset 69           3044 bytes  ok
+    index              offset 3113         3574 bytes  ok
+    statistics         offset 6687         1566 bytes  ok
+    hierarchy          offset 8253           22 bytes  CORRUPT
+    footer CORRUPT
+  corrupt, recoverable (document section intact; derived sections will be rebuilt on load)
+  [4]
+
+A fault injected at any storage failpoint during save surfaces as a
+typed error and leaves the existing snapshot byte-for-byte intact:
+
+  $ FLEXPATH_FAILPOINTS=storage_rename flexpath_cli index --file articles.xml -o articles.env
+  error: injected fault at storage_rename
+  [1]
+  $ FLEXPATH_FAILPOINTS=storage_write flexpath_cli index --file articles.xml -o articles.env
+  error: injected fault at storage_write
+  [1]
+  $ ls *.tmp.* 2>/dev/null
+  [2]
+  $ flexpath_cli index --verify articles.env
+  articles.env:
+  format v2, 4 sections
+    document           offset 69           3044 bytes  ok
+    index              offset 3113         3574 bytes  ok
+    statistics         offset 6687         1566 bytes  ok
+    hierarchy          offset 8253           22 bytes  ok
+    footer ok
+  intact
+
+Usage errors for the index subcommand:
+
+  $ flexpath_cli index --file articles.xml
+  error: pass -o PATH to build a snapshot or --verify PATH to check one
+  [1]
+  $ flexpath_cli index --file articles.xml -o a.env --verify b.env
+  error: pass either --verify or -o, not both
   [1]

@@ -318,6 +318,69 @@ let abl_governance ~quick () =
   run "tuples=5k" (Some (Flexpath.Guard.budget ~tuple_budget:5_000 ()));
   run "deadline=5ms" (Some (Flexpath.Guard.budget ~deadline_ms:5.0 ()))
 
+(* Snapshot storage: what the checksummed sectioned format costs to
+   write, load and verify as documents grow, and what recovery costs
+   when a derived section is damaged and must be rebuilt from the
+   document section. *)
+let abl_snapshot ~quick () =
+  header "Ablation: snapshot storage"
+    "Checksummed snapshot save/load/verify, and recovery from a damaged index section; time in ms"
+    [ "bytes"; "save"; "load"; "verify"; "recover" ];
+  let fail e = failwith (Flexpath.Error.to_string e) in
+  List.iter
+    (fun mb ->
+      let env = env_for_mb mb in
+      let path = Filename.temp_file "flexpath_bench" ".env" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let _, save_ms =
+            time_median (fun () ->
+                match Flexpath.Storage.save env path with Ok () -> () | Error e -> fail e)
+          in
+          let bytes = (Unix.stat path).Unix.st_size in
+          let _, load_ms =
+            time_median (fun () ->
+                match Flexpath.Storage.load path with
+                | Ok (_, Flexpath.Storage.Intact) -> ()
+                | Ok _ -> failwith "expected an intact load"
+                | Error e -> fail e)
+          in
+          let _, verify_ms =
+            time_median (fun () ->
+                match Flexpath.Storage.verify path with Ok _ -> () | Error e -> fail e)
+          in
+          (* Flip one byte in the middle of the index section: load must
+             detect the checksum mismatch and re-index the document. *)
+          let report =
+            match Flexpath.Storage.verify path with Ok r -> r | Error e -> fail e
+          in
+          let s =
+            List.find (fun s -> s.Flexpath.Storage.name = "index") report.Flexpath.Storage.sections
+          in
+          let data =
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+          in
+          let i = s.Flexpath.Storage.offset + (s.Flexpath.Storage.bytes / 2) in
+          Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 1));
+          let oc = open_out_bin path in
+          output_bytes oc data;
+          close_out oc;
+          let _, recover_ms =
+            time_median (fun () ->
+                match Flexpath.Storage.load path with
+                | Ok (_, Flexpath.Storage.Recovered _) -> ()
+                | Ok _ -> failwith "expected a recovery"
+                | Error e -> fail e)
+          in
+          row
+            (Printf.sprintf "%gMB" mb)
+            [ string_of_int bytes; ms save_ms; ms load_ms; ms verify_ms; ms recover_ms ]))
+    (if quick then [ 0.5; 2.0 ] else [ 1.0; 10.0; 25.0 ])
+
 (* Data relaxation (APPROXML, §7) vs query relaxation (SSO): the third
    evaluation strategy the paper rejects because it "quickly fails with
    large databases".  We measure the materialized closure and the
@@ -403,6 +466,7 @@ let all_figures =
     ("abl_estimator", abl_estimator);
     ("abl_schemes", abl_schemes);
     ("abl_governance", abl_governance);
+    ("abl_snapshot", abl_snapshot);
     ("abl_approxml", abl_approxml);
   ]
 

@@ -11,10 +11,13 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Exit codes: 0 success, 1 usage / I/O / internal errors, 2 parse
    errors (document or query), 3 budget exhausted (partial results were
-   printed).  Everything that is not an answer goes to stderr. *)
+   printed), 4 snapshot corruption (a saved environment failed its
+   integrity checks).  Everything that is not an answer goes to
+   stderr. *)
 
 let exit_usage = 1
 let exit_budget = 3
+let exit_snapshot = 4
 
 module Error = Flexpath.Error
 
@@ -194,8 +197,22 @@ let query_cmd =
     let env_result =
       match env_file with
       | Some path ->
-        Result.map_error
-          (fun message -> Error.Config_error { what = "environment file"; message })
+        Result.map
+          (fun (env, outcome) ->
+            (match outcome with
+            | Flexpath.Storage.Intact -> ()
+            | Flexpath.Storage.Recovered { rebuilt = [] } ->
+              Printf.eprintf "warning: %s: snapshot footer damaged; all sections verified\n" path
+            | Flexpath.Storage.Recovered { rebuilt } ->
+              Printf.eprintf
+                "warning: %s: corrupt snapshot recovered; rebuilt from the document section: %s\n"
+                path (String.concat ", " rebuilt)
+            | Flexpath.Storage.Migrated { version } ->
+              Printf.eprintf
+                "warning: %s: deprecated format v%d (no integrity protection); re-run 'flexpath \
+                 index' to upgrade\n"
+                path version);
+            env)
           (Flexpath.Storage.load ~weights path)
       | None ->
         Result.bind (load_doc ~file ~xmark_items:xmark ~articles_count:articles) (fun doc ->
@@ -378,11 +395,29 @@ let generate_cmd =
 let index_cmd =
   let out_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Where to write the environment.")
   in
-  let run file xmark articles hierarchy_file out =
+  let verify_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verify" ] ~docv:"PATH"
+          ~doc:
+            "Verify an existing snapshot instead of building one: recompute every checksum and \
+             report per-section status.  Exit code 0 when intact, 4 on any corruption.")
+  in
+  let verify path =
+    match Flexpath.Storage.verify path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Error.to_string e);
+      Error.exit_code e
+    | Ok report ->
+      Format.printf "%s:@.%a@." path Flexpath.Storage.pp_report report;
+      if report.Flexpath.Storage.intact then 0 else exit_snapshot
+  in
+  let run file xmark articles hierarchy_file out verify_file =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -390,20 +425,31 @@ let index_cmd =
         Error.exit_code e
       | Ok v -> f v
     in
-    let* doc = load_doc ~file ~xmark_items:xmark ~articles_count:articles in
-    let* hierarchy = load_hierarchy hierarchy_file in
-    let* env = Flexpath.Env.build ~hierarchy doc in
-    let* () =
-      Result.map_error
-        (* Sys_error strings already name the path *)
-        (fun message -> Error.Io_error { path = ""; message })
-        (Flexpath.Storage.save env out)
-    in
-    Printf.printf "indexed %d elements into %s\n" (Xmldom.Doc.size doc) out;
-    0
+    match (verify_file, out) with
+    | Some path, None -> verify path
+    | Some _, Some _ ->
+      Printf.eprintf "error: pass either --verify or -o, not both\n";
+      exit_usage
+    | None, None ->
+      Printf.eprintf "error: pass -o PATH to build a snapshot or --verify PATH to check one\n";
+      exit_usage
+    | None, Some out ->
+      let* doc = load_doc ~file ~xmark_items:xmark ~articles_count:articles in
+      let* hierarchy = load_hierarchy hierarchy_file in
+      let* env = Flexpath.Env.build ~hierarchy doc in
+      let* () = Flexpath.Storage.save env out in
+      Printf.printf "indexed %d elements into %s\n" (Xmldom.Doc.size doc) out;
+      0
   in
-  let term = Term.(const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ out_arg) in
-  Cmd.v (Cmd.info "index" ~doc:"Build the index and statistics once, save them for later queries.") term
+  let term =
+    Term.(const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ out_arg $ verify_arg)
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Build the index and statistics once, save them as a checksummed snapshot for later \
+          queries; or verify an existing snapshot's integrity (--verify).")
+    term
 
 let () =
   let info =

@@ -1,0 +1,1 @@
+lib/flexpath/crc32.mli:

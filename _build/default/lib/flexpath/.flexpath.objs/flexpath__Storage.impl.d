@@ -1,1 +1,1 @@
-lib/flexpath/storage.ml: Env Fulltext Marshal Printf Relax Stats String Tpq Xmldom
+lib/flexpath/storage.ml: Buffer Bytes Char Crc32 Env Error Failpoint Filename Format Fulltext Fun List Marshal Printf Relax Result Stats String Sys Tpq Unix Xmldom

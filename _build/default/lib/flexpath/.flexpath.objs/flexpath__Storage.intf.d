@@ -1,1 +1,1 @@
-lib/flexpath/storage.mli: Env Relax
+lib/flexpath/storage.mli: Env Error Format Relax

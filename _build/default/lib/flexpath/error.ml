@@ -1,10 +1,31 @@
+type corruption =
+  | Bad_magic
+  | Version_skew of { found : int; newest : int }
+  | Truncated of { at : string }
+  | Checksum_mismatch of { section : string }
+  | Trailing_garbage of { bytes : int }
+  | Malformed_section of { section : string; message : string }
+
 type t =
   | Xml_error of { path : string option; line : int; column : int; message : string }
   | Query_error of { offset : int; message : string }
   | Capacity of { what : string; limit : int; actual : int }
   | Io_error of { path : string; message : string }
   | Config_error of { what : string; message : string }
+  | Snapshot_error of { path : string; corruption : corruption }
   | Fault of string
+
+let corruption_to_string = function
+  | Bad_magic -> "not a FleXPath snapshot (bad magic)"
+  | Version_skew { found; newest } ->
+    Printf.sprintf "snapshot format version %d not supported (newest known: %d)" found newest
+  | Truncated { at } -> Printf.sprintf "truncated snapshot (%s cut short)" at
+  | Checksum_mismatch { section } -> Printf.sprintf "checksum mismatch in %s" section
+  | Trailing_garbage { bytes } ->
+    Printf.sprintf "%d byte%s of trailing garbage after the snapshot footer" bytes
+      (if bytes = 1 then "" else "s")
+  | Malformed_section { section; message } ->
+    Printf.sprintf "malformed %s section: %s" section message
 
 let to_string = function
   | Xml_error { path = Some p; line; column; message } ->
@@ -17,10 +38,13 @@ let to_string = function
   | Io_error { path = ""; message } -> message
   | Io_error { path; message } -> Printf.sprintf "%s: %s" path message
   | Config_error { what; message } -> Printf.sprintf "bad %s: %s" what message
+  | Snapshot_error { path; corruption } ->
+    Printf.sprintf "%s: %s" path (corruption_to_string corruption)
   | Fault point -> Printf.sprintf "injected fault at %s" point
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 let exit_code = function
   | Xml_error _ | Query_error _ -> 2
+  | Snapshot_error _ -> 4
   | Capacity _ | Io_error _ | Config_error _ | Fault _ -> 1

@@ -2,10 +2,30 @@
 
     Every failure mode a user-supplied input can provoke — malformed
     XML, bad query syntax, missing files, unusable configuration,
-    executor capacity limits and injected faults — surfaces as a value
-    of this one type.  {!Flexpath.run} and the environment constructors
-    return [('a, t) result] and never raise on user input; the CLI maps
-    constructors to distinct exit codes. *)
+    executor capacity limits, corrupted snapshots and injected faults —
+    surfaces as a value of this one type.  {!Flexpath.run} and the
+    environment constructors return [('a, t) result] and never raise on
+    user input; the CLI maps constructors to distinct exit codes. *)
+
+type corruption =
+  | Bad_magic  (** The file does not start with the snapshot magic. *)
+  | Version_skew of { found : int; newest : int }
+      (** The format version byte names a version this build cannot
+          read. *)
+  | Truncated of { at : string }
+      (** The file ends before the named structure ([header], a section
+          name, or [footer]) is complete — the signature of a crash
+          while a non-atomic writer was at work, which the atomic
+          {!Storage.save} never produces. *)
+  | Checksum_mismatch of { section : string }
+      (** The named component's stored CRC-32 does not match its bytes
+          (bit rot, torn write, manual editing). *)
+  | Trailing_garbage of { bytes : int }
+      (** Well-formed snapshot followed by extra bytes — the file was
+          appended to or two files were concatenated. *)
+  | Malformed_section of { section : string; message : string }
+      (** The section's bytes checksum correctly but do not deserialize
+          to a value of the expected shape. *)
 
 type t =
   | Xml_error of { path : string option; line : int; column : int; message : string }
@@ -23,16 +43,23 @@ type t =
       (** A file could not be read or written.  [path] may be [""] when
           [message] already names it (system error strings do). *)
   | Config_error of { what : string; message : string }
-      (** A hierarchy, thesaurus, weights or saved-environment input was
-          unusable; [what] names the input kind. *)
+      (** A hierarchy, thesaurus or weights input was unusable; [what]
+          names the input kind. *)
+  | Snapshot_error of { path : string; corruption : corruption }
+      (** A saved environment failed a {!Storage.load}/{!Storage.verify}
+          integrity check; [corruption] classifies the damage.  Damage
+          confined to derived sections is repaired in place (see
+          {!Storage.outcome}) and does not surface as an error. *)
   | Fault of string
       (** An activated {!Failpoint} fired; the payload is the failpoint
           name. *)
 
+val corruption_to_string : corruption -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** CLI conventions: 2 for parse errors ([Xml_error], [Query_error]),
-    1 for everything else.  (Exit code 3 is reserved for budget
-    exhaustion, which is a truncated result, not an error.) *)
+    4 for snapshot corruption ([Snapshot_error]), 1 for everything
+    else.  (Exit code 3 is reserved for budget exhaustion, which is a
+    truncated result, not an error.) *)

@@ -1,6 +1,18 @@
 exception Injected of string
 
-let catalog = [ "exec.compile"; "exec.run"; "exec.stage"; "index.build"; "env.make"; "chain.build" ]
+let catalog =
+  [
+    "exec.compile";
+    "exec.run";
+    "exec.stage";
+    "index.build";
+    "env.make";
+    "chain.build";
+    "storage_write";
+    "storage_fsync";
+    "storage_rename";
+    "storage_read_section";
+  ]
 
 let armed : (string, unit) Hashtbl.t = Hashtbl.create 8
 

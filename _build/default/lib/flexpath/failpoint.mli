@@ -22,7 +22,13 @@ exception Injected of string
 val catalog : string list
 (** Every registered point:
     ["exec.compile"; "exec.run"; "exec.stage"; "index.build";
-     "env.make"; "chain.build"]. *)
+     "env.make"; "chain.build"], plus the snapshot I/O points
+    ["storage_write"; "storage_fsync"; "storage_rename";
+     "storage_read_section"] that {!Storage} consults directly: the
+    first three fire inside [save] (before the payload write, the
+    fsync and the publishing rename respectively — each proves a crash
+    at that stage leaves any pre-existing snapshot untouched), the
+    last on every section read inside [load]/[verify]. *)
 
 val activate : string -> (unit, string) result
 (** Arms a point; fails on names outside {!catalog}. *)

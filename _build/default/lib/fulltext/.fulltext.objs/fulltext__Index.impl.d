@@ -1,1 +1,1 @@
-lib/fulltext/index.ml: Array Float Ftexp Fun Hashtbl Int List Scorer Set Stemmer Stopwords Tokenizer Xmldom
+lib/fulltext/index.ml: Array Float Ftexp Fun Hashtbl Int List Printf Scorer Set Stemmer Stopwords Tokenizer Xmldom

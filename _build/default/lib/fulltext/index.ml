@@ -109,6 +109,53 @@ let build ?(scorer = Scorer.default) doc =
     avg_scope_len;
   }
 
+(* The index minus its document: what snapshot storage persists.  The
+   document is stored once in its own snapshot section; [of_portable]
+   re-attaches it.  No field is a closure, so the whole record is
+   Marshal-safe. *)
+type portable = {
+  p_term_ids : (string, int) Hashtbl.t;
+  p_postings : int array array;
+  p_tok_term : int array;
+  p_tok_owner : int array;
+  p_tok_start : int array;
+  p_tok_end : int array;
+  p_n_tokens : int;
+  p_scorer : Scorer.t;
+  p_avg_scope_len : float;
+}
+
+let to_portable idx =
+  {
+    p_term_ids = idx.term_ids;
+    p_postings = idx.postings;
+    p_tok_term = idx.tok_term;
+    p_tok_owner = idx.tok_owner;
+    p_tok_start = idx.tok_start;
+    p_tok_end = idx.tok_end;
+    p_n_tokens = idx.n_tokens;
+    p_scorer = idx.scorer;
+    p_avg_scope_len = idx.avg_scope_len;
+  }
+
+let of_portable doc p =
+  if Array.length p.p_tok_start <> Doc.size doc then
+    invalid_arg
+      (Printf.sprintf "Index.of_portable: index covers %d elements, document has %d"
+         (Array.length p.p_tok_start) (Doc.size doc));
+  {
+    doc;
+    term_ids = p.p_term_ids;
+    postings = p.p_postings;
+    tok_term = p.p_tok_term;
+    tok_owner = p.p_tok_owner;
+    tok_start = p.p_tok_start;
+    tok_end = p.p_tok_end;
+    n_tokens = p.p_n_tokens;
+    scorer = p.p_scorer;
+    avg_scope_len = p.p_avg_scope_len;
+  }
+
 let doc idx = idx.doc
 let scorer idx = idx.scorer
 let n_tokens idx = idx.n_tokens

@@ -27,6 +27,21 @@ val build : ?scorer:Scorer.t -> Xmldom.Doc.t -> t
 val doc : t -> Xmldom.Doc.t
 val scorer : t -> Scorer.t
 
+(** {2 Persistence} *)
+
+type portable
+(** The index without its document: posting lists, token maps and
+    scorer only — a closure-free value safe to [Marshal], sized so the
+    document is not duplicated when both are persisted side by side. *)
+
+val to_portable : t -> portable
+
+val of_portable : Xmldom.Doc.t -> portable -> t
+(** Re-attaches the document [to_portable] stripped.
+    @raise Invalid_argument when the portable index does not cover
+    exactly the document's elements (it was built from a different
+    document). *)
+
 val n_tokens : t -> int
 (** Number of indexed (non-stopword) tokens. *)
 

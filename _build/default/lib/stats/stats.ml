@@ -65,6 +65,50 @@ let build doc =
     contains_cache = Hashtbl.create 64;
   }
 
+(* The statistics minus the document, the attached index and the
+   memoization cache: the count tables snapshot storage persists.
+   [of_portable] re-attaches a document and starts a fresh cache; the
+   index is re-attached separately via [set_index]. *)
+type portable = {
+  p_n_by_tag : int array;
+  p_pc : int Pair_tbl.t;
+  p_ad : int Pair_tbl.t;
+  p_children_total : int array;
+  p_desc_total : int array;
+  p_depth_total : int array;
+  p_total_ad : int;
+}
+
+let to_portable st =
+  {
+    p_n_by_tag = st.n_by_tag;
+    p_pc = st.pc;
+    p_ad = st.ad;
+    p_children_total = st.children_total;
+    p_desc_total = st.desc_total;
+    p_depth_total = st.depth_total;
+    p_total_ad = st.total_ad;
+  }
+
+let of_portable doc p =
+  if Array.length p.p_n_by_tag <> Tag.count (Doc.tags doc) then
+    invalid_arg
+      (Printf.sprintf "Stats.of_portable: statistics cover %d tags, document has %d"
+         (Array.length p.p_n_by_tag)
+         (Tag.count (Doc.tags doc)));
+  {
+    doc;
+    n_by_tag = p.p_n_by_tag;
+    pc = p.p_pc;
+    ad = p.p_ad;
+    children_total = p.p_children_total;
+    desc_total = p.p_desc_total;
+    depth_total = p.p_depth_total;
+    total_ad = p.p_total_ad;
+    index = None;
+    contains_cache = Hashtbl.create 64;
+  }
+
 let doc st = st.doc
 let tag_id st name = Tag.find (Doc.tags st.doc) name
 

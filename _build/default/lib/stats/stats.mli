@@ -16,6 +16,21 @@ val build : Xmldom.Doc.t -> t
 
 val doc : t -> Xmldom.Doc.t
 
+(** {2 Persistence} *)
+
+type portable
+(** The count tables without the document, attached index or
+    memoization cache — a closure-free value safe to [Marshal] next to
+    a separately persisted document. *)
+
+val to_portable : t -> portable
+
+val of_portable : Xmldom.Doc.t -> portable -> t
+(** Re-attaches a document and starts a fresh [count_contains] cache;
+    call {!set_index} afterwards to restore [#contains] counting.
+    @raise Invalid_argument when the tables do not cover exactly the
+    document's tag set (they were built from a different document). *)
+
 (** {2 Counts (§4.3.1 notation)} *)
 
 val count_tag : t -> string -> int

@@ -21,3 +21,21 @@
   $ flexpath_cli query --file articles.xml -k 3 --timeout-ms 0 '//article[./section/paragraph]'
   $ FLEXPATH_FAILPOINTS=exec.run flexpath_cli query --file articles.xml '//article[./section/paragraph]'
   $ FLEXPATH_FAILPOINTS=index.build flexpath_cli stats --file articles.xml
+  $ flexpath_cli index --verify articles.env
+  $ head -c 100 articles.env > trunc.env
+  $ flexpath_cli query --env trunc.env -k 3 '//article' 2>&1
+  $ flexpath_cli index --verify trunc.env
+  $ cp articles.env garbage.env && printf 'junk' >> garbage.env
+  $ flexpath_cli query --env garbage.env -k 3 '//article'
+  $ cp articles.env flipped.env
+  $ SIZE=$(wc -c < articles.env)
+  $ printf '\377' | dd of=flipped.env bs=1 seek=$((SIZE - 9)) conv=notrunc 2>/dev/null
+  $ flexpath_cli query --env flipped.env -k 3 '//article[.contains("xml" and "streaming")]' > flipped.out
+  $ diff dpo.out flipped.out
+  $ flexpath_cli index --verify flipped.env
+  $ FLEXPATH_FAILPOINTS=storage_rename flexpath_cli index --file articles.xml -o articles.env
+  $ FLEXPATH_FAILPOINTS=storage_write flexpath_cli index --file articles.xml -o articles.env
+  $ ls *.tmp.* 2>/dev/null
+  $ flexpath_cli index --verify articles.env
+  $ flexpath_cli index --file articles.xml
+  $ flexpath_cli index --file articles.xml -o a.env --verify b.env

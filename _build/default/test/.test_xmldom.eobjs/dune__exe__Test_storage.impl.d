@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Char Filename Flexpath Float Fun Lazy List Printexc Printf String Sys Tpq Unix Xmark

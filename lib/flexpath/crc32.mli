@@ -1,0 +1,11 @@
+(** CRC-32 checksums (IEEE 802.3, as in zlib/PNG/gzip) for snapshot
+    integrity.  Detects any single-bit flip and any burst error up to
+    32 bits; not a cryptographic digest. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+(** Checksum of a substring (default: the whole string), in
+    [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum, so that
+    [update (string a) b 0 (String.length b) = string (a ^ b)]. *)

@@ -18,6 +18,15 @@ let build ?weights ?hierarchy ?scorer doc =
   | env -> Ok env
   | exception Failpoint.Injected p -> Error (Error.Fault p)
 
+let of_parts ?(weights = Relax.Penalty.uniform) ~doc ~index ~stats ~hierarchy () =
+  Stats.set_index stats index;
+  { doc; index; stats; weights; hierarchy }
+
+let rebuild ?weights ?scorer ?index ?stats ?(hierarchy = Tpq.Hierarchy.empty) doc =
+  let index = match index with Some i -> i | None -> Fulltext.Index.build ?scorer doc in
+  let stats = match stats with Some s -> s | None -> Stats.build doc in
+  of_parts ?weights ~doc ~index ~stats ~hierarchy ()
+
 let of_tree ?weights ?hierarchy ?scorer tree =
   make ?weights ?hierarchy ?scorer (Xmldom.Doc.of_tree tree)
 

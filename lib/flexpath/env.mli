@@ -33,6 +33,32 @@ val build :
 (** {!make} with injected faults reified as [Error.Fault]; never
     raises. *)
 
+val of_parts :
+  ?weights:Relax.Penalty.weights ->
+  doc:Xmldom.Doc.t ->
+  index:Fulltext.Index.t ->
+  stats:Stats.t ->
+  hierarchy:Tpq.Hierarchy.t ->
+  unit ->
+  t
+(** Assembles an environment from already-built parts (attaching the
+    index to the statistics), without re-indexing — the constructor
+    snapshot {!Storage} uses when every section of a saved environment
+    deserialized cleanly. *)
+
+val rebuild :
+  ?weights:Relax.Penalty.weights ->
+  ?scorer:Fulltext.Scorer.t ->
+  ?index:Fulltext.Index.t ->
+  ?stats:Stats.t ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  Xmldom.Doc.t ->
+  t
+(** {!of_parts} with holes: any part not supplied is rebuilt from the
+    document ([index] and [stats] by a fresh indexing pass, [hierarchy]
+    falling back to empty).  Snapshot recovery hands the surviving
+    sections here and lets the damaged ones be recomputed. *)
+
 val of_tree :
   ?weights:Relax.Penalty.weights ->
   ?hierarchy:Tpq.Hierarchy.t ->

@@ -248,11 +248,12 @@ let test_storage_roundtrip () =
   let env = Lazy.force article_env in
   let path = Filename.temp_file "flexpath" ".env" in
   (match Flexpath.Storage.save env path with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flexpath.Error.to_string e)
   | Ok () -> ());
   (match Flexpath.Storage.load path with
-  | Error e -> Alcotest.fail e
-  | Ok env' ->
+  | Error e -> Alcotest.fail (Flexpath.Error.to_string e)
+  | Ok (env', outcome) ->
+    check_bool "clean snapshot loads intact" true (outcome = Flexpath.Storage.Intact);
     let q = Xpath.parse_exn q1_str in
     let key (a : Answer.t) = (a.node, Float.round (a.sscore *. 1e6)) in
     check_bool "same answers after reload" true
@@ -264,7 +265,10 @@ let test_storage_rejects_foreign_files () =
   let oc = open_out path in
   output_string oc "<xml>not an env</xml>";
   close_out oc;
-  check_bool "foreign file rejected" true (Result.is_error (Flexpath.Storage.load path));
+  (match Flexpath.Storage.load path with
+  | Error (Flexpath.Error.Snapshot_error { corruption = Flexpath.Error.Bad_magic; _ }) -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got %s" (Flexpath.Error.to_string e)
+  | Ok _ -> Alcotest.fail "accepted a foreign file");
   Sys.remove path;
   check_bool "missing file rejected" true
     (Result.is_error (Flexpath.Storage.load "/nonexistent/path.env"))
