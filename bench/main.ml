@@ -403,6 +403,123 @@ let abl_approxml ~quick () =
           [ string_of_int (Approxml.edge_count t); ms build_ms; ms eval_ms; ms sso_ms ]))
     (if quick then [ 1.0; 5.0 ] else [ 1.0; 10.0; 25.0; 50.0; 100.0 ])
 
+(* The query server (§4e): what a resident environment buys over
+   rebuilding it per query, and how the admission queue depth shapes
+   throughput and load shedding when more clients connect than there
+   are workers. *)
+let abl_serve ~quick () =
+  let module Server = Flexpath_server.Server in
+  let module Protocol = Flexpath_server.Protocol in
+  let mb = if quick then 1.0 else 5.0 in
+  let env = env_for_mb mb in
+  let items = max 10 (int_of_float (mb *. float_of_int items_per_paper_mb)) in
+  let request = Printf.sprintf "QUERY k=50 %s" q1_str in
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    (fd, Unix.in_channel_of_descr fd)
+  in
+  let send fd line =
+    let b = Bytes.of_string (line ^ "\n") in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  in
+  let recv ic =
+    let read_line () = match input_line ic with l -> Some l | exception _ -> None in
+    let read_bytes n =
+      let b = Bytes.create n in
+      match really_input ic b 0 n with
+      | () -> Some (Bytes.to_string b)
+      | exception _ -> None
+    in
+    Protocol.read_response ~read_line ~read_bytes
+  in
+  let with_server cfg f =
+    match Server.create cfg ~env with
+    | Error e -> failwith (Flexpath.Error.to_string e)
+    | Ok t ->
+      let d = Domain.spawn (fun () -> Server.serve t) in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop t;
+          Domain.join d)
+        (fun () -> f (Server.port t))
+  in
+  header "Ablation: query server"
+    (Printf.sprintf
+       "Resident vs rebuild-per-query latency (Q1, K=50, %gMB), then 16 reconnecting clients \
+        against the admission queue; time in ms"
+       mb)
+    [ "time"; "served"; "rejected"; "req/s" ];
+  (* Cold: what every query pays without a server — rebuild the
+     environment, then answer. *)
+  let q = Xpath.parse_exn q1_str in
+  let doc = Xmark.Auction.doc ~seed:2004 ~items () in
+  let _, cold_ms =
+    time_median (fun () ->
+        let cold_env = Env.make doc in
+        Flexpath.run_exn cold_env ~k:50 q)
+  in
+  row "cold" [ ms cold_ms; "1"; "-"; "-" ];
+  (* Resident: one held connection; the time includes the loopback
+     round-trip and response formatting, i.e. what a client sees. *)
+  with_server Server.default_config (fun port ->
+      let fd, ic = connect port in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let _, warm_ms =
+            time_median (fun () ->
+                send fd request;
+                match recv ic with
+                | Some (Protocol.Ok_, _) -> ()
+                | _ -> failwith "resident query failed")
+          in
+          row "resident" [ ms warm_ms; "1"; "-"; "-" ]));
+  (* Throughput: one connection per request and more clients than
+     workers, so the admission queue is the contended resource.
+     Shallow queues shed load as OVERLOADED; deep queues serve all. *)
+  let clients = 16 and per_client = if quick then 15 else 40 in
+  List.iter
+    (fun depth ->
+      let cfg = { Server.default_config with Server.queue_depth = depth } in
+      with_server cfg (fun port ->
+          let served = Atomic.make 0 and rejected = Atomic.make 0 in
+          let client () =
+            for _ = 1 to per_client do
+              match connect port with
+              | exception Unix.Unix_error _ -> Atomic.incr rejected
+              | fd, ic ->
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () ->
+                    match
+                      send fd request;
+                      recv ic
+                    with
+                    | Some ((Protocol.Ok_ | Protocol.Partial), _) -> Atomic.incr served
+                    | Some _ | None | (exception _) -> Atomic.incr rejected)
+            done
+          in
+          let _, wall_ms =
+            time (fun () ->
+                let ds = List.init clients (fun _ -> Domain.spawn client) in
+                List.iter Domain.join ds)
+          in
+          let served = Atomic.get served in
+          row
+            (Printf.sprintf "queue=%d" depth)
+            [
+              ms wall_ms;
+              string_of_int served;
+              string_of_int (Atomic.get rejected);
+              Printf.sprintf "%.0f" (float_of_int served /. (wall_ms /. 1000.0));
+            ]))
+    [ 1; 8; 64 ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -468,6 +585,7 @@ let all_figures =
     ("abl_governance", abl_governance);
     ("abl_snapshot", abl_snapshot);
     ("abl_approxml", abl_approxml);
+    ("abl_serve", abl_serve);
   ]
 
 let () =

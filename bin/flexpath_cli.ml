@@ -4,7 +4,10 @@
      query     run a top-K query against a document
      relax     show the penalty-ordered relaxation chain of a query
      stats     show document statistics
-     generate  emit synthetic XMark-style or article-collection XML *)
+     generate  emit synthetic XMark-style or article-collection XML
+     index     build / verify a checksummed environment snapshot
+     serve     run the multi-domain TCP query server
+     client    drive a running server over the line protocol *)
 
 open Cmdliner
 
@@ -451,9 +454,260 @@ let index_cmd =
           queries; or verify an existing snapshot's integrity (--verify).")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived multi-domain query server *)
+
+module Server = Flexpath_server.Server
+module Protocol = Flexpath_server.Protocol
+
+let serve_cmd =
+  let env_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "env" ] ~docv:"PATH"
+          ~doc:
+            "Serve a saved environment snapshot (see the index subcommand); also the target of a \
+             bare RELOAD.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7625
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port; 0 picks an ephemeral port.")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"PATH"
+          ~doc:"Write the actually bound port here once listening (for scripts with --port 0).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing queries.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity: connections waiting for a worker beyond it are \
+             fast-rejected with OVERLOADED.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Cap on connections admitted and not yet closed.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt float 30000.0
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:"Idle limit while waiting for a request line; expired connections are dropped.")
+  in
+  let write_timeout_arg =
+    Arg.(
+      value & opt float 30000.0
+      & info [ "write-timeout-ms" ] ~docv:"MS" ~doc:"Send-buffer stall limit per response.")
+  in
+  let k_arg =
+    Arg.(value & opt int 10 & info [ "k" ] ~doc:"Default answer count for QUERY without k=.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock budget; a request's timeout_ms= option overrides it.")
+  in
+  let tuple_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tuple-budget" ] ~docv:"N" ~doc:"Default per-request executor tuple budget.")
+  in
+  let step_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "step-budget" ] ~docv:"N" ~doc:"Default per-request relaxation-step budget.")
+  in
+  let restart_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "restart-cap" ] ~docv:"N" ~doc:"Default per-request SSO/Hybrid restart cap.")
+  in
+  let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
+      queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
+      restart_cap =
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        Error.exit_code e
+      | Ok v -> f v
+    in
+    let* weights = load_weights weights_spec in
+    let* env =
+      match env_file with
+      | Some path ->
+        Result.map
+          (fun (env, outcome) ->
+            (match outcome with
+            | Flexpath.Storage.Intact -> ()
+            | outcome ->
+              Printf.eprintf "warning: %s: %s\n" path (Flexpath.Storage.outcome_to_string outcome));
+            env)
+          (Flexpath.Storage.load ~weights path)
+      | None ->
+        Result.bind (load_doc ~file ~xmark_items:xmark ~articles_count:articles) (fun doc ->
+            Result.bind (load_hierarchy hierarchy_file) (fun hierarchy ->
+                Flexpath.Env.build ~weights ~hierarchy doc))
+    in
+    let cfg =
+      {
+        Server.host;
+        port;
+        workers;
+        queue_depth;
+        max_connections = max_conns;
+        read_timeout_s = read_timeout_ms /. 1000.0;
+        write_timeout_s = write_timeout_ms /. 1000.0;
+        default_k = k;
+        default_budget =
+          { Flexpath.Guard.deadline_ms = timeout_ms; tuple_budget; step_budget; restart_cap };
+        snapshot = env_file;
+      }
+    in
+    match Server.create cfg ~env with
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Error.to_string e);
+      Error.exit_code e
+    | Ok srv ->
+      let graceful _ = Server.stop srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+      let bound = Server.port srv in
+      (match port_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (string_of_int bound);
+        close_out oc);
+      Printf.eprintf "flexpath: listening on %s:%d (workers=%d, queue=%d, max-conns=%d)\n%!" host
+        bound workers queue_depth max_conns;
+      Server.serve srv;
+      Printf.eprintf "flexpath: server stopped\n%!";
+      0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ weights_arg $ env_arg
+      $ host_arg $ port_arg $ port_file_arg $ workers_arg $ queue_arg $ max_conns_arg
+      $ read_timeout_arg $ write_timeout_arg $ k_arg $ timeout_arg $ tuple_budget_arg
+      $ step_budget_arg $ restart_cap_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over TCP from a resident environment: newline-delimited \
+          PING/QUERY/RELAX/STATS/RELOAD/SHUTDOWN requests, length-framed responses, a domain \
+          worker pool, admission control and per-request budgets (DESIGN.md §4e).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* client: drive a running server over the line protocol *)
+
+let write_all_string fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let client_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let cmd_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e" ] ~docv:"REQUEST"
+          ~doc:"Request line to send (repeatable, in order).  Without -e, stdin lines are sent.")
+  in
+  let run host port commands =
+    let requests =
+      match commands with
+      | [] ->
+        let rec slurp acc =
+          match input_line stdin with
+          | line -> slurp (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        slurp []
+      | cs -> cs
+    in
+    match
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      fd
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port (Unix.error_message err);
+      exit_usage
+    | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let read_line () = match input_line ic with l -> Some l | exception End_of_file -> None in
+      let read_bytes n =
+        let b = Bytes.create n in
+        match really_input ic b 0 n with
+        | () -> Some (Bytes.to_string b)
+        | exception End_of_file -> None
+      in
+      let rec drive = function
+        | [] -> 0
+        | req :: rest -> (
+          match write_all_string fd (req ^ "\n") with
+          | exception Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "error: send failed: %s\n" (Unix.error_message err);
+            exit_usage
+          | () -> (
+            match Protocol.read_response ~read_line ~read_bytes with
+            | None ->
+              Printf.eprintf "error: connection closed before a response to %S\n" req;
+              exit_usage
+            | Some (status, body) ->
+              print_string (Protocol.status_to_string status);
+              print_newline ();
+              if body <> "" then begin
+                print_string body;
+                print_newline ()
+              end;
+              drive rest))
+      in
+      let code = drive requests in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      code)
+  in
+  let term = Term.(const run $ host_arg $ port_arg $ cmd_arg) in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines to a running flexpath server and print each framed response \
+          (status line, then body).")
+    term
+
 let () =
   let info =
     Cmd.info "flexpath" ~version:"1.0.0"
       ~doc:"Flexible structure and full-text querying for XML (FleXPath, SIGMOD 2004)."
   in
-  exit (Cmd.eval' (Cmd.group info [ query_cmd; relax_cmd; stats_cmd; generate_cmd; index_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ query_cmd; relax_cmd; stats_cmd; generate_cmd; index_cmd; serve_cmd; client_cmd ]))

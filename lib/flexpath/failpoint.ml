@@ -12,6 +12,9 @@ let catalog =
     "storage_fsync";
     "storage_rename";
     "storage_read_section";
+    "server_accept";
+    "server_read";
+    "server_worker";
   ]
 
 let armed : (string, unit) Hashtbl.t = Hashtbl.create 8

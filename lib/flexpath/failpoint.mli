@@ -28,7 +28,13 @@ val catalog : string list
     first three fire inside [save] (before the payload write, the
     fsync and the publishing rename respectively — each proves a crash
     at that stage leaves any pre-existing snapshot untouched), the
-    last on every section read inside [load]/[verify]. *)
+    last on every section read inside [load]/[verify].  The server
+    points ["server_accept"; "server_read"; "server_worker"] fire in
+    the query server's accept loop, connection reader and request
+    dispatcher respectively (see [Flexpath_server.Server]); the server
+    converts each into its corresponding error path — rejected
+    connection, dropped connection, [ERR]-framed response — instead of
+    dying. *)
 
 val activate : string -> (unit, string) result
 (** Arms a point; fails on names outside {!catalog}. *)

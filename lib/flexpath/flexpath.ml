@@ -9,6 +9,7 @@ module Storage = Storage
 module Error = Error
 module Guard = Guard
 module Failpoint = Failpoint
+module Monotime = Monotime
 
 (* Plant the fault-injection registry into the lower layers (and arm
    FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)

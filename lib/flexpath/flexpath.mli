@@ -43,6 +43,7 @@ module Storage = Storage
 module Error = Error
 module Guard = Guard
 module Failpoint = Failpoint
+module Monotime = Monotime
 
 exception Failed of Error.t
 (** Raised only by the [_exn] conveniences ({!run_exn}, {!top_k}). *)

@@ -19,13 +19,16 @@ let reason_to_string = function
 
 type t = {
   budget : budget;
-  started_at : float;
+  clock : Monotime.t;
   mutable tuples : int;
   mutable trip : reason option;
 }
 
-let none = { budget = unlimited; started_at = 0.0; tuples = 0; trip = None }
-let start budget = { budget; started_at = Unix.gettimeofday (); tuples = 0; trip = None }
+(* [none]'s clock is never consulted: every deadline check tests
+   [budget.deadline_ms = None] first, so the shared unlimited guard
+   stays immutable and safe to use from any domain. *)
+let none = { budget = unlimited; clock = Monotime.create (); tuples = 0; trip = None }
+let start budget = { budget; clock = Monotime.create (); tuples = 0; trip = None }
 let tripped g = g.trip
 let tuples_consumed g = g.tuples
 let poll_interval = 4096
@@ -33,7 +36,7 @@ let poll_interval = 4096
 let past_deadline g =
   match g.budget.deadline_ms with
   | None -> false
-  | Some ms -> (Unix.gettimeofday () -. g.started_at) *. 1000.0 >= ms
+  | Some ms -> Monotime.elapsed_ms g.clock >= ms
 
 let over_tuples g =
   match g.budget.tuple_budget with None -> false | Some b -> g.tuples >= b

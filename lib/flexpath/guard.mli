@@ -16,7 +16,10 @@
     ({!Common.unseen_bound}); a budget merely forces the cut earlier. *)
 
 type budget = {
-  deadline_ms : float option;  (** Wall-clock limit from {!start}, in milliseconds. *)
+  deadline_ms : float option;
+      (** Elapsed-time limit from {!start}, in milliseconds, measured on
+          the monotonized clock of {!Monotime} (immune to backward
+          wall-clock jumps). *)
   tuple_budget : int option;
       (** Limit on tuples produced by the executor, cumulative over
           every pass of the evaluation. *)

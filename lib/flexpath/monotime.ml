@@ -1,0 +1,15 @@
+type t = { mutable last_wall : float; mutable elapsed : float }
+
+let create () = { last_wall = Unix.gettimeofday (); elapsed = 0.0 }
+
+let elapsed_s c =
+  let w = Unix.gettimeofday () in
+  let d = w -. c.last_wall in
+  c.last_wall <- w;
+  (* A backward wall-clock jump (NTP step, clock slew) would make the
+     delta negative; clamping it to zero is what keeps the reading
+     monotone. *)
+  if d > 0.0 then c.elapsed <- c.elapsed +. d;
+  c.elapsed
+
+let elapsed_ms c = elapsed_s c *. 1000.0

@@ -1,0 +1,30 @@
+(** A monotonic elapsed-time source without C stubs.
+
+    [Unix.gettimeofday] is wall-clock time: NTP steps and
+    suspend/resume make it jump, forward or backward, so a deadline
+    armed against it can fire early or never.  The standard fix is
+    [clock_gettime(CLOCK_MONOTONIC)], which the OCaml stdlib does not
+    expose; rather than add a C stub (or an [Mtime] dependency the
+    container does not have), this module {e monotonizes} the wall
+    clock: a clock accumulates only the non-negative deltas between
+    consecutive readings.  Backward jumps — the failure mode that makes
+    a deadline never fire — contribute zero elapsed time instead of a
+    negative amount; the reading never decreases.  Forward steps still
+    count as elapsed time, which is the desired behaviour for a
+    wall-clock budget across a suspend (the user did wait that long).
+
+    A clock is single-owner mutable state: one {!t} per measured
+    activity (one per {!Guard.t}, one per server request), not shared
+    across domains.  Resolution is that of [Unix.gettimeofday]
+    (microseconds). *)
+
+type t
+
+val create : unit -> t
+(** A clock reading 0 now. *)
+
+val elapsed_ms : t -> float
+(** Milliseconds accumulated since {!create}; never decreases. *)
+
+val elapsed_s : t -> float
+(** Seconds accumulated since {!create}; never decreases. *)

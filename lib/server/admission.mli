@@ -1,0 +1,28 @@
+(** Admission control: a bounded multi-producer multi-consumer queue.
+
+    The accept loop pushes accepted connections; worker domains pop
+    them.  [try_push] never blocks — a full queue is the signal to
+    fast-reject the client with [OVERLOADED] instead of letting it
+    queue invisibly (load shedding at the door, not in the room).
+
+    {!close} begins a drain: pushes are refused from then on, but
+    already-admitted items continue to be popped until the queue is
+    empty, at which point every blocked and future {!pop} returns
+    [None].  This is exactly graceful shutdown's contract — admitted
+    work completes, new work is turned away. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be at least 1. *)
+
+val try_push : 'a t -> 'a -> [ `Admitted | `Full | `Closed ]
+val pop : 'a t -> 'a option
+(** Blocks until an item is available; [None] once closed and drained. *)
+
+val close : 'a t -> unit
+
+val length : 'a t -> int
+(** Current depth (items admitted, not yet popped). *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,82 @@
+type endpoint = Ping | Query | Relax | Stats | Reload
+
+let endpoint_to_string = function
+  | Ping -> "ping"
+  | Query -> "query"
+  | Relax -> "relax"
+  | Stats -> "stats"
+  | Reload -> "reload"
+
+let all_endpoints = [ Ping; Query; Relax; Stats; Reload ]
+
+type t = {
+  lock : Mutex.t;
+  mutable connections_admitted : int;
+  mutable connections_rejected : int;
+  mutable connections_dropped : int;
+  mutable requests_served : int;
+  mutable requests_truncated : int;
+  mutable requests_failed : int;
+  mutable reloads : int;
+  latency : (endpoint * Reservoir.t) list;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    connections_admitted = 0;
+    connections_rejected = 0;
+    connections_dropped = 0;
+    requests_served = 0;
+    requests_truncated = 0;
+    requests_failed = 0;
+    reloads = 0;
+    latency = List.map (fun e -> (e, Reservoir.create ())) all_endpoints;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let connection_admitted t =
+  with_lock t (fun () -> t.connections_admitted <- t.connections_admitted + 1)
+
+let connection_rejected t =
+  with_lock t (fun () -> t.connections_rejected <- t.connections_rejected + 1)
+
+let connection_dropped t =
+  with_lock t (fun () -> t.connections_dropped <- t.connections_dropped + 1)
+
+let record t endpoint ~latency_ms ~outcome =
+  with_lock t (fun () ->
+      t.requests_served <- t.requests_served + 1;
+      (match outcome with
+      | `Ok -> ()
+      | `Truncated -> t.requests_truncated <- t.requests_truncated + 1
+      | `Error -> t.requests_failed <- t.requests_failed + 1);
+      Reservoir.add (List.assq endpoint t.latency) latency_ms)
+
+let reloads t = with_lock t (fun () -> t.reloads <- t.reloads + 1)
+
+let render t ~queue_depth ~queue_capacity ~generation ~uptime_s =
+  with_lock t (fun () ->
+      let b = Buffer.create 512 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+      line "uptime_s: %.1f" uptime_s;
+      line "snapshot_generation: %d" generation;
+      line "queue_depth: %d/%d" queue_depth queue_capacity;
+      line "connections_admitted: %d" t.connections_admitted;
+      line "connections_rejected: %d" t.connections_rejected;
+      line "connections_dropped: %d" t.connections_dropped;
+      line "requests_served: %d" t.requests_served;
+      line "requests_truncated: %d" t.requests_truncated;
+      line "requests_failed: %d" t.requests_failed;
+      line "reloads: %d" t.reloads;
+      List.iter
+        (fun (e, r) ->
+          if Reservoir.count r > 0 then
+            line "latency_ms %s count=%d p50=%.3f p90=%.3f p99=%.3f" (endpoint_to_string e)
+              (Reservoir.count r) (Reservoir.percentile r 50.0) (Reservoir.percentile r 90.0)
+              (Reservoir.percentile r 99.0))
+        t.latency;
+      Buffer.contents b)

@@ -1,0 +1,36 @@
+(** The server-side stats surface backing the [STATS] verb.
+
+    One value per server, shared by every worker domain; a single lock
+    serializes the counter bumps and reservoir inserts (all
+    sub-microsecond, far off the query hot path).  Latency is sampled
+    per endpoint into a fixed-size {!Reservoir}, so percentiles stay
+    exact-memory-bounded however long the server runs. *)
+
+type endpoint = Ping | Query | Relax | Stats | Reload
+
+val endpoint_to_string : endpoint -> string
+
+type t
+
+val create : unit -> t
+
+val connection_admitted : t -> unit
+
+val connection_rejected : t -> unit
+(** [OVERLOADED] fast-rejects. *)
+
+val connection_dropped : t -> unit
+(** Read timeouts, oversized or unterminated request lines, injected
+    [server_read] faults — anything that ends a connection abnormally. *)
+
+val record : t -> endpoint -> latency_ms:float -> outcome:[ `Ok | `Truncated | `Error ] -> unit
+(** One served request: bumps the endpoint's counter, the global
+    served/truncated/failed counters and the latency reservoir. *)
+
+val reloads : t -> unit
+
+val render : t -> queue_depth:int -> queue_capacity:int -> generation:int -> uptime_s:float -> string
+(** The [STATS] response body: [key: value] lines (counters, queue
+    occupancy, snapshot generation) followed by one
+    [latency_ms <endpoint> count=N p50=… p90=… p99=…] line per endpoint
+    that has served at least one request. *)

@@ -1,0 +1,173 @@
+type request =
+  | Ping
+  | Query of {
+      xpath : string;
+      k : int option;
+      algorithm : Flexpath.algorithm option;
+      scheme : Flexpath.Ranking.scheme option;
+      deadline_ms : float option;
+      tuple_budget : int option;
+      step_budget : int option;
+      restart_cap : int option;
+    }
+  | Relax of { xpath : string; steps : int option }
+  | Stats
+  | Reload of string option
+  | Shutdown
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Split [s] into its first whitespace-delimited token and the rest of
+   the line (with the separating blanks removed).  The rest keeps its
+   internal spacing: it may be an XPath fragment with significant
+   spaces. *)
+let split_token s =
+  let n = String.length s in
+  let rec skip i = if i < n && s.[i] = ' ' then skip (i + 1) else i in
+  let start = skip 0 in
+  let rec scan i = if i < n && s.[i] <> ' ' then scan (i + 1) else i in
+  let stop = scan start in
+  if start = stop then None
+  else Some (String.sub s start (stop - start), String.sub s (skip stop) (n - skip stop))
+
+let pos_int key v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "%s expects a non-negative integer, got %S" key v)
+
+let pos_float key v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 -> Ok f
+  | _ -> Error (Printf.sprintf "%s expects a non-negative number, got %S" key v)
+
+(* Consume leading [key=value] option tokens.  The first token that is
+   not a recognized option ends the option list; the untouched
+   remainder of the line is returned (it is the XPath fragment, which
+   may itself contain [=]). *)
+let parse_options spec rest =
+  let ( let* ) = Result.bind in
+  let rec loop rest =
+    match split_token rest with
+    | None -> Ok rest
+    | Some (tok, after) -> (
+      match String.index_opt tok '=' with
+      | None -> Ok rest
+      | Some i -> (
+        let key = String.lowercase_ascii (String.sub tok 0 i) in
+        let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match List.assoc_opt key spec with
+        | None -> Ok rest
+        | Some set ->
+          let* () = set value in
+          loop after))
+  in
+  loop rest
+
+let parse_query rest =
+  let k = ref None
+  and algorithm = ref None
+  and scheme = ref None
+  and deadline_ms = ref None
+  and tuple_budget = ref None
+  and step_budget = ref None
+  and restart_cap = ref None in
+  let int_opt key cell v = Result.map (fun n -> cell := Some n) (pos_int key v) in
+  let spec =
+    [
+      ("k", int_opt "k" k);
+      ( "algo",
+        fun v -> Result.map (fun a -> algorithm := Some a) (Flexpath.algorithm_of_string v) );
+      ("scheme", fun v -> Result.map (fun s -> scheme := Some s) (Flexpath.Ranking.of_string v));
+      ("timeout_ms", fun v -> Result.map (fun f -> deadline_ms := Some f) (pos_float "timeout_ms" v));
+      ("tuples", int_opt "tuples" tuple_budget);
+      ("steps", int_opt "steps" step_budget);
+      ("restarts", int_opt "restarts" restart_cap);
+    ]
+  in
+  match parse_options spec rest with
+  | Error _ as e -> e
+  | Ok "" -> Error "QUERY expects an XPath fragment"
+  | Ok xpath ->
+    Ok
+      (Query
+         {
+           xpath;
+           k = !k;
+           algorithm = !algorithm;
+           scheme = !scheme;
+           deadline_ms = !deadline_ms;
+           tuple_budget = !tuple_budget;
+           step_budget = !step_budget;
+           restart_cap = !restart_cap;
+         })
+
+let parse_relax rest =
+  let steps = ref None in
+  let spec = [ ("steps", fun v -> Result.map (fun n -> steps := Some n) (pos_int "steps" v)) ] in
+  match parse_options spec rest with
+  | Error _ as e -> e
+  | Ok "" -> Error "RELAX expects an XPath fragment"
+  | Ok xpath -> Ok (Relax { xpath; steps = !steps })
+
+let parse_request line =
+  let line = strip_cr line in
+  match split_token line with
+  | None -> Error "empty request"
+  | Some (verb, rest) -> (
+    match (String.uppercase_ascii verb, rest) with
+    | "PING", "" -> Ok Ping
+    | "PING", _ -> Error "PING takes no arguments"
+    | "STATS", "" -> Ok Stats
+    | "STATS", _ -> Error "STATS takes no arguments"
+    | "SHUTDOWN", "" -> Ok Shutdown
+    | "SHUTDOWN", _ -> Error "SHUTDOWN takes no arguments"
+    | "RELOAD", "" -> Ok (Reload None)
+    | "RELOAD", path -> Ok (Reload (Some path))
+    | "QUERY", rest -> parse_query rest
+    | "RELAX", rest -> parse_relax rest
+    | verb, _ ->
+      Error
+        (Printf.sprintf "unknown verb %S (expected PING, QUERY, RELAX, STATS, RELOAD or SHUTDOWN)"
+           verb))
+
+type status = Ok_ | Partial | Err | Overloaded | Bye
+
+let status_to_string = function
+  | Ok_ -> "OK"
+  | Partial -> "PARTIAL"
+  | Err -> "ERR"
+  | Overloaded -> "OVERLOADED"
+  | Bye -> "BYE"
+
+let status_of_string = function
+  | "OK" -> Ok Ok_
+  | "PARTIAL" -> Ok Partial
+  | "ERR" -> Ok Err
+  | "OVERLOADED" -> Ok Overloaded
+  | "BYE" -> Ok Bye
+  | other -> Error (Printf.sprintf "unknown response status %S" other)
+
+let write_response buf status body =
+  Buffer.add_string buf (status_to_string status);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (String.length body));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf body;
+  Buffer.add_char buf '\n'
+
+let read_response ~read_line ~read_bytes =
+  match read_line () with
+  | None -> None
+  | Some line -> (
+    match split_token (strip_cr line) with
+    | Some (status, len) -> (
+      match (status_of_string status, int_of_string_opt (String.trim len)) with
+      | Ok status, Some len when len >= 0 -> (
+        match read_bytes (len + 1) with
+        | Some bytes when String.length bytes = len + 1 && bytes.[len] = '\n' ->
+          Some (status, String.sub bytes 0 len)
+        | _ -> None)
+      | _ -> None)
+    | None -> None)

@@ -1,0 +1,80 @@
+(** The wire protocol of [flexpath serve] (DESIGN.md §4e).
+
+    {2 Requests}
+
+    One request per line, terminated by ['\n'] (a trailing ['\r'] is
+    tolerated for telnet-style clients).  The verb is case-insensitive;
+    everything after it is verb-specific:
+
+    {v
+    PING
+    QUERY [k=N] [algo=A] [scheme=S] [timeout_ms=F] [tuples=N]
+          [steps=N] [restarts=N] <xpath>
+    RELAX [steps=N] <xpath>
+    STATS
+    RELOAD [<path>]
+    SHUTDOWN
+    v}
+
+    [QUERY]/[RELAX] options are [key=value] tokens recognized {e only}
+    before the first token that is not one — the remainder of the line,
+    verbatim, is the XPath fragment (which may itself contain [=]).
+    Options missing from the request fall back to the server's
+    defaults; a [QUERY] budget option overrides the corresponding
+    server default budget axis.
+
+    {2 Responses}
+
+    Every request gets exactly one response, framed so clients can
+    stream bodies without sniffing for terminators:
+
+    {v
+    <STATUS> <body-length>\n
+    <body-length bytes of body>\n
+    v}
+
+    The status line carries the byte length of the body (which may be
+    0); the newline after the body is framing, not part of the length.
+    Statuses: [OK]; [PARTIAL] (a budget tripped — the body opens with a
+    [# truncated ...] line, then the best answers found); [ERR] (the
+    body opens with [<error-kind>: ] naming the {!Flexpath.Error.t}
+    constructor class); [OVERLOADED] (admission control rejected the
+    connection — sent once, then the connection closes); [BYE]
+    (acknowledges [SHUTDOWN], then the connection closes). *)
+
+type request =
+  | Ping
+  | Query of {
+      xpath : string;
+      k : int option;
+      algorithm : Flexpath.algorithm option;
+      scheme : Flexpath.Ranking.scheme option;
+      deadline_ms : float option;
+      tuple_budget : int option;
+      step_budget : int option;
+      restart_cap : int option;
+    }
+  | Relax of { xpath : string; steps : int option }
+  | Stats
+  | Reload of string option  (** [None]: re-load the snapshot the server started from. *)
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+(** Parses one request line (without its terminating newline). *)
+
+type status = Ok_ | Partial | Err | Overloaded | Bye
+
+val status_to_string : status -> string
+val status_of_string : string -> (status, string) result
+
+val write_response : Buffer.t -> status -> string -> unit
+(** [write_response buf status body] appends one framed response. *)
+
+val read_response :
+  read_line:(unit -> string option) ->
+  read_bytes:(int -> string option) ->
+  (status * string) option
+(** Client-side deframing: [read_line] supplies the status line
+    (without its newline), [read_bytes n] supplies exactly [n] bytes or
+    [None] on EOF.  Consumes the framing newline after the body.
+    [None] on EOF or a malformed frame. *)

@@ -1,0 +1,49 @@
+type t = {
+  sample : float array;
+  mutable filled : int;  (* occupied prefix of [sample] *)
+  mutable count : int;  (* values offered *)
+  mutable rng : int64;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Reservoir.create: capacity must be at least 1";
+  { sample = Array.make capacity 0.0; filled = 0; count = 0; rng = 0x9E3779B97F4A7C15L }
+
+(* Donald Knuth's MMIX LCG; the low bits cycle quickly, so indices are
+   drawn from the high 32. *)
+let rand_below t n =
+  t.rng <- Int64.add (Int64.mul t.rng 6364136223846793005L) 1442695040888963407L;
+  let high = Int64.to_int (Int64.shift_right_logical t.rng 32) in
+  high mod n
+
+let add t x =
+  t.count <- t.count + 1;
+  let cap = Array.length t.sample in
+  if t.filled < cap then begin
+    t.sample.(t.filled) <- x;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    (* Algorithm R: the i-th value replaces a random slot with
+       probability cap/i, which keeps the sample uniform. *)
+    let j = rand_below t t.count in
+    if j < cap then t.sample.(j) <- x
+  end
+
+let count t = t.count
+
+let percentile t p =
+  if t.filled = 0 then Float.nan
+  else begin
+    let sorted = Array.sub t.sample 0 t.filled in
+    Array.sort Float.compare sorted;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (t.filled - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end

@@ -1,0 +1,22 @@
+(** Fixed-size reservoir sampling of a latency stream.
+
+    Percentiles over an unbounded stream in bounded memory: the classic
+    Algorithm R keeps a uniform sample of everything seen so far in a
+    fixed array, so a server that has handled millions of requests
+    reports p50/p90/p99 from a few hundred floats.  Randomness comes
+    from an internal deterministic LCG (no dependence on [Random]'s
+    global state, no seeding side effects).
+
+    Not thread-safe: the owner ({!Metrics}) serializes access. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 512 samples. *)
+
+val add : t -> float -> unit
+val count : t -> int  (** Values offered so far (not the sample size). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100], interpolated over the sample;
+    [nan] when empty. *)

@@ -1,0 +1,387 @@
+module Guard = Flexpath.Guard
+module Error = Flexpath.Error
+module Failpoint = Flexpath.Failpoint
+module Monotime = Flexpath.Monotime
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  max_connections : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  default_k : int;
+  default_budget : Guard.budget;
+  snapshot : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    queue_depth = 64;
+    max_connections = 256;
+    read_timeout_s = 30.0;
+    write_timeout_s = 30.0;
+    default_k = 10;
+    default_budget = Guard.unlimited;
+    snapshot = None;
+  }
+
+type slot = { env : Flexpath.Env.t; generation : int }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  queue : Unix.file_descr Admission.t;
+  current : slot Atomic.t;
+  stopping : bool Atomic.t;
+  active : int Atomic.t;  (* connections admitted and not yet closed *)
+  metrics : Metrics.t;
+  reload_lock : Mutex.t;
+  started_wall : float;
+}
+
+let port t = t.bound_port
+let generation t = (Atomic.get t.current).generation
+
+let create cfg ~env =
+  if cfg.workers < 1 then invalid_arg "Server.create: workers must be at least 1";
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+    Unix.bind fd addr;
+    Unix.listen fd 128;
+    Unix.set_nonblock fd;
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  with
+  | bound_port ->
+    Ok
+      {
+        cfg;
+        listen_fd = fd;
+        bound_port;
+        queue = Admission.create ~capacity:cfg.queue_depth;
+        current = Atomic.make { env; generation = 1 };
+        stopping = Atomic.make false;
+        active = Atomic.make 0;
+        metrics = Metrics.create ();
+        reload_lock = Mutex.create ();
+        started_wall = Unix.gettimeofday ();
+      }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Error.Io_error
+         {
+           path = Printf.sprintf "%s:%d" cfg.host cfg.port;
+           message = Printf.sprintf "cannot listen: %s" (Unix.error_message err);
+         })
+  | exception Failure msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Error.Io_error { path = cfg.host; message = msg })
+
+let stop t =
+  Atomic.set t.stopping true;
+  Admission.close t.queue
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O.  Connection sockets stay blocking with short kernel
+   receive timeouts, so reads wake every [poll_interval_s] to re-check
+   the stop flag and the connection's idle deadline. *)
+
+let poll_interval_s = 0.25
+let max_line_bytes = 65536
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write_substring fd s off (n - off) in
+      if w = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+      go (off + w)
+    end
+  in
+  go 0
+
+let send_response fd status body =
+  let buf = Buffer.create (String.length body + 32) in
+  Protocol.write_response buf status body;
+  match write_all fd (Buffer.contents buf) with
+  | () -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+type read_outcome = Line of string | Eof | Dropped
+
+(* Reads one '\n'-terminated line, polling cooperatively.  [Dropped]
+   covers every abnormal end: idle timeout, oversized line, socket
+   error, injected [server_read] fault.  During shutdown the idle
+   allowance shrinks to one second: an admitted connection whose
+   request bytes are already in flight still gets served (that is the
+   drain), but an idle one cannot stall the shutdown. *)
+let read_line t fd =
+  let acc = Buffer.create 128 in
+  let byte = Bytes.create 1 in
+  let idle = Monotime.create () in
+  let rec go () =
+    let limit =
+      if Atomic.get t.stopping then Float.min t.cfg.read_timeout_s 1.0
+      else t.cfg.read_timeout_s
+    in
+    if Monotime.elapsed_s idle > limit then Dropped
+    else if Buffer.length acc > max_line_bytes then Dropped
+    else begin
+      match Failpoint.hit "server_read" with
+      | exception Failpoint.Injected _ -> Dropped
+      | () -> (
+        match Unix.read fd byte 0 1 with
+        | 0 -> if Buffer.length acc = 0 then Eof else Line (Buffer.contents acc)
+        | _ ->
+          if Bytes.get byte 0 = '\n' then Line (Buffer.contents acc)
+          else begin
+            Buffer.add_char acc (Bytes.get byte 0);
+            go ()
+          end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          go ()
+        | exception Unix.Unix_error (_, _, _) -> Dropped)
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+let merge_budget (cfg : config) ~deadline_ms ~tuple_budget ~step_budget ~restart_cap =
+  let d = cfg.default_budget in
+  let pick req dflt = match req with Some _ -> req | None -> dflt in
+  let b =
+    {
+      Guard.deadline_ms = pick deadline_ms d.Guard.deadline_ms;
+      tuple_budget = pick tuple_budget d.Guard.tuple_budget;
+      step_budget = pick step_budget d.Guard.step_budget;
+      restart_cap = pick restart_cap d.Guard.restart_cap;
+    }
+  in
+  if b = Guard.unlimited then None else Some b
+
+let render_answers doc answers =
+  List.mapi
+    (fun i (a : Flexpath.Answer.t) ->
+      Format.asprintf "%2d. %a" (i + 1) (Flexpath.Answer.pp doc) a)
+    answers
+
+let exec_query (slot : slot) ~xpath ~k ~algorithm ~scheme ~budget =
+  match Tpq.Xpath.parse xpath with
+  | Error { offset; message } ->
+    (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
+  | Ok q -> (
+    match Flexpath.run ?algorithm ?scheme ?budget slot.env ~k q with
+    | Error e -> (Protocol.Err, Error.to_string e, `Error)
+    | Ok result -> (
+      let doc = slot.env.Flexpath.Env.doc in
+      let lines = render_answers doc result.Flexpath.Common.answers in
+      match result.Flexpath.Common.completeness with
+      | Flexpath.Common.Complete -> (Protocol.Ok_, String.concat "\n" lines, `Ok)
+      | Flexpath.Common.Truncated { reason; score_bound } ->
+        let hdr =
+          Printf.sprintf "# truncated reason=%s score_bound=%.4f"
+            (Guard.reason_to_string reason) score_bound
+        in
+        (Protocol.Partial, String.concat "\n" (hdr :: lines), `Truncated)))
+
+let exec_relax (slot : slot) ~xpath ~steps =
+  match Tpq.Xpath.parse xpath with
+  | Error { offset; message } ->
+    (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
+  | Ok q -> (
+    match
+      let penv = Flexpath.Env.penalty_env slot.env q in
+      Relax.Space.sequence ?max_steps:steps penv
+    with
+    | exception Failpoint.Injected p -> (Protocol.Err, Error.to_string (Error.Fault p), `Error)
+    | chain ->
+      let lines =
+        List.mapi
+          (fun i (entry : Relax.Space.entry) ->
+            let ops =
+              match entry.ops with
+              | [] -> "(original)"
+              | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
+            in
+            Printf.sprintf "%2d. score=%.4f penalty=%.4f  %s\n    %s" i entry.score
+              entry.penalty ops
+              (Tpq.Xpath.to_string entry.query))
+          chain
+      in
+      (Protocol.Ok_, String.concat "\n" lines, `Ok))
+
+let exec_reload t path_opt =
+  let path =
+    match path_opt with Some p -> Some p | None -> t.cfg.snapshot
+  in
+  match path with
+  | None ->
+    ( Protocol.Err,
+      "reload: no snapshot path given and the server was not started from one",
+      `Error )
+  | Some path -> (
+    (* Serialized so concurrent RELOADs cannot interleave their
+       generation bumps; queries never take this lock. *)
+    Mutex.lock t.reload_lock;
+    let weights = (Atomic.get t.current).env.Flexpath.Env.weights in
+    let finish r =
+      Mutex.unlock t.reload_lock;
+      r
+    in
+    match Flexpath.Storage.load ~weights path with
+    | exception e -> finish (Protocol.Err, Printexc.to_string e, `Error)
+    | Error e -> finish (Protocol.Err, Error.to_string e, `Error)
+    | Ok (env, outcome) ->
+      let generation = (Atomic.get t.current).generation + 1 in
+      Atomic.set t.current { env; generation };
+      Metrics.reloads t.metrics;
+      finish
+        ( Protocol.Ok_,
+          Printf.sprintf "reloaded %s (%s); generation %d" path
+            (Flexpath.Storage.outcome_to_string outcome)
+            generation,
+          `Ok ))
+
+let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_wall)
+
+(* Dispatch one parsed request; [`Close] ends the connection. *)
+let dispatch t fd (req : Protocol.request) =
+  match Failpoint.hit "server_worker" with
+  | exception Failpoint.Injected p ->
+    let ok = send_response fd Protocol.Err (Error.to_string (Error.Fault p)) in
+    if ok then `Continue else `Close
+  | () -> (
+    match req with
+    | Protocol.Shutdown ->
+      ignore (send_response fd Protocol.Bye "");
+      stop t;
+      `Close
+    | req ->
+      let clock = Monotime.create () in
+      let endpoint, (status, body, outcome) =
+        match req with
+        | Protocol.Ping -> (Metrics.Ping, (Protocol.Ok_, "pong", `Ok))
+        | Protocol.Stats ->
+          ( Metrics.Stats,
+            ( Protocol.Ok_,
+              Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
+                ~queue_capacity:(Admission.capacity t.queue)
+                ~generation:(generation t) ~uptime_s:(uptime_s t),
+              `Ok ) )
+        | Protocol.Reload path -> (Metrics.Reload, exec_reload t path)
+        | Protocol.Relax { xpath; steps } ->
+          (Metrics.Relax, exec_relax (Atomic.get t.current) ~xpath ~steps)
+        | Protocol.Query { xpath; k; algorithm; scheme; deadline_ms; tuple_budget; step_budget; restart_cap }
+          ->
+          let budget = merge_budget t.cfg ~deadline_ms ~tuple_budget ~step_budget ~restart_cap in
+          let k = Option.value ~default:t.cfg.default_k k in
+          (Metrics.Query, exec_query (Atomic.get t.current) ~xpath ~k ~algorithm ~scheme ~budget)
+        | Protocol.Shutdown -> assert false
+      in
+      Metrics.record t.metrics endpoint ~latency_ms:(Monotime.elapsed_ms clock) ~outcome;
+      if send_response fd status body then `Continue else `Close)
+
+let serve_connection t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
+   with Unix.Unix_error _ -> ());
+  let rec loop () =
+    match read_line t fd with
+    | Eof -> ()
+    | Dropped -> Metrics.connection_dropped t.metrics
+    | Line line -> (
+      if String.trim line = "" then loop ()
+      else
+        match Protocol.parse_request line with
+        | Error msg ->
+          if send_response fd Protocol.Err ("protocol: " ^ msg) then loop ()
+          else Metrics.connection_dropped t.metrics
+        | Ok req -> (
+          match dispatch t fd req with
+          (* One request per connection once shutdown began: serve what
+             was in flight, then close instead of waiting for more. *)
+          | `Continue when not (Atomic.get t.stopping) -> loop ()
+          | `Continue | `Close -> ()))
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker t () =
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> ()
+    | Some fd ->
+      serve_connection t fd;
+      Atomic.decr t.active;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and admission *)
+
+let overloaded_reject t fd =
+  Metrics.connection_rejected t.metrics;
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     let buf = Buffer.create 16 in
+     Protocol.write_response buf Protocol.Overloaded "";
+     write_all fd (Buffer.contents buf)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let admit t fd =
+  match Failpoint.hit "server_accept" with
+  | exception Failpoint.Injected _ ->
+    Metrics.connection_dropped t.metrics;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | () ->
+    if Atomic.get t.active >= t.cfg.max_connections then overloaded_reject t fd
+    else begin
+      (* Count before pushing so a racing worker's decrement cannot be
+         lost; undo on rejection. *)
+      Atomic.incr t.active;
+      match Admission.try_push t.queue fd with
+      | `Admitted -> Metrics.connection_admitted t.metrics
+      | `Full | `Closed ->
+        Atomic.decr t.active;
+        overloaded_reject t fd
+    end
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ -> admit t fd
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        ())
+  done
+
+let serve t =
+  (* A client closing mid-response must not kill the server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let workers = Array.init t.cfg.workers (fun _ -> Domain.spawn (worker t)) in
+  accept_loop t;
+  (* Shutdown: no more accepts; refuse new admissions and let the
+     workers drain what was already admitted. *)
+  Admission.close t.queue;
+  Array.iter Domain.join workers;
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,77 @@
+(** The [flexpath serve] engine: a long-lived multi-domain TCP query
+    server over one shared, immutable {!Flexpath.Env}.
+
+    Architecture (DESIGN.md §4e): the calling domain runs the accept
+    loop; accepted connections pass through admission control (a
+    {!Admission} bounded queue plus a total-connections cap — over
+    either limit the client is told [OVERLOADED] immediately and
+    disconnected, never left to hang) and are then served end-to-end by
+    one of a pool of worker domains speaking {!Protocol}.  All workers
+    read the same environment snapshot through an [Atomic.t]; a
+    [RELOAD] verifies the new snapshot's checksums {e before} swapping
+    the atomic, so in-flight queries keep the environment they started
+    with (the old value stays live until its last request drains, then
+    the GC collects it) and a corrupt snapshot never replaces a good
+    one.
+
+    Every query runs under a {!Flexpath.Guard} budget: the server's
+    default budget, with any axis overridden by the request's own
+    [timeout_ms=]/[tuples=]/[steps=]/[restarts=] options.  Budget
+    exhaustion is not a failure — the client gets [PARTIAL] with the
+    best answers found and the sound [score_bound] of
+    {!Flexpath.Common.completeness}.
+
+    Graceful shutdown ([SHUTDOWN], or {!stop} — which the CLI wires to
+    SIGTERM/SIGINT): the listener stops accepting, already-admitted
+    connections drain, workers join, {!serve} returns.  The
+    [server_accept]/[server_read]/[server_worker] failpoints
+    deterministically exercise the accept-loop, connection-reader and
+    dispatcher error paths. *)
+
+type config = {
+  host : string;  (** Listen address, default ["127.0.0.1"]. *)
+  port : int;  (** 0 picks an ephemeral port; see {!port}. *)
+  workers : int;  (** Worker-domain pool size. *)
+  queue_depth : int;  (** Admission queue capacity. *)
+  max_connections : int;
+      (** Cap on connections admitted and not yet closed (queued plus
+          in service); beyond it clients are fast-rejected. *)
+  read_timeout_s : float;
+      (** Idle limit per request read; an expired connection is
+          dropped. *)
+  write_timeout_s : float;  (** Send-buffer stall limit per response write. *)
+  default_k : int;  (** [k] when a [QUERY] does not pass [k=]. *)
+  default_budget : Flexpath.Guard.budget;
+      (** Per-request governance defaults; request options override
+          per axis. *)
+  snapshot : string option;
+      (** The snapshot the environment came from; the target of a bare
+          [RELOAD]. *)
+}
+
+val default_config : config
+(** [127.0.0.1:0], 4 workers, queue 64, 256 connections, 30s/30s
+    timeouts, [k]=10, unlimited budget, no snapshot. *)
+
+type t
+
+val create : config -> env:Flexpath.Env.t -> (t, Flexpath.Error.t) result
+(** Binds and listens (so {!port} is known before {!serve} runs);
+    failures surface as [Error.Io_error]. *)
+
+val port : t -> int
+(** The actually bound port — the ephemeral choice when [cfg.port] was 0. *)
+
+val serve : t -> unit
+(** Runs the accept loop in the calling domain and the worker pool in
+    spawned domains; returns after a graceful shutdown completes (all
+    admitted connections served, workers joined, listener closed).
+    Call at most once per {!t}. *)
+
+val stop : t -> unit
+(** Initiates graceful shutdown from any domain (or a signal handler);
+    idempotent.  {!serve} returns once the drain completes. *)
+
+val generation : t -> int
+(** The environment's generation: 1 at start, bumped by each
+    successful [RELOAD]. *)

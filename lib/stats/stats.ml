@@ -129,18 +129,35 @@ let count_ad st t1 t2 =
 
 let set_index st idx = st.index <- Some idx
 
+(* The memoization cache is the only mutable state on the query path;
+   the server evaluates queries against one shared statistics value from
+   several domains at once, so lookups and inserts are serialized.  One
+   module-level lock (rather than a per-value field) keeps [t]
+   marshalable for the v1 snapshot format; contention is negligible —
+   penalty construction consults the cache a handful of times per
+   query. *)
+let cache_lock = Mutex.create ()
+
 let count_contains st tag f =
   let key = (tag, Ftexp.to_string f) in
+  Mutex.lock cache_lock;
   match Hashtbl.find_opt st.contains_cache key with
-  | Some n -> n
+  | Some n ->
+    Mutex.unlock cache_lock;
+    n
   | None ->
+    Mutex.unlock cache_lock;
     let n =
       match (st.index, tag_id st tag) with
       | Some idx, Some t -> Index.count_satisfying_with_tag idx f t
       | _, None -> 0
       | None, _ -> invalid_arg "Stats.count_contains: no index attached (use set_index)"
     in
-    Hashtbl.add st.contains_cache key n;
+    Mutex.lock cache_lock;
+    (* A racing domain may have inserted the same key meanwhile; both
+       computed the same pure count, so [replace] is idempotent. *)
+    Hashtbl.replace st.contains_cache key n;
+    Mutex.unlock cache_lock;
     n
 
 let pc_fraction st t1 t2 =

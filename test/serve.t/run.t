@@ -1,0 +1,60 @@
+The query server end to end: index a snapshot, serve it, drive a
+client session over TCP, hot-reload the snapshot, and shut down
+cleanly.
+
+  $ flexpath_cli generate --articles 5 --seed 3 -o articles.xml
+  wrote 3106 bytes to articles.xml
+  $ flexpath_cli index --file articles.xml -o articles.env
+  indexed 61 elements into articles.env
+
+Port 0 asks the kernel for an ephemeral port; the server publishes the
+one it got through --port-file once it is actually listening, so there
+is no race between startup and the first client:
+
+  $ flexpath_cli serve --env articles.env --port 0 --port-file port 2> serve.log &
+  $ for _ in $(seq 1 100); do test -s port && break; sleep 0.1; done
+  $ PORT=$(cat port)
+
+PING answers pong; queries run against the resident environment with
+the same answers the offline CLI gives:
+
+  $ flexpath_cli client -p $PORT -e PING
+  OK
+  pong
+  $ flexpath_cli client -p $PORT -e 'QUERY k=3 //article[.contains("xml" and "streaming")]'
+  OK
+   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
+   2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
+   3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
+
+A request-level budget that cannot be met yields a PARTIAL answer with
+the truncation reason, not an error:
+
+  $ flexpath_cli client -p $PORT -e 'QUERY k=3 steps=0 //article[.contains("xml" and "streaming")]'
+  PARTIAL
+  # truncated reason=step budget score_bound=0.0000
+
+Hot reload swaps the snapshot in place and bumps the generation:
+
+  $ flexpath_cli client -p $PORT -e 'RELOAD articles.env'
+  OK
+  reloaded articles.env (intact); generation 2
+  $ flexpath_cli client -p $PORT -e STATS | grep -E 'snapshot_generation|reloads'
+  snapshot_generation: 2
+  reloads: 1
+
+SHUTDOWN drains and stops the server, which exits 0:
+
+  $ flexpath_cli client -p $PORT -e SHUTDOWN
+  BYE
+  $ wait $!
+  $ sed 's/127\.0\.0\.1:[0-9]*/127.0.0.1:PORT/' serve.log
+  flexpath: listening on 127.0.0.1:PORT (workers=4, queue=64, max-conns=256)
+  flexpath: server stopped
+
+After shutdown the port no longer accepts connections:
+
+  $ flexpath_cli client -p $PORT -e PING > refused.out 2>&1
+  [1]
+  $ sed "s/:$PORT/:PORT/" refused.out
+  error: cannot connect to 127.0.0.1:PORT: Connection refused

@@ -1,0 +1,441 @@
+(* The query server end to end, over real sockets:
+
+   - lifecycle: start from a snapshot, PING/QUERY/STATS, graceful
+     SHUTDOWN with the listener actually released;
+   - admission control: a full queue answers OVERLOADED immediately
+     instead of hanging the client;
+   - per-request governance: budgets truncate to PARTIAL with a sound
+     bound, request options override server defaults per axis;
+   - hot reload: RELOAD swaps the environment mid-traffic with zero
+     failed in-flight requests, and a corrupt snapshot never replaces
+     the serving one;
+   - concurrent determinism: parallel connections over the shared
+     environment produce byte-identical answers to a sequential run;
+   - the server_accept / server_read / server_worker failpoints each
+     exercise their error path without killing the server. *)
+
+module Server = Flexpath_server.Server
+module Protocol = Flexpath_server.Protocol
+module Admission = Flexpath_server.Admission
+module Reservoir = Flexpath_server.Reservoir
+module Env = Flexpath.Env
+module Error = Flexpath.Error
+module Guard = Flexpath.Guard
+module Failpoint = Flexpath.Failpoint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* [String.is_infix]/[is_prefix] without an [Astring] dependency. *)
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let has_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let make_env ?(seed = 7) ?(count = 30) () = Env.make (Xmark.Articles.doc ~seed ~count ())
+
+let save_snapshot env =
+  let path = Filename.temp_file "flexpath_server_test" ".env" in
+  (match Flexpath.Storage.save env path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Error.to_string e));
+  path
+
+let with_server ?(cfg = Server.default_config) env f =
+  match Server.create cfg ~env with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok srv ->
+    let d = Domain.spawn (fun () -> Server.serve srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop srv;
+        Domain.join d)
+      (fun () -> f srv)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal blocking client *)
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let send c line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring c.fd s off (n - off)) in
+  go 0
+
+(* A dropped connection may arrive as EOF or, when the server closed
+   with our request bytes unread, as a reset ([Sys_error]); both mean
+   "no response". *)
+let recv c =
+  let read_line () =
+    match input_line c.ic with
+    | l -> Some l
+    | exception (End_of_file | Sys_error _) -> None
+  in
+  let read_bytes n =
+    let b = Bytes.create n in
+    match really_input c.ic b 0 n with
+    | () -> Some (Bytes.to_string b)
+    | exception (End_of_file | Sys_error _) -> None
+  in
+  Protocol.read_response ~read_line ~read_bytes
+
+let request c line =
+  send c line;
+  recv c
+
+let request_exn c line =
+  match request c line with
+  | Some r -> r
+  | None -> Alcotest.fail (Printf.sprintf "connection closed before a response to %S" line)
+
+(* [in_channel_of_descr] owns the descriptor: closing the channel
+   closes the socket. *)
+let close c = try close_in c.ic with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Substrate units: the admission queue and the latency reservoir *)
+
+let test_admission_queue () =
+  let q = Admission.create ~capacity:2 in
+  check_bool "push 1" true (Admission.try_push q 1 = `Admitted);
+  check_bool "push 2" true (Admission.try_push q 2 = `Admitted);
+  check_bool "push over capacity is rejected" true (Admission.try_push q 3 = `Full);
+  check_int "depth" 2 (Admission.length q);
+  Admission.close q;
+  check_bool "push after close" true (Admission.try_push q 4 = `Closed);
+  check_bool "drain 1" true (Admission.pop q = Some 1);
+  check_bool "drain 2" true (Admission.pop q = Some 2);
+  check_bool "drained queue reports closed" true (Admission.pop q = None)
+
+let test_reservoir () =
+  let r = Reservoir.create ~capacity:128 () in
+  check_bool "empty percentile is nan" true (Float.is_nan (Reservoir.percentile r 50.0));
+  for i = 1 to 100 do
+    Reservoir.add r (float_of_int i)
+  done;
+  check_int "count" 100 (Reservoir.count r);
+  check_bool "p0 is the minimum" true (Reservoir.percentile r 0.0 = 1.0);
+  check_bool "p100 is the maximum" true (Reservoir.percentile r 100.0 = 100.0);
+  let p50 = Reservoir.percentile r 50.0 in
+  check_bool "p50 is central" true (p50 > 45.0 && p50 < 56.0);
+  (* Overflow the capacity: percentiles stay in range, memory stays
+     fixed. *)
+  for i = 101 to 10_000 do
+    Reservoir.add r (float_of_int i)
+  done;
+  let p50 = Reservoir.percentile r 50.0 in
+  check_bool "sampled p50 within the stream's range" true (p50 >= 1.0 && p50 <= 10_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let query_line = "QUERY k=3 //article[.contains(\"xml\" and \"streaming\")]"
+
+let test_lifecycle () =
+  let env = make_env () in
+  let snap = save_snapshot env in
+  let env, _ = Result.get_ok (Flexpath.Storage.load snap) in
+  let cfg = { Server.default_config with workers = 2; snapshot = Some snap } in
+  let port = ref 0 in
+  with_server ~cfg env (fun srv ->
+      port := Server.port srv;
+      let c = connect !port in
+      let status, body = request_exn c "PING" in
+      check_string "ping status" "OK" (Protocol.status_to_string status);
+      check_string "ping body" "pong" body;
+      let status, body = request_exn c query_line in
+      check_string "query status" "OK" (Protocol.status_to_string status);
+      check_bool "query body has answers" true (String.length body > 0);
+      let status, body = request_exn c "STATS" in
+      check_string "stats status" "OK" (Protocol.status_to_string status);
+      check_bool "stats reports served requests" true
+        (String.length body > 0
+        && has_infix ~affix:"requests_served" body
+        && has_infix ~affix:"latency_ms query" body);
+      let status, _ = request_exn c "SHUTDOWN" in
+      check_string "shutdown status" "BYE" (Protocol.status_to_string status);
+      close c);
+  (* [with_server]'s finally joined the serve domain, so the listener
+     is released: a fresh connection must be refused, not served. *)
+  (match connect !port with
+  | c ->
+    close c;
+    Alcotest.fail "connection accepted after shutdown"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  Sys.remove snap
+
+let test_protocol_errors () =
+  with_server (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, body = request_exn c "NONSENSE" in
+      check_string "unknown verb is ERR" "ERR" (Protocol.status_to_string status);
+      check_bool "names the verb" true (has_infix ~affix:"NONSENSE" body);
+      let status, body = request_exn c "QUERY //[" in
+      check_string "bad xpath is ERR" "ERR" (Protocol.status_to_string status);
+      check_bool "query error names the offset" true
+        (has_infix ~affix:"offset" body);
+      let status, _ = request_exn c "QUERY k=nope //a" in
+      check_string "bad option is ERR" "ERR" (Protocol.status_to_string status);
+      let status, _ = request_exn c "PING extra" in
+      check_string "ping with arguments is ERR" "ERR" (Protocol.status_to_string status);
+      (* The connection survives protocol errors. *)
+      let status, _ = request_exn c "PING" in
+      check_string "still serving" "OK" (Protocol.status_to_string status);
+      close c)
+
+(* ------------------------------------------------------------------ *)
+(* Governance: per-request budgets and server defaults *)
+
+let test_budget_truncation () =
+  with_server (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, body = request_exn c "QUERY steps=0 //article[./section/paragraph]" in
+      check_string "exhausted budget is PARTIAL" "PARTIAL" (Protocol.status_to_string status);
+      check_bool "PARTIAL opens with the truncation header" true
+        (has_prefix ~prefix:"# truncated reason=" body);
+      check_bool "reports a score bound" true
+        (has_infix ~affix:"score_bound=" body);
+      close c)
+
+let test_budget_override () =
+  (* Server default: step budget 0, so every query truncates — unless
+     the request raises its own step budget, which must win. *)
+  let cfg =
+    {
+      Server.default_config with
+      default_budget = Guard.budget ~step_budget:0 ();
+      workers = 1;
+    }
+  in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, _ = request_exn c "QUERY //article[./section/paragraph]" in
+      check_string "server default budget applies" "PARTIAL" (Protocol.status_to_string status);
+      let status, _ = request_exn c "QUERY steps=64 //article[./section/paragraph]" in
+      check_string "request override wins" "OK" (Protocol.status_to_string status);
+      close c)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+let test_overload_fast_reject () =
+  let cfg = { Server.default_config with workers = 1; queue_depth = 1 } in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      (* [a] occupies the only worker (the served PING proves it was
+         popped); [b] then fills the queue; [c] must be told OVERLOADED
+         immediately rather than hang. *)
+      let a = connect port in
+      let status, _ = request_exn a "PING" in
+      check_string "worker is busy with a" "OK" (Protocol.status_to_string status);
+      let b = connect port in
+      let c = connect port in
+      (match recv c with
+      | Some (Protocol.Overloaded, _) -> ()
+      | Some (status, _) ->
+        Alcotest.fail ("expected OVERLOADED, got " ^ Protocol.status_to_string status)
+      | None -> Alcotest.fail "expected an OVERLOADED response, got EOF");
+      check_bool "rejected connection is closed" true (recv c = None);
+      close c;
+      (* Releasing the worker lets the queued connection be served. *)
+      close a;
+      let status, _ = request_exn b "PING" in
+      check_string "queued connection drains" "OK" (Protocol.status_to_string status);
+      let status, body = request_exn b "STATS" in
+      check_string "stats ok" "OK" (Protocol.status_to_string status);
+      check_bool "the reject was counted" true
+        (has_infix ~affix:"connections_rejected: 1" body);
+      close b)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent determinism: N parallel connections issuing the same
+   query set must produce byte-identical bodies to a sequential run. *)
+
+let determinism_queries =
+  [
+    "QUERY k=5 //article[.contains(\"xml\" and \"streaming\")]";
+    "QUERY k=3 algo=dpo //article[./section/paragraph]";
+    "QUERY k=3 algo=sso //article[./section/paragraph]";
+    "QUERY k=10 scheme=combined //article[./section[./algorithm]]";
+    "RELAX steps=3 //article[./section/paragraph]";
+    "QUERY k=4 steps=1 //article[./section[./paragraph[.contains(\"query\")]]]";
+  ]
+
+let run_query_set port =
+  let c = connect port in
+  let results =
+    List.map
+      (fun q ->
+        let status, body = request_exn c q in
+        Protocol.status_to_string status ^ "\n" ^ body)
+      determinism_queries
+  in
+  close c;
+  results
+
+let test_concurrent_determinism () =
+  let cfg = { Server.default_config with workers = 4 } in
+  with_server ~cfg (make_env ~count:60 ()) (fun srv ->
+      let port = Server.port srv in
+      let sequential = run_query_set port in
+      let domains = Array.init 4 (fun _ -> Domain.spawn (fun () -> run_query_set port)) in
+      let parallel = Array.map Domain.join domains in
+      Array.iteri
+        (fun d results ->
+          List.iteri
+            (fun i (expected, got) ->
+              check_string (Printf.sprintf "domain %d, query %d" d i) expected got)
+            (List.combine sequential results))
+        parallel)
+
+(* ------------------------------------------------------------------ *)
+(* Hot reload *)
+
+let test_reload_mid_traffic () =
+  let env1 = make_env ~seed:7 ~count:30 () in
+  let env2 = make_env ~seed:8 ~count:50 () in
+  let snap1 = save_snapshot env1 in
+  let snap2 = save_snapshot env2 in
+  let cfg = { Server.default_config with workers = 3; snapshot = Some snap1 } in
+  with_server ~cfg env1 (fun srv ->
+      let port = Server.port srv in
+      (* Three domains of continuous traffic; the main thread swaps the
+         environment twice underneath them.  Every in-flight request
+         must complete with OK or PARTIAL — never an error, never a
+         dropped connection. *)
+      let traffic () =
+        let c = connect port in
+        let failures = ref 0 in
+        for _ = 1 to 25 do
+          match request c query_line with
+          | Some ((Protocol.Ok_ | Protocol.Partial), _) -> ()
+          | Some _ | None -> incr failures
+        done;
+        close c;
+        !failures
+      in
+      let domains = Array.init 3 (fun _ -> Domain.spawn traffic) in
+      let ctl = connect port in
+      let status, body = request_exn ctl (Printf.sprintf "RELOAD %s" snap2) in
+      check_string "reload to snap2" "OK" (Protocol.status_to_string status);
+      check_bool "reload reports its generation" true
+        (has_infix ~affix:"generation 2" body);
+      (* A bare RELOAD re-reads the snapshot the server started from. *)
+      let status, body = request_exn ctl "RELOAD" in
+      check_string "bare reload" "OK" (Protocol.status_to_string status);
+      check_bool "bare reload targets the origin snapshot" true
+        (has_infix ~affix:snap1 body);
+      let failed = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+      check_int "zero failed in-flight requests across both reloads" 0 failed;
+      check_int "generation reflects both reloads" 3 (Server.generation srv);
+      (* A corrupt snapshot is rejected and the serving environment
+         survives. *)
+      let garbage = Filename.temp_file "flexpath_server_test" ".env" in
+      let oc = open_out garbage in
+      output_string oc "not a snapshot";
+      close_out oc;
+      let status, _ = request_exn ctl (Printf.sprintf "RELOAD %s" garbage) in
+      check_string "corrupt snapshot is ERR" "ERR" (Protocol.status_to_string status);
+      check_int "generation unchanged after failed reload" 3 (Server.generation srv);
+      let status, _ = request_exn ctl query_line in
+      check_string "still serving after failed reload" "OK" (Protocol.status_to_string status);
+      Sys.remove garbage);
+  Sys.remove snap1;
+  Sys.remove snap2
+
+(* ------------------------------------------------------------------ *)
+(* Failpoints: every server error path, deterministically *)
+
+let with_failpoint name f =
+  (match Failpoint.activate name with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:(fun () -> Failpoint.deactivate name) f
+
+let test_failpoint_worker () =
+  with_server (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      with_failpoint "server_worker" (fun () ->
+          let c = connect port in
+          let status, body = request_exn c "PING" in
+          check_string "dispatch fault is ERR" "ERR" (Protocol.status_to_string status);
+          check_bool "names the failpoint" true
+            (has_infix ~affix:"server_worker" body);
+          close c);
+      let c = connect port in
+      let status, _ = request_exn c "PING" in
+      check_string "recovers once disarmed" "OK" (Protocol.status_to_string status);
+      close c)
+
+let test_failpoint_read () =
+  with_server (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      with_failpoint "server_read" (fun () ->
+          let c = connect port in
+          send c "PING";
+          check_bool "connection is dropped" true (recv c = None);
+          close c);
+      let c = connect port in
+      let status, _ = request_exn c "PING" in
+      check_string "recovers once disarmed" "OK" (Protocol.status_to_string status);
+      close c)
+
+let test_failpoint_accept () =
+  with_server (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      with_failpoint "server_accept" (fun () ->
+          let c = connect port in
+          send c "PING";
+          check_bool "connection is closed unserved" true (recv c = None);
+          close c);
+      let c = connect port in
+      let status, _ = request_exn c "PING" in
+      check_string "accept loop survives" "OK" (Protocol.status_to_string status);
+      close c)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "substrate",
+        [
+          Alcotest.test_case "admission queue" `Quick test_admission_queue;
+          Alcotest.test_case "latency reservoir" `Quick test_reservoir;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "snapshot start, query, stats, shutdown" `Quick test_lifecycle;
+          Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
+        ] );
+      ( "governance",
+        [
+          Alcotest.test_case "budget truncation is PARTIAL" `Quick test_budget_truncation;
+          Alcotest.test_case "request overrides server default" `Quick test_budget_override;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "full queue fast-rejects" `Quick test_overload_fast_reject ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel connections match sequential" `Quick
+            test_concurrent_determinism;
+        ] );
+      ( "reload",
+        [ Alcotest.test_case "hot swap mid-traffic" `Quick test_reload_mid_traffic ] );
+      ( "failpoints",
+        [
+          Alcotest.test_case "server_worker" `Quick test_failpoint_worker;
+          Alcotest.test_case "server_read" `Quick test_failpoint_read;
+          Alcotest.test_case "server_accept" `Quick test_failpoint_accept;
+        ] );
+    ]
