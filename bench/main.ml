@@ -520,6 +520,160 @@ let abl_serve ~quick () =
             ]))
     [ 1; 8; 64 ]
 
+(* The query cache (DESIGN.md §4f): what the answer tier buys on a
+   repeated shape in-process, then through the server under a
+   Zipf-skewed query mix at several admission-queue depths — realistic
+   workloads repeat a few shapes often, so the hit rate and throughput
+   are the interesting outputs. *)
+let abl_cache ~quick () =
+  let module Server = Flexpath_server.Server in
+  let module Protocol = Flexpath_server.Protocol in
+  let mb = if quick then 1.0 else 5.0 in
+  let env = env_for_mb mb in
+  let q = Xpath.parse_exn q1_str in
+  header "Ablation: query cache"
+    (Printf.sprintf
+       "Cold vs answer-tier hit (Q1, K=50, %gMB), then 8 clients on a Zipf query mix; time in ms"
+       mb)
+    [ "time"; "served"; "hit-rate"; "req/s" ];
+  (* Cold: every run pays chain construction, join-plan compilation and
+     the joins themselves.  Warm: the same query served from the answer
+     tier. *)
+  let _, cold_ms = time_median (fun () -> Flexpath.run_exn env ~k:50 q) in
+  row "cold" [ ms cold_ms; "1"; "-"; "-" ];
+  let cache = Flexpath.Qcache.create () in
+  let _ = Flexpath.run_exn ~cache env ~k:50 q in
+  let _, warm_ms = time_median (fun () -> Flexpath.run_exn ~cache env ~k:50 q) in
+  row "warm" [ Printf.sprintf "%.3f" warm_ms; "1"; "-"; "-" ];
+  row "speedup" [ Printf.sprintf "%.0fx" (cold_ms /. Float.max warm_ms 1e-6); "-"; "-"; "-" ];
+  (* The server side: a Zipf mix (weight 1/rank over eight query lines)
+     issued by more clients than workers.  Every request pays the
+     loopback round-trip; the cache's contribution shows up as
+     throughput and as the hit rate reported by STATS. *)
+  let pool =
+    [|
+      Printf.sprintf "QUERY k=50 %s" q1_str;
+      Printf.sprintf "QUERY k=20 %s" q1_str;
+      Printf.sprintf "QUERY k=50 %s" q2_str;
+      Printf.sprintf "QUERY k=20 %s" q2_str;
+      Printf.sprintf "QUERY k=50 %s" q3_str;
+      Printf.sprintf "QUERY k=20 %s" q3_str;
+      Printf.sprintf "QUERY k=10 scheme=combined %s" q1_str;
+      Printf.sprintf "QUERY k=10 algo=dpo %s" q2_str;
+    |]
+  in
+  let n = Array.length pool in
+  let weights = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  (* A per-client 48-bit LCG (the drand48 constants) keeps the mix
+     deterministic across runs. *)
+  let next_state s = ((s * 25214903917) + 11) land ((1 lsl 48) - 1) in
+  let pick s =
+    let u = float_of_int (s lsr 16) /. float_of_int (1 lsl 32) *. total in
+    let rec go i acc =
+      if i = n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if u < acc then i else go (i + 1) acc
+    in
+    go 0 0.0
+  in
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    (fd, Unix.in_channel_of_descr fd)
+  in
+  let send fd line =
+    let b = Bytes.of_string (line ^ "\n") in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  in
+  let recv ic =
+    let read_line () = match input_line ic with l -> Some l | exception _ -> None in
+    let read_bytes n =
+      let b = Bytes.create n in
+      match really_input ic b 0 n with
+      | () -> Some (Bytes.to_string b)
+      | exception _ -> None
+    in
+    Protocol.read_response ~read_line ~read_bytes
+  in
+  let with_server cfg f =
+    match Server.create cfg ~env with
+    | Error e -> failwith (Flexpath.Error.to_string e)
+    | Ok t ->
+      let d = Domain.spawn (fun () -> Server.serve t) in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop t;
+          Domain.join d)
+        (fun () -> f (Server.port t))
+  in
+  let stat_int body name =
+    let prefix = name ^ ": " in
+    String.split_on_char '\n' body
+    |> List.find_map (fun line ->
+           if
+             String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+           then
+             int_of_string_opt
+               (String.sub line (String.length prefix) (String.length line - String.length prefix))
+           else None)
+    |> Option.value ~default:0
+  in
+  let clients = 8 and per_client = if quick then 20 else 60 in
+  List.iter
+    (fun depth ->
+      let cfg = { Server.default_config with Server.queue_depth = depth } in
+      with_server cfg (fun port ->
+          let served = Atomic.make 0 in
+          let client id () =
+            let fd, ic = connect port in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let s = ref (next_state (0x9E3779B9 * (id + 1))) in
+                for _ = 1 to per_client do
+                  s := next_state !s;
+                  match
+                    send fd pool.(pick !s);
+                    recv ic
+                  with
+                  | Some ((Protocol.Ok_ | Protocol.Partial), _) -> Atomic.incr served
+                  | Some _ | None | (exception _) -> ()
+                done)
+          in
+          let _, wall_ms =
+            time (fun () ->
+                let ds = List.init clients (fun id -> Domain.spawn (client id)) in
+                List.iter Domain.join ds)
+          in
+          let hits, misses =
+            let fd, ic = connect port in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                send fd "STATS";
+                match recv ic with
+                | Some (Protocol.Ok_, body) ->
+                  (stat_int body "cache_hits", stat_int body "cache_misses")
+                | _ -> (0, 0))
+          in
+          let served = Atomic.get served in
+          row
+            (Printf.sprintf "queue=%d" depth)
+            [
+              ms wall_ms;
+              string_of_int served;
+              Printf.sprintf "%.0f%%" (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+              Printf.sprintf "%.0f" (float_of_int served /. (wall_ms /. 1000.0));
+            ]))
+    [ 1; 8; 64 ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -586,6 +740,7 @@ let all_figures =
     ("abl_snapshot", abl_snapshot);
     ("abl_approxml", abl_approxml);
     ("abl_serve", abl_serve);
+    ("abl_cache", abl_cache);
   ]
 
 let () =

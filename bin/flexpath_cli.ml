@@ -127,6 +127,22 @@ let conv_of_parser name parse to_string =
 let algo_conv =
   conv_of_parser "ALGO" Flexpath.algorithm_of_string Flexpath.algorithm_to_string
 
+(* Shared by query and serve: the in-process plan/answer cache
+   (DESIGN.md §4f). *)
+let cache_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Budget of the in-process query cache (memoized relaxation chains, compiled join plans \
+           and complete top-K answers), in MiB.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the query cache entirely.")
+
+let cache_of ~cache_mb ~no_cache =
+  if no_cache || cache_mb <= 0 then None else Some cache_mb
+
 let scheme_conv =
   conv_of_parser "SCHEME" Flexpath.Ranking.of_string Flexpath.Ranking.to_string
 
@@ -187,7 +203,7 @@ let query_cmd =
              DPO's per-step evaluation.")
   in
   let run file xmark articles query k algo scheme verbose text hierarchy_file thesaurus_file
-      weights_spec env_file timeout_ms tuple_budget step_budget restart_cap =
+      weights_spec env_file timeout_ms tuple_budget step_budget restart_cap cache_mb no_cache =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -237,7 +253,12 @@ let query_cmd =
         | deadline_ms, tuple_budget, step_budget, restart_cap ->
           Some { Flexpath.Guard.deadline_ms; tuple_budget; step_budget; restart_cap }
       in
-      match Flexpath.run ~algorithm:algo ~scheme ?budget env ~k q with
+      let cache =
+        Option.map
+          (fun mb -> Flexpath.Qcache.create ~max_bytes:(mb * 1024 * 1024) ())
+          (cache_of ~cache_mb ~no_cache)
+      in
+      match Flexpath.run ~algorithm:algo ~scheme ?budget ?cache env ~k q with
       | Error e ->
         Printf.eprintf "error: %s\n" (Error.to_string e);
         Error.exit_code e
@@ -278,7 +299,8 @@ let query_cmd =
     Term.(
       const run $ file_arg $ xmark_arg $ articles_arg $ query_arg $ k_arg $ algo_arg $ scheme_arg
       $ verbose_arg $ text_arg $ hierarchy_arg $ thesaurus_arg $ weights_arg $ env_arg
-      $ timeout_arg $ tuple_budget_arg $ step_budget_arg $ restart_cap_arg)
+      $ timeout_arg $ tuple_budget_arg $ step_budget_arg $ restart_cap_arg $ cache_mb_arg
+      $ no_cache_arg)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a top-K query with structural relaxation.") term
 
@@ -543,7 +565,7 @@ let serve_cmd =
   in
   let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
       queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
-      restart_cap =
+      restart_cap cache_mb no_cache =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -581,6 +603,7 @@ let serve_cmd =
         default_budget =
           { Flexpath.Guard.deadline_ms = timeout_ms; tuple_budget; step_budget; restart_cap };
         snapshot = env_file;
+        cache_mb = cache_of ~cache_mb ~no_cache;
       }
     in
     match Server.create cfg ~env with
@@ -609,7 +632,7 @@ let serve_cmd =
       const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ weights_arg $ env_arg
       $ host_arg $ port_arg $ port_file_arg $ workers_arg $ queue_arg $ max_conns_arg
       $ read_timeout_arg $ write_timeout_arg $ k_arg $ timeout_arg $ tuple_budget_arg
-      $ step_budget_arg $ restart_cap_arg)
+      $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -182,3 +182,48 @@ let evaluate ?metrics ?cancel env penv orig ops strategy =
   let enc = Joins.Encoded.of_ops_exn ~hierarchy:(Relax.Penalty.hierarchy penv) orig ops in
   Joins.Exec.run ?metrics ?cancel (Env.exec_env env penv) enc strategy
   |> List.map Answer.of_exec
+
+(* ------------------------------------------------------------------ *)
+(* Reusable evaluation plans.
+
+   A plan captures everything about an evaluation that depends only on
+   the query's shape: the penalty environment (closure, weights,
+   statistics-derived penalties), the greedy relaxation chain, and —
+   lazily — the relaxation-encoded join plans of the entries actually
+   evaluated.  Answers carry no variable ids, so a plan built for one
+   query serves any isomorphic query (same {!Tpq.Query.canonical_key})
+   verbatim; {!Qcache} relies on exactly that. *)
+
+type plan = {
+  pquery : Tpq.Query.t;  (* the representative query the plan was built for *)
+  penv : Relax.Penalty.t;
+  chain : Relax.Space.entry array;
+  encoded : Joins.Encoded.t option Atomic.t array;
+      (* one slot per chain entry, compiled on first evaluation; Atomic
+         so a plan shared between worker domains publishes compiled
+         entries safely (a racing recompute yields an equivalent value) *)
+}
+
+let build_plan env ?max_steps q =
+  let penv, entries = chain env ?max_steps q in
+  let arr = Array.of_list entries in
+  { pquery = q; penv; chain = arr; encoded = Array.init (Array.length arr) (fun _ -> Atomic.make None) }
+
+let plan_entries p = Array.to_list p.chain
+
+let encoded_entry p i =
+  match Atomic.get p.encoded.(i) with
+  | Some enc -> enc
+  | None ->
+    let entry = p.chain.(i) in
+    let enc =
+      Joins.Encoded.of_ops_exn ~hierarchy:(Relax.Penalty.hierarchy p.penv) p.pquery
+        entry.Relax.Space.ops
+    in
+    Atomic.set p.encoded.(i) (Some enc);
+    enc
+
+let evaluate_entry ?metrics ?cancel env p i strategy =
+  let enc = encoded_entry p i in
+  Joins.Exec.run ?metrics ?cancel (Env.exec_env env p.penv) enc strategy
+  |> List.map Answer.of_exec

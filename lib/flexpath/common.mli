@@ -77,3 +77,43 @@ val evaluate :
     scored against the original's closure.  [cancel] is threaded to
     {!Joins.Exec.run}; when it aborts, {!Joins.Exec.Cancelled} escapes
     to the calling algorithm. *)
+
+(** {2 Reusable evaluation plans}
+
+    Everything about an evaluation that depends only on the query's
+    shape, bundled for reuse: the penalty environment, the greedy
+    relaxation chain, and (lazily compiled, atomically published) the
+    relaxation-encoded join plan of each chain entry.  Answers carry no
+    variable ids, so a plan built for one query is valid for any
+    isomorphic query — the foundation of {!Qcache}'s plan tier.  A plan
+    is bound to the environment it was built from and must not be used
+    with another. *)
+
+type plan = {
+  pquery : Tpq.Query.t;  (** The representative query the plan was built for. *)
+  penv : Relax.Penalty.t;
+  chain : Relax.Space.entry array;  (** The greedy chain, original query first. *)
+  encoded : Joins.Encoded.t option Atomic.t array;
+      (** One slot per chain entry; filled by {!encoded_entry}. *)
+}
+
+val build_plan : Env.t -> ?max_steps:int -> Tpq.Query.t -> plan
+(** {!chain} packaged as a plan (and subject to the same
+    ["chain.build"] failpoint); no join plan is compiled yet. *)
+
+val plan_entries : plan -> Relax.Space.entry list
+
+val encoded_entry : plan -> int -> Joins.Encoded.t
+(** The compiled join plan of chain entry [i], compiling and publishing
+    it on first use. *)
+
+val evaluate_entry :
+  ?metrics:Joins.Exec.metrics ->
+  ?cancel:(int -> bool) ->
+  Env.t ->
+  plan ->
+  int ->
+  Joins.Exec.strategy ->
+  Answer.t list
+(** {!evaluate} through the plan's cached encodings: evaluate chain
+    entry [i] against [env], scored on the plan's closure. *)

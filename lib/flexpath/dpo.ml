@@ -1,5 +1,11 @@
-let run ?max_steps ?(guard = Guard.none) ?metrics env ~scheme ~k q =
-  let penv, chain = Common.chain env ?max_steps q in
+(* Answer nodes are preorder ranks ([Xmldom.Doc.elem = int]): key the
+   best-score table with monomorphic integer hashing instead of the
+   polymorphic default. *)
+module Itbl = Hashtbl.Make (Int)
+
+let run ?max_steps ?(guard = Guard.none) ?metrics ?plan env ~scheme ~k q =
+  let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
+  let penv = plan.Common.penv in
   let metrics = match metrics with Some m -> m | None -> Joins.Exec.fresh_metrics () in
   let cancel = Guard.cancel_fn guard in
   (* An answer node can gain a better-scoring embedding once a deeper
@@ -7,7 +13,7 @@ let run ?max_steps ?(guard = Guard.none) ?metrics env ~scheme ~k q =
      per node.  The stopping bound covers improvements too: an
      embedding invalid under the current relaxation scores at most
      [unseen_bound]. *)
-  let best : (Xmldom.Doc.elem, Answer.t) Hashtbl.t = Hashtbl.create 64 in
+  let best : Answer.t Itbl.t = Itbl.create 64 in
   let passes = ref 0 in
   (* The deepest entry whose pass ran to completion: budget truncation
      reports [unseen_bound] of this entry as the sound score bound for
@@ -18,14 +24,15 @@ let run ?max_steps ?(guard = Guard.none) ?metrics env ~scheme ~k q =
     completeness :=
       Common.Truncated { reason; score_bound = Common.truncation_bound scheme penv !last_completed }
   in
-  let rec go = function
-    | [] -> ()
-    | (entry : Relax.Space.entry) :: rest -> (
+  let n = Array.length plan.Common.chain in
+  let rec go i =
+    if i < n then begin
+      let entry = plan.Common.chain.(i) in
       match Guard.pass_allowed guard ~passes:!passes with
       | Some reason -> truncate reason
       | None -> (
         incr passes;
-        match Common.evaluate ~metrics ?cancel env penv q entry.ops Joins.Exec.exact_strategy with
+        match Common.evaluate_entry ~metrics ?cancel env plan i Joins.Exec.exact_strategy with
         | exception Joins.Exec.Cancelled ->
           (* The pass was abandoned mid-join: nothing of it is kept, the
              bound stays that of the last completed entry. *)
@@ -34,24 +41,25 @@ let run ?max_steps ?(guard = Guard.none) ?metrics env ~scheme ~k q =
         | answers ->
           List.iter
             (fun (a : Answer.t) ->
-              match Hashtbl.find_opt best a.node with
-              | None -> Hashtbl.replace best a.node a
+              match Itbl.find_opt best a.node with
+              | None -> Itbl.replace best a.node a
               | Some prev ->
                 if Ranking.compare_desc scheme (Answer.score a) (Answer.score prev) < 0 then
-                  Hashtbl.replace best a.node a)
+                  Itbl.replace best a.node a)
             answers;
           last_completed := Some entry;
-          let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
+          let collected = Itbl.fold (fun _ a acc -> a :: acc) best [] in
           let finished =
             match Common.kth_total scheme k collected with
             | None -> false
             | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
           in
-          if not finished then go rest))
+          if not finished then go (i + 1))
+    end
   in
-  go chain;
-  Common.Log.debug (fun m -> m "DPO: %d passes, %d distinct answers" !passes (Hashtbl.length best));
-  let collected = Hashtbl.fold (fun _ a acc -> a :: acc) best [] in
+  go 0;
+  Common.Log.debug (fun m -> m "DPO: %d passes, %d distinct answers" !passes (Itbl.length best));
+  let collected = Itbl.fold (fun _ a acc -> a :: acc) best [] in
   {
     Common.answers = Answer.sort_and_truncate scheme k collected;
     metrics;

@@ -17,6 +17,7 @@ val run :
   ?max_steps:int ->
   ?guard:Guard.t ->
   ?metrics:Joins.Exec.metrics ->
+  ?plan:Common.plan ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
@@ -24,4 +25,7 @@ val run :
   Common.result
 (** [guard] governs the whole run (default {!Guard.none}); [metrics]
     lets a caller that already accumulated executor metrics (the
-    SSO/Hybrid fallback path) keep one running total. *)
+    SSO/Hybrid fallback path) keep one running total; [plan] reuses a
+    previously built {!Common.plan} for an isomorphic query (the cached
+    path) instead of rebuilding chain and penalties, in which case
+    [max_steps] is ignored. *)

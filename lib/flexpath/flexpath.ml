@@ -10,6 +10,7 @@ module Error = Error
 module Guard = Guard
 module Failpoint = Failpoint
 module Monotime = Monotime
+module Qcache = Qcache
 
 (* Plant the fault-injection registry into the lower layers (and arm
    FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)
@@ -30,31 +31,88 @@ let algorithm_of_string s =
 
 let all_algorithms = [ DPO; SSO; Hybrid ]
 
-let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?budget env ~k q =
-  let guard = match budget with None -> Guard.none | Some b -> Guard.start b in
-  match
-    match algorithm with
-    | DPO -> Dpo.run ?max_steps ~guard env ~scheme ~k q
-    | SSO -> Sso.run ?max_steps ~guard env ~scheme ~k q
-    | Hybrid -> Hybrid.run ?max_steps ~guard env ~scheme ~k q
-  with
-  | result -> Ok result
-  | exception Joins.Exec.Capacity_exceeded { what; limit; actual } ->
-    Error (Error.Capacity { what; limit; actual })
-  | exception Failpoint.Injected point -> Error (Error.Fault point)
+(* Cache keys.  The plan tier is keyed by everything that shapes the
+   chain and its evaluation order (canonical shape, scheme, algorithm,
+   chain length); the answer tier adds [k] and the budget class, so a
+   governed request never sees a result computed under laxer limits —
+   conservative, since a [Complete] result is budget-independent, but
+   it keeps every cached entry explainable from its key alone. *)
 
-let run_exn ?algorithm ?scheme ?max_steps ?budget env ~k q =
-  match run ?algorithm ?scheme ?max_steps ?budget env ~k q with
+let budget_class = function
+  | None -> "-"
+  | Some (b : Guard.budget) ->
+    let f = function None -> "-" | Some x -> Printf.sprintf "%g" x in
+    let i = function None -> "-" | Some x -> string_of_int x in
+    Printf.sprintf "%s,%s,%s,%s" (f b.Guard.deadline_ms) (i b.Guard.tuple_budget)
+      (i b.Guard.step_budget) (i b.Guard.restart_cap)
+
+let plan_key ~algorithm ~scheme ?max_steps q =
+  Printf.sprintf "%s|%s|%d|%s" (algorithm_to_string algorithm) (Ranking.to_string scheme)
+    (Option.value max_steps ~default:32)
+    (Tpq.Query.canonical_key q)
+
+let answer_key ~plan_key ~k ~budget =
+  Printf.sprintf "%s|k=%d|b=%s" plan_key k (budget_class budget)
+
+let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?budget ?cache env ~k q
+    =
+  let keys =
+    lazy
+      (let pk = plan_key ~algorithm ~scheme ?max_steps q in
+       (pk, answer_key ~plan_key:pk ~k ~budget))
+  in
+  let answer_hit =
+    match cache with
+    | None -> None
+    | Some c -> Qcache.find_answer c (snd (Lazy.force keys))
+  in
+  match answer_hit with
+  | Some result -> Ok result
+  | None -> (
+    let guard = match budget with None -> Guard.none | Some b -> Guard.start b in
+    let eval () =
+      let plan =
+        match cache with
+        | None -> None
+        | Some c -> (
+          let pk = fst (Lazy.force keys) in
+          match Qcache.find_plan c pk with
+          | Some p -> Some p
+          | None ->
+            let p = Common.build_plan env ?max_steps q in
+            Qcache.store_plan c pk p;
+            Some p)
+      in
+      match algorithm with
+      | DPO -> Dpo.run ?max_steps ?plan ~guard env ~scheme ~k q
+      | SSO -> Sso.run ?max_steps ?plan ~guard env ~scheme ~k q
+      | Hybrid -> Hybrid.run ?max_steps ?plan ~guard env ~scheme ~k q
+    in
+    match eval () with
+    | result ->
+      (match cache with
+      | Some c -> Qcache.store_answer c (snd (Lazy.force keys)) result
+      | None -> ());
+      Ok result
+    | exception Joins.Exec.Capacity_exceeded { what; limit; actual } ->
+      Error (Error.Capacity { what; limit; actual })
+    | exception Failpoint.Injected point -> Error (Error.Fault point))
+
+let run_exn ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q =
+  match run ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q with
   | Ok result -> result
   | Error e -> raise (Failed e)
 
-let top_k ?algorithm ?scheme ?max_steps ?budget env ~k q =
-  (run_exn ?algorithm ?scheme ?max_steps ?budget env ~k q).Common.answers
+let top_k ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q =
+  (run_exn ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q).Common.answers
 
-let top_k_xpath ?algorithm ?scheme ?max_steps ?budget env ~k s =
+let top_k_xpath ?algorithm ?scheme ?max_steps ?budget ?cache env ~k s =
   match Tpq.Xpath.parse s with
   | Error { offset; message } -> Error (Error.Query_error { offset; message })
-  | Ok q -> Result.map (fun r -> r.Common.answers) (run ?algorithm ?scheme ?max_steps ?budget env ~k q)
+  | Ok q ->
+    Result.map
+      (fun r -> r.Common.answers)
+      (run ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q)
 
 let exact_answers (env : Env.t) q =
   Tpq.Semantics.answers ~hierarchy:env.hierarchy env.doc env.index q

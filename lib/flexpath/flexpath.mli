@@ -44,6 +44,7 @@ module Error = Error
 module Guard = Guard
 module Failpoint = Failpoint
 module Monotime = Monotime
+module Qcache = Qcache
 
 exception Failed of Error.t
 (** Raised only by the [_exn] conveniences ({!run_exn}, {!top_k}). *)
@@ -54,11 +55,21 @@ val algorithm_to_string : algorithm -> string
 val algorithm_of_string : string -> (algorithm, string) result
 val all_algorithms : algorithm list
 
+val plan_key : algorithm:algorithm -> scheme:Ranking.scheme -> ?max_steps:int -> Tpq.Query.t -> string
+(** The {!Qcache} plan-tier key {!run} uses: canonical shape plus
+    everything that shapes the chain and its evaluation
+    ([algorithm], [scheme], effective [max_steps]). *)
+
+val answer_key : plan_key:string -> k:int -> budget:Guard.budget option -> string
+(** The {!Qcache} answer-tier key: the plan key extended with [k] and
+    the budget class. *)
+
 val run :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
   ?budget:Guard.budget ->
+  ?cache:Qcache.t ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -66,13 +77,21 @@ val run :
 (** Top-K evaluation.  Defaults: [Hybrid], [Structure_first], no
     budget.  Never raises on user input: closure-capacity overflows and
     injected faults come back as [Error], budget exhaustion as a
-    [Truncated] {!Common.result}. *)
+    [Truncated] {!Common.result}.
+
+    With [cache], the answer tier is consulted first (a hit returns the
+    memoized [Complete] result without touching the executor at all);
+    on a miss the plan tier supplies — or is populated with — the
+    penalty environment, relaxation chain and compiled join plans, and
+    a [Complete], non-degraded result is stored back.  The cache must
+    have been created for {e this} [env] (see {!Qcache}). *)
 
 val run_exn :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
   ?budget:Guard.budget ->
+  ?cache:Qcache.t ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -84,6 +103,7 @@ val top_k :
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
   ?budget:Guard.budget ->
+  ?cache:Qcache.t ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -95,6 +115,7 @@ val top_k_xpath :
   ?scheme:Ranking.scheme ->
   ?max_steps:int ->
   ?budget:Guard.budget ->
+  ?cache:Qcache.t ->
   Env.t ->
   k:int ->
   string ->

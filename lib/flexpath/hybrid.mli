@@ -10,6 +10,7 @@
 val run :
   ?max_steps:int ->
   ?guard:Guard.t ->
+  ?plan:Common.plan ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->

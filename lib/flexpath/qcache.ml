@@ -1,0 +1,167 @@
+(* A size-bounded LRU over two tiers of shape-keyed evaluation state:
+
+   - the plan tier memoizes {!Common.plan} values (penalty environment,
+     relaxation chain, lazily compiled join plans);
+   - the answer tier memoizes complete {!Common.result} values.
+
+   Both tiers share one byte budget and one recency list; keys are
+   namespaced by a one-character prefix.  Sizes are deterministic
+   estimates of the retained structures — never [Obj.reachable_words],
+   which would charge a plan for the whole environment its penalty
+   closures capture.  All operations take the cache's mutex, so one
+   cache can serve every worker domain of a server. *)
+
+type counters = { hits : int; misses : int; evictions : int; bytes : int; entries : int }
+
+type value = Plan of Common.plan | Answers of Common.result
+
+type node = {
+  key : string;
+  value : value;
+  size : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string, node) Hashtbl.t;
+  max_bytes : int;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let create ?(max_bytes = default_max_bytes) () =
+  if max_bytes < 1 then invalid_arg "Qcache.create: max_bytes must be positive";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 256;
+    max_bytes;
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let max_bytes t = t.max_bytes
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Intrusive recency list *)
+
+let unlink t n =
+  (match n.prev with None -> t.head <- n.next | Some p -> p.next <- n.next);
+  (match n.next with None -> t.tail <- n.prev | Some s -> s.prev <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with None -> t.tail <- Some n | Some h -> h.prev <- Some n);
+  t.head <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.bytes <- t.bytes - n.size
+
+let rec evict_to_fit t =
+  if t.bytes > t.max_bytes then
+    match t.tail with
+    | None -> ()
+    | Some n ->
+      drop t n;
+      t.evictions <- t.evictions + 1;
+      evict_to_fit t
+
+(* ------------------------------------------------------------------ *)
+(* Size estimation: deterministic, in bytes, counting only what the
+   cache itself keeps alive beyond the shared environment. *)
+
+let query_cost q = 64 + (48 * List.length (Tpq.Query.vars q))
+
+let entry_cost (e : Relax.Space.entry) =
+  (* entry record + its query + its operator list + the join plan that
+     will be compiled for it (one var_spec per variable), charged up
+     front so lazy compilation cannot overrun the budget *)
+  96 + query_cost e.Relax.Space.query + (32 * List.length e.Relax.Space.ops)
+  + (112 * List.length (Tpq.Query.vars e.Relax.Space.query))
+
+let plan_cost key (p : Common.plan) =
+  String.length key + 256 + query_cost p.Common.pquery
+  + Array.fold_left (fun acc e -> acc + entry_cost e) 0 p.Common.chain
+
+let answers_cost key (r : Common.result) =
+  String.length key + 192 + (64 * List.length r.Common.answers)
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / insert *)
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.value)
+
+let store t key value size =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.table key with Some old -> drop t old | None -> ());
+      (* An entry that alone exceeds the budget would evict everything
+         and still not fit: refuse it rather than thrash. *)
+      if size <= t.max_bytes then begin
+        let n = { key; value; size; prev = None; next = None } in
+        Hashtbl.replace t.table key n;
+        push_front t n;
+        t.bytes <- t.bytes + size;
+        evict_to_fit t
+      end)
+
+let plan_ns key = "P:" ^ key
+let answer_ns key = "A:" ^ key
+
+let find_plan t key =
+  match find t (plan_ns key) with Some (Plan p) -> Some p | Some (Answers _) | None -> None
+
+let store_plan t key p =
+  let key = plan_ns key in
+  store t key (Plan p) (plan_cost key p)
+
+let cacheable (r : Common.result) =
+  (match r.Common.completeness with Common.Complete -> true | Common.Truncated _ -> false)
+  && not r.Common.degraded
+
+let find_answer t key =
+  match find t (answer_ns key) with Some (Answers r) -> Some r | Some (Plan _) | None -> None
+
+let store_answer t key r =
+  if cacheable r then begin
+    let key = answer_ns key in
+    store t key (Answers r) (answers_cost key r)
+  end
+
+let counters t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        bytes = t.bytes;
+        entries = Hashtbl.length t.table;
+      })

@@ -1,0 +1,66 @@
+(** A size-bounded LRU cache over repeated query shapes (DESIGN.md §4f).
+
+    FleXPath's workload re-derives the same closure, relaxation chain
+    and compiled join plans for every repetition of a query shape.
+    {!Tpq.Query.canonical_key} identifies shapes up to variable
+    renaming, and answers carry no variable ids, so memoization at the
+    shape level is sound.  Two tiers share one byte budget and one
+    recency list:
+
+    - the {b plan tier} holds {!Common.plan} values — the penalty
+      environment, the greedy relaxation chain, and (filled in lazily
+      by the algorithms) the relaxation-encoded join plan per chain
+      entry.  Callers key it by canonical key + ranking scheme +
+      algorithm + chain length;
+    - the {b answer tier} holds complete {!Common.result} values,
+      keyed additionally by [k] and the effective budget class.
+
+    {b Cacheability}: only results that are [Complete] and not
+    [degraded] are ever stored — a [Truncated] (wire [PARTIAL]) or
+    degraded result reflects the budget of the run that produced it,
+    not the query, and must never be replayed ({!store_answer} on one
+    is a no-op).
+
+    A cache is bound to one environment: entries embed penalties and
+    statistics derived from it.  The server creates a fresh cache per
+    snapshot generation, so [RELOAD] invalidates atomically with the
+    snapshot swap (see [Flexpath_server.Server]).
+
+    All operations are mutex-serialized; one cache may be shared by
+    every worker domain. *)
+
+type t
+
+type counters = {
+  hits : int;  (** Lookups answered from either tier. *)
+  misses : int;  (** Lookups that found nothing. *)
+  evictions : int;  (** Entries dropped to respect the byte budget. *)
+  bytes : int;  (** Estimated resident size of live entries. *)
+  entries : int;  (** Live entries across both tiers. *)
+}
+
+val create : ?max_bytes:int -> unit -> t
+(** Default budget 64 MiB.  Sizes are deterministic per-entry estimates
+    of retained structures (the shared environment is not charged). *)
+
+val max_bytes : t -> int
+
+val find_plan : t -> string -> Common.plan option
+(** Plan-tier lookup; a hit refreshes recency. *)
+
+val store_plan : t -> string -> Common.plan -> unit
+(** Insert or replace; evicts least-recently-used entries (either tier)
+    until the budget holds.  An entry larger than the whole budget is
+    refused. *)
+
+val find_answer : t -> string -> Common.result option
+(** Answer-tier lookup; every result returned is [Complete] and not
+    [degraded]. *)
+
+val store_answer : t -> string -> Common.result -> unit
+(** No-op unless {!cacheable}. *)
+
+val cacheable : Common.result -> bool
+(** [Complete] and not [degraded]. *)
+
+val counters : t -> counters

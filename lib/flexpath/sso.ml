@@ -21,9 +21,11 @@ let prune_for scheme penv k =
   | Ranking.Combined -> (Some k, Relax.Penalty.max_keyword_score penv)
   | Ranking.Keyword_first -> (None, 0.0)
 
-let run_with ?(max_steps = 32) ?(guard = Guard.none) ~sort_on_score ~bucketize env ~scheme ~k q =
-  let penv, chain = Common.chain env ~max_steps q in
-  let chain_arr = Array.of_list chain in
+let run_with ?max_steps ?(guard = Guard.none) ?plan ~sort_on_score ~bucketize env ~scheme ~k q =
+  let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
+  let penv = plan.Common.penv in
+  let chain_arr = plan.Common.chain in
+  let chain = Array.to_list chain_arr in
   let metrics = Joins.Exec.fresh_metrics () in
   let cancel = Guard.cancel_fn guard in
   let cut = pick_cut env ~scheme ~k chain in
@@ -53,7 +55,7 @@ let run_with ?(max_steps = 32) ?(guard = Guard.none) ~sort_on_score ~bucketize e
   let degrade restarts passes =
     Common.Log.debug (fun m ->
         m "SSO/Hybrid: degrading to DPO per-step evaluation after %d restarts" restarts);
-    let r = Dpo.run ~max_steps ~guard ~metrics env ~scheme ~k q in
+    let r = Dpo.run ~guard ~metrics ~plan env ~scheme ~k q in
     { r with Common.restarts; passes = passes + r.Common.passes; degraded = true }
   in
   (* [done_] counts completed evaluation passes; the pass about to run
@@ -77,7 +79,7 @@ let run_with ?(max_steps = 32) ?(guard = Guard.none) ~sort_on_score ~bucketize e
           m "SSO/Hybrid: evaluating cut %d (%d relaxations, score floor %.3f), attempt %d" cut
             (List.length entry.Relax.Space.ops)
             entry.Relax.Space.score (restarts + 1));
-      match Common.evaluate ~metrics ?cancel env penv q entry.ops strategy with
+      match Common.evaluate_entry ~metrics ?cancel env plan cut strategy with
       | exception Joins.Exec.Cancelled -> degrade restarts (done_ + 1)
       | answers ->
         let enough =
@@ -100,5 +102,5 @@ let run_with ?(max_steps = 32) ?(guard = Guard.none) ~sort_on_score ~bucketize e
   in
   attempt cut 0 0
 
-let run ?max_steps ?guard env ~scheme ~k q =
-  run_with ?max_steps ?guard ~sort_on_score:true ~bucketize:false env ~scheme ~k q
+let run ?max_steps ?guard ?plan env ~scheme ~k q =
+  run_with ?max_steps ?guard ?plan ~sort_on_score:true ~bucketize:false env ~scheme ~k q

@@ -16,6 +16,7 @@
 val run :
   ?max_steps:int ->
   ?guard:Guard.t ->
+  ?plan:Common.plan ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
@@ -31,6 +32,7 @@ val pick_cut :
 val run_with :
   ?max_steps:int ->
   ?guard:Guard.t ->
+  ?plan:Common.plan ->
   sort_on_score:bool ->
   bucketize:bool ->
   Env.t ->
@@ -40,4 +42,5 @@ val run_with :
   Common.result
 (** The SSO skeleton with a custom execution strategy — Hybrid is this
     skeleton with bucketization instead of score sorting.  Pruning
-    strength is derived from the ranking scheme (§5.1). *)
+    strength is derived from the ranking scheme (§5.1).  [plan] reuses
+    a prebuilt {!Common.plan} (see {!Dpo.run}). *)

@@ -58,7 +58,7 @@ let record t endpoint ~latency_ms ~outcome =
 
 let reloads t = with_lock t (fun () -> t.reloads <- t.reloads + 1)
 
-let render t ~queue_depth ~queue_capacity ~generation ~uptime_s =
+let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache =
   with_lock t (fun () ->
       let b = Buffer.create 512 in
       let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
@@ -72,9 +72,21 @@ let render t ~queue_depth ~queue_capacity ~generation ~uptime_s =
       line "requests_truncated: %d" t.requests_truncated;
       line "requests_failed: %d" t.requests_failed;
       line "reloads: %d" t.reloads;
+      (match (cache : Flexpath.Qcache.counters option) with
+      | None -> line "cache: off"
+      | Some c ->
+        line "cache_hits: %d" c.Flexpath.Qcache.hits;
+        line "cache_misses: %d" c.Flexpath.Qcache.misses;
+        line "cache_evictions: %d" c.Flexpath.Qcache.evictions;
+        line "cache_bytes: %d" c.Flexpath.Qcache.bytes;
+        line "cache_entries: %d" c.Flexpath.Qcache.entries);
       List.iter
         (fun (e, r) ->
-          if Reservoir.count r > 0 then
+          (* An empty reservoir has no percentiles: never render [nan]
+             (it breaks numeric parsing on clients), but keep the line so
+             every endpoint is always enumerable. *)
+          if Reservoir.filled r = 0 then line "latency_ms %s count=0" (endpoint_to_string e)
+          else
             line "latency_ms %s count=%d p50=%.3f p90=%.3f p99=%.3f" (endpoint_to_string e)
               (Reservoir.count r) (Reservoir.percentile r 50.0) (Reservoir.percentile r 90.0)
               (Reservoir.percentile r 99.0))

@@ -29,8 +29,17 @@ val record : t -> endpoint -> latency_ms:float -> outcome:[ `Ok | `Truncated | `
 
 val reloads : t -> unit
 
-val render : t -> queue_depth:int -> queue_capacity:int -> generation:int -> uptime_s:float -> string
+val render :
+  t ->
+  queue_depth:int ->
+  queue_capacity:int ->
+  generation:int ->
+  uptime_s:float ->
+  cache:Flexpath.Qcache.counters option ->
+  string
 (** The [STATS] response body: [key: value] lines (counters, queue
-    occupancy, snapshot generation) followed by one
-    [latency_ms <endpoint> count=N p50=… p90=… p99=…] line per endpoint
-    that has served at least one request. *)
+    occupancy, snapshot generation, the current generation's query-cache
+    counters — or [cache: off]) followed by one latency line per
+    endpoint: [latency_ms <endpoint> count=N p50=… p90=… p99=…], or
+    just [latency_ms <endpoint> count=0] while the endpoint has no
+    samples (never [nan]). *)

@@ -5,16 +5,39 @@ type t = {
   mutable rng : int64;
 }
 
+(* Each reservoir gets its own stream: a global creation counter is run
+   through a splitmix64-style finalizer so that two reservoirs created
+   back-to-back (the per-endpoint latency samplers) still draw
+   uncorrelated replacement indices. *)
+let instances = Atomic.make 0
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 let create ?(capacity = 512) () =
   if capacity < 1 then invalid_arg "Reservoir.create: capacity must be at least 1";
-  { sample = Array.make capacity 0.0; filled = 0; count = 0; rng = 0x9E3779B97F4A7C15L }
+  let n = Atomic.fetch_and_add instances 1 in
+  let seed = mix (Int64.add 0x9E3779B97F4A7C15L (Int64.mul (Int64.of_int (n + 1)) 0x9E3779B97F4A7C15L)) in
+  { sample = Array.make capacity 0.0; filled = 0; count = 0; rng = seed }
 
 (* Donald Knuth's MMIX LCG; the low bits cycle quickly, so indices are
    drawn from the high 32. *)
-let rand_below t n =
+let step t =
   t.rng <- Int64.add (Int64.mul t.rng 6364136223846793005L) 1442695040888963407L;
-  let high = Int64.to_int (Int64.shift_right_logical t.rng 32) in
-  high mod n
+  Int64.to_int (Int64.shift_right_logical t.rng 32)
+
+(* Rejection sampling over the 32-bit draw: [high mod n] alone would
+   favor small residues whenever [2^32 mod n <> 0]. *)
+let rand_below t n =
+  let range = 1 lsl 32 in
+  let lim = range - (range mod n) in
+  let rec go () =
+    let high = step t in
+    if high < lim then high mod n else go ()
+  in
+  go ()
 
 let add t x =
   t.count <- t.count + 1;
@@ -31,6 +54,7 @@ let add t x =
   end
 
 let count t = t.count
+let filled t = t.filled
 
 let percentile t p =
   if t.filled = 0 then Float.nan

@@ -4,8 +4,10 @@
     Algorithm R keeps a uniform sample of everything seen so far in a
     fixed array, so a server that has handled millions of requests
     reports p50/p90/p99 from a few hundred floats.  Randomness comes
-    from an internal deterministic LCG (no dependence on [Random]'s
-    global state, no seeding side effects).
+    from an internal LCG seeded per instance from a creation counter
+    (no dependence on [Random]'s global state, no seeding side effects,
+    and no cross-reservoir correlation); replacement indices are drawn
+    by rejection sampling, so they are exactly uniform.
 
     Not thread-safe: the owner ({!Metrics}) serializes access. *)
 
@@ -16,6 +18,8 @@ val create : ?capacity:int -> unit -> t
 
 val add : t -> float -> unit
 val count : t -> int  (** Values offered so far (not the sample size). *)
+
+val filled : t -> int  (** Samples currently held, [<= capacity]. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0..100], interpolated over the sample;

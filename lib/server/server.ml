@@ -14,6 +14,7 @@ type config = {
   default_k : int;
   default_budget : Guard.budget;
   snapshot : string option;
+  cache_mb : int option;
 }
 
 let default_config =
@@ -28,9 +29,18 @@ let default_config =
     default_k = 10;
     default_budget = Guard.unlimited;
     snapshot = None;
+    cache_mb = Some 64;
   }
 
-type slot = { env : Flexpath.Env.t; generation : int }
+(* A slot binds an environment to the cache built for it: swapping the
+   atomic replaces both at once, so a query dispatched against the old
+   snapshot can never be answered from — or populate — the new
+   snapshot's cache, and vice versa.  In-flight queries hold the slot
+   they started with until they finish. *)
+type slot = { env : Flexpath.Env.t; generation : int; cache : Flexpath.Qcache.t option }
+
+let fresh_cache (cfg : config) =
+  Option.map (fun mb -> Flexpath.Qcache.create ~max_bytes:(mb * 1024 * 1024) ()) cfg.cache_mb
 
 type t = {
   cfg : config;
@@ -68,7 +78,7 @@ let create cfg ~env =
         listen_fd = fd;
         bound_port;
         queue = Admission.create ~capacity:cfg.queue_depth;
-        current = Atomic.make { env; generation = 1 };
+        current = Atomic.make { env; generation = 1; cache = fresh_cache cfg };
         stopping = Atomic.make false;
         active = Atomic.make 0;
         metrics = Metrics.create ();
@@ -182,7 +192,7 @@ let exec_query (slot : slot) ~xpath ~k ~algorithm ~scheme ~budget =
   | Error { offset; message } ->
     (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
   | Ok q -> (
-    match Flexpath.run ?algorithm ?scheme ?budget slot.env ~k q with
+    match Flexpath.run ?algorithm ?scheme ?budget ?cache:slot.cache slot.env ~k q with
     | Error e -> (Protocol.Err, Error.to_string e, `Error)
     | Ok result -> (
       let doc = slot.env.Flexpath.Env.doc in
@@ -245,7 +255,9 @@ let exec_reload t path_opt =
     | Error e -> finish (Protocol.Err, Error.to_string e, `Error)
     | Ok (env, outcome) ->
       let generation = (Atomic.get t.current).generation + 1 in
-      Atomic.set t.current { env; generation };
+      (* A fresh cache per generation: the swap below invalidates every
+         cached plan and answer atomically with the snapshot itself. *)
+      Atomic.set t.current { env; generation; cache = fresh_cache t.cfg };
       Metrics.reloads t.metrics;
       finish
         ( Protocol.Ok_,
@@ -274,11 +286,13 @@ let dispatch t fd (req : Protocol.request) =
         match req with
         | Protocol.Ping -> (Metrics.Ping, (Protocol.Ok_, "pong", `Ok))
         | Protocol.Stats ->
+          let slot = Atomic.get t.current in
           ( Metrics.Stats,
             ( Protocol.Ok_,
               Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
                 ~queue_capacity:(Admission.capacity t.queue)
-                ~generation:(generation t) ~uptime_s:(uptime_s t),
+                ~generation:slot.generation ~uptime_s:(uptime_s t)
+                ~cache:(Option.map Flexpath.Qcache.counters slot.cache),
               `Ok ) )
         | Protocol.Reload path -> (Metrics.Reload, exec_reload t path)
         | Protocol.Relax { xpath; steps } ->

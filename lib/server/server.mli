@@ -47,11 +47,18 @@ type config = {
   snapshot : string option;
       (** The snapshot the environment came from; the target of a bare
           [RELOAD]. *)
+  cache_mb : int option;
+      (** Query-cache budget in MiB; [None] disables caching.  The
+          cache ({!Flexpath.Qcache}) lives inside the snapshot slot: a
+          successful [RELOAD] swaps in a fresh one atomically with the
+          new environment, so no request can ever mix a cached entry
+          with a snapshot it was not computed from.  [STATS] reports
+          the current generation's counters. *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], 4 workers, queue 64, 256 connections, 30s/30s
-    timeouts, [k]=10, unlimited budget, no snapshot. *)
+    timeouts, [k]=10, unlimited budget, no snapshot, 64 MiB cache. *)
 
 type t
 

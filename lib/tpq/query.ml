@@ -221,8 +221,11 @@ let equal a b =
   && Imap.equal (fun e f -> e = f) a.edges b.edges
 
 let canonical_key q =
-  let b = Buffer.create 128 in
-  let rec emit v =
+  (* Each subtree writes into its own buffer, so a node's key costs only
+     its own bytes plus its (already materialized) children's keys — the
+     whole key is built in time linear in its length, which matters now
+     that it doubles as a cache key on the query hot path. *)
+  let rec emit b v =
     let n = node q v in
     Buffer.add_char b '(';
     Buffer.add_string b (match n.tag with Some t -> t | None -> "*");
@@ -240,20 +243,17 @@ let canonical_key q =
     let kid_keys =
       List.map
         (fun (c, a) ->
-          let prefix = match a with Child -> "/" | Descendant -> "//" in
-          let save = Buffer.contents b in
-          Buffer.clear b;
-          emit c;
-          let key = prefix ^ Buffer.contents b in
-          Buffer.clear b;
-          Buffer.add_string b save;
-          key)
+          let kb = Buffer.create 64 in
+          Buffer.add_string kb (match a with Child -> "/" | Descendant -> "//");
+          emit kb c;
+          Buffer.contents kb)
         (children q v)
     in
     List.iter (Buffer.add_string b) (List.sort String.compare kid_keys);
     Buffer.add_char b ')'
   in
-  emit q.root;
+  let b = Buffer.create 128 in
+  emit b q.root;
   Buffer.contents b
 
 let pp fmt q =

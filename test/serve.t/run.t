@@ -27,6 +27,20 @@ the same answers the offline CLI gives:
    2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
    3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
 
+Repeating the query answers from the in-process cache — same body,
+and STATS counts the hit (the first query was one answer-tier and one
+plan-tier miss):
+
+  $ flexpath_cli client -p $PORT -e 'QUERY k=3 //article[.contains("xml" and "streaming")]'
+  OK
+   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
+   2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
+   3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
+  $ flexpath_cli client -p $PORT -e STATS | grep -E 'cache_(hits|misses|evictions)'
+  cache_hits: 1
+  cache_misses: 2
+  cache_evictions: 0
+
 A request-level budget that cannot be met yields a PARTIAL answer with
 the truncation reason, not an error:
 
@@ -42,6 +56,13 @@ Hot reload swaps the snapshot in place and bumps the generation:
   $ flexpath_cli client -p $PORT -e STATS | grep -E 'snapshot_generation|reloads'
   snapshot_generation: 2
   reloads: 1
+
+The swap installed a fresh cache for the new generation — no stale
+entries, counters back to zero:
+
+  $ flexpath_cli client -p $PORT -e STATS | grep -E 'cache_(hits|misses)'
+  cache_hits: 0
+  cache_misses: 0
 
 SHUTDOWN drains and stops the server, which exits 0:
 

@@ -1,0 +1,195 @@
+(* The two-tier query cache (DESIGN.md §4f): LRU eviction at the byte
+   bound, the cacheability rules, and transparency — a hit returns
+   exactly what a cold run returns, without touching the executor. *)
+
+module Env = Flexpath.Env
+module Common = Flexpath.Common
+module Qcache = Flexpath.Qcache
+module Failpoint = Flexpath.Failpoint
+module Query = Tpq.Query
+module Xpath = Tpq.Xpath
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_env ?(seed = 7) ?(count = 30) () = Env.make (Xmark.Articles.doc ~seed ~count ())
+
+let q () =
+  Xpath.parse_exn "//article[./section[./paragraph[.contains(\"xml\" and \"streaming\")]]]"
+
+let result ?(completeness = Common.Complete) ?(degraded = false) () =
+  {
+    Common.answers = [];
+    metrics = Joins.Exec.fresh_metrics ();
+    relaxations_evaluated = 1;
+    passes = 1;
+    restarts = 0;
+    completeness;
+    degraded;
+  }
+
+let with_failpoint name f =
+  (match Failpoint.activate name with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:(fun () -> Failpoint.deactivate name) f
+
+let run_ok ?algorithm ?cache ?k env query =
+  let k = Option.value k ~default:5 in
+  match Flexpath.run ?algorithm ?cache env ~k query with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Flexpath.Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* LRU mechanics *)
+
+let test_lru_eviction_at_byte_bound () =
+  (* An empty-answer entry is estimated at 196 bytes (namespaced key
+     "A:kN" + the fixed result overhead), so a 500-byte budget holds
+     exactly two. *)
+  let c = Qcache.create ~max_bytes:500 () in
+  Qcache.store_answer c "k1" (result ());
+  Qcache.store_answer c "k2" (result ());
+  let ctr = Qcache.counters c in
+  check_int "two resident" 2 ctr.Qcache.entries;
+  check_int "no evictions yet" 0 ctr.Qcache.evictions;
+  check_bool "bytes within budget" true (ctr.Qcache.bytes <= 500);
+  (* Touch k1 so k2 becomes the least recently used. *)
+  check_bool "k1 hit" true (Option.is_some (Qcache.find_answer c "k1"));
+  Qcache.store_answer c "k3" (result ());
+  let ctr = Qcache.counters c in
+  check_int "one eviction at the byte bound" 1 ctr.Qcache.evictions;
+  check_int "still two resident" 2 ctr.Qcache.entries;
+  check_bool "bytes still within budget" true (ctr.Qcache.bytes <= 500);
+  check_bool "LRU victim evicted" true (Qcache.find_answer c "k2" = None);
+  check_bool "recently used survives" true (Option.is_some (Qcache.find_answer c "k1"));
+  check_bool "new entry resident" true (Option.is_some (Qcache.find_answer c "k3"))
+
+let test_oversized_entry_refused () =
+  (* An entry that alone exceeds the whole budget must not flush the
+     cache to make room it can never get. *)
+  let c = Qcache.create ~max_bytes:250 () in
+  Qcache.store_answer c "small" (result ());
+  let answer = { Flexpath.Answer.node = 1; sscore = 1.0; kscore = 0.0; dropped_predicates = 0 } in
+  let big = { (result ()) with Common.answers = List.init 8 (fun _ -> answer) } in
+  Qcache.store_answer c "big" big;
+  let ctr = Qcache.counters c in
+  check_bool "oversized entry refused" true (Qcache.find_answer c "big" = None);
+  check_bool "resident entry untouched" true (Option.is_some (Qcache.find_answer c "small"));
+  check_int "no evictions" 0 ctr.Qcache.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Cacheability *)
+
+let test_truncated_never_cached () =
+  let c = Qcache.create () in
+  let truncated =
+    result ~completeness:(Common.Truncated { reason = Flexpath.Guard.Steps; score_bound = 1.0 }) ()
+  in
+  check_bool "not cacheable" false (Qcache.cacheable truncated);
+  Qcache.store_answer c "t" truncated;
+  check_bool "store was a no-op" true (Qcache.find_answer c "t" = None);
+  check_int "no entry" 0 (Qcache.counters c).Qcache.entries
+
+let test_degraded_never_cached () =
+  let c = Qcache.create () in
+  let degraded = result ~degraded:true () in
+  check_bool "not cacheable" false (Qcache.cacheable degraded);
+  Qcache.store_answer c "d" degraded;
+  check_bool "store was a no-op" true (Qcache.find_answer c "d" = None);
+  Qcache.store_answer c "ok" (result ());
+  check_bool "complete result cached" true (Option.is_some (Qcache.find_answer c "ok"))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end transparency *)
+
+let test_hit_matches_cold_run () =
+  let env = make_env () in
+  let cache = Qcache.create () in
+  List.iter
+    (fun algorithm ->
+      let cold = run_ok ~algorithm env (q ()) in
+      let miss = run_ok ~algorithm ~cache env (q ()) in
+      let hit = run_ok ~algorithm ~cache env (q ()) in
+      check_bool "miss matches cold answers" true (cold.Common.answers = miss.Common.answers);
+      check_bool "hit matches cold answers" true (cold.Common.answers = hit.Common.answers);
+      check_bool "hit is complete" true (hit.Common.completeness = Common.Complete))
+    Flexpath.all_algorithms;
+  (* Per algorithm: the first cached run misses both tiers (answer then
+     plan), the second hits the answer tier. *)
+  let ctr = Qcache.counters cache in
+  check_int "answer hits" 3 ctr.Qcache.hits;
+  check_int "tier misses" 6 ctr.Qcache.misses;
+  check_bool "resident bytes accounted" true (ctr.Qcache.bytes > 0)
+
+(* Rebuild [q] with variable ids mapped through [f]: isomorphic, so it
+   must share the cached plan and answers. *)
+let remap f query =
+  let vars = Query.vars query in
+  let nodes = List.map (fun v -> (f v, Query.node query v)) vars in
+  let edges =
+    List.filter_map
+      (fun v -> Option.map (fun (p, a) -> (f p, f v, a)) (Query.parent query v))
+      vars
+  in
+  Query.make_exn
+    ~root:(f (Query.root query))
+    ~nodes ~edges
+    ~distinguished:(f (Query.distinguished query))
+
+let test_isomorphic_hit_skips_executor () =
+  let env = make_env () in
+  let cache = Qcache.create () in
+  let qa = q () in
+  let qb = remap (fun v -> 40 - v) qa in
+  let cold = run_ok ~cache env qa in
+  with_failpoint "exec.run" (fun () ->
+      (* The isomorphic repeat is served from the answer tier: the armed
+         executor failpoint is never reached. *)
+      let warm = run_ok ~cache env qb in
+      check_bool "isomorphic hit equals cold answers" true
+        (cold.Common.answers = warm.Common.answers);
+      (* A shape not in the cache does reach the executor and faults. *)
+      let other = Xpath.parse_exn "//section[./algorithm]" in
+      match Flexpath.run ~cache env ~k:5 other with
+      | Error (Flexpath.Error.Fault "exec.run") -> ()
+      | Ok _ -> Alcotest.fail "uncached query bypassed the executor"
+      | Error e -> Alcotest.fail (Flexpath.Error.to_string e))
+
+let test_plan_tier_skips_chain_build () =
+  let env = make_env () in
+  let cache = Qcache.create () in
+  let _ = run_ok ~cache env ~k:5 (q ()) in
+  with_failpoint "chain.build" (fun () ->
+      (* Same shape, different k: an answer-tier miss that finds the
+         plan tier populated — the chain is not rebuilt. *)
+      let r = run_ok ~cache env ~k:7 (q ()) in
+      check_bool "served via cached plan" true (r.Common.completeness = Common.Complete);
+      (* Without the cache the same call must rebuild the chain and
+         trip the failpoint. *)
+      match Flexpath.run env ~k:7 (q ()) with
+      | Error (Flexpath.Error.Fault "chain.build") -> ()
+      | Ok _ -> Alcotest.fail "uncached run did not rebuild the chain"
+      | Error e -> Alcotest.fail (Flexpath.Error.to_string e))
+
+let () =
+  Alcotest.run "qcache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction at the byte bound" `Quick test_lru_eviction_at_byte_bound;
+          Alcotest.test_case "oversized entry refused" `Quick test_oversized_entry_refused;
+        ] );
+      ( "cacheability",
+        [
+          Alcotest.test_case "truncated never cached" `Quick test_truncated_never_cached;
+          Alcotest.test_case "degraded never cached" `Quick test_degraded_never_cached;
+        ] );
+      ( "transparency",
+        [
+          Alcotest.test_case "hit matches cold run" `Quick test_hit_matches_cold_run;
+          Alcotest.test_case "isomorphic hit skips executor" `Quick
+            test_isomorphic_hit_skips_executor;
+          Alcotest.test_case "plan tier skips chain build" `Quick test_plan_tier_skips_chain_build;
+        ] );
+    ]

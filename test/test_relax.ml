@@ -450,6 +450,40 @@ let prop_sequence_scores_sorted =
       in
       ok chain)
 
+(* Rebuild [q] with every variable id mapped through the injection [f].
+   The result is isomorphic to [q], so its canonical key must not
+   change — the query cache keys plans and answers by shape, not by
+   variable numbering. *)
+let remap_vars f q =
+  let vars = Query.vars q in
+  let nodes = List.map (fun v -> (f v, Query.node q v)) vars in
+  let edges =
+    List.filter_map
+      (fun v -> Option.map (fun (p, a) -> (f p, f v, a)) (Query.parent q v))
+      vars
+  in
+  match
+    Query.make ~root:(f (Query.root q)) ~nodes ~edges
+      ~distinguished:(f (Query.distinguished q))
+  with
+  | Ok q' -> q'
+  | Error msg -> failwith msg
+
+let prop_canonical_key_isomorphic =
+  QCheck2.Test.make ~name:"canonical_key invariant under variable renaming" ~count:200 gen_query
+    (fun q ->
+      (* 100 - v reverses sibling order, exercising the child-key sort. *)
+      shape_equal q (remap_vars (fun v -> (v * 7) + 3) q)
+      && shape_equal q (remap_vars (fun v -> 100 - v) q))
+
+let prop_canonical_key_separates =
+  (* Every applicable operator yields a non-equivalent query (that is
+     what [applicable] guarantees), and non-equivalent implies
+     non-isomorphic — so the relaxed query must get a distinct key. *)
+  QCheck2.Test.make ~name:"canonical_key distinct across applicable relaxations" ~count:200
+    gen_query (fun q ->
+      List.for_all (fun op -> not (shape_equal q (Op.apply_exn q op))) (Op.applicable q))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "relax"
@@ -496,5 +530,11 @@ let () =
           Alcotest.test_case "parse" `Quick test_weights_parse;
           Alcotest.test_case "affect scores" `Quick test_weights_affect_scores;
         ] );
-      ("properties", [ q prop_ops_enlarge_answers; q prop_sequence_scores_sorted ]);
+      ( "properties",
+        [
+          q prop_ops_enlarge_answers;
+          q prop_sequence_scores_sorted;
+          q prop_canonical_key_isomorphic;
+          q prop_canonical_key_separates;
+        ] );
     ]

@@ -136,6 +136,25 @@ let test_reservoir () =
   let p50 = Reservoir.percentile r 50.0 in
   check_bool "sampled p50 within the stream's range" true (p50 >= 1.0 && p50 <= 10_000.0)
 
+let test_reservoir_divergence () =
+  (* Each reservoir seeds its own sampler: two instances fed the same
+     over-capacity stream must keep different samples — identical
+     percentiles across endpoints under identical load would mean the
+     old shared-state bias is back. *)
+  let a = Reservoir.create ~capacity:128 () in
+  let b = Reservoir.create ~capacity:128 () in
+  for i = 1 to 10_000 do
+    let x = float_of_int i in
+    Reservoir.add a x;
+    Reservoir.add b x
+  done;
+  let differs =
+    List.exists
+      (fun p -> Reservoir.percentile a p <> Reservoir.percentile b p)
+      [ 10.0; 25.0; 50.0; 75.0; 90.0 ]
+  in
+  check_bool "independently seeded reservoirs sample differently" true differs
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
@@ -162,6 +181,11 @@ let test_lifecycle () =
         (String.length body > 0
         && has_infix ~affix:"requests_served" body
         && has_infix ~affix:"latency_ms query" body);
+      (* Endpoints with no samples yet render a bare count, never nan
+         percentiles. *)
+      check_bool "unsampled endpoint renders count=0" true
+        (has_infix ~affix:"latency_ms relax count=0" body);
+      check_bool "stats is nan-free" false (has_infix ~affix:"nan" body);
       let status, _ = request_exn c "SHUTDOWN" in
       check_string "shutdown status" "BYE" (Protocol.status_to_string status);
       close c);
@@ -362,6 +386,59 @@ let with_failpoint name f =
   | Error msg -> Alcotest.fail msg);
   Fun.protect ~finally:(fun () -> Failpoint.deactivate name) f
 
+(* ------------------------------------------------------------------ *)
+(* The query cache behind the server *)
+
+let test_cache_serves_repeat_without_executor () =
+  let cfg = { Server.default_config with workers = 1 } in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, cold = request_exn c query_line in
+      check_string "cold query" "OK" (Protocol.status_to_string status);
+      (* With the executor failpoint armed, the repeated query can only
+         succeed if it never reaches the executor — i.e. it is served
+         from the answer tier. *)
+      with_failpoint "exec.run" (fun () ->
+          let status, warm = request_exn c query_line in
+          check_string "repeat served from the cache" "OK" (Protocol.status_to_string status);
+          check_string "cached body is byte-identical" cold warm;
+          let status, body = request_exn c "QUERY k=3 //section[./algorithm]" in
+          check_string "uncached shape does reach the executor" "ERR"
+            (Protocol.status_to_string status);
+          check_bool "and trips the armed failpoint" true (has_infix ~affix:"exec.run" body));
+      let status, body = request_exn c "STATS" in
+      check_string "stats ok" "OK" (Protocol.status_to_string status);
+      check_bool "the hit was counted" true (has_infix ~affix:"cache_hits: 1" body);
+      close c)
+
+let test_reload_invalidates_cache () =
+  let env1 = make_env ~seed:7 ~count:30 () in
+  let env2 = make_env ~seed:8 ~count:50 () in
+  let snap1 = save_snapshot env1 in
+  let snap2 = save_snapshot env2 in
+  let cfg = { Server.default_config with workers = 1; snapshot = Some snap1 } in
+  with_server ~cfg env1 (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, body1 = request_exn c query_line in
+      check_string "query against snap1" "OK" (Protocol.status_to_string status);
+      let _, warm = request_exn c query_line in
+      check_string "repeat is the cached answer" body1 warm;
+      let _, body = request_exn c "STATS" in
+      check_bool "warm hit counted before the reload" true
+        (has_infix ~affix:"cache_hits: 1" body);
+      let status, _ = request_exn c (Printf.sprintf "RELOAD %s" snap2) in
+      check_string "reload" "OK" (Protocol.status_to_string status);
+      (* Same query line, new snapshot: the answer must come from the
+         new environment, not the old generation's cache. *)
+      let status, body2 = request_exn c query_line in
+      check_string "query against snap2" "OK" (Protocol.status_to_string status);
+      check_bool "answers reflect the new snapshot" true (body1 <> body2);
+      let _, body = request_exn c "STATS" in
+      check_bool "zero stale hits after the swap" true (has_infix ~affix:"cache_hits: 0" body);
+      close c);
+  Sys.remove snap1;
+  Sys.remove snap2
+
 let test_failpoint_worker () =
   with_server (make_env ()) (fun srv ->
       let port = Server.port srv in
@@ -412,6 +489,7 @@ let () =
         [
           Alcotest.test_case "admission queue" `Quick test_admission_queue;
           Alcotest.test_case "latency reservoir" `Quick test_reservoir;
+          Alcotest.test_case "reservoirs seed independently" `Quick test_reservoir_divergence;
         ] );
       ( "lifecycle",
         [
@@ -432,6 +510,12 @@ let () =
         ] );
       ( "reload",
         [ Alcotest.test_case "hot swap mid-traffic" `Quick test_reload_mid_traffic ] );
+      ( "cache",
+        [
+          Alcotest.test_case "repeat query skips the executor" `Quick
+            test_cache_serves_repeat_without_executor;
+          Alcotest.test_case "reload invalidates the cache" `Quick test_reload_invalidates_cache;
+        ] );
       ( "failpoints",
         [
           Alcotest.test_case "server_worker" `Quick test_failpoint_worker;
