@@ -21,6 +21,7 @@ module Doc = Xmldom.Doc
 module Xpath = Tpq.Xpath
 module Env = Flexpath.Env
 module Ranking = Flexpath.Ranking
+module Failpoint = Flexpath.Failpoint
 
 let items_per_paper_mb = 200
 
@@ -674,6 +675,95 @@ let abl_cache ~quick () =
             ]))
     [ 1; 8; 64 ]
 
+(* Worker supervision (DESIGN.md §4g): what heartbeat-driven loss
+   recovery buys under injected wedges.  Retrying clients issue a fixed
+   workload while a fraction of requests wedge their worker; with
+   supervision on, the lost worker is replaced within the hard wall and
+   the retry lands on a live one — with it off, each wedge permanently
+   shrinks the pool, and goodput collapses as the wedge rate grows. *)
+let abl_supervision ~quick () =
+  let module Server = Flexpath_server.Server in
+  let module Protocol = Flexpath_server.Protocol in
+  let module Client = Flexpath_server.Client in
+  let module Metrics = Flexpath_server.Metrics in
+  let module Monotime = Flexpath.Monotime in
+  let mb = if quick then 1.0 else 2.0 in
+  let env = env_for_mb mb in
+  let request = Printf.sprintf "QUERY k=10 %s" q1_str in
+  let clients = 8 and per_client = if quick then 12 else 30 in
+  let hard_wall_ms = 250.0 in
+  header "Ablation: worker supervision"
+    (Printf.sprintf
+       "%d retrying clients (retries=1, 500 ms budget), %d requests each, a fraction wedging \
+        their worker (%.0f ms hard wall); goodput and tail latency, supervision on vs off"
+       clients per_client hard_wall_ms)
+    [ "served"; "p99-ms"; "req/s"; "lost" ];
+  let retry =
+    { Client.retries = 1; budget_ms = Some 500.0; base_backoff_ms = 20.0; max_backoff_ms = 100.0 }
+  in
+  List.iter
+    (fun (wedge_pct, supervise) ->
+      let cfg =
+        {
+          Server.default_config with
+          Server.workers = 4;
+          queue_depth = 64;
+          hard_wall_ms;
+          supervise;
+          (* Quarantining off: every wedge uses the same query shape,
+             and this table isolates loss recovery. *)
+          quarantine_strikes = 0;
+        }
+      in
+      match Server.create cfg ~env with
+      | Error e -> failwith (Flexpath.Error.to_string e)
+      | Ok srv ->
+        let d = Domain.spawn (fun () -> Server.serve srv) in
+        Fun.protect
+          ~finally:(fun () ->
+            Failpoint.reset ();
+            Server.stop srv;
+            Domain.join d)
+          (fun () ->
+            let port = Server.port srv in
+            let served = Atomic.make 0 in
+            let latency_of = Array.make clients [] in
+            let client id () =
+              let rng = Random.State.make [| 0x5EED + id |] in
+              let lat = ref [] in
+              for _ = 1 to per_client do
+                if Random.State.int rng 100 < wedge_pct then
+                  ignore (Failpoint.activate_n "worker_wedge" 1);
+                let clock = Monotime.create () in
+                (match Client.run ~rng ~port ~retry [ request ] with
+                | Ok [ ((Protocol.Ok_ | Protocol.Partial), _) ] -> Atomic.incr served
+                | Ok _ | Error _ -> ());
+                lat := Monotime.elapsed_ms clock :: !lat
+              done;
+              latency_of.(id) <- !lat
+            in
+            let _, wall_ms =
+              time (fun () ->
+                  let ds = List.init clients (fun id -> Domain.spawn (client id)) in
+                  List.iter Domain.join ds)
+            in
+            let latencies =
+              Array.to_list latency_of |> List.concat |> List.sort Float.compare |> Array.of_list
+            in
+            let p99 = latencies.(min (Array.length latencies - 1)
+                                    (int_of_float (0.99 *. float_of_int (Array.length latencies))))
+            in
+            let served = Atomic.get served in
+            row
+              (Printf.sprintf "wedge=%d%% sup=%s" wedge_pct (if supervise then "on" else "off"))
+              [
+                string_of_int served;
+                ms p99;
+                Printf.sprintf "%.0f" (float_of_int served /. (wall_ms /. 1000.0));
+                string_of_int (Metrics.snapshot (Server.metrics srv)).Metrics.lost;
+              ]))
+    [ (0, true); (0, false); (1, true); (1, false); (5, true); (5, false) ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -741,6 +831,7 @@ let all_figures =
     ("abl_approxml", abl_approxml);
     ("abl_serve", abl_serve);
     ("abl_cache", abl_cache);
+    ("abl_supervision", abl_supervision);
   ]
 
 let () =

@@ -14,13 +14,18 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Exit codes: 0 success, 1 usage / I/O / internal errors, 2 parse
    errors (document or query), 3 budget exhausted (partial results were
-   printed), 4 snapshot corruption (a saved environment failed its
-   integrity checks).  Everything that is not an answer goes to
-   stderr. *)
+   printed; for the client, its retry budget ran out), 4 snapshot
+   corruption (a saved environment failed its integrity checks),
+   5 server overloaded (the client's retries were all answered
+   OVERLOADED), 6 query quarantined (the server fast-rejects this
+   query shape; retrying cannot help).  Everything that is not an
+   answer goes to stderr. *)
 
 let exit_usage = 1
 let exit_budget = 3
 let exit_snapshot = 4
+let exit_overloaded = 5
+let exit_quarantined = 6
 
 module Error = Flexpath.Error
 
@@ -563,9 +568,42 @@ let serve_cmd =
       & opt (some int) None
       & info [ "restart-cap" ] ~docv:"N" ~doc:"Default per-request SSO/Hybrid restart cap.")
   in
+  let hard_wall_arg =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "hard-wall-ms" ] ~docv:"MS"
+          ~doc:
+            "Supervision hard wall: a worker busy on one request for longer is declared lost and \
+             replaced.  Set it above the largest legitimate request budget.")
+  in
+  let no_supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "no-supervise" ]
+          ~doc:
+            "Disable worker supervision: a wedged or dead worker then shrinks the pool \
+             permanently.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "quarantine-strikes" ] ~docv:"N"
+          ~doc:
+            "Worker losses a query fingerprint may cause before matching queries are \
+             fast-rejected QUARANTINED; 0 disables quarantining.")
+  in
+  let queue_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "queue-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Bound on a connection's admission-queue sojourn: older entries are shed with \
+             OVERLOADED retry-after-ms instead of being served.")
+  in
   let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
       queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
-      restart_cap cache_mb no_cache =
+      restart_cap cache_mb no_cache hard_wall_ms no_supervise quarantine_strikes queue_deadline_ms =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -604,6 +642,10 @@ let serve_cmd =
           { Flexpath.Guard.deadline_ms = timeout_ms; tuple_budget; step_budget; restart_cap };
         snapshot = env_file;
         cache_mb = cache_of ~cache_mb ~no_cache;
+        supervise = not no_supervise;
+        hard_wall_ms;
+        quarantine_strikes;
+        queue_deadline_ms;
       }
     in
     match Server.create cfg ~env with
@@ -632,23 +674,23 @@ let serve_cmd =
       const run $ file_arg $ xmark_arg $ articles_arg $ hierarchy_arg $ weights_arg $ env_arg
       $ host_arg $ port_arg $ port_file_arg $ workers_arg $ queue_arg $ max_conns_arg
       $ read_timeout_arg $ write_timeout_arg $ k_arg $ timeout_arg $ tuple_budget_arg
-      $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg)
+      $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg $ hard_wall_arg
+      $ no_supervise_arg $ quarantine_arg $ queue_deadline_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve queries over TCP from a resident environment: newline-delimited \
           PING/QUERY/RELAX/STATS/RELOAD/SHUTDOWN requests, length-framed responses, a domain \
-          worker pool, admission control and per-request budgets (DESIGN.md §4e).")
+          worker pool with heartbeat supervision (lost workers are replaced, poison queries \
+          quarantined), admission control with queue-deadline shedding and per-request budgets \
+          (DESIGN.md §4e, §4g).")
     term
 
 (* ------------------------------------------------------------------ *)
 (* client: drive a running server over the line protocol *)
 
-let write_all_string fd s =
-  let n = String.length s in
-  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
-  go 0
+module Client = Flexpath_server.Client
 
 let client_cmd =
   let host_arg =
@@ -663,7 +705,27 @@ let client_cmd =
       & info [ "e" ] ~docv:"REQUEST"
           ~doc:"Request line to send (repeatable, in order).  Without -e, stdin lines are sent.")
   in
-  let run host port commands =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Additional attempts per request after the first, with full-jitter exponential \
+             backoff, honoring the server's retry-after-ms hint.  Connect failures, dead or \
+             timed-out connections and OVERLOADED are retried; QUARANTINED is not (it is \
+             deterministic).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "retry-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end deadline over the whole run, attempts and backoff included.  Each QUERY \
+             is sent with timeout_ms set to the remaining budget (an explicit timeout_ms is \
+             tightened, never loosened), so no server-side work outlives this client.")
+  in
+  let run host port commands retries budget_ms =
     let requests =
       match commands with
       | [] ->
@@ -675,54 +737,44 @@ let client_cmd =
         slurp []
       | cs -> cs
     in
-    match
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-      fd
-    with
-    | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port (Unix.error_message err);
-      exit_usage
-    | fd -> (
-      let ic = Unix.in_channel_of_descr fd in
-      let read_line () = match input_line ic with l -> Some l | exception End_of_file -> None in
-      let read_bytes n =
-        let b = Bytes.create n in
-        match really_input ic b 0 n with
-        | () -> Some (Bytes.to_string b)
-        | exception End_of_file -> None
+    let print_response (status, body) =
+      print_string (Protocol.status_to_string status);
+      print_newline ();
+      if body <> "" then begin
+        print_string body;
+        print_newline ()
+      end
+    in
+    let retry = { Client.default_retry with retries; budget_ms } in
+    let code_of responses =
+      if List.exists (fun (s, _) -> s = Protocol.Quarantined) responses then exit_quarantined
+      else 0
+    in
+    match Client.run ~host ~port ~retry requests with
+    | Ok responses ->
+      List.iter print_response responses;
+      code_of responses
+    | Error (failure, completed) ->
+      List.iter print_response completed;
+      Printf.eprintf "error: %s\n" (Client.failure_to_string failure);
+      let code =
+        match failure with
+        | Client.Overloaded -> exit_overloaded
+        | Client.Budget_exhausted -> exit_budget
+        | Client.Connect_failed _ | Client.No_response -> exit_usage
       in
-      let rec drive = function
-        | [] -> 0
-        | req :: rest -> (
-          match write_all_string fd (req ^ "\n") with
-          | exception Unix.Unix_error (err, _, _) ->
-            Printf.eprintf "error: send failed: %s\n" (Unix.error_message err);
-            exit_usage
-          | () -> (
-            match Protocol.read_response ~read_line ~read_bytes with
-            | None ->
-              Printf.eprintf "error: connection closed before a response to %S\n" req;
-              exit_usage
-            | Some (status, body) ->
-              print_string (Protocol.status_to_string status);
-              print_newline ();
-              if body <> "" then begin
-                print_string body;
-                print_newline ()
-              end;
-              drive rest))
-      in
-      let code = drive requests in
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      code)
+      (* A quarantined response earlier in the run still names the more
+         actionable condition. *)
+      let quarantine = code_of completed in
+      if quarantine <> 0 then quarantine else code
   in
-  let term = Term.(const run $ host_arg $ port_arg $ cmd_arg) in
+  let term = Term.(const run $ host_arg $ port_arg $ cmd_arg $ retries_arg $ budget_arg) in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines to a running flexpath server and print each framed response \
-          (status line, then body).")
+          (status line, then body), optionally retrying with jittered backoff under an \
+          end-to-end deadline propagated to the server.")
     term
 
 let () =

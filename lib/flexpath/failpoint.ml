@@ -15,22 +15,64 @@ let catalog =
     "server_accept";
     "server_read";
     "server_worker";
+    "worker_wedge";
+    "worker_die";
+    "client_send";
   ]
 
-let armed : (string, unit) Hashtbl.t = Hashtbl.create 8
+(* Remaining hit count per armed point; [-1] is unlimited.  The mutex
+   makes arming and triggering safe from any domain (the server's
+   worker pool and its supervisor both pass through here). *)
+let armed : (string, int) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
 
-let activate name =
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm name count =
   if List.mem name catalog then begin
-    Hashtbl.replace armed name ();
+    with_lock (fun () -> Hashtbl.replace armed name count);
     Ok ()
   end
   else Error (Printf.sprintf "unknown failpoint %S (known: %s)" name (String.concat ", " catalog))
 
-let deactivate name = Hashtbl.remove armed name
-let reset () = Hashtbl.reset armed
-let is_active name = Hashtbl.mem armed name
+let activate name = arm name (-1)
+
+let activate_n name n =
+  if n < 1 then Error (Printf.sprintf "failpoint %s: hit count must be at least 1" name)
+  else arm name n
+
+let deactivate name = with_lock (fun () -> Hashtbl.remove armed name)
+let reset () = with_lock (fun () -> Hashtbl.reset armed)
+let is_active name = with_lock (fun () -> Hashtbl.mem armed name)
 let active () = List.filter is_active catalog
-let hit name = if is_active name then raise (Injected name)
+
+let hit name =
+  let fire =
+    with_lock (fun () ->
+        match Hashtbl.find_opt armed name with
+        | None -> false
+        | Some n ->
+          if n = 1 then Hashtbl.remove armed name
+          else if n > 1 then Hashtbl.replace armed name (n - 1);
+          true)
+  in
+  if fire then raise (Injected name)
+
+(* One spec item: [name] arms unlimited, [name:N] arms N hits,
+   [name:once] is [name:1]. *)
+let activate_spec item =
+  match String.index_opt item ':' with
+  | None -> activate item
+  | Some i -> (
+    let name = String.sub item 0 i in
+    let count = String.sub item (i + 1) (String.length item - i - 1) in
+    match (count, int_of_string_opt count) with
+    | "once", _ -> activate_n name 1
+    | _, Some n -> activate_n name n
+    | _, None ->
+      Error (Printf.sprintf "failpoint %s: bad hit count %S (expected an integer or 'once')" name count))
 
 let installed = ref false
 
@@ -43,10 +85,10 @@ let install () =
     | None | Some "" -> ()
     | Some spec ->
       String.split_on_char ',' spec
-      |> List.iter (fun name ->
-             let name = String.trim name in
-             if name <> "" then
-               match activate name with
+      |> List.iter (fun item ->
+             let item = String.trim item in
+             if item <> "" then
+               match activate_spec item with
                | Ok () -> ()
                | Error msg -> Printf.eprintf "warning: FLEXPATH_FAILPOINTS: %s\n%!" msg)
   end

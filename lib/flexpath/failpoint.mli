@@ -34,10 +34,22 @@ val catalog : string list
     dispatcher respectively (see [Flexpath_server.Server]); the server
     converts each into its corresponding error path — rejected
     connection, dropped connection, [ERR]-framed response — instead of
-    dying. *)
+    dying.  The supervision points ["worker_wedge"; "worker_die"]
+    simulate the two worker-loss modes the server's supervisor must
+    recover from — a worker that stops making progress mid-request,
+    and one whose domain terminates on an uncaught exception — and
+    ["client_send"] fails a {!Flexpath_server.Client} request send,
+    exercising the retry path. *)
 
 val activate : string -> (unit, string) result
 (** Arms a point; fails on names outside {!catalog}. *)
+
+val activate_n : string -> int -> (unit, string) result
+(** Arms a point for exactly [n] hits, after which it disarms itself.
+    Counted arming is what makes the loss-injection points usable: a
+    permanently armed [worker_wedge] would wedge every replacement
+    worker too, whereas [activate_n "worker_wedge" 1] wedges exactly
+    one request. *)
 
 val deactivate : string -> unit
 val reset : unit -> unit  (** Disarms every point. *)
@@ -52,5 +64,6 @@ val hit : string -> unit
 
 val install : unit -> unit
 (** Plants {!hit} into the lower-layer hooks and arms the points named
-    in [FLEXPATH_FAILPOINTS].  Idempotent; runs at library
-    initialization. *)
+    in [FLEXPATH_FAILPOINTS] (comma-separated; each item is [name] for
+    unlimited hits, [name:N] for [N] hits, or [name:once] for one).
+    Idempotent; runs at library initialization. *)

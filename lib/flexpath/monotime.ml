@@ -13,3 +13,16 @@ let elapsed_s c =
   c.elapsed
 
 let elapsed_ms c = elapsed_s c *. 1000.0
+
+(* The process-wide clock serializes readings behind a mutex: unlike a
+   per-activity clock it is read from many domains (worker heartbeats,
+   the supervisor's staleness scan, admission enqueue stamps), and the
+   monotonizing update is a read-modify-write. *)
+let global_lock = Mutex.create ()
+let global = create ()
+
+let now_ms () =
+  Mutex.lock global_lock;
+  let v = elapsed_ms global in
+  Mutex.unlock global_lock;
+  v

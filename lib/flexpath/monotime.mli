@@ -28,3 +28,12 @@ val elapsed_ms : t -> float
 
 val elapsed_s : t -> float
 (** Seconds accumulated since {!create}; never decreases. *)
+
+val now_ms : unit -> float
+(** A process-wide monotonized clock, safe to read from any domain
+    (readings are serialized behind a mutex — cheap at per-request
+    frequency, not meant for per-tuple polling).  Timestamps from
+    different domains are comparable: worker heartbeats, the
+    supervisor's staleness scans and admission-queue enqueue stamps
+    all read this one clock.  The origin is the first read after
+    program start; only differences are meaningful. *)

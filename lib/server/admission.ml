@@ -42,6 +42,11 @@ let pop t =
       in
       wait ())
 
+let rec pop_until t ~fresh ~shed =
+  match pop t with
+  | None -> None
+  | Some x -> if fresh x then Some x else (shed x; pop_until t ~fresh ~shed)
+
 let close t =
   with_lock t (fun () ->
       t.closed <- true;

@@ -20,6 +20,16 @@ val try_push : 'a t -> 'a -> [ `Admitted | `Full | `Closed ]
 val pop : 'a t -> 'a option
 (** Blocks until an item is available; [None] once closed and drained. *)
 
+val pop_until : 'a t -> fresh:('a -> bool) -> shed:('a -> unit) -> 'a option
+(** {!pop}, skipping stale items: each popped item failing [fresh] is
+    handed to [shed] and discarded, until a fresh item (returned) or
+    the closed-and-drained end ([None]).  This is CoDel-style queue
+    deadline shedding when items carry their enqueue time: a worker
+    coming free sheds every entry whose queue sojourn already exceeds
+    the bound — the client long since gave up or will be told
+    [OVERLOADED retry-after-ms=…] cheaply — instead of wasting query
+    execution on it. *)
+
 val close : 'a t -> unit
 
 val length : 'a t -> int

@@ -1,0 +1,208 @@
+module Failpoint = Flexpath.Failpoint
+module Monotime = Flexpath.Monotime
+
+type conn = { fd : Unix.file_descr; ic : in_channel }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message err))
+  | exception Failure msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s:%d: %s" host port msg)
+
+(* [in_channel_of_descr] owns the descriptor: closing the channel
+   closes the socket. *)
+let close c = try close_in c.ic with Sys_error _ -> ()
+
+let send c line =
+  Failpoint.hit "client_send";
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring c.fd s off (n - off)) in
+  go 0
+
+(* A receive timeout surfaces from the buffered channel as
+   [Sys_blocked_io] (the EAGAIN that SO_RCVTIMEO produces), a reset as
+   [Sys_error] — both mean "no response on this connection", which is
+   all retry needs. *)
+let recv c =
+  let read_line () =
+    match input_line c.ic with
+    | l -> Some l
+    | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> None
+  in
+  let read_bytes n =
+    let b = Bytes.create n in
+    match really_input c.ic b 0 n with
+    | () -> Some (Bytes.to_string b)
+    | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> None
+  in
+  Protocol.read_response ~read_line ~read_bytes
+
+let request c line =
+  match send c line with
+  | () -> recv c
+  | exception Failpoint.Injected _ -> None
+  | exception Unix.Unix_error (_, _, _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* The retrying driver *)
+
+type retry = {
+  retries : int;
+  budget_ms : float option;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+}
+
+let default_retry =
+  { retries = 0; budget_ms = None; base_backoff_ms = 50.0; max_backoff_ms = 2000.0 }
+
+type failure = Connect_failed of string | No_response | Overloaded | Budget_exhausted
+
+let failure_to_string = function
+  | Connect_failed msg -> msg
+  | No_response -> "connection closed before a response (retries exhausted)"
+  | Overloaded -> "server overloaded (retries exhausted)"
+  | Budget_exhausted -> "retry budget exhausted"
+
+(* Deadline propagation: a QUERY carries the client's remaining
+   end-to-end budget as its [timeout_ms] option, so however many
+   retries happen, no server-side evaluation ever outlives the
+   client's own deadline.  A request's explicit [timeout_ms] is
+   tightened to the remaining budget, never loosened. *)
+
+let split_token s =
+  let n = String.length s in
+  let rec skip i = if i < n && s.[i] = ' ' then skip (i + 1) else i in
+  let start = skip 0 in
+  let rec scan i = if i < n && s.[i] <> ' ' then scan (i + 1) else i in
+  let stop = scan start in
+  if start = stop then None
+  else Some (String.sub s start (stop - start), String.sub s (skip stop) (n - skip stop))
+
+let query_option_keys = [ "k"; "algo"; "scheme"; "timeout_ms"; "tuples"; "steps"; "restarts" ]
+
+let with_deadline line remaining_ms =
+  match split_token line with
+  | Some (verb, rest) when String.uppercase_ascii verb = "QUERY" ->
+    let timeout_token ms = Printf.sprintf "timeout_ms=%.3f" (Float.max ms 0.0) in
+    (* Walk the leading [key=value] option tokens exactly as the server
+       will: the first unrecognized token starts the XPath, which keeps
+       its internal spacing verbatim. *)
+    let rec go rest acc seen =
+      match split_token rest with
+      | Some (tok, after) -> (
+        match String.index_opt tok '=' with
+        | Some i when List.mem (String.lowercase_ascii (String.sub tok 0 i)) query_option_keys ->
+          if String.lowercase_ascii (String.sub tok 0 i) = "timeout_ms" then
+            let v = float_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1)) in
+            let ms =
+              match v with Some v when v >= 0.0 -> Float.min v remaining_ms | _ -> remaining_ms
+            in
+            go after (timeout_token ms :: acc) true
+          else go after (tok :: acc) seen
+        | _ -> (List.rev acc, seen, rest))
+      | None -> (List.rev acc, seen, rest)
+    in
+    let opts, seen, xpath = go rest [] false in
+    let opts = if seen then opts else timeout_token remaining_ms :: opts in
+    String.concat " " ((verb :: opts) @ [ xpath ])
+  | _ -> line
+
+let run ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make_self_init ()
+  in
+  let clock = Monotime.create () in
+  let remaining () =
+    match retry.budget_ms with
+    | None -> Float.infinity
+    | Some b -> b -. Monotime.elapsed_ms clock
+  in
+  let conn = ref None in
+  let drop_conn () =
+    Option.iter close !conn;
+    conn := None
+  in
+  (* Each attempt bounds its wait for a response by an equal share of
+     the remaining budget across the attempts still allowed, so one
+     wedged attempt cannot eat the whole budget and starve the
+     retries. *)
+  let arm_timeout c ~attempts_left =
+    match retry.budget_ms with
+    | None -> ()
+    | Some _ ->
+      let share = Float.max 0.01 (remaining () /. 1000.0 /. float_of_int (max 1 attempts_left)) in
+      (try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO share with Unix.Unix_error _ -> ())
+  in
+  (* Full-jitter exponential backoff, floored by the server's
+     retry-after hint and capped by the remaining budget. *)
+  let backoff ~attempt ~hint_ms =
+    Option.iter Metrics.client_retry metrics;
+    let ceiling =
+      Float.min retry.max_backoff_ms (retry.base_backoff_ms *. (2.0 ** float_of_int attempt))
+    in
+    let jittered = Random.State.float rng (Float.max ceiling 1.0) in
+    let floor_ms = match hint_ms with Some h -> float_of_int h | None -> 0.0 in
+    let sleep_ms = Float.max jittered floor_ms in
+    let sleep_ms = Float.min sleep_ms (Float.max 0.0 (remaining ())) in
+    if sleep_ms > 0.0 then Unix.sleepf (sleep_ms /. 1000.0)
+  in
+  let rec attempt_request line ~attempt ~last =
+    if remaining () <= 0.0 then Error Budget_exhausted
+    else if attempt > retry.retries then Error last
+    else begin
+      let line =
+        match retry.budget_ms with None -> line | Some _ -> with_deadline line (remaining ())
+      in
+      let outcome =
+        match !conn with
+        | Some c -> Ok c
+        | None -> (
+          match connect ~host ~port () with
+          | Ok c ->
+            conn := Some c;
+            Ok c
+          | Error msg -> Error (Connect_failed msg))
+      in
+      match outcome with
+      | Error fail ->
+        backoff ~attempt ~hint_ms:None;
+        attempt_request line ~attempt:(attempt + 1) ~last:fail
+      | Ok c -> (
+        arm_timeout c ~attempts_left:(retry.retries - attempt + 1);
+        match request c line with
+        | None ->
+          (* EOF, reset, receive timeout or injected send fault: this
+             connection is unusable; retry on a fresh one. *)
+          drop_conn ();
+          backoff ~attempt ~hint_ms:None;
+          attempt_request line ~attempt:(attempt + 1) ~last:No_response
+        | Some (Protocol.Overloaded, body) ->
+          (* The server closes the connection after an admission-level
+             reject; a queue-deadline shed closed it too. *)
+          drop_conn ();
+          backoff ~attempt ~hint_ms:(Protocol.parse_retry_after body);
+          attempt_request line ~attempt:(attempt + 1) ~last:Overloaded
+        | Some response ->
+          (* OK, PARTIAL, ERR, QUARANTINED, BYE: a definitive answer.
+             ERR and QUARANTINED are deterministic — retrying them
+             would waste the budget for the same verdict. *)
+          Ok response)
+    end
+  in
+  let rec drive acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match attempt_request line ~attempt:0 ~last:No_response with
+      | Ok response -> drive (response :: acc) rest
+      | Error fail -> Error (fail, List.rev acc))
+  in
+  let result = drive [] requests in
+  drop_conn ();
+  result

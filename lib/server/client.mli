@@ -1,0 +1,81 @@
+(** A client for the [flexpath serve] wire protocol, with bounded,
+    jittered retries and end-to-end deadline propagation (DESIGN.md
+    §4g).  Backs [flexpath client]; tests drive it in-process.
+
+    {2 Retry semantics}
+
+    A {!run} sends request lines in order on one connection,
+    transparently reconnecting and retrying an attempt that ends
+    without a definitive response:
+
+    - {e retried}: connect failures, send failures (including the
+      [client_send] failpoint), connections that die or time out
+      before a response, and [OVERLOADED] — honoring the server's
+      [retry-after-ms] hint as a floor under full-jitter exponential
+      backoff (bounded retries plus jitter, not bigger queues, is what
+      keeps retry storms from amplifying an overload).
+    - {e not retried}: [OK], [PARTIAL], [ERR], [BYE] — and
+      [QUARANTINED], which is the server saying this exact query
+      deterministically costs it workers; retrying it would spend the
+      whole budget for the same verdict.
+
+    With a [budget_ms], the whole run shares one end-to-end deadline:
+    backoff sleeps never overshoot it, each attempt's response wait is
+    an equal share of what remains, and — deadline propagation — every
+    [QUERY] is sent with [timeout_ms=<remaining>] (an explicit
+    [timeout_ms] in the request is tightened, never loosened), so no
+    server-side evaluation outlives the client that asked for it. *)
+
+type conn
+
+val connect : ?host:string -> port:int -> unit -> (conn, string) result
+val close : conn -> unit
+
+val request : conn -> string -> (Protocol.status * string) option
+(** One request, one framed response; [None] on any send or receive
+    failure (the connection should then be closed). *)
+
+type retry = {
+  retries : int;  (** Additional attempts after the first (0 = try once). *)
+  budget_ms : float option;
+      (** End-to-end deadline over the whole {!run}, attempts and
+          backoff included; [None] retries without a clock (and without
+          receive timeouts — a wedged server can then hold an attempt
+          until the connection dies). *)
+  base_backoff_ms : float;  (** First backoff ceiling; doubles per attempt. *)
+  max_backoff_ms : float;  (** Backoff ceiling cap. *)
+}
+
+val default_retry : retry
+(** No retries, no budget, 50 ms base / 2 s max backoff. *)
+
+type failure =
+  | Connect_failed of string
+  | No_response
+  | Overloaded  (** Still [OVERLOADED] after every allowed attempt. *)
+  | Budget_exhausted  (** [budget_ms] ran out before a definitive response. *)
+
+val failure_to_string : failure -> string
+
+val with_deadline : string -> float -> string
+(** [with_deadline line remaining_ms] is the deadline-propagation
+    rewrite {!run} applies to each [QUERY] before sending: its
+    [timeout_ms] option set to [remaining_ms] (an existing tighter
+    value is kept, a looser one tightened), every other line returned
+    verbatim.  Exposed so tests can pin the rewrite down without a
+    server. *)
+
+val run :
+  ?metrics:Metrics.t ->
+  ?rng:Random.State.t ->
+  ?host:string ->
+  port:int ->
+  retry:retry ->
+  string list ->
+  ((Protocol.status * string) list, failure * (Protocol.status * string) list) result
+(** Sends each request line in order, retrying per the policy above.
+    [Ok responses] pairs one response per request; [Error (f, done_)]
+    reports the failure that exhausted the policy plus the responses
+    completed before it.  [?metrics] counts each retry into
+    {!Metrics.client_retry} (for harnesses co-located with the
+    server); [?rng] makes the jitter deterministic in tests. *)

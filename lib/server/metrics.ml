@@ -18,6 +18,11 @@ type t = {
   mutable requests_truncated : int;
   mutable requests_failed : int;
   mutable reloads : int;
+  mutable workers_lost : int;
+  mutable workers_respawned : int;
+  mutable quarantined : int;
+  mutable shed_queue_deadline : int;
+  mutable client_retries : int;
   latency : (endpoint * Reservoir.t) list;
 }
 
@@ -31,6 +36,11 @@ let create () =
     requests_truncated = 0;
     requests_failed = 0;
     reloads = 0;
+    workers_lost = 0;
+    workers_respawned = 0;
+    quarantined = 0;
+    shed_queue_deadline = 0;
+    client_retries = 0;
     latency = List.map (fun e -> (e, Reservoir.create ())) all_endpoints;
   }
 
@@ -57,6 +67,44 @@ let record t endpoint ~latency_ms ~outcome =
       Reservoir.add (List.assq endpoint t.latency) latency_ms)
 
 let reloads t = with_lock t (fun () -> t.reloads <- t.reloads + 1)
+let worker_lost t = with_lock t (fun () -> t.workers_lost <- t.workers_lost + 1)
+let worker_respawned t = with_lock t (fun () -> t.workers_respawned <- t.workers_respawned + 1)
+let quarantined t = with_lock t (fun () -> t.quarantined <- t.quarantined + 1)
+
+let shed_queue_deadline t =
+  with_lock t (fun () -> t.shed_queue_deadline <- t.shed_queue_deadline + 1)
+
+let client_retry t = with_lock t (fun () -> t.client_retries <- t.client_retries + 1)
+
+type snapshot = {
+  admitted : int;
+  rejected : int;
+  dropped : int;
+  served : int;
+  truncated : int;
+  failed : int;
+  lost : int;
+  respawned : int;
+  quarantine_rejects : int;
+  shed : int;
+  retries : int;
+}
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        admitted = t.connections_admitted;
+        rejected = t.connections_rejected;
+        dropped = t.connections_dropped;
+        served = t.requests_served;
+        truncated = t.requests_truncated;
+        failed = t.requests_failed;
+        lost = t.workers_lost;
+        respawned = t.workers_respawned;
+        quarantine_rejects = t.quarantined;
+        shed = t.shed_queue_deadline;
+        retries = t.client_retries;
+      })
 
 let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache =
   with_lock t (fun () ->
@@ -72,6 +120,11 @@ let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache =
       line "requests_truncated: %d" t.requests_truncated;
       line "requests_failed: %d" t.requests_failed;
       line "reloads: %d" t.reloads;
+      line "workers_lost: %d" t.workers_lost;
+      line "workers_respawned: %d" t.workers_respawned;
+      line "quarantined: %d" t.quarantined;
+      line "shed_queue_deadline: %d" t.shed_queue_deadline;
+      line "client_retries: %d" t.client_retries;
       (match (cache : Flexpath.Qcache.counters option) with
       | None -> line "cache: off"
       | Some c ->

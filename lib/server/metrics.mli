@@ -29,6 +29,44 @@ val record : t -> endpoint -> latency_ms:float -> outcome:[ `Ok | `Truncated | `
 
 val reloads : t -> unit
 
+val worker_lost : t -> unit
+(** The supervisor claimed a worker (stale heartbeat or dead domain);
+    its domain is leaked. *)
+
+val worker_respawned : t -> unit
+(** A replacement worker took the lost worker's pool position. *)
+
+val quarantined : t -> unit
+(** A request was fast-rejected [QUARANTINED] before evaluation. *)
+
+val shed_queue_deadline : t -> unit
+(** A queued connection exceeded the sojourn bound and was shed with
+    [OVERLOADED retry-after-ms=…] instead of being served. *)
+
+val client_retry : t -> unit
+(** One retry attempt by a {!Client} that was handed this metrics
+    value (test harnesses co-located with the server); the server
+    itself never bumps this. *)
+
+type snapshot = {
+  admitted : int;
+  rejected : int;
+  dropped : int;
+  served : int;
+  truncated : int;
+  failed : int;
+  lost : int;
+  respawned : int;
+  quarantine_rejects : int;
+  shed : int;
+  retries : int;
+}
+
+val snapshot : t -> snapshot
+(** A consistent copy of every counter, for invariant checks
+    (chaos-soak asserts [lost = respawned] and the connection
+    conservation identity without parsing the [STATS] rendering). *)
+
 val render :
   t ->
   queue_depth:int ->

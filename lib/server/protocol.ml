@@ -132,13 +132,14 @@ let parse_request line =
         (Printf.sprintf "unknown verb %S (expected PING, QUERY, RELAX, STATS, RELOAD or SHUTDOWN)"
            verb))
 
-type status = Ok_ | Partial | Err | Overloaded | Bye
+type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye
 
 let status_to_string = function
   | Ok_ -> "OK"
   | Partial -> "PARTIAL"
   | Err -> "ERR"
   | Overloaded -> "OVERLOADED"
+  | Quarantined -> "QUARANTINED"
   | Bye -> "BYE"
 
 let status_of_string = function
@@ -146,8 +147,28 @@ let status_of_string = function
   | "PARTIAL" -> Ok Partial
   | "ERR" -> Ok Err
   | "OVERLOADED" -> Ok Overloaded
+  | "QUARANTINED" -> Ok Quarantined
   | "BYE" -> Ok Bye
   | other -> Error (Printf.sprintf "unknown response status %S" other)
+
+(* The OVERLOADED body: a machine-readable backoff hint.  Kept to one
+   [key=value] token so shedding stays allocation-light. *)
+let retry_after_body ms = Printf.sprintf "retry-after-ms=%d" ms
+
+let parse_retry_after body =
+  let prefix = "retry-after-ms=" in
+  let n = String.length prefix in
+  let parse_from tok =
+    if String.length tok > n && String.sub tok 0 n = prefix then
+      match int_of_string_opt (String.sub tok n (String.length tok - n)) with
+      | Some ms when ms >= 0 -> Some ms
+      | _ -> None
+    else None
+  in
+  (* Tolerate the hint anywhere among whitespace-separated tokens, so
+     the body can grow other fields without breaking old clients. *)
+  String.split_on_char ' ' (String.map (function '\n' -> ' ' | c -> c) body)
+  |> List.find_map parse_from
 
 let write_response buf status body =
   Buffer.add_string buf (status_to_string status);

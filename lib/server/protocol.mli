@@ -39,8 +39,13 @@
     [# truncated ...] line, then the best answers found); [ERR] (the
     body opens with [<error-kind>: ] naming the {!Flexpath.Error.t}
     constructor class); [OVERLOADED] (admission control rejected the
-    connection — sent once, then the connection closes); [BYE]
-    (acknowledges [SHUTDOWN], then the connection closes). *)
+    connection, or its queue sojourn exceeded the deadline — the body
+    carries a [retry-after-ms=N] backoff hint; after a
+    connection-level reject the connection closes); [QUARANTINED] (the
+    query's fingerprint has cost the server too many workers and is
+    fast-rejected before any evaluation — deterministic, so clients
+    must {e not} retry it); [BYE] (acknowledges [SHUTDOWN], then the
+    connection closes). *)
 
 type request =
   | Ping
@@ -62,10 +67,17 @@ type request =
 val parse_request : string -> (request, string) result
 (** Parses one request line (without its terminating newline). *)
 
-type status = Ok_ | Partial | Err | Overloaded | Bye
+type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye
 
 val status_to_string : status -> string
 val status_of_string : string -> (status, string) result
+
+val retry_after_body : int -> string
+(** The [OVERLOADED] response body: [retry-after-ms=N]. *)
+
+val parse_retry_after : string -> int option
+(** Extracts the [retry-after-ms=N] hint from a response body, if
+    present among its whitespace-separated tokens. *)
 
 val write_response : Buffer.t -> status -> string -> unit
 (** [write_response buf status body] appends one framed response. *)

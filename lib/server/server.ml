@@ -15,6 +15,10 @@ type config = {
   default_budget : Guard.budget;
   snapshot : string option;
   cache_mb : int option;
+  supervise : bool;
+  hard_wall_ms : float;
+  quarantine_strikes : int;
+  queue_deadline_ms : float option;
 }
 
 let default_config =
@@ -30,6 +34,10 @@ let default_config =
     default_budget = Guard.unlimited;
     snapshot = None;
     cache_mb = Some 64;
+    supervise = true;
+    hard_wall_ms = 5000.0;
+    quarantine_strikes = 2;
+    queue_deadline_ms = None;
   }
 
 (* A slot binds an environment to the cache built for it: swapping the
@@ -46,17 +54,26 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  queue : Unix.file_descr Admission.t;
+  (* Each queued connection carries its enqueue timestamp so a worker
+     coming free can shed entries whose sojourn exceeded the bound. *)
+  queue : (Unix.file_descr * float) Admission.t;
   current : slot Atomic.t;
   stopping : bool Atomic.t;
   active : int Atomic.t;  (* connections admitted and not yet closed *)
   metrics : Metrics.t;
+  sup : Supervisor.t;
+  (* Written by [serve] at startup and by the supervision loop on
+     respawn; read for the shutdown join only after the supervision
+     domain itself is joined, which orders the accesses. *)
+  domains : unit Domain.t option array;
   reload_lock : Mutex.t;
   started_wall : float;
 }
 
 let port t = t.bound_port
 let generation t = (Atomic.get t.current).generation
+let active_connections t = Atomic.get t.active
+let metrics t = t.metrics
 
 let create cfg ~env =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be at least 1";
@@ -82,6 +99,10 @@ let create cfg ~env =
         stopping = Atomic.make false;
         active = Atomic.make 0;
         metrics = Metrics.create ();
+        sup =
+          Supervisor.create ~workers:cfg.workers ~hard_wall_ms:cfg.hard_wall_ms
+            ~quarantine_threshold:cfg.quarantine_strikes;
+        domains = Array.make cfg.workers None;
         reload_lock = Mutex.create ();
         started_wall = Unix.gettimeofday ();
       }
@@ -187,50 +208,45 @@ let render_answers doc answers =
       Format.asprintf "%2d. %a" (i + 1) (Flexpath.Answer.pp doc) a)
     answers
 
-let exec_query (slot : slot) ~xpath ~k ~algorithm ~scheme ~budget =
-  match Tpq.Xpath.parse xpath with
-  | Error { offset; message } ->
-    (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
-  | Ok q -> (
-    match Flexpath.run ?algorithm ?scheme ?budget ?cache:slot.cache slot.env ~k q with
-    | Error e -> (Protocol.Err, Error.to_string e, `Error)
-    | Ok result -> (
-      let doc = slot.env.Flexpath.Env.doc in
-      let lines = render_answers doc result.Flexpath.Common.answers in
-      match result.Flexpath.Common.completeness with
-      | Flexpath.Common.Complete -> (Protocol.Ok_, String.concat "\n" lines, `Ok)
-      | Flexpath.Common.Truncated { reason; score_bound } ->
-        let hdr =
-          Printf.sprintf "# truncated reason=%s score_bound=%.4f"
-            (Guard.reason_to_string reason) score_bound
-        in
-        (Protocol.Partial, String.concat "\n" (hdr :: lines), `Truncated)))
+let parse_error_response { Tpq.Xpath.offset; message } =
+  (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
 
-let exec_relax (slot : slot) ~xpath ~steps =
-  match Tpq.Xpath.parse xpath with
-  | Error { offset; message } ->
-    (Protocol.Err, Error.to_string (Error.Query_error { offset; message }), `Error)
-  | Ok q -> (
-    match
-      let penv = Flexpath.Env.penalty_env slot.env q in
-      Relax.Space.sequence ?max_steps:steps penv
-    with
-    | exception Failpoint.Injected p -> (Protocol.Err, Error.to_string (Error.Fault p), `Error)
-    | chain ->
-      let lines =
-        List.mapi
-          (fun i (entry : Relax.Space.entry) ->
-            let ops =
-              match entry.ops with
-              | [] -> "(original)"
-              | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
-            in
-            Printf.sprintf "%2d. score=%.4f penalty=%.4f  %s\n    %s" i entry.score
-              entry.penalty ops
-              (Tpq.Xpath.to_string entry.query))
-          chain
+let exec_query (slot : slot) ~q ~k ~algorithm ~scheme ~budget =
+  match Flexpath.run ?algorithm ?scheme ?budget ?cache:slot.cache slot.env ~k q with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok result -> (
+    let doc = slot.env.Flexpath.Env.doc in
+    let lines = render_answers doc result.Flexpath.Common.answers in
+    match result.Flexpath.Common.completeness with
+    | Flexpath.Common.Complete -> (Protocol.Ok_, String.concat "\n" lines, `Ok)
+    | Flexpath.Common.Truncated { reason; score_bound } ->
+      let hdr =
+        Printf.sprintf "# truncated reason=%s score_bound=%.4f"
+          (Guard.reason_to_string reason) score_bound
       in
-      (Protocol.Ok_, String.concat "\n" lines, `Ok))
+      (Protocol.Partial, String.concat "\n" (hdr :: lines), `Truncated))
+
+let exec_relax (slot : slot) ~q ~steps =
+  match
+    let penv = Flexpath.Env.penalty_env slot.env q in
+    Relax.Space.sequence ?max_steps:steps penv
+  with
+  | exception Failpoint.Injected p -> (Protocol.Err, Error.to_string (Error.Fault p), `Error)
+  | chain ->
+    let lines =
+      List.mapi
+        (fun i (entry : Relax.Space.entry) ->
+          let ops =
+            match entry.ops with
+            | [] -> "(original)"
+            | ops -> String.concat "; " (List.map Relax.Op.to_string ops)
+          in
+          Printf.sprintf "%2d. score=%.4f penalty=%.4f  %s\n    %s" i entry.score
+            entry.penalty ops
+            (Tpq.Xpath.to_string entry.query))
+        chain
+    in
+    (Protocol.Ok_, String.concat "\n" lines, `Ok)
 
 let exec_reload t path_opt =
   let path =
@@ -268,81 +284,247 @@ let exec_reload t path_opt =
 
 let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_wall)
 
-(* Dispatch one parsed request; [`Close] ends the connection. *)
-let dispatch t fd (req : Protocol.request) =
+(* The OVERLOADED backoff hint: deeper queues mean longer waits, so
+   scale the hint with the current depth (a rough 50 ms nominal
+   service time per queued entry), clamped to a sane range. *)
+let retry_after_hint_ms t = min 5000 (50 * (1 + Admission.length t.queue))
+
+(* ------------------------------------------------------------------ *)
+(* Supervised dispatch.
+
+   A worker's connection loop can end in one of three ways beyond the
+   ordinary close: [`Drop] (abnormal per-connection failure — satellite
+   of DESIGN.md §4g: contain it, close this fd, keep the worker),
+   [`Exit_superseded] (the supervisor claimed this worker as lost
+   while it was busy; the replacement owns the pool position and the
+   supervisor already settled the connection accounting), and
+   [`Exit_dead] (a [worker_die] crash: the domain body terminates and
+   the supervisor recovers it on the next scan). *)
+
+type step =
+  | Continue
+  | Close
+  | Drop
+  | Exit_superseded
+  | Exit_dead of string option
+
+(* Fingerprint a request before dispatch: the canonical key of the
+   parsed XPath for QUERY/RELAX (what the heartbeat publishes and the
+   quarantine table matches on), nothing for control verbs.  The parse
+   result is reused by the executors below. *)
+let pre_parse (req : Protocol.request) =
+  match req with
+  | Protocol.Query { xpath; _ } | Protocol.Relax { xpath; _ } -> (
+    match Tpq.Xpath.parse xpath with
+    | Ok q -> (Some (Tpq.Query.canonical_key q), Some (Ok q))
+    | Error e -> (None, Some (Error e)))
+  | Protocol.Ping | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown -> (None, None)
+
+(* A wedged worker spins here until the supervisor supersedes it, the
+   server stops, or a last-resort cap expires (a real wedge would spin
+   forever; the cap keeps tests and benches finite). *)
+let wedge t handle =
+  let clock = Monotime.create () in
+  let rec go () =
+    if not (Supervisor.alive t.sup handle) then `Superseded
+    else if Atomic.get t.stopping then `Stopped
+    else if Monotime.elapsed_s clock > 60.0 then `Stopped
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* Dispatch one parsed request; [Close] ends the connection. *)
+let dispatch t handle fd (req : Protocol.request) parsed =
   match Failpoint.hit "server_worker" with
   | exception Failpoint.Injected p ->
     let ok = send_response fd Protocol.Err (Error.to_string (Error.Fault p)) in
-    if ok then `Continue else `Close
+    if ok then Continue else Close
   | () -> (
     match req with
     | Protocol.Shutdown ->
       ignore (send_response fd Protocol.Bye "");
       stop t;
-      `Close
-    | req ->
-      let clock = Monotime.create () in
-      let endpoint, (status, body, outcome) =
-        match req with
-        | Protocol.Ping -> (Metrics.Ping, (Protocol.Ok_, "pong", `Ok))
-        | Protocol.Stats ->
-          let slot = Atomic.get t.current in
-          ( Metrics.Stats,
-            ( Protocol.Ok_,
-              Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
-                ~queue_capacity:(Admission.capacity t.queue)
-                ~generation:slot.generation ~uptime_s:(uptime_s t)
-                ~cache:(Option.map Flexpath.Qcache.counters slot.cache),
-              `Ok ) )
-        | Protocol.Reload path -> (Metrics.Reload, exec_reload t path)
-        | Protocol.Relax { xpath; steps } ->
-          (Metrics.Relax, exec_relax (Atomic.get t.current) ~xpath ~steps)
-        | Protocol.Query { xpath; k; algorithm; scheme; deadline_ms; tuple_budget; step_budget; restart_cap }
-          ->
-          let budget = merge_budget t.cfg ~deadline_ms ~tuple_budget ~step_budget ~restart_cap in
-          let k = Option.value ~default:t.cfg.default_k k in
-          (Metrics.Query, exec_query (Atomic.get t.current) ~xpath ~k ~algorithm ~scheme ~budget)
-        | Protocol.Shutdown -> assert false
-      in
-      Metrics.record t.metrics endpoint ~latency_ms:(Monotime.elapsed_ms clock) ~outcome;
-      if send_response fd status body then `Continue else `Close)
+      Close
+    | req -> (
+      match Failpoint.hit "worker_die" with
+      | exception Failpoint.Injected _ ->
+        Exit_dead (match parsed with Some (Ok q) -> Some (Tpq.Query.canonical_key q) | _ -> None)
+      | () -> (
+        match Failpoint.hit "worker_wedge" with
+        | exception Failpoint.Injected _ -> (
+          match wedge t handle with `Superseded -> Exit_superseded | `Stopped -> Drop)
+        | () ->
+          let clock = Monotime.create () in
+          let endpoint, (status, body, outcome) =
+            match req with
+            | Protocol.Ping -> (Metrics.Ping, (Protocol.Ok_, "pong", `Ok))
+            | Protocol.Stats ->
+              let slot = Atomic.get t.current in
+              ( Metrics.Stats,
+                ( Protocol.Ok_,
+                  Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
+                    ~queue_capacity:(Admission.capacity t.queue)
+                    ~generation:slot.generation ~uptime_s:(uptime_s t)
+                    ~cache:(Option.map Flexpath.Qcache.counters slot.cache),
+                  `Ok ) )
+            | Protocol.Reload path -> (Metrics.Reload, exec_reload t path)
+            | Protocol.Relax { steps; _ } ->
+              ( Metrics.Relax,
+                match parsed with
+                | Some (Error e) -> parse_error_response e
+                | Some (Ok q) -> exec_relax (Atomic.get t.current) ~q ~steps
+                | None -> assert false )
+            | Protocol.Query { k; algorithm; scheme; deadline_ms; tuple_budget; step_budget; restart_cap; _ }
+              -> (
+              ( Metrics.Query,
+                match parsed with
+                | Some (Error e) -> parse_error_response e
+                | Some (Ok q) ->
+                  let budget =
+                    merge_budget t.cfg ~deadline_ms ~tuple_budget ~step_budget ~restart_cap
+                  in
+                  let k = Option.value ~default:t.cfg.default_k k in
+                  exec_query (Atomic.get t.current) ~q ~k ~algorithm ~scheme ~budget
+                | None -> assert false ))
+            | Protocol.Shutdown -> assert false
+          in
+          Metrics.record t.metrics endpoint ~latency_ms:(Monotime.elapsed_ms clock) ~outcome;
+          if send_response fd status body then Continue else Close)))
 
-let serve_connection t fd =
+(* One request under supervision: publish the heartbeat (fingerprint +
+   timestamp), quarantine-check, dispatch with per-connection
+   containment, retire the heartbeat.  A failed retire means the
+   supervisor claimed this worker while the request ran — the
+   replacement owns the pool position now, so this worker must exit
+   without touching the accounting again. *)
+let dispatch_supervised t handle fd req =
+  let fingerprint, parsed = pre_parse req in
+  match fingerprint with
+  | Some key when Supervisor.quarantined t.sup key ->
+    Metrics.quarantined t.metrics;
+    let body =
+      Printf.sprintf "query quarantined after %d worker loss(es); not executed"
+        (Supervisor.strikes t.sup key)
+    in
+    if send_response fd Protocol.Quarantined body then Continue else Close
+  | _ -> (
+    let token = Supervisor.busy handle ~fingerprint in
+    let result =
+      (* Satellite fix: an unexpected exception while serving one
+         request must cost that connection, not the worker domain. *)
+      match dispatch t handle fd req parsed with
+      | r -> r
+      | exception _ -> Drop
+    in
+    match result with
+    | Exit_superseded | Exit_dead _ -> result
+    | Continue | Close | Drop -> if Supervisor.retire handle token then result else Exit_superseded)
+
+let serve_connection t handle fd =
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval_s;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
    with Unix.Unix_error _ -> ());
   let rec loop () =
     match read_line t fd with
-    | Eof -> ()
-    | Dropped -> Metrics.connection_dropped t.metrics
+    | Eof -> `Served
+    | Dropped ->
+      Metrics.connection_dropped t.metrics;
+      `Served
     | Line line -> (
       if String.trim line = "" then loop ()
       else
         match Protocol.parse_request line with
         | Error msg ->
           if send_response fd Protocol.Err ("protocol: " ^ msg) then loop ()
-          else Metrics.connection_dropped t.metrics
+          else begin
+            Metrics.connection_dropped t.metrics;
+            `Served
+          end
         | Ok req -> (
-          match dispatch t fd req with
+          match dispatch_supervised t handle fd req with
           (* One request per connection once shutdown began: serve what
              was in flight, then close instead of waiting for more. *)
-          | `Continue when not (Atomic.get t.stopping) -> loop ()
-          | `Continue | `Close -> ()))
+          | Continue when not (Atomic.get t.stopping) -> loop ()
+          | Continue | Close -> `Served
+          | Drop ->
+            Metrics.connection_dropped t.metrics;
+            `Served
+          | Exit_superseded -> `Superseded
+          | Exit_dead fp -> `Dead fp))
   in
-  loop ();
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  let outcome = loop () in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  outcome
 
-let worker t () =
+(* Shed one queue entry whose sojourn exceeded the deadline: tell the
+   client to back off, settle its accounting, and move on — a worker
+   never spends query execution on it. *)
+let shed_stale t (fd, _enqueued_ms) =
+  Metrics.shed_queue_deadline t.metrics;
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     let buf = Buffer.create 32 in
+     Protocol.write_response buf Protocol.Overloaded
+       (Protocol.retry_after_body (retry_after_hint_ms t));
+     write_all fd (Buffer.contents buf)
+   with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Atomic.decr t.active
+
+let pop_connection t =
+  match t.cfg.queue_deadline_ms with
+  | None -> Option.map fst (Admission.pop t.queue)
+  | Some bound ->
+    Option.map fst
+      (Admission.pop_until t.queue
+         ~fresh:(fun (_, enqueued_ms) -> Monotime.now_ms () -. enqueued_ms <= bound)
+         ~shed:(shed_stale t))
+
+let worker t handle () =
   let rec loop () =
-    match Admission.pop t.queue with
+    match pop_connection t with
     | None -> ()
-    | Some fd ->
-      serve_connection t fd;
-      Atomic.decr t.active;
-      loop ()
+    | Some fd -> (
+      match serve_connection t handle fd with
+      | `Served ->
+        Atomic.decr t.active;
+        loop ()
+      | `Superseded ->
+        (* The supervisor settled this connection's accounting when it
+           claimed the worker; the replacement is already running. *)
+        ()
+      | `Dead fp -> Supervisor.mark_dead handle ~fingerprint:fp ~had_connection:true)
   in
-  loop ()
+  try loop ()
+  with _ ->
+    (* A crash outside any connection (nothing admitted to settle):
+       flag it so the supervisor restores pool capacity. *)
+    Supervisor.mark_dead handle ~fingerprint:None ~had_connection:false
+
+(* ------------------------------------------------------------------ *)
+(* The supervision loop: scan heartbeats, replace casualties. *)
+
+let supervision_loop t () =
+  let interval_s = Float.max 0.01 (t.cfg.hard_wall_ms /. 4000.0) in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf interval_s;
+    List.iter
+      (fun (c : Supervisor.casualty) ->
+        Metrics.worker_lost t.metrics;
+        (* The lost domain is leaked — OCaml domains cannot be killed —
+           but its admitted connection must not leak admission
+           capacity.  Its fd stays with the lost domain (a wedged one
+           closes it when it notices it was superseded). *)
+        if c.had_connection then Atomic.decr t.active;
+        let h = Supervisor.replace t.sup c.index in
+        t.domains.(c.index) <- Some (Domain.spawn (worker t h));
+        Metrics.worker_respawned t.metrics)
+      (Supervisor.scan t.sup ~now_ms:(Monotime.now_ms ()))
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and admission *)
@@ -351,8 +533,9 @@ let overloaded_reject t fd =
   Metrics.connection_rejected t.metrics;
   (try
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
-     let buf = Buffer.create 16 in
-     Protocol.write_response buf Protocol.Overloaded "";
+     let buf = Buffer.create 32 in
+     Protocol.write_response buf Protocol.Overloaded
+       (Protocol.retry_after_body (retry_after_hint_ms t));
      write_all fd (Buffer.contents buf)
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -368,7 +551,7 @@ let admit t fd =
       (* Count before pushing so a racing worker's decrement cannot be
          lost; undo on rejection. *)
       Atomic.incr t.active;
-      match Admission.try_push t.queue fd with
+      match Admission.try_push t.queue (fd, Monotime.now_ms ()) with
       | `Admitted -> Metrics.connection_admitted t.metrics
       | `Full | `Closed ->
         Atomic.decr t.active;
@@ -392,10 +575,20 @@ let accept_loop t =
 let serve t =
   (* A client closing mid-response must not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let workers = Array.init t.cfg.workers (fun _ -> Domain.spawn (worker t)) in
+  Array.iteri
+    (fun i _ -> t.domains.(i) <- Some (Domain.spawn (worker t (Supervisor.occupant t.sup i))))
+    t.domains;
+  let supervisor =
+    if t.cfg.supervise then Some (Domain.spawn (supervision_loop t)) else None
+  in
   accept_loop t;
   (* Shutdown: no more accepts; refuse new admissions and let the
-     workers drain what was already admitted. *)
+     workers drain what was already admitted.  The supervision domain
+     is joined first so no respawn races the worker join; workers lost
+     before shutdown were superseded (their domains are leaked, their
+     replacements are in [t.domains]) and exit on their own once their
+     wedge notices the stop flag. *)
   Admission.close t.queue;
-  Array.iter Domain.join workers;
+  Option.iter Domain.join supervisor;
+  Array.iter (Option.iter Domain.join) t.domains;
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()

@@ -54,11 +54,36 @@ type config = {
           new environment, so no request can ever mix a cached entry
           with a snapshot it was not computed from.  [STATS] reports
           the current generation's counters. *)
+  supervise : bool;
+      (** Run the supervision loop ({!Supervisor}, DESIGN.md §4g):
+          workers whose heartbeat goes stale past [hard_wall_ms] — or
+          whose domain died — are declared lost (the domain is leaked;
+          OCaml domains cannot be killed) and replaced by a freshly
+          spawned worker, preserving pool capacity.  Off, a wedged
+          worker shrinks the pool permanently. *)
+  hard_wall_ms : float;
+      (** How long a worker may stay busy on one request before the
+          supervisor declares it lost.  Set well above the largest
+          legitimate request budget: a slow-but-governed query should
+          always finish (or truncate) before the wall. *)
+  quarantine_strikes : int;
+      (** Worker losses a query fingerprint may cause before matching
+          queries are fast-rejected with [QUARANTINED] (never reaching
+          evaluation).  [<= 0] disables quarantining. *)
+  queue_deadline_ms : float option;
+      (** Bound on a connection's sojourn in the admission queue: a
+          worker coming free sheds older entries with
+          [OVERLOADED retry-after-ms=…] instead of serving them
+          (CoDel-style — under sustained overload, work the client has
+          likely given up on is not worth starting).  [None] disables
+          shedding. *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], 4 workers, queue 64, 256 connections, 30s/30s
-    timeouts, [k]=10, unlimited budget, no snapshot, 64 MiB cache. *)
+    timeouts, [k]=10, unlimited budget, no snapshot, 64 MiB cache,
+    supervision on with a 5 s hard wall and 2 quarantine strikes, no
+    queue deadline. *)
 
 type t
 
@@ -82,3 +107,13 @@ val stop : t -> unit
 val generation : t -> int
 (** The environment's generation: 1 at start, bumped by each
     successful [RELOAD]. *)
+
+val active_connections : t -> int
+(** Connections admitted and not yet settled (served, shed, or
+    charged to a lost worker).  Zero once traffic has drained — the
+    chaos-soak test asserts admission capacity cannot leak. *)
+
+val metrics : t -> Metrics.t
+(** The server's live counters (what [STATS] renders).  Exposed for
+    invariant checks in tests and for co-located {!Client}s to count
+    their retries into. *)

@@ -79,3 +79,38 @@ After shutdown the port no longer accepts connections:
   [1]
   $ sed "s/:$PORT/:PORT/" refused.out
   error: cannot connect to 127.0.0.1:PORT: Connection refused
+
+Self-healing (DESIGN.md §4g): worker_wedge:2 arms the wedge failpoint
+for exactly two hits, so the first two attempts at the query each
+wedge a worker past the 400 ms hard wall — the supervisor declares the
+worker lost, replaces it, and gives the query's fingerprint a strike.
+The retrying client reconnects after each loss; at two strikes the
+third attempt is fast-rejected QUARANTINED (exit 6) without reaching
+evaluation:
+
+  $ FLEXPATH_FAILPOINTS=worker_wedge:2 flexpath_cli serve --env articles.env --port 0 --port-file port2 --hard-wall-ms 400 2> serve2.log &
+  $ for _ in $(seq 1 100); do test -s port2 && break; sleep 0.1; done
+  $ PORT=$(cat port2)
+  $ flexpath_cli client -p $PORT --retries 3 --retry-budget-ms 20000 -e 'QUERY k=2 //article[./title]'
+  QUARANTINED
+  query quarantined after 2 worker loss(es); not executed
+  [6]
+
+Other query shapes are unaffected — the replacement workers serve them:
+
+  $ flexpath_cli client -p $PORT --retries 3 --retry-budget-ms 20000 -e 'QUERY k=3 //article[.contains("xml" and "streaming")]'
+  OK
+   1. collection[1]/article[2]  ss=0.0000 ks=0.6203  exact
+   2. collection[1]/article[3]  ss=0.0000 ks=0.5983  exact
+   3. collection[1]/article[4]  ss=0.0000 ks=0.4833  exact
+
+STATS accounts for both losses, both replacements and the quarantine
+reject:
+
+  $ flexpath_cli client -p $PORT -e STATS | grep -E 'workers_lost|workers_respawned|quarantined'
+  workers_lost: 2
+  workers_respawned: 2
+  quarantined: 1
+  $ flexpath_cli client -p $PORT -e SHUTDOWN
+  BYE
+  $ wait $!

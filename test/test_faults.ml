@@ -240,6 +240,32 @@ let test_failpoint_registry () =
   check_int "all armed" (List.length Failpoint.catalog) (List.length (Failpoint.active ()));
   Failpoint.reset ()
 
+(* Counted arming: [activate_n p n] fires exactly [n] times, then the
+   point disarms itself.  This is what keeps the loss-injection points
+   ([worker_wedge], [worker_die]) from also wedging every replacement
+   worker the supervisor spawns. *)
+let test_counted_arming () =
+  (match Failpoint.activate_n "exec.run" 2 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check_bool "unknown names rejected" true (Result.is_error (Failpoint.activate_n "no.such" 1));
+  let fires p = match Failpoint.hit p with () -> false | exception Failpoint.Injected _ -> true in
+  check_bool "first hit fires" true (fires "exec.run");
+  check_bool "still armed after one of two" true (Failpoint.is_active "exec.run");
+  check_bool "second hit fires" true (fires "exec.run");
+  check_bool "exhausted point self-disarms" false (Failpoint.is_active "exec.run");
+  check_bool "third hit passes" false (fires "exec.run");
+  (* Re-arming replaces the remaining count rather than accumulating. *)
+  (match Failpoint.activate_n "exec.run" 5 with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Failpoint.activate_n "exec.run" 1 with Ok () -> () | Error m -> Alcotest.fail m);
+  check_bool "re-armed count fires" true (fires "exec.run");
+  check_bool "and is spent" false (fires "exec.run");
+  (* Plain [activate] stays unlimited. *)
+  (match Failpoint.activate "exec.run" with Ok () -> () | Error m -> Alcotest.fail m);
+  check_bool "unlimited fires" true (fires "exec.run");
+  check_bool "unlimited keeps firing" true (fires "exec.run");
+  Failpoint.reset ()
+
 (* After a fault fired, the engine is not poisoned: the same query
    succeeds once the point is disarmed. *)
 let test_fault_then_recover () =
@@ -324,6 +350,7 @@ let () =
           Alcotest.test_case "query-path points" `Quick test_query_failpoints;
           Alcotest.test_case "env-build points" `Quick test_env_failpoints;
           Alcotest.test_case "registry" `Quick test_failpoint_registry;
+          Alcotest.test_case "counted arming" `Quick test_counted_arming;
           Alcotest.test_case "fault then recover" `Quick test_fault_then_recover;
         ] );
     ]

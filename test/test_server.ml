@@ -12,16 +12,25 @@
    - concurrent determinism: parallel connections over the shared
      environment produce byte-identical answers to a sequential run;
    - the server_accept / server_read / server_worker failpoints each
-     exercise their error path without killing the server. *)
+     exercise their error path without killing the server;
+   - self-healing (DESIGN.md §4g): a wedged or dead worker is declared
+     lost and replaced within the hard wall, a query shape that keeps
+     costing workers is quarantined, queued connections past their
+     sojourn deadline are shed with a retry hint, the retrying client
+     survives injected faults and overload within its budget, and a
+     randomized chaos soak proves none of it leaks capacity. *)
 
 module Server = Flexpath_server.Server
 module Protocol = Flexpath_server.Protocol
 module Admission = Flexpath_server.Admission
 module Reservoir = Flexpath_server.Reservoir
+module Metrics = Flexpath_server.Metrics
+module Client = Flexpath_server.Client
 module Env = Flexpath.Env
 module Error = Flexpath.Error
 module Guard = Flexpath.Guard
 module Failpoint = Flexpath.Failpoint
+module Monotime = Flexpath.Monotime
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -481,6 +490,381 @@ let test_failpoint_accept () =
       close c)
 
 (* ------------------------------------------------------------------ *)
+(* Self-healing: supervision, quarantine, shedding (DESIGN.md §4g) *)
+
+let arm_n point n =
+  match Failpoint.activate_n point n with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let wait_for ?(timeout_ms = 5000.0) pred =
+  let clock = Monotime.create () in
+  let rec go () =
+    pred ()
+    ||
+    if Monotime.elapsed_ms clock > timeout_ms then false
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let snapshot srv = Metrics.snapshot (Server.metrics srv)
+
+(* One worker loss, end to end: the wedged worker's connection is
+   closed unanswered, the supervisor claims the worker within the hard
+   wall and a replacement restores full pool capacity. *)
+let test_wedge_recovery () =
+  let cfg =
+    {
+      Server.default_config with
+      workers = 2;
+      hard_wall_ms = 500.0;
+      quarantine_strikes = 0 (* isolate supervision from quarantining *);
+    }
+  in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      arm_n "worker_wedge" 1;
+      let clock = Monotime.create () in
+      let c = connect port in
+      send c query_line;
+      (* The wedged worker notices it was superseded and closes this
+         connection; the client must never be left hanging. *)
+      check_bool "wedged connection is closed unanswered" true (recv c = None);
+      close c;
+      check_bool "lost worker replaced within 2x the hard wall" true
+        (wait_for
+           ~timeout_ms:(Float.max 0.0 ((2.0 *. cfg.hard_wall_ms) -. Monotime.elapsed_ms clock))
+           (fun () ->
+             let s = snapshot srv in
+             s.lost = 1 && s.respawned = 1));
+      (* Full capacity: both pool positions serve simultaneously held
+         connections. *)
+      let a = connect port in
+      let b = connect port in
+      send a "PING";
+      send b "PING";
+      check_bool "slot 1 serves" true (recv a <> None);
+      check_bool "slot 2 serves" true (recv b <> None);
+      close a;
+      close b;
+      check_bool "admission capacity drains" true
+        (wait_for (fun () -> Server.active_connections srv = 0)))
+
+(* A dying worker domain (uncaught-crash mode) is recovered without
+   waiting out the hard wall: Dead heartbeats are claimed on the next
+   scan. *)
+let test_worker_die_recovery () =
+  let cfg = { Server.default_config with workers = 1; hard_wall_ms = 400.0 } in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      arm_n "worker_die" 1;
+      let c = connect port in
+      send c query_line;
+      check_bool "dying worker's connection is closed unanswered" true (recv c = None);
+      close c;
+      check_bool "dead domain claimed and replaced" true
+        (wait_for (fun () ->
+             let s = snapshot srv in
+             s.lost = 1 && s.respawned = 1));
+      (* With a one-worker pool, any service at all proves the
+         replacement took the position. *)
+      let c = connect port in
+      let status, _ = request_exn c "PING" in
+      check_string "replacement serves" "OK" (Protocol.status_to_string status);
+      close c;
+      check_bool "admission capacity drains" true
+        (wait_for (fun () -> Server.active_connections srv = 0)))
+
+(* The same query shape costing [quarantine_strikes] workers is then
+   fast-rejected QUARANTINED — provably before evaluation: with the
+   executor failpoint armed, the quarantined shape still answers
+   QUARANTINED while a different shape trips the injected fault. *)
+let test_quarantine () =
+  let cfg =
+    { Server.default_config with workers = 1; hard_wall_ms = 300.0; quarantine_strikes = 2 }
+  in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      arm_n "worker_wedge" 2;
+      for i = 1 to 2 do
+        let c = connect port in
+        send c query_line;
+        check_bool (Printf.sprintf "loss %d closes the connection" i) true (recv c = None);
+        close c;
+        check_bool
+          (Printf.sprintf "loss %d repaired" i)
+          true
+          (wait_for (fun () -> (snapshot srv).respawned = i))
+      done;
+      with_failpoint "exec.run" (fun () ->
+          let c = connect port in
+          let status, body = request_exn c query_line in
+          check_string "third attempt is QUARANTINED" "QUARANTINED"
+            (Protocol.status_to_string status);
+          check_bool "body reports the strike count" true
+            (has_infix ~affix:"2 worker loss" body);
+          (* The connection survives a quarantine reject, and a
+             different shape still reaches the (faulted) executor. *)
+          let status, body = request_exn c "QUERY k=3 //section[./algorithm]" in
+          check_string "different shape reaches evaluation" "ERR"
+            (Protocol.status_to_string status);
+          check_bool "and trips the armed executor fault" true (has_infix ~affix:"exec.run" body);
+          close c);
+      check_int "quarantine reject counted" 1 (snapshot srv).quarantine_rejects)
+
+(* Queue-deadline shedding: a connection whose queue sojourn exceeded
+   the bound is answered OVERLOADED with a retry hint instead of being
+   served — the worker never spends execution on it. *)
+let test_queue_deadline_shed () =
+  let cfg =
+    {
+      Server.default_config with
+      workers = 1;
+      queue_depth = 4;
+      queue_deadline_ms = Some 100.0;
+    }
+  in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      (* [a] occupies the only worker; [b] queues and goes stale. *)
+      let a = connect port in
+      let status, _ = request_exn a "PING" in
+      check_string "worker is busy with a" "OK" (Protocol.status_to_string status);
+      let b = connect port in
+      Unix.sleepf 0.25;
+      close a;
+      (match recv b with
+      | Some (Protocol.Overloaded, body) -> (
+        match Protocol.parse_retry_after body with
+        | Some ms -> check_bool "retry hint is positive" true (ms > 0)
+        | None -> Alcotest.fail "shed response carries no retry-after-ms")
+      | Some (status, _) ->
+        Alcotest.fail ("expected OVERLOADED, got " ^ Protocol.status_to_string status)
+      | None -> Alcotest.fail "expected an OVERLOADED response, got EOF");
+      check_bool "shed connection is closed" true (recv b = None);
+      close b;
+      (* A fresh connection is served promptly afterwards. *)
+      let c = connect port in
+      let status, _ = request_exn c "PING" in
+      check_string "fresh connection served" "OK" (Protocol.status_to_string status);
+      close c;
+      check_int "the shed was counted" 1 (snapshot srv).shed;
+      check_bool "admission capacity drains" true
+        (wait_for (fun () -> Server.active_connections srv = 0)))
+
+(* ------------------------------------------------------------------ *)
+(* The retrying client *)
+
+let test_client_deadline_rewrite () =
+  check_string "inserted when absent" "QUERY timeout_ms=500.000 k=3 //a"
+    (Client.with_deadline "QUERY k=3 //a" 500.0);
+  check_string "loose explicit value tightened" "QUERY timeout_ms=200.000 //a"
+    (Client.with_deadline "QUERY timeout_ms=9000 //a" 200.0);
+  check_string "tighter explicit value kept" "QUERY timeout_ms=50.000 //a"
+    (Client.with_deadline "QUERY timeout_ms=50 //a" 200.0);
+  check_string "xpath internals untouched"
+    "QUERY timeout_ms=100.000 //a[.contains(\"x\" and \"y\")]"
+    (Client.with_deadline "QUERY //a[.contains(\"x\" and \"y\")]" 100.0);
+  check_string "non-QUERY lines verbatim" "PING" (Client.with_deadline "PING" 100.0);
+  check_string "RELAX lines verbatim" "RELAX steps=2 //a"
+    (Client.with_deadline "RELAX steps=2 //a" 100.0)
+
+(* An injected send fault costs one attempt, not the run: the client
+   reconnects, retries, and the retry is counted. *)
+let test_client_send_retry () =
+  with_server (make_env ()) (fun srv ->
+      arm_n "client_send" 1;
+      let retry =
+        { Client.default_retry with retries = 2; budget_ms = Some 5000.0; base_backoff_ms = 5.0 }
+      in
+      (match
+         Client.run ~metrics:(Server.metrics srv)
+           ~rng:(Random.State.make [| 42 |])
+           ~port:(Server.port srv) ~retry [ "PING"; "PING" ]
+       with
+      | Ok [ (s1, b1); (s2, b2) ] ->
+        check_string "first response" "OK" (Protocol.status_to_string s1);
+        check_string "first body" "pong" b1;
+        check_string "second response" "OK" (Protocol.status_to_string s2);
+        check_string "second body" "pong" b2
+      | Ok rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+      | Error (f, _) -> Alcotest.fail (Client.failure_to_string f));
+      check_int "exactly one retry" 1 (snapshot srv).retries)
+
+(* OVERLOADED is retried with backoff honoring the server's hint: once
+   the saturation clears, the same run completes successfully. *)
+let test_client_overload_retry () =
+  let cfg = { Server.default_config with workers = 1; queue_depth = 1 } in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      (* [a] holds the only worker, [b] fills the queue: the client's
+         first attempt is fast-rejected.  A releaser domain clears the
+         saturation while the client is backing off. *)
+      let a = connect port in
+      let status, _ = request_exn a "PING" in
+      check_string "worker held" "OK" (Protocol.status_to_string status);
+      let b = connect port in
+      let releaser =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.3;
+            close a;
+            close b)
+      in
+      let retry =
+        {
+          Client.retries = 8;
+          budget_ms = Some 8000.0;
+          base_backoff_ms = 20.0;
+          max_backoff_ms = 200.0;
+        }
+      in
+      (match
+         Client.run ~metrics:(Server.metrics srv)
+           ~rng:(Random.State.make [| 7 |])
+           ~port ~retry [ "PING" ]
+       with
+      | Ok [ (s, body) ] ->
+        check_string "eventually served" "OK" (Protocol.status_to_string s);
+        check_string "served body" "pong" body
+      | Ok _ -> Alcotest.fail "expected exactly one response"
+      | Error (f, _) -> Alcotest.fail (Client.failure_to_string f));
+      Domain.join releaser;
+      check_bool "the overloaded attempts were counted as retries" true
+        ((snapshot srv).retries >= 1))
+
+(* A budget with no capacity fails fast as Budget_exhausted rather
+   than hanging or spinning. *)
+let test_client_budget_exhausted () =
+  with_server (make_env ()) (fun srv ->
+      let retry = { Client.default_retry with retries = 5; budget_ms = Some 0.0 } in
+      match Client.run ~port:(Server.port srv) ~retry [ "PING" ] with
+      | Ok _ -> Alcotest.fail "a zero budget must not complete"
+      | Error (Client.Budget_exhausted, completed) ->
+        check_int "nothing completed" 0 (List.length completed)
+      | Error (f, _) -> Alcotest.failf "expected Budget_exhausted, got %s"
+                          (Client.failure_to_string f))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: randomized worker losses, read faults and snapshot
+   faults under 500+ concurrent requests.  The assertions are about
+   what must never happen — a hang, leaked admission capacity, a
+   permanently shrunk pool, or a loss without a replacement. *)
+
+let test_chaos_soak () =
+  let env = make_env ~count:40 () in
+  let snap_path = save_snapshot env in
+  let cfg =
+    {
+      Server.default_config with
+      workers = 4;
+      queue_depth = 64;
+      max_connections = 256;
+      hard_wall_ms = 300.0;
+      quarantine_strikes = 3;
+      queue_deadline_ms = Some 2000.0;
+      read_timeout_s = 5.0;
+      snapshot = Some snap_path;
+    }
+  in
+  with_server ~cfg env (fun srv ->
+      let port = Server.port srv in
+      let stop_inject = Atomic.make false in
+      (* Counted arming (one hit per activation) is what keeps an
+         injected wedge from also wedging the replacement worker. *)
+      let injector =
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| 0xC0FFEE |] in
+            let points =
+              [| "worker_wedge"; "worker_die"; "server_read"; "storage_read_section" |]
+            in
+            while not (Atomic.get stop_inject) do
+              Unix.sleepf (0.02 +. Random.State.float rng 0.08);
+              ignore (Failpoint.activate_n points.(Random.State.int rng 4) 1)
+            done)
+      in
+      let request_pool =
+        [|
+          query_line;
+          "QUERY k=3 algo=dpo //article[./section/paragraph]";
+          "RELAX steps=2 //article[./section/paragraph]";
+          "PING";
+          "RELOAD";
+        |]
+      in
+      let drive seed () =
+        let rng = Random.State.make [| seed |] in
+        let settled = ref 0 in
+        for _ = 1 to 64 do
+          let line = request_pool.(Random.State.int rng (Array.length request_pool)) in
+          match connect port with
+          | exception Unix.Unix_error _ -> incr settled (* refused is a deterministic end too *)
+          | c ->
+            (* Any framed response — or a clean close — is acceptable;
+               what is not acceptable is hanging (the run would never
+               finish) or a protocol-level corruption (recv would
+               produce garbage statuses, caught below as None). *)
+            (match request c line with Some _ | None -> incr settled);
+            close c
+        done;
+        !settled
+      in
+      let drivers = Array.init 8 (fun i -> Domain.spawn (drive (100 + i))) in
+      let settled = Array.fold_left (fun acc d -> acc + Domain.join d) 0 drivers in
+      Atomic.set stop_inject true;
+      Domain.join injector;
+      Failpoint.reset ();
+      check_int "all 512 concurrent requests reached a deterministic end" 512 settled;
+      (* Conservation: once traffic drains, no admitted connection may
+         still be counted — sheds, losses and serves all settle the
+         accounting exactly once. *)
+      check_bool "admission capacity drains to zero" true
+        (wait_for ~timeout_ms:10_000.0 (fun () -> Server.active_connections srv = 0));
+      check_bool "every lost worker was replaced" true
+        (wait_for ~timeout_ms:10_000.0 (fun () ->
+             let s = snapshot srv in
+             s.lost = s.respawned));
+      (* Pool capacity is fully restored: [workers] simultaneously held
+         connections must all be served. *)
+      let held = Array.init cfg.workers (fun _ -> connect port) in
+      Array.iter (fun c -> send c "PING") held;
+      Array.iter
+        (fun c ->
+          match recv c with
+          | Some (Protocol.Ok_, "pong") -> ()
+          | _ -> Alcotest.fail "a worker position did not survive the soak")
+        held;
+      Array.iter close held;
+      (* Deterministic quarantine coda on a shape the soak never used:
+         three injected losses in a row, then the shape is refused. *)
+      let poison = "QUERY k=2 //article[./title]" in
+      for i = 1 to 3 do
+        let before = (snapshot srv).respawned in
+        arm_n "worker_wedge" 1;
+        let c = connect port in
+        send c poison;
+        check_bool (Printf.sprintf "poison loss %d closes the connection" i) true (recv c = None);
+        close c;
+        check_bool
+          (Printf.sprintf "poison loss %d repaired" i)
+          true
+          (wait_for (fun () -> (snapshot srv).respawned = before + 1))
+      done;
+      let c = connect port in
+      let status, _ = request_exn c poison in
+      check_string "poison shape quarantined" "QUARANTINED" (Protocol.status_to_string status);
+      close c;
+      let s = snapshot srv in
+      check_bool "quarantine fired" true (s.quarantine_rejects >= 1);
+      check_bool "losses and respawns balance after the coda" true (s.lost = s.respawned);
+      check_bool "soak actually served traffic" true (s.served > 0);
+      check_bool "final drain leaves zero active connections" true
+        (wait_for (fun () -> Server.active_connections srv = 0)));
+  Sys.remove snap_path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -522,4 +906,19 @@ let () =
           Alcotest.test_case "server_read" `Quick test_failpoint_read;
           Alcotest.test_case "server_accept" `Quick test_failpoint_accept;
         ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "wedged worker is lost and replaced" `Quick test_wedge_recovery;
+          Alcotest.test_case "dead worker domain is recovered" `Quick test_worker_die_recovery;
+          Alcotest.test_case "poison query is quarantined" `Quick test_quarantine;
+          Alcotest.test_case "stale queued connections are shed" `Quick test_queue_deadline_shed;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "deadline propagation rewrite" `Quick test_client_deadline_rewrite;
+          Alcotest.test_case "send fault is retried" `Quick test_client_send_retry;
+          Alcotest.test_case "overload is retried with backoff" `Quick test_client_overload_retry;
+          Alcotest.test_case "zero budget fails fast" `Quick test_client_budget_exhausted;
+        ] );
+      ("chaos", [ Alcotest.test_case "randomized loss soak" `Quick test_chaos_soak ]);
     ]
