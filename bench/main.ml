@@ -764,6 +764,171 @@ let abl_supervision ~quick () =
               ]))
     [ (0, true); (0, false); (1, true); (1, false); (5, true); (5, false) ]
 
+(* Live ingestion (DESIGN.md §4h): write throughput on the WAL-durable
+   path, query tail latency while the background merge domain runs,
+   and the staleness the merge cadence actually delivers.  Besides the
+   table, the numbers land in BENCH_ingest.json so regressions show up
+   in review diffs. *)
+let abl_ingest ~quick () =
+  let module Server = Flexpath_server.Server in
+  let module Protocol = Flexpath_server.Protocol in
+  let module Client = Flexpath_server.Client in
+  let module Metrics = Flexpath_server.Metrics in
+  let module Ingest = Flexpath.Ingest in
+  let module Monotime = Flexpath.Monotime in
+  let dir = Filename.temp_file "flexpath_bench_ingest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let snap = Filename.concat dir "snap.fxe" in
+  let wal = Filename.concat dir "wal.log" in
+  let merge_interval_ms = 200.0 in
+  let cfg =
+    {
+      Server.default_config with
+      Server.workers = 4;
+      queue_depth = 64;
+      ingest =
+        Some { (Server.ingest_defaults ~wal) with Server.merge_interval_ms; write_lane = 8 };
+      snapshot = Some snap;
+    }
+  in
+  let env =
+    match Ingest.empty () with Ok c -> Ingest.env c | Error e -> failwith (Flexpath.Error.to_string e)
+  in
+  let doc_body n =
+    Printf.sprintf
+      "<article><title>bench %d</title><section><paragraph>flexible xml querying with full text \
+       search revision %d</paragraph><paragraph>structural relaxation benchmark \
+       payload</paragraph></section></article>"
+      n n
+  in
+  let percentile sorted p =
+    if Array.length sorted = 0 then 0.0
+    else sorted.(min (Array.length sorted - 1) (int_of_float (p /. 100.0 *. float_of_int (Array.length sorted))))
+  in
+  match Server.create cfg ~env with
+  | Error e -> failwith (Flexpath.Error.to_string e)
+  | Ok srv ->
+    let d = Domain.spawn (fun () -> Server.serve srv) in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          Domain.join d;
+          (try
+             Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+             Unix.rmdir dir
+           with Sys_error _ | Unix.Unix_error _ -> ()))
+        (fun () ->
+          let port = Server.port srv in
+          header "Ablation: live ingestion"
+            (Printf.sprintf
+               "WAL-durable ingest throughput, then mixed traffic (2 writers, 4 readers) under a \
+                %.0f ms merge cadence: query latency and staleness percentiles"
+               merge_interval_ms)
+            [ "value" ];
+          (* Phase 1: pure ingest throughput on one connection. *)
+          let n_docs = if quick then 150 else 600 in
+          let retry = Client.default_retry in
+          let bytes = ref 0 in
+          let (), ingest_wall_ms =
+            time (fun () ->
+                let reqs =
+                  List.init n_docs (fun i ->
+                      let xml = doc_body i in
+                      bytes := !bytes + String.length xml;
+                      Client.ingest_request ~id:(Printf.sprintf "d%d" (i mod 256)) xml)
+                in
+                match Client.run_requests ~port ~retry reqs with
+                | Ok _ -> ()
+                | Error (f, _) -> failwith (Client.failure_to_string f))
+          in
+          let docs_per_s = float_of_int n_docs /. (ingest_wall_ms /. 1000.0) in
+          row "ingest-docs/s" [ Printf.sprintf "%.0f" docs_per_s ];
+          row "ingest-MB/s"
+            [ Printf.sprintf "%.2f" (float_of_int !bytes /. 1048576.0 /. (ingest_wall_ms /. 1000.0)) ];
+          (* Phase 2: mixed read/write traffic with background merges. *)
+          let run_s = if quick then 3.0 else 8.0 in
+          let clock = Monotime.create () in
+          let running () = Monotime.elapsed_ms clock < run_s *. 1000.0 in
+          let writer w () =
+            let n = ref 0 in
+            while running () do
+              incr n;
+              let xml = doc_body !n in
+              ignore
+                (Client.run_requests ~port ~retry
+                   [ Client.ingest_request ~id:(Printf.sprintf "m%d-%d" w (!n mod 64)) xml ])
+            done
+          in
+          let query_lat = Array.make 4 [] in
+          let reader r () =
+            let lat = ref [] in
+            let q = "QUERY k=5 //article[.contains(\"flexible\" and \"relaxation\")]" in
+            while running () do
+              let t = Monotime.create () in
+              (match Client.run ~port ~retry [ q ] with
+              | Ok [ ((Protocol.Ok_ | Protocol.Partial), _) ] ->
+                lat := Monotime.elapsed_ms t :: !lat
+              | Ok _ | Error _ -> ());
+              Unix.sleepf 0.001
+            done;
+            query_lat.(r) <- !lat
+          in
+          let staleness = ref [] in
+          let monitor () =
+            let store = Option.get (Server.ingest_store srv) in
+            while running () do
+              staleness := Ingest.staleness_ms store :: !staleness;
+              Unix.sleepf 0.01
+            done
+          in
+          let writers = List.init 2 (fun w -> Domain.spawn (writer w)) in
+          let readers = List.init 4 (fun r -> Domain.spawn (reader r)) in
+          let mon = Domain.spawn monitor in
+          List.iter Domain.join writers;
+          List.iter Domain.join readers;
+          Domain.join mon;
+          let lat =
+            Array.to_list query_lat |> List.concat |> List.sort Float.compare |> Array.of_list
+          in
+          let stale = List.sort Float.compare !staleness |> Array.of_list in
+          let s = Metrics.snapshot (Server.metrics srv) in
+          let q_p50 = percentile lat 50.0 and q_p99 = percentile lat 99.0 in
+          let st_p50 = percentile stale 50.0
+          and st_p95 = percentile stale 95.0
+          and st_max = percentile stale 100.0 in
+          row "query-p50-ms" [ ms q_p50 ];
+          row "query-p99-ms" [ ms q_p99 ];
+          row "staleness-p50" [ ms st_p50 ];
+          row "staleness-p95" [ ms st_p95 ];
+          row "staleness-max" [ ms st_max ];
+          row "merges" [ string_of_int s.Metrics.merges ];
+          Printf.sprintf
+            "{\n\
+            \  \"figure\": \"ingest\",\n\
+            \  \"quick\": %b,\n\
+            \  \"merge_interval_ms\": %.0f,\n\
+            \  \"ingest\": { \"docs\": %d, \"bytes\": %d, \"wall_ms\": %.1f, \"docs_per_s\": %.1f },\n\
+            \  \"mixed\": {\n\
+            \    \"queries\": %d,\n\
+            \    \"query_p50_ms\": %.3f,\n\
+            \    \"query_p99_ms\": %.3f,\n\
+            \    \"staleness_p50_ms\": %.1f,\n\
+            \    \"staleness_p95_ms\": %.1f,\n\
+            \    \"staleness_max_ms\": %.1f,\n\
+            \    \"ingests\": %d,\n\
+            \    \"merges\": %d\n\
+            \  }\n\
+             }\n"
+            quick merge_interval_ms n_docs !bytes ingest_wall_ms docs_per_s (Array.length lat)
+            q_p50 q_p99 st_p50 st_p95 st_max s.Metrics.ingests s.Metrics.merges)
+    in
+    let oc = open_out "BENCH_ingest.json" in
+    output_string oc result;
+    close_out oc;
+    Printf.printf "  [artifact] BENCH_ingest.json written\n%!"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -832,6 +997,7 @@ let all_figures =
     ("abl_serve", abl_serve);
     ("abl_cache", abl_cache);
     ("abl_supervision", abl_supervision);
+    ("abl_ingest", abl_ingest);
   ]
 
 let () =

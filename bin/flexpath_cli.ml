@@ -18,8 +18,17 @@ open Cmdliner
    corruption (a saved environment failed its integrity checks),
    5 server overloaded (the client's retries were all answered
    OVERLOADED), 6 query quarantined (the server fast-rejects this
-   query shape; retrying cannot help).  Everything that is not an
-   answer goes to stderr. *)
+   query shape; retrying cannot help).
+
+   Write idempotency under retries: the server fsyncs an INGEST into
+   its WAL before acking, so a connection that dies mid-request leaves
+   the write's fate ambiguous.  An INGEST with an explicit id is an
+   upsert — retrying it converges — but without one each resend could
+   mint a fresh doc-N, so the client never retries it past that
+   ambiguity (it fails with exit code 1); pass --ingest-id whenever
+   --retries is nonzero.  OVERLOADED (exit 5) and QUARANTINED (exit 6)
+   are definitive server verdicts, never ambiguous, for writes and
+   queries alike.  Everything that is not an answer goes to stderr. *)
 
 let exit_usage = 1
 let exit_budget = 3
@@ -601,9 +610,56 @@ let serve_cmd =
             "Bound on a connection's admission-queue sojourn: older entries are shed with \
              OVERLOADED retry-after-ms instead of being served.")
   in
+  let ingest_wal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ingest-wal" ] ~docv:"PATH"
+          ~doc:
+            "Enable live ingestion: write-ahead log at $(docv) (created if absent, replayed if \
+             not).  Requires --env as the merge target; the snapshot need not exist yet — the \
+             first merge creates it.  INGEST/DELETE/MERGE become live and RELOAD is refused (the \
+             store owns the snapshot).")
+  in
+  let merge_interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "merge-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Cadence of the background merge domain folding acknowledged deltas into the \
+             snapshot (default 2000); <= 0 disables it — deltas then accumulate until a MERGE \
+             request.")
+  in
+  let max_doc_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-doc-bytes" ] ~docv:"N"
+          ~doc:"Per-document byte budget for INGEST (default 8 MiB).")
+  in
+  let max_doc_elems_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-doc-elems" ] ~docv:"N"
+          ~doc:
+            "Per-document element budget for INGEST, enforced by a streaming pre-pass (default \
+             262144).")
+  in
+  let write_lane_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "write-lane" ] ~docv:"N"
+          ~doc:
+            "Write admission class: INGEST/DELETE beyond this many concurrent writers are \
+             answered OVERLOADED immediately (default 4; 0 rejects every write).")
+  in
   let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
       queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
-      restart_cap cache_mb no_cache hard_wall_ms no_supervise quarantine_strikes queue_deadline_ms =
+      restart_cap cache_mb no_cache hard_wall_ms no_supervise quarantine_strikes queue_deadline_ms
+      ingest_wal merge_interval_ms max_doc_bytes max_doc_elems write_lane =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -613,8 +669,15 @@ let serve_cmd =
     in
     let* weights = load_weights weights_spec in
     let* env =
-      match env_file with
-      | Some path ->
+      match (ingest_wal, env_file) with
+      | Some _, _ ->
+        (* The ingest store (opened inside Server.create) loads the
+           snapshot and replays the WAL itself; this env only donates
+           weights and hierarchy for a store starting from nothing, so
+           the snapshot file is allowed not to exist yet. *)
+        Result.bind (load_hierarchy hierarchy_file) (fun hierarchy ->
+            Result.map Flexpath.Ingest.env (Flexpath.Ingest.empty ~weights ~hierarchy ()))
+      | None, Some path ->
         Result.map
           (fun (env, outcome) ->
             (match outcome with
@@ -623,7 +686,7 @@ let serve_cmd =
               Printf.eprintf "warning: %s: %s\n" path (Flexpath.Storage.outcome_to_string outcome));
             env)
           (Flexpath.Storage.load ~weights path)
-      | None ->
+      | None, None ->
         Result.bind (load_doc ~file ~xmark_items:xmark ~articles_count:articles) (fun doc ->
             Result.bind (load_hierarchy hierarchy_file) (fun hierarchy ->
                 Flexpath.Env.build ~weights ~hierarchy doc))
@@ -646,6 +709,19 @@ let serve_cmd =
         hard_wall_ms;
         quarantine_strikes;
         queue_deadline_ms;
+        ingest =
+          Option.map
+            (fun wal ->
+              let d = Server.ingest_defaults ~wal in
+              {
+                Server.wal;
+                merge_interval_ms =
+                  Option.value merge_interval_ms ~default:d.Server.merge_interval_ms;
+                max_doc_bytes = Option.value max_doc_bytes ~default:d.Server.max_doc_bytes;
+                max_doc_elems = Option.value max_doc_elems ~default:d.Server.max_doc_elems;
+                write_lane = Option.value write_lane ~default:d.Server.write_lane;
+              })
+            ingest_wal;
       }
     in
     match Server.create cfg ~env with
@@ -675,7 +751,8 @@ let serve_cmd =
       $ host_arg $ port_arg $ port_file_arg $ workers_arg $ queue_arg $ max_conns_arg
       $ read_timeout_arg $ write_timeout_arg $ k_arg $ timeout_arg $ tuple_budget_arg
       $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg $ hard_wall_arg
-      $ no_supervise_arg $ quarantine_arg $ queue_deadline_arg)
+      $ no_supervise_arg $ quarantine_arg $ queue_deadline_arg $ ingest_wal_arg
+      $ merge_interval_arg $ max_doc_bytes_arg $ max_doc_elems_arg $ write_lane_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -684,7 +761,8 @@ let serve_cmd =
           PING/QUERY/RELAX/STATS/RELOAD/SHUTDOWN requests, length-framed responses, a domain \
           worker pool with heartbeat supervision (lost workers are replaced, poison queries \
           quarantined), admission control with queue-deadline shedding and per-request budgets \
-          (DESIGN.md §4e, §4g).")
+          (DESIGN.md §4e, §4g).  With --ingest-wal, the corpus is writable: framed INGEST plus \
+          DELETE/MERGE, WAL-durable acks, and a background delta-merge domain (DESIGN.md §4h).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -713,7 +791,26 @@ let client_cmd =
             "Additional attempts per request after the first, with full-jitter exponential \
              backoff, honoring the server's retry-after-ms hint.  Connect failures, dead or \
              timed-out connections and OVERLOADED are retried; QUARANTINED is not (it is \
-             deterministic).")
+             deterministic), and neither is an INGEST without --ingest-id once its connection \
+             dies mid-request (the write may already be durable; see the exit-code notes).")
+  in
+  let ingest_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ingest-file" ] ~docv:"PATH"
+          ~doc:
+            "Send the file's bytes ('-' reads stdin) as one framed INGEST, after any -e \
+             requests.  With --ingest-file, stdin is never interpreted as request lines.")
+  in
+  let ingest_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ingest-id" ] ~docv:"ID"
+          ~doc:
+            "Document id for --ingest-file, making the write an idempotent upsert; required when \
+             --retries is nonzero so an ambiguous outcome can be retried safely.")
   in
   let budget_arg =
     Arg.(
@@ -725,17 +822,30 @@ let client_cmd =
              is sent with timeout_ms set to the remaining budget (an explicit timeout_ms is \
              tightened, never loosened), so no server-side work outlives this client.")
   in
-  let run host port commands retries budget_ms =
-    let requests =
-      match commands with
-      | [] ->
+  let run host port commands retries budget_ms ingest_file ingest_id =
+    let slurp_bytes ic =
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      let rec go () =
+        let n = input ic chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let lines =
+      match (commands, ingest_file) with
+      | [], None ->
         let rec slurp acc =
           match input_line stdin with
           | line -> slurp (line :: acc)
           | exception End_of_file -> List.rev acc
         in
         slurp []
-      | cs -> cs
+      | cs, _ -> cs
     in
     let print_response (status, body) =
       print_string (Protocol.status_to_string status);
@@ -750,25 +860,53 @@ let client_cmd =
       if List.exists (fun (s, _) -> s = Protocol.Quarantined) responses then exit_quarantined
       else 0
     in
-    match Client.run ~host ~port ~retry requests with
-    | Ok responses ->
-      List.iter print_response responses;
-      code_of responses
-    | Error (failure, completed) ->
-      List.iter print_response completed;
-      Printf.eprintf "error: %s\n" (Client.failure_to_string failure);
-      let code =
-        match failure with
-        | Client.Overloaded -> exit_overloaded
-        | Client.Budget_exhausted -> exit_budget
-        | Client.Connect_failed _ | Client.No_response -> exit_usage
+    match (ingest_file, ingest_id, retries) with
+    | None, Some _, _ ->
+      Printf.eprintf "error: --ingest-id needs --ingest-file\n";
+      exit_usage
+    | Some _, None, r when r > 0 ->
+      Printf.eprintf
+        "error: --retries with --ingest-file needs --ingest-id (an anonymous INGEST cannot be \
+         retried safely: the write may already be durable)\n";
+      exit_usage
+    | _ -> (
+      let requests = List.map (fun line -> { Client.line; body = None }) lines in
+      let requests =
+        match ingest_file with
+        | None -> requests
+        | Some path ->
+          let xml =
+            if path = "-" then slurp_bytes stdin
+            else begin
+              let ic = open_in_bin path in
+              Fun.protect ~finally:(fun () -> close_in ic) (fun () -> slurp_bytes ic)
+            end
+          in
+          requests @ [ Client.ingest_request ?id:ingest_id xml ]
       in
-      (* A quarantined response earlier in the run still names the more
-         actionable condition. *)
-      let quarantine = code_of completed in
-      if quarantine <> 0 then quarantine else code
+      match Client.run_requests ~host ~port ~retry requests with
+      | Ok responses ->
+        List.iter print_response responses;
+        code_of responses
+      | Error (failure, completed) ->
+        List.iter print_response completed;
+        Printf.eprintf "error: %s\n" (Client.failure_to_string failure);
+        let code =
+          match failure with
+          | Client.Overloaded -> exit_overloaded
+          | Client.Budget_exhausted -> exit_budget
+          | Client.Connect_failed _ | Client.No_response -> exit_usage
+        in
+        (* A quarantined response earlier in the run still names the more
+           actionable condition. *)
+        let quarantine = code_of completed in
+        if quarantine <> 0 then quarantine else code)
   in
-  let term = Term.(const run $ host_arg $ port_arg $ cmd_arg $ retries_arg $ budget_arg) in
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ cmd_arg $ retries_arg $ budget_arg $ ingest_file_arg
+      $ ingest_id_arg)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:

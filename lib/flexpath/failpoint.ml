@@ -12,6 +12,9 @@ let catalog =
     "storage_fsync";
     "storage_rename";
     "storage_read_section";
+    "wal_append";
+    "wal_fsync";
+    "merge_publish";
     "server_accept";
     "server_read";
     "server_worker";

@@ -28,7 +28,14 @@ val catalog : string list
     first three fire inside [save] (before the payload write, the
     fsync and the publishing rename respectively — each proves a crash
     at that stage leaves any pre-existing snapshot untouched), the
-    last on every section read inside [load]/[verify].  The server
+    last on every section read inside [load]/[verify].  The ingestion
+    points ["wal_append"; "wal_fsync"] fire in {!Wal.append} before the
+    record write and before its fsync (a crash at either point loses
+    only the unacknowledged record), and ["merge_publish"] fires in
+    {!Ingest.merge} between the durable snapshot rename and the WAL
+    truncation — the window in which both the snapshot and the log
+    describe the acked corpus, so replay must be (and is) idempotent.
+    The server
     points ["server_accept"; "server_read"; "server_worker"] fire in
     the query server's accept loop, connection reader and request
     dispatcher respectively (see [Flexpath_server.Server]); the server

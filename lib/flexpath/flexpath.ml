@@ -11,6 +11,8 @@ module Guard = Guard
 module Failpoint = Failpoint
 module Monotime = Monotime
 module Qcache = Qcache
+module Wal = Wal
+module Ingest = Ingest
 
 (* Plant the fault-injection registry into the lower layers (and arm
    FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)

@@ -45,6 +45,8 @@ module Guard = Guard
 module Failpoint = Failpoint
 module Monotime = Monotime
 module Qcache = Qcache
+module Wal = Wal
+module Ingest = Ingest
 
 exception Failed of Error.t
 (** Raised only by the [_exn] conveniences ({!run_exn}, {!top_k}). *)

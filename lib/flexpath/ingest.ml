@@ -1,0 +1,345 @@
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Index = Fulltext.Index
+
+(* The live corpus is one document: a synthetic [fx-corpus] root whose
+   children are [fx-doc id="..."] wrappers, one per ingested document.
+   One document means one index and one statistics table, so scores and
+   penalties use corpus-global df / avg_scope_len / #pc / #ad counts —
+   which is what makes an incrementally extended corpus answer queries
+   {e identically} to an offline rebuild over the same document set
+   (the merge-equivalence property the test suite checks).  The
+   registry of document ids is carried by the wrapper attributes, so a
+   Storage v2 snapshot of the corpus env persists everything: no format
+   change, and crash recovery of the registry comes free with DOCM. *)
+
+let corpus_tag = "fx-corpus"
+let doc_tag = "fx-doc"
+let id_attr = "id"
+
+type corpus = { env : Env.t; ids : string list }
+
+(* ------------------------------------------------------------------ *)
+(* Document ids.
+
+   Ids travel on the wire verb line, in WAL payloads and in XML
+   attributes; a conservative charset keeps them safe in all three. *)
+
+let valid_id id =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '-' || c = '_' || c = '.'
+  in
+  id <> "" && String.length id <= 128 && String.for_all ok id
+
+let check_id id =
+  if valid_id id then Ok id
+  else
+    Error
+      (Error.Config_error
+         {
+           what = "document id";
+           message =
+             Printf.sprintf "invalid id %S (1-128 chars from [A-Za-z0-9._-])" id;
+         })
+
+(* ------------------------------------------------------------------ *)
+(* Parse budget.
+
+   Ingested bytes are untrusted: a streaming SAX pre-pass enforces the
+   element cap without materializing a tree, so an oversized document
+   costs one scan, not its memory. *)
+
+type limits = { max_bytes : int; max_elems : int }
+
+let default_limits = { max_bytes = 8 * 1024 * 1024; max_elems = 262144 }
+
+exception Over_elems of int
+
+let xml_error (e : Xmldom.Xml_parser.error) =
+  Error.Xml_error { path = None; line = e.line; column = e.column; message = e.message }
+
+let parse_doc ?(limits = default_limits) s =
+  if String.length s > limits.max_bytes then
+    Error
+      (Error.Capacity
+         { what = "ingest document bytes"; limit = limits.max_bytes; actual = String.length s })
+  else begin
+    match
+      Xmldom.Xml_sax.fold s ~init:0 ~f:(fun n ev ->
+          match ev with
+          | Xmldom.Xml_sax.Start_element _ ->
+            if n + 1 > limits.max_elems then raise (Over_elems (n + 1)) else n + 1
+          | _ -> n)
+    with
+    | exception Over_elems actual ->
+      Error (Error.Capacity { what = "ingest document elements"; limit = limits.max_elems; actual })
+    | Error e -> Error (xml_error e)
+    | Ok _ -> (
+      match Xmldom.Xml_parser.parse s with
+      | Error e -> Error (xml_error e)
+      | Ok (Xml.Text _) ->
+        Error (Error.Config_error { what = "ingest document"; message = "root must be an element" })
+      | Ok tree -> Ok tree)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Corpus construction. *)
+
+let wrap id tree = Xml.Element (doc_tag, [ (id_attr, id) ], [ tree ])
+
+let corpus_tree docs = Xml.Element (corpus_tag, [], List.map (fun (id, t) -> wrap id t) docs)
+
+let of_docs ?weights ?hierarchy ?scorer docs =
+  match Env.build ?weights ?hierarchy ?scorer (Doc.of_tree (corpus_tree docs)) with
+  | Ok env -> Ok { env; ids = List.map fst docs }
+  | Error e -> Error e
+
+let empty ?weights ?hierarchy ?scorer () = of_docs ?weights ?hierarchy ?scorer []
+
+let ids corpus = corpus.ids
+let env corpus = corpus.env
+let mem corpus id = List.mem id corpus.ids
+
+(* Extract the wrapped tree of each document from the corpus document
+   itself — the corpus is its own registry. *)
+let docs corpus =
+  let doc = corpus.env.Env.doc in
+  Doc.children doc (Doc.root doc)
+  |> List.map (fun w ->
+         let id = Option.value ~default:"" (Doc.attribute doc w id_attr) in
+         match Doc.children doc w with
+         | [ c ] -> (id, Doc.tree_of doc c)
+         | _ -> (id, Doc.tree_of doc w))
+
+let of_env env =
+  let doc = env.Env.doc in
+  if Doc.tag_name doc (Doc.root doc) <> corpus_tag then
+    Error
+      (Error.Config_error
+         {
+           what = "ingest snapshot";
+           message =
+             Printf.sprintf "snapshot root is <%s>, expected <%s> (not a live-ingest corpus)"
+               (Doc.tag_name doc (Doc.root doc))
+               corpus_tag;
+         })
+  else begin
+    let kids = Doc.children doc (Doc.root doc) in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | w :: rest -> (
+        match Doc.attribute doc w id_attr with
+        | Some id when valid_id id && not (List.mem id acc) -> collect (id :: acc) rest
+        | Some id ->
+          Error
+            (Error.Config_error
+               {
+                 what = "ingest snapshot";
+                 message = Printf.sprintf "bad or duplicate document id %S in corpus" id;
+               })
+        | None ->
+          Error
+            (Error.Config_error
+               { what = "ingest snapshot"; message = "corpus entry without an id attribute" }))
+    in
+    match collect [] kids with
+    | Error e -> Error e
+    | Ok ids -> Ok { env; ids }
+  end
+
+(* Incremental append: extend document, index and statistics in place
+   of a rebuild.  Each extension is value-identical to a fresh build
+   over the widened corpus (see the respective modules), so this is
+   pure speed, not approximation. *)
+let append_new corpus ~id tree =
+  let env = corpus.env in
+  let first_new = Doc.size env.Env.doc in
+  let doc = Doc.append_trees env.Env.doc [ wrap id tree ] in
+  let index = Index.extend env.Env.index doc ~first_new in
+  let stats = Stats.extend env.Env.stats doc ~first_new in
+  let env =
+    Env.of_parts ~weights:env.Env.weights ~doc ~index ~stats ~hierarchy:env.Env.hierarchy ()
+  in
+  { env; ids = corpus.ids @ [ id ] }
+
+(* Rebuild from a document list, inheriting tuning from the old env. *)
+let rebuild_as corpus docs_list =
+  of_docs ~weights:corpus.env.Env.weights ~hierarchy:corpus.env.Env.hierarchy
+    ~scorer:(Index.scorer corpus.env.Env.index)
+    docs_list
+
+let add corpus ~id tree =
+  match check_id id with
+  | Error e -> Error e
+  | Ok id ->
+    if mem corpus id then
+      (* Upsert: the replaced document moves to the end, as if deleted
+         and re-ingested — replay of a WAL [Add] is therefore
+         idempotent and order-preserving. *)
+      rebuild_as corpus (List.filter (fun (i, _) -> i <> id) (docs corpus) @ [ (id, tree) ])
+    else Ok (append_new corpus ~id tree)
+
+let remove corpus ~id =
+  if not (mem corpus id) then
+    Error (Error.Config_error { what = "document id"; message = Printf.sprintf "no document %S" id })
+  else rebuild_as corpus (List.filter (fun (i, _) -> i <> id) (docs corpus))
+
+(* ------------------------------------------------------------------ *)
+(* WAL-backed store. *)
+
+type store = {
+  mutable corpus : corpus;
+  wal : Wal.t;
+  snapshot : string;
+  limits : limits;
+  mutable unmerged : int;  (* acked records not yet folded into the snapshot *)
+  mutable oldest_unmerged_ms : float option;  (* Monotime.now_ms of the oldest *)
+  replayed : int;  (* WAL records replayed when this store was opened *)
+}
+
+let apply_record corpus r =
+  match r with
+  | Wal.Add { id; xml } -> (
+    match Xmldom.Xml_parser.parse xml with
+    | Error e -> Error (xml_error e)
+    | Ok (Xml.Text _) ->
+      Error (Error.Config_error { what = "WAL record"; message = "text node as document root" })
+    | Ok tree -> add corpus ~id tree)
+  | Wal.Delete { id } -> if mem corpus id then remove corpus ~id else Ok corpus
+
+(* Smallest auto id suffix past every existing [doc-N] id — computed
+   from the corpus itself so a restart assigns the same ids a
+   continuous run would. *)
+let next_auto_of ids =
+  List.fold_left
+    (fun acc id ->
+      match
+        if String.length id > 4 && String.sub id 0 4 = "doc-" then
+          int_of_string_opt (String.sub id 4 (String.length id - 4))
+        else None
+      with
+      | Some n when n >= acc -> n + 1
+      | _ -> acc)
+    0 ids
+
+let open_store ?weights ?hierarchy ?scorer ?(limits = default_limits) ~snapshot ~wal:wal_path () =
+  let base =
+    if Sys.file_exists snapshot then
+      match Storage.load ?weights snapshot with
+      | Error e -> Error e
+      | Ok (env, _outcome) -> of_env env
+    else empty ?weights ?hierarchy ?scorer ()
+  in
+  match base with
+  | Error e -> Error e
+  | Ok corpus0 -> (
+    match Wal.open_ wal_path with
+    | Error e -> Error e
+    | Ok (wal, replay) -> (
+      let rec replay_all corpus = function
+        | [] -> Ok corpus
+        | r :: rest -> (
+          match apply_record corpus r with
+          | Ok corpus -> replay_all corpus rest
+          | Error e -> Error e)
+      in
+      match replay_all corpus0 replay.Wal.records with
+      | Error e ->
+        Wal.close wal;
+        Error e
+      | Ok corpus ->
+        let replayed = List.length replay.Wal.records in
+        Ok
+          {
+            corpus;
+            wal;
+            snapshot;
+            limits;
+            unmerged = replayed;
+            oldest_unmerged_ms = (if replayed = 0 then None else Some (Monotime.now_ms ()));
+            replayed;
+          }))
+
+let store_env st = st.corpus.env
+let store_ids st = st.corpus.ids
+let doc_count st = List.length st.corpus.ids
+let unmerged_records st = st.unmerged
+let replayed_records st = st.replayed
+let wal_bytes st = Wal.bytes st.wal
+let limits st = st.limits
+
+let staleness_ms st =
+  match st.oldest_unmerged_ms with None -> 0.0 | Some t -> Float.max 0.0 (Monotime.now_ms () -. t)
+
+let record_acked st =
+  st.unmerged <- st.unmerged + 1;
+  if st.oldest_unmerged_ms = None then st.oldest_unmerged_ms <- Some (Monotime.now_ms ())
+
+(* Apply first (building the successor corpus; the served one is
+   untouched), then log, then commit and ack — an error anywhere
+   leaves both the store and the log describing exactly the acked
+   prefix. *)
+let ingest st ?id xml =
+  match parse_doc ~limits:st.limits xml with
+  | Error e -> Error e
+  | Ok tree -> (
+    let id =
+      match id with
+      | Some id -> check_id id
+      | None -> Ok (Printf.sprintf "doc-%d" (next_auto_of st.corpus.ids))
+    in
+    match id with
+    | Error e -> Error e
+    | Ok id -> (
+      match add st.corpus ~id tree with
+      | Error e -> Error e
+      | exception Failpoint.Injected p -> Error (Error.Fault p)
+      | Ok corpus -> (
+        match Wal.append st.wal (Wal.Add { id; xml }) with
+        | Error e -> Error e
+        | Ok () ->
+          st.corpus <- corpus;
+          record_acked st;
+          Ok id)))
+
+let delete st ~id =
+  match
+    if not (mem st.corpus id) then
+      Error (Error.Config_error { what = "document id"; message = Printf.sprintf "no document %S" id })
+    else remove st.corpus ~id
+  with
+  | Error e -> Error e
+  | Ok corpus -> (
+    match Wal.append st.wal (Wal.Delete { id }) with
+    | Error e -> Error e
+    | Ok () ->
+      st.corpus <- corpus;
+      record_acked st;
+      Ok ())
+
+(* Durable compaction: snapshot the whole corpus atomically, then — and
+   only then — truncate the log.  The [merge_publish] failpoint sits in
+   the window where both the snapshot and the log describe the acked
+   corpus; a crash there replays the full log over the new snapshot,
+   which the upsert semantics of [apply_record] make a no-op.  The
+   injected exception escapes deliberately (it simulates the merge
+   domain dying mid-publish; the server's supervisor handles it). *)
+let merge st =
+  if st.unmerged = 0 && Sys.file_exists st.snapshot then Ok ()
+  else begin
+    match Storage.save st.corpus.env st.snapshot with
+    | Error e -> Error e
+    | Ok () ->
+      Failpoint.hit "merge_publish";
+      (match Wal.truncate st.wal with
+      | Error e -> Error e
+      | Ok () ->
+        st.unmerged <- 0;
+        st.oldest_unmerged_ms <- None;
+        Ok ())
+  end
+
+let close st = Wal.close st.wal

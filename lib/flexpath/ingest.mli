@@ -1,0 +1,152 @@
+(** Live ingestion: a writable corpus served as one environment.
+
+    The corpus is a single synthetic document — an [fx-corpus] root
+    whose children are [fx-doc id="..."] wrappers, one per ingested
+    document — so there is exactly one index and one statistics table,
+    and every score or penalty uses corpus-global counts.  Adding a
+    document {e extends} the arena, index and statistics incrementally
+    ({!Xmldom.Doc.append_trees}, {!Fulltext.Index.extend},
+    {!Stats.extend}); each extension is value-identical to a fresh
+    build over the union corpus, so an incrementally grown corpus
+    answers queries byte-for-byte like an offline rebuild — the
+    merge-equivalence property the test suite verifies across
+    DPO/SSO/Hybrid.  Deletes and upserts of existing ids take the slow
+    rebuild path (rare next to appends, as in any LSM).
+
+    The {!store} adds durability: every acknowledged write is first
+    appended to a CRC-per-record {!Wal}; {!merge} folds the corpus
+    into a Storage v2 snapshot atomically and truncates the log only
+    after the snapshot rename is durable; {!open_store} replays the
+    log tail over the snapshot, so a crash at any byte recovers to
+    exactly the acknowledged document set (WAL replay is idempotent:
+    an [Add] of an existing id is an upsert).  See DESIGN.md §4h for
+    the ack/durability contract and crash matrix.
+
+    Corpora are immutable values; a store is single-writer mutable
+    state (the server serializes writers and publishes each new corpus
+    env through its generation counter). *)
+
+val corpus_tag : string
+(** ["fx-corpus"], the synthetic root tag. *)
+
+val doc_tag : string
+(** ["fx-doc"], the per-document wrapper tag; its [id] attribute is the
+    document id. *)
+
+val valid_id : string -> bool
+(** Ids are 1-128 characters from [A-Za-z0-9._-]: safe on the wire
+    verb line, in WAL payloads and as XML attribute values. *)
+
+(** {2 Parse budget} *)
+
+type limits = { max_bytes : int; max_elems : int }
+(** Caps on one ingested document.  The element cap is enforced by a
+    streaming SAX pre-pass, so an oversized document is rejected after
+    one scan without materializing its tree. *)
+
+val default_limits : limits
+(** 8 MiB, 262144 elements. *)
+
+val parse_doc : ?limits:limits -> string -> (Xmldom.Xml.t, Error.t) result
+(** Budget-checked parse of one ingested document; rejects text-node
+    roots.  [Capacity] when over budget, [Xml_error] when malformed. *)
+
+(** {2 Corpus values} *)
+
+type corpus
+
+val empty :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  unit ->
+  (corpus, Error.t) result
+
+val of_docs :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  (string * Xmldom.Xml.t) list ->
+  (corpus, Error.t) result
+(** Offline build over a document list — the comparator the
+    merge-equivalence tests rebuild against.  Ids must be distinct and
+    valid (not re-checked here; [add] checks on the live path). *)
+
+val of_env : Env.t -> (corpus, Error.t) result
+(** Re-derive the registry from a snapshot-loaded corpus env; the
+    corpus document is its own registry.  [Config_error] when the root
+    is not [fx-corpus] or a wrapper id is missing, invalid or
+    duplicated. *)
+
+val env : corpus -> Env.t
+val ids : corpus -> string list
+(** Document ids in corpus order (ingestion order, upserts moving to
+    the end). *)
+
+val mem : corpus -> string -> bool
+val docs : corpus -> (string * Xmldom.Xml.t) list
+(** Extract every (id, document tree), in corpus order. *)
+
+val add : corpus -> id:string -> Xmldom.Xml.t -> (corpus, Error.t) result
+(** Upsert.  New ids append incrementally; existing ids rebuild with
+    the replacement moved to the end (delete + re-ingest semantics, so
+    WAL replay is idempotent). *)
+
+val remove : corpus -> id:string -> (corpus, Error.t) result
+(** [Config_error] for unknown ids. *)
+
+(** {2 WAL-backed store} *)
+
+type store
+
+val open_store :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  ?limits:limits ->
+  snapshot:string ->
+  wal:string ->
+  unit ->
+  (store, Error.t) result
+(** Load the snapshot if present (else start empty), open the WAL and
+    replay its valid prefix.  [snapshot] is also where {!merge}
+    publishes; [weights]/[hierarchy]/[scorer] apply when starting
+    empty (a snapshot carries its own index and hierarchy). *)
+
+val ingest : store -> ?id:string -> string -> (string, Error.t) result
+(** Parse under the store's budget, apply, WAL-append, fsync, commit;
+    returns the document id (auto-assigned [doc-N] when omitted).  An
+    [Error] means the write is in neither the corpus nor the log. *)
+
+val delete : store -> id:string -> (unit, Error.t) result
+
+val merge : store -> (unit, Error.t) result
+(** Durable compaction: atomic {!Storage.save} of the corpus, then WAL
+    truncation.  No-op when nothing is unmerged and a snapshot exists.
+    The [merge_publish] failpoint fires between the two steps and its
+    {!Failpoint.Injected} escapes deliberately — it simulates the
+    merge domain dying in the one window where snapshot and log
+    overlap, which replay handles idempotently. *)
+
+val store_env : store -> Env.t
+(** The current corpus env — what the server publishes after each
+    acknowledged write. *)
+
+val store_ids : store -> string list
+val doc_count : store -> int
+
+val unmerged_records : store -> int
+(** The [delta_docs] STATS gauge. *)
+
+val replayed_records : store -> int
+(** WAL records replayed at open. *)
+
+val wal_bytes : store -> int
+
+val staleness_ms : store -> float
+(** Age of the oldest acknowledged-but-unmerged write; 0 when fully
+    merged.  Bounded by the merge interval when the merge domain is
+    healthy — the operator-facing lag gauge. *)
+
+val limits : store -> limits
+val close : store -> unit

@@ -1,0 +1,236 @@
+(* Write-ahead log for live ingestion.
+
+   An append-only file of CRC-guarded records, one per acknowledged
+   write.  The byte layout (DESIGN.md §4h) keeps every record
+   independently verifiable:
+
+     file   := magic record*
+     magic  := "FXWAL001"                      (8 bytes)
+     record := len:u32le kind:u8 payload CRC:u32le
+     kind 1 := add     payload = id_len:u16le id xml
+     kind 2 := delete  payload = id
+
+   [len] counts the payload bytes; the CRC covers len, kind and
+   payload, so truncation, a torn tail and bit rot are all caught
+   before a payload is interpreted.  Replay scans from the start and
+   stops at the first record that is short, oversized, checksum-bad or
+   malformed: everything before that point was written by a completed
+   [append] (records are written with a single [write] and fsynced
+   before the caller acknowledges), everything after it is at most one
+   torn record from a crash mid-append, which by the ack contract was
+   never acknowledged and is safe to drop. *)
+
+type record = Add of { id : string; xml : string } | Delete of { id : string }
+
+type replay = { records : record list; valid_bytes : int; dropped_bytes : int }
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable size : int;
+  (* Set when an append failed after bytes may have reached the file
+     and the rollback truncation also failed: the tail is no longer
+     trusted, so further appends must not be acknowledged. *)
+  mutable broken : bool;
+}
+
+let magic = "FXWAL001"
+let max_payload = 1 lsl 30
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF))
+
+let put_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let get_u16 s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let encode r =
+  let payload = Buffer.create 256 in
+  let kind =
+    match r with
+    | Add { id; xml } ->
+      put_u16 payload (String.length id);
+      Buffer.add_string payload id;
+      Buffer.add_string payload xml;
+      1
+    | Delete { id } ->
+      Buffer.add_string payload id;
+      2
+  in
+  let payload = Buffer.contents payload in
+  let b = Buffer.create (String.length payload + 16) in
+  put_u32 b (String.length payload);
+  Buffer.add_char b (Char.chr kind);
+  Buffer.add_string b payload;
+  let body = Buffer.contents b in
+  put_u32 b (Crc32.string body);
+  Buffer.contents b
+
+let decode_payload kind payload =
+  match kind with
+  | 1 ->
+    if String.length payload < 2 then None
+    else begin
+      let id_len = get_u16 payload 0 in
+      if 2 + id_len > String.length payload then None
+      else
+        Some
+          (Add
+             {
+               id = String.sub payload 2 id_len;
+               xml = String.sub payload (2 + id_len) (String.length payload - 2 - id_len);
+             })
+    end
+  | 2 -> Some (Delete { id = payload })
+  | _ -> None
+
+(* Scan the record region of [s] (which must start with the magic).
+   Returns the records of the longest valid prefix. *)
+let scan s =
+  let len = String.length s in
+  let records = ref [] in
+  let pos = ref (String.length magic) in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 4 + 1 + 4 > len then stop := true
+    else begin
+      let p_len = get_u32 s !pos in
+      if p_len < 0 || p_len > max_payload || !pos + 4 + 1 + p_len + 4 > len then stop := true
+      else begin
+        let crc = get_u32 s (!pos + 4 + 1 + p_len) in
+        if Crc32.string ~pos:!pos ~len:(4 + 1 + p_len) s <> crc then stop := true
+        else begin
+          match decode_payload (Char.code s.[!pos + 4]) (String.sub s (!pos + 5) p_len) with
+          | None -> stop := true
+          | Some r ->
+            records := r :: !records;
+            pos := !pos + 4 + 1 + p_len + 4
+        end
+      end
+    end
+  done;
+  { records = List.rev !records; valid_bytes = !pos; dropped_bytes = len - !pos }
+
+let decode s =
+  let len = String.length s in
+  let m = String.length magic in
+  if len < m then
+    if String.equal s (String.sub magic 0 len) then
+      (* Torn header: a crash during log creation, before any record
+         could have been acknowledged. *)
+      Ok { records = []; valid_bytes = 0; dropped_bytes = len }
+    else Error Error.Bad_magic
+  else if not (String.equal (String.sub s 0 m) magic) then Error Error.Bad_magic
+  else Ok (scan s)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error message -> Error (Error.Io_error { path; message })
+
+let io path fn e =
+  Error (Error.Io_error { path; message = Printf.sprintf "%s: %s" fn (Unix.error_message e) })
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let open_ path =
+  let contents = if Sys.file_exists path then read_file path else Ok "" in
+  match contents with
+  | Error e -> Error e
+  | Ok s -> (
+    let replay =
+      match decode s with
+      | Ok r -> Ok r
+      | Error c -> Error (Error.Snapshot_error { path; corruption = c })
+    in
+    match replay with
+    | Error e -> Error e
+    | Ok replay -> (
+      match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+      | exception Unix.Unix_error (e, fn, _) -> io path fn e
+      | fd -> (
+        try
+          if replay.valid_bytes = 0 then begin
+            (* Fresh or torn-header log: (re)initialize. *)
+            Unix.ftruncate fd 0;
+            write_all fd magic;
+            Unix.fsync fd
+          end
+          else if replay.dropped_bytes > 0 then begin
+            (* Drop the torn tail in place so the next append starts at
+               a record boundary. *)
+            Unix.ftruncate fd replay.valid_bytes;
+            ignore (Unix.lseek fd replay.valid_bytes Unix.SEEK_SET);
+            Unix.fsync fd
+          end
+          else ignore (Unix.lseek fd 0 Unix.SEEK_END);
+          let size = max replay.valid_bytes (String.length magic) in
+          Ok ({ path; fd; size; broken = false }, replay)
+        with Unix.Unix_error (e, fn, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          io path fn e)))
+
+let bytes t = t.size
+let path t = t.path
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Undo a partially durable append so an error return implies the
+   record is absent from the log — without this, a failed fsync would
+   leave an unacknowledged record that a later restart replays. *)
+let rollback t old_size =
+  try
+    Unix.ftruncate t.fd old_size;
+    ignore (Unix.lseek t.fd old_size Unix.SEEK_SET);
+    t.size <- old_size
+  with Unix.Unix_error _ -> t.broken <- true
+
+let append t r =
+  if t.broken then
+    Error (Error.Io_error { path = t.path; message = "WAL handle poisoned by earlier failure" })
+  else begin
+    let old_size = t.size in
+    let bytes = encode r in
+    match
+      Failpoint.hit "wal_append";
+      write_all t.fd bytes;
+      Failpoint.hit "wal_fsync";
+      Unix.fsync t.fd
+    with
+    | () ->
+      t.size <- old_size + String.length bytes;
+      Ok ()
+    | exception Failpoint.Injected p ->
+      rollback t old_size;
+      Error (Error.Fault p)
+    | exception Unix.Unix_error (e, fn, _) ->
+      rollback t old_size;
+      io t.path fn e
+  end
+
+let truncate t =
+  try
+    Unix.ftruncate t.fd (String.length magic);
+    ignore (Unix.lseek t.fd (String.length magic) Unix.SEEK_SET);
+    Unix.fsync t.fd;
+    t.size <- String.length magic;
+    t.broken <- false;
+    Ok ()
+  with Unix.Unix_error (e, fn, _) -> io t.path fn e

@@ -1,0 +1,71 @@
+(** Write-ahead log for live ingestion.
+
+    Each acknowledged write ([INGEST]/[DELETE]) is appended as one
+    CRC-32-guarded record and fsynced {e before} the acknowledgment is
+    sent, so the log always covers at least the acked document set;
+    {!Ingest} replays it on startup and truncates it only after a
+    durable snapshot merge.  The byte format (DESIGN.md §4h) is an
+    8-byte magic ["FXWAL001"] followed by records
+    [len:u32le kind:u8 payload crc:u32le], the CRC covering
+    [len]+[kind]+[payload].
+
+    Crash contract: replay stops at the first short, oversized,
+    checksum-bad or malformed record.  A crash at {e any} byte of an
+    in-flight append leaves a torn tail after a valid prefix; the torn
+    record was never acknowledged, so dropping it (which {!open_} does
+    in place) recovers exactly the acknowledged history.  [append]
+    conversely guarantees that an error return means the record is
+    {e not} in the log (a partially durable write is rolled back), so
+    the set of records equals the set of acks — with one classic
+    exception: a crash after fsync but before the ack reaches the
+    client leaves a durable record the client never saw confirmed,
+    which is why client retries must be idempotent (upsert by id).
+
+    Handles are not thread-safe; the server serializes all writers. *)
+
+type record =
+  | Add of { id : string; xml : string }
+      (** Upsert of document [id] with serialized content [xml]. *)
+  | Delete of { id : string }
+
+type replay = {
+  records : record list;  (** The valid prefix, oldest first. *)
+  valid_bytes : int;  (** Byte length of that prefix (0: torn header). *)
+  dropped_bytes : int;  (** Torn/corrupt bytes past it, discarded. *)
+}
+
+type t
+
+val magic : string
+
+val open_ : string -> (t * replay, Error.t) result
+(** Open (creating if absent) and scan the log.  A torn tail — or a
+    torn magic from a crash during creation — is truncated away in
+    place; a file that does not even begin with a prefix of the magic
+    is someone else's data and comes back as [Snapshot_error]
+    [Bad_magic] rather than being clobbered. *)
+
+val append : t -> record -> (unit, Error.t) result
+(** Encode, write, fsync.  Consults the [wal_append] failpoint before
+    the write and [wal_fsync] before the fsync; on any failure the
+    partial write is rolled back (truncated) so [Error] implies the
+    record is absent.  If even the rollback fails the handle is
+    poisoned and all further appends fail. *)
+
+val truncate : t -> (unit, Error.t) result
+(** Reset to the bare magic — called only after the merged snapshot
+    rename is durable.  Un-poisons a handle whose rollback had
+    failed. *)
+
+val bytes : t -> int
+(** Current log size in bytes (the [wal_bytes] STATS gauge). *)
+
+val path : t -> string
+val close : t -> unit
+
+(** {2 Pure codec (exposed for the corruption test corpus)} *)
+
+val encode : record -> string
+
+val decode : string -> (replay, Error.corruption) result
+(** Scan a full log image, magic included. *)

@@ -109,6 +109,137 @@ let build ?(scorer = Scorer.default) doc =
     avg_scope_len;
   }
 
+(* Extend an index over a document that grew by [Doc.append_trees]: the
+   elements of [doc] below [first_new] — and every chunk the old index
+   already tokenized — are exactly those of [idx]'s document, so only
+   the new chunks are tokenized, with positions continuing from
+   [idx.n_tokens].  Every derived structure is value-identical to
+   [build doc]: term ids are dense in first-occurrence order (old terms
+   keep theirs, new terms appear for the first time in the new text in
+   the same order a fresh pass would meet them); posting lists for
+   untouched terms are shared with the old index; subtree ranges of old
+   non-root elements are unchanged because new tokens live entirely in
+   the appended subtrees. *)
+let extend idx doc ~first_new =
+  let n = Doc.size doc in
+  if first_new <> Doc.size idx.doc then
+    invalid_arg
+      (Printf.sprintf "Index.extend: index covers %d elements, extension starts at %d"
+         (Doc.size idx.doc) first_new);
+  if n = first_new then { idx with doc }
+  else begin
+    let term_ids = Hashtbl.copy idx.term_ids in
+    let next_tid = ref (Array.length idx.postings) in
+    let tid_of term =
+      match Hashtbl.find_opt term_ids term with
+      | Some tid -> tid
+      | None ->
+        let tid = !next_tid in
+        incr next_tid;
+        Hashtbl.add term_ids term tid;
+        tid
+    in
+    let terms_rev = ref [] in
+    let owners_rev = ref [] in
+    let n_tokens = ref idx.n_tokens in
+    let tok_start = Array.make n max_int in
+    let tok_end = Array.make n min_int in
+    Array.blit idx.tok_start 0 tok_start 0 first_new;
+    Array.blit idx.tok_end 0 tok_end 0 first_new;
+    for c = Doc.chunk_count idx.doc to Doc.chunk_count doc - 1 do
+      let owner = Doc.chunk_owner doc c in
+      Tokenizer.iter (Doc.chunk_text doc c) (fun w ->
+          if not (Stopwords.is_stopword w) then begin
+            let tid = tid_of (Stemmer.stem w) in
+            let pos = !n_tokens in
+            incr n_tokens;
+            terms_rev := tid :: !terms_rev;
+            owners_rev := owner :: !owners_rev;
+            if pos < tok_start.(owner) then tok_start.(owner) <- pos;
+            if pos + 1 > tok_end.(owner) then tok_end.(owner) <- pos + 1
+          end)
+    done;
+    let n_tok = !n_tokens in
+    let tok_term = Array.make (max 1 n_tok) 0 in
+    let tok_owner = Array.make (max 1 n_tok) 0 in
+    Array.blit idx.tok_term 0 tok_term 0 idx.n_tokens;
+    Array.blit idx.tok_owner 0 tok_owner 0 idx.n_tokens;
+    List.iteri (fun i tid -> tok_term.(n_tok - 1 - i) <- tid) !terms_rev;
+    List.iteri (fun i owner -> tok_owner.(n_tok - 1 - i) <- owner) !owners_rev;
+    terms_rev := [];
+    owners_rev := [];
+    (* New subtrees hang directly under the root, so upward merging stays
+       within [first_new ..]; the root is then pinned to the full token
+       span, as a fresh build would leave it. *)
+    for e = n - 1 downto first_new do
+      match Doc.parent doc e with
+      | None -> ()
+      | Some p ->
+        if p >= first_new then begin
+          if tok_start.(e) < tok_start.(p) then tok_start.(p) <- tok_start.(e);
+          if tok_end.(e) > tok_end.(p) then tok_end.(p) <- tok_end.(e)
+        end
+    done;
+    for e = first_new to n - 1 do
+      if tok_start.(e) = max_int then begin
+        tok_start.(e) <- 0;
+        tok_end.(e) <- 0
+      end
+    done;
+    if n_tok > 0 then begin
+      tok_start.(0) <- 0;
+      tok_end.(0) <- n_tok
+    end;
+    let n_terms = !next_tid in
+    let counts = Array.make (max 1 n_terms) 0 in
+    for pos = idx.n_tokens to n_tok - 1 do
+      counts.(tok_term.(pos)) <- counts.(tok_term.(pos)) + 1
+    done;
+    let postings =
+      Array.init n_terms (fun tid ->
+          let old = if tid < Array.length idx.postings then idx.postings.(tid) else [||] in
+          if counts.(tid) = 0 then old
+          else begin
+            let a = Array.make (Array.length old + counts.(tid)) 0 in
+            Array.blit old 0 a 0 (Array.length old);
+            a
+          end)
+    in
+    let fill =
+      Array.init (max 1 n_terms) (fun tid ->
+          if tid < Array.length idx.postings then Array.length idx.postings.(tid) else 0)
+    in
+    for pos = idx.n_tokens to n_tok - 1 do
+      let tid = tok_term.(pos) in
+      postings.(tid).(fill.(tid)) <- pos;
+      fill.(tid) <- fill.(tid) + 1
+    done;
+    let text_bearing = ref 0 in
+    let total_len = ref 0 in
+    for e = 0 to n - 1 do
+      let len = tok_end.(e) - tok_start.(e) in
+      if len > 0 then begin
+        incr text_bearing;
+        total_len := !total_len + len
+      end
+    done;
+    let avg_scope_len =
+      if !text_bearing = 0 then 0.0 else float_of_int !total_len /. float_of_int !text_bearing
+    in
+    {
+      doc;
+      term_ids;
+      postings;
+      tok_term;
+      tok_owner;
+      tok_start;
+      tok_end;
+      n_tokens = n_tok;
+      scorer = idx.scorer;
+      avg_scope_len;
+    }
+  end
+
 (* The index minus its document: what snapshot storage persists.  The
    document is stored once in its own snapshot section; [of_portable]
    re-attaches it.  No field is a closure, so the whole record is

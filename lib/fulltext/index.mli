@@ -24,6 +24,19 @@ val build : ?scorer:Scorer.t -> Xmldom.Doc.t -> t
 (** [scorer] selects the keyword-evidence function (default
     {!Scorer.Tf_idf}; see {!Scorer}). *)
 
+val extend : t -> Xmldom.Doc.t -> first_new:int -> t
+(** [extend idx doc ~first_new] re-covers an index after the document
+    grew by {!Xmldom.Doc.append_trees}: [doc] must share elements
+    [0 .. first_new - 1] (and all previously indexed chunks) with the
+    document [idx] was built over, with [first_new] equal to that
+    document's size.  Only the new chunks are tokenized; the result is
+    value-identical to [build doc] — same term ids, posting lists,
+    token maps, subtree ranges and (bit-for-bit) [avg_scope_len] — so
+    delta ingestion scores exactly like an offline rebuild.  Posting
+    lists of terms absent from the new text are shared with [idx].
+    @raise Invalid_argument when [first_new] is not the size of [idx]'s
+    document. *)
+
 val doc : t -> Xmldom.Doc.t
 val scorer : t -> Scorer.t
 

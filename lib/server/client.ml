@@ -18,12 +18,22 @@ let connect ?(host = "127.0.0.1") ~port () =
    closes the socket. *)
 let close c = try close_in c.ic with Sys_error _ -> ()
 
-let send c line =
-  Failpoint.hit "client_send";
-  let s = line ^ "\n" in
+type req = { line : string; body : string option }
+
+let ingest_request ?id xml =
+  let id_tok = match id with None -> "" | Some i -> " id=" ^ i in
+  { line = Printf.sprintf "INGEST %d%s" (String.length xml) id_tok; body = Some xml }
+
+let write_all c s =
   let n = String.length s in
   let rec go off = if off < n then go (off + Unix.write_substring c.fd s off (n - off)) in
   go 0
+
+let send_req c r =
+  Failpoint.hit "client_send";
+  match r.body with
+  | None -> write_all c (r.line ^ "\n")
+  | Some b -> write_all c (String.concat "" [ r.line; "\n"; b; "\n" ])
 
 (* A receive timeout surfaces from the buffered channel as
    [Sys_blocked_io] (the EAGAIN that SO_RCVTIMEO produces), a reset as
@@ -43,11 +53,13 @@ let recv c =
   in
   Protocol.read_response ~read_line ~read_bytes
 
-let request c line =
-  match send c line with
+let request_framed c r =
+  match send_req c r with
   | () -> recv c
   | exception Failpoint.Injected _ -> None
   | exception Unix.Unix_error (_, _, _) -> None
+
+let request c line = request_framed c { line; body = None }
 
 (* ------------------------------------------------------------------ *)
 (* The retrying driver *)
@@ -114,7 +126,26 @@ let with_deadline line remaining_ms =
     String.concat " " ((verb :: opts) @ [ xpath ])
   | _ -> line
 
-let run ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
+(* An [INGEST] without an explicit [id=] is the one request whose
+   retry is unsafe after an ambiguous outcome: the server fsyncs the
+   WAL record {e before} acking, so a connection that dies between the
+   two may or may not have committed the write — a blind resend could
+   ingest the document twice under two auto-assigned ids.  With [id=]
+   the write is an upsert and a replay converges to the same state. *)
+let ambiguous_on_retry line =
+  match split_token line with
+  | Some (verb, rest) when String.uppercase_ascii verb = "INGEST" ->
+    let rec has_id rest =
+      match split_token rest with
+      | Some (tok, after) ->
+        (String.length tok > 3 && String.lowercase_ascii (String.sub tok 0 3) = "id=")
+        || has_id after
+      | None -> false
+    in
+    not (has_id rest)
+  | _ -> false
+
+let run_requests ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
   let rng =
     match rng with Some r -> r | None -> Random.State.make_self_init ()
   in
@@ -153,12 +184,14 @@ let run ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
     let sleep_ms = Float.min sleep_ms (Float.max 0.0 (remaining ())) in
     if sleep_ms > 0.0 then Unix.sleepf (sleep_ms /. 1000.0)
   in
-  let rec attempt_request line ~attempt ~last =
+  let rec attempt_request (r : req) ~attempt ~last =
     if remaining () <= 0.0 then Error Budget_exhausted
     else if attempt > retry.retries then Error last
     else begin
-      let line =
-        match retry.budget_ms with None -> line | Some _ -> with_deadline line (remaining ())
+      let r =
+        match retry.budget_ms with
+        | None -> r
+        | Some _ -> { r with line = with_deadline r.line (remaining ()) }
       in
       let outcome =
         match !conn with
@@ -173,22 +206,28 @@ let run ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
       match outcome with
       | Error fail ->
         backoff ~attempt ~hint_ms:None;
-        attempt_request line ~attempt:(attempt + 1) ~last:fail
+        attempt_request r ~attempt:(attempt + 1) ~last:fail
       | Ok c -> (
         arm_timeout c ~attempts_left:(retry.retries - attempt + 1);
-        match request c line with
+        match request_framed c r with
+        | None when ambiguous_on_retry r.line ->
+          (* The write may already be durable server-side; resending
+             it is not idempotent without an id, so fail fast and let
+             the caller decide (see the mli's retry contract). *)
+          drop_conn ();
+          Error No_response
         | None ->
           (* EOF, reset, receive timeout or injected send fault: this
              connection is unusable; retry on a fresh one. *)
           drop_conn ();
           backoff ~attempt ~hint_ms:None;
-          attempt_request line ~attempt:(attempt + 1) ~last:No_response
+          attempt_request r ~attempt:(attempt + 1) ~last:No_response
         | Some (Protocol.Overloaded, body) ->
           (* The server closes the connection after an admission-level
              reject; a queue-deadline shed closed it too. *)
           drop_conn ();
           backoff ~attempt ~hint_ms:(Protocol.parse_retry_after body);
-          attempt_request line ~attempt:(attempt + 1) ~last:Overloaded
+          attempt_request r ~attempt:(attempt + 1) ~last:Overloaded
         | Some response ->
           (* OK, PARTIAL, ERR, QUARANTINED, BYE: a definitive answer.
              ERR and QUARANTINED are deterministic — retrying them
@@ -198,11 +237,15 @@ let run ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
   in
   let rec drive acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest -> (
-      match attempt_request line ~attempt:0 ~last:No_response with
+    | r :: rest -> (
+      match attempt_request r ~attempt:0 ~last:No_response with
       | Ok response -> drive (response :: acc) rest
       | Error fail -> Error (fail, List.rev acc))
   in
   let result = drive [] requests in
   drop_conn ();
   result
+
+let run ?metrics ?rng ?host ~port ~retry lines =
+  run_requests ?metrics ?rng ?host ~port ~retry
+    (List.map (fun line -> { line; body = None }) lines)

@@ -19,6 +19,20 @@
       deterministically costs it workers; retrying it would spend the
       whole budget for the same verdict.
 
+    {2 Write idempotency}
+
+    [INGEST] acks only after the WAL record is fsynced, so a
+    connection that dies mid-request is {e ambiguous}: the write may
+    or may not be durable.  An [INGEST] carrying an explicit [id=] is
+    an upsert — replaying it converges, so the ambiguous outcome is
+    retried like any other.  An [INGEST] {e without} an id is not
+    idempotent (each resend could mint a fresh [doc-N]), so the first
+    ambiguous outcome fails the run immediately with {!No_response} —
+    only connect failures (no bytes sent) and [OVERLOADED] (a
+    definitive reject) are retried for it.  [flexpath client
+    --ingest-file] therefore requires [--ingest-id] whenever retries
+    are enabled.
+
     With a [budget_ms], the whole run shares one end-to-end deadline:
     backoff sleeps never overshoot it, each attempt's response wait is
     an equal share of what remains, and — deadline propagation — every
@@ -34,6 +48,18 @@ val close : conn -> unit
 val request : conn -> string -> (Protocol.status * string) option
 (** One request, one framed response; [None] on any send or receive
     failure (the connection should then be closed). *)
+
+type req = { line : string; body : string option }
+(** One wire request: the line, plus — for [INGEST] — the framed
+    document body (sent as [body] bytes and a framing newline after
+    the line; [line] must announce [String.length body]). *)
+
+val ingest_request : ?id:string -> string -> req
+(** [ingest_request ?id xml] is the well-framed
+    [INGEST <len> [id=<id>]] request for [xml]. *)
+
+val request_framed : conn -> req -> (Protocol.status * string) option
+(** {!request}, but sending the framed body when present. *)
 
 type retry = {
   retries : int;  (** Additional attempts after the first (0 = try once). *)
@@ -65,6 +91,22 @@ val with_deadline : string -> float -> string
     verbatim.  Exposed so tests can pin the rewrite down without a
     server. *)
 
+val run_requests :
+  ?metrics:Metrics.t ->
+  ?rng:Random.State.t ->
+  ?host:string ->
+  port:int ->
+  retry:retry ->
+  req list ->
+  ((Protocol.status * string) list, failure * (Protocol.status * string) list) result
+(** Sends each request in order, retrying per the policy above
+    (including the write-idempotency rule).  [Ok responses] pairs one
+    response per request; [Error (f, done_)] reports the failure that
+    exhausted the policy plus the responses completed before it.
+    [?metrics] counts each retry into {!Metrics.client_retry} (for
+    harnesses co-located with the server); [?rng] makes the jitter
+    deterministic in tests. *)
+
 val run :
   ?metrics:Metrics.t ->
   ?rng:Random.State.t ->
@@ -73,9 +115,4 @@ val run :
   retry:retry ->
   string list ->
   ((Protocol.status * string) list, failure * (Protocol.status * string) list) result
-(** Sends each request line in order, retrying per the policy above.
-    [Ok responses] pairs one response per request; [Error (f, done_)]
-    reports the failure that exhausted the policy plus the responses
-    completed before it.  [?metrics] counts each retry into
-    {!Metrics.client_retry} (for harnesses co-located with the
-    server); [?rng] makes the jitter deterministic in tests. *)
+(** {!run_requests} over bare request lines (no bodies). *)

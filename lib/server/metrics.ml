@@ -1,4 +1,4 @@
-type endpoint = Ping | Query | Relax | Stats | Reload
+type endpoint = Ping | Query | Relax | Stats | Reload | Ingest | Delete | Merge
 
 let endpoint_to_string = function
   | Ping -> "ping"
@@ -6,8 +6,11 @@ let endpoint_to_string = function
   | Relax -> "relax"
   | Stats -> "stats"
   | Reload -> "reload"
+  | Ingest -> "ingest"
+  | Delete -> "delete"
+  | Merge -> "merge"
 
-let all_endpoints = [ Ping; Query; Relax; Stats; Reload ]
+let all_endpoints = [ Ping; Query; Relax; Stats; Reload; Ingest; Delete; Merge ]
 
 type t = {
   lock : Mutex.t;
@@ -23,6 +26,12 @@ type t = {
   mutable quarantined : int;
   mutable shed_queue_deadline : int;
   mutable client_retries : int;
+  mutable ingests : int;
+  mutable deletes : int;
+  mutable writes_rejected : int;
+  mutable merges : int;
+  mutable merge_failures : int;
+  mutable merge_respawns : int;
   latency : (endpoint * Reservoir.t) list;
 }
 
@@ -41,6 +50,12 @@ let create () =
     quarantined = 0;
     shed_queue_deadline = 0;
     client_retries = 0;
+    ingests = 0;
+    deletes = 0;
+    writes_rejected = 0;
+    merges = 0;
+    merge_failures = 0;
+    merge_respawns = 0;
     latency = List.map (fun e -> (e, Reservoir.create ())) all_endpoints;
   }
 
@@ -75,6 +90,12 @@ let shed_queue_deadline t =
   with_lock t (fun () -> t.shed_queue_deadline <- t.shed_queue_deadline + 1)
 
 let client_retry t = with_lock t (fun () -> t.client_retries <- t.client_retries + 1)
+let ingested t = with_lock t (fun () -> t.ingests <- t.ingests + 1)
+let deleted t = with_lock t (fun () -> t.deletes <- t.deletes + 1)
+let write_rejected t = with_lock t (fun () -> t.writes_rejected <- t.writes_rejected + 1)
+let merged t = with_lock t (fun () -> t.merges <- t.merges + 1)
+let merge_failed t = with_lock t (fun () -> t.merge_failures <- t.merge_failures + 1)
+let merge_respawned t = with_lock t (fun () -> t.merge_respawns <- t.merge_respawns + 1)
 
 type snapshot = {
   admitted : int;
@@ -88,6 +109,12 @@ type snapshot = {
   quarantine_rejects : int;
   shed : int;
   retries : int;
+  ingests : int;
+  deletes : int;
+  writes_rejected : int;
+  merges : int;
+  merge_failures : int;
+  merge_respawns : int;
 }
 
 let snapshot t =
@@ -104,13 +131,28 @@ let snapshot t =
         quarantine_rejects = t.quarantined;
         shed = t.shed_queue_deadline;
         retries = t.client_retries;
+        ingests = t.ingests;
+        deletes = t.deletes;
+        writes_rejected = t.writes_rejected;
+        merges = t.merges;
+        merge_failures = t.merge_failures;
+        merge_respawns = t.merge_respawns;
       })
 
-let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache =
+type ingest_gauges = {
+  corpus_docs : int;
+  delta_docs : int;
+  wal_bytes : int;
+  staleness_ms : float;
+  wal_replayed_records : int;
+}
+
+let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest =
   with_lock t (fun () ->
       let b = Buffer.create 512 in
       let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
       line "uptime_s: %.1f" uptime_s;
+      line "generation: %d" generation;
       line "snapshot_generation: %d" generation;
       line "queue_depth: %d/%d" queue_depth queue_capacity;
       line "connections_admitted: %d" t.connections_admitted;
@@ -125,6 +167,20 @@ let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache =
       line "quarantined: %d" t.quarantined;
       line "shed_queue_deadline: %d" t.shed_queue_deadline;
       line "client_retries: %d" t.client_retries;
+      (match ingest with
+      | None -> line "ingest: off"
+      | Some g ->
+        line "ingests: %d" t.ingests;
+        line "deletes: %d" t.deletes;
+        line "writes_rejected: %d" t.writes_rejected;
+        line "merges: %d" t.merges;
+        line "merge_failures: %d" t.merge_failures;
+        line "merge_respawns: %d" t.merge_respawns;
+        line "corpus_docs: %d" g.corpus_docs;
+        line "delta_docs: %d" g.delta_docs;
+        line "wal_bytes: %d" g.wal_bytes;
+        line "staleness_ms: %.0f" g.staleness_ms;
+        line "wal_replayed_records: %d" g.wal_replayed_records);
       (match (cache : Flexpath.Qcache.counters option) with
       | None -> line "cache: off"
       | Some c ->

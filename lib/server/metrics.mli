@@ -6,7 +6,7 @@
     per endpoint into a fixed-size {!Reservoir}, so percentiles stay
     exact-memory-bounded however long the server runs. *)
 
-type endpoint = Ping | Query | Relax | Stats | Reload
+type endpoint = Ping | Query | Relax | Stats | Reload | Ingest | Delete | Merge
 
 val endpoint_to_string : endpoint -> string
 
@@ -48,6 +48,26 @@ val client_retry : t -> unit
     value (test harnesses co-located with the server); the server
     itself never bumps this. *)
 
+val ingested : t -> unit
+(** One acknowledged [INGEST] (the document is durably in the WAL). *)
+
+val deleted : t -> unit
+(** One acknowledged [DELETE]. *)
+
+val write_rejected : t -> unit
+(** A write refused before any evaluation: the write lane was full
+    ([OVERLOADED]), or ingestion is not enabled. *)
+
+val merged : t -> unit
+(** One durable delta merge (snapshot renamed, WAL truncated). *)
+
+val merge_failed : t -> unit
+(** A merge attempt returned an error (or tripped a failpoint); the
+    WAL keeps the deltas, so no write is lost. *)
+
+val merge_respawned : t -> unit
+(** The supervision loop replaced a dead merge domain. *)
+
 type snapshot = {
   admitted : int;
   rejected : int;
@@ -60,12 +80,30 @@ type snapshot = {
   quarantine_rejects : int;
   shed : int;
   retries : int;
+  ingests : int;
+  deletes : int;
+  writes_rejected : int;
+  merges : int;
+  merge_failures : int;
+  merge_respawns : int;
 }
 
 val snapshot : t -> snapshot
 (** A consistent copy of every counter, for invariant checks
     (chaos-soak asserts [lost = respawned] and the connection
     conservation identity without parsing the [STATS] rendering). *)
+
+type ingest_gauges = {
+  corpus_docs : int;  (** Documents in the served corpus. *)
+  delta_docs : int;  (** Acknowledged writes not yet merged (WAL records). *)
+  wal_bytes : int;
+  staleness_ms : float;
+      (** Age of the oldest unmerged write — bounded by the merge
+          interval while the merge domain is healthy. *)
+  wal_replayed_records : int;  (** WAL records replayed at startup. *)
+}
+(** Point-in-time ingestion gauges the server samples from its
+    {!Flexpath.Ingest} store when rendering [STATS]. *)
 
 val render :
   t ->
@@ -74,10 +112,13 @@ val render :
   generation:int ->
   uptime_s:float ->
   cache:Flexpath.Qcache.counters option ->
+  ingest:ingest_gauges option ->
   string
 (** The [STATS] response body: [key: value] lines (counters, queue
     occupancy, snapshot generation, the current generation's query-cache
-    counters — or [cache: off]) followed by one latency line per
-    endpoint: [latency_ms <endpoint> count=N p50=… p90=… p99=…], or
-    just [latency_ms <endpoint> count=0] while the endpoint has no
-    samples (never [nan]). *)
+    counters — or [cache: off] — and, with ingestion enabled, the write
+    counters and {!ingest_gauges} lines — or [ingest: off]) followed by
+    one latency line per endpoint:
+    [latency_ms <endpoint> count=N p50=… p90=… p99=…], or just
+    [latency_ms <endpoint> count=0] while the endpoint has no samples
+    (never [nan]). *)

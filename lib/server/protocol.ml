@@ -11,6 +11,9 @@ type request =
       restart_cap : int option;
     }
   | Relax of { xpath : string; steps : int option }
+  | Ingest of { len : int; id : string option }
+  | Delete of { id : string }
+  | Merge
   | Stats
   | Reload of string option
   | Shutdown
@@ -111,6 +114,45 @@ let parse_relax rest =
   | Ok "" -> Error "RELAX expects an XPath fragment"
   | Ok xpath -> Ok (Relax { xpath; steps = !steps })
 
+(* [INGEST <len> [id=<id>]]: the length is mandatory and leads, so a
+   server can commit to reading the framed body before it looks at any
+   option; the id is syntax-checked here (cheaply, before the body
+   arrives) but semantic validation stays with the store. *)
+let parse_ingest rest =
+  match split_token rest with
+  | None -> Error "INGEST expects a body length"
+  | Some (len_tok, after) -> (
+    match int_of_string_opt len_tok with
+    | None ->
+      Error (Printf.sprintf "INGEST expects a non-negative body length, got %S" len_tok)
+    | Some len when len < 0 ->
+      Error (Printf.sprintf "INGEST expects a non-negative body length, got %S" len_tok)
+    | Some len -> (
+      let id = ref None in
+      let spec =
+        [
+          ( "id",
+            fun v ->
+              if Flexpath.Ingest.valid_id v then begin
+                id := Some v;
+                Ok ()
+              end
+              else Error (Printf.sprintf "invalid document id %S (1-128 of [A-Za-z0-9._-])" v) );
+        ]
+      in
+      match parse_options spec after with
+      | Error _ as e -> e
+      | Ok "" -> Ok (Ingest { len; id = !id })
+      | Ok extra -> Error (Printf.sprintf "INGEST: unexpected trailing %S" extra)))
+
+let parse_delete rest =
+  match split_token rest with
+  | None -> Error "DELETE expects a document id"
+  | Some (id, "") ->
+    if Flexpath.Ingest.valid_id id then Ok (Delete { id })
+    else Error (Printf.sprintf "invalid document id %S (1-128 of [A-Za-z0-9._-])" id)
+  | Some (_, extra) -> Error (Printf.sprintf "DELETE: unexpected trailing %S" extra)
+
 let parse_request line =
   let line = strip_cr line in
   match split_token line with
@@ -127,9 +169,15 @@ let parse_request line =
     | "RELOAD", path -> Ok (Reload (Some path))
     | "QUERY", rest -> parse_query rest
     | "RELAX", rest -> parse_relax rest
+    | "INGEST", rest -> parse_ingest rest
+    | "DELETE", rest -> parse_delete rest
+    | "MERGE", "" -> Ok Merge
+    | "MERGE", _ -> Error "MERGE takes no arguments"
     | verb, _ ->
       Error
-        (Printf.sprintf "unknown verb %S (expected PING, QUERY, RELAX, STATS, RELOAD or SHUTDOWN)"
+        (Printf.sprintf
+           "unknown verb %S (expected PING, QUERY, RELAX, INGEST, DELETE, MERGE, STATS, RELOAD \
+            or SHUTDOWN)"
            verb))
 
 type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye

@@ -11,6 +11,9 @@
     QUERY [k=N] [algo=A] [scheme=S] [timeout_ms=F] [tuples=N]
           [steps=N] [restarts=N] <xpath>
     RELAX [steps=N] <xpath>
+    INGEST <len> [id=<id>]
+    DELETE <id>
+    MERGE
     STATS
     RELOAD [<path>]
     SHUTDOWN
@@ -22,6 +25,18 @@
     Options missing from the request fall back to the server's
     defaults; a [QUERY] budget option overrides the corresponding
     server default budget axis.
+
+    [INGEST] is the one framed request: its line announces the length
+    in bytes of the XML document body that follows — exactly [len]
+    bytes, then one framing newline (not counted), mirroring response
+    framing.  The parser here handles the line only; the server reads
+    the body.  Without [id=] the server assigns a fresh [doc-N] id;
+    with it, the write is an {e upsert} of that id — the idempotent
+    form clients must use when they intend to retry (see {!Client}).
+    Ids are 1-128 characters of [A-Za-z0-9._-].  [DELETE] removes one
+    document by id; [MERGE] forces a durable delta merge (snapshot
+    write + WAL truncation) instead of waiting for the merge
+    interval.
 
     {2 Responses}
 
@@ -60,6 +75,11 @@ type request =
       restart_cap : int option;
     }
   | Relax of { xpath : string; steps : int option }
+  | Ingest of { len : int; id : string option }
+      (** The body ([len] bytes + framing newline) follows the line;
+          the server reads it before dispatch. *)
+  | Delete of { id : string }
+  | Merge
   | Stats
   | Reload of string option  (** [None]: re-load the snapshot the server started from. *)
   | Shutdown

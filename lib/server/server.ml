@@ -3,6 +3,23 @@ module Error = Flexpath.Error
 module Failpoint = Flexpath.Failpoint
 module Monotime = Flexpath.Monotime
 
+type ingest_config = {
+  wal : string;
+  merge_interval_ms : float;
+  max_doc_bytes : int;
+  max_doc_elems : int;
+  write_lane : int;
+}
+
+let ingest_defaults ~wal =
+  {
+    wal;
+    merge_interval_ms = 2000.0;
+    max_doc_bytes = Flexpath.Ingest.default_limits.Flexpath.Ingest.max_bytes;
+    max_doc_elems = Flexpath.Ingest.default_limits.Flexpath.Ingest.max_elems;
+    write_lane = 4;
+  }
+
 type config = {
   host : string;
   port : int;
@@ -19,6 +36,7 @@ type config = {
   hard_wall_ms : float;
   quarantine_strikes : int;
   queue_deadline_ms : float option;
+  ingest : ingest_config option;
 }
 
 let default_config =
@@ -38,6 +56,7 @@ let default_config =
     hard_wall_ms = 5000.0;
     quarantine_strikes = 2;
     queue_deadline_ms = None;
+    ingest = None;
   }
 
 (* A slot binds an environment to the cache built for it: swapping the
@@ -49,6 +68,23 @@ type slot = { env : Flexpath.Env.t; generation : int; cache : Flexpath.Qcache.t 
 
 let fresh_cache (cfg : config) =
   Option.map (fun mb -> Flexpath.Qcache.create ~max_bytes:(mb * 1024 * 1024) ()) cfg.cache_mb
+
+(* The live-ingestion runtime.  One writer at a time holds [wlock]
+   ([Ingest] stores are single-writer); [writers] counts requests
+   holding or waiting on it, so the write lane can fast-reject beyond
+   its depth instead of queueing writes without bound behind a slow
+   merge.  The background merge domain publishes its liveness through
+   [merge_dead]: set when the domain body ends abnormally (the
+   [merge_publish] failpoint escapes deliberately), read by the
+   supervision loop to respawn it. *)
+type ingest_rt = {
+  store : Flexpath.Ingest.store;
+  icfg : ingest_config;
+  wlock : Mutex.t;
+  writers : int Atomic.t;
+  merge_dead : bool Atomic.t;
+  merge_domain : unit Domain.t option Atomic.t;
+}
 
 type t = {
   cfg : config;
@@ -68,55 +104,106 @@ type t = {
   domains : unit Domain.t option array;
   reload_lock : Mutex.t;
   started_wall : float;
+  ingest : ingest_rt option;
 }
 
 let port t = t.bound_port
 let generation t = (Atomic.get t.current).generation
 let active_connections t = Atomic.get t.active
 let metrics t = t.metrics
+let ingest_store t = Option.map (fun rt -> rt.store) t.ingest
+
+(* With ingestion enabled the served environment is the store's —
+   snapshot (if any) plus the replayed WAL tail — not the caller's;
+   [env] then only donates weights and hierarchy for a store starting
+   from nothing. *)
+let open_ingest (cfg : config) ~env =
+  match cfg.ingest with
+  | None -> Ok None
+  | Some icfg -> (
+    match cfg.snapshot with
+    | None ->
+      Error
+        (Error.Config_error
+           {
+             what = "ingest";
+             message = "live ingestion needs a snapshot path (--env) as its merge target";
+           })
+    | Some snapshot ->
+      Result.map
+        (fun store ->
+          Some
+            {
+              store;
+              icfg;
+              wlock = Mutex.create ();
+              writers = Atomic.make 0;
+              merge_dead = Atomic.make false;
+              merge_domain = Atomic.make None;
+            })
+        (Flexpath.Ingest.open_store ~weights:env.Flexpath.Env.weights
+           ~hierarchy:env.Flexpath.Env.hierarchy
+           ~limits:
+             {
+               Flexpath.Ingest.max_bytes = icfg.max_doc_bytes;
+               Flexpath.Ingest.max_elems = icfg.max_doc_elems;
+             }
+           ~snapshot ~wal:icfg.wal ()))
 
 let create cfg ~env =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be at least 1";
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
-    Unix.bind fd addr;
-    Unix.listen fd 128;
-    Unix.set_nonblock fd;
-    match Unix.getsockname fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> assert false
-  with
-  | bound_port ->
-    Ok
-      {
-        cfg;
-        listen_fd = fd;
-        bound_port;
-        queue = Admission.create ~capacity:cfg.queue_depth;
-        current = Atomic.make { env; generation = 1; cache = fresh_cache cfg };
-        stopping = Atomic.make false;
-        active = Atomic.make 0;
-        metrics = Metrics.create ();
-        sup =
-          Supervisor.create ~workers:cfg.workers ~hard_wall_ms:cfg.hard_wall_ms
-            ~quarantine_threshold:cfg.quarantine_strikes;
-        domains = Array.make cfg.workers None;
-        reload_lock = Mutex.create ();
-        started_wall = Unix.gettimeofday ();
-      }
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Error.Io_error
-         {
-           path = Printf.sprintf "%s:%d" cfg.host cfg.port;
-           message = Printf.sprintf "cannot listen: %s" (Unix.error_message err);
-         })
-  | exception Failure msg ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (Error.Io_error { path = cfg.host; message = msg })
+  match open_ingest cfg ~env with
+  | Error e -> Error e
+  | Ok ingest -> (
+    let env =
+      match ingest with Some rt -> Flexpath.Ingest.store_env rt.store | None -> env
+    in
+    let close_store () =
+      match ingest with Some rt -> Flexpath.Ingest.close rt.store | None -> ()
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+      Unix.bind fd addr;
+      Unix.listen fd 128;
+      Unix.set_nonblock fd;
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    with
+    | bound_port ->
+      Ok
+        {
+          cfg;
+          listen_fd = fd;
+          bound_port;
+          queue = Admission.create ~capacity:cfg.queue_depth;
+          current = Atomic.make { env; generation = 1; cache = fresh_cache cfg };
+          stopping = Atomic.make false;
+          active = Atomic.make 0;
+          metrics = Metrics.create ();
+          sup =
+            Supervisor.create ~workers:cfg.workers ~hard_wall_ms:cfg.hard_wall_ms
+              ~quarantine_threshold:cfg.quarantine_strikes;
+          domains = Array.make cfg.workers None;
+          reload_lock = Mutex.create ();
+          started_wall = Unix.gettimeofday ();
+          ingest;
+        }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      close_store ();
+      Error
+        (Error.Io_error
+           {
+             path = Printf.sprintf "%s:%d" cfg.host cfg.port;
+             message = Printf.sprintf "cannot listen: %s" (Unix.error_message err);
+           })
+    | exception Failure msg ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      close_store ();
+      Error (Error.Io_error { path = cfg.host; message = msg }))
 
 let stop t =
   Atomic.set t.stopping true;
@@ -185,6 +272,43 @@ let read_line t fd =
     end
   in
   go ()
+
+(* Hard cap on an [INGEST] frame, over and above the store's own
+   document budget: a length the server would not even consider
+   closes the connection rather than being read-and-discarded. *)
+let max_body_bytes = 64 * 1024 * 1024
+
+type body_outcome = Body of string | Body_dropped
+
+(* Reads the [len]-byte INGEST body plus its framing newline, under
+   the same cooperative polling and idle rules as [read_line].  The
+   body is read {e before} dispatch whatever the request's fate, so a
+   rejected write never desynchronizes the connection. *)
+let read_body t fd len =
+  let n = len + 1 in
+  let buf = Bytes.create n in
+  let idle = Monotime.create () in
+  let rec go off =
+    let limit =
+      if Atomic.get t.stopping then Float.min t.cfg.read_timeout_s 1.0
+      else t.cfg.read_timeout_s
+    in
+    if Monotime.elapsed_s idle > limit then Body_dropped
+    else if off = n then
+      if Bytes.get buf len = '\n' then Body (Bytes.sub_string buf 0 len) else Body_dropped
+    else begin
+      match Failpoint.hit "server_read" with
+      | exception Failpoint.Injected _ -> Body_dropped
+      | () -> (
+        match Unix.read fd buf off (n - off) with
+        | 0 -> Body_dropped
+        | w -> go (off + w)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          go off
+        | exception Unix.Unix_error (_, _, _) -> Body_dropped)
+    end
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Request execution *)
@@ -290,6 +414,139 @@ let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_wall)
 let retry_after_hint_ms t = min 5000 (50 * (1 + Admission.length t.queue))
 
 (* ------------------------------------------------------------------ *)
+(* Live ingestion: write execution, publication, merging *)
+
+let ingest_gauges rt =
+  {
+    Metrics.corpus_docs = Flexpath.Ingest.doc_count rt.store;
+    delta_docs = Flexpath.Ingest.unmerged_records rt.store;
+    wal_bytes = Flexpath.Ingest.wal_bytes rt.store;
+    staleness_ms = Flexpath.Ingest.staleness_ms rt.store;
+    wal_replayed_records = Flexpath.Ingest.replayed_records rt.store;
+  }
+
+(* Publish the store's corpus env as a new generation.  Same contract
+   as a RELOAD swap: the fresh cache is installed atomically with the
+   env, so no query can mix a cached answer with a corpus it was not
+   computed from, and in-flight queries keep the slot they started
+   with.  [reload_lock] serializes generation bumps (writers are
+   already serialized by [wlock]; this guards against a racing RELOAD
+   on servers where both paths are live). *)
+let publish t env =
+  Mutex.lock t.reload_lock;
+  let generation = (Atomic.get t.current).generation + 1 in
+  Atomic.set t.current { env; generation; cache = fresh_cache t.cfg };
+  Mutex.unlock t.reload_lock;
+  generation
+
+(* The write lane: admission control for the write class.  [writers]
+   counts requests holding or waiting on [wlock]; past the lane depth
+   a write is told OVERLOADED immediately — queries are admitted by
+   the ordinary queue and never wait here, so a burst of writes (or a
+   merge holding the lock) cannot starve reads of workers. *)
+let with_write_lane t rt f =
+  let pos = Atomic.fetch_and_add rt.writers 1 in
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr rt.writers)
+    (fun () ->
+      if pos >= rt.icfg.write_lane then begin
+        Metrics.write_rejected t.metrics;
+        (Protocol.Overloaded, Protocol.retry_after_body (retry_after_hint_ms t), `Error)
+      end
+      else begin
+        Mutex.lock rt.wlock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock rt.wlock) f
+      end)
+
+let exec_ingest t rt ~id body =
+  match Flexpath.Ingest.ingest rt.store ?id body with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok doc_id ->
+    (* The WAL append and fsync succeeded: the write is durable.
+       Publish, then ack with the id (the client needs it to address
+       upserts and deletes) and the generation serving it. *)
+    let generation = publish t (Flexpath.Ingest.store_env rt.store) in
+    Metrics.ingested t.metrics;
+    (Protocol.Ok_, Printf.sprintf "ingested %s; generation %d" doc_id generation, `Ok)
+
+let exec_delete t rt ~id =
+  match Flexpath.Ingest.delete rt.store ~id with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok () ->
+    let generation = publish t (Flexpath.Ingest.store_env rt.store) in
+    Metrics.deleted t.metrics;
+    (Protocol.Ok_, Printf.sprintf "deleted %s; generation %d" id generation, `Ok)
+
+(* A MERGE folds the acknowledged deltas into the snapshot and
+   truncates the WAL.  It takes [wlock] directly (not the lane: it
+   carries no document and should not consume write admission), and
+   the [merge_publish] fault that {!Flexpath.Ingest.merge} lets escape
+   is reified here — on this foreground path it costs the request, not
+   the worker; the WAL still covers every acked write, so nothing is
+   lost either way. *)
+let exec_merge t rt =
+  Mutex.lock rt.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock rt.wlock)
+    (fun () ->
+      let deltas = Flexpath.Ingest.unmerged_records rt.store in
+      match Flexpath.Ingest.merge rt.store with
+      | Ok () ->
+        Metrics.merged t.metrics;
+        (Protocol.Ok_, Printf.sprintf "merged %d delta record(s); wal truncated" deltas, `Ok)
+      | Error e ->
+        Metrics.merge_failed t.metrics;
+        (Protocol.Err, Error.to_string e, `Error)
+      | exception Failpoint.Injected p ->
+        Metrics.merge_failed t.metrics;
+        (Protocol.Err, Error.to_string (Error.Fault p), `Error))
+
+(* The background merge domain: wake every tick, merge once the
+   interval has elapsed and there is something to fold.  An escaping
+   exception (the [merge_publish] failpoint simulating a crash in the
+   snapshot/WAL overlap window) ends the domain with [wlock] released
+   ([Fun.protect]) and [merge_dead] raised; the supervision loop
+   respawns it.  Replay idempotency makes the overlap window safe: the
+   snapshot is durable and the WAL still holds the same records, so a
+   restart — of the domain or the process — converges to the same
+   corpus. *)
+let merge_loop t rt () =
+  let interval_ms = Float.max 50.0 rt.icfg.merge_interval_ms in
+  let last = ref (Monotime.now_ms ()) in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.05;
+    if
+      Monotime.now_ms () -. !last >= interval_ms
+      && Flexpath.Ingest.unmerged_records rt.store > 0
+    then begin
+      last := Monotime.now_ms ();
+      Mutex.lock rt.wlock;
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock rt.wlock)
+          (fun () -> Flexpath.Ingest.merge rt.store)
+      in
+      match result with
+      | Ok () -> Metrics.merged t.metrics
+      | Error _ -> Metrics.merge_failed t.metrics
+    end
+  done
+
+let merge_domain_body t rt () =
+  match merge_loop t rt () with
+  | () -> ()
+  | exception _ ->
+    (* The domain dies (deliberately under the [merge_publish]
+       failpoint); flag it for the supervision loop.  No lock is held
+       here — [merge_loop] releases [wlock] before propagating. *)
+    Metrics.merge_failed t.metrics;
+    Atomic.set rt.merge_dead true
+
+let spawn_merge_domain t rt =
+  if rt.icfg.merge_interval_ms > 0.0 then
+    Atomic.set rt.merge_domain (Some (Domain.spawn (merge_domain_body t rt)))
+
+(* ------------------------------------------------------------------ *)
 (* Supervised dispatch.
 
    A worker's connection loop can end in one of three ways beyond the
@@ -318,7 +575,9 @@ let pre_parse (req : Protocol.request) =
     match Tpq.Xpath.parse xpath with
     | Ok q -> (Some (Tpq.Query.canonical_key q), Some (Ok q))
     | Error e -> (None, Some (Error e)))
-  | Protocol.Ping | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown -> (None, None)
+  | Protocol.Ping | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown | Protocol.Ingest _
+  | Protocol.Delete _ | Protocol.Merge ->
+    (None, None)
 
 (* A wedged worker spins here until the supervisor supersedes it, the
    server stops, or a last-resort cap expires (a real wedge would spin
@@ -336,8 +595,9 @@ let wedge t handle =
   in
   go ()
 
-(* Dispatch one parsed request; [Close] ends the connection. *)
-let dispatch t handle fd (req : Protocol.request) parsed =
+(* Dispatch one parsed request; [Close] ends the connection.  [body]
+   is [Some] exactly for [Ingest] (already read off the socket). *)
+let dispatch t handle fd (req : Protocol.request) parsed ~body =
   match Failpoint.hit "server_worker" with
   | exception Failpoint.Injected p ->
     let ok = send_response fd Protocol.Err (Error.to_string (Error.Fault p)) in
@@ -368,9 +628,43 @@ let dispatch t handle fd (req : Protocol.request) parsed =
                   Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
                     ~queue_capacity:(Admission.capacity t.queue)
                     ~generation:slot.generation ~uptime_s:(uptime_s t)
-                    ~cache:(Option.map Flexpath.Qcache.counters slot.cache),
+                    ~cache:(Option.map Flexpath.Qcache.counters slot.cache)
+                    ~ingest:(Option.map ingest_gauges t.ingest),
                   `Ok ) )
-            | Protocol.Reload path -> (Metrics.Reload, exec_reload t path)
+            | Protocol.Reload path -> (
+              ( Metrics.Reload,
+                match t.ingest with
+                | Some _ ->
+                  (* The store owns the snapshot: swapping in another
+                     env would fork the corpus away from the WAL. *)
+                  ( Protocol.Err,
+                    "reload: disabled while live ingestion owns the snapshot (use MERGE)",
+                    `Error )
+                | None -> exec_reload t path ))
+            | Protocol.Ingest { id; _ } -> (
+              ( Metrics.Ingest,
+                match (t.ingest, body) with
+                | None, _ ->
+                  Metrics.write_rejected t.metrics;
+                  ( Protocol.Err,
+                    "ingest: not enabled (start the server with --ingest-wal)",
+                    `Error )
+                | Some rt, Some b -> with_write_lane t rt (fun () -> exec_ingest t rt ~id b)
+                | Some _, None -> assert false ))
+            | Protocol.Delete { id } -> (
+              ( Metrics.Delete,
+                match t.ingest with
+                | None ->
+                  Metrics.write_rejected t.metrics;
+                  ( Protocol.Err,
+                    "delete: not enabled (start the server with --ingest-wal)",
+                    `Error )
+                | Some rt -> with_write_lane t rt (fun () -> exec_delete t rt ~id) ))
+            | Protocol.Merge -> (
+              ( Metrics.Merge,
+                match t.ingest with
+                | None -> (Protocol.Err, "merge: live ingestion is not enabled", `Error)
+                | Some rt -> exec_merge t rt ))
             | Protocol.Relax { steps; _ } ->
               ( Metrics.Relax,
                 match parsed with
@@ -400,7 +694,7 @@ let dispatch t handle fd (req : Protocol.request) parsed =
    supervisor claimed this worker while the request ran — the
    replacement owns the pool position now, so this worker must exit
    without touching the accounting again. *)
-let dispatch_supervised t handle fd req =
+let dispatch_supervised t handle fd req ~body =
   let fingerprint, parsed = pre_parse req in
   match fingerprint with
   | Some key when Supervisor.quarantined t.sup key ->
@@ -415,7 +709,7 @@ let dispatch_supervised t handle fd req =
     let result =
       (* Satellite fix: an unexpected exception while serving one
          request must cost that connection, not the worker domain. *)
-      match dispatch t handle fd req parsed with
+      match dispatch t handle fd req parsed ~body with
       | r -> r
       | exception _ -> Drop
     in
@@ -445,16 +739,44 @@ let serve_connection t handle fd =
             `Served
           end
         | Ok req -> (
-          match dispatch_supervised t handle fd req with
-          (* One request per connection once shutdown began: serve what
-             was in flight, then close instead of waiting for more. *)
-          | Continue when not (Atomic.get t.stopping) -> loop ()
-          | Continue | Close -> `Served
-          | Drop ->
+          (* An INGEST body is read before dispatch, whatever the
+             request's fate, so a rejected write leaves the connection
+             synchronized on the next request line. *)
+          let body =
+            match req with
+            | Protocol.Ingest { len; _ } ->
+              if len > max_body_bytes then `Oversized
+              else (
+                match read_body t fd len with
+                | Body b -> `Body b
+                | Body_dropped -> `Bad)
+            | _ -> `None
+          in
+          match body with
+          | `Bad ->
             Metrics.connection_dropped t.metrics;
             `Served
-          | Exit_superseded -> `Superseded
-          | Exit_dead fp -> `Dead fp))
+          | `Oversized ->
+            (* The frame is too large to even read through; the only
+               way to resynchronize is to end the connection. *)
+            ignore
+              (send_response fd Protocol.Err
+                 (Printf.sprintf "ingest: %d-byte body exceeds the %d-byte frame cap"
+                    (match req with Protocol.Ingest { len; _ } -> len | _ -> 0)
+                    max_body_bytes));
+            `Served
+          | (`None | `Body _) as body -> (
+            let body = match body with `Body b -> Some b | `None -> None in
+            match dispatch_supervised t handle fd req ~body with
+            (* One request per connection once shutdown began: serve what
+               was in flight, then close instead of waiting for more. *)
+            | Continue when not (Atomic.get t.stopping) -> loop ()
+            | Continue | Close -> `Served
+            | Drop ->
+              Metrics.connection_dropped t.metrics;
+              `Served
+            | Exit_superseded -> `Superseded
+            | Exit_dead fp -> `Dead fp)))
   in
   let outcome = loop () in
   (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -523,7 +845,18 @@ let supervision_loop t () =
         let h = Supervisor.replace t.sup c.index in
         t.domains.(c.index) <- Some (Domain.spawn (worker t h));
         Metrics.worker_respawned t.metrics)
-      (Supervisor.scan t.sup ~now_ms:(Monotime.now_ms ()))
+      (Supervisor.scan t.sup ~now_ms:(Monotime.now_ms ()));
+    (* The merge domain is supervised too: a death in the
+       snapshot/WAL overlap window (the [merge_publish] failpoint)
+       leaves [wlock] released and the WAL intact, so a replacement
+       picks the same deltas up and converges. *)
+    match t.ingest with
+    | Some rt when Atomic.get rt.merge_dead ->
+      Atomic.set rt.merge_dead false;
+      (match Atomic.get rt.merge_domain with Some d -> Domain.join d | None -> ());
+      Atomic.set rt.merge_domain (Some (Domain.spawn (merge_domain_body t rt)));
+      Metrics.merge_respawned t.metrics
+    | Some _ | None -> ()
   done
 
 (* ------------------------------------------------------------------ *)
@@ -578,6 +911,7 @@ let serve t =
   Array.iteri
     (fun i _ -> t.domains.(i) <- Some (Domain.spawn (worker t (Supervisor.occupant t.sup i))))
     t.domains;
+  Option.iter (fun rt -> spawn_merge_domain t rt) t.ingest;
   let supervisor =
     if t.cfg.supervise then Some (Domain.spawn (supervision_loop t)) else None
   in
@@ -587,8 +921,16 @@ let serve t =
      is joined first so no respawn races the worker join; workers lost
      before shutdown were superseded (their domains are leaked, their
      replacements are in [t.domains]) and exit on their own once their
-     wedge notices the stop flag. *)
+     wedge notices the stop flag.  The merge domain is joined after
+     the supervisor (its last respawn, if any, is then in
+     [merge_domain]); the store closes last — the WAL it leaves behind
+     replays on the next start. *)
   Admission.close t.queue;
   Option.iter Domain.join supervisor;
   Array.iter (Option.iter Domain.join) t.domains;
+  (match t.ingest with
+  | Some rt ->
+    (match Atomic.get rt.merge_domain with Some d -> Domain.join d | None -> ());
+    Flexpath.Ingest.close rt.store
+  | None -> ());
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()

@@ -28,6 +28,30 @@
     deterministically exercise the accept-loop, connection-reader and
     dispatcher error paths. *)
 
+type ingest_config = {
+  wal : string;  (** Write-ahead log path (created if absent). *)
+  merge_interval_ms : float;
+      (** Cadence of the background merge domain, which folds
+          acknowledged deltas into the snapshot and truncates the WAL;
+          it bounds the [staleness_ms] gauge while the domain is
+          healthy.  [<= 0] disables the domain — deltas then
+          accumulate until a [MERGE] request. *)
+  max_doc_bytes : int;  (** Per-document byte budget for [INGEST]. *)
+  max_doc_elems : int;
+      (** Per-document element budget, enforced by a streaming SAX
+          pre-pass before any tree is built. *)
+  write_lane : int;
+      (** Write admission class: [INGEST]/[DELETE] requests holding or
+          waiting on the writer lock beyond this depth are answered
+          [OVERLOADED] immediately, so a write burst (or a merge
+          holding the lock) cannot starve queries of workers.  [0]
+          rejects every write. *)
+}
+
+val ingest_defaults : wal:string -> ingest_config
+(** 2 s merge interval, {!Flexpath.Ingest.default_limits} document
+    budgets, write lane 4. *)
+
 type config = {
   host : string;  (** Listen address, default ["127.0.0.1"]. *)
   port : int;  (** 0 picks an ephemeral port; see {!port}. *)
@@ -77,19 +101,32 @@ type config = {
           (CoDel-style — under sustained overload, work the client has
           likely given up on is not worth starting).  [None] disables
           shedding. *)
+  ingest : ingest_config option;
+      (** Live ingestion (DESIGN.md §4h).  Requires [snapshot] (the
+          merge target).  The served environment is then the
+          {!Flexpath.Ingest} store's — the snapshot plus the replayed
+          WAL tail — and [INGEST]/[DELETE]/[MERGE] become live; each
+          acknowledged write is WAL-durable {e before} its ack and is
+          published as a new generation through the same atomic slot
+          swap as a reload, so queries never block on writes and never
+          mix cache entries across corpora.  [RELOAD] is refused while
+          ingestion is enabled (the store owns the snapshot). *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], 4 workers, queue 64, 256 connections, 30s/30s
     timeouts, [k]=10, unlimited budget, no snapshot, 64 MiB cache,
     supervision on with a 5 s hard wall and 2 quarantine strikes, no
-    queue deadline. *)
+    queue deadline, no ingestion. *)
 
 type t
 
 val create : config -> env:Flexpath.Env.t -> (t, Flexpath.Error.t) result
 (** Binds and listens (so {!port} is known before {!serve} runs);
-    failures surface as [Error.Io_error]. *)
+    failures surface as [Error.Io_error].  With [cfg.ingest] set, the
+    store is opened here — snapshot loaded if present, WAL replayed —
+    and {e its} environment is served; [env] then only donates weights
+    and hierarchy for a store starting from nothing. *)
 
 val port : t -> int
 (** The actually bound port — the ephemeral choice when [cfg.port] was 0. *)
@@ -117,3 +154,8 @@ val metrics : t -> Metrics.t
 (** The server's live counters (what [STATS] renders).  Exposed for
     invariant checks in tests and for co-located {!Client}s to count
     their retries into. *)
+
+val ingest_store : t -> Flexpath.Ingest.store option
+(** The live-ingestion store, when enabled — exposed so tests can
+    compare the served corpus against an offline rebuild of the acked
+    document set after a quiesce. *)

@@ -65,6 +65,67 @@ let build doc =
     contains_cache = Hashtbl.create 64;
   }
 
+(* Extend statistics over a document that grew by [Doc.append_trees].
+   [build]'s loop body is purely additive per element, so running it
+   over just the new elements — against the widened document, whose old
+   elements kept their ids, levels and subtree extents — reproduces a
+   fresh build's tables exactly, up to one correction: the root's own
+   descendant count, charged at build time from its subtree extent,
+   grew by the number of appended elements.  (The root is the only old
+   element whose extent changes, and ancestor walks from new elements
+   land on it, so its [ad] rows are already bumped by the loop.) *)
+let extend st doc ~first_new =
+  let n = Doc.size doc in
+  if first_new <> Doc.size st.doc then
+    invalid_arg
+      (Printf.sprintf "Stats.extend: statistics cover %d elements, extension starts at %d"
+         (Doc.size st.doc) first_new);
+  let n_tags = Tag.count (Doc.tags doc) in
+  let grow src =
+    let g = Array.make n_tags 0 in
+    Array.blit src 0 g 0 (Array.length src);
+    g
+  in
+  let n_by_tag = grow st.n_by_tag in
+  let pc = Pair_tbl.copy st.pc in
+  let ad = Pair_tbl.copy st.ad in
+  let children_total = grow st.children_total in
+  let desc_total = grow st.desc_total in
+  let depth_total = grow st.depth_total in
+  let total_ad = ref st.total_ad in
+  let bump tbl key = Pair_tbl.replace tbl key (1 + Option.value ~default:0 (Pair_tbl.find_opt tbl key)) in
+  for e = first_new to n - 1 do
+    let te = Doc.tag doc e in
+    n_by_tag.(te) <- n_by_tag.(te) + 1;
+    (match Doc.parent doc e with
+    | None -> ()
+    | Some p ->
+      let tp = Doc.tag doc p in
+      bump pc (tp, te);
+      children_total.(tp) <- children_total.(tp) + 1);
+    desc_total.(te) <- desc_total.(te) + (Doc.subtree_end doc e - e - 1);
+    let d = Doc.level doc e in
+    depth_total.(te) <- depth_total.(te) + d;
+    total_ad := !total_ad + d;
+    List.iter (fun a -> bump ad (Doc.tag doc a, te)) (Doc.ancestors doc e)
+  done;
+  if n > first_new then begin
+    let rt = Doc.tag doc (Doc.root doc) in
+    desc_total.(rt) <- desc_total.(rt) + (n - first_new)
+  end;
+  {
+    doc;
+    n_by_tag;
+    pc;
+    ad;
+    children_total;
+    desc_total;
+    depth_total;
+    total_ad = !total_ad;
+    index = None;
+    contains_cache = Hashtbl.create 64;
+  }
+
 (* The statistics minus the document, the attached index and the
    memoization cache: the count tables snapshot storage persists.
    [of_portable] re-attaches a document and starts a fresh cache; the

@@ -16,6 +16,16 @@ val build : Xmldom.Doc.t -> t
 
 val doc : t -> Xmldom.Doc.t
 
+val extend : t -> Xmldom.Doc.t -> first_new:int -> t
+(** [extend st doc ~first_new] re-covers the statistics after the
+    document grew by {!Xmldom.Doc.append_trees}: one pass over the
+    {e new} elements only, yielding tables numerically identical to
+    [build doc].  The result has no index attached and a fresh
+    [count_contains] cache; call {!set_index} with the matching
+    extended index.
+    @raise Invalid_argument when [first_new] is not the size of [st]'s
+    document. *)
+
 (** {2 Persistence} *)
 
 type portable

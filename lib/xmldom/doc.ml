@@ -99,6 +99,102 @@ let of_tree tree =
     by_tag;
   }
 
+(* Append [new_kids] as the last children of the root, producing the
+   arena [of_tree] would build for the widened tree.  Everything about
+   the old elements survives verbatim — ids, posts, levels, contents,
+   chunk numbers — except the root, which still closes last (post and
+   subtree_end move to the new end) and gains the new child ids at the
+   end of its content.  New elements take pre-order ids from [n], posts
+   from [n - 1] (the slot the root vacates), chunks from the old chunk
+   count; per-tag posting arrays stay sorted because every new id is
+   larger than every old one.  The input document is not mutated: the
+   intern table is copied before the new trees introduce tags. *)
+let append_trees d new_kids =
+  List.iter
+    (fun t ->
+      match t with
+      | Xml.Text _ -> invalid_arg "Doc.append_trees: appended trees must be elements"
+      | Xml.Element _ -> ())
+    new_kids;
+  if new_kids = [] then d
+  else begin
+    let m = List.fold_left (fun acc t -> acc + Xml.count_elements t) 0 new_kids in
+    let m_chunks = List.fold_left (fun acc t -> acc + count_chunks t) 0 new_kids in
+    let n = d.n in
+    let n' = n + m in
+    let old_chunks = Array.length d.chunk_text in
+    let chunks' = old_chunks + m_chunks in
+    let tags = Tag.copy d.tags in
+    let extend src len init =
+      let g = Array.make len init in
+      Array.blit src 0 g 0 (Array.length src);
+      g
+    in
+    let tag = extend d.tag n' 0 in
+    let post = extend d.post n' 0 in
+    let level = extend d.level n' 0 in
+    let parent = extend d.parent n' (-1) in
+    let subtree_end = extend d.subtree_end n' 0 in
+    let attrs = extend d.attrs n' [] in
+    let content = extend d.content n' [||] in
+    let chunk_owner = extend d.chunk_owner chunks' 0 in
+    let chunk_text = extend d.chunk_text chunks' "" in
+    let next_pre = ref n in
+    let next_post = ref (n - 1) in
+    let next_chunk = ref old_chunks in
+    let rec build node par lvl =
+      match node with
+      | Xml.Text _ -> assert false
+      | Xml.Element (name, ats, kids) ->
+        let id = !next_pre in
+        incr next_pre;
+        tag.(id) <- Tag.intern tags name;
+        level.(id) <- lvl;
+        parent.(id) <- par;
+        attrs.(id) <- ats;
+        let items =
+          List.map
+            (fun kid ->
+              match kid with
+              | Xml.Text s ->
+                let c = !next_chunk in
+                incr next_chunk;
+                chunk_owner.(c) <- id;
+                chunk_text.(c) <- s;
+                -c - 1
+              | Xml.Element _ -> build kid id (lvl + 1))
+            kids
+        in
+        content.(id) <- Array.of_list items;
+        post.(id) <- !next_post;
+        incr next_post;
+        subtree_end.(id) <- !next_pre;
+        id
+    in
+    let new_ids = List.map (fun t -> build t 0 1) new_kids in
+    post.(0) <- n' - 1;
+    subtree_end.(0) <- n';
+    content.(0) <- Array.append d.content.(0) (Array.of_list new_ids);
+    let nt = Tag.count tags in
+    let old_arr t = if t < Array.length d.by_tag then d.by_tag.(t) else [||] in
+    let counts = Array.make nt 0 in
+    for e = n to n' - 1 do
+      counts.(tag.(e)) <- counts.(tag.(e)) + 1
+    done;
+    let by_tag =
+      Array.init nt (fun t ->
+          if counts.(t) = 0 then old_arr t
+          else extend (old_arr t) (Array.length (old_arr t) + counts.(t)) 0)
+    in
+    let fill = Array.init nt (fun t -> Array.length (old_arr t)) in
+    for e = n to n' - 1 do
+      let t = tag.(e) in
+      by_tag.(t).(fill.(t)) <- e;
+      fill.(t) <- fill.(t) + 1
+    done;
+    { tags; n = n'; tag; post; level; parent; subtree_end; attrs; content; chunk_owner; chunk_text; by_tag }
+  end
+
 let of_string s = Result.map of_tree (Xml_parser.parse s)
 let of_file path = Result.map of_tree (Xml_parser.parse_file path)
 
@@ -181,7 +277,7 @@ let iter_elements d f =
     f e
   done
 
-let to_tree d =
+let tree_of d start =
   let rec rebuild e =
     let kids =
       Array.to_list d.content.(e)
@@ -190,7 +286,9 @@ let to_tree d =
     in
     Xml.Element (tag_name d e, d.attrs.(e), kids)
   in
-  rebuild 0
+  rebuild start
+
+let to_tree d = tree_of d 0
 
 let serialized_size d = String.length (Xml.to_string (to_tree d))
 

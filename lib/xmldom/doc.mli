@@ -75,9 +75,22 @@ val deep_text : t -> elem -> string
 
 val iter_elements : t -> (elem -> unit) -> unit
 
+val append_trees : t -> Xml.t list -> t
+(** [append_trees d kids] is the arena [of_tree] would produce for [d]'s
+    tree with [kids] appended, in order, as the root's last children —
+    every array is element-for-element identical to that fresh build.
+    [d] itself is untouched (its intern table is copied first), so a
+    generation still being served and its successor can coexist; the
+    cost is O(size of result), but old posting and content arrays are
+    shared wherever the append leaves them unchanged.
+    @raise Invalid_argument if any of [kids] is a text node. *)
+
 val to_tree : t -> Xml.t
 (** Rebuild an {!Xml.t}.  Direct text chunks are emitted in document
     order relative to element children. *)
+
+val tree_of : t -> elem -> Xml.t
+(** Like {!to_tree} but for the subtree rooted at the given element. *)
 
 val serialized_size : t -> int
 (** Byte length of [Xml.to_string (to_tree d)] — used by benchmarks to

@@ -23,6 +23,13 @@ let intern tbl name =
     Hashtbl.add tbl.by_name name id;
     id
 
+let copy tbl =
+  {
+    by_name = Hashtbl.copy tbl.by_name;
+    names = Array.copy tbl.names;
+    n = tbl.n;
+  }
+
 let find tbl name = Hashtbl.find_opt tbl.by_name name
 
 let name tbl id =

@@ -17,6 +17,13 @@ val intern : table -> string -> t
 (** [intern tbl name] returns the id for [name], allocating one on first
     use.  Ids are dense, starting at 0. *)
 
+val copy : table -> table
+(** An independent table with the same name-to-id mapping.  Interning
+    into the copy never affects the original, so ids remain stable in
+    documents that share the original — the primitive {!Doc.append_trees}
+    needs to grow a corpus without mutating the generation being
+    served. *)
+
 val find : table -> string -> t option
 (** [find tbl name] returns the id for [name] if already interned. *)
 

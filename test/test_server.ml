@@ -18,7 +18,13 @@
      costing workers is quarantined, queued connections past their
      sojourn deadline are shed with a retry hint, the retrying client
      survives injected faults and overload within its budget, and a
-     randomized chaos soak proves none of it leaks capacity. *)
+     randomized chaos soak proves none of it leaks capacity;
+   - live ingestion (DESIGN.md §4h): framed INGEST/DELETE/MERGE over
+     the wire, WAL-durable acks visible to the next QUERY, restart
+     replay to exactly the acked set, the wal_append / wal_fsync /
+     merge_publish failpoints each leaving a consistent store, and a
+     mixed query+write chaos soak whose quiesced corpus answers
+     byte-identically to an offline rebuild of the acked documents. *)
 
 module Server = Flexpath_server.Server
 module Protocol = Flexpath_server.Protocol
@@ -865,6 +871,493 @@ let test_chaos_soak () =
   Sys.remove snap_path
 
 (* ------------------------------------------------------------------ *)
+(* Live ingestion over the wire (DESIGN.md §4h) *)
+
+module Ingest = Flexpath.Ingest
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_ingest_dir f =
+  let dir = Filename.temp_file "flexpath_ingest_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () -> f ~snap:(Filename.concat dir "snap.fxe") ~wal:(Filename.concat dir "wal.log"))
+
+let ingest_cfg ?(merge_interval_ms = 0.0) ?(write_lane = 4) ~snap ~wal () =
+  {
+    Server.default_config with
+    workers = 2;
+    snapshot = Some snap;
+    ingest = Some { (Server.ingest_defaults ~wal) with Server.merge_interval_ms; write_lane };
+  }
+
+let placeholder_env () =
+  match Ingest.empty () with
+  | Ok c -> Ingest.env c
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+(* A framed INGEST, raw on the wire: the line, then the body and its
+   framing newline ([send] appends exactly one). *)
+let request_ingest c ?id xml =
+  let id_tok = match id with None -> "" | Some i -> " id=" ^ i in
+  send c (Printf.sprintf "INGEST %d%s" (String.length xml) id_tok);
+  send c xml;
+  recv c
+
+let request_ingest_exn c ?id xml =
+  match request_ingest c ?id xml with
+  | Some r -> r
+  | None -> Alcotest.fail "connection closed before a response to INGEST"
+
+let article body =
+  Printf.sprintf "<article><title>live</title><section><paragraph>%s</paragraph></section></article>"
+    body
+
+let test_ingest_wire () =
+  with_ingest_dir (fun ~snap ~wal ->
+      with_server ~cfg:(ingest_cfg ~snap ~wal ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          (* An acked write is visible to the very next QUERY. *)
+          let status, body = request_ingest_exn c ~id:"a" (article "xml streaming") in
+          check_string "ingest acked" "OK" (Protocol.status_to_string status);
+          check_bool "ack names the id and generation" true
+            (has_infix ~affix:"ingested a" body && has_infix ~affix:"generation 2" body);
+          let status, body = request_exn c "QUERY k=3 //article[.contains(\"streaming\")]" in
+          check_string "query sees the new document" "OK" (Protocol.status_to_string status);
+          check_bool "the answer is inside the ingested wrapper" true
+            (has_infix ~affix:"fx-doc" body);
+          (* Anonymous ingest auto-assigns doc-N. *)
+          let status, body = request_ingest_exn c (article "anonymous") in
+          check_string "anonymous ingest acked" "OK" (Protocol.status_to_string status);
+          check_bool "auto id assigned" true (has_infix ~affix:"ingested doc-" body);
+          (* Upsert: re-ingesting an id replaces its content. *)
+          let _ = request_ingest_exn c ~id:"a" (article "replacement text") in
+          let status, body = request_exn c "QUERY k=3 //article[.contains(\"streaming\")]" in
+          check_string "upsert query ok" "OK" (Protocol.status_to_string status);
+          check_bool "old content no longer matches exactly" true
+            (body = "" || not (has_infix ~affix:"exact" body));
+          (* DELETE. *)
+          let status, _ = request_exn c "DELETE doc-0" in
+          check_string "delete acked" "OK" (Protocol.status_to_string status);
+          let status, body = request_exn c "DELETE nope" in
+          check_string "unknown id is ERR" "ERR" (Protocol.status_to_string status);
+          check_bool "delete error names the id" true (has_infix ~affix:"nope" body);
+          (* STATS gauges (satellite: generation, staleness_ms,
+             wal_replayed_records). *)
+          let _, body = request_exn c "STATS" in
+          List.iter
+            (fun needle ->
+              check_bool (Printf.sprintf "stats has %s" needle) true (has_infix ~affix:needle body))
+            [
+              "generation: ";
+              "staleness_ms: ";
+              "wal_replayed_records: 0";
+              "delta_docs: 4";
+              "wal_bytes: ";
+              "corpus_docs: 1";
+              "ingests: 3";
+              "deletes: 1";
+            ];
+          (* RELOAD is refused while the store owns the snapshot. *)
+          let status, body = request_exn c "RELOAD" in
+          check_string "reload refused under ingestion" "ERR" (Protocol.status_to_string status);
+          check_bool "refusal points at MERGE" true (has_infix ~affix:"MERGE" body);
+          (* MERGE folds the deltas and truncates the WAL. *)
+          let status, body = request_exn c "MERGE" in
+          check_string "merge ok" "OK" (Protocol.status_to_string status);
+          check_bool "merge reports the folded records" true
+            (has_infix ~affix:"4 delta record(s)" body);
+          let _, body = request_exn c "STATS" in
+          check_bool "no deltas after merge" true (has_infix ~affix:"delta_docs: 0" body);
+          check_bool "snapshot exists after merge" true (Sys.file_exists snap);
+          (* Merged state serves identically. *)
+          let status, _ = request_exn c "QUERY k=3 //article[.contains(\"replacement\")]" in
+          check_string "post-merge query ok" "OK" (Protocol.status_to_string status);
+          close c))
+
+let test_ingest_not_enabled () =
+  with_server (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      (* The body is read and discarded even though the write is
+         refused, so the connection stays line-synchronized. *)
+      let status, body = request_ingest_exn c ~id:"a" "<doc/>" in
+      check_string "ingest without a store is ERR" "ERR" (Protocol.status_to_string status);
+      check_bool "error names the flag" true (has_infix ~affix:"ingest-wal" body);
+      let status, _ = request_exn c "MERGE" in
+      check_string "merge without a store is ERR" "ERR" (Protocol.status_to_string status);
+      let status, _ = request_exn c "PING" in
+      check_string "connection survives in sync" "OK" (Protocol.status_to_string status);
+      close c)
+
+let test_ingest_write_lane_zero () =
+  with_ingest_dir (fun ~snap ~wal ->
+      with_server ~cfg:(ingest_cfg ~write_lane:0 ~snap ~wal ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          (match request_ingest c ~id:"a" "<doc/>" with
+          | Some (Protocol.Overloaded, body) ->
+            check_bool "write reject carries a retry hint" true
+              (Protocol.parse_retry_after body <> None)
+          | Some (status, _) ->
+            Alcotest.fail ("expected OVERLOADED, got " ^ Protocol.status_to_string status)
+          | None -> Alcotest.fail "expected an OVERLOADED response, got EOF");
+          let status, _ = request_exn c "PING" in
+          check_string "reads unaffected by the write lane" "OK"
+            (Protocol.status_to_string status);
+          check_int "the reject was counted" 1 (snapshot srv).writes_rejected;
+          close c))
+
+let test_ingest_restart_replay () =
+  with_ingest_dir (fun ~snap ~wal ->
+      let cfg = ingest_cfg ~snap ~wal () in
+      with_server ~cfg (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          let _ = request_ingest_exn c ~id:"a" (article "first") in
+          let _ = request_ingest_exn c ~id:"b" (article "second") in
+          let _ = request_exn c "DELETE a" in
+          close c);
+      (* No merge ran: every acked write lives only in the WAL.  A
+         fresh server over the same paths must replay to exactly the
+         acked set. *)
+      with_server ~cfg (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          let _, body = request_exn c "STATS" in
+          check_bool "all three records replayed" true
+            (has_infix ~affix:"wal_replayed_records: 3" body);
+          check_bool "replay reaches the acked document set" true
+            (has_infix ~affix:"corpus_docs: 1" body);
+          let store =
+            match Server.ingest_store srv with
+            | Some s -> s
+            | None -> Alcotest.fail "ingest store missing"
+          in
+          check_bool "only b survives" true (Ingest.store_ids store = [ "b" ]);
+          let status, body = request_exn c "QUERY k=3 //article[.contains(\"second\")]" in
+          check_string "replayed document serves" "OK" (Protocol.status_to_string status);
+          check_bool "replayed document matches" true (has_infix ~affix:"fx-doc" body);
+          close c))
+
+let test_ingest_failpoints () =
+  with_ingest_dir (fun ~snap ~wal ->
+      with_server ~cfg:(ingest_cfg ~snap ~wal ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          let _ = request_ingest_exn c ~id:"keep" (article "durable baseline") in
+          (* A WAL fault fails the write — and MUST leave it out of both
+             the corpus and the log (the ack is the commit point). *)
+          List.iter
+            (fun point ->
+              arm_n point 1;
+              let status, body = request_ingest_exn c ~id:"ghost" (article "never lands") in
+              check_string (point ^ " fails the write") "ERR" (Protocol.status_to_string status);
+              check_bool (point ^ " is named") true (has_infix ~affix:point body);
+              let status, body = request_exn c "QUERY k=5 //article[.contains(\"never\")]" in
+              check_string "rejected write is invisible" "OK" (Protocol.status_to_string status);
+              check_bool "no ghost answers" true (not (has_infix ~affix:"fx-doc" body)))
+            [ "wal_append"; "wal_fsync" ];
+          (* A merge-publish fault loses nothing: the snapshot/WAL
+             overlap window is replay-idempotent, and the next merge
+             completes. *)
+          arm_n "merge_publish" 1;
+          let status, _ = request_exn c "MERGE" in
+          check_string "faulted merge is ERR" "ERR" (Protocol.status_to_string status);
+          let status, body = request_exn c "QUERY k=3 //article[.contains(\"durable\")]" in
+          check_string "corpus intact after the faulted merge" "OK"
+            (Protocol.status_to_string status);
+          check_bool "baseline still answers" true (has_infix ~affix:"fx-doc" body);
+          let status, _ = request_exn c "MERGE" in
+          check_string "retried merge succeeds" "OK" (Protocol.status_to_string status);
+          let _, body = request_exn c "STATS" in
+          check_bool "merge failure was counted" true (has_infix ~affix:"merge_failures: 1" body);
+          check_bool "wal empty after the retried merge" true
+            (has_infix ~affix:"delta_docs: 0" body);
+          close c;
+          Failpoint.reset ()))
+
+(* The write-idempotency rule, end to end: after an ambiguous outcome
+   (connection died before any response), an anonymous INGEST must
+   fail fast — only an explicit id may be retried. *)
+let test_ingest_retry_idempotency () =
+  with_ingest_dir (fun ~snap ~wal ->
+      with_server ~cfg:(ingest_cfg ~snap ~wal ()) (placeholder_env ()) (fun srv ->
+          let port = Server.port srv in
+          let retry =
+            { Client.default_retry with retries = 3; budget_ms = Some 5000.0; base_backoff_ms = 5.0 }
+          in
+          arm_n "server_read" 1;
+          (match
+             Client.run_requests ~metrics:(Server.metrics srv)
+               ~rng:(Random.State.make [| 3 |])
+               ~port ~retry
+               [ Client.ingest_request (article "anonymous") ]
+           with
+          | Ok _ -> Alcotest.fail "an ambiguous anonymous INGEST must not be retried"
+          | Error (Client.No_response, completed) ->
+            check_int "nothing completed" 0 (List.length completed)
+          | Error (f, _) ->
+            Alcotest.failf "expected No_response, got %s" (Client.failure_to_string f));
+          check_int "no retry was attempted" 0 (snapshot srv).retries;
+          arm_n "server_read" 1;
+          (match
+             Client.run_requests ~metrics:(Server.metrics srv)
+               ~rng:(Random.State.make [| 4 |])
+               ~port ~retry
+               [ Client.ingest_request ~id:"idem" (article "retried upsert") ]
+           with
+          | Ok [ (Protocol.Ok_, body) ] ->
+            check_bool "retried upsert acked" true (has_infix ~affix:"ingested idem" body)
+          | Ok _ -> Alcotest.fail "expected exactly one OK response"
+          | Error (f, _) -> Alcotest.fail (Client.failure_to_string f));
+          check_bool "the identified write was retried" true ((snapshot srv).retries >= 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed query+write chaos soak (the PR's acceptance gate): writers
+   upserting and deleting under WAL/merge/worker faults, readers
+   querying throughout, for FLEXPATH_SOAK_S seconds (default 60).
+   Nothing may be dropped or answered ERR; after quiescing, the served
+   corpus must answer byte-identically to an offline rebuild of its
+   own acked document set, and every certainly-acked write must be
+   present (and every certainly-acked delete absent). *)
+
+let soak_seconds () =
+  match Sys.getenv_opt "FLEXPATH_SOAK_S" with
+  | Some s -> ( match float_of_string_opt s with Some v when v > 0.0 -> v | _ -> 60.0)
+  | None -> 60.0
+
+let fingerprint answers =
+  String.concat ";"
+    (List.map
+       (fun (a : Flexpath.Answer.t) ->
+         Printf.sprintf "%d:%Lx:%Lx" (a.node :> int)
+           (Int64.bits_of_float a.sscore)
+           (Int64.bits_of_float a.kscore))
+       answers)
+
+let soak_queries =
+  [
+    "QUERY k=5 //article[.contains(\"xml\" and \"soak\")]";
+    "QUERY k=3 algo=dpo //article[./section/paragraph]";
+    "QUERY k=3 algo=sso //article[./section/paragraph]";
+    "QUERY k=4 scheme=combined //article[./title]";
+    "PING";
+    "STATS";
+  ]
+
+let test_ingest_chaos_soak () =
+  with_ingest_dir (fun ~snap ~wal ->
+      let cfg =
+        {
+          (ingest_cfg ~merge_interval_ms:300.0 ~write_lane:8 ~snap ~wal ()) with
+          Server.workers = 4;
+          queue_depth = 64;
+          max_connections = 256;
+          hard_wall_ms = 500.0;
+          quarantine_strikes = 0;
+          read_timeout_s = 5.0;
+        }
+      in
+      with_server ~cfg (placeholder_env ()) (fun srv ->
+          let port = Server.port srv in
+          let deadline = soak_seconds () *. 1000.0 in
+          let clock = Monotime.create () in
+          let running () = Monotime.elapsed_ms clock < deadline in
+          let stop_inject = Atomic.make false in
+          let injector =
+            Domain.spawn (fun () ->
+                let rng = Random.State.make [| 0xFEED |] in
+                let points =
+                  [| "wal_append"; "wal_fsync"; "merge_publish"; "worker_wedge"; "worker_die" |]
+                in
+                while not (Atomic.get stop_inject) do
+                  Unix.sleepf (0.05 +. Random.State.float rng 0.15);
+                  ignore (Failpoint.activate_n points.(Random.State.int rng (Array.length points)) 1)
+                done)
+          in
+          (* Each writer owns a disjoint id pool, so its own sequential
+             acks are the ground truth for those ids.  [certain] maps
+             id -> Some xml (last acked content) / None (acked delete);
+             an exhausted retry run leaves the fate ambiguous, so the
+             id moves to [uncertain] and is excluded from the final
+             presence check (the equivalence check below covers it
+             regardless, since it rebuilds from the server's own
+             corpus). *)
+          let writer w () =
+            let rng = Random.State.make [| 0xAB + w |] in
+            let certain : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+            let uncertain : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+            let retry =
+              {
+                Client.retries = 6;
+                budget_ms = Some 8000.0;
+                base_backoff_ms = 10.0;
+                max_backoff_ms = 200.0;
+              }
+            in
+            let n = ref 0 in
+            while running () do
+              incr n;
+              let id = Printf.sprintf "w%d-%d" w (Random.State.int rng 8) in
+              let delete = Hashtbl.mem certain id && Random.State.int rng 4 = 0 in
+              if delete then begin
+                match
+                  Client.run_requests ~metrics:(Server.metrics srv) ~rng ~port ~retry
+                    [ { Client.line = "DELETE " ^ id; body = None } ]
+                with
+                | Ok [ (Protocol.Ok_, _) ] -> Hashtbl.replace certain id None
+                | Ok _ -> () (* ERR: definitive, nothing changed *)
+                | Error _ ->
+                  Hashtbl.remove certain id;
+                  Hashtbl.replace uncertain id ()
+              end
+              else begin
+                let xml = article (Printf.sprintf "xml soak writer %d revision %d" w !n) in
+                match
+                  Client.run_requests ~metrics:(Server.metrics srv) ~rng ~port ~retry
+                    [ Client.ingest_request ~id xml ]
+                with
+                | Ok [ (Protocol.Ok_, _) ] -> Hashtbl.replace certain id (Some xml)
+                | Ok _ -> () (* ERR (e.g. an injected WAL fault): not applied *)
+                | Error _ ->
+                  Hashtbl.remove certain id;
+                  Hashtbl.replace uncertain id ()
+              end
+            done;
+            (certain, uncertain)
+          in
+          (* Readers: every query must settle OK or PARTIAL — an ERR or
+             an exhausted retry run is a dropped query, and the soak
+             fails. *)
+          let reader r () =
+            let rng = Random.State.make [| 0xCD + r |] in
+            let retry =
+              {
+                Client.retries = 6;
+                budget_ms = Some 8000.0;
+                base_backoff_ms = 10.0;
+                max_backoff_ms = 200.0;
+              }
+            in
+            let bad = ref 0 and done_ = ref 0 in
+            while running () do
+              let q = List.nth soak_queries (Random.State.int rng (List.length soak_queries)) in
+              (match Client.run ~metrics:(Server.metrics srv) ~rng ~port ~retry [ q ] with
+              | Ok [ ((Protocol.Ok_ | Protocol.Partial), _) ] -> incr done_
+              | Ok _ | Error _ -> incr bad);
+              Unix.sleepf 0.002
+            done;
+            (!done_, !bad)
+          in
+          (* Staleness monitor: sample the gauge through the soak. *)
+          let max_staleness = Atomic.make 0.0 in
+          let monitor () =
+            let store = Option.get (Server.ingest_store srv) in
+            while running () do
+              let s = Ingest.staleness_ms store in
+              if s > Atomic.get max_staleness then Atomic.set max_staleness s;
+              Unix.sleepf 0.05
+            done
+          in
+          let writers = Array.init 3 (fun w -> Domain.spawn (writer w)) in
+          let readers = Array.init 3 (fun r -> Domain.spawn (reader r)) in
+          let mon = Domain.spawn monitor in
+          let states = Array.map Domain.join writers in
+          let reads = Array.map Domain.join readers in
+          Domain.join mon;
+          Atomic.set stop_inject true;
+          Domain.join injector;
+          Failpoint.reset ();
+          (* Zero dropped or erroneous queries, and real coverage. *)
+          let served = Array.fold_left (fun acc (d, _) -> acc + d) 0 reads in
+          let bad = Array.fold_left (fun acc (_, b) -> acc + b) 0 reads in
+          check_int "zero dropped or erroneous queries" 0 bad;
+          check_bool "the soak actually served queries" true (served > 50);
+          (* Quiesce: a final MERGE must land and zero the lag. *)
+          let c = connect port in
+          let status, _ = request_exn c "MERGE" in
+          check_string "quiescing merge" "OK" (Protocol.status_to_string status);
+          let store = Option.get (Server.ingest_store srv) in
+          check_int "no deltas after the quiescing merge" 0 (Ingest.unmerged_records store);
+          check_bool "staleness returns to zero" true (Ingest.staleness_ms store = 0.0);
+          (* Staleness stayed bounded while the merge domain was under
+             fault injection: well under the soak length, and within a
+             modest multiple of the merge interval + the write burst. *)
+          check_bool "staleness bounded through the soak" true
+            (Atomic.get max_staleness < Float.min deadline 20_000.0);
+          (* Every certainly-acked write present with its last content;
+             every certainly-acked delete absent — unless a later
+             outcome for that id was ambiguous. *)
+          let docs = Ingest.docs (Result.get_ok (Ingest.of_env (Server.ingest_store srv |> Option.get |> Ingest.store_env))) in
+          let served_tbl = Hashtbl.create 64 in
+          List.iter (fun (id, tree) -> Hashtbl.replace served_tbl id tree) docs;
+          Array.iter
+            (fun (certain, uncertain) ->
+              Hashtbl.iter
+                (fun id fate ->
+                  if not (Hashtbl.mem uncertain id) then
+                    match fate with
+                    | Some xml ->
+                      let expected =
+                        Xmldom.Xml.to_string (Result.get_ok (Ingest.parse_doc xml))
+                      in
+                      (match Hashtbl.find_opt served_tbl id with
+                      | None -> Alcotest.failf "acked document %s missing after the soak" id
+                      | Some tree ->
+                        check_string
+                          (Printf.sprintf "acked content of %s" id)
+                          expected (Xmldom.Xml.to_string tree))
+                    | None ->
+                      check_bool
+                        (Printf.sprintf "deleted document %s absent" id)
+                        false (Hashtbl.mem served_tbl id))
+                certain)
+            states;
+          (* Merge-equivalence at full scale: the incrementally grown,
+             fault-injected, merged corpus must answer byte-identically
+             to an offline rebuild of the same documents. *)
+          let live_env = Ingest.store_env store in
+          let rebuilt =
+            match Ingest.of_docs docs with
+            | Ok c -> Ingest.env c
+            | Error e -> Alcotest.fail (Error.to_string e)
+          in
+          List.iter
+            (fun q ->
+              match Tpq.Xpath.parse q with
+              | Error _ -> Alcotest.fail "bad soak query"
+              | Ok query ->
+                List.iter
+                  (fun algorithm ->
+                    let run env =
+                      match Flexpath.run ~algorithm env ~k:5 query with
+                      | Ok r -> fingerprint r.Flexpath.Common.answers
+                      | Error e -> Alcotest.fail (Error.to_string e)
+                    in
+                    check_string
+                      (Printf.sprintf "offline rebuild equivalence (%s)"
+                         (Flexpath.algorithm_to_string algorithm))
+                      (run rebuilt) (run live_env))
+                  [ Flexpath.DPO; Flexpath.SSO; Flexpath.Hybrid ])
+            [
+              "//article[.contains(\"xml\" and \"soak\")]";
+              "//article[./section/paragraph]";
+              "//article[./title]";
+            ];
+          close c;
+          (* The standing robustness invariants hold here too. *)
+          let s = snapshot srv in
+          check_bool "every lost worker was replaced" true
+            (wait_for (fun () ->
+                 let s = snapshot srv in
+                 s.lost = s.respawned));
+          check_bool "soak exercised the write path" true (s.ingests > 10);
+          check_bool "admission capacity drains to zero" true
+            (wait_for ~timeout_ms:10_000.0 (fun () -> Server.active_connections srv = 0))))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -921,4 +1414,18 @@ let () =
           Alcotest.test_case "zero budget fails fast" `Quick test_client_budget_exhausted;
         ] );
       ("chaos", [ Alcotest.test_case "randomized loss soak" `Quick test_chaos_soak ]);
+      ( "ingestion",
+        [
+          Alcotest.test_case "framed INGEST/DELETE/MERGE over the wire" `Quick test_ingest_wire;
+          Alcotest.test_case "writes refused without a store" `Quick test_ingest_not_enabled;
+          Alcotest.test_case "write lane zero rejects deterministically" `Quick
+            test_ingest_write_lane_zero;
+          Alcotest.test_case "restart replays to the acked set" `Quick test_ingest_restart_replay;
+          Alcotest.test_case "wal and merge failpoints leave a consistent store" `Quick
+            test_ingest_failpoints;
+          Alcotest.test_case "anonymous INGEST is never retried past ambiguity" `Quick
+            test_ingest_retry_idempotency;
+        ] );
+      ( "ingestion-chaos",
+        [ Alcotest.test_case "mixed query+write soak" `Slow test_ingest_chaos_soak ] );
     ]
