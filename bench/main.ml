@@ -929,6 +929,135 @@ let abl_ingest ~quick () =
     close_out oc;
     Printf.printf "  [artifact] BENCH_ingest.json written\n%!"
 
+(* Sharded corpus (DESIGN.md §4i): scatter-gather query latency as the
+   same document set spreads over 1, 4 and 16 shards, and the tail cost
+   of degraded service — every query losing one shard mid-probe and
+   settling for a sound PARTIAL.  The numbers land in BENCH_shard.json
+   so regressions show up in review diffs. *)
+let abl_shard ~quick () =
+  let module Corpus = Flexpath.Corpus in
+  let dir = Filename.temp_file "flexpath_bench_shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let n_docs = if quick then 120 else 400 in
+  let n_queries = if quick then 80 else 300 in
+  let article seed =
+    let rng = Xmark.Prng.create seed in
+    let archetype =
+      Xmark.Prng.pick rng
+        [|
+          Xmark.Articles.Exact;
+          Xmark.Articles.Title_keywords;
+          Xmark.Articles.Algo_elsewhere;
+          Xmark.Articles.No_algorithm;
+          Xmark.Articles.Keywords_only;
+          Xmark.Articles.Irrelevant;
+        |]
+    in
+    Xmldom.Xml.to_string (Xmark.Articles.article rng archetype seed)
+  in
+  let bodies = List.init n_docs (fun i -> (Printf.sprintf "d%d" i, article (7000 + i))) in
+  let query_mix =
+    List.map Xpath.parse_exn
+      [
+        "//article[.contains(\"xml\")]";
+        "//article[./section[./algorithm and ./paragraph[.contains(\"xml\" and \"streaming\")]]]";
+        "//section[./title]";
+      ]
+  in
+  let percentile sorted p =
+    if Array.length sorted = 0 then 0.0
+    else
+      sorted.(min (Array.length sorted - 1) (int_of_float (p /. 100.0 *. float_of_int (Array.length sorted))))
+  in
+  (* One guard governs both passes: run [n_queries] over the mix,
+     arming the shard-loss failpoint before every query when
+     [degrade].  Returns (p50, p99, partials). *)
+  let measure corpus ~degrade =
+    let lat = ref [] in
+    let partials = ref 0 in
+    for i = 0 to n_queries - 1 do
+      if degrade then
+        (match Flexpath.Failpoint.activate_n "shard_probe" 1 with
+        | Ok () -> ()
+        | Error e -> failwith e);
+      let q = List.nth query_mix (i mod List.length query_mix) in
+      let r, t =
+        time (fun () ->
+            match Corpus.query corpus ~use_cache:false ~k:10 q with
+            | Ok r -> r
+            | Error e -> failwith (Flexpath.Error.to_string e))
+      in
+      (match r.Corpus.completeness with Corpus.Partial _ -> incr partials | Corpus.Complete -> ());
+      lat := t :: !lat
+    done;
+    Flexpath.Failpoint.reset ();
+    let sorted = List.sort Float.compare !lat |> Array.of_list in
+    (percentile sorted 50.0, percentile sorted 99.0, !partials)
+  in
+  header "Ablation: sharded corpus"
+    (Printf.sprintf
+       "Scatter-gather over N shards (%d docs, K=10, cache off): query latency healthy, then \
+        degraded (one shard lost per query, sound PARTIAL)"
+       n_docs)
+    [ "p50-ms"; "p99-ms"; "deg-p50"; "deg-p99"; "partials" ];
+  let cells =
+    List.map
+      (fun shards ->
+        let prefix = Filename.concat dir (Printf.sprintf "c%d.fxe" shards) in
+        (* Strikes never quarantine here: the degraded pass loses a
+           shard on every query by design. *)
+        match Corpus.open_corpus ~strike_threshold:max_int ~shards ~prefix () with
+        | Error e -> failwith (Flexpath.Error.to_string e)
+        | Ok corpus ->
+          Fun.protect
+            ~finally:(fun () -> Corpus.close corpus)
+            (fun () ->
+              List.iter
+                (fun (id, xml) ->
+                  match Corpus.ingest corpus ~id xml with
+                  | Ok _ -> ()
+                  | Error e -> failwith (Flexpath.Error.to_string e))
+                bodies;
+              let h_p50, h_p99, h_partials = measure corpus ~degrade:false in
+              let d_p50, d_p99, d_partials = measure corpus ~degrade:true in
+              row
+                (Printf.sprintf "%d shard%s" shards (if shards = 1 then "" else "s"))
+                [
+                  ms h_p50;
+                  ms h_p99;
+                  ms d_p50;
+                  ms d_p99;
+                  Printf.sprintf "%d+%d" h_partials d_partials;
+                ];
+              Printf.sprintf
+                "    { \"shards\": %d, \"healthy\": { \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+                 \"partials\": %d },\n\
+                \      \"degraded\": { \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"partials\": %d } }"
+                shards h_p50 h_p99 h_partials d_p50 d_p99 d_partials))
+      [ 1; 4; 16 ]
+  in
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let result =
+    Printf.sprintf
+      "{\n\
+      \  \"figure\": \"shard\",\n\
+      \  \"quick\": %b,\n\
+      \  \"docs\": %d,\n\
+      \  \"queries_per_pass\": %d,\n\
+      \  \"k\": 10,\n\
+      \  \"series\": [\n%s\n  ]\n}\n"
+      quick n_docs n_queries
+      (String.concat ",\n" cells)
+  in
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc result;
+  close_out oc;
+  Printf.printf "  [artifact] BENCH_shard.json written\n%!"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -998,6 +1127,7 @@ let all_figures =
     ("abl_cache", abl_cache);
     ("abl_supervision", abl_supervision);
     ("abl_ingest", abl_ingest);
+    ("abl_shard", abl_shard);
   ]
 
 let () =

@@ -656,10 +656,23 @@ let serve_cmd =
             "Write admission class: INGEST/DELETE beyond this many concurrent writers are \
              answered OVERLOADED immediately (default 4; 0 rejects every write).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve a fault-isolated sharded corpus: $(docv) independent WAL-backed shards at \
+             <env>.shard<i>, documents routed by a stable hash of their id, queries \
+             scatter-gathered over the live shards.  A shard that cannot answer degrades the \
+             response to PARTIAL (shards=served/total, sound score_bound) instead of failing \
+             it; SHARDS reports per-shard health and RELOAD <i> swaps one shard.  Requires \
+             --env (the per-shard file prefix); implies live ingestion (--ingest-wal is not \
+             needed — each shard has its own WAL).  Default 1: a single unsharded store.")
+  in
   let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
       queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
       restart_cap cache_mb no_cache hard_wall_ms no_supervise quarantine_strikes queue_deadline_ms
-      ingest_wal merge_interval_ms max_doc_bytes max_doc_elems write_lane =
+      ingest_wal merge_interval_ms max_doc_bytes max_doc_elems write_lane shards =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -669,7 +682,7 @@ let serve_cmd =
     in
     let* weights = load_weights weights_spec in
     let* env =
-      match (ingest_wal, env_file) with
+      match ((if shards > 1 then Some () else Option.map ignore ingest_wal), env_file) with
       | Some _, _ ->
         (* The ingest store (opened inside Server.create) loads the
            snapshot and replays the WAL itself; this env only donates
@@ -710,9 +723,15 @@ let serve_cmd =
         quarantine_strikes;
         queue_deadline_ms;
         ingest =
-          Option.map
-            (fun wal ->
-              let d = Server.ingest_defaults ~wal in
+          (* --shards N (N > 1) enables the sharded corpus even without
+             --ingest-wal: every shard owns its own WAL, so the single
+             WAL path is unused there. *)
+          (match (ingest_wal, shards > 1) with
+          | None, false -> None
+          | wal_opt, _ ->
+            let wal = Option.value wal_opt ~default:"" in
+            let d = Server.ingest_defaults ~wal in
+            Some
               {
                 Server.wal;
                 merge_interval_ms =
@@ -720,8 +739,8 @@ let serve_cmd =
                 max_doc_bytes = Option.value max_doc_bytes ~default:d.Server.max_doc_bytes;
                 max_doc_elems = Option.value max_doc_elems ~default:d.Server.max_doc_elems;
                 write_lane = Option.value write_lane ~default:d.Server.write_lane;
-              })
-            ingest_wal;
+                shards;
+              });
       }
     in
     match Server.create cfg ~env with
@@ -752,7 +771,8 @@ let serve_cmd =
       $ read_timeout_arg $ write_timeout_arg $ k_arg $ timeout_arg $ tuple_budget_arg
       $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg $ hard_wall_arg
       $ no_supervise_arg $ quarantine_arg $ queue_deadline_arg $ ingest_wal_arg
-      $ merge_interval_arg $ max_doc_bytes_arg $ max_doc_elems_arg $ write_lane_arg)
+      $ merge_interval_arg $ max_doc_bytes_arg $ max_doc_elems_arg $ write_lane_arg
+      $ shards_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -762,7 +782,11 @@ let serve_cmd =
           worker pool with heartbeat supervision (lost workers are replaced, poison queries \
           quarantined), admission control with queue-deadline shedding and per-request budgets \
           (DESIGN.md §4e, §4g).  With --ingest-wal, the corpus is writable: framed INGEST plus \
-          DELETE/MERGE, WAL-durable acks, and a background delta-merge domain (DESIGN.md §4h).")
+          DELETE/MERGE, WAL-durable acks, and a background delta-merge domain (DESIGN.md §4h).  \
+          With --shards N, the corpus is sharded into independent failure domains: queries \
+          scatter-gather over the live shards, a lost shard degrades answers to PARTIAL with a \
+          sound bound instead of failing them, and SHARDS/RELOAD <i> expose per-shard health \
+          and recovery (DESIGN.md §4i).")
     term
 
 (* ------------------------------------------------------------------ *)

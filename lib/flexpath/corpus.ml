@@ -1,0 +1,816 @@
+(* Fault-isolated sharded corpus (DESIGN.md §4i).
+
+   N independent WAL-backed stores — one failure domain each — served
+   as one logical corpus.  Documents route to shards by a stable hash
+   of their id; each shard keeps its own snapshot, WAL, generation
+   counter and strike record, so corruption, a mid-query fault or a
+   quarantine on one shard never touches the other N−1.
+
+   Queries scatter over the live shards and gather per-shard top-K
+   lists into a global top-K.  Scoring is corpus-global even though
+   evaluation is per-shard: every probe runs against a scoring view
+   whose statistics ({!Stats.merged}) and term frequencies
+   ({!Fulltext.Index.overlay_of}) are merged across the live shards,
+   so a score computed inside shard 3 equals the score the same node
+   would get in one combined environment — which is what makes the
+   per-shard top-K lists mergeable and the healthy N-shard answer
+   byte-identical to a single-shard corpus.
+
+   The gather is a threshold-algorithm cutoff: the running global
+   K-th score is handed to each probe as its [floor], truncating that
+   probe's relaxation-chain walk as soon as no unseen answer can beat
+   it, and a shard is skipped outright (exactly — skipping is not a
+   partial answer) once the gathered K-th answer reaches
+   {!Common.max_total} and wins the node-id tie-break against
+   anything the shard could hold.
+
+   A shard that cannot answer — corrupt at load, lost mid-query,
+   over budget, or quarantined after repeated losses — contributes a
+   sound bound on what its unreported answers could have scored
+   instead of an error: budget trips report the engine's own
+   truncation bound; a lost or down shard reports [max_total], which
+   depends only on the query's predicate weights and so needs no data
+   from the lost shard.  The merged result is then [Partial] with
+   [served]/[total] attribution. *)
+
+type algorithm = DPO | SSO | Hybrid
+
+let algorithm_to_string = function DPO -> "dpo" | SSO -> "sso" | Hybrid -> "hybrid"
+
+let default_strike_threshold = 3
+
+(* ------------------------------------------------------------------ *)
+(* Routing: FNV-1a over the document id.  Stable across runs and
+   builds, so a restarted corpus re-derives the same placement from
+   ids alone — no routing table needs to be persisted. *)
+
+let fnv1a id =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    id;
+  !h
+
+let route ~shards id = fnv1a id mod shards
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+type shard = {
+  ord : int;
+  snapshot_path : string;
+  wal_path : string;
+  wlock : Mutex.t;  (* serializes writers (ingest/delete/merge/reload) *)
+  mutable store : Ingest.store option;  (* [None] while the shard is down *)
+  mutable generation : int;
+  mutable strikes : int;
+  mutable quarantined : bool;
+  mutable last_error : string option;
+}
+
+(* One ingested document inside a shard view: its wrapper element, its
+   subtree span, and the pre-order id its wrapper would have in the
+   single combined corpus ([d_base], assigned from the corpus-level
+   arrival order).  [d_base] is what makes cross-shard tie-breaks —
+   and therefore merged output — identical to the unsharded corpus. *)
+type doc_span = {
+  d_id : string;
+  d_wrapper : int;
+  d_end : int;  (* one past the last pre-order id of the wrapper subtree *)
+  mutable d_base : int;
+}
+
+type shard_view = {
+  sv_ord : int;
+  sv_env : Env.t option;  (* scoring view (overlay + merged stats); [None] when down *)
+  sv_spans : doc_span array;  (* ascending by wrapper id *)
+  sv_error : string option;
+}
+
+type view = {
+  v_shards : shard_view array;
+  v_gen_vector : string;
+      (* one component per shard, "<generation>" or "<generation>!"
+         when down/quarantined — the full cache-key scope *)
+  v_planner : Env.t option;  (* any live scoring env; plans built here serve every shard *)
+}
+
+type t = {
+  shards : shard array;
+  reg_lock : Mutex.t;
+      (* protects [order], [next_auto], shard meta fields and view
+         publication; never held while waiting on a [wlock] *)
+  mutable order : string list;  (* global arrival order, oldest first *)
+  mutable next_auto : int;
+  strike_threshold : int;
+  view : view Atomic.t;
+  cache : Qcache.t;
+  fallback_env : Env.t;  (* empty corpus env: bounds when every shard is down *)
+  reopen : snapshot:string -> wal:string -> (Ingest.store, Error.t) Stdlib.result;
+      (* opens a shard store with the corpus's own weights, hierarchy,
+         scorer and limits — what [reload] must reuse, or a swapped
+         shard would score under different parameters *)
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let shard_count t = Array.length t.shards
+let shard_of_id t id = route ~shards:(Array.length t.shards) id
+
+(* ------------------------------------------------------------------ *)
+(* View construction.  Called with [reg_lock] held; readers get the
+   published view with one [Atomic.get] and never block. *)
+
+let publish t =
+  let live_envs =
+    Array.to_list t.shards
+    |> List.filter_map (fun s ->
+           match s.store with
+           | Some st when not s.quarantined -> Some (Ingest.store_env st)
+           | _ -> None)
+  in
+  let scoring_of =
+    match live_envs with
+    | [] -> fun _ -> None
+    | _ ->
+      let merged =
+        Stats.merged ~root_tag:Ingest.corpus_tag
+          (List.map (fun (e : Env.t) -> e.Env.stats) live_envs)
+      in
+      let ov = Fulltext.Index.overlay_of (List.map (fun (e : Env.t) -> e.Env.index) live_envs) in
+      fun (e : Env.t) ->
+        Some { e with Env.index = Fulltext.Index.with_overlay e.Env.index ov; stats = merged }
+  in
+  let span_tbl : (string, doc_span) Hashtbl.t = Hashtbl.create 64 in
+  let shard_views =
+    Array.map
+      (fun s ->
+        match s.store with
+        | Some st when not s.quarantined ->
+          let env = Ingest.store_env st in
+          let doc = env.Env.doc in
+          let spans =
+            Xmldom.Doc.children doc (Xmldom.Doc.root doc)
+            |> List.filter_map (fun w ->
+                   match Xmldom.Doc.attribute doc w "id" with
+                   | Some id ->
+                     let sp =
+                       { d_id = id; d_wrapper = w; d_end = Xmldom.Doc.subtree_end doc w; d_base = 0 }
+                     in
+                     Hashtbl.replace span_tbl id sp;
+                     Some sp
+                   | None -> None)
+            |> Array.of_list
+          in
+          { sv_ord = s.ord; sv_env = scoring_of env; sv_spans = spans; sv_error = None }
+        | _ ->
+          let err =
+            match s.last_error with
+            | Some e -> Some e
+            | None -> Some (if s.quarantined then "quarantined" else "down")
+          in
+          { sv_ord = s.ord; sv_env = None; sv_spans = [||]; sv_error = err })
+      t.shards
+  in
+  (* Global wrapper bases follow the corpus-level arrival order, so a
+     node's mapped id equals its pre-order id in the single combined
+     document; ids living on down shards are skipped (their absence is
+     exactly what [Partial] reports). *)
+  let base = ref 1 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt span_tbl id with
+      | Some sp ->
+        sp.d_base <- !base;
+        base := !base + (sp.d_end - sp.d_wrapper)
+      | None -> ())
+    t.order;
+  let gen_vector =
+    t.shards
+    |> Array.map (fun s ->
+           let g = string_of_int s.generation in
+           match s.store with Some _ when not s.quarantined -> g | _ -> g ^ "!")
+    |> Array.to_list |> String.concat "."
+  in
+  let planner =
+    Array.fold_left
+      (fun acc sv -> match acc with Some _ -> acc | None -> sv.sv_env)
+      None shard_views
+  in
+  Atomic.set t.view { v_shards = shard_views; v_gen_vector = gen_vector; v_planner = planner }
+
+let generation_vector t = (Atomic.get t.view).v_gen_vector
+
+(* ------------------------------------------------------------------ *)
+(* Open / close *)
+
+let auto_seed ids =
+  List.fold_left
+    (fun acc id ->
+      if String.length id > 4 && String.sub id 0 4 = "doc-" then
+        match int_of_string_opt (String.sub id 4 (String.length id - 4)) with
+        | Some n when n >= acc -> n + 1
+        | _ -> acc
+      else acc)
+    1 ids
+
+let shard_paths ~prefix i =
+  (Printf.sprintf "%s.shard%d" prefix i, Printf.sprintf "%s.shard%d.wal" prefix i)
+
+let open_corpus ?weights ?hierarchy ?scorer ?limits
+    ?(strike_threshold = default_strike_threshold) ~shards ~prefix () =
+  if shards < 1 || shards > 1024 then
+    Error
+      (Error.Config_error
+         { what = "shards"; message = Printf.sprintf "shard count %d outside 1..1024" shards })
+  else
+    match Result.map Ingest.env (Ingest.empty ?weights ?hierarchy ?scorer ()) with
+    | Error e -> Error e
+    | Ok fallback_env ->
+      let reopen ~snapshot ~wal =
+        Ingest.open_store ?weights ?hierarchy ?scorer ?limits ~snapshot ~wal ()
+      in
+      let shard_arr =
+        Array.init shards (fun i ->
+            let snapshot_path, wal_path = shard_paths ~prefix i in
+            let shard =
+              {
+                ord = i;
+                snapshot_path;
+                wal_path;
+                wlock = Mutex.create ();
+                store = None;
+                generation = 0;
+                strikes = 0;
+                quarantined = false;
+                last_error = None;
+              }
+            in
+            (* Fault isolation starts at load: a shard whose snapshot
+               fails its integrity checks opens [Down] with the error
+               recorded — the other shards still serve. *)
+            (match reopen ~snapshot:snapshot_path ~wal:wal_path with
+            | Ok st -> shard.store <- Some st
+            | Error e -> shard.last_error <- Some (Error.to_string e));
+            shard)
+      in
+      let order =
+        Array.to_list shard_arr
+        |> List.concat_map (fun s ->
+               match s.store with Some st -> Ingest.store_ids st | None -> [])
+      in
+      let t =
+        {
+          shards = shard_arr;
+          reg_lock = Mutex.create ();
+          order;
+          next_auto = auto_seed order;
+          strike_threshold;
+          view = Atomic.make { v_shards = [||]; v_gen_vector = ""; v_planner = None };
+          cache = Qcache.create ();
+          fallback_env;
+          reopen;
+        }
+      in
+      with_lock t.reg_lock (fun () -> publish t);
+      Ok t
+
+let close t =
+  Array.iter
+    (fun s ->
+      with_lock s.wlock (fun () ->
+          match s.store with
+          | Some st ->
+            Ingest.close st;
+            s.store <- None
+          | None -> ()))
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Writes: route, apply under the shard's writer lock, publish. *)
+
+let unavailable s =
+  let reason = if s.quarantined then "quarantined" else "down" in
+  Error.Io_error
+    { path = s.snapshot_path; message = Printf.sprintf "shard %d is %s" s.ord reason }
+
+let note_arrival t id =
+  t.order <- List.filter (fun existing -> not (String.equal existing id)) t.order @ [ id ]
+
+let ingest t ?id body =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+      with_lock t.reg_lock (fun () ->
+          let n = t.next_auto in
+          t.next_auto <- n + 1;
+          Printf.sprintf "doc-%d" n)
+  in
+  let s = t.shards.(shard_of_id t id) in
+  with_lock s.wlock (fun () ->
+      match s.store with
+      | None -> Error (unavailable s)
+      | Some _ when s.quarantined -> Error (unavailable s)
+      | Some st -> (
+        match Ingest.ingest st ~id body with
+        | Error e -> Error e
+        | Ok id ->
+          with_lock t.reg_lock (fun () ->
+              s.generation <- s.generation + 1;
+              note_arrival t id;
+              publish t);
+          Ok id))
+
+let delete t ~id =
+  let s = t.shards.(shard_of_id t id) in
+  with_lock s.wlock (fun () ->
+      match s.store with
+      | None -> Error (unavailable s)
+      | Some _ when s.quarantined -> Error (unavailable s)
+      | Some st -> (
+        match Ingest.delete st ~id with
+        | Error e -> Error e
+        | Ok () ->
+          with_lock t.reg_lock (fun () ->
+              s.generation <- s.generation + 1;
+              t.order <- List.filter (fun existing -> not (String.equal existing id)) t.order;
+              publish t);
+          Ok ()))
+
+let check_ord t ord =
+  if ord < 0 || ord >= Array.length t.shards then
+    Error
+      (Error.Config_error
+         { what = "shard"; message = Printf.sprintf "shard %d outside 0..%d" ord (Array.length t.shards - 1) })
+  else Ok t.shards.(ord)
+
+let merge t ord =
+  match check_ord t ord with
+  | Error e -> Error e
+  | Ok s ->
+    with_lock s.wlock (fun () ->
+        match s.store with
+        | None -> Error (unavailable s)
+        | Some st -> (
+          match Ingest.merge st with
+          | Ok () -> Ok ()
+          | Error e ->
+            (* A failed merge leaves snapshot+WAL intact and the shard
+               serving; record it for SHARDS without striking. *)
+            with_lock t.reg_lock (fun () -> s.last_error <- Some (Error.to_string e));
+            Error e))
+
+let reload t ord =
+  match check_ord t ord with
+  | Error e -> Error e
+  | Ok s ->
+    with_lock s.wlock (fun () ->
+        (match s.store with
+        | Some st ->
+          Ingest.close st;
+          s.store <- None
+        | None -> ());
+        match t.reopen ~snapshot:s.snapshot_path ~wal:s.wal_path with
+        | Ok st ->
+          with_lock t.reg_lock (fun () ->
+              s.store <- Some st;
+              s.generation <- s.generation + 1;
+              s.strikes <- 0;
+              s.quarantined <- false;
+              s.last_error <- None;
+              (* Reconcile the arrival order with what the shard
+                 actually recovered: surviving documents keep their
+                 global position — so tie-breaks, and therefore
+                 answers, are unchanged by a reload that recovers the
+                 same documents — ids the reopened shard no longer
+                 holds drop out, and genuinely new (WAL-recovered) ids
+                 append. *)
+              let recovered = Ingest.store_ids st in
+              let keep id =
+                shard_of_id t id <> ord || List.exists (String.equal id) recovered
+              in
+              let fresh =
+                List.filter
+                  (fun id -> not (List.exists (String.equal id) t.order))
+                  recovered
+              in
+              t.order <- List.filter keep t.order @ fresh;
+              t.next_auto <- max t.next_auto (auto_seed t.order);
+              publish t);
+          Ok ()
+        | Error e ->
+          with_lock t.reg_lock (fun () ->
+              s.generation <- s.generation + 1;
+              s.last_error <- Some (Error.to_string e);
+              publish t);
+          Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Health *)
+
+type shard_health = {
+  h_ord : int;
+  h_live : bool;
+  h_quarantined : bool;
+  h_generation : int;
+  h_docs : int;
+  h_strikes : int;
+  h_unmerged : int;
+  h_staleness_ms : float;
+  h_wal_bytes : int;
+  h_replayed : int;
+  h_last_error : string option;
+}
+
+let health t =
+  Array.map
+    (fun s ->
+      let docs, unmerged, staleness, wal_bytes, replayed =
+        match s.store with
+        | Some st ->
+          ( Ingest.doc_count st,
+            Ingest.unmerged_records st,
+            Ingest.staleness_ms st,
+            Ingest.wal_bytes st,
+            Ingest.replayed_records st )
+        | None -> (0, 0, 0., 0, 0)
+      in
+      {
+        h_ord = s.ord;
+        h_live = (s.store <> None && not s.quarantined);
+        h_quarantined = s.quarantined;
+        h_generation = s.generation;
+        h_docs = docs;
+        h_strikes = s.strikes;
+        h_unmerged = unmerged;
+        h_staleness_ms = staleness;
+        h_wal_bytes = wal_bytes;
+        h_replayed = replayed;
+        h_last_error = s.last_error;
+      })
+    t.shards
+
+let doc_count t =
+  Array.fold_left
+    (fun acc s -> match s.store with Some st -> acc + Ingest.doc_count st | None -> acc)
+    0 t.shards
+
+let ids t = t.order
+
+(* The merged scoring view (any live shard's env: corpus-global stats
+   and index), or the empty fallback when every shard is down.  RELAX
+   on a sharded server introspects penalty chains against this. *)
+let scoring_env t =
+  match (Atomic.get t.view).v_planner with Some e -> e | None -> t.fallback_env
+
+let merge_backlog t ord =
+  match check_ord t ord with
+  | Error _ -> 0
+  | Ok s -> ( match s.store with Some st -> Ingest.unmerged_records st | None -> 0)
+
+let staleness_ms t ord =
+  match check_ord t ord with
+  | Error _ -> 0.
+  | Ok s -> ( match s.store with Some st -> Ingest.staleness_ms st | None -> 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather query *)
+
+type completeness = Complete | Partial of { reason : string; score_bound : float }
+
+type answer = {
+  a_doc : string;  (* document id; [""] only for the synthetic corpus root *)
+  a_path : string;  (* doc-relative path, [""] when the answer is the wrapper itself *)
+  a_node : int;  (* pre-order id in the combined corpus — the tie-break key *)
+  a_sscore : float;
+  a_kscore : float;
+  a_dropped : int;
+}
+
+type shard_status =
+  | Served  (** Full per-shard top-K gathered. *)
+  | Skipped  (** Exact threshold-algorithm skip: nothing on this shard can enter the top-K. *)
+  | Budget of Guard.reason  (** Probe truncated by the shared budget; bound is the engine's. *)
+  | Lost of string  (** Probe failed mid-query; bound is [max_total]. *)
+  | Down of string  (** Shard was unavailable before the query (load failure / quarantine). *)
+
+type shard_report = { r_ord : int; r_status : shard_status; r_bound : float; r_found : int }
+
+type result = {
+  answers : answer list;
+  served : int;
+  total : int;
+  completeness : completeness;
+  degraded : bool;
+  reports : shard_report list;
+  relaxations_evaluated : int;
+  passes : int;
+  restarts : int;
+  tuples_produced : int;
+}
+
+type Qcache.ext += Cached_result of result
+
+let answer_line a =
+  let loc = if a.a_path = "" then a.a_doc else a.a_doc ^ "/" ^ a.a_path in
+  let suffix =
+    if a.a_dropped = 0 then "  exact"
+    else Printf.sprintf "  (%d predicates relaxed)" a.a_dropped
+  in
+  Printf.sprintf "%s  ss=%.4f ks=%.4f%s" loc a.a_sscore a.a_kscore suffix
+
+let result_cost r =
+  256
+  + List.fold_left
+      (fun acc a -> acc + 96 + String.length a.a_doc + String.length a.a_path)
+      0 r.answers
+  + (64 * List.length r.reports)
+
+let budget_class = function
+  | None -> "-"
+  | Some (b : Guard.budget) ->
+    let f = function None -> "-" | Some x -> Printf.sprintf "%g" x in
+    let i = function None -> "-" | Some x -> string_of_int x in
+    Printf.sprintf "%s,%s,%s,%s" (f b.Guard.deadline_ms) (i b.Guard.tuple_budget)
+      (i b.Guard.step_budget) (i b.Guard.restart_cap)
+
+(* The answer key embeds the full per-shard generation vector: any
+   write to, loss of, or recovery of {e any} shard changes the vector
+   and therefore misses — a cached merged answer can never outlive a
+   change to one of the shards it was gathered from. *)
+let answer_key t ~algorithm ~scheme ~k ~budget q =
+  Printf.sprintf "%s|%s|k=%d|b=%s|g=%s" (algorithm_to_string algorithm)
+    (Ranking.to_string scheme) k (budget_class budget)
+    ((Atomic.get t.view).v_gen_vector)
+  ^ "|" ^ Tpq.Query.canonical_key q
+
+let plan_key t ~algorithm ~scheme q =
+  Printf.sprintf "%s|%s|g=%s|%s" (algorithm_to_string algorithm) (Ranking.to_string scheme)
+    ((Atomic.get t.view).v_gen_vector)
+    (Tpq.Query.canonical_key q)
+
+let cacheable r =
+  (match r.completeness with Complete -> true | Partial _ -> false)
+  && (not r.degraded) && r.served = r.total
+
+let find_span spans node =
+  let lo = ref 0 and hi = ref (Array.length spans - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if spans.(mid).d_wrapper <= node then begin
+      found := Some spans.(mid);
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  match !found with Some sp when node < sp.d_end -> Some sp | _ -> None
+
+(* "fx-corpus[1]/fx-doc[k]/section[2]/p[1]" -> "section[2]/p[1]" *)
+let doc_relative full =
+  match String.index_opt full '/' with
+  | None -> ""
+  | Some i -> (
+    match String.index_from_opt full (i + 1) '/' with
+    | None -> ""
+    | Some j -> String.sub full (j + 1) (String.length full - j - 1))
+
+let run_algo algorithm ~guard ~plan ~floor env ~scheme ~k q =
+  match algorithm with
+  | DPO -> Dpo.run ~guard ~plan ~floor env ~scheme ~k q
+  | SSO -> Sso.run ~guard ~plan ~floor env ~scheme ~k q
+  | Hybrid -> Hybrid.run ~guard ~plan ~floor env ~scheme ~k q
+
+let strike t s reason =
+  with_lock t.reg_lock (fun () ->
+      s.strikes <- s.strikes + 1;
+      s.last_error <- Some reason;
+      if s.strikes >= t.strike_threshold && not s.quarantined then begin
+        s.quarantined <- true;
+        s.generation <- s.generation + 1
+      end)
+
+let clear_strikes t s =
+  if s.strikes > 0 then with_lock t.reg_lock (fun () -> s.strikes <- 0)
+
+let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(use_cache = true)
+    ~k q =
+  let akey = lazy (answer_key t ~algorithm ~scheme ~k ~budget q) in
+  match
+    if use_cache then Qcache.find_ext t.cache (Lazy.force akey) else None
+  with
+  | Some (Cached_result r) -> Ok r
+  | Some _ | None -> (
+    let v = Atomic.get t.view in
+    let total = Array.length v.v_shards in
+    let guard = match budget with None -> Guard.none | Some b -> Guard.start b in
+    match v.v_planner with
+    | None ->
+      (* Every shard is down: vacuously sound — no answers, and no
+         answer anywhere could exceed the data-independent maximum. *)
+      let penv = Env.penalty_env t.fallback_env q in
+      let mt = Common.max_total scheme penv in
+      Ok
+        {
+          answers = [];
+          served = 0;
+          total;
+          completeness = Partial { reason = "shard-loss"; score_bound = mt };
+          degraded = false;
+          reports =
+            Array.to_list v.v_shards
+            |> List.map (fun sv ->
+                   {
+                     r_ord = sv.sv_ord;
+                     r_status = Down (Option.value sv.sv_error ~default:"down");
+                     r_bound = mt;
+                     r_found = 0;
+                   });
+          relaxations_evaluated = 0;
+          passes = 0;
+          restarts = 0;
+          tuples_produced = 0;
+        }
+    | Some planner -> (
+      let eval () =
+        let plan =
+          let pk = plan_key t ~algorithm ~scheme q in
+          match if use_cache then Qcache.find_plan t.cache pk else None with
+          | Some p -> p
+          | None ->
+            let p = Common.build_plan planner q in
+            if use_cache then Qcache.store_plan t.cache pk p;
+            p
+        in
+        let mt = Common.max_total scheme plan.Common.penv in
+        let locations : (int, string * string) Hashtbl.t = Hashtbl.create 32 in
+        let best = ref [] in
+        let floor_fn () =
+          match Common.kth_total scheme k !best with Some x -> x | None -> neg_infinity
+        in
+        let degraded = ref false in
+        let relax = ref 0 and passes = ref 0 and restarts = ref 0 and tuples = ref 0 in
+        let meta_dirty = ref false in
+        let reports =
+          Array.to_list v.v_shards
+          |> List.map (fun sv ->
+                 match sv.sv_env with
+                 | None ->
+                   {
+                     r_ord = sv.sv_ord;
+                     r_status = Down (Option.value sv.sv_error ~default:"down");
+                     r_bound = mt;
+                     r_found = 0;
+                   }
+                 | Some senv ->
+                   (* Exact threshold-algorithm cutoff, tie-breaks
+                      included: an unprobed shard's best conceivable
+                      answer is (score = max_total, node = its smallest
+                      global id).  Once the K-th gathered answer
+                      reaches max_total AND out-ranks that node on the
+                      deterministic tie-break, nothing on this shard
+                      can displace the top-K — so skipping keeps the
+                      merge byte-identical to the unsharded corpus.
+                      (An empty shard is skipped outright.) *)
+                   let skip_exact () =
+                     Array.length sv.sv_spans = 0
+                     ||
+                     match List.nth_opt !best (k - 1) with
+                     | Some kth ->
+                       Ranking.total scheme (Answer.score kth) >= mt
+                       && kth.Answer.node < sv.sv_spans.(0).d_base
+                     | None -> false
+                   in
+                   if skip_exact () then
+                     { r_ord = sv.sv_ord; r_status = Skipped; r_bound = neg_infinity; r_found = 0 }
+                   else (
+                     match
+                       Failpoint.hit "shard_probe";
+                       run_algo algorithm ~guard ~plan ~floor:floor_fn senv ~scheme ~k q
+                     with
+                     | r ->
+                       let doc = senv.Env.doc in
+                       let mapped =
+                         List.map
+                           (fun (a : Answer.t) ->
+                             match find_span sv.sv_spans a.Answer.node with
+                             | Some sp ->
+                               let g = sp.d_base + (a.Answer.node - sp.d_wrapper) in
+                               Hashtbl.replace locations g
+                                 (sp.d_id, doc_relative (Xmldom.Doc.path_to_root doc a.Answer.node));
+                               { a with Answer.node = g }
+                             | None ->
+                               (* the synthetic corpus root; queries are not
+                                  expected to target it, but map it stably *)
+                               Hashtbl.replace locations 0 ("", Ingest.corpus_tag);
+                               { a with Answer.node = 0 })
+                           r.Common.answers
+                       in
+                       best := Answer.sort_and_truncate scheme k (mapped @ !best);
+                       relax := !relax + r.Common.relaxations_evaluated;
+                       passes := !passes + r.Common.passes;
+                       restarts := !restarts + r.Common.restarts;
+                       tuples := !tuples + r.Common.metrics.Joins.Exec.tuples_produced;
+                       degraded := !degraded || r.Common.degraded;
+                       let status, bound =
+                         match r.Common.completeness with
+                         | Common.Complete ->
+                           clear_strikes t t.shards.(sv.sv_ord);
+                           (Served, neg_infinity)
+                         | Common.Truncated { reason; score_bound } ->
+                           (Budget reason, score_bound)
+                       in
+                       {
+                         r_ord = sv.sv_ord;
+                         r_status = status;
+                         r_bound = bound;
+                         r_found = List.length r.Common.answers;
+                       }
+                     | exception (Joins.Exec.Capacity_exceeded _ as e) -> raise e
+                     | exception e ->
+                       let reason =
+                         match e with
+                         | Failpoint.Injected p -> "fault: " ^ p
+                         | e -> Printexc.to_string e
+                       in
+                       strike t t.shards.(sv.sv_ord) reason;
+                       meta_dirty := true;
+                       { r_ord = sv.sv_ord; r_status = Lost reason; r_bound = mt; r_found = 0 }))
+        in
+        if !meta_dirty then with_lock t.reg_lock (fun () -> publish t);
+        let served =
+          List.length
+            (List.filter
+               (fun r -> match r.r_status with Served | Skipped | Budget _ -> true | _ -> false)
+               reports)
+        in
+        let bound =
+          List.fold_left
+            (fun acc r ->
+              match r.r_status with
+              | Served | Skipped -> acc
+              | Budget _ | Lost _ | Down _ -> Float.max acc r.r_bound)
+            neg_infinity reports
+        in
+        let any_loss =
+          List.exists (fun r -> match r.r_status with Lost _ | Down _ -> true | _ -> false) reports
+        in
+        let first_budget =
+          List.find_map
+            (fun r -> match r.r_status with Budget reason -> Some reason | _ -> None)
+            reports
+        in
+        let completeness =
+          if any_loss then Partial { reason = "shard-loss"; score_bound = bound }
+          else
+            match first_budget with
+            | Some reason ->
+              Partial { reason = Guard.reason_to_string reason; score_bound = bound }
+            | None -> Complete
+        in
+        let answers =
+          List.map
+            (fun (a : Answer.t) ->
+              let doc_id, path =
+                match Hashtbl.find_opt locations a.Answer.node with
+                | Some loc -> loc
+                | None -> ("", "?")
+              in
+              {
+                a_doc = doc_id;
+                a_path = path;
+                a_node = a.Answer.node;
+                a_sscore = a.Answer.sscore;
+                a_kscore = a.Answer.kscore;
+                a_dropped = a.Answer.dropped_predicates;
+              })
+            !best
+        in
+        {
+          answers;
+          served;
+          total;
+          completeness;
+          degraded = !degraded;
+          reports;
+          relaxations_evaluated = !relax;
+          passes = !passes;
+          restarts = !restarts;
+          tuples_produced = !tuples;
+        }
+      in
+      match eval () with
+      | r ->
+        if use_cache && cacheable r then
+          Qcache.store_ext t.cache (Lazy.force akey) (Cached_result r) ~size:(result_cost r);
+        Ok r
+      | exception Joins.Exec.Capacity_exceeded { what; limit; actual } ->
+        Error (Error.Capacity { what; limit; actual })
+      | exception Failpoint.Injected point -> Error (Error.Fault point)))
+
+let cache_counters t = Qcache.counters t.cache

@@ -1,0 +1,194 @@
+(** Fault-isolated sharded corpus (DESIGN.md §4i).
+
+    [N] independent WAL-backed stores ({!Ingest.store}) — one failure
+    domain each — served as one logical corpus.  Documents route to
+    shards by a stable FNV-1a hash of their id, so a restarted corpus
+    re-derives placement from ids alone and no routing table is
+    persisted.
+
+    Queries scatter over the live shards and gather the per-shard
+    top-K lists into a global top-K.  Every probe runs against a
+    {e scoring view} whose statistics and term frequencies are merged
+    across the live shards ({!Stats.merged},
+    {!Fulltext.Index.overlay_of}), so per-shard scores are
+    corpus-global and the healthy N-shard answer is byte-identical to
+    a single-shard corpus over the same documents (caveats: phrase and
+    window matches never span document boundaries, and cross-shard
+    arrival order is reconstructed — not replayed — after a restart).
+    The gather is a threshold-algorithm cutoff: the running global
+    K-th score floors each probe's relaxation-chain walk, and a shard
+    is skipped exactly once the gathered K-th answer reaches
+    {!Common.max_total} and wins the node-id tie-break against
+    anything the shard could hold.
+
+    A shard that cannot answer — corrupt at load, lost mid-query,
+    over budget, or quarantined after {!open_corpus}'s strike
+    threshold of repeated losses — contributes a {e sound} score
+    bound instead of an error, and the merged result reports
+    [Partial] with [served]/[total] attribution.  [max_total] depends
+    only on the query's predicate weights, so the bound for a lost
+    shard needs no data from it. *)
+
+type t
+
+type algorithm = DPO | SSO | Hybrid
+
+val algorithm_to_string : algorithm -> string
+
+val route : shards:int -> string -> int
+(** The routing function itself (FNV-1a mod [shards]); exposed for
+    tests that must place a document on a known shard. *)
+
+val open_corpus :
+  ?weights:Relax.Penalty.weights ->
+  ?hierarchy:Tpq.Hierarchy.t ->
+  ?scorer:Fulltext.Scorer.t ->
+  ?limits:Ingest.limits ->
+  ?strike_threshold:int ->
+  shards:int ->
+  prefix:string ->
+  unit ->
+  (t, Error.t) result
+(** Open [shards] stores at [<prefix>.shard<i>] / [<prefix>.shard<i>.wal].
+    A shard whose snapshot fails integrity checks opens {e down} with
+    the error recorded in its health — the corpus itself still opens
+    and serves from the remaining shards.  [strike_threshold]
+    (default 3) is the number of mid-query losses after which a shard
+    is quarantined until {!reload}. *)
+
+val close : t -> unit
+
+val shard_count : t -> int
+val shard_of_id : t -> string -> int
+val doc_count : t -> int
+
+val ids : t -> string list
+(** Document ids in global arrival order (upserts move to the end). *)
+
+val generation_vector : t -> string
+(** One component per shard — ["<generation>"], or ["<generation>!"]
+    for a down or quarantined shard.  Scopes every cache key. *)
+
+(** {2 Writes} *)
+
+val ingest : t -> ?id:string -> string -> (string, Error.t) result
+(** Route (auto-assigning [doc-N] when [id] is omitted), apply under
+    the shard's writer lock with the durability contract of
+    {!Ingest.ingest}, and publish a new view.  [Io_error] when the
+    target shard is down or quarantined — other shards' documents are
+    unaffected. *)
+
+val delete : t -> id:string -> (unit, Error.t) result
+
+val merge : t -> int -> (unit, Error.t) result
+(** Durable compaction of one shard ({!Ingest.merge}); shards merge
+    independently, so one shard's backlog never blocks another's. *)
+
+val reload : t -> int -> (unit, Error.t) result
+(** Swap one shard's state for its on-disk snapshot + WAL (opened with
+    the corpus's own weights, hierarchy and limits): close, reopen,
+    clear strikes and quarantine, publish.  In-flight queries keep the
+    previous immutable view and are never dropped.  Documents the
+    reopened shard recovers keep their place in the global arrival
+    order — tie-breaks, and therefore answers, are unchanged by a
+    reload that recovers the same documents; ids it no longer holds
+    drop out and newly recovered ones append.  On failure the shard is
+    down with the error recorded. *)
+
+val merge_backlog : t -> int -> int
+(** Unmerged WAL records on one shard — the write-lane backpressure
+    signal ([retry-after] hints reflect the {e routed} shard's
+    backlog, not a global queue). *)
+
+val staleness_ms : t -> int -> float
+
+(** {2 Health} *)
+
+type shard_health = {
+  h_ord : int;
+  h_live : bool;
+  h_quarantined : bool;
+  h_generation : int;
+  h_docs : int;
+  h_strikes : int;
+  h_unmerged : int;
+  h_staleness_ms : float;
+  h_wal_bytes : int;
+  h_replayed : int;  (** WAL records replayed when the shard last opened. *)
+  h_last_error : string option;
+}
+
+val health : t -> shard_health array
+
+val scoring_env : t -> Env.t
+(** The merged scoring view — any live shard's environment, whose
+    statistics and term frequencies span the whole live corpus — or
+    the empty fallback when every shard is down.  Penalty chains
+    introspected against it (server [RELAX]) match what {!query}
+    scores with. *)
+
+(** {2 Scatter-gather query} *)
+
+type completeness =
+  | Complete  (** Every shard fully accounted for: the true global top-K. *)
+  | Partial of { reason : string; score_bound : float }
+      (** Some shard contributed a bound instead of answers ([reason =
+          "shard-loss"]) or a probe was budget-truncated ([reason] the
+          guard's).  No unreported answer can score above
+          [score_bound] on the scheme's primary key. *)
+
+type answer = {
+  a_doc : string;  (** Document id; [""] only for the synthetic corpus root. *)
+  a_path : string;  (** Doc-relative path; [""] when the answer is the document itself. *)
+  a_node : int;  (** Pre-order id in the combined corpus — the deterministic tie-break. *)
+  a_sscore : float;
+  a_kscore : float;
+  a_dropped : int;
+}
+
+type shard_status =
+  | Served
+  | Skipped
+      (** Exact threshold-algorithm skip: nothing on this shard could
+          enter the top-K.  Counts as served. *)
+  | Budget of Guard.reason
+  | Lost of string  (** Probe failed mid-query (fault, wedge); the shard was struck. *)
+  | Down of string  (** Unavailable before the query began. *)
+
+type shard_report = { r_ord : int; r_status : shard_status; r_bound : float; r_found : int }
+
+type result = {
+  answers : answer list;
+  served : int;  (** Shards fully or partially accounted for ([Served]/[Skipped]/[Budget]). *)
+  total : int;
+  completeness : completeness;
+  degraded : bool;
+  reports : shard_report list;
+  relaxations_evaluated : int;
+  passes : int;
+  restarts : int;
+  tuples_produced : int;
+}
+
+type Qcache.ext += Cached_result of result
+
+val query :
+  t ->
+  ?budget:Guard.budget ->
+  ?algorithm:algorithm ->
+  ?scheme:Ranking.scheme ->
+  ?use_cache:bool ->
+  k:int ->
+  Tpq.Query.t ->
+  (result, Error.t) Stdlib.result
+(** One guard governs the whole scatter (the deadline and tuple budget
+    span all probes).  Answer- and plan-tier cache keys embed the full
+    generation vector, so any write to, loss of, or recovery of any
+    shard invalidates them; only [Complete], non-degraded, fully
+    served results are cached. *)
+
+val answer_line : answer -> string
+(** ["<doc-id>/<relpath>  ss=... ks=...  exact"] — the wire rendering,
+    shared by server and tests so equivalence checks are byte-level. *)
+
+val cache_counters : t -> Qcache.counters

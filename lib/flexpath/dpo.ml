@@ -3,7 +3,7 @@
    polymorphic default. *)
 module Itbl = Hashtbl.Make (Int)
 
-let run ?max_steps ?(guard = Guard.none) ?metrics ?plan env ~scheme ~k q =
+let run ?max_steps ?(guard = Guard.none) ?metrics ?plan ?floor env ~scheme ~k q =
   let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
   let penv = plan.Common.penv in
   let metrics = match metrics with Some m -> m | None -> Joins.Exec.fresh_metrics () in
@@ -49,10 +49,22 @@ let run ?max_steps ?(guard = Guard.none) ?metrics ?plan env ~scheme ~k q =
             answers;
           last_completed := Some entry;
           let collected = Itbl.fold (fun _ a acc -> a :: acc) best [] in
+          (* The scatter-gather executor passes an external [floor] —
+             the k-th total already guaranteed by other shards.  Any
+             answer this evaluation has not yet produced is bounded by
+             [unseen_bound], so once that bound cannot beat the floor
+             the rest of the chain is provably outside the global
+             top-K, even if fewer than k answers were found here. *)
           let finished =
-            match Common.kth_total scheme k collected with
-            | None -> false
-            | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+            match (Common.kth_total scheme k collected, floor) with
+            | None, None -> false
+            | kth, fl ->
+              let cur =
+                Float.max
+                  (Option.value kth ~default:neg_infinity)
+                  (match fl with None -> neg_infinity | Some f -> f ())
+              in
+              cur >= Common.unseen_bound scheme penv entry -. 1e-9
           in
           if not finished then go (i + 1))
     end

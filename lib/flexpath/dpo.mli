@@ -18,6 +18,7 @@ val run :
   ?guard:Guard.t ->
   ?metrics:Joins.Exec.metrics ->
   ?plan:Common.plan ->
+  ?floor:(unit -> float) ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
@@ -28,4 +29,9 @@ val run :
     SSO/Hybrid fallback path) keep one running total; [plan] reuses a
     previously built {!Common.plan} for an isomorphic query (the cached
     path) instead of rebuilding chain and penalties, in which case
-    [max_steps] is ignored. *)
+    [max_steps] is ignored.  [floor], consulted at each pass boundary,
+    is an external lower bound on the k-th total score (the
+    scatter-gather merge passes the global top-K floor): the chain walk
+    stops as soon as [max(local kth, floor ())] meets [unseen_bound],
+    which is sound because both are lower bounds on the true global
+    k-th score. *)

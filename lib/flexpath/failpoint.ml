@@ -21,6 +21,7 @@ let catalog =
     "worker_wedge";
     "worker_die";
     "client_send";
+    "shard_probe";
   ]
 
 (* Remaining hit count per armed point; [-1] is unlimited.  The mutex

@@ -46,7 +46,10 @@ val catalog : string list
     recover from — a worker that stops making progress mid-request,
     and one whose domain terminates on an uncaught exception — and
     ["client_send"] fails a {!Flexpath_server.Client} request send,
-    exercising the retry path. *)
+    exercising the retry path.  The sharding point ["shard_probe"]
+    fires inside {!Corpus.query} at the start of each per-shard probe —
+    counted arming loses exactly one shard mid-query, which the
+    scatter-gather merge must absorb as a sound [PARTIAL]. *)
 
 val activate : string -> (unit, string) result
 (** Arms a point; fails on names outside {!catalog}. *)

@@ -13,6 +13,7 @@ module Monotime = Monotime
 module Qcache = Qcache
 module Wal = Wal
 module Ingest = Ingest
+module Corpus = Corpus
 
 (* Plant the fault-injection registry into the lower layers (and arm
    FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)

@@ -47,6 +47,7 @@ module Monotime = Monotime
 module Qcache = Qcache
 module Wal = Wal
 module Ingest = Ingest
+module Corpus = Corpus
 
 exception Failed of Error.t
 (** Raised only by the [_exn] conveniences ({!run_exn}, {!top_k}). *)

@@ -1,2 +1,2 @@
-let run ?max_steps ?guard ?plan env ~scheme ~k q =
-  Sso.run_with ?max_steps ?guard ?plan ~sort_on_score:false ~bucketize:true env ~scheme ~k q
+let run ?max_steps ?guard ?plan ?floor env ~scheme ~k q =
+  Sso.run_with ?max_steps ?guard ?plan ?floor ~sort_on_score:false ~bucketize:true env ~scheme ~k q

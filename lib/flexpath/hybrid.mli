@@ -11,8 +11,10 @@ val run :
   ?max_steps:int ->
   ?guard:Guard.t ->
   ?plan:Common.plan ->
+  ?floor:(unit -> float) ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
   Tpq.Query.t ->
   Common.result
+(** [floor] as in {!Dpo.run}. *)

@@ -13,7 +13,9 @@
 
 type counters = { hits : int; misses : int; evictions : int; bytes : int; entries : int }
 
-type value = Plan of Common.plan | Answers of Common.result
+type ext = ..
+
+type value = Plan of Common.plan | Answers of Common.result | Ext of ext
 
 type node = {
   key : string;
@@ -135,9 +137,10 @@ let store t key value size =
 
 let plan_ns key = "P:" ^ key
 let answer_ns key = "A:" ^ key
+let ext_ns key = "X:" ^ key
 
 let find_plan t key =
-  match find t (plan_ns key) with Some (Plan p) -> Some p | Some (Answers _) | None -> None
+  match find t (plan_ns key) with Some (Plan p) -> Some p | Some _ | None -> None
 
 let store_plan t key p =
   let key = plan_ns key in
@@ -148,13 +151,23 @@ let cacheable (r : Common.result) =
   && not r.Common.degraded
 
 let find_answer t key =
-  match find t (answer_ns key) with Some (Answers r) -> Some r | Some (Plan _) | None -> None
+  match find t (answer_ns key) with Some (Answers r) -> Some r | Some _ | None -> None
 
 let store_answer t key r =
   if cacheable r then begin
     let key = answer_ns key in
     store t key (Answers r) (answers_cost key r)
   end
+
+(* The extension tier lets layers above (the sharded corpus) cache
+   their own result types in the same byte budget and recency list;
+   they bring their own deterministic size estimate. *)
+let find_ext t key =
+  match find t (ext_ns key) with Some (Ext e) -> Some e | Some _ | None -> None
+
+let store_ext t key e ~size =
+  let key = ext_ns key in
+  store t key (Ext e) (String.length key + size)
 
 let counters t =
   with_lock t (fun () ->

@@ -63,4 +63,19 @@ val store_answer : t -> string -> Common.result -> unit
 val cacheable : Common.result -> bool
 (** [Complete] and not [degraded]. *)
 
+type ext = ..
+(** The {b extension tier}: layers above the single-environment engine
+    (the sharded corpus) extend this type with their own cached values
+    and share the same byte budget and recency list.  Extension keys
+    live in their own namespace and never collide with plan or answer
+    keys. *)
+
+val find_ext : t -> string -> ext option
+(** Extension-tier lookup; a hit refreshes recency. *)
+
+val store_ext : t -> string -> ext -> size:int -> unit
+(** Insert or replace; [size] is the caller's deterministic estimate in
+    bytes of the retained value (the key is charged on top).  Same
+    eviction rules as {!store_plan}. *)
+
 val counters : t -> counters

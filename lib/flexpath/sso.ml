@@ -21,7 +21,7 @@ let prune_for scheme penv k =
   | Ranking.Combined -> (Some k, Relax.Penalty.max_keyword_score penv)
   | Ranking.Keyword_first -> (None, 0.0)
 
-let run_with ?max_steps ?(guard = Guard.none) ?plan ~sort_on_score ~bucketize env ~scheme ~k q =
+let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ~sort_on_score ~bucketize env ~scheme ~k q =
   let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
   let penv = plan.Common.penv in
   let chain_arr = plan.Common.chain in
@@ -55,7 +55,7 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ~sort_on_score ~bucketize en
   let degrade restarts passes =
     Common.Log.debug (fun m ->
         m "SSO/Hybrid: degrading to DPO per-step evaluation after %d restarts" restarts);
-    let r = Dpo.run ~guard ~metrics ~plan env ~scheme ~k q in
+    let r = Dpo.run ~guard ~metrics ~plan ?floor env ~scheme ~k q in
     { r with Common.restarts; passes = passes + r.Common.passes; degraded = true }
   in
   (* [done_] counts completed evaluation passes; the pass about to run
@@ -82,10 +82,18 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ~sort_on_score ~bucketize en
       match Common.evaluate_entry ~metrics ?cancel env plan cut strategy with
       | exception Joins.Exec.Cancelled -> degrade restarts (done_ + 1)
       | answers ->
+        (* As in DPO, an external floor from the scatter-gather merge
+           counts toward the stopping bound. *)
         let enough =
-          match Common.kth_total scheme k answers with
-          | None -> false
-          | Some kth -> kth >= Common.unseen_bound scheme penv entry -. 1e-9
+          match (Common.kth_total scheme k answers, floor) with
+          | None, None -> false
+          | kth, fl ->
+            let cur =
+              Float.max
+                (Option.value kth ~default:neg_infinity)
+                (match fl with None -> neg_infinity | Some f -> f ())
+            in
+            cur >= Common.unseen_bound scheme penv entry -. 1e-9
         in
         if enough || cut >= Array.length chain_arr - 1 then
           {
@@ -102,5 +110,5 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ~sort_on_score ~bucketize en
   in
   attempt cut 0 0
 
-let run ?max_steps ?guard ?plan env ~scheme ~k q =
-  run_with ?max_steps ?guard ?plan ~sort_on_score:true ~bucketize:false env ~scheme ~k q
+let run ?max_steps ?guard ?plan ?floor env ~scheme ~k q =
+  run_with ?max_steps ?guard ?plan ?floor ~sort_on_score:true ~bucketize:false env ~scheme ~k q

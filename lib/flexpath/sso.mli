@@ -17,11 +17,14 @@ val run :
   ?max_steps:int ->
   ?guard:Guard.t ->
   ?plan:Common.plan ->
+  ?floor:(unit -> float) ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
   Tpq.Query.t ->
   Common.result
+(** [floor] as in {!Dpo.run}: an external lower bound on the global
+    k-th total, folded into the enough-answers stopping test. *)
 
 val pick_cut :
   Env.t -> scheme:Ranking.scheme -> k:int -> Relax.Space.entry list -> int
@@ -33,6 +36,7 @@ val run_with :
   ?max_steps:int ->
   ?guard:Guard.t ->
   ?plan:Common.plan ->
+  ?floor:(unit -> float) ->
   sort_on_score:bool ->
   bucketize:bool ->
   Env.t ->

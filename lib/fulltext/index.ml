@@ -1,6 +1,21 @@
 module Doc = Xmldom.Doc
 module Tag = Xmldom.Tag
 
+(* Corpus-global scoring statistics substituted into a shard-local
+   index: term evidence normally uses this index's own df / token count
+   / average scope length and normalizes by this document's root score,
+   but a sharded corpus needs every shard to score against the counts
+   of the WHOLE corpus or per-shard answers diverge from a single
+   combined index.  The overlay carries exactly the four global inputs
+   scoring consumes; everything element-local (occurrences, ranges,
+   satisfaction) stays with the shard. *)
+type overlay = {
+  ov_n_tokens : int;
+  ov_avg_scope_len : float;
+  ov_gdf : string -> int; (* word -> corpus-wide occurrence count (stems inside) *)
+  ov_root_raw : Ftexp.t -> float; (* raw score of the virtual corpus root *)
+}
+
 type t = {
   doc : Doc.t;
   term_ids : (string, int) Hashtbl.t; (* stemmed term -> tid *)
@@ -12,6 +27,7 @@ type t = {
   n_tokens : int;
   scorer : Scorer.t;
   avg_scope_len : float; (* mean token-range length of text-bearing elements *)
+  overlay : overlay option; (* global scoring stats; [None] = self-contained *)
 }
 
 let failpoint : (string -> unit) ref = ref (fun _ -> ())
@@ -107,6 +123,7 @@ let build ?(scorer = Scorer.default) doc =
     n_tokens = n_tok;
     scorer;
     avg_scope_len;
+    overlay = None;
   }
 
 (* Extend an index over a document that grew by [Doc.append_trees]: the
@@ -126,7 +143,7 @@ let extend idx doc ~first_new =
     invalid_arg
       (Printf.sprintf "Index.extend: index covers %d elements, extension starts at %d"
          (Doc.size idx.doc) first_new);
-  if n = first_new then { idx with doc }
+  if n = first_new then { idx with doc; overlay = None }
   else begin
     let term_ids = Hashtbl.copy idx.term_ids in
     let next_tid = ref (Array.length idx.postings) in
@@ -237,6 +254,7 @@ let extend idx doc ~first_new =
       n_tokens = n_tok;
       scorer = idx.scorer;
       avg_scope_len;
+      overlay = None;
     }
   end
 
@@ -285,6 +303,7 @@ let of_portable doc p =
     n_tokens = p.p_n_tokens;
     scorer = p.p_scorer;
     avg_scope_len = p.p_avg_scope_len;
+    overlay = None;
   }
 
 let doc idx = idx.doc
@@ -438,9 +457,14 @@ let most_specific idx f =
   !keep
 
 let term_evidence idx w ~tf lo hi =
-  let df = Array.length (term_positions idx w) in
-  Scorer.term_score idx.scorer ~tf ~df ~n_tokens:idx.n_tokens ~scope_len:(hi - lo)
-    ~avg_scope_len:idx.avg_scope_len
+  match idx.overlay with
+  | None ->
+    let df = Array.length (term_positions idx w) in
+    Scorer.term_score idx.scorer ~tf ~df ~n_tokens:idx.n_tokens ~scope_len:(hi - lo)
+      ~avg_scope_len:idx.avg_scope_len
+  | Some ov ->
+    Scorer.term_score idx.scorer ~tf ~df:(ov.ov_gdf w) ~n_tokens:ov.ov_n_tokens
+      ~scope_len:(hi - lo) ~avg_scope_len:ov.ov_avg_scope_len
 
 let rec raw_score_range idx f lo hi =
   match f with
@@ -470,7 +494,11 @@ let raw_score idx f e =
   if satisfies_range idx f lo hi then raw_score_range idx f lo hi else 0.0
 
 let normalized_score idx f e =
-  let denom = raw_score idx f (Doc.root idx.doc) in
+  let denom =
+    match idx.overlay with
+    | None -> raw_score idx f (Doc.root idx.doc)
+    | Some ov -> ov.ov_root_raw f
+  in
   if denom <= 0.0 then if satisfies idx f e then 1.0 else 0.0
   else Float.min 1.0 (raw_score idx f e /. denom)
 
@@ -488,3 +516,129 @@ let count_satisfying_with_tag idx f tag =
     (fun acc e -> if satisfies idx f e then acc + 1 else acc)
     0
     (Doc.by_tag idx.doc tag)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay construction: corpus-global scoring over shard-local indexes.
+
+   [overlay_of idxs] mirrors what one combined index over the
+   concatenation of the shards' documents would compute:
+
+   - df per term is additive (each shard counts its own occurrences);
+   - the token count is additive;
+   - the average scope length is additive up to one correction: each
+     shard's synthetic root is a text-bearing scope of its own, where
+     the combined document has a single root covering all tokens;
+   - the root raw score (the normalization denominator) is recomputed
+     by the [raw_score_range] recursion over the virtual global root:
+     leaves (terms, phrases, windows) are evaluated per shard and
+     summed / OR-ed, boolean structure is composed globally — so an
+     [And] satisfied by two different shards is satisfied at the global
+     root even though no single shard satisfies it, exactly as the
+     combined index would see it.
+
+   One caveat is inherent to sharding: a phrase or window whose match
+   straddles two shard documents' token ranges is visible to a combined
+   index (token positions are contiguous across document boundaries)
+   but to no shard.  Such cross-document matches are artifacts of the
+   synthetic corpus concatenation, not of any real document. *)
+
+let scope_stats idx =
+  let text_bearing = ref 0 and total_len = ref 0 in
+  for e = 0 to Doc.size idx.doc - 1 do
+    let len = idx.tok_end.(e) - idx.tok_start.(e) in
+    if len > 0 then begin
+      incr text_bearing;
+      total_len := !total_len + len
+    end
+  done;
+  (!text_bearing, !total_len)
+
+let overlay_of idxs =
+  match idxs with
+  | [] -> invalid_arg "Index.overlay_of: at least one index required"
+  | first :: _ ->
+    let scorer = first.scorer in
+    let ov_n_tokens = List.fold_left (fun acc i -> acc + i.n_tokens) 0 idxs in
+    let gdf_tbl : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+    List.iter
+      (fun idx ->
+        Hashtbl.iter
+          (fun term tid ->
+            let c = Array.length idx.postings.(tid) in
+            if c > 0 then
+              Hashtbl.replace gdf_tbl term
+                (c + Option.value ~default:0 (Hashtbl.find_opt gdf_tbl term)))
+          idx.term_ids)
+      idxs;
+    let ov_gdf w = Option.value ~default:0 (Hashtbl.find_opt gdf_tbl (Stemmer.stem w)) in
+    (* Each shard root is one text-bearing scope spanning that shard's
+       tokens; the combined document has a single such root. *)
+    let tb, tl =
+      List.fold_left
+        (fun (tb, tl) idx ->
+          let b, l = scope_stats idx in
+          ((tb + b) - (if idx.n_tokens > 0 then 1 else 0), tl + l - idx.n_tokens))
+        (0, 0) idxs
+    in
+    let tb = tb + (if ov_n_tokens > 0 then 1 else 0) and tl = tl + ov_n_tokens in
+    let ov_avg_scope_len = if tb = 0 then 0.0 else float_of_int tl /. float_of_int tb in
+    let g_evidence w ~tf =
+      Scorer.term_score scorer ~tf ~df:(ov_gdf w) ~n_tokens:ov_n_tokens ~scope_len:ov_n_tokens
+        ~avg_scope_len:ov_avg_scope_len
+    in
+    let at_root idx pred =
+      let lo, hi = tok_range idx (Doc.root idx.doc) in
+      pred idx lo hi
+    in
+    let rec g_sat f =
+      match f with
+      | Ftexp.Term w -> ov_gdf w > 0
+      | Ftexp.And (a, b) -> g_sat a && g_sat b
+      | Ftexp.Or (a, b) -> g_sat a || g_sat b
+      | Ftexp.Not a -> not (g_sat a)
+      | Ftexp.Phrase ws ->
+        List.exists (fun idx -> at_root idx (fun i lo hi -> phrase_in_range i ws lo hi)) idxs
+      | Ftexp.Window (width, ws) ->
+        List.exists
+          (fun idx -> at_root idx (fun i lo hi -> window_in_range i width ws lo hi))
+          idxs
+    in
+    let rec g_raw f =
+      match f with
+      | Ftexp.Term w ->
+        let c = ov_gdf w in
+        if c = 0 then 0.0 else g_evidence w ~tf:c
+      | Ftexp.And (a, b) -> if g_sat a && g_sat b then g_raw a +. g_raw b else 0.0
+      | Ftexp.Or (a, b) ->
+        let sa = g_raw a and sb = g_raw b in
+        if g_sat a || g_sat b then Float.max sa sb +. (0.25 *. Float.min sa sb) else 0.0
+      | Ftexp.Not a -> if g_sat a then 0.0 else 1.0
+      | Ftexp.Phrase ws ->
+        if g_sat f then List.fold_left (fun acc w -> acc +. g_evidence w ~tf:1) 0.0 ws else 0.0
+      | Ftexp.Window (_, ws) ->
+        if g_sat f then List.fold_left (fun acc w -> acc +. g_evidence w ~tf:1) 0.0 ws else 0.0
+    in
+    (* Memoized: the denominator is consulted once per (answer,
+       predicate) pair on the scoring hot path, and worker domains share
+       one overlay per published corpus view. *)
+    let memo : (Ftexp.t, float) Hashtbl.t = Hashtbl.create 64 in
+    let memo_lock = Mutex.create () in
+    let ov_root_raw f =
+      Mutex.lock memo_lock;
+      match Hashtbl.find_opt memo f with
+      | Some v ->
+        Mutex.unlock memo_lock;
+        v
+      | None ->
+        Mutex.unlock memo_lock;
+        let v = if g_sat f then g_raw f else 0.0 in
+        Mutex.lock memo_lock;
+        Hashtbl.replace memo f v;
+        Mutex.unlock memo_lock;
+        v
+    in
+    { ov_n_tokens; ov_avg_scope_len; ov_gdf; ov_root_raw }
+
+let with_overlay idx ov = { idx with overlay = Some ov }
+let overlay_n_tokens ov = ov.ov_n_tokens
+let overlay_df ov w = ov.ov_gdf w

@@ -95,3 +95,32 @@ val matches : t -> Ftexp.t -> (Xmldom.Doc.elem * float) list
 val count_satisfying_with_tag : t -> Ftexp.t -> Xmldom.Tag.t -> int
 (** [#contains] statistic of §4.3.1: how many elements with the given
     tag satisfy the expression. *)
+
+(** {2 Corpus-global scoring (sharded corpora)} *)
+
+type overlay
+(** Corpus-global scoring statistics — total df per term, total token
+    count, global average scope length and the combined root's raw
+    score — substituted into shard-local indexes so that every shard
+    scores answers exactly as one combined index over all shards would.
+    Thread-safe: one overlay is shared by all worker domains serving a
+    corpus view. *)
+
+val overlay_of : t list -> overlay
+(** Builds the global view over the given shard indexes.  All indexes
+    must use the same scorer (the first one's is taken).  Value
+    equivalence with a single combined index is exact for {!Scorer}
+    functions and holds for every expression whose phrase/window
+    matches do not straddle a document boundary (such matches are
+    artifacts of corpus concatenation).
+    @raise Invalid_argument on an empty list. *)
+
+val with_overlay : t -> overlay -> t
+(** A view of [t] whose {!normalized_score} (and the term evidence
+    inside {!raw_score}) uses the overlay's global statistics; all
+    element-local operations are unchanged.  The result is a scoring
+    view: do not persist or {!extend} it. *)
+
+val overlay_n_tokens : overlay -> int
+val overlay_df : overlay -> string -> int
+(** Corpus-wide occurrence count of (the stem of) a word. *)

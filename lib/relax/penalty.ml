@@ -45,7 +45,7 @@ let scored_preds env = List.filter (is_scored env) (closure env)
    wildcard (total counts), which only makes penalties conservative. *)
 let count_tag env = function
   | Some t -> Stats.count_tag env.stats t
-  | None -> Xmldom.Doc.size (Stats.doc env.stats)
+  | None -> Stats.total_elems env.stats
 
 (* Extension of a tag under the hierarchy: its own elements plus those
    of all transitive subtypes. *)

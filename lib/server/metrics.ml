@@ -1,16 +1,17 @@
-type endpoint = Ping | Query | Relax | Stats | Reload | Ingest | Delete | Merge
+type endpoint = Ping | Query | Relax | Stats | Shards | Reload | Ingest | Delete | Merge
 
 let endpoint_to_string = function
   | Ping -> "ping"
   | Query -> "query"
   | Relax -> "relax"
   | Stats -> "stats"
+  | Shards -> "shards"
   | Reload -> "reload"
   | Ingest -> "ingest"
   | Delete -> "delete"
   | Merge -> "merge"
 
-let all_endpoints = [ Ping; Query; Relax; Stats; Reload; Ingest; Delete; Merge ]
+let all_endpoints = [ Ping; Query; Relax; Stats; Shards; Reload; Ingest; Delete; Merge ]
 
 type t = {
   lock : Mutex.t;
@@ -147,7 +148,28 @@ type ingest_gauges = {
   wal_replayed_records : int;
 }
 
-let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest =
+type shard_gauges = {
+  shard_live : bool;
+  shard_quarantined : bool;
+  shard_generation : int;
+  shard_docs : int;
+  shard_strikes : int;
+  shard_unmerged : int;
+  shard_staleness_ms : float;
+  shard_wal_bytes : int;
+}
+
+(* The corpus cache-key convention: one component per shard, [!]
+   marking a shard that cannot serve. *)
+let generation_vector shards =
+  String.concat "."
+    (List.map
+       (fun g ->
+         if g.shard_live then string_of_int g.shard_generation
+         else string_of_int g.shard_generation ^ "!")
+       shards)
+
+let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest ~shards =
   with_lock t (fun () ->
       let b = Buffer.create 512 in
       let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
@@ -181,6 +203,22 @@ let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest =
         line "wal_bytes: %d" g.wal_bytes;
         line "staleness_ms: %.0f" g.staleness_ms;
         line "wal_replayed_records: %d" g.wal_replayed_records);
+      (match (shards : shard_gauges list) with
+      | [] -> ()
+      | gs ->
+        let live = List.length (List.filter (fun g -> g.shard_live) gs) in
+        line "shards: %d/%d" live (List.length gs);
+        line "generation_vector: %s" (generation_vector gs);
+        List.iteri
+          (fun i g ->
+            line "shard %d: %s generation=%d docs=%d strikes=%d unmerged=%d staleness_ms=%.0f wal_bytes=%d"
+              i
+              (if g.shard_quarantined then "quarantined"
+               else if g.shard_live then "live"
+               else "down")
+              g.shard_generation g.shard_docs g.shard_strikes g.shard_unmerged
+              g.shard_staleness_ms g.shard_wal_bytes)
+          gs);
       (match (cache : Flexpath.Qcache.counters option) with
       | None -> line "cache: off"
       | Some c ->

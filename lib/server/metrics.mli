@@ -6,7 +6,7 @@
     per endpoint into a fixed-size {!Reservoir}, so percentiles stay
     exact-memory-bounded however long the server runs. *)
 
-type endpoint = Ping | Query | Relax | Stats | Reload | Ingest | Delete | Merge
+type endpoint = Ping | Query | Relax | Stats | Shards | Reload | Ingest | Delete | Merge
 
 val endpoint_to_string : endpoint -> string
 
@@ -105,6 +105,19 @@ type ingest_gauges = {
 (** Point-in-time ingestion gauges the server samples from its
     {!Flexpath.Ingest} store when rendering [STATS]. *)
 
+type shard_gauges = {
+  shard_live : bool;
+  shard_quarantined : bool;
+  shard_generation : int;
+  shard_docs : int;
+  shard_strikes : int;
+  shard_unmerged : int;  (** This shard's own merge backlog (WAL records). *)
+  shard_staleness_ms : float;
+  shard_wal_bytes : int;
+}
+(** Point-in-time per-shard gauges, sampled from
+    {!Flexpath.Corpus.health} when the server runs a sharded corpus. *)
+
 val render :
   t ->
   queue_depth:int ->
@@ -113,6 +126,7 @@ val render :
   uptime_s:float ->
   cache:Flexpath.Qcache.counters option ->
   ingest:ingest_gauges option ->
+  shards:shard_gauges list ->
   string
 (** The [STATS] response body: [key: value] lines (counters, queue
     occupancy, snapshot generation, the current generation's query-cache
@@ -121,4 +135,7 @@ val render :
     one latency line per endpoint:
     [latency_ms <endpoint> count=N p50=… p90=… p99=…], or just
     [latency_ms <endpoint> count=0] while the endpoint has no samples
-    (never [nan]). *)
+    (never [nan]).  A non-empty [shards] (the sharded-corpus mode)
+    adds [shards: live/total], [generation_vector: …] (the corpus
+    cache-key scope, [!] marking unservable shards) and one
+    [shard <i>: …] gauge line per shard. *)

@@ -15,6 +15,7 @@ type request =
   | Delete of { id : string }
   | Merge
   | Stats
+  | Shards
   | Reload of string option
   | Shutdown
 
@@ -163,6 +164,8 @@ let parse_request line =
     | "PING", _ -> Error "PING takes no arguments"
     | "STATS", "" -> Ok Stats
     | "STATS", _ -> Error "STATS takes no arguments"
+    | "SHARDS", "" -> Ok Shards
+    | "SHARDS", _ -> Error "SHARDS takes no arguments"
     | "SHUTDOWN", "" -> Ok Shutdown
     | "SHUTDOWN", _ -> Error "SHUTDOWN takes no arguments"
     | "RELOAD", "" -> Ok (Reload None)
@@ -176,8 +179,8 @@ let parse_request line =
     | verb, _ ->
       Error
         (Printf.sprintf
-           "unknown verb %S (expected PING, QUERY, RELAX, INGEST, DELETE, MERGE, STATS, RELOAD \
-            or SHUTDOWN)"
+           "unknown verb %S (expected PING, QUERY, RELAX, INGEST, DELETE, MERGE, STATS, SHARDS, \
+            RELOAD or SHUTDOWN)"
            verb))
 
 type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye

@@ -81,7 +81,14 @@ type request =
   | Delete of { id : string }
   | Merge
   | Stats
-  | Reload of string option  (** [None]: re-load the snapshot the server started from. *)
+  | Shards
+      (** Per-shard health of a sharded corpus: one line per shard
+          (state, generation, docs, strikes, backlog).  An error on an
+          unsharded server. *)
+  | Reload of string option
+      (** [None]: re-load the snapshot the server started from (every
+          shard, on a sharded server).  [Some arg]: a snapshot path —
+          or, sharded, the ordinal of the one shard to swap. *)
   | Shutdown
 
 val parse_request : string -> (request, string) result

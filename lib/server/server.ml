@@ -2,6 +2,7 @@ module Guard = Flexpath.Guard
 module Error = Flexpath.Error
 module Failpoint = Flexpath.Failpoint
 module Monotime = Flexpath.Monotime
+module Corpus = Flexpath.Corpus
 
 type ingest_config = {
   wal : string;
@@ -9,6 +10,7 @@ type ingest_config = {
   max_doc_bytes : int;
   max_doc_elems : int;
   write_lane : int;
+  shards : int;
 }
 
 let ingest_defaults ~wal =
@@ -18,6 +20,7 @@ let ingest_defaults ~wal =
     max_doc_bytes = Flexpath.Ingest.default_limits.Flexpath.Ingest.max_bytes;
     max_doc_elems = Flexpath.Ingest.default_limits.Flexpath.Ingest.max_elems;
     write_lane = 4;
+    shards = 1;
   }
 
 type config = {
@@ -86,6 +89,19 @@ type ingest_rt = {
   merge_domain : unit Domain.t option Atomic.t;
 }
 
+(* The sharded-corpus runtime ([shards > 1], DESIGN.md §4i).  The
+   corpus serializes writers per shard internally, so only the write
+   lane (admission) lives here; the merge domain walks the shards
+   independently — one shard's backlog never delays another's
+   compaction. *)
+type corpus_rt = {
+  corpus : Flexpath.Corpus.t;
+  ccfg : ingest_config;
+  cwriters : int Atomic.t;
+  cmerge_dead : bool Atomic.t;
+  cmerge_domain : unit Domain.t option Atomic.t;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
@@ -105,6 +121,7 @@ type t = {
   reload_lock : Mutex.t;
   started_wall : float;
   ingest : ingest_rt option;
+  corpus : corpus_rt option;
 }
 
 let port t = t.bound_port
@@ -112,6 +129,7 @@ let generation t = (Atomic.get t.current).generation
 let active_connections t = Atomic.get t.active
 let metrics t = t.metrics
 let ingest_store t = Option.map (fun rt -> rt.store) t.ingest
+let corpus t = Option.map (fun (rt : corpus_rt) -> rt.corpus) t.corpus
 
 (* With ingestion enabled the served environment is the store's —
    snapshot (if any) plus the replayed WAL tail — not the caller's;
@@ -119,7 +137,7 @@ let ingest_store t = Option.map (fun rt -> rt.store) t.ingest
    from nothing. *)
 let open_ingest (cfg : config) ~env =
   match cfg.ingest with
-  | None -> Ok None
+  | None -> Ok (None, None)
   | Some icfg -> (
     match cfg.snapshot with
     | None ->
@@ -130,36 +148,65 @@ let open_ingest (cfg : config) ~env =
              message = "live ingestion needs a snapshot path (--env) as its merge target";
            })
     | Some snapshot ->
-      Result.map
-        (fun store ->
-          Some
-            {
-              store;
-              icfg;
-              wlock = Mutex.create ();
-              writers = Atomic.make 0;
-              merge_dead = Atomic.make false;
-              merge_domain = Atomic.make None;
-            })
-        (Flexpath.Ingest.open_store ~weights:env.Flexpath.Env.weights
-           ~hierarchy:env.Flexpath.Env.hierarchy
-           ~limits:
-             {
-               Flexpath.Ingest.max_bytes = icfg.max_doc_bytes;
-               Flexpath.Ingest.max_elems = icfg.max_doc_elems;
-             }
-           ~snapshot ~wal:icfg.wal ()))
+      let limits =
+        {
+          Flexpath.Ingest.max_bytes = icfg.max_doc_bytes;
+          Flexpath.Ingest.max_elems = icfg.max_doc_elems;
+        }
+      in
+      if icfg.shards > 1 then
+        (* Sharded: the snapshot path is the per-shard file prefix
+           ([<prefix>.shard<i>] / [.wal]); [icfg.wal] is unused.  The
+           corpus opens even when some shard is corrupt — that shard
+           is down, the rest serve. *)
+        Result.map
+          (fun corpus ->
+            ( None,
+              Some
+                {
+                  corpus;
+                  ccfg = icfg;
+                  cwriters = Atomic.make 0;
+                  cmerge_dead = Atomic.make false;
+                  cmerge_domain = Atomic.make None;
+                } ))
+          (Flexpath.Corpus.open_corpus ~weights:env.Flexpath.Env.weights
+             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~shards:icfg.shards
+             ~prefix:snapshot ())
+      else
+        Result.map
+          (fun store ->
+            ( Some
+                {
+                  store;
+                  icfg;
+                  wlock = Mutex.create ();
+                  writers = Atomic.make 0;
+                  merge_dead = Atomic.make false;
+                  merge_domain = Atomic.make None;
+                },
+              None ))
+          (Flexpath.Ingest.open_store ~weights:env.Flexpath.Env.weights
+             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~snapshot ~wal:icfg.wal ()))
 
 let create cfg ~env =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be at least 1";
   match open_ingest cfg ~env with
   | Error e -> Error e
-  | Ok ingest -> (
+  | Ok (ingest, corpus) -> (
     let env =
-      match ingest with Some rt -> Flexpath.Ingest.store_env rt.store | None -> env
+      match (ingest, corpus) with
+      | Some rt, _ -> Flexpath.Ingest.store_env rt.store
+      | None, Some crt ->
+        (* The merged scoring view: queries scatter over the corpus,
+           but RELAX and a query against an empty corpus still need a
+           coherent env in the slot. *)
+        Flexpath.Corpus.scoring_env crt.corpus
+      | None, None -> env
     in
     let close_store () =
-      match ingest with Some rt -> Flexpath.Ingest.close rt.store | None -> ()
+      (match ingest with Some rt -> Flexpath.Ingest.close rt.store | None -> ());
+      match corpus with Some crt -> Flexpath.Corpus.close crt.corpus | None -> ()
     in
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     match
@@ -190,6 +237,7 @@ let create cfg ~env =
           reload_lock = Mutex.create ();
           started_wall = Unix.gettimeofday ();
           ingest;
+          corpus;
         }
     | exception Unix.Unix_error (err, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -350,9 +398,9 @@ let exec_query (slot : slot) ~q ~k ~algorithm ~scheme ~budget =
       in
       (Protocol.Partial, String.concat "\n" (hdr :: lines), `Truncated))
 
-let exec_relax (slot : slot) ~q ~steps =
+let exec_relax env ~q ~steps =
   match
-    let penv = Flexpath.Env.penalty_env slot.env q in
+    let penv = Flexpath.Env.penalty_env env q in
     Relax.Space.sequence ?max_steps:steps penv
   with
   | exception Failpoint.Injected p -> (Protocol.Err, Error.to_string (Error.Fault p), `Error)
@@ -408,10 +456,20 @@ let exec_reload t path_opt =
 
 let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_wall)
 
-(* The OVERLOADED backoff hint: deeper queues mean longer waits, so
-   scale the hint with the current depth (a rough 50 ms nominal
-   service time per queued entry), clamped to a sane range. *)
+(* The OVERLOADED backoff hint for {e connection} admission: deeper
+   queues mean longer waits, so scale the hint with the current depth
+   (a rough 50 ms nominal service time per queued entry), clamped to a
+   sane range. *)
 let retry_after_hint_ms t = min 5000 (50 * (1 + Admission.length t.queue))
+
+(* The backoff hint for a {e write-lane} reject.  A refused write waits
+   on the writer path clearing, not on the connection queue: the
+   governing signal is the merge backlog of the shard the write routes
+   to (the store itself, unsharded) — a deep backlog means the next
+   merge pass holds that shard's writer lock longer.  The global
+   connection-queue depth says nothing about that and used to produce
+   flat hints under write-heavy load with an idle read queue. *)
+let backlog_hint_ms backlog = min 5000 (50 * (1 + backlog))
 
 (* ------------------------------------------------------------------ *)
 (* Live ingestion: write execution, publication, merging *)
@@ -451,7 +509,8 @@ let with_write_lane t rt f =
     (fun () ->
       if pos >= rt.icfg.write_lane then begin
         Metrics.write_rejected t.metrics;
-        (Protocol.Overloaded, Protocol.retry_after_body (retry_after_hint_ms t), `Error)
+        let hint = backlog_hint_ms (Flexpath.Ingest.unmerged_records rt.store) in
+        (Protocol.Overloaded, Protocol.retry_after_body hint, `Error)
       end
       else begin
         Mutex.lock rt.wlock;
@@ -500,6 +559,235 @@ let exec_merge t rt =
       | exception Failpoint.Injected p ->
         Metrics.merge_failed t.metrics;
         (Protocol.Err, Error.to_string (Error.Fault p), `Error))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-corpus serving (DESIGN.md §4i).  Queries scatter over the
+   live shards and gather under one guard; a shard that cannot answer
+   degrades the response to PARTIAL with [shards=served/total] and a
+   sound bound instead of failing it.  Writes route by id; RELOAD
+   swaps one shard. *)
+
+let corpus_algorithm = function
+  | Flexpath.DPO -> Corpus.DPO
+  | Flexpath.SSO -> Corpus.SSO
+  | Flexpath.Hybrid -> Corpus.Hybrid
+
+(* Corpus-wide ingestion gauges: sums (docs, backlog, WAL bytes,
+   replay) and the max staleness — the slowest shard bounds the
+   corpus's merge freshness. *)
+let corpus_ingest_gauges c =
+  let h = Corpus.health c in
+  {
+    Metrics.corpus_docs = Corpus.doc_count c;
+    delta_docs = Array.fold_left (fun a (s : Corpus.shard_health) -> a + s.h_unmerged) 0 h;
+    wal_bytes = Array.fold_left (fun a (s : Corpus.shard_health) -> a + s.h_wal_bytes) 0 h;
+    staleness_ms =
+      Array.fold_left (fun a (s : Corpus.shard_health) -> Float.max a s.h_staleness_ms) 0.0 h;
+    wal_replayed_records =
+      Array.fold_left (fun a (s : Corpus.shard_health) -> a + s.h_replayed) 0 h;
+  }
+
+let corpus_shard_gauges c =
+  Array.to_list
+    (Array.map
+       (fun (s : Corpus.shard_health) ->
+         {
+           Metrics.shard_live = s.h_live;
+           shard_quarantined = s.h_quarantined;
+           shard_generation = s.h_generation;
+           shard_docs = s.h_docs;
+           shard_strikes = s.h_strikes;
+           shard_unmerged = s.h_unmerged;
+           shard_staleness_ms = s.h_staleness_ms;
+           shard_wal_bytes = s.h_wal_bytes;
+         })
+       (Corpus.health c))
+
+let exec_shards (crt : corpus_rt) =
+  let lines =
+    Array.to_list
+      (Array.map
+         (fun (s : Corpus.shard_health) ->
+           let state =
+             if s.h_quarantined then "quarantined" else if s.h_live then "live" else "down"
+           in
+           Printf.sprintf
+             "shard %d: %s generation=%d docs=%d strikes=%d unmerged=%d staleness_ms=%.0f \
+              wal_bytes=%d replayed=%d%s"
+             s.h_ord state s.h_generation s.h_docs s.h_strikes s.h_unmerged s.h_staleness_ms
+             s.h_wal_bytes s.h_replayed
+             (match s.h_last_error with None -> "" | Some e -> "  error=" ^ e))
+         (Corpus.health crt.corpus))
+  in
+  (Protocol.Ok_, String.concat "\n" lines, `Ok)
+
+(* The write lane over a sharded corpus: the same admission class as
+   {!with_write_lane} (the corpus serializes actual writers per shard
+   itself), but the reject hint reflects the backlog of the shard this
+   write {e routes to} — other shards' queues are irrelevant to it. *)
+let with_corpus_write_lane t (crt : corpus_rt) ~id f =
+  let pos = Atomic.fetch_and_add crt.cwriters 1 in
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr crt.cwriters)
+    (fun () ->
+      if pos >= crt.ccfg.write_lane then begin
+        Metrics.write_rejected t.metrics;
+        let backlog =
+          match id with
+          | Some id -> Corpus.merge_backlog crt.corpus (Corpus.shard_of_id crt.corpus id)
+          | None ->
+            (* An auto-id INGEST routes only once the id is minted:
+               bound the wait by the deepest shard backlog. *)
+            Array.fold_left
+              (fun a (s : Corpus.shard_health) -> max a s.h_unmerged)
+              0 (Corpus.health crt.corpus)
+        in
+        (Protocol.Overloaded, Protocol.retry_after_body (backlog_hint_ms backlog), `Error)
+      end
+      else f ())
+
+let exec_corpus_ingest t (crt : corpus_rt) ~id body =
+  match Corpus.ingest crt.corpus ?id body with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok doc_id ->
+    Metrics.ingested t.metrics;
+    ( Protocol.Ok_,
+      Printf.sprintf "ingested %s; shard %d; generations %s" doc_id
+        (Corpus.shard_of_id crt.corpus doc_id)
+        (Corpus.generation_vector crt.corpus),
+      `Ok )
+
+let exec_corpus_delete t (crt : corpus_rt) ~id =
+  match Corpus.delete crt.corpus ~id with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok () ->
+    Metrics.deleted t.metrics;
+    ( Protocol.Ok_,
+      Printf.sprintf "deleted %s; generations %s" id (Corpus.generation_vector crt.corpus),
+      `Ok )
+
+(* A foreground MERGE compacts every live shard with a backlog; the
+   first failure is reported but does not undo the shards already
+   merged (their WALs are truncated durably). *)
+let exec_corpus_merge t (crt : corpus_rt) =
+  let c = crt.corpus in
+  let shards_merged = ref 0 and records = ref 0 and failed = ref [] in
+  Array.iter
+    (fun (s : Corpus.shard_health) ->
+      if s.h_live && s.h_unmerged > 0 then
+        match Corpus.merge c s.h_ord with
+        | Ok () ->
+          incr shards_merged;
+          records := !records + s.h_unmerged;
+          Metrics.merged t.metrics
+        | Error e ->
+          failed := (s.h_ord, Error.to_string e) :: !failed;
+          Metrics.merge_failed t.metrics
+        | exception Failpoint.Injected p ->
+          failed := (s.h_ord, Error.to_string (Error.Fault p)) :: !failed;
+          Metrics.merge_failed t.metrics)
+    (Corpus.health c);
+  match List.rev !failed with
+  | [] ->
+    ( Protocol.Ok_,
+      Printf.sprintf "merged %d delta record(s) across %d shard(s); wals truncated" !records
+        !shards_merged,
+      `Ok )
+  | (ord, e) :: _ -> (Protocol.Err, Printf.sprintf "shard %d: %s" ord e, `Error)
+
+(* RELOAD over a corpus: the argument is a shard ordinal (one shard
+   swaps; the others keep serving), or absent — every shard reloads,
+   stopping at the first failure. *)
+let exec_corpus_reload t (crt : corpus_rt) arg =
+  let c = crt.corpus in
+  let n = Corpus.shard_count c in
+  let targets =
+    match arg with
+    | None -> Ok (List.init n Fun.id)
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some ord when ord >= 0 && ord < n -> Ok [ ord ]
+      | Some ord -> Error (Printf.sprintf "reload: shard %d out of range (0..%d)" ord (n - 1))
+      | None ->
+        Error
+          (Printf.sprintf "reload: expected a shard ordinal 0..%d on a sharded server, got %S"
+             (n - 1) s))
+  in
+  match targets with
+  | Error msg -> (Protocol.Err, msg, `Error)
+  | Ok ords -> (
+    let rec go = function
+      | [] -> Ok ()
+      | ord :: rest -> (
+        match Corpus.reload c ord with
+        | Ok () -> go rest
+        | Error e -> Error (ord, Error.to_string e))
+    in
+    match go ords with
+    | Ok () ->
+      Metrics.reloads t.metrics;
+      ( Protocol.Ok_,
+        Printf.sprintf "reloaded shard(s) %s; generations %s"
+          (String.concat "," (List.map string_of_int ords))
+          (Corpus.generation_vector c),
+        `Ok )
+    | Error (ord, e) -> (Protocol.Err, Printf.sprintf "shard %d: %s" ord e, `Error))
+
+let exec_corpus_query (crt : corpus_rt) ~q ~k ~algorithm ~scheme ~budget =
+  let algorithm = Option.map corpus_algorithm algorithm in
+  match Corpus.query crt.corpus ?budget ?algorithm ?scheme ~k q with
+  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Ok r -> (
+    let lines =
+      List.mapi
+        (fun i a -> Printf.sprintf "%2d. %s" (i + 1) (Corpus.answer_line a))
+        r.Corpus.answers
+    in
+    match r.Corpus.completeness with
+    | Corpus.Complete -> (Protocol.Ok_, String.concat "\n" lines, `Ok)
+    | Corpus.Partial { reason; score_bound } ->
+      (* The partial wire contract: what is missing ([shards=]), why
+         ([reason=]), and how good it could have been ([score_bound=],
+         sound on the scheme's primary key). *)
+      let hdr =
+        Printf.sprintf "# partial reason=%s score_bound=%.4f shards=%d/%d" reason score_bound
+          r.Corpus.served r.Corpus.total
+      in
+      (Protocol.Partial, String.concat "\n" (hdr :: lines), `Truncated))
+
+(* Per-shard background merges: each shard has its own cadence clock,
+   so a shard with a deep backlog (or a failing disk) never delays the
+   others' compaction.  Same liveness contract as {!merge_domain_body}:
+   an escaping exception flags [cmerge_dead] for the supervisor. *)
+let corpus_merge_loop t (crt : corpus_rt) () =
+  let interval_ms = Float.max 50.0 crt.ccfg.merge_interval_ms in
+  let n = Corpus.shard_count crt.corpus in
+  let last = Array.make n (Monotime.now_ms ()) in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.05;
+    for ord = 0 to n - 1 do
+      if
+        Monotime.now_ms () -. last.(ord) >= interval_ms
+        && Corpus.merge_backlog crt.corpus ord > 0
+      then begin
+        last.(ord) <- Monotime.now_ms ();
+        match Corpus.merge crt.corpus ord with
+        | Ok () -> Metrics.merged t.metrics
+        | Error _ -> Metrics.merge_failed t.metrics
+      end
+    done
+  done
+
+let corpus_merge_domain_body t (crt : corpus_rt) () =
+  match corpus_merge_loop t crt () with
+  | () -> ()
+  | exception _ ->
+    Metrics.merge_failed t.metrics;
+    Atomic.set crt.cmerge_dead true
+
+let spawn_corpus_merge_domain t (crt : corpus_rt) =
+  if crt.ccfg.merge_interval_ms > 0.0 then
+    Atomic.set crt.cmerge_domain (Some (Domain.spawn (corpus_merge_domain_body t crt)))
 
 (* The background merge domain: wake every tick, merge once the
    interval has elapsed and there is something to fold.  An escaping
@@ -575,8 +863,8 @@ let pre_parse (req : Protocol.request) =
     match Tpq.Xpath.parse xpath with
     | Ok q -> (Some (Tpq.Query.canonical_key q), Some (Ok q))
     | Error e -> (None, Some (Error e)))
-  | Protocol.Ping | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown | Protocol.Ingest _
-  | Protocol.Delete _ | Protocol.Merge ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Shards | Protocol.Reload _ | Protocol.Shutdown
+  | Protocol.Ingest _ | Protocol.Delete _ | Protocol.Merge ->
     (None, None)
 
 (* A wedged worker spins here until the supervisor supersedes it, the
@@ -623,53 +911,83 @@ let dispatch t handle fd (req : Protocol.request) parsed ~body =
             | Protocol.Ping -> (Metrics.Ping, (Protocol.Ok_, "pong", `Ok))
             | Protocol.Stats ->
               let slot = Atomic.get t.current in
+              let cache, ingest, shards =
+                match t.corpus with
+                | Some crt ->
+                  ( Some (Corpus.cache_counters crt.corpus),
+                    Some (corpus_ingest_gauges crt.corpus),
+                    corpus_shard_gauges crt.corpus )
+                | None ->
+                  ( Option.map Flexpath.Qcache.counters slot.cache,
+                    Option.map ingest_gauges t.ingest,
+                    [] )
+              in
               ( Metrics.Stats,
                 ( Protocol.Ok_,
                   Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
                     ~queue_capacity:(Admission.capacity t.queue)
-                    ~generation:slot.generation ~uptime_s:(uptime_s t)
-                    ~cache:(Option.map Flexpath.Qcache.counters slot.cache)
-                    ~ingest:(Option.map ingest_gauges t.ingest),
+                    ~generation:slot.generation ~uptime_s:(uptime_s t) ~cache ~ingest ~shards,
                   `Ok ) )
+            | Protocol.Shards -> (
+              ( Metrics.Shards,
+                match t.corpus with
+                | Some crt -> exec_shards crt
+                | None ->
+                  ( Protocol.Err,
+                    "shards: the server is not sharded (start with --shards N)",
+                    `Error ) ))
             | Protocol.Reload path -> (
               ( Metrics.Reload,
-                match t.ingest with
-                | Some _ ->
+                match (t.corpus, t.ingest) with
+                | Some crt, _ -> exec_corpus_reload t crt path
+                | None, Some _ ->
                   (* The store owns the snapshot: swapping in another
                      env would fork the corpus away from the WAL. *)
                   ( Protocol.Err,
                     "reload: disabled while live ingestion owns the snapshot (use MERGE)",
                     `Error )
-                | None -> exec_reload t path ))
+                | None, None -> exec_reload t path ))
             | Protocol.Ingest { id; _ } -> (
               ( Metrics.Ingest,
-                match (t.ingest, body) with
-                | None, _ ->
+                match (t.corpus, t.ingest, body) with
+                | None, None, _ ->
                   Metrics.write_rejected t.metrics;
                   ( Protocol.Err,
                     "ingest: not enabled (start the server with --ingest-wal)",
                     `Error )
-                | Some rt, Some b -> with_write_lane t rt (fun () -> exec_ingest t rt ~id b)
-                | Some _, None -> assert false ))
+                | Some crt, _, Some b ->
+                  with_corpus_write_lane t crt ~id (fun () -> exec_corpus_ingest t crt ~id b)
+                | None, Some rt, Some b -> with_write_lane t rt (fun () -> exec_ingest t rt ~id b)
+                | _, _, None -> assert false ))
             | Protocol.Delete { id } -> (
               ( Metrics.Delete,
-                match t.ingest with
-                | None ->
+                match (t.corpus, t.ingest) with
+                | None, None ->
                   Metrics.write_rejected t.metrics;
                   ( Protocol.Err,
                     "delete: not enabled (start the server with --ingest-wal)",
                     `Error )
-                | Some rt -> with_write_lane t rt (fun () -> exec_delete t rt ~id) ))
+                | Some crt, _ ->
+                  with_corpus_write_lane t crt ~id:(Some id) (fun () ->
+                      exec_corpus_delete t crt ~id)
+                | None, Some rt -> with_write_lane t rt (fun () -> exec_delete t rt ~id) ))
             | Protocol.Merge -> (
               ( Metrics.Merge,
-                match t.ingest with
-                | None -> (Protocol.Err, "merge: live ingestion is not enabled", `Error)
-                | Some rt -> exec_merge t rt ))
+                match (t.corpus, t.ingest) with
+                | None, None -> (Protocol.Err, "merge: live ingestion is not enabled", `Error)
+                | Some crt, _ -> exec_corpus_merge t crt
+                | None, Some rt -> exec_merge t rt ))
             | Protocol.Relax { steps; _ } ->
               ( Metrics.Relax,
                 match parsed with
                 | Some (Error e) -> parse_error_response e
-                | Some (Ok q) -> exec_relax (Atomic.get t.current) ~q ~steps
+                | Some (Ok q) ->
+                  let env =
+                    match t.corpus with
+                    | Some crt -> Corpus.scoring_env crt.corpus
+                    | None -> (Atomic.get t.current).env
+                  in
+                  exec_relax env ~q ~steps
                 | None -> assert false )
             | Protocol.Query { k; algorithm; scheme; deadline_ms; tuple_budget; step_budget; restart_cap; _ }
               -> (
@@ -681,7 +999,9 @@ let dispatch t handle fd (req : Protocol.request) parsed ~body =
                     merge_budget t.cfg ~deadline_ms ~tuple_budget ~step_budget ~restart_cap
                   in
                   let k = Option.value ~default:t.cfg.default_k k in
-                  exec_query (Atomic.get t.current) ~q ~k ~algorithm ~scheme ~budget
+                  (match t.corpus with
+                  | Some crt -> exec_corpus_query crt ~q ~k ~algorithm ~scheme ~budget
+                  | None -> exec_query (Atomic.get t.current) ~q ~k ~algorithm ~scheme ~budget)
                 | None -> assert false ))
             | Protocol.Shutdown -> assert false
           in
@@ -850,11 +1170,21 @@ let supervision_loop t () =
        snapshot/WAL overlap window (the [merge_publish] failpoint)
        leaves [wlock] released and the WAL intact, so a replacement
        picks the same deltas up and converges. *)
-    match t.ingest with
+    (match t.ingest with
     | Some rt when Atomic.get rt.merge_dead ->
       Atomic.set rt.merge_dead false;
       (match Atomic.get rt.merge_domain with Some d -> Domain.join d | None -> ());
       Atomic.set rt.merge_domain (Some (Domain.spawn (merge_domain_body t rt)));
+      Metrics.merge_respawned t.metrics
+    | Some _ | None -> ());
+    (* The per-shard merge domain is supervised the same way; the
+       shards' WALs keep every acked write, so the replacement
+       converges shard by shard. *)
+    match t.corpus with
+    | Some crt when Atomic.get crt.cmerge_dead ->
+      Atomic.set crt.cmerge_dead false;
+      (match Atomic.get crt.cmerge_domain with Some d -> Domain.join d | None -> ());
+      Atomic.set crt.cmerge_domain (Some (Domain.spawn (corpus_merge_domain_body t crt)));
       Metrics.merge_respawned t.metrics
     | Some _ | None -> ()
   done
@@ -912,6 +1242,7 @@ let serve t =
     (fun i _ -> t.domains.(i) <- Some (Domain.spawn (worker t (Supervisor.occupant t.sup i))))
     t.domains;
   Option.iter (fun rt -> spawn_merge_domain t rt) t.ingest;
+  Option.iter (fun crt -> spawn_corpus_merge_domain t crt) t.corpus;
   let supervisor =
     if t.cfg.supervise then Some (Domain.spawn (supervision_loop t)) else None
   in
@@ -932,5 +1263,10 @@ let serve t =
   | Some rt ->
     (match Atomic.get rt.merge_domain with Some d -> Domain.join d | None -> ());
     Flexpath.Ingest.close rt.store
+  | None -> ());
+  (match t.corpus with
+  | Some crt ->
+    (match Atomic.get crt.cmerge_domain with Some d -> Domain.join d | None -> ());
+    Corpus.close crt.corpus
   | None -> ());
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()

@@ -45,12 +45,28 @@ type ingest_config = {
           waiting on the writer lock beyond this depth are answered
           [OVERLOADED] immediately, so a write burst (or a merge
           holding the lock) cannot starve queries of workers.  [0]
-          rejects every write. *)
+          rejects every write.  The reject's [retry-after-ms] hint
+          scales with the merge backlog of the shard the write routes
+          to (the store itself, unsharded) — the signal that actually
+          governs how soon the writer path clears. *)
+  shards : int;
+      (** [> 1] serves a fault-isolated sharded corpus
+          ({!Flexpath.Corpus}, DESIGN.md §4i) instead of a single
+          store: [snapshot] becomes the per-shard file prefix
+          ([<prefix>.shard<i>] / [<prefix>.shard<i>.wal]; [wal] is
+          unused), documents route to shards by a stable hash of their
+          id, queries scatter-gather over the live shards, and a shard
+          that cannot answer degrades the response to [PARTIAL] with
+          [shards=served/total] and a sound [score_bound] instead of
+          failing it.  [SHARDS] reports per-shard health;
+          [RELOAD <ord>] swaps one shard; background merges are
+          scheduled per shard.  [1] (the default) is the unsharded
+          store. *)
 }
 
 val ingest_defaults : wal:string -> ingest_config
 (** 2 s merge interval, {!Flexpath.Ingest.default_limits} document
-    budgets, write lane 4. *)
+    budgets, write lane 4, unsharded. *)
 
 type config = {
   host : string;  (** Listen address, default ["127.0.0.1"]. *)
@@ -159,3 +175,8 @@ val ingest_store : t -> Flexpath.Ingest.store option
 (** The live-ingestion store, when enabled — exposed so tests can
     compare the served corpus against an offline rebuild of the acked
     document set after a quiesce. *)
+
+val corpus : t -> Flexpath.Corpus.t option
+(** The sharded corpus, when [ingest.shards > 1] — exposed so tests
+    can arm shard-level chaos (failpoints, snapshot corruption) and
+    assert per-shard health without going through the wire. *)

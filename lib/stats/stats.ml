@@ -13,7 +13,11 @@ module Pair_tbl = Hashtbl.Make (struct
   let hash (a, b) = (a * 92821) lxor b
 end)
 
-type t = {
+(* One document's statistics — what [build] produces and snapshots
+   persist.  The public [t] below is either one of these or a merged
+   view over several (one per corpus shard); merged views exist only at
+   query time and are never extended or persisted. *)
+type single = {
   doc : Doc.t;
   n_by_tag : int array;
   pc : int Pair_tbl.t;
@@ -26,7 +30,18 @@ type t = {
   contains_cache : (string * string, int) Hashtbl.t;
 }
 
-let build doc =
+(* A merged view sums counts across sources by tag NAME (tag ids are
+   per-document).  [root_tag] names the synthetic per-shard root: each
+   source contributes one such element where the equivalent combined
+   document has exactly one, so tag counts and element totals subtract
+   the [n-1] surplus roots.  Every other count is purely additive —
+   levels, subtree extents and parent/ancestor pairs of non-root
+   elements are identical in the sharded and combined layouts. *)
+type t =
+  | Single of single
+  | Merged of { sources : single array; root_tag : string }
+
+let build_single doc =
   let n = Doc.size doc in
   let n_tags = Tag.count (Doc.tags doc) in
   let n_by_tag = Array.make n_tags 0 in
@@ -65,6 +80,31 @@ let build doc =
     contains_cache = Hashtbl.create 64;
   }
 
+let build doc = Single (build_single doc)
+
+let single_of = function
+  | Single s -> s
+  | Merged _ -> invalid_arg "Stats: operation not supported on a merged view"
+
+let sources = function Single s -> [| s |] | Merged m -> m.sources
+
+let merged ~root_tag ts =
+  match ts with
+  | [] -> invalid_arg "Stats.merged: at least one source required"
+  | _ ->
+    let srcs =
+      List.map
+        (fun t ->
+          let s = single_of t in
+          let rt = Doc.tag_name s.doc (Doc.root s.doc) in
+          if rt <> root_tag then
+            invalid_arg
+              (Printf.sprintf "Stats.merged: source rooted at <%s>, expected <%s>" rt root_tag);
+          s)
+        ts
+    in
+    Merged { sources = Array.of_list srcs; root_tag }
+
 (* Extend statistics over a document that grew by [Doc.append_trees].
    [build]'s loop body is purely additive per element, so running it
    over just the new elements — against the widened document, whose old
@@ -74,7 +114,8 @@ let build doc =
    grew by the number of appended elements.  (The root is the only old
    element whose extent changes, and ancestor walks from new elements
    land on it, so its [ad] rows are already bumped by the loop.) *)
-let extend st doc ~first_new =
+let extend t doc ~first_new =
+  let st = single_of t in
   let n = Doc.size doc in
   if first_new <> Doc.size st.doc then
     invalid_arg
@@ -113,18 +154,19 @@ let extend st doc ~first_new =
     let rt = Doc.tag doc (Doc.root doc) in
     desc_total.(rt) <- desc_total.(rt) + (n - first_new)
   end;
-  {
-    doc;
-    n_by_tag;
-    pc;
-    ad;
-    children_total;
-    desc_total;
-    depth_total;
-    total_ad = !total_ad;
-    index = None;
-    contains_cache = Hashtbl.create 64;
-  }
+  Single
+    {
+      doc;
+      n_by_tag;
+      pc;
+      ad;
+      children_total;
+      desc_total;
+      depth_total;
+      total_ad = !total_ad;
+      index = None;
+      contains_cache = Hashtbl.create 64;
+    }
 
 (* The statistics minus the document, the attached index and the
    memoization cache: the count tables snapshot storage persists.
@@ -140,7 +182,8 @@ type portable = {
   p_total_ad : int;
 }
 
-let to_portable st =
+let to_portable t =
+  let st = single_of t in
   {
     p_n_by_tag = st.n_by_tag;
     p_pc = st.pc;
@@ -157,59 +200,80 @@ let of_portable doc p =
       (Printf.sprintf "Stats.of_portable: statistics cover %d tags, document has %d"
          (Array.length p.p_n_by_tag)
          (Tag.count (Doc.tags doc)));
-  {
-    doc;
-    n_by_tag = p.p_n_by_tag;
-    pc = p.p_pc;
-    ad = p.p_ad;
-    children_total = p.p_children_total;
-    desc_total = p.p_desc_total;
-    depth_total = p.p_depth_total;
-    total_ad = p.p_total_ad;
-    index = None;
-    contains_cache = Hashtbl.create 64;
-  }
+  Single
+    {
+      doc;
+      n_by_tag = p.p_n_by_tag;
+      pc = p.p_pc;
+      ad = p.p_ad;
+      children_total = p.p_children_total;
+      desc_total = p.p_desc_total;
+      depth_total = p.p_depth_total;
+      total_ad = p.p_total_ad;
+      index = None;
+      contains_cache = Hashtbl.create 64;
+    }
 
-let doc st = st.doc
-let tag_id st name = Tag.find (Doc.tags st.doc) name
+(* For a merged view, "the document" is the first source's — callers
+   wanting sizes should use [total_elems], which dedups the synthetic
+   roots. *)
+let doc t = (sources t).(0).doc
 
-let count_tag st name =
-  match tag_id st name with None -> 0 | Some t -> st.n_by_tag.(t)
+let tag_id s name = Tag.find (Doc.tags s.doc) name
+
+(* ------------------------------------------------------------------ *)
+(* Per-source count primitives, then name-keyed summation. *)
 
 let pair_count tbl k = Option.value ~default:0 (Pair_tbl.find_opt tbl k)
 
-let count_pc st t1 t2 =
-  match (tag_id st t1, tag_id st t2) with
-  | Some a, Some b -> pair_count st.pc (a, b)
+let s_count_tag s name = match tag_id s name with None -> 0 | Some t -> s.n_by_tag.(t)
+
+let s_count_pc s t1 t2 =
+  match (tag_id s t1, tag_id s t2) with
+  | Some a, Some b -> pair_count s.pc (a, b)
   | _ -> 0
 
-let count_ad st t1 t2 =
-  match (tag_id st t1, tag_id st t2) with
-  | Some a, Some b -> pair_count st.ad (a, b)
+let s_count_ad s t1 t2 =
+  match (tag_id s t1, tag_id s t2) with
+  | Some a, Some b -> pair_count s.ad (a, b)
   | _ -> 0
 
-let set_index st idx = st.index <- Some idx
+let s_total_elems s = Array.fold_left ( + ) 0 s.n_by_tag
+
+let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 (sources t)
+
+(* Surplus synthetic roots relative to the combined single document. *)
+let extra_roots = function Single _ -> 0 | Merged m -> Array.length m.sources - 1
+
+let count_tag t name =
+  let c = sum (fun s -> s_count_tag s name) t in
+  match t with Merged m when name = m.root_tag -> c - extra_roots t | _ -> c
+
+let count_pc t t1 t2 = sum (fun s -> s_count_pc s t1 t2) t
+let count_ad t t1 t2 = sum (fun s -> s_count_ad s t1 t2) t
+
+let set_index t idx = (single_of t).index <- Some idx
 
 (* The memoization cache is the only mutable state on the query path;
    the server evaluates queries against one shared statistics value from
    several domains at once, so lookups and inserts are serialized.  One
-   module-level lock (rather than a per-value field) keeps [t]
+   module-level lock (rather than a per-value field) keeps the tables
    marshalable for the v1 snapshot format; contention is negligible —
    penalty construction consults the cache a handful of times per
    query. *)
 let cache_lock = Mutex.create ()
 
-let count_contains st tag f =
+let s_count_contains s tag f =
   let key = (tag, Ftexp.to_string f) in
   Mutex.lock cache_lock;
-  match Hashtbl.find_opt st.contains_cache key with
+  match Hashtbl.find_opt s.contains_cache key with
   | Some n ->
     Mutex.unlock cache_lock;
     n
   | None ->
     Mutex.unlock cache_lock;
     let n =
-      match (st.index, tag_id st tag) with
+      match (s.index, tag_id s tag) with
       | Some idx, Some t -> Index.count_satisfying_with_tag idx f t
       | _, None -> 0
       | None, _ -> invalid_arg "Stats.count_contains: no index attached (use set_index)"
@@ -217,108 +281,112 @@ let count_contains st tag f =
     Mutex.lock cache_lock;
     (* A racing domain may have inserted the same key meanwhile; both
        computed the same pure count, so [replace] is idempotent. *)
-    Hashtbl.replace st.contains_cache key n;
+    Hashtbl.replace s.contains_cache key n;
     Mutex.unlock cache_lock;
     n
 
-let pc_fraction st t1 t2 =
-  let a = count_ad st t1 t2 in
-  if a = 0 then 0.0 else float_of_int (count_pc st t1 t2) /. float_of_int a
+let count_contains t tag f = sum (fun s -> s_count_contains s tag f) t
 
-let ad_density st t1 t2 =
-  let n1 = count_tag st t1 and n2 = count_tag st t2 in
+let pc_fraction t t1 t2 =
+  let a = count_ad t t1 t2 in
+  if a = 0 then 0.0 else float_of_int (count_pc t t1 t2) /. float_of_int a
+
+let ad_density t t1 t2 =
+  let n1 = count_tag t t1 and n2 = count_tag t t2 in
   if n1 = 0 || n2 = 0 then 0.0
-  else float_of_int (count_ad st t1 t2) /. (float_of_int n1 *. float_of_int n2)
+  else float_of_int (count_ad t t1 t2) /. (float_of_int n1 *. float_of_int n2)
 
-let contains_fraction st ~child ~parent f =
-  let denom = count_contains st parent f in
+let contains_fraction t ~child ~parent f =
+  let denom = count_contains t parent f in
   if denom = 0 then 1.0
-  else Float.min 1.0 (float_of_int (count_contains st child f) /. float_of_int denom)
+  else Float.min 1.0 (float_of_int (count_contains t child f) /. float_of_int denom)
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity estimation.
 
    Wildcard-aware counts: [None] stands for any tag. *)
 
-let total_elems st = Array.fold_left ( + ) 0 st.n_by_tag
+let total_elems t = sum s_total_elems t - extra_roots t
 
-let count_tag_opt st = function
-  | None -> total_elems st
-  | Some name -> count_tag st name
+let count_tag_opt t = function None -> total_elems t | Some name -> count_tag t name
 
-let count_pc_opt st t1 t2 =
+let count_pc_opt t t1 t2 =
   match (t1, t2) with
-  | Some a, Some b -> count_pc st a b
-  | Some a, None -> ( match tag_id st a with None -> 0 | Some t -> st.children_total.(t))
-  | None, Some b -> (
+  | Some _, Some _ -> count_pc t (Option.get t1) (Option.get t2)
+  | Some a, None ->
+    sum (fun s -> match tag_id s a with None -> 0 | Some tg -> s.children_total.(tg)) t
+  | None, Some b ->
     (* every non-root element has one parent *)
-    match tag_id st b with
-    | None -> 0
-    | Some t -> st.n_by_tag.(t) - (if Doc.tag st.doc (Doc.root st.doc) = t then 1 else 0))
-  | None, None -> total_elems st - 1
+    sum
+      (fun s ->
+        match tag_id s b with
+        | None -> 0
+        | Some tg -> s.n_by_tag.(tg) - (if Doc.tag s.doc (Doc.root s.doc) = tg then 1 else 0))
+      t
+  | None, None -> sum (fun s -> s_total_elems s - 1) t
 
-let count_ad_opt st t1 t2 =
+let count_ad_opt t t1 t2 =
   match (t1, t2) with
-  | Some a, Some b -> count_ad st a b
-  | Some a, None -> ( match tag_id st a with None -> 0 | Some t -> st.desc_total.(t))
-  | None, Some b -> ( match tag_id st b with None -> 0 | Some t -> st.depth_total.(t))
-  | None, None -> st.total_ad
+  | Some a, Some b -> count_ad t a b
+  | Some a, None -> sum (fun s -> match tag_id s a with None -> 0 | Some tg -> s.desc_total.(tg)) t
+  | None, Some b -> sum (fun s -> match tag_id s b with None -> 0 | Some tg -> s.depth_total.(tg)) t
+  | None, None -> sum (fun s -> s.total_ad) t
 
 (* Fraction of [parent_tag] elements expected to have at least one
    qualifying child/descendant of [child_tag]. *)
-let edge_fraction st parent_tag axis child_tag =
-  let np = count_tag_opt st parent_tag in
+let edge_fraction t parent_tag axis child_tag =
+  let np = count_tag_opt t parent_tag in
   if np = 0 then 0.0
   else begin
     let pairs =
       match axis with
-      | Query.Child -> count_pc_opt st parent_tag child_tag
-      | Query.Descendant -> count_ad_opt st parent_tag child_tag
+      | Query.Child -> count_pc_opt t parent_tag child_tag
+      | Query.Descendant -> count_ad_opt t parent_tag child_tag
     in
     Float.min 1.0 (float_of_int pairs /. float_of_int np)
   end
 
-let self_fraction st (n : Query.node) =
+let self_fraction t (n : Query.node) =
   (* Probability that an element of this node's tag satisfies the node's
      own contains predicates. *)
   match n.tag with
   | None -> 1.0
   | Some tag ->
-    let nt = count_tag st tag in
+    let nt = count_tag t tag in
     if nt = 0 then 0.0
     else
       List.fold_left
         (fun acc f ->
-          acc *. Float.min 1.0 (float_of_int (count_contains st tag f) /. float_of_int nt))
+          acc *. Float.min 1.0 (float_of_int (count_contains t tag f) /. float_of_int nt))
         1.0 n.contains
 
 (* P(a fixed element matching node v's tag has a full embedding of v's
    subtree below it), under independence. *)
-let rec subtree_prob st q v =
+let rec subtree_prob t q v =
   let n = Query.node q v in
-  let own = self_fraction st n in
+  let own = self_fraction t n in
   List.fold_left
     (fun acc (c, axis) ->
       let cn = Query.node q c in
-      acc *. edge_fraction st n.tag axis cn.tag *. subtree_prob st q c)
+      acc *. edge_fraction t n.tag axis cn.tag *. subtree_prob t q c)
     own (Query.children q v)
 
 (* P(a fixed element matching the distinguished node extends upward to
    the root, with all side branches matching). *)
-let upward_prob st q =
+let upward_prob t q =
   let rec go v =
     match Query.parent q v with
     | None -> 1.0
     | Some (p, axis) ->
       let pn = Query.node q p in
       let vn = Query.node q v in
-      let nv = count_tag_opt st vn.tag in
+      let nv = count_tag_opt t vn.tag in
       if nv = 0 then 0.0
       else begin
         let pairs =
           match axis with
-          | Query.Child -> count_pc_opt st pn.tag vn.tag
-          | Query.Descendant -> count_ad_opt st pn.tag vn.tag
+          | Query.Child -> count_pc_opt t pn.tag vn.tag
+          | Query.Descendant -> count_ad_opt t pn.tag vn.tag
         in
         let has_anc = Float.min 1.0 (float_of_int pairs /. float_of_int nv) in
         let siblings =
@@ -327,45 +395,50 @@ let upward_prob st q =
               if c = v then acc
               else
                 let cn = Query.node q c in
-                acc *. edge_fraction st pn.tag ax cn.tag *. subtree_prob st q c)
+                acc *. edge_fraction t pn.tag ax cn.tag *. subtree_prob t q c)
             1.0 (Query.children q p)
         in
-        has_anc *. siblings *. self_fraction st pn *. go p
+        has_anc *. siblings *. self_fraction t pn *. go p
       end
   in
   go (Query.distinguished q)
 
-let estimate_answers st q =
+let estimate_answers t q =
   let d = Query.distinguished q in
   let dn = Query.node q d in
-  float_of_int (count_tag_opt st dn.tag) *. subtree_prob st q d *. upward_prob st q
+  float_of_int (count_tag_opt t dn.tag) *. subtree_prob t q d *. upward_prob t q
 
-let estimate_matches st q =
+let estimate_matches t q =
   let rec expected v =
     let n = Query.node q v in
     List.fold_left
       (fun acc (c, axis) ->
         let cn = Query.node q c in
-        let np = count_tag_opt st n.tag in
+        let np = count_tag_opt t n.tag in
         let per_parent =
           if np = 0 then 0.0
           else begin
             let pairs =
               match axis with
-              | Query.Child -> count_pc_opt st n.tag cn.tag
-              | Query.Descendant -> count_ad_opt st n.tag cn.tag
+              | Query.Child -> count_pc_opt t n.tag cn.tag
+              | Query.Descendant -> count_ad_opt t n.tag cn.tag
             in
             float_of_int pairs /. float_of_int np
           end
         in
-        acc *. per_parent *. self_fraction st cn *. expected c)
+        acc *. per_parent *. self_fraction t cn *. expected c)
       1.0 (Query.children q v)
   in
   let r = Query.root q in
-  float_of_int (count_tag_opt st (Query.node q r).tag)
-  *. self_fraction st (Query.node q r)
+  float_of_int (count_tag_opt t (Query.node q r).tag)
+  *. self_fraction t (Query.node q r)
   *. expected r
 
-let pp fmt st =
-  Format.fprintf fmt "stats: %d elements, %d tags, %d pc pairs, %d ad entries" (total_elems st)
-    (Array.length st.n_by_tag) (Pair_tbl.length st.pc) (Pair_tbl.length st.ad)
+let pp fmt t =
+  match t with
+  | Single s ->
+    Format.fprintf fmt "stats: %d elements, %d tags, %d pc pairs, %d ad entries" (s_total_elems s)
+      (Array.length s.n_by_tag) (Pair_tbl.length s.pc) (Pair_tbl.length s.ad)
+  | Merged m ->
+    Format.fprintf fmt "stats: merged over %d shards, %d elements" (Array.length m.sources)
+      (total_elems t)

@@ -1,0 +1,543 @@
+(* Sharded corpus: scatter-gather equivalence and shard-loss chaos.
+
+   Acceptance tests of the fault-isolated sharded corpus:
+   - a healthy N-shard corpus answers byte-identically (paths, float
+     bits, ordering, tie-breaks) to a 1-shard corpus and to a plain
+     single-env corpus over the same documents, across DPO/SSO/Hybrid
+     and all ranking schemes;
+   - the threshold-algorithm cutoff skips shards only when skipping is
+     exact (tie-breaks included);
+   - chaos: a shard whose snapshot is bit-flipped opens down, a shard
+     lost mid-query (shard_probe failpoint) is struck, and in both
+     cases the merged answer is PARTIAL with shards=N-1/N attribution
+     and a sound score bound (>= the true score of every answer the
+     lost shard held); repeated losses quarantine the shard; RELOAD
+     restores COMPLETE;
+   - the answer cache is scoped by the full per-shard generation
+     vector: a write to any one shard invalidates cached merges. *)
+
+module Xml = Xmldom.Xml
+module Doc = Xmldom.Doc
+module Corpus = Flexpath.Corpus
+module Ingest = Flexpath.Ingest
+module Env = Flexpath.Env
+module Error = Flexpath.Error
+module Failpoint = Flexpath.Failpoint
+module Answer = Flexpath.Answer
+module Ranking = Flexpath.Ranking
+module Guard = Flexpath.Guard
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what (Error.to_string e)
+
+let temp_prefix =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flexpath_corpus_%d_%d" (Unix.getpid ()) !n)
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+let with_corpus_paths ~shards f =
+  let prefix = temp_prefix () in
+  Fun.protect
+    ~finally:(fun () ->
+      for i = 0 to shards - 1 do
+        remove_quiet (Printf.sprintf "%s.shard%d" prefix i);
+        remove_quiet (Printf.sprintf "%s.shard%d.wal" prefix i)
+      done)
+    (fun () -> f prefix)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let article seed =
+  let rng = Xmark.Prng.create seed in
+  let archetype =
+    Xmark.Prng.pick rng
+      [|
+        Xmark.Articles.Exact;
+        Xmark.Articles.Title_keywords;
+        Xmark.Articles.Algo_elsewhere;
+        Xmark.Articles.No_algorithm;
+        Xmark.Articles.Keywords_only;
+        Xmark.Articles.Irrelevant;
+      |]
+  in
+  Xmark.Articles.article rng archetype seed
+
+(* Bodies as strings so corpus and baseline parse the same bytes. *)
+let bodies n seed0 =
+  List.init n (fun i -> (Printf.sprintf "d%d" i, Xml.to_string (article (seed0 + i))))
+
+let queries =
+  [
+    "//article[.contains(\"xml\")]";
+    "//article[./section[./algorithm and ./paragraph[.contains(\"xml\" and \"streaming\")]]]";
+    "//section[./title]";
+  ]
+
+let parse_query s =
+  match Tpq.Xpath.parse s with
+  | Ok q -> q
+  | Error { Tpq.Xpath.offset; message } -> Alcotest.failf "parse %s: %d: %s" s offset message
+
+let fill corpus docs =
+  List.iter (fun (id, body) -> ignore (ok_exn ("ingest " ^ id) (Corpus.ingest corpus ~id body))) docs
+
+let schemes = [ Ranking.Structure_first; Ranking.Keyword_first; Ranking.Combined ]
+let algorithms = [ Corpus.DPO; Corpus.SSO; Corpus.Hybrid ]
+
+(* Byte-exact fingerprint of a corpus: rendered lines plus float bits
+   and global tie-break ids, across algorithms x schemes x queries. *)
+let corpus_fingerprint corpus =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun qs ->
+              let q = parse_query qs in
+              let r = ok_exn ("query " ^ qs) (Corpus.query corpus ~algorithm ~scheme ~k:10 q) in
+              (match r.Corpus.completeness with
+              | Corpus.Complete -> ()
+              | Corpus.Partial _ -> Alcotest.failf "healthy corpus returned PARTIAL for %s" qs);
+              check_int ("served " ^ qs) (Corpus.shard_count corpus) r.Corpus.served;
+              List.iter
+                (fun (a : Corpus.answer) ->
+                  Buffer.add_string b
+                    (Printf.sprintf "%s|%s|%s|%d|%Lx|%Lx\n"
+                       (Corpus.algorithm_to_string algorithm)
+                       (Ranking.to_string scheme) (Corpus.answer_line a) a.Corpus.a_node
+                       (Int64.bits_of_float a.Corpus.a_sscore)
+                       (Int64.bits_of_float a.Corpus.a_kscore))
+                  )
+                r.Corpus.answers)
+            queries)
+        schemes)
+    algorithms;
+  Buffer.contents b
+
+(* The same fingerprint computed from a plain single-environment
+   corpus (no sharding machinery at all), rendering answers through
+   the same doc-relative convention. *)
+let plain_fingerprint docs =
+  let trees = List.map (fun (id, body) -> (id, ok_exn "parse_doc" (Ingest.parse_doc body))) docs in
+  let env = Ingest.env (ok_exn "of_docs" (Ingest.of_docs trees)) in
+  let doc = env.Env.doc in
+  let spans =
+    Doc.children doc (Doc.root doc)
+    |> List.map (fun w ->
+           (w, Doc.subtree_end doc w, Option.get (Doc.attribute doc w "id")))
+  in
+  let render (a : Answer.t) =
+    let w, _, id =
+      List.find (fun (w, e, _) -> w <= a.Answer.node && a.Answer.node < e) spans
+    in
+    let full = Doc.path_to_root doc a.Answer.node in
+    let rel =
+      if a.Answer.node = w then ""
+      else
+        (* strip "fx-corpus[1]/fx-doc[j]/" *)
+        let i = String.index full '/' in
+        let j = String.index_from full (i + 1) '/' in
+        String.sub full (j + 1) (String.length full - j - 1)
+    in
+    let loc = if rel = "" then id else id ^ "/" ^ rel in
+    let suffix =
+      if a.Answer.dropped_predicates = 0 then "  exact"
+      else Printf.sprintf "  (%d predicates relaxed)" a.Answer.dropped_predicates
+    in
+    Printf.sprintf "%s  ss=%.4f ks=%.4f%s" loc a.Answer.sscore a.Answer.kscore suffix
+  in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun qs ->
+              let falgo =
+                match algorithm with
+                | Corpus.DPO -> Flexpath.DPO
+                | Corpus.SSO -> Flexpath.SSO
+                | Corpus.Hybrid -> Flexpath.Hybrid
+              in
+              match Flexpath.run ~algorithm:falgo ~scheme env ~k:10 (parse_query qs) with
+              | Error e -> Alcotest.failf "plain query %s failed: %s" qs (Error.to_string e)
+              | Ok r ->
+                List.iter
+                  (fun (a : Answer.t) ->
+                    Buffer.add_string b
+                      (Printf.sprintf "%s|%s|%s|%d|%Lx|%Lx\n"
+                         (Corpus.algorithm_to_string algorithm)
+                         (Ranking.to_string scheme) (render a) a.Answer.node
+                         (Int64.bits_of_float a.Answer.sscore)
+                         (Int64.bits_of_float a.Answer.kscore)))
+                  r.Flexpath.Common.answers)
+            queries)
+        schemes)
+    algorithms;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather equivalence *)
+
+let test_sharded_equals_plain () =
+  let docs = bodies 10 500 in
+  let fp_plain = plain_fingerprint docs in
+  List.iter
+    (fun shards ->
+      with_corpus_paths ~shards (fun prefix ->
+          let c = ok_exn "open" (Corpus.open_corpus ~shards ~prefix ()) in
+          Fun.protect
+            ~finally:(fun () -> Corpus.close c)
+            (fun () ->
+              fill c docs;
+              check_string
+                (Printf.sprintf "%d-shard == plain single-env" shards)
+                fp_plain (corpus_fingerprint c))))
+    [ 1; 4 ]
+
+let test_upsert_delete_equivalence () =
+  (* Upserts move documents to the end of the global arrival order and
+     deletes remove them — same as the unsharded corpus. *)
+  let d1 = bodies 6 700 in
+  with_corpus_paths ~shards:3 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:3 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          fill c d1;
+          let replacement = Xml.to_string (article 999) in
+          ignore (ok_exn "upsert" (Corpus.ingest c ~id:"d2" replacement));
+          ok_exn "delete" (Corpus.delete c ~id:"d4");
+          let final =
+            List.filter (fun (id, _) -> id <> "d2" && id <> "d4") d1 @ [ ("d2", replacement) ]
+          in
+          check_bool "arrival order" true (Corpus.ids c = List.map fst final);
+          check_string "post-upsert/delete == plain" (plain_fingerprint final)
+            (corpus_fingerprint c)))
+
+let test_auto_ids_route_and_persist () =
+  with_corpus_paths ~shards:4 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:4 ~prefix ()) in
+      let id1 = ok_exn "ingest" (Corpus.ingest c (Xml.to_string (article 1))) in
+      let id2 = ok_exn "ingest" (Corpus.ingest c (Xml.to_string (article 2))) in
+      check_string "first auto id" "doc-1" id1;
+      check_string "second auto id" "doc-2" id2;
+      check_int "routed shard" (Corpus.route ~shards:4 id1) (Corpus.shard_of_id c id1);
+      Corpus.close c;
+      (* Restart recovers both documents from the per-shard WALs and
+         re-seeds the auto-id counter past them. *)
+      let c = ok_exn "reopen" (Corpus.open_corpus ~shards:4 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          check_int "docs after restart" 2 (Corpus.doc_count c);
+          let id3 = ok_exn "ingest" (Corpus.ingest c (Xml.to_string (article 3))) in
+          check_string "auto id continues" "doc-3" id3))
+
+(* The exact cutoff: K exact structural matches gathered from
+   early-arrival documents let later-arrival shards be skipped, and
+   the skip never changes the answer bytes. *)
+let test_threshold_skip_exact () =
+  let exact_doc = "<section><title>t</title></section>" in
+  with_corpus_paths ~shards:2 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:2 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          (* three early docs on shard 0, two late docs on shard 1 *)
+          let on_shard s =
+            let rec find i n acc =
+              if n = 0 then List.rev acc
+              else
+                let id = Printf.sprintf "s%d-%d" s i in
+                if Corpus.route ~shards:2 id = s then find (i + 1) (n - 1) (id :: acc)
+                else find (i + 1) n acc
+            in
+            find 0 3 []
+          in
+          let early = on_shard 0 and late = List.filteri (fun i _ -> i < 2) (on_shard 1) in
+          List.iter (fun id -> ignore (ok_exn "ingest" (Corpus.ingest c ~id exact_doc))) early;
+          List.iter (fun id -> ignore (ok_exn "ingest" (Corpus.ingest c ~id exact_doc))) late;
+          let q = parse_query "//section[./title]" in
+          let r = ok_exn "query" (Corpus.query c ~k:3 q) in
+          check_bool "complete" true (r.Corpus.completeness = Corpus.Complete);
+          check_int "served counts skipped" 2 r.Corpus.served;
+          let status_of ord =
+            (List.find (fun rep -> rep.Corpus.r_ord = ord) r.Corpus.reports).Corpus.r_status
+          in
+          check_bool "shard 0 served" true (status_of 0 = Corpus.Served);
+          check_bool "shard 1 skipped" true (status_of 1 = Corpus.Skipped);
+          (* the three answers are the early-arrival documents *)
+          check_bool "answers from early docs" true
+            (List.for_all
+               (fun (a : Corpus.answer) -> List.mem a.Corpus.a_doc early)
+               r.Corpus.answers);
+          check_int "k answers" 3 (List.length r.Corpus.answers)))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: shard loss *)
+
+(* True per-answer scores over the full healthy corpus, for soundness
+   checks: every answer the lost shard held must score at most the
+   reported bound. *)
+let true_scores corpus scheme qs =
+  let r = ok_exn "healthy query" (Corpus.query corpus ~scheme ~use_cache:false ~k:50 (parse_query qs)) in
+  List.map
+    (fun (a : Corpus.answer) ->
+      (a.Corpus.a_doc, Ranking.total scheme { sscore = a.Corpus.a_sscore; kscore = a.Corpus.a_kscore }))
+    r.Corpus.answers
+
+let check_partial_sound ~what ~lost_ord corpus r truth =
+  let shards = Corpus.shard_count corpus in
+  (match r.Corpus.completeness with
+  | Corpus.Partial { reason = "shard-loss"; score_bound } ->
+    (* sound: no answer living on the lost shard scores above the bound *)
+    List.iter
+      (fun (doc, total) ->
+        if Corpus.shard_of_id corpus doc = lost_ord && total > score_bound +. 1e-9 then
+          Alcotest.failf "%s: bound %.6f unsound, %s on lost shard scores %.6f" what score_bound
+            doc total)
+      truth
+  | Corpus.Partial { reason; _ } -> Alcotest.failf "%s: unexpected partial reason %s" what reason
+  | Corpus.Complete -> Alcotest.failf "%s: expected PARTIAL" what);
+  check_int (what ^ ": served") (shards - 1) r.Corpus.served;
+  check_int (what ^ ": total") shards r.Corpus.total;
+  (* every returned answer comes from a surviving shard *)
+  List.iter
+    (fun (a : Corpus.answer) ->
+      if Corpus.shard_of_id corpus a.Corpus.a_doc = lost_ord then
+        Alcotest.failf "%s: answer %s from lost shard" what a.Corpus.a_doc)
+    r.Corpus.answers
+
+let test_corrupt_shard_snapshot () =
+  let docs = bodies 12 900 in
+  let shards = 3 in
+  with_corpus_paths ~shards (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards ~prefix ()) in
+      fill c docs;
+      for i = 0 to shards - 1 do
+        ok_exn "merge" (Corpus.merge c i)
+      done;
+      let truth = true_scores c Ranking.Structure_first (List.hd queries) in
+      Corpus.close c;
+      (* bit-flip shard 1's snapshot inside the primary document
+         section: integrity checking must fail the load *)
+      let victim = Printf.sprintf "%s.shard%d" prefix 1 in
+      let good = read_file victim in
+      let pos = min 100 (String.length good - 1) in
+      let flipped =
+        String.mapi (fun i ch -> if i = pos then Char.chr (Char.code ch lxor 0x40) else ch) good
+      in
+      write_file victim flipped;
+      let c = ok_exn "reopen with corrupt shard" (Corpus.open_corpus ~shards ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          let h = Corpus.health c in
+          check_bool "shard 1 down" false h.(1).Corpus.h_live;
+          check_bool "shard 0 live" true h.(0).Corpus.h_live;
+          check_bool "load error recorded" true (h.(1).Corpus.h_last_error <> None);
+          let r =
+            ok_exn "query over degraded corpus"
+              (Corpus.query c ~use_cache:false ~k:10 (parse_query (List.hd queries)))
+          in
+          check_partial_sound ~what:"corrupt shard" ~lost_ord:1 c r truth;
+          (* surviving shards still accept writes at full goodput;
+             writes routed to the dead shard are refused cleanly *)
+          let rec pick_id ~on i =
+            let id = Printf.sprintf "w%d" i in
+            if Corpus.shard_of_id c id = 1 = on then id else pick_id ~on (i + 1)
+          in
+          ignore
+            (ok_exn "ingest while degraded"
+               (Corpus.ingest c ~id:(pick_id ~on:false 0) (Xml.to_string (article 77))));
+          (match Corpus.ingest c ~id:(pick_id ~on:true 0) (Xml.to_string (article 78)) with
+          | Error (Error.Io_error _) -> ()
+          | Error e -> Alcotest.failf "unexpected refusal: %s" (Error.to_string e)
+          | Ok _ -> Alcotest.fail "write to a down shard must be refused");
+          (* repair the snapshot, RELOAD the one shard: COMPLETE again *)
+          write_file victim good;
+          ok_exn "reload" (Corpus.reload c 1);
+          let r2 =
+            ok_exn "query after reload"
+              (Corpus.query c ~use_cache:false ~k:10 (parse_query (List.hd queries)))
+          in
+          check_bool "complete after reload" true (r2.Corpus.completeness = Corpus.Complete);
+          check_int "all shards served" shards r2.Corpus.served))
+
+let test_shard_lost_mid_query_and_quarantine () =
+  let docs = bodies 12 1100 in
+  let shards = 3 in
+  with_corpus_paths ~shards (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () ->
+          Failpoint.reset ();
+          Corpus.close c)
+        (fun () ->
+          fill c docs;
+          let qs = List.nth queries 2 in
+          let truth = true_scores c Ranking.Structure_first qs in
+          (* the first probe of the scatter dies: shard 0 is lost for
+             this query only *)
+          (match Failpoint.activate_n "shard_probe" 1 with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          let r = ok_exn "query with lost probe" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)) in
+          check_partial_sound ~what:"probe loss" ~lost_ord:0 c r truth;
+          let h = Corpus.health c in
+          check_int "strike recorded" 1 h.(0).Corpus.h_strikes;
+          check_bool "not yet quarantined" false h.(0).Corpus.h_quarantined;
+          (* a healthy query clears the strike *)
+          ignore (ok_exn "healthy query" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)));
+          check_int "strikes cleared" 0 (Corpus.health c).(0).Corpus.h_strikes;
+          (* three consecutive losses trip the quarantine *)
+          for _ = 1 to 3 do
+            (match Failpoint.activate_n "shard_probe" 1 with
+            | Ok () -> ()
+            | Error m -> Alcotest.fail m);
+            ignore (ok_exn "lossy query" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)))
+          done;
+          let h = Corpus.health c in
+          check_bool "quarantined" true h.(0).Corpus.h_quarantined;
+          check_bool "quarantined shard not live" false h.(0).Corpus.h_live;
+          (* quarantined shard contributes a bound, not an error — and
+             no failpoint is armed anymore *)
+          let r = ok_exn "query under quarantine" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)) in
+          check_partial_sound ~what:"quarantine" ~lost_ord:0 c r truth;
+          (* writes to the quarantined shard are refused *)
+          (match Corpus.ingest c ~id:"s0-0" "<a/>" with
+          | Error (Error.Io_error _) when Corpus.shard_of_id c "s0-0" = 0 -> ()
+          | Error e -> Alcotest.failf "unexpected refusal: %s" (Error.to_string e)
+          | Ok _ ->
+            if Corpus.shard_of_id c "s0-0" = 0 then Alcotest.fail "write to quarantined shard");
+          (* RELOAD restores the shard and the COMPLETE answer *)
+          ok_exn "reload" (Corpus.reload c 0);
+          let r2 = ok_exn "query after reload" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)) in
+          check_bool "complete after reload" true (r2.Corpus.completeness = Corpus.Complete)))
+
+let test_all_shards_down () =
+  with_corpus_paths ~shards:2 (fun prefix ->
+      (* both snapshots are garbage *)
+      write_file (prefix ^ ".shard0") "not a snapshot";
+      write_file (prefix ^ ".shard1") "not a snapshot either";
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:2 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          let r = ok_exn "query" (Corpus.query c ~k:5 (parse_query (List.hd queries))) in
+          check_int "nothing served" 0 r.Corpus.served;
+          check_bool "no answers" true (r.Corpus.answers = []);
+          match r.Corpus.completeness with
+          | Corpus.Partial { reason = "shard-loss"; score_bound } ->
+            (* //article has no structural predicates, so the
+               data-independent maximum is exactly 0 — still sound *)
+            check_bool "sound bound" true (score_bound >= 0.)
+          | _ -> Alcotest.fail "expected shard-loss PARTIAL"))
+
+(* ------------------------------------------------------------------ *)
+(* Budget and cache *)
+
+let test_budget_partial_is_sound () =
+  let docs = bodies 10 1300 in
+  with_corpus_paths ~shards:2 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:2 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          fill c docs;
+          let qs = List.nth queries 1 in
+          let full = ok_exn "full" (Corpus.query c ~use_cache:false ~k:10 (parse_query qs)) in
+          let budget = Guard.budget ~tuple_budget:1 () in
+          let r = ok_exn "tiny budget" (Corpus.query c ~budget ~use_cache:false ~k:10 (parse_query qs)) in
+          match r.Corpus.completeness with
+          | Corpus.Complete -> Alcotest.fail "expected budget PARTIAL"
+          | Corpus.Partial { score_bound; _ } ->
+            (* every full answer missing from the truncated result
+               scores at most the bound *)
+            let kept = List.map (fun a -> a.Corpus.a_node) r.Corpus.answers in
+            List.iter
+              (fun (a : Corpus.answer) ->
+                if not (List.mem a.Corpus.a_node kept) then begin
+                  let total =
+                    Ranking.total Ranking.Structure_first
+                      { sscore = a.Corpus.a_sscore; kscore = a.Corpus.a_kscore }
+                  in
+                  if total > score_bound +. 1e-9 then
+                    Alcotest.failf "unsound budget bound %.6f < %.6f" score_bound total
+                end)
+              full.Corpus.answers))
+
+let test_cache_scoped_by_generation_vector () =
+  let docs = bodies 6 1500 in
+  with_corpus_paths ~shards:3 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~shards:3 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          fill c docs;
+          let q = parse_query "//section[./title]" in
+          let r1 = ok_exn "q1" (Corpus.query c ~k:20 q) in
+          let r2 = ok_exn "q2" (Corpus.query c ~k:20 q) in
+          let hits_after_repeat = (Corpus.cache_counters c).Flexpath.Qcache.hits in
+          check_bool "repeat hits the cache" true (hits_after_repeat > 0);
+          check_bool "cached answer identical" true (r1 = r2);
+          let v1 = Corpus.generation_vector c in
+          (* a write to ONE shard must change the vector and miss *)
+          ignore (ok_exn "ingest" (Corpus.ingest c (Xml.to_string (article 42))));
+          let v2 = Corpus.generation_vector c in
+          check_bool "generation vector changed" true (v1 <> v2);
+          let r3 = ok_exn "q3" (Corpus.query c ~k:20 q) in
+          check_bool "post-write result is fresh" true
+            (List.length r3.Corpus.answers >= List.length r1.Corpus.answers)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "sharded == plain single-env (1 and 4 shards)" `Slow
+            test_sharded_equals_plain;
+          Alcotest.test_case "upsert/delete keeps equivalence" `Slow test_upsert_delete_equivalence;
+          Alcotest.test_case "auto ids route and persist" `Quick test_auto_ids_route_and_persist;
+          Alcotest.test_case "threshold-algorithm skip is exact" `Quick test_threshold_skip_exact;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "corrupt snapshot: PARTIAL then RELOAD" `Slow
+            test_corrupt_shard_snapshot;
+          Alcotest.test_case "probe loss, strikes, quarantine, RELOAD" `Slow
+            test_shard_lost_mid_query_and_quarantine;
+          Alcotest.test_case "all shards down" `Quick test_all_shards_down;
+        ] );
+      ( "budget+cache",
+        [
+          Alcotest.test_case "budget PARTIAL bound is sound" `Quick test_budget_partial_is_sound;
+          Alcotest.test_case "cache scoped by generation vector" `Quick
+            test_cache_scoped_by_generation_vector;
+        ] );
+    ]

@@ -1359,6 +1359,247 @@ let test_ingest_chaos_soak () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded corpus over the wire (DESIGN.md §4i): scatter-gather
+   serving, SHARDS health, per-shard RELOAD, the PARTIAL shards=s/t
+   wire contract under shard loss, and write-lane retry hints that
+   reflect the routed shard's merge backlog. *)
+
+module Corpus = Flexpath.Corpus
+
+let shard_cfg ?(merge_interval_ms = 0.0) ?(write_lane = 4) ?(shards = 3) ~prefix () =
+  {
+    Server.default_config with
+    workers = 2;
+    snapshot = Some prefix;
+    ingest =
+      Some
+        { (Server.ingest_defaults ~wal:"") with Server.merge_interval_ms; write_lane; shards };
+  }
+
+let with_shard_dir f =
+  let dir = Filename.temp_file "flexpath_shard_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f ~prefix:(Filename.concat dir "corpus"))
+
+(* An id that the 3-shard router places on [shard]. *)
+let id_on ?(shards = 3) shard =
+  let rec go i =
+    let id = Printf.sprintf "w%d" i in
+    if Corpus.route ~shards id = shard then id else go (i + 1)
+  in
+  go 0
+
+let arm_probe n =
+  match Failpoint.activate_n "shard_probe" n with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let shard_article i =
+  Printf.sprintf
+    "<article><title>shard</title><section><paragraph>xml payload %d</paragraph></section></article>"
+    i
+
+let test_shard_wire () =
+  with_shard_dir (fun ~prefix ->
+      with_server ~cfg:(shard_cfg ~prefix ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          (* Writes route by id; the ack names the shard and the
+             generation vector. *)
+          for i = 0 to 8 do
+            let id = Printf.sprintf "w%d" i in
+            let status, body = request_ingest_exn c ~id (shard_article i) in
+            check_string (Printf.sprintf "ingest %s acked" id) "OK"
+              (Protocol.status_to_string status);
+            check_bool "ack names the routed shard" true
+              (has_infix ~affix:(Printf.sprintf "shard %d" (Corpus.route ~shards:3 id)) body)
+          done;
+          (* A healthy scatter-gather is COMPLETE: plain OK, no header. *)
+          let status, answers1 = request_exn c "QUERY k=5 //article[.contains(\"xml\")]" in
+          check_string "healthy query is OK" "OK" (Protocol.status_to_string status);
+          check_bool "no partial header" true (not (has_infix ~affix:"# partial" answers1));
+          check_bool "answers carry doc-relative locations" true (has_infix ~affix:"w" answers1);
+          (* SHARDS: one health line per shard, all live. *)
+          let status, body = request_exn c "SHARDS" in
+          check_string "shards verb ok" "OK" (Protocol.status_to_string status);
+          List.iter
+            (fun ord ->
+              check_bool
+                (Printf.sprintf "shard %d reported live" ord)
+                true
+                (has_infix ~affix:(Printf.sprintf "shard %d: live" ord) body))
+            [ 0; 1; 2 ];
+          (* STATS grows the shard gauges. *)
+          let _, body = request_exn c "STATS" in
+          List.iter
+            (fun needle ->
+              check_bool (Printf.sprintf "stats has %s" needle) true (has_infix ~affix:needle body))
+            [ "shards: 3/3"; "generation_vector: "; "shard 0: live"; "corpus_docs: 9" ];
+          (* MERGE compacts every shard with a backlog, independently. *)
+          let status, body = request_exn c "MERGE" in
+          check_string "merge ok" "OK" (Protocol.status_to_string status);
+          check_bool "merge reports records and shards" true
+            (has_infix ~affix:"9 delta record(s)" body && has_infix ~affix:"3 shard(s)" body);
+          check_bool "per-shard snapshots exist" true
+            (Sys.file_exists (prefix ^ ".shard0") && Sys.file_exists (prefix ^ ".shard2"));
+          (* RELOAD <ord> swaps exactly one shard. *)
+          let status, body = request_exn c "RELOAD 1" in
+          check_string "single-shard reload ok" "OK" (Protocol.status_to_string status);
+          check_bool "reload names the shard" true (has_infix ~affix:"reloaded shard(s) 1" body);
+          let status, _ = request_exn c "RELOAD 99" in
+          check_string "out-of-range shard is ERR" "ERR" (Protocol.status_to_string status);
+          (* The reloaded corpus serves identically. *)
+          let status, answers2 = request_exn c "QUERY k=5 //article[.contains(\"xml\")]" in
+          check_string "post-reload query ok" "OK" (Protocol.status_to_string status);
+          check_string "post-reload answers unchanged" answers1 answers2;
+          close c))
+
+let test_shard_loss_partial_wire () =
+  with_shard_dir (fun ~prefix ->
+      with_server ~cfg:(shard_cfg ~prefix ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          for i = 0 to 8 do
+            ignore (request_ingest_exn c ~id:(Printf.sprintf "w%d" i) (shard_article i))
+          done;
+          (* Lose the first probed shard (ord 0) mid-query: the answer
+             degrades to PARTIAL with attribution and a sound bound —
+             never an error.  Distinct k values keep each armed query
+             off the answer cache. *)
+          arm_probe 1;
+          let status, body = request_exn c "QUERY k=6 //article[.contains(\"xml\")]" in
+          check_string "shard loss is PARTIAL, not ERR" "PARTIAL"
+            (Protocol.status_to_string status);
+          List.iter
+            (fun needle ->
+              check_bool (Printf.sprintf "partial header has %s" needle) true
+                (has_infix ~affix:needle body))
+            [ "# partial"; "reason=shard-loss"; "score_bound="; "shards=2/3" ];
+          (* A healthy query afterwards is COMPLETE again (the loss was
+             transient) and clears the strike. *)
+          let status, _ = request_exn c "QUERY k=6 //article[.contains(\"xml\")]" in
+          check_string "next query complete" "OK" (Protocol.status_to_string status);
+          (* Three consecutive losses quarantine the shard. *)
+          List.iter
+            (fun k ->
+              arm_probe 1;
+              let status, _ =
+                request_exn c (Printf.sprintf "QUERY k=%d //article[.contains(\"xml\")]" k)
+              in
+              check_string "strike query is PARTIAL" "PARTIAL" (Protocol.status_to_string status))
+            [ 2; 3; 4 ];
+          let _, body = request_exn c "SHARDS" in
+          check_bool "shard 0 quarantined after repeated losses" true
+            (has_infix ~affix:"shard 0: quarantined" body);
+          (* Quarantined: queries stay PARTIAL without any failpoint,
+             writes routed to the shard are refused, other shards'
+             writes are unaffected. *)
+          let status, body = request_exn c "QUERY k=7 //article[.contains(\"xml\")]" in
+          check_string "quarantined shard degrades queries" "PARTIAL"
+            (Protocol.status_to_string status);
+          check_bool "quarantine attributed" true (has_infix ~affix:"shards=2/3" body);
+          let status, _ = request_ingest_exn c ~id:(id_on 0) (shard_article 90) in
+          check_string "write to the quarantined shard refused" "ERR"
+            (Protocol.status_to_string status);
+          let status, _ = request_ingest_exn c ~id:(id_on 1) (shard_article 91) in
+          check_string "write to a live shard unaffected" "OK" (Protocol.status_to_string status);
+          (* RELOAD <ord> restores the quarantined shard to service. *)
+          let status, _ = request_exn c "RELOAD 0" in
+          check_string "reload clears quarantine" "OK" (Protocol.status_to_string status);
+          let status, body = request_exn c "QUERY k=8 //article[.contains(\"xml\")]" in
+          check_string "complete after recovery" "OK" (Protocol.status_to_string status);
+          check_bool "no partial header after recovery" true
+            (not (has_infix ~affix:"# partial" body));
+          close c))
+
+let test_shard_corrupt_at_load () =
+  with_shard_dir (fun ~prefix ->
+      (* Build a merged 3-shard corpus, then stop the server. *)
+      with_server ~cfg:(shard_cfg ~prefix ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          for i = 0 to 8 do
+            ignore (request_ingest_exn c ~id:(Printf.sprintf "w%d" i) (shard_article i))
+          done;
+          let status, _ = request_exn c "MERGE" in
+          check_string "merge ok" "OK" (Protocol.status_to_string status);
+          close c);
+      (* Bit-flip one byte of shard 1's snapshot. *)
+      let path = prefix ^ ".shard1" in
+      let bytes =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let b = really_input_string ic n in
+        close_in ic;
+        Bytes.of_string b
+      in
+      let off = min 100 (Bytes.length bytes - 1) in
+      Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      (* The server still starts: the corrupt shard is down, the rest
+         serve, and queries are PARTIAL with attribution. *)
+      with_server ~cfg:(shard_cfg ~prefix ()) (placeholder_env ()) (fun srv ->
+          let c = connect (Server.port srv) in
+          let _, body = request_exn c "SHARDS" in
+          check_bool "corrupt shard reported down with its error" true
+            (has_infix ~affix:"shard 1: down" body && has_infix ~affix:"error=" body);
+          let status, body = request_exn c "QUERY k=6 //article[.contains(\"xml\")]" in
+          check_string "query under shard loss is PARTIAL" "PARTIAL"
+            (Protocol.status_to_string status);
+          check_bool "loss attributed" true
+            (has_infix ~affix:"shards=2/3" body && has_infix ~affix:"reason=shard-loss" body);
+          check_bool "surviving shards still answer" true (has_infix ~affix:"ss=" body);
+          close c))
+
+let test_shard_write_hint_tracks_backlog () =
+  with_shard_dir (fun ~prefix ->
+      with_server
+        ~cfg:(shard_cfg ~shards:2 ~write_lane:0 ~prefix ())
+        (placeholder_env ())
+        (fun srv ->
+          let corpus =
+            match Server.corpus srv with
+            | Some c -> c
+            | None -> Alcotest.fail "sharded server exposes its corpus"
+          in
+          (* Build a 3-record backlog on shard 0 directly (the wire
+             write lane is closed), none on shard 1. *)
+          for i = 0 to 2 do
+            match Corpus.ingest corpus ~id:(id_on ~shards:2 0) (shard_article i) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Error.to_string e)
+          done;
+          let hint_for id =
+            let c = connect (Server.port srv) in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                match request_ingest c ~id (shard_article 9) with
+                | Some (Protocol.Overloaded, body) -> (
+                  match Protocol.parse_retry_after body with
+                  | Some ms -> ms
+                  | None -> Alcotest.fail "write reject carries no retry hint")
+                | Some (status, _) ->
+                  Alcotest.fail ("expected OVERLOADED, got " ^ Protocol.status_to_string status)
+                | None -> Alcotest.fail "expected OVERLOADED, got EOF")
+          in
+          (* Satellite fix: the hint reflects the routed shard's merge
+             backlog — 3 records behind on shard 0, clear on shard 1 —
+             not the (idle) global connection queue. *)
+          check_int "hint scales with the routed shard's backlog" (50 * (1 + 3))
+            (hint_for (id_on ~shards:2 0));
+          check_int "a clear shard's hint is the floor" 50 (hint_for (id_on ~shards:2 1))))
+
+let test_shards_verb_unsharded () =
+  with_server (make_env ()) (fun srv ->
+      let c = connect (Server.port srv) in
+      let status, body = request_exn c "SHARDS" in
+      check_string "SHARDS on an unsharded server is ERR" "ERR"
+        (Protocol.status_to_string status);
+      check_bool "error names the flag" true (has_infix ~affix:"--shards" body);
+      close c)
+
 let () =
   Alcotest.run "server"
     [
@@ -1428,4 +1669,15 @@ let () =
         ] );
       ( "ingestion-chaos",
         [ Alcotest.test_case "mixed query+write soak" `Slow test_ingest_chaos_soak ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "scatter-gather lifecycle over the wire" `Quick test_shard_wire;
+          Alcotest.test_case "shard loss degrades to PARTIAL with attribution" `Quick
+            test_shard_loss_partial_wire;
+          Alcotest.test_case "corrupt shard is isolated at load" `Quick
+            test_shard_corrupt_at_load;
+          Alcotest.test_case "write hints track the routed shard's backlog" `Quick
+            test_shard_write_hint_tracks_backlog;
+          Alcotest.test_case "SHARDS refused unsharded" `Quick test_shards_verb_unsharded;
+        ] );
     ]
