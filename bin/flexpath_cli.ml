@@ -7,7 +7,8 @@
      generate  emit synthetic XMark-style or article-collection XML
      index     build / verify a checksummed environment snapshot
      serve     run the multi-domain TCP query server
-     client    drive a running server over the line protocol *)
+     client    drive a running server over the line protocol
+     bench     load-test a server, persist the latency trajectory *)
 
 open Cmdliner
 
@@ -939,6 +940,313 @@ let client_cmd =
           end-to-end deadline propagated to the server.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* bench: the open-loop load generator and its artifact gate *)
+
+module Loadgen = Flexpath_loadgen.Loadgen
+module Ljson = Flexpath_loadgen.Json
+
+let bench_serve_cmd =
+  let scales_arg =
+    Arg.(
+      value & opt string "8,256,1024"
+      & info [ "scales" ] ~docv:"N,N,..."
+          ~doc:
+            "Comma-separated connection-pool sizes, one measured run per size.  The smallest is \
+             the baseline the summary's p99 ratio compares against.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 150.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Offered load in requests/second at every scale (open loop: arrivals are scheduled \
+             by a Poisson process and never wait for capacity, so latency includes any \
+             client-side queueing — no coordinated omission).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0 & info [ "duration-s" ] ~docv:"S" ~doc:"Measured window per scale.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "warmup-s" ] ~docv:"S" ~doc:"Uncounted lead-in per scale (cache and JIT warm).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf exponent of the query-popularity mix; 0 is uniform.")
+  in
+  let ping_frac_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "ping-frac" ] ~docv:"F" ~doc:"Fraction of arrivals that are PING.")
+  in
+  let ingest_frac_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "ingest-frac" ] ~docv:"F"
+          ~doc:
+            "Fraction of arrivals that are framed idempotent INGEST upserts (in-process mode \
+             enables live ingestion automatically when nonzero).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload PRNG seed.") in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Artifact path; '-' writes to stdout.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "Drive an already-running server on $(docv) instead of spawning one in-process \
+             (needed to push past half the fd budget, e.g. 10k connections).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let articles_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "articles" ] ~docv:"COUNT"
+          ~doc:"Size of the synthetic article corpus served in in-process mode.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"In-process server worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N" ~doc:"In-process server admission-queue capacity.")
+  in
+  let run scales_s rate duration_s warmup_s zipf ping_frac ingest_frac seed out port host articles
+      workers queue_depth =
+    let scales =
+      List.filter_map
+        (fun s -> match String.trim s with "" -> None | s -> Some (int_of_string_opt s))
+        (String.split_on_char ',' scales_s)
+    in
+    let all_some opts =
+      List.fold_right
+        (fun o acc -> Option.bind acc (fun xs -> Option.map (fun x -> x :: xs) o))
+        opts (Some [])
+    in
+    match all_some scales with
+    | None | Some [] ->
+      Printf.eprintf "error: --scales wants a comma-separated list of positive integers\n";
+      exit_usage
+    | Some scales when List.exists (fun n -> n <= 0) scales ->
+      Printf.eprintf "error: --scales wants a comma-separated list of positive integers\n";
+      exit_usage
+    | Some scales -> (
+      let top = List.fold_left max 0 scales in
+      (* Each client connection costs this process one fd; in-process
+         mode the server end costs another. *)
+      let need = (match port with Some _ -> top + 64 | None -> (2 * top) + 64) in
+      let eff = Flexpath_server.Poller.raise_nofile need in
+      if eff < need then begin
+        Printf.eprintf
+          "error: need %d fds for %d connections but the limit allows %d; lower --scales or \
+           split client and server across processes (--port)\n"
+          need top eff;
+        exit_usage
+      end
+      else begin
+        let workload =
+          {
+            Loadgen.default_workload with
+            rate;
+            duration_s;
+            warmup_s;
+            zipf_s = zipf;
+            ping_fraction = ping_frac;
+            ingest_fraction = ingest_frac;
+            seed;
+          }
+        in
+        let with_target f =
+          match port with
+          | Some p -> f p
+          | None -> (
+            (* In-process server over a synthetic article corpus. *)
+            let build =
+              if ingest_frac <= 0.0 then
+                Result.map
+                  (fun env -> (env, None, None))
+                  (Flexpath.Env.build ~weights:Relax.Weights.uniform
+                     ~hierarchy:Tpq.Hierarchy.empty
+                     (Xmark.Articles.doc ~count:articles ()))
+              else begin
+                (* Live ingestion serves the store's own corpus, so seed
+                   it: build an ingest corpus from the article trees and
+                   persist it as the snapshot the store will load. *)
+                let article_trees =
+                  List.filter
+                    (fun t -> Xmldom.Xml.tag t = Some "article")
+                    (Xmldom.Xml.children (Xmark.Articles.collection ~count:articles ()))
+                in
+                let docs =
+                  List.mapi (fun i t -> (Printf.sprintf "article%d" i, t)) article_trees
+                in
+                let dir =
+                  Filename.concat (Filename.get_temp_dir_name ())
+                    (Printf.sprintf "flexpath-bench-%d" (Unix.getpid ()))
+                in
+                (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                let snap = Filename.concat dir "corpus.snap" in
+                let wal = Filename.concat dir "corpus.wal" in
+                Result.bind (Flexpath.Ingest.of_docs docs) (fun corpus ->
+                    let env = Flexpath.Ingest.env corpus in
+                    Result.map
+                      (fun () -> (env, Some snap, Some (Server.ingest_defaults ~wal)))
+                      (Flexpath.Storage.save env snap))
+              end
+            in
+            match build with
+            | Error e ->
+              Printf.eprintf "error: %s\n" (Error.to_string e);
+              Error.exit_code e
+            | Ok (env, snapshot, ingest) -> (
+              let cfg =
+                {
+                  Server.default_config with
+                  host;
+                  port = 0;
+                  workers;
+                  queue_depth;
+                  max_connections = top + 64;
+                  read_timeout_s = 120.0;
+                  snapshot;
+                  ingest;
+                }
+              in
+              match Server.create cfg ~env with
+              | Error e ->
+                Printf.eprintf "error: %s\n" (Error.to_string e);
+                Error.exit_code e
+              | Ok srv ->
+                let d = Domain.spawn (fun () -> Server.serve srv) in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Server.stop srv;
+                    Domain.join d)
+                  (fun () -> f (Server.port srv))))
+        in
+        with_target (fun bound_port ->
+            Printf.eprintf "bench serve: %s:%d, %.0f req/s offered, scales %s\n%!" host bound_port
+              rate
+              (String.concat "," (List.map string_of_int scales));
+            let rec measure acc = function
+              | [] -> Ok (List.rev acc)
+              | conns :: rest -> (
+                Printf.eprintf "bench serve: scale %d...\n%!" conns;
+                match Loadgen.run ~host ~port:bound_port ~connections:conns workload with
+                | Error msg -> Result.Error msg
+                | Ok r ->
+                  Printf.eprintf
+                    "bench serve: scale %d: goodput %.1f rps, p50 %.2f ms, p99 %.2f ms, p999 \
+                     %.2f ms (ok=%d partial=%d overloaded=%d quarantined=%d err=%d dropped=%d \
+                     reconnects=%d)\n\
+                     %!"
+                    conns r.Loadgen.goodput_rps r.Loadgen.p50_ms r.Loadgen.p99_ms
+                    r.Loadgen.p999_ms r.Loadgen.ok r.Loadgen.partial r.Loadgen.overloaded
+                    r.Loadgen.quarantined r.Loadgen.errors r.Loadgen.dropped
+                    r.Loadgen.reconnects;
+                  measure (r :: acc) rest)
+            in
+            match measure [] scales with
+            | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit_usage
+            | Ok results ->
+              let config =
+                [
+                  ("mode", Ljson.Str (match port with Some _ -> "external" | None -> "in-process"));
+                  ("rate_rps", Ljson.Num rate);
+                  ("duration_s", Ljson.Num duration_s);
+                  ("warmup_s", Ljson.Num warmup_s);
+                  ("zipf_s", Ljson.Num zipf);
+                  ("ping_fraction", Ljson.Num ping_frac);
+                  ("ingest_fraction", Ljson.Num ingest_frac);
+                  ("seed", Ljson.Num (float_of_int seed));
+                  ("articles", Ljson.Num (float_of_int articles));
+                  ("workers", Ljson.Num (float_of_int workers));
+                  ("queue_depth", Ljson.Num (float_of_int queue_depth));
+                ]
+              in
+              let body = Ljson.to_string (Loadgen.report ~config ~results) ^ "\n" in
+              (match out with
+              | "-" -> print_string body
+              | path ->
+                let oc = open_out path in
+                output_string oc body;
+                close_out oc;
+                Printf.eprintf "bench serve: wrote %s\n%!" path);
+              0)
+      end)
+  in
+  let term =
+    Term.(
+      const run $ scales_arg $ rate_arg $ duration_arg $ warmup_arg $ zipf_arg $ ping_frac_arg
+      $ ingest_frac_arg $ seed_arg $ out_arg $ port_arg $ host_arg $ articles_arg $ workers_arg
+      $ queue_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load-test a flexpath server with open-loop Poisson arrivals over a fixed connection \
+          pool, one measured run per --scales entry, and persist goodput and latency \
+          percentiles (p50/p99/p999) as a JSON artifact (DESIGN.md §4j).  By default a server \
+          is spawned in-process over a synthetic article corpus; --port drives an external one.")
+    term
+
+let bench_check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Artifact to check.")
+  in
+  let run path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit_usage
+    | text -> (
+      match Result.bind (Ljson.parse text) Loadgen.check_report with
+      | Error msg ->
+        Printf.eprintf "error: %s: %s\n" path msg;
+        exit_usage
+      | Ok () ->
+        let scales =
+          match Result.to_option (Ljson.parse text) with
+          | Some json -> List.length (Ljson.to_list (Option.value ~default:Ljson.Null (Ljson.member "scales" json)))
+          | None -> 0
+        in
+        Printf.printf "%s: ok (%d scales)\n" path scales;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a bench artifact's schema: version, non-empty scales, goodput and \
+          p50/p99/p999 on every scale.  Exit 0 when well-formed; CI gates on this.")
+    Term.(const run $ file_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Load-generation benchmarks and their persisted artifacts: 'serve' measures the query \
+          server's latency/goodput trajectory across connection scales, 'check' validates an \
+          artifact's schema.")
+    [ bench_serve_cmd; bench_check_cmd ]
+
 let () =
   let info =
     Cmd.info "flexpath" ~version:"1.0.0"
@@ -947,4 +1255,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ query_cmd; relax_cmd; stats_cmd; generate_cmd; index_cmd; serve_cmd; client_cmd ]))
+          [ query_cmd; relax_cmd; stats_cmd; generate_cmd; index_cmd; serve_cmd; client_cmd; bench_cmd ]))

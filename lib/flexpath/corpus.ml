@@ -108,6 +108,9 @@ type t = {
   view : view Atomic.t;
   cache : Qcache.t;
   fallback_env : Env.t;  (* empty corpus env: bounds when every shard is down *)
+  pool : Taskpool.t option;
+      (* probe parallelism for the scatter; [None] keeps the original
+         strictly sequential per-shard fold *)
   reopen : snapshot:string -> wal:string -> (Ingest.store, Error.t) Stdlib.result;
       (* opens a shard store with the corpus's own weights, hierarchy,
          scorer and limits — what [reload] must reuse, or a swapped
@@ -222,7 +225,7 @@ let shard_paths ~prefix i =
   (Printf.sprintf "%s.shard%d" prefix i, Printf.sprintf "%s.shard%d.wal" prefix i)
 
 let open_corpus ?weights ?hierarchy ?scorer ?limits
-    ?(strike_threshold = default_strike_threshold) ~shards ~prefix () =
+    ?(strike_threshold = default_strike_threshold) ?(probe_domains = 0) ~shards ~prefix () =
   if shards < 1 || shards > 1024 then
     Error
       (Error.Config_error
@@ -273,6 +276,14 @@ let open_corpus ?weights ?hierarchy ?scorer ?limits
           view = Atomic.make { v_shards = [||]; v_gen_vector = ""; v_planner = None };
           cache = Qcache.create ();
           fallback_env;
+          pool =
+            (* A pool only helps when more than one shard can be probed
+               at once; below that the sequential fold is strictly
+               cheaper.  The cap keeps a many-shard corpus from
+               spawning more domains than probes it can overlap. *)
+            (if probe_domains > 0 && shards > 1 then
+               Some (Taskpool.create ~domains:(min probe_domains (shards - 1)))
+             else None);
           reopen;
         }
       in
@@ -280,6 +291,7 @@ let open_corpus ?weights ?hierarchy ?scorer ?limits
       Ok t
 
 let close t =
+  (match t.pool with Some pool -> Taskpool.shutdown pool | None -> ());
   Array.iter
     (fun s ->
       with_lock s.wlock (fun () ->
@@ -289,6 +301,8 @@ let close t =
             s.store <- None
           | None -> ()))
     t.shards
+
+let probe_parallelism t = match t.pool with Some p -> Taskpool.size p + 1 | None -> 1
 
 (* ------------------------------------------------------------------ *)
 (* Writes: route, apply under the shard's writer lock, publish. *)
@@ -650,98 +664,123 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
         let mt = Common.max_total scheme plan.Common.penv in
         let locations : (int, string * string) Hashtbl.t = Hashtbl.create 32 in
         let best = ref [] in
-        let floor_fn () =
-          match Common.kth_total scheme k !best with Some x -> x | None -> neg_infinity
-        in
         let degraded = ref false in
         let relax = ref 0 and passes = ref 0 and restarts = ref 0 and tuples = ref 0 in
         let meta_dirty = ref false in
-        let reports =
-          Array.to_list v.v_shards
-          |> List.map (fun sv ->
-                 match sv.sv_env with
-                 | None ->
-                   {
-                     r_ord = sv.sv_ord;
-                     r_status = Down (Option.value sv.sv_error ~default:"down");
-                     r_bound = mt;
-                     r_found = 0;
-                   }
-                 | Some senv ->
-                   (* Exact threshold-algorithm cutoff, tie-breaks
-                      included: an unprobed shard's best conceivable
-                      answer is (score = max_total, node = its smallest
-                      global id).  Once the K-th gathered answer
-                      reaches max_total AND out-ranks that node on the
-                      deterministic tie-break, nothing on this shard
-                      can displace the top-K — so skipping keeps the
-                      merge byte-identical to the unsharded corpus.
-                      (An empty shard is skipped outright.) *)
-                   let skip_exact () =
-                     Array.length sv.sv_spans = 0
-                     ||
+        (* The scatter runs the probes on the corpus's domain pool when
+           one was opened (DESIGN.md §4j); every piece of gather state
+           — [best], [locations], the counters — then lives under
+           [glock], and the floor each probe reads is the running
+           global K-th under that same lock.  The floor is a sound
+           monotone cutoff, so a probe that reads a momentarily stale
+           (lower) floor merely prunes less; the merged top-K stays
+           byte-identical to the sequential gather on healthy runs.
+           Without a pool [locked] is a direct call and the fold below
+           is the original strictly sequential scatter. *)
+        let glock = Mutex.create () in
+        let locked : 'a. (unit -> 'a) -> 'a =
+         fun f -> match t.pool with None -> f () | Some _ -> with_lock glock f
+        in
+        let floor_fn () =
+          locked (fun () ->
+              match Common.kth_total scheme k !best with Some x -> x | None -> neg_infinity)
+        in
+        let probe sv =
+          match sv.sv_env with
+          | None ->
+            {
+              r_ord = sv.sv_ord;
+              r_status = Down (Option.value sv.sv_error ~default:"down");
+              r_bound = mt;
+              r_found = 0;
+            }
+          | Some senv -> (
+            (* Exact threshold-algorithm cutoff, tie-breaks
+               included: an unprobed shard's best conceivable
+               answer is (score = max_total, node = its smallest
+               global id).  Once the K-th gathered answer
+               reaches max_total AND out-ranks that node on the
+               deterministic tie-break, nothing on this shard
+               can displace the top-K — so skipping keeps the
+               merge byte-identical to the unsharded corpus.
+               (An empty shard is skipped outright.) *)
+            let skip_exact () =
+              Array.length sv.sv_spans = 0
+              || locked (fun () ->
                      match List.nth_opt !best (k - 1) with
                      | Some kth ->
                        Ranking.total scheme (Answer.score kth) >= mt
                        && kth.Answer.node < sv.sv_spans.(0).d_base
-                     | None -> false
-                   in
-                   if skip_exact () then
-                     { r_ord = sv.sv_ord; r_status = Skipped; r_bound = neg_infinity; r_found = 0 }
-                   else (
-                     match
-                       Failpoint.hit "shard_probe";
-                       run_algo algorithm ~guard ~plan ~floor:floor_fn senv ~scheme ~k q
-                     with
-                     | r ->
-                       let doc = senv.Env.doc in
-                       let mapped =
-                         List.map
-                           (fun (a : Answer.t) ->
-                             match find_span sv.sv_spans a.Answer.node with
-                             | Some sp ->
-                               let g = sp.d_base + (a.Answer.node - sp.d_wrapper) in
-                               Hashtbl.replace locations g
-                                 (sp.d_id, doc_relative (Xmldom.Doc.path_to_root doc a.Answer.node));
-                               { a with Answer.node = g }
-                             | None ->
-                               (* the synthetic corpus root; queries are not
-                                  expected to target it, but map it stably *)
-                               Hashtbl.replace locations 0 ("", Ingest.corpus_tag);
-                               { a with Answer.node = 0 })
-                           r.Common.answers
-                       in
-                       best := Answer.sort_and_truncate scheme k (mapped @ !best);
-                       relax := !relax + r.Common.relaxations_evaluated;
-                       passes := !passes + r.Common.passes;
-                       restarts := !restarts + r.Common.restarts;
-                       tuples := !tuples + r.Common.metrics.Joins.Exec.tuples_produced;
-                       degraded := !degraded || r.Common.degraded;
-                       let status, bound =
-                         match r.Common.completeness with
-                         | Common.Complete ->
-                           clear_strikes t t.shards.(sv.sv_ord);
-                           (Served, neg_infinity)
-                         | Common.Truncated { reason; score_bound } ->
-                           (Budget reason, score_bound)
-                       in
-                       {
-                         r_ord = sv.sv_ord;
-                         r_status = status;
-                         r_bound = bound;
-                         r_found = List.length r.Common.answers;
-                       }
-                     | exception (Joins.Exec.Capacity_exceeded _ as e) -> raise e
-                     | exception e ->
-                       let reason =
-                         match e with
-                         | Failpoint.Injected p -> "fault: " ^ p
-                         | e -> Printexc.to_string e
-                       in
-                       strike t t.shards.(sv.sv_ord) reason;
-                       meta_dirty := true;
-                       { r_ord = sv.sv_ord; r_status = Lost reason; r_bound = mt; r_found = 0 }))
+                     | None -> false)
+            in
+            if skip_exact () then
+              { r_ord = sv.sv_ord; r_status = Skipped; r_bound = neg_infinity; r_found = 0 }
+            else
+              match
+                Failpoint.hit "shard_probe";
+                run_algo algorithm ~guard ~plan ~floor:floor_fn senv ~scheme ~k q
+              with
+              | r ->
+                let doc = senv.Env.doc in
+                locked (fun () ->
+                    let mapped =
+                      List.map
+                        (fun (a : Answer.t) ->
+                          match find_span sv.sv_spans a.Answer.node with
+                          | Some sp ->
+                            let g = sp.d_base + (a.Answer.node - sp.d_wrapper) in
+                            Hashtbl.replace locations g
+                              (sp.d_id, doc_relative (Xmldom.Doc.path_to_root doc a.Answer.node));
+                            { a with Answer.node = g }
+                          | None ->
+                            (* the synthetic corpus root; queries are not
+                               expected to target it, but map it stably *)
+                            Hashtbl.replace locations 0 ("", Ingest.corpus_tag);
+                            { a with Answer.node = 0 })
+                        r.Common.answers
+                    in
+                    best := Answer.sort_and_truncate scheme k (mapped @ !best);
+                    relax := !relax + r.Common.relaxations_evaluated;
+                    passes := !passes + r.Common.passes;
+                    restarts := !restarts + r.Common.restarts;
+                    tuples := !tuples + r.Common.metrics.Joins.Exec.tuples_produced;
+                    degraded := !degraded || r.Common.degraded);
+                let status, bound =
+                  match r.Common.completeness with
+                  | Common.Complete ->
+                    clear_strikes t t.shards.(sv.sv_ord);
+                    (Served, neg_infinity)
+                  | Common.Truncated { reason; score_bound } -> (Budget reason, score_bound)
+                in
+                {
+                  r_ord = sv.sv_ord;
+                  r_status = status;
+                  r_bound = bound;
+                  r_found = List.length r.Common.answers;
+                }
+              | exception (Joins.Exec.Capacity_exceeded _ as e) -> raise e
+              | exception e ->
+                let reason =
+                  match e with
+                  | Failpoint.Injected p -> "fault: " ^ p
+                  | e -> Printexc.to_string e
+                in
+                strike t t.shards.(sv.sv_ord) reason;
+                locked (fun () -> meta_dirty := true);
+                { r_ord = sv.sv_ord; r_status = Lost reason; r_bound = mt; r_found = 0 })
         in
+        let n_shards = Array.length v.v_shards in
+        let report_slots = Array.make n_shards None in
+        let work i = report_slots.(i) <- Some (probe v.v_shards.(i)) in
+        (match t.pool with
+        | None -> for i = 0 to n_shards - 1 do work i done
+        | Some pool ->
+          (* A probe that raises (only [Capacity_exceeded] escapes the
+             per-shard handler) is re-raised here after the full join,
+             so no probe is still touching the gather state when the
+             exception propagates. *)
+          Taskpool.run pool (List.init n_shards (fun i () -> work i)));
+        let reports = Array.to_list report_slots |> List.filter_map Fun.id in
         if !meta_dirty then with_lock t.reg_lock (fun () -> publish t);
         let served =
           List.length

@@ -45,6 +45,7 @@ val open_corpus :
   ?scorer:Fulltext.Scorer.t ->
   ?limits:Ingest.limits ->
   ?strike_threshold:int ->
+  ?probe_domains:int ->
   shards:int ->
   prefix:string ->
   unit ->
@@ -54,13 +55,23 @@ val open_corpus :
     the error recorded in its health — the corpus itself still opens
     and serves from the remaining shards.  [strike_threshold]
     (default 3) is the number of mid-query losses after which a shard
-    is quarantined until {!reload}. *)
+    is quarantined until {!reload}.  [probe_domains > 0] opens a
+    {!Taskpool} of that many domains (capped at [shards - 1]) and
+    {!query} scatters its shard probes across them plus the calling
+    domain; the default [0] keeps the scatter strictly sequential.
+    Healthy merged answers are byte-identical either way — the
+    threshold-algorithm floor is a sound monotone cutoff, so a
+    concurrently-read stale floor only reduces pruning. *)
 
 val close : t -> unit
 
 val shard_count : t -> int
 val shard_of_id : t -> string -> int
 val doc_count : t -> int
+
+val probe_parallelism : t -> int
+(** How many shard probes one query can run at once ([pool domains +
+    1] for the caller; [1] means the sequential scatter). *)
 
 val ids : t -> string list
 (** Document ids in global arrival order (upserts move to the end). *)

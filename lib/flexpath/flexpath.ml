@@ -14,6 +14,7 @@ module Qcache = Qcache
 module Wal = Wal
 module Ingest = Ingest
 module Corpus = Corpus
+module Taskpool = Taskpool
 
 (* Plant the fault-injection registry into the lower layers (and arm
    FLEXPATH_FAILPOINTS) as soon as the library is initialized. *)

@@ -1,0 +1,32 @@
+(** A persistent domain pool for coarse-grained fork-join parallelism
+    (the shard scatter of {!Corpus.query}, DESIGN.md §4i/§4j).
+
+    Domains are spawned once and reused; {!run} executes a batch of
+    thunks with the {e caller participating} — a pool of [n] domains
+    yields [n+1]-way parallelism, and [domains:0] degrades to plain
+    sequential execution in the caller with no blocking.  Thunks
+    communicate results through closures over caller-owned state; the
+    pool imposes no result-passing discipline of its own.
+
+    The join is total: {!run} returns (or re-raises) only after every
+    thunk of its batch has finished, so caller cleanup never races a
+    live task.  The first exception a thunk raises is re-raised from
+    {!run} after the join. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains ([0] is legal and means all work
+    runs in the caller). *)
+
+val size : t -> int
+(** The number of pool domains (excluding the donated caller). *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Execute every thunk, on pool domains and the calling domain;
+    return once all have settled.  Re-raises the first escaped
+    exception after the full join. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool domains.  Pending batches are drained
+    first; calling {!run} after shutdown executes caller-side only. *)

@@ -1,0 +1,96 @@
+(** The [flexpath bench serve] engine: an open-loop load generator for
+    the {!Flexpath_server} wire protocol (DESIGN.md §4j).
+
+    One domain multiplexes every client connection over a {!Poller}
+    (the same readiness layer the server's event loop uses), so
+    thousands of mostly-idle connections cost the generator an fd and
+    a buffer each — mirroring what they cost the server.  Arrivals
+    are an open-loop Poisson process at the target rate: each request
+    is stamped with its {e scheduled} arrival time and its latency is
+    measured from that stamp, not from the moment a connection came
+    free, so a stalling server inflates the tail instead of silently
+    throttling the generator (no coordinated omission).
+
+    The request mix is Zipf-weighted over a fixed query set, with
+    optional [PING] and framed idempotent-[INGEST] fractions.  A
+    connection the server closes (request-level [OVERLOADED] reject,
+    read-timeout drop, chaos) is transparently reopened while the
+    measurement window is live, so the pool size — the knob under
+    test — stays constant. *)
+
+type workload = {
+  rate : float;  (** Offered load in requests/second (open loop). *)
+  duration_s : float;  (** Measured window, after warmup. *)
+  warmup_s : float;
+      (** Requests scheduled before the window opens are sent and
+          settled but never counted. *)
+  queries : string list;
+      (** [QUERY]/[RELAX]/... request lines, most-popular first; drawn
+          with Zipf([zipf_s]) weights by rank. *)
+  zipf_s : float;  (** Zipf exponent; [0.0] is uniform. *)
+  ping_fraction : float;  (** Share of arrivals that are [PING]. *)
+  ingest_fraction : float;
+      (** Share of arrivals that are framed [INGEST] upserts over a
+          small rotating id set (so the corpus stays bounded);
+          requires a write-enabled server, otherwise they count as
+          [errors]. *)
+  seed : int;  (** PRNG seed: arrivals and mix are reproducible. *)
+}
+
+val default_workload : workload
+(** 100 req/s for 5 s after 1 s of warmup, the {!default_queries}
+    mix, Zipf 1.1, 20% [PING], no ingest, seed 42. *)
+
+val default_queries : string list
+(** A rank-ordered query set over the synthetic article collection
+    ({!Xmark.Articles}): mixed selectivity, some with budgets, one
+    [STATS] probe. *)
+
+type result = {
+  connections : int;  (** Pool size this scale ran with. *)
+  target_rate : float;
+  duration_s : float;
+  sent : int;  (** Requests scheduled inside the measured window. *)
+  completed : int;  (** Responses received for measured requests. *)
+  ok : int;
+  partial : int;
+  overloaded : int;
+  quarantined : int;
+  errors : int;  (** [ERR] responses. *)
+  dropped : int;
+      (** Measured requests whose connection died before a response
+          (plus any still unsettled when the drain deadline hit). *)
+  reconnects : int;  (** Connections reopened during the whole run. *)
+  achieved_rps : float;  (** [completed / duration_s]. *)
+  goodput_rps : float;  (** [(ok + partial) / duration_s]. *)
+  samples : int;  (** Latency samples = [ok + partial]. *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+  mean_ms : float;  (** All 0 when [samples = 0]. *)
+}
+
+val run :
+  host:string -> port:int -> connections:int -> workload -> (result, string) Stdlib.result
+(** Open the pool, run warmup + the measured window, drain in-flight
+    requests (10 s bound), close everything.  [Error] only for setup
+    failures (connect refused, fd budget); server-side misbehavior is
+    data, reported in the counters. *)
+
+(** {2 The [BENCH_serve.json] artifact} *)
+
+val result_to_json : result -> Json.t
+
+val report : config:(string * Json.t) list -> results:result list -> Json.t
+(** The full artifact: [schema_version], [bench], [created_unix_s],
+    the [config] fields verbatim, one [scales] entry per result, and
+    a [summary] comparing the largest scale's p99 against the
+    smallest's (the depth-8 baseline ratio the roadmap tracks). *)
+
+val check_report : Json.t -> (unit, string) Stdlib.result
+(** The schema gate [flexpath bench check] and CI enforce: positive
+    [schema_version], non-empty [scales], and for every scale a
+    positive [connections], numeric [goodput_rps] and a [latency_ms]
+    object with numeric [p50]/[p99]/[p999]. *)

@@ -148,6 +148,15 @@ type ingest_gauges = {
   wal_replayed_records : int;
 }
 
+type loop_gauges = {
+  open_connections : int;
+  fds_in_use : int;
+  bytes_buffered : int;
+  loop_lag_count : int;
+  loop_lag_p50_ms : float;
+  loop_lag_p99_ms : float;
+}
+
 type shard_gauges = {
   shard_live : bool;
   shard_quarantined : bool;
@@ -169,7 +178,7 @@ let generation_vector shards =
          else string_of_int g.shard_generation ^ "!")
        shards)
 
-let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest ~shards =
+let render t ?loop ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest ~shards () =
   with_lock t (fun () ->
       let b = Buffer.create 512 in
       let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
@@ -189,6 +198,17 @@ let render t ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~ingest ~
       line "quarantined: %d" t.quarantined;
       line "shed_queue_deadline: %d" t.shed_queue_deadline;
       line "client_retries: %d" t.client_retries;
+      (match (loop : loop_gauges option) with
+      | None -> ()
+      | Some g ->
+        line "open_connections: %d" g.open_connections;
+        line "fds_in_use: %d" g.fds_in_use;
+        line "bytes_buffered: %d" g.bytes_buffered;
+        (* Same empty-reservoir rule as the latency lines: never [nan]. *)
+        if g.loop_lag_count = 0 then line "loop_lag_ms count=0"
+        else
+          line "loop_lag_ms count=%d p50=%.3f p99=%.3f" g.loop_lag_count g.loop_lag_p50_ms
+            g.loop_lag_p99_ms);
       (match ingest with
       | None -> line "ingest: off"
       | Some g ->

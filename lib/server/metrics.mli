@@ -105,6 +105,21 @@ type ingest_gauges = {
 (** Point-in-time ingestion gauges the server samples from its
     {!Flexpath.Ingest} store when rendering [STATS]. *)
 
+type loop_gauges = {
+  open_connections : int;  (** Connections the event loop currently owns. *)
+  fds_in_use : int;  (** Those plus the loop's own descriptors. *)
+  bytes_buffered : int;
+      (** Unparsed input plus unflushed output across all connections —
+          the loop's memory exposure to slow or flooding peers. *)
+  loop_lag_count : int;
+  loop_lag_p50_ms : float;
+  loop_lag_p99_ms : float;
+      (** Loop iteration processing time: how long readiness waits on
+          the I/O domain before being acted on. *)
+}
+(** Point-in-time event-loop gauges, sampled from {!Eventloop.stats}
+    when rendering [STATS]. *)
+
 type shard_gauges = {
   shard_live : bool;
   shard_quarantined : bool;
@@ -120,6 +135,7 @@ type shard_gauges = {
 
 val render :
   t ->
+  ?loop:loop_gauges ->
   queue_depth:int ->
   queue_capacity:int ->
   generation:int ->
@@ -127,12 +143,15 @@ val render :
   cache:Flexpath.Qcache.counters option ->
   ingest:ingest_gauges option ->
   shards:shard_gauges list ->
+  unit ->
   string
 (** The [STATS] response body: [key: value] lines (counters, queue
-    occupancy, snapshot generation, the current generation's query-cache
-    counters — or [cache: off] — and, with ingestion enabled, the write
-    counters and {!ingest_gauges} lines — or [ingest: off]) followed by
-    one latency line per endpoint:
+    occupancy, snapshot generation, the event-loop gauges when [loop]
+    is given — [open_connections], [fds_in_use], [bytes_buffered] and
+    [loop_lag_ms count=N p50=… p99=…] — the current generation's
+    query-cache counters — or [cache: off] — and, with ingestion
+    enabled, the write counters and {!ingest_gauges} lines — or
+    [ingest: off]) followed by one latency line per endpoint:
     [latency_ms <endpoint> count=N p50=… p90=… p99=…], or just
     [latency_ms <endpoint> count=0] while the endpoint has no samples
     (never [nan]).  A non-empty [shards] (the sharded-corpus mode)

@@ -1,0 +1,34 @@
+type t
+
+external create : unit -> t = "flexpath_poller_create"
+external ctl : t -> int -> int -> unit = "flexpath_poller_ctl"
+external wait_raw : t -> int -> (int * int) array = "flexpath_poller_wait"
+external close : t -> unit = "flexpath_poller_close"
+external raise_nofile : int -> int = "flexpath_raise_nofile"
+
+let read_flag = 1
+let write_flag = 2
+let error_flag = 4
+
+(* On every Unix OCaml targets, [Unix.file_descr] is the raw int. *)
+let int_of_fd : Unix.file_descr -> int = Obj.magic
+let fd_of_int : int -> Unix.file_descr = Obj.magic
+
+let set t fd ~read ~write =
+  let bits = (if read then read_flag else 0) lor if write then write_flag else 0 in
+  ctl t (int_of_fd fd) bits
+
+let remove t fd = ctl t (int_of_fd fd) 0
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool; error : bool }
+
+let wait t ~timeout_ms =
+  Array.map
+    (fun (fdi, bits) ->
+      {
+        fd = fd_of_int fdi;
+        readable = bits land read_flag <> 0;
+        writable = bits land write_flag <> 0;
+        error = bits land error_flag <> 0;
+      })
+    (wait_raw t timeout_ms)

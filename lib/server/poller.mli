@@ -1,0 +1,39 @@
+(** Readiness polling beyond select(2)'s 1024-fd ceiling.
+
+    A thin wrapper over the C stubs in [poller_stubs.c]: epoll(7) on
+    Linux, poll(2) elsewhere — level-triggered in both cases, so the
+    event loop may leave bytes unread or unwritten and simply be told
+    again.  One poller instance is owned by exactly one domain (the
+    I/O loop); only {!wait} releases the OCaml runtime lock.
+
+    Closed fds must be {!remove}d by their owner before [close(2)]
+    where the fallback is in play (the kernel purges epoll
+    registrations on close, poll(2)'s user-space fd list knows
+    nothing). *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register or update interest.  [read:false write:false] keeps the
+    fd registered with no interest armed (cheaper than remove+add
+    around an in-flight request). *)
+
+val remove : t -> Unix.file_descr -> unit
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool; error : bool }
+(** [error] flags HUP/ERR conditions; [readable] is also set for them
+    so the consumer discovers the condition on its ordinary read
+    path. *)
+
+val wait : t -> timeout_ms:int -> event array
+(** Block up to [timeout_ms] (-1 = indefinitely) for readiness; [[||]]
+    on timeout or EINTR.  At most 1024 events per call — further
+    ready fds surface on the next call (level-triggered). *)
+
+val close : t -> unit
+
+val raise_nofile : int -> int
+(** Best-effort [RLIMIT_NOFILE] raise toward the target; returns the
+    effective soft limit (which is the fd budget a bench must fit). *)

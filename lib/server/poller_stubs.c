@@ -1,0 +1,298 @@
+/* Readiness polling for the event-loop serving core (DESIGN.md §4j).
+
+   The OCaml stdlib only exposes select(2), whose fd_set caps out at
+   FD_SETSIZE (1024) descriptors — useless for a loop that must own
+   ten thousand idle connections.  These stubs wrap epoll(7) on Linux
+   and fall back to poll(2) elsewhere, behind one small interface:
+
+     create  : unit -> poller
+     ctl     : poller -> fd -> interest-bits -> unit   (0 = remove)
+     wait    : poller -> timeout_ms -> (fd * ready-bits) array
+     close   : poller -> unit
+
+   Interest and readiness share the same bit encoding (kept in sync
+   with Poller.read_flag/write_flag/error_flag on the OCaml side):
+   1 = readable, 2 = writable, 4 = error/hangup.  EPOLLHUP/EPOLLERR
+   are reported with the readable bit also set, so the loop learns
+   about a dead peer by reading it (0 / ECONNRESET) on its normal
+   read path instead of needing a separate teardown path.
+
+   wait releases the OCaml runtime lock around the kernel call: the
+   worker domains keep evaluating queries while the I/O domain sleeps
+   on readiness. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/custom.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+#include <sys/resource.h>
+
+#define FLEXPATH_READ 1
+#define FLEXPATH_WRITE 2
+#define FLEXPATH_ERROR 4
+
+#define MAX_EVENTS 1024
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+struct poller {
+  int epfd;
+  struct epoll_event events[MAX_EVENTS];
+};
+
+#else
+#include <poll.h>
+
+struct poller {
+  struct pollfd *fds;
+  int n;
+  int cap;
+};
+
+#endif
+
+#define Poller_val(v) (*((struct poller **) Data_custom_val(v)))
+
+static void poller_finalize(value v)
+{
+  struct poller *p = Poller_val(v);
+  if (p == NULL) return;
+#ifdef __linux__
+  if (p->epfd >= 0) close(p->epfd);
+#else
+  free(p->fds);
+#endif
+  free(p);
+  Poller_val(v) = NULL;
+}
+
+static struct custom_operations poller_ops = {
+  "flexpath.poller",
+  poller_finalize,
+  custom_compare_default,
+  custom_hash_default,
+  custom_serialize_default,
+  custom_deserialize_default,
+  custom_compare_ext_default,
+  custom_fixed_length_default
+};
+
+CAMLprim value flexpath_poller_create(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  struct poller *p = malloc(sizeof(struct poller));
+  if (p == NULL) caml_raise_out_of_memory();
+#ifdef __linux__
+  p->epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (p->epfd < 0) {
+    int err = errno;
+    free(p);
+    caml_unix_error(err, "epoll_create1", Nothing);
+  }
+#else
+  p->cap = 64;
+  p->n = 0;
+  p->fds = malloc(p->cap * sizeof(struct pollfd));
+  if (p->fds == NULL) {
+    free(p);
+    caml_raise_out_of_memory();
+  }
+#endif
+  res = caml_alloc_custom(&poller_ops, sizeof(struct poller *), 0, 1);
+  Poller_val(res) = p;
+  CAMLreturn(res);
+}
+
+static struct poller *poller_of_value(value v)
+{
+  struct poller *p = Poller_val(v);
+  if (p == NULL) caml_failwith("poller: used after close");
+  return p;
+}
+
+CAMLprim value flexpath_poller_close(value v)
+{
+  CAMLparam1(v);
+  poller_finalize(v);
+  CAMLreturn(Val_unit);
+}
+
+#ifdef __linux__
+
+CAMLprim value flexpath_poller_ctl(value v, value vfd, value vbits)
+{
+  CAMLparam3(v, vfd, vbits);
+  struct poller *p = poller_of_value(v);
+  int fd = Int_val(vfd);
+  int bits = Int_val(vbits);
+  if (bits == 0) {
+    /* Removing an fd the kernel already dropped (close(2) purges it
+       from the epoll set) is not an error worth surfacing. */
+    if (epoll_ctl(p->epfd, EPOLL_CTL_DEL, fd, NULL) < 0
+        && errno != ENOENT && errno != EBADF)
+      caml_uerror("epoll_ctl(DEL)", Nothing);
+  } else {
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.data.fd = fd;
+    if (bits & FLEXPATH_READ) ev.events |= EPOLLIN;
+    if (bits & FLEXPATH_WRITE) ev.events |= EPOLLOUT;
+    if (epoll_ctl(p->epfd, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      if (errno != ENOENT || epoll_ctl(p->epfd, EPOLL_CTL_ADD, fd, &ev) < 0)
+        caml_uerror("epoll_ctl", Nothing);
+    }
+  }
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value flexpath_poller_wait(value v, value vtimeout)
+{
+  CAMLparam2(v, vtimeout);
+  CAMLlocal2(arr, pair);
+  struct poller *p = poller_of_value(v);
+  int timeout = Int_val(vtimeout);
+  int n;
+  caml_release_runtime_system();
+  n = epoll_wait(p->epfd, p->events, MAX_EVENTS, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) {
+    if (errno == EINTR) n = 0;
+    else caml_uerror("epoll_wait", Nothing);
+  }
+  arr = caml_alloc(n == 0 ? 0 : n, 0);
+  for (int i = 0; i < n; i++) {
+    uint32_t e = p->events[i].events;
+    int bits = 0;
+    if (e & (EPOLLIN | EPOLLPRI | EPOLLRDHUP | EPOLLHUP | EPOLLERR))
+      bits |= FLEXPATH_READ;
+    if (e & EPOLLOUT) bits |= FLEXPATH_WRITE;
+    if (e & (EPOLLHUP | EPOLLERR)) bits |= FLEXPATH_ERROR;
+    pair = caml_alloc_tuple(2);
+    Field(pair, 0) = Val_int(p->events[i].data.fd);
+    Field(pair, 1) = Val_int(bits);
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* poll(2) fallback */
+
+static int poller_find(struct poller *p, int fd)
+{
+  for (int i = 0; i < p->n; i++)
+    if (p->fds[i].fd == fd) return i;
+  return -1;
+}
+
+CAMLprim value flexpath_poller_ctl(value v, value vfd, value vbits)
+{
+  CAMLparam3(v, vfd, vbits);
+  struct poller *p = poller_of_value(v);
+  int fd = Int_val(vfd);
+  int bits = Int_val(vbits);
+  int i = poller_find(p, fd);
+  if (bits == 0) {
+    if (i >= 0) {
+      p->fds[i] = p->fds[p->n - 1];
+      p->n--;
+    }
+  } else {
+    short events = 0;
+    if (bits & FLEXPATH_READ) events |= POLLIN;
+    if (bits & FLEXPATH_WRITE) events |= POLLOUT;
+    if (i < 0) {
+      if (p->n == p->cap) {
+        int cap = p->cap * 2;
+        struct pollfd *fds = realloc(p->fds, cap * sizeof(struct pollfd));
+        if (fds == NULL) caml_raise_out_of_memory();
+        p->fds = fds;
+        p->cap = cap;
+      }
+      i = p->n++;
+      p->fds[i].fd = fd;
+    }
+    p->fds[i].events = events;
+    p->fds[i].revents = 0;
+  }
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value flexpath_poller_wait(value v, value vtimeout)
+{
+  CAMLparam2(v, vtimeout);
+  CAMLlocal2(arr, pair);
+  struct poller *p = poller_of_value(v);
+  int timeout = Int_val(vtimeout);
+  int n, ready = 0, emitted = 0;
+  caml_release_runtime_system();
+  n = poll(p->fds, p->n, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) {
+    if (errno == EINTR) n = 0;
+    else caml_uerror("poll", Nothing);
+  }
+  if (n > MAX_EVENTS) n = MAX_EVENTS;
+  for (int i = 0; i < p->n && ready < n; i++)
+    if (p->fds[i].revents != 0) ready++;
+  arr = caml_alloc(ready == 0 ? 0 : ready, 0);
+  for (int i = 0; i < p->n && emitted < ready; i++) {
+    short e = p->fds[i].revents;
+    if (e == 0) continue;
+    int bits = 0;
+    if (e & (POLLIN | POLLPRI | POLLHUP | POLLERR | POLLNVAL))
+      bits |= FLEXPATH_READ;
+    if (e & POLLOUT) bits |= FLEXPATH_WRITE;
+    if (e & (POLLHUP | POLLERR | POLLNVAL)) bits |= FLEXPATH_ERROR;
+    pair = caml_alloc_tuple(2);
+    Field(pair, 0) = Val_int(p->fds[i].fd);
+    Field(pair, 1) = Val_int(bits);
+    Store_field(arr, emitted, pair);
+    emitted++;
+    p->fds[i].revents = 0;
+  }
+  CAMLreturn(arr);
+}
+
+#endif
+
+/* Best-effort RLIMIT_NOFILE raise toward [target]; returns the
+   effective soft limit.  Run as root the hard limit rises too, so a
+   10k-connection bench works out of the box; otherwise the soft
+   limit climbs to the existing hard ceiling and the caller scales
+   its connection count to what it was granted. */
+CAMLprim value flexpath_raise_nofile(value vtarget)
+{
+  CAMLparam1(vtarget);
+  rlim_t target = (rlim_t) Long_val(vtarget);
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) < 0)
+    caml_uerror("getrlimit", Nothing);
+  if (rl.rlim_cur < target) {
+    struct rlimit want = rl;
+    want.rlim_cur = target;
+    if (rl.rlim_max != RLIM_INFINITY && rl.rlim_max < target)
+      want.rlim_max = target;
+    if (setrlimit(RLIMIT_NOFILE, &want) < 0) {
+      /* Could not raise the hard limit: settle for the soft one. */
+      want.rlim_max = rl.rlim_max;
+      want.rlim_cur = (rl.rlim_max == RLIM_INFINITY || target < rl.rlim_max)
+                          ? target
+                          : rl.rlim_max;
+      if (setrlimit(RLIMIT_NOFILE, &want) == 0) rl = want;
+    } else
+      rl = want;
+    if (getrlimit(RLIMIT_NOFILE, &rl) < 0)
+      caml_uerror("getrlimit", Nothing);
+  }
+  CAMLreturn(Val_long((long) rl.rlim_cur));
+}

@@ -102,13 +102,25 @@ type corpus_rt = {
   cmerge_domain : unit Domain.t option Atomic.t;
 }
 
+(* One parsed request in flight: the event loop hands it to the
+   admission queue, a worker evaluates it and settles it back through
+   {!Eventloop.respond}/{!Eventloop.drop}.  Workers never see the
+   socket — [conn] is an opaque settlement handle.  The enqueue
+   timestamp lets a worker coming free shed entries whose queue
+   sojourn exceeded the bound. *)
+type job = {
+  conn : Eventloop.conn;
+  req : Protocol.request;
+  body : string option;
+  enqueued_ms : float;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  (* Each queued connection carries its enqueue timestamp so a worker
-     coming free can shed entries whose sojourn exceeded the bound. *)
-  queue : (Unix.file_descr * float) Admission.t;
+  loop : Eventloop.t;
+  queue : job Admission.t;
   current : slot Atomic.t;
   stopping : bool Atomic.t;
   active : int Atomic.t;  (* connections admitted and not yet closed *)
@@ -118,6 +130,14 @@ type t = {
      respawn; read for the shutdown join only after the supervision
      domain itself is joined, which orders the accesses. *)
   domains : unit Domain.t option array;
+  (* [inflight.(i)] is the job worker [i] is evaluating, set before its
+     heartbeat goes Busy and cleared only after a successful retire.
+     When the supervisor claims worker [i] as lost, it exchanges the
+     slot to settle the orphaned job's connection exactly once —
+     either the worker retired first (slot already cleared) or the
+     supervisor's claim won (the worker sees the failed retire and
+     exits without touching the slot). *)
+  inflight : job option Atomic.t array;
   reload_lock : Mutex.t;
   started_wall : float;
   ingest : ingest_rt option;
@@ -136,6 +156,14 @@ let corpus t = Option.map (fun (rt : corpus_rt) -> rt.corpus) t.corpus
    [env] then only donates weights and hierarchy for a store starting
    from nothing. *)
 let open_ingest (cfg : config) ~env =
+  (* Scatter parallelism for corpus queries: probe domains on top of
+     the querying worker itself, capped so a probe pool never exceeds
+     what the shard count or the worker pool can use. *)
+  let probe_domains =
+    match cfg.ingest with
+    | Some icfg -> max 0 (min (icfg.shards - 1) (cfg.workers - 1))
+    | None -> 0
+  in
   match cfg.ingest with
   | None -> Ok (None, None)
   | Some icfg -> (
@@ -171,8 +199,8 @@ let open_ingest (cfg : config) ~env =
                   cmerge_domain = Atomic.make None;
                 } ))
           (Flexpath.Corpus.open_corpus ~weights:env.Flexpath.Env.weights
-             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~shards:icfg.shards
-             ~prefix:snapshot ())
+             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~probe_domains
+             ~shards:icfg.shards ~prefix:snapshot ())
       else
         Result.map
           (fun store ->
@@ -225,6 +253,9 @@ let create cfg ~env =
           cfg;
           listen_fd = fd;
           bound_port;
+          loop =
+            Eventloop.create ~listen_fd:fd ~max_connections:cfg.max_connections
+              ~read_timeout_s:cfg.read_timeout_s ~write_timeout_s:cfg.write_timeout_s;
           queue = Admission.create ~capacity:cfg.queue_depth;
           current = Atomic.make { env; generation = 1; cache = fresh_cache cfg };
           stopping = Atomic.make false;
@@ -234,6 +265,7 @@ let create cfg ~env =
             Supervisor.create ~workers:cfg.workers ~hard_wall_ms:cfg.hard_wall_ms
               ~quarantine_threshold:cfg.quarantine_strikes;
           domains = Array.make cfg.workers None;
+          inflight = Array.init cfg.workers (fun _ -> Atomic.make None);
           reload_lock = Mutex.create ();
           started_wall = Unix.gettimeofday ();
           ingest;
@@ -253,110 +285,14 @@ let create cfg ~env =
       close_store ();
       Error (Error.Io_error { path = cfg.host; message = msg }))
 
+(* Stopping is observed in two places: the event loop (which drains
+   connections and returns from [run]) and the background merge /
+   supervision loops (which poll [t.stopping]).  The admission queue
+   stays open until the loop has drained — a request already parsed
+   and queued is served, not abandoned. *)
 let stop t =
   Atomic.set t.stopping true;
-  Admission.close t.queue
-
-(* ------------------------------------------------------------------ *)
-(* Socket I/O.  Connection sockets stay blocking with short kernel
-   receive timeouts, so reads wake every [poll_interval_s] to re-check
-   the stop flag and the connection's idle deadline. *)
-
-let poll_interval_s = 0.25
-let max_line_bytes = 65536
-
-let write_all fd s =
-  let n = String.length s in
-  let rec go off =
-    if off < n then begin
-      let w = Unix.write_substring fd s off (n - off) in
-      if w = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
-      go (off + w)
-    end
-  in
-  go 0
-
-let send_response fd status body =
-  let buf = Buffer.create (String.length body + 32) in
-  Protocol.write_response buf status body;
-  match write_all fd (Buffer.contents buf) with
-  | () -> true
-  | exception Unix.Unix_error (_, _, _) -> false
-
-type read_outcome = Line of string | Eof | Dropped
-
-(* Reads one '\n'-terminated line, polling cooperatively.  [Dropped]
-   covers every abnormal end: idle timeout, oversized line, socket
-   error, injected [server_read] fault.  During shutdown the idle
-   allowance shrinks to one second: an admitted connection whose
-   request bytes are already in flight still gets served (that is the
-   drain), but an idle one cannot stall the shutdown. *)
-let read_line t fd =
-  let acc = Buffer.create 128 in
-  let byte = Bytes.create 1 in
-  let idle = Monotime.create () in
-  let rec go () =
-    let limit =
-      if Atomic.get t.stopping then Float.min t.cfg.read_timeout_s 1.0
-      else t.cfg.read_timeout_s
-    in
-    if Monotime.elapsed_s idle > limit then Dropped
-    else if Buffer.length acc > max_line_bytes then Dropped
-    else begin
-      match Failpoint.hit "server_read" with
-      | exception Failpoint.Injected _ -> Dropped
-      | () -> (
-        match Unix.read fd byte 0 1 with
-        | 0 -> if Buffer.length acc = 0 then Eof else Line (Buffer.contents acc)
-        | _ ->
-          if Bytes.get byte 0 = '\n' then Line (Buffer.contents acc)
-          else begin
-            Buffer.add_char acc (Bytes.get byte 0);
-            go ()
-          end
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-          go ()
-        | exception Unix.Unix_error (_, _, _) -> Dropped)
-    end
-  in
-  go ()
-
-(* Hard cap on an [INGEST] frame, over and above the store's own
-   document budget: a length the server would not even consider
-   closes the connection rather than being read-and-discarded. *)
-let max_body_bytes = 64 * 1024 * 1024
-
-type body_outcome = Body of string | Body_dropped
-
-(* Reads the [len]-byte INGEST body plus its framing newline, under
-   the same cooperative polling and idle rules as [read_line].  The
-   body is read {e before} dispatch whatever the request's fate, so a
-   rejected write never desynchronizes the connection. *)
-let read_body t fd len =
-  let n = len + 1 in
-  let buf = Bytes.create n in
-  let idle = Monotime.create () in
-  let rec go off =
-    let limit =
-      if Atomic.get t.stopping then Float.min t.cfg.read_timeout_s 1.0
-      else t.cfg.read_timeout_s
-    in
-    if Monotime.elapsed_s idle > limit then Body_dropped
-    else if off = n then
-      if Bytes.get buf len = '\n' then Body (Bytes.sub_string buf 0 len) else Body_dropped
-    else begin
-      match Failpoint.hit "server_read" with
-      | exception Failpoint.Injected _ -> Body_dropped
-      | () -> (
-        match Unix.read fd buf off (n - off) with
-        | 0 -> Body_dropped
-        | w -> go (off + w)
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-          go off
-        | exception Unix.Unix_error (_, _, _) -> Body_dropped)
-    end
-  in
-  go 0
+  Eventloop.stop t.loop
 
 (* ------------------------------------------------------------------ *)
 (* Request execution *)
@@ -837,21 +773,35 @@ let spawn_merge_domain t rt =
 (* ------------------------------------------------------------------ *)
 (* Supervised dispatch.
 
-   A worker's connection loop can end in one of three ways beyond the
-   ordinary close: [`Drop] (abnormal per-connection failure — satellite
-   of DESIGN.md §4g: contain it, close this fd, keep the worker),
-   [`Exit_superseded] (the supervisor claimed this worker as lost
-   while it was busy; the replacement owns the pool position and the
-   supervisor already settled the connection accounting), and
-   [`Exit_dead] (a [worker_die] crash: the domain body terminates and
-   the supervisor recovers it on the next scan). *)
+   A worker evaluates one job and settles it with a step: [Respond]
+   (answer, connection keeps reading), [Respond_close] (answer, then
+   close — BYE, frame desync), [Drop] (abnormal per-request failure —
+   satellite of DESIGN.md §4g: contain it, close this connection, keep
+   the worker), [Exit_superseded] (the supervisor claimed this worker
+   as lost while it was busy; the replacement owns the pool position
+   and the supervisor settles the orphaned job from the inflight
+   slot), and [Exit_dead] (a [worker_die] crash: the domain body
+   terminates and the supervisor recovers it — and the job — on the
+   next scan).  Responses travel through {!Eventloop.respond}; a
+   worker never writes to a socket. *)
 
 type step =
-  | Continue
-  | Close
+  | Respond of Protocol.status * string
+  | Respond_close of Protocol.status * string
   | Drop
   | Exit_superseded
   | Exit_dead of string option
+
+let loop_gauges t =
+  let s = Eventloop.stats t.loop in
+  {
+    Metrics.open_connections = s.Eventloop.open_connections;
+    fds_in_use = s.Eventloop.fds_in_use;
+    bytes_buffered = s.Eventloop.bytes_buffered;
+    loop_lag_count = s.Eventloop.lag_count;
+    loop_lag_p50_ms = s.Eventloop.lag_p50_ms;
+    loop_lag_p99_ms = s.Eventloop.lag_p99_ms;
+  }
 
 (* Fingerprint a request before dispatch: the canonical key of the
    parsed XPath for QUERY/RELAX (what the heartbeat publishes and the
@@ -883,19 +833,16 @@ let wedge t handle =
   in
   go ()
 
-(* Dispatch one parsed request; [Close] ends the connection.  [body]
-   is [Some] exactly for [Ingest] (already read off the socket). *)
-let dispatch t handle fd (req : Protocol.request) parsed ~body =
+(* Dispatch one parsed request into a settlement step.  [body] is
+   [Some] exactly for [Ingest] (already reassembled by the loop). *)
+let dispatch t handle (req : Protocol.request) parsed ~body =
   match Failpoint.hit "server_worker" with
-  | exception Failpoint.Injected p ->
-    let ok = send_response fd Protocol.Err (Error.to_string (Error.Fault p)) in
-    if ok then Continue else Close
+  | exception Failpoint.Injected p -> Respond (Protocol.Err, Error.to_string (Error.Fault p))
   | () -> (
     match req with
     | Protocol.Shutdown ->
-      ignore (send_response fd Protocol.Bye "");
       stop t;
-      Close
+      Respond_close (Protocol.Bye, "")
     | req -> (
       match Failpoint.hit "worker_die" with
       | exception Failpoint.Injected _ ->
@@ -924,9 +871,11 @@ let dispatch t handle fd (req : Protocol.request) parsed ~body =
               in
               ( Metrics.Stats,
                 ( Protocol.Ok_,
-                  Metrics.render t.metrics ~queue_depth:(Admission.length t.queue)
+                  Metrics.render t.metrics ~loop:(loop_gauges t)
+                    ~queue_depth:(Admission.length t.queue)
                     ~queue_capacity:(Admission.capacity t.queue)
-                    ~generation:slot.generation ~uptime_s:(uptime_s t) ~cache ~ingest ~shards,
+                    ~generation:slot.generation ~uptime_s:(uptime_s t) ~cache ~ingest ~shards
+                    (),
                   `Ok ) )
             | Protocol.Shards -> (
               ( Metrics.Shards,
@@ -1006,145 +955,95 @@ let dispatch t handle fd (req : Protocol.request) parsed ~body =
             | Protocol.Shutdown -> assert false
           in
           Metrics.record t.metrics endpoint ~latency_ms:(Monotime.elapsed_ms clock) ~outcome;
-          if send_response fd status body then Continue else Close)))
+          Respond (status, body))))
 
 (* One request under supervision: publish the heartbeat (fingerprint +
-   timestamp), quarantine-check, dispatch with per-connection
+   timestamp), quarantine-check, dispatch with per-request
    containment, retire the heartbeat.  A failed retire means the
    supervisor claimed this worker while the request ran — the
-   replacement owns the pool position now, so this worker must exit
-   without touching the accounting again. *)
-let dispatch_supervised t handle fd req ~body =
+   replacement owns the pool position now and the supervisor settles
+   the job, so this worker must exit without touching the accounting
+   again. *)
+let dispatch_supervised t handle req ~body =
   let fingerprint, parsed = pre_parse req in
   match fingerprint with
   | Some key when Supervisor.quarantined t.sup key ->
     Metrics.quarantined t.metrics;
-    let body =
-      Printf.sprintf "query quarantined after %d worker loss(es); not executed"
-        (Supervisor.strikes t.sup key)
-    in
-    if send_response fd Protocol.Quarantined body then Continue else Close
+    Respond
+      ( Protocol.Quarantined,
+        Printf.sprintf "query quarantined after %d worker loss(es); not executed"
+          (Supervisor.strikes t.sup key) )
   | _ -> (
     let token = Supervisor.busy handle ~fingerprint in
     let result =
-      (* Satellite fix: an unexpected exception while serving one
-         request must cost that connection, not the worker domain. *)
-      match dispatch t handle fd req parsed ~body with
+      (* Satellite fix of §4g: an unexpected exception while serving
+         one request must cost that request's connection, not the
+         worker domain. *)
+      match dispatch t handle req parsed ~body with
       | r -> r
       | exception _ -> Drop
     in
     match result with
     | Exit_superseded | Exit_dead _ -> result
-    | Continue | Close | Drop -> if Supervisor.retire handle token then result else Exit_superseded)
+    | Respond _ | Respond_close _ | Drop ->
+      if Supervisor.retire handle token then result else Exit_superseded)
 
-let serve_connection t handle fd =
-  (try
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval_s;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
-   with Unix.Unix_error _ -> ());
-  let rec loop () =
-    match read_line t fd with
-    | Eof -> `Served
-    | Dropped ->
-      Metrics.connection_dropped t.metrics;
-      `Served
-    | Line line -> (
-      if String.trim line = "" then loop ()
-      else
-        match Protocol.parse_request line with
-        | Error msg ->
-          if send_response fd Protocol.Err ("protocol: " ^ msg) then loop ()
-          else begin
-            Metrics.connection_dropped t.metrics;
-            `Served
-          end
-        | Ok req -> (
-          (* An INGEST body is read before dispatch, whatever the
-             request's fate, so a rejected write leaves the connection
-             synchronized on the next request line. *)
-          let body =
-            match req with
-            | Protocol.Ingest { len; _ } ->
-              if len > max_body_bytes then `Oversized
-              else (
-                match read_body t fd len with
-                | Body b -> `Body b
-                | Body_dropped -> `Bad)
-            | _ -> `None
-          in
-          match body with
-          | `Bad ->
-            Metrics.connection_dropped t.metrics;
-            `Served
-          | `Oversized ->
-            (* The frame is too large to even read through; the only
-               way to resynchronize is to end the connection. *)
-            ignore
-              (send_response fd Protocol.Err
-                 (Printf.sprintf "ingest: %d-byte body exceeds the %d-byte frame cap"
-                    (match req with Protocol.Ingest { len; _ } -> len | _ -> 0)
-                    max_body_bytes));
-            `Served
-          | (`None | `Body _) as body -> (
-            let body = match body with `Body b -> Some b | `None -> None in
-            match dispatch_supervised t handle fd req ~body with
-            (* One request per connection once shutdown began: serve what
-               was in flight, then close instead of waiting for more. *)
-            | Continue when not (Atomic.get t.stopping) -> loop ()
-            | Continue | Close -> `Served
-            | Drop ->
-              Metrics.connection_dropped t.metrics;
-              `Served
-            | Exit_superseded -> `Superseded
-            | Exit_dead fp -> `Dead fp)))
-  in
-  let outcome = loop () in
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  outcome
-
-(* Shed one queue entry whose sojourn exceeded the deadline: tell the
-   client to back off, settle its accounting, and move on — a worker
-   never spends query execution on it. *)
-let shed_stale t (fd, _enqueued_ms) =
+(* Shed one queued job whose sojourn exceeded the deadline: tell the
+   client to back off and move on — a worker never spends query
+   execution on it.  The loop flushes the reject and closes. *)
+let shed_stale t (job : job) =
   Metrics.shed_queue_deadline t.metrics;
-  (try
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
-     let buf = Buffer.create 32 in
-     Protocol.write_response buf Protocol.Overloaded
-       (Protocol.retry_after_body (retry_after_hint_ms t));
-     write_all fd (Buffer.contents buf)
-   with Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Atomic.decr t.active
+  Eventloop.respond t.loop job.conn ~status:Protocol.Overloaded
+    ~body:(Protocol.retry_after_body (retry_after_hint_ms t))
+    ~close:true
 
-let pop_connection t =
+let pop_job t =
   match t.cfg.queue_deadline_ms with
-  | None -> Option.map fst (Admission.pop t.queue)
+  | None -> Admission.pop t.queue
   | Some bound ->
-    Option.map fst
-      (Admission.pop_until t.queue
-         ~fresh:(fun (_, enqueued_ms) -> Monotime.now_ms () -. enqueued_ms <= bound)
-         ~shed:(shed_stale t))
+    Admission.pop_until t.queue
+      ~fresh:(fun job -> Monotime.now_ms () -. job.enqueued_ms <= bound)
+      ~shed:(shed_stale t)
 
-let worker t handle () =
+(* Worker [i]: pop a job, publish it in the inflight slot, evaluate,
+   settle through the loop.  The slot is populated before the
+   heartbeat goes Busy and cleared only after a successful retire, so
+   whichever of worker and supervisor wins the retire race finds
+   exactly the settlement duty it owns. *)
+let worker t i handle () =
+  let slot = t.inflight.(i) in
   let rec loop () =
-    match pop_connection t with
+    match pop_job t with
     | None -> ()
-    | Some fd -> (
-      match serve_connection t handle fd with
-      | `Served ->
-        Atomic.decr t.active;
+    | Some job -> (
+      Atomic.set slot (Some job);
+      match dispatch_supervised t handle job.req ~body:job.body with
+      | Respond (status, body) ->
+        Atomic.set slot None;
+        Eventloop.respond t.loop job.conn ~status ~body ~close:false;
         loop ()
-      | `Superseded ->
-        (* The supervisor settled this connection's accounting when it
-           claimed the worker; the replacement is already running. *)
+      | Respond_close (status, body) ->
+        Atomic.set slot None;
+        Eventloop.respond t.loop job.conn ~status ~body ~close:true;
+        loop ()
+      | Drop ->
+        Atomic.set slot None;
+        Metrics.connection_dropped t.metrics;
+        Eventloop.drop t.loop job.conn;
+        loop ()
+      | Exit_superseded ->
+        (* The supervisor claimed this worker: it owns the slot's job
+           now (or already settled it); the replacement is running. *)
         ()
-      | `Dead fp -> Supervisor.mark_dead handle ~fingerprint:fp ~had_connection:true)
+      | Exit_dead fp ->
+        (* Leave the slot populated — the supervisor's scan claims the
+           dead worker and settles the job from it. *)
+        Supervisor.mark_dead handle ~fingerprint:fp ~had_connection:true)
   in
   try loop ()
   with _ ->
-    (* A crash outside any connection (nothing admitted to settle):
-       flag it so the supervisor restores pool capacity. *)
+    (* A crash outside any request (nothing in flight to settle): flag
+       it so the supervisor restores pool capacity. *)
     Supervisor.mark_dead handle ~fingerprint:None ~had_connection:false
 
 (* ------------------------------------------------------------------ *)
@@ -1158,12 +1057,17 @@ let supervision_loop t () =
       (fun (c : Supervisor.casualty) ->
         Metrics.worker_lost t.metrics;
         (* The lost domain is leaked — OCaml domains cannot be killed —
-           but its admitted connection must not leak admission
-           capacity.  Its fd stays with the lost domain (a wedged one
-           closes it when it notices it was superseded). *)
-        if c.had_connection then Atomic.decr t.active;
+           but its in-flight job must not leak its connection: claim
+           the job from the inflight slot (the lost worker's retire
+           already failed, so it cannot settle it too) and drop it
+           through the loop, which closes the fd and releases
+           admission. *)
+        (match Atomic.exchange t.inflight.(c.index) None with
+        | Some job -> Eventloop.drop t.loop job.conn
+        | None -> ());
+        ignore c.had_connection;
         let h = Supervisor.replace t.sup c.index in
-        t.domains.(c.index) <- Some (Domain.spawn (worker t h));
+        t.domains.(c.index) <- Some (Domain.spawn (worker t c.index h));
         Metrics.worker_respawned t.metrics)
       (Supervisor.scan t.sup ~now_ms:(Monotime.now_ms ()));
     (* The merge domain is supervised too: a death in the
@@ -1190,72 +1094,60 @@ let supervision_loop t () =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop and admission *)
+(* The event loop ↔ worker-pool seam *)
 
-let overloaded_reject t fd =
-  Metrics.connection_rejected t.metrics;
-  (try
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
-     let buf = Buffer.create 32 in
-     Protocol.write_response buf Protocol.Overloaded
-       (Protocol.retry_after_body (retry_after_hint_ms t));
-     write_all fd (Buffer.contents buf)
-   with Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+(* Request admission, on the loop domain: a parsed frame either enters
+   the bounded queue or is told OVERLOADED immediately — the loop
+   flushes the reject and closes, so an overloaded server still
+   answers in microseconds instead of leaving clients to hang. *)
+let on_request t conn req ~body =
+  let job = { conn; req; body; enqueued_ms = Monotime.now_ms () } in
+  match Admission.try_push t.queue job with
+  | `Admitted -> ()
+  | `Full | `Closed ->
+    Metrics.connection_rejected t.metrics;
+    Eventloop.respond t.loop conn ~status:Protocol.Overloaded
+      ~body:(Protocol.retry_after_body (retry_after_hint_ms t))
+      ~close:true
 
-let admit t fd =
-  match Failpoint.hit "server_accept" with
-  | exception Failpoint.Injected _ ->
-    Metrics.connection_dropped t.metrics;
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-  | () ->
-    if Atomic.get t.active >= t.cfg.max_connections then overloaded_reject t fd
-    else begin
-      (* Count before pushing so a racing worker's decrement cannot be
-         lost; undo on rejection. *)
-      Atomic.incr t.active;
-      match Admission.try_push t.queue (fd, Monotime.now_ms ()) with
-      | `Admitted -> Metrics.connection_admitted t.metrics
-      | `Full | `Closed ->
-        Atomic.decr t.active;
-        overloaded_reject t fd
-    end
-
-let accept_loop t =
-  while not (Atomic.get t.stopping) do
-    match Unix.select [ t.listen_fd ] [] [] 0.1 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.accept ~cloexec:true t.listen_fd with
-      | fd, _ -> admit t fd
-      | exception
-          Unix.Unix_error
-            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-        ())
-  done
+let callbacks t =
+  {
+    Eventloop.on_request = (fun conn req ~body -> on_request t conn req ~body);
+    on_admitted =
+      (fun () ->
+        Atomic.incr t.active;
+        Metrics.connection_admitted t.metrics);
+    on_rejected =
+      (fun () ->
+        Metrics.connection_rejected t.metrics;
+        Protocol.retry_after_body (retry_after_hint_ms t));
+    on_dropped = (fun () -> Metrics.connection_dropped t.metrics);
+    on_closed = (fun () -> Atomic.decr t.active);
+  }
 
 let serve t =
   (* A client closing mid-response must not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Array.iteri
-    (fun i _ -> t.domains.(i) <- Some (Domain.spawn (worker t (Supervisor.occupant t.sup i))))
+    (fun i _ -> t.domains.(i) <- Some (Domain.spawn (worker t i (Supervisor.occupant t.sup i))))
     t.domains;
   Option.iter (fun rt -> spawn_merge_domain t rt) t.ingest;
   Option.iter (fun crt -> spawn_corpus_merge_domain t crt) t.corpus;
   let supervisor =
     if t.cfg.supervise then Some (Domain.spawn (supervision_loop t)) else None
   in
-  accept_loop t;
-  (* Shutdown: no more accepts; refuse new admissions and let the
-     workers drain what was already admitted.  The supervision domain
-     is joined first so no respawn races the worker join; workers lost
+  Eventloop.run t.loop (callbacks t);
+  (* The loop returned: every admitted connection is settled, so no
+     job remains queued or in flight.  Close the queue so the workers'
+     blocking pops return, then join.  The supervision domain is
+     joined first so no respawn races the worker join; workers lost
      before shutdown were superseded (their domains are leaked, their
      replacements are in [t.domains]) and exit on their own once their
      wedge notices the stop flag.  The merge domain is joined after
      the supervisor (its last respawn, if any, is then in
      [merge_domain]); the store closes last — the WAL it leaves behind
      replays on the next start. *)
+  Atomic.set t.stopping true;
   Admission.close t.queue;
   Option.iter Domain.join supervisor;
   Array.iter (Option.iter Domain.join) t.domains;
@@ -1269,4 +1161,5 @@ let serve t =
     (match Atomic.get crt.cmerge_domain with Some d -> Domain.join d | None -> ());
     Corpus.close crt.corpus
   | None -> ());
+  Eventloop.dispose t.loop;
   try Unix.close t.listen_fd with Unix.Unix_error _ -> ()

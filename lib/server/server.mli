@@ -1,13 +1,18 @@
 (** The [flexpath serve] engine: a long-lived multi-domain TCP query
     server over one shared, immutable {!Flexpath.Env}.
 
-    Architecture (DESIGN.md §4e): the calling domain runs the accept
-    loop; accepted connections pass through admission control (a
-    {!Admission} bounded queue plus a total-connections cap — over
-    either limit the client is told [OVERLOADED] immediately and
-    disconnected, never left to hang) and are then served end-to-end by
-    one of a pool of worker domains speaking {!Protocol}.  All workers
-    read the same environment snapshot through an [Atomic.t]; a
+    Architecture (DESIGN.md §4e, §4j): the calling domain runs the
+    {!Eventloop} — a single poll/epoll-driven I/O domain owning
+    accept, request reassembly, response flushing and every
+    idle/read/write deadline, so an idle connection costs an fd and a
+    buffer rather than a domain.  Fully parsed requests pass through
+    admission control (an {!Admission} bounded queue, plus a
+    total-connections cap at accept — over either limit the client is
+    told [OVERLOADED] immediately and disconnected, never left to
+    hang) and are evaluated by a pool of worker domains speaking
+    {!Protocol}; workers never touch a socket, they settle each
+    request back through the loop.  All workers read the same
+    environment snapshot through an [Atomic.t]; a
     [RELOAD] verifies the new snapshot's checksums {e before} swapping
     the atomic, so in-flight queries keep the environment they started
     with (the old value stays live until its last request drains, then
@@ -23,9 +28,10 @@
 
     Graceful shutdown ([SHUTDOWN], or {!stop} — which the CLI wires to
     SIGTERM/SIGINT): the listener stops accepting, already-admitted
-    connections drain, workers join, {!serve} returns.  The
+    connections drain (one final response each; idle ones get at most
+    a second), workers join, {!serve} returns.  The
     [server_accept]/[server_read]/[server_worker] failpoints
-    deterministically exercise the accept-loop, connection-reader and
+    deterministically exercise the accept, connection-read and
     dispatcher error paths. *)
 
 type ingest_config = {
@@ -148,9 +154,9 @@ val port : t -> int
 (** The actually bound port — the ephemeral choice when [cfg.port] was 0. *)
 
 val serve : t -> unit
-(** Runs the accept loop in the calling domain and the worker pool in
+(** Runs the event loop in the calling domain and the worker pool in
     spawned domains; returns after a graceful shutdown completes (all
-    admitted connections served, workers joined, listener closed).
+    admitted connections settled, workers joined, listener closed).
     Call at most once per {!t}. *)
 
 val stop : t -> unit

@@ -217,6 +217,38 @@ let test_sharded_equals_plain () =
                 fp_plain (corpus_fingerprint c))))
     [ 1; 4 ]
 
+let test_parallel_scatter_equals_sequential () =
+  (* The taskpool scatter (probe_domains > 0) must be answer-invisible:
+     healthy merged results are byte-identical — float bits, ordering,
+     tie-breaks — to the strictly sequential scatter over the same
+     on-disk corpus.  The threshold-algorithm floor is shared across
+     concurrent probes, so a stale floor may only reduce pruning. *)
+  let docs = bodies 12 1100 in
+  let shards = 4 in
+  with_corpus_paths ~shards (fun prefix ->
+      (* Persist once; both corpora then open the same on-disk state
+         (a reopen reconstructs cross-shard arrival order, so comparing
+         pre-restart against post-restart would conflate that with the
+         scatter strategy under test). *)
+      (let c = ok_exn "open to fill" (Corpus.open_corpus ~shards ~prefix ()) in
+       Fun.protect ~finally:(fun () -> Corpus.close c) (fun () -> fill c docs));
+      let fp_sequential =
+        let c = ok_exn "open sequential" (Corpus.open_corpus ~shards ~prefix ()) in
+        Fun.protect
+          ~finally:(fun () -> Corpus.close c)
+          (fun () ->
+            check_int "sequential scatter" 1 (Corpus.probe_parallelism c);
+            corpus_fingerprint c)
+      in
+      let c =
+        ok_exn "open parallel" (Corpus.open_corpus ~probe_domains:3 ~shards ~prefix ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          check_int "parallel scatter" (min 3 (shards - 1) + 1) (Corpus.probe_parallelism c);
+          check_string "parallel scatter == sequential" fp_sequential (corpus_fingerprint c)))
+
 let test_upsert_delete_equivalence () =
   (* Upserts move documents to the end of the global arrival order and
      deletes remove them — same as the unsharded corpus. *)
@@ -522,6 +554,8 @@ let () =
         [
           Alcotest.test_case "sharded == plain single-env (1 and 4 shards)" `Slow
             test_sharded_equals_plain;
+          Alcotest.test_case "parallel scatter == sequential scatter" `Slow
+            test_parallel_scatter_equals_sequential;
           Alcotest.test_case "upsert/delete keeps equivalence" `Slow test_upsert_delete_equivalence;
           Alcotest.test_case "auto ids route and persist" `Quick test_auto_ids_route_and_persist;
           Alcotest.test_case "threshold-algorithm skip is exact" `Quick test_threshold_skip_exact;

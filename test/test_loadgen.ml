@@ -1,0 +1,199 @@
+(* The load generator and its persisted artifact (DESIGN.md §4j):
+
+   - a real open-loop run against an in-process server completes, its
+     counters add up (sent = completed + dropped) and percentiles are
+     ordered;
+   - the emitted BENCH_serve.json round-trips through the JSON
+     emitter/parser and passes the schema gate [bench check] enforces;
+   - the gate actually rejects: a missing percentile key, an empty
+     scales array and malformed JSON all fail with a pointed error;
+   - the JSON module itself round-trips escapes and numbers. *)
+
+module Loadgen = Flexpath_loadgen.Loadgen
+module Json = Flexpath_loadgen.Json
+module Server = Flexpath_server.Server
+module Env = Flexpath.Env
+module Error = Flexpath.Error
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what (Error.to_string e)
+
+let with_server cfg f =
+  let env = Env.make (Xmark.Articles.doc ~seed:7 ~count:20 ()) in
+  let srv = ok_exn "create" (Server.create cfg ~env) in
+  let d = Domain.spawn (fun () -> Server.serve srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () -> f srv)
+
+(* ------------------------------------------------------------------ *)
+
+let tiny_workload =
+  {
+    Loadgen.default_workload with
+    rate = 80.0;
+    duration_s = 1.0;
+    warmup_s = 0.3;
+    ping_fraction = 0.3;
+  }
+
+let test_run_and_artifact () =
+  with_server { Server.default_config with port = 0; workers = 2 } (fun srv ->
+      let port = Server.port srv in
+      let results =
+        List.map
+          (fun connections ->
+            match Loadgen.run ~host:"127.0.0.1" ~port ~connections tiny_workload with
+            | Ok r -> r
+            | Error msg -> Alcotest.failf "loadgen run (%d conns): %s" connections msg)
+          [ 2; 8 ]
+      in
+      List.iter
+        (fun (r : Loadgen.result) ->
+          check_bool "some requests measured" true (r.sent > 0);
+          check_int "conservation: sent = completed + dropped" r.sent (r.completed + r.dropped);
+          check_int "samples = ok + partial" r.samples (r.ok + r.partial);
+          check_bool "mostly served" true (r.ok > 0);
+          check_bool "percentiles ordered" true
+            (r.p50_ms <= r.p90_ms && r.p90_ms <= r.p99_ms && r.p99_ms <= r.p999_ms
+           && r.p999_ms <= r.max_ms))
+        results;
+      (* The artifact round-trips and passes the gate. *)
+      let report =
+        Loadgen.report
+          ~config:[ ("mode", Json.Str "test"); ("rate_rps", Json.Num tiny_workload.Loadgen.rate) ]
+          ~results
+      in
+      let text = Json.to_string report in
+      let parsed =
+        match Json.parse text with
+        | Ok v -> v
+        | Error msg -> Alcotest.failf "emitted artifact does not parse: %s" msg
+      in
+      (match Loadgen.check_report parsed with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "emitted artifact fails its own gate: %s" msg);
+      (* Required keys, spelled out. *)
+      let scales = Json.to_list (Option.get (Json.member "scales" parsed)) in
+      check_int "one scale entry per run" 2 (List.length scales);
+      List.iter
+        (fun entry ->
+          let lat = Option.get (Json.member "latency_ms" entry) in
+          List.iter
+            (fun key ->
+              check_bool (key ^ " present and numeric") true
+                (Option.bind (Json.member key lat) Json.to_float <> None))
+            [ "p50"; "p90"; "p99"; "p999" ];
+          check_bool "goodput numeric" true
+            (Option.bind (Json.member "goodput_rps" entry) Json.to_float <> None))
+        scales;
+      check_bool "summary has baseline ratio" true
+        (Option.bind (Json.member "summary" parsed) (Json.member "top_p99_over_baseline") <> None))
+
+(* ------------------------------------------------------------------ *)
+
+let minimal_valid =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "scales",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("connections", Json.Num 8.0);
+                ("goodput_rps", Json.Num 100.0);
+                ( "latency_ms",
+                  Json.Obj
+                    [ ("p50", Json.Num 1.0); ("p99", Json.Num 2.0); ("p999", Json.Num 3.0) ] );
+              ];
+          ] );
+    ]
+
+let expect_reject what json affix =
+  match Loadgen.check_report json with
+  | Ok () -> Alcotest.failf "%s was accepted" what
+  | Error msg ->
+    check_bool
+      (Printf.sprintf "%s error mentions %s (got %S)" what affix msg)
+      true
+      (let n = String.length affix and m = String.length msg in
+       let rec go i = i + n <= m && (String.sub msg i n = affix || go (i + 1)) in
+       n = 0 || go 0)
+
+let test_schema_gate () =
+  (match Loadgen.check_report minimal_valid with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "minimal valid artifact rejected: %s" msg);
+  expect_reject "empty scales" (Json.Obj [ ("schema_version", Json.Num 1.0); ("scales", Json.List []) ])
+    "non-empty";
+  expect_reject "missing schema_version" (Json.Obj [ ("scales", Json.List [ Json.Obj [] ]) ])
+    "schema_version";
+  (let dropped_p999 =
+     Json.Obj
+       [
+         ("schema_version", Json.Num 1.0);
+         ( "scales",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ("connections", Json.Num 8.0);
+                   ("goodput_rps", Json.Num 100.0);
+                   ("latency_ms", Json.Obj [ ("p50", Json.Num 1.0); ("p99", Json.Num 2.0) ]);
+                 ];
+             ] );
+       ]
+   in
+   expect_reject "missing p999" dropped_p999 "p999");
+  match Json.parse "{\"scales\": [" with
+  | Ok _ -> Alcotest.fail "malformed JSON parsed"
+  | Error msg -> check_bool "parse error carries offset" true (msg <> "")
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\te\r<>&");
+        ("n", Json.Num 1234.5678);
+        ("i", Json.Num 42.0);
+        ("neg", Json.Num (-0.25));
+        ("b", Json.Bool true);
+        ("nil", Json.Null);
+        ("l", Json.List [ Json.Num 1.0; Json.Str ""; Json.Obj [] ]);
+      ]
+  in
+  (* Pretty and compact renderings both round-trip structurally. *)
+  List.iter
+    (fun indent ->
+      match Json.parse (Json.to_string ~indent v) with
+      | Ok v' -> check_bool (Printf.sprintf "round-trip indent=%d" indent) true (v = v')
+      | Error msg -> Alcotest.failf "round-trip indent=%d: %s" indent msg)
+    [ 0; 2 ];
+  (* Escapes parse back to the bytes they encode. *)
+  (match Json.parse "\"a\\u0041\\n\\\"\"" with
+  | Ok (Json.Str s) -> check_string "escape decoding" "aA\n\"" s
+  | Ok _ | Error _ -> Alcotest.fail "escape string did not parse");
+  match Json.parse "[1, 2.5, -3e2, true, false, null]" with
+  | Ok (Json.List [ Json.Num 1.0; Json.Num 2.5; Json.Num -300.0; Json.Bool true; Json.Bool false; Json.Null ])
+    -> ()
+  | Ok other -> Alcotest.failf "number array mis-parsed: %s" (Json.to_string ~indent:0 other)
+  | Error msg -> Alcotest.failf "number array: %s" msg
+
+let () =
+  Alcotest.run "loadgen"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "open-loop run emits a valid artifact" `Quick test_run_and_artifact;
+          Alcotest.test_case "schema gate accepts and rejects" `Quick test_schema_gate;
+        ] );
+      ("json", [ Alcotest.test_case "emit/parse round-trip" `Quick test_json_roundtrip ]);
+    ]

@@ -268,17 +268,35 @@ let test_budget_override () =
 (* Admission control *)
 
 let test_overload_fast_reject () =
-  let cfg = { Server.default_config with workers = 1; queue_depth = 1 } in
+  (* Under the event loop an idle connection costs nothing — requests,
+     not connections, occupy workers.  Saturate deterministically:
+     [a]'s request wedges the only worker, [b]'s request fills the
+     queue, and [c]'s request must then be told OVERLOADED immediately
+     rather than hang.  Supervision later clears the wedge so [b]'s
+     queued request still drains. *)
+  let cfg =
+    {
+      Server.default_config with
+      workers = 1;
+      queue_depth = 1;
+      hard_wall_ms = 1000.0;
+      quarantine_strikes = 0;
+    }
+  in
   with_server ~cfg (make_env ()) (fun srv ->
       let port = Server.port srv in
-      (* [a] occupies the only worker (the served PING proves it was
-         popped); [b] then fills the queue; [c] must be told OVERLOADED
-         immediately rather than hang. *)
+      (match Failpoint.activate_n "worker_wedge" 1 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
       let a = connect port in
-      let status, _ = request_exn a "PING" in
-      check_string "worker is busy with a" "OK" (Protocol.status_to_string status);
+      send a query_line;
+      (* Let the worker pop and wedge on [a]'s request before [b]
+         queues, so the roles cannot swap. *)
+      Unix.sleepf 0.2;
       let b = connect port in
+      send b "PING";
       let c = connect port in
+      send c "PING";
       (match recv c with
       | Some (Protocol.Overloaded, _) -> ()
       | Some (status, _) ->
@@ -286,14 +304,21 @@ let test_overload_fast_reject () =
       | None -> Alcotest.fail "expected an OVERLOADED response, got EOF");
       check_bool "rejected connection is closed" true (recv c = None);
       close c;
-      (* Releasing the worker lets the queued connection be served. *)
+      (* The supervisor claims the wedged worker ([a]'s connection is
+         dropped) and its replacement drains [b]'s queued request. *)
+      check_bool "wedged connection is closed unanswered" true (recv a = None);
       close a;
-      let status, _ = request_exn b "PING" in
-      check_string "queued connection drains" "OK" (Protocol.status_to_string status);
+      (match recv b with
+      | Some (Protocol.Ok_, body) -> check_string "queued connection drains" "pong" body
+      | Some (status, _) ->
+        Alcotest.fail ("expected the queued PING served, got " ^ Protocol.status_to_string status)
+      | None -> Alcotest.fail "queued connection was dropped instead of served");
       let status, body = request_exn b "STATS" in
       check_string "stats ok" "OK" (Protocol.status_to_string status);
       check_bool "the reject was counted" true
         (has_infix ~affix:"connections_rejected: 1" body);
+      check_bool "the loop gauges are rendered" true
+        (has_infix ~affix:"open_connections:" body && has_infix ~affix:"loop_lag_ms" body);
       close b)
 
 (* ------------------------------------------------------------------ *)
@@ -631,16 +656,25 @@ let test_queue_deadline_shed () =
       workers = 1;
       queue_depth = 4;
       queue_deadline_ms = Some 100.0;
+      hard_wall_ms = 400.0;
+      quarantine_strikes = 0;
     }
   in
   with_server ~cfg (make_env ()) (fun srv ->
       let port = Server.port srv in
-      (* [a] occupies the only worker; [b] queues and goes stale. *)
+      (* [a]'s request wedges the only worker; [b]'s request queues and
+         goes stale behind it.  The replacement worker spawned after
+         the hard wall finds [b]'s job over its sojourn bound and sheds
+         it instead of serving it. *)
+      (match Failpoint.activate_n "worker_wedge" 1 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
       let a = connect port in
-      let status, _ = request_exn a "PING" in
-      check_string "worker is busy with a" "OK" (Protocol.status_to_string status);
+      send a query_line;
+      Unix.sleepf 0.15;
       let b = connect port in
-      Unix.sleepf 0.25;
+      send b "PING";
+      check_bool "wedged connection is closed unanswered" true (recv a = None);
       close a;
       (match recv b with
       | Some (Protocol.Overloaded, body) -> (
@@ -703,22 +737,29 @@ let test_client_send_retry () =
 (* OVERLOADED is retried with backoff honoring the server's hint: once
    the saturation clears, the same run completes successfully. *)
 let test_client_overload_retry () =
-  let cfg = { Server.default_config with workers = 1; queue_depth = 1 } in
+  let cfg =
+    {
+      Server.default_config with
+      workers = 1;
+      queue_depth = 1;
+      hard_wall_ms = 400.0;
+      quarantine_strikes = 0;
+    }
+  in
   with_server ~cfg (make_env ()) (fun srv ->
       let port = Server.port srv in
-      (* [a] holds the only worker, [b] fills the queue: the client's
-         first attempt is fast-rejected.  A releaser domain clears the
-         saturation while the client is backing off. *)
+      (* [a]'s request wedges the only worker, [b]'s request fills the
+         queue: the client's first attempt is fast-rejected.
+         Supervision clears the saturation (replacement worker drains
+         [b]) while the client is backing off. *)
+      (match Failpoint.activate_n "worker_wedge" 1 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
       let a = connect port in
-      let status, _ = request_exn a "PING" in
-      check_string "worker held" "OK" (Protocol.status_to_string status);
+      send a query_line;
+      Unix.sleepf 0.2;
       let b = connect port in
-      let releaser =
-        Domain.spawn (fun () ->
-            Unix.sleepf 0.3;
-            close a;
-            close b)
-      in
+      send b "PING";
       let retry =
         {
           Client.retries = 8;
@@ -737,7 +778,9 @@ let test_client_overload_retry () =
         check_string "served body" "pong" body
       | Ok _ -> Alcotest.fail "expected exactly one response"
       | Error (f, _) -> Alcotest.fail (Client.failure_to_string f));
-      Domain.join releaser;
+      check_bool "wedged connection is closed unanswered" true (recv a = None);
+      close a;
+      close b;
       check_bool "the overloaded attempts were counted as retries" true
         ((snapshot srv).retries >= 1))
 
@@ -1600,6 +1643,93 @@ let test_shards_verb_unsharded () =
       check_bool "error names the flag" true (has_infix ~affix:"--shards" body);
       close c)
 
+(* ------------------------------------------------------------------ *)
+(* The event loop at scale (DESIGN.md §4j): a thousand mostly-idle
+   connections against a two-worker pool — each costs the server an fd
+   and a buffer, never a domain — while interleaved requests keep
+   getting correct per-connection responses, including under injected
+   read faults and a wedged worker. *)
+
+let stats_gauge body key =
+  let prefix = key ^ ": " in
+  List.find_map
+    (fun line ->
+      if has_prefix ~prefix line then
+        int_of_string_opt (String.sub line (String.length prefix) (String.length line - String.length prefix))
+      else None)
+    (String.split_on_char '\n' body)
+
+let test_thousand_idle_connections () =
+  ignore (Flexpath_server.Poller.raise_nofile 8192);
+  let n = 1024 in
+  let cfg =
+    {
+      Server.default_config with
+      workers = 2;
+      queue_depth = 64;
+      max_connections = n + 32;
+      hard_wall_ms = 1000.0;
+      quarantine_strikes = 0;
+    }
+  in
+  with_server ~cfg (make_env ()) (fun srv ->
+      let port = Server.port srv in
+      let conns = Array.init n (fun _ -> connect port) in
+      check_bool "all connections admitted" true
+        (wait_for ~timeout_ms:20_000.0 (fun () -> Server.active_connections srv >= n));
+      (* Interleaved batches from connections scattered across the pool:
+         every response must come back on the connection that asked —
+         pings get pong, queries get answers. *)
+      for batch = 0 to 5 do
+        let idxs = List.init 8 (fun i -> ((batch * 131) + (i * 127)) mod n) in
+        List.iter
+          (fun i ->
+            if i mod 2 = 0 then send conns.(i) "PING" else send conns.(i) query_line)
+          idxs;
+        List.iter
+          (fun i ->
+            match recv conns.(i) with
+            | None -> Alcotest.fail (Printf.sprintf "conn %d dropped mid-batch" i)
+            | Some (status, body) ->
+              check_string
+                (Printf.sprintf "conn %d status" i)
+                "OK" (Protocol.status_to_string status);
+              if i mod 2 = 0 then check_string (Printf.sprintf "conn %d pong" i) "pong" body
+              else check_bool (Printf.sprintf "conn %d answers" i) true (body <> ""))
+          idxs
+      done;
+      (* The STATS gauges see the pool: >= n open connections, and the
+         loop-lag reservoir has samples. *)
+      let _, stats_body = request_exn conns.(7) "STATS" in
+      (match stats_gauge stats_body "open_connections" with
+      | None -> Alcotest.fail "open_connections gauge missing from STATS"
+      | Some open_conns -> check_bool "open_connections >= pool" true (open_conns >= n));
+      check_bool "loop lag gauge present" true (has_infix ~affix:"loop_lag_ms" stats_body);
+      (* Chaos 1: injected read faults drop exactly the connections they
+         hit; the rest of the pool is untouched. *)
+      arm_n "server_read" 2;
+      send conns.(100) "PING";
+      check_bool "faulted conn 100 dropped" true (recv conns.(100) = None);
+      send conns.(200) "PING";
+      check_bool "faulted conn 200 dropped" true (recv conns.(200) = None);
+      let status, body = request_exn conns.(300) "PING" in
+      check_string "pool survives read faults" "OK" (Protocol.status_to_string status);
+      check_string "pong after read faults" "pong" body;
+      (* Chaos 2: a wedged worker is declared lost within the hard wall;
+         its connection is dropped, the replacement keeps serving. *)
+      let before = (snapshot srv).respawned in
+      arm_n "worker_wedge" 1;
+      send conns.(400) query_line;
+      check_bool "replacement spawned" true
+        (wait_for (fun () -> (snapshot srv).respawned = before + 1));
+      check_bool "wedged conn dropped" true (recv conns.(400) = None);
+      let status, body = request_exn conns.(500) query_line in
+      check_string "replacement serves" "OK" (Protocol.status_to_string status);
+      check_bool "replacement answers" true (body <> "");
+      Array.iter close conns;
+      check_bool "pool drains to zero" true
+        (wait_for ~timeout_ms:20_000.0 (fun () -> Server.active_connections srv = 0)))
+
 let () =
   Alcotest.run "server"
     [
@@ -1669,6 +1799,11 @@ let () =
         ] );
       ( "ingestion-chaos",
         [ Alcotest.test_case "mixed query+write soak" `Slow test_ingest_chaos_soak ] );
+      ( "eventloop",
+        [
+          Alcotest.test_case "a thousand idle connections cost fds, not domains" `Quick
+            test_thousand_idle_connections;
+        ] );
       ( "sharding",
         [
           Alcotest.test_case "scatter-gather lifecycle over the wire" `Quick test_shard_wire;
