@@ -1058,6 +1058,87 @@ let abl_shard ~quick () =
   close_out oc;
   Printf.printf "  [artifact] BENCH_shard.json written\n%!"
 
+(* Holistic twig join (DESIGN.md §4k): the TwigStack-style physical
+   operator against the binary structural-join pipeline, on identical
+   plans returning identical answers.  Exact conjunctive plans take the
+   operator's fast path (answers straight off the solution streams);
+   relaxed-but-conjunctive plans still twig-filter before enumerating;
+   plans with optional specs fall back to the pipeline, so their row
+   doubles as a cost-of-selection control. *)
+let abl_twig ~quick () =
+  let mb = if quick then 2.0 else 100.0 in
+  let env = env_for_mb mb in
+  header "Ablation: holistic twig join"
+    (Printf.sprintf
+       "Binary pipeline vs holistic twig operator, same plans (%gMB); time in ms" mb)
+    [ "binary"; "holistic"; "speedup"; "stream-elems" ];
+  let bench_row name q enc =
+    let penv = Env.penalty_env env q in
+    let eenv = Env.exec_env env penv in
+    let strategy = Joins.Exec.exact_strategy in
+    let m = Joins.Exec.fresh_metrics () in
+    let answers =
+      Joins.Exec.run ~metrics:m ~executor:Joins.Exec.Auto eenv enc strategy
+    in
+    let _, tb =
+      time_median (fun () -> Joins.Exec.run ~executor:Joins.Exec.Binary eenv enc strategy)
+    in
+    let _, th =
+      time_median (fun () -> Joins.Exec.run ~executor:Joins.Exec.Auto eenv enc strategy)
+    in
+    let speedup = if th > 0.0 then tb /. th else 0.0 in
+    row name
+      [
+        ms tb;
+        ms th;
+        Printf.sprintf "%.2fx" speedup;
+        string_of_int m.Joins.Exec.stream_elements;
+      ];
+    Printf.sprintf
+      "    { \"query\": %S, \"binary_ms\": %.3f, \"holistic_ms\": %.3f, \"speedup\": %.3f,\n\
+      \      \"holistic_runs\": %d, \"fast_path\": %b, \"stream_elements\": %d, \"answers\": %d }"
+      name tb th speedup m.Joins.Exec.holistic_runs
+      (m.Joins.Exec.holistic_fast_paths > 0)
+      m.Joins.Exec.stream_elements (List.length answers)
+  in
+  let cells = ref [] in
+  let emit name q enc = cells := bench_row name q enc :: !cells in
+  (* Q1-Q3 exact plans: the paper's workload, where the operator must win *)
+  List.iter
+    (fun (name, qs) ->
+      let q = Xpath.parse_exn qs in
+      emit name q (Joins.Encoded.of_ops_exn q []))
+    queries;
+  (* the deepest still-conjunctive relaxation of Q3 (twig-filtered but
+     no fast path) and the first non-conjunctive one (falls back) *)
+  let q3 = Xpath.parse_exn q3_str in
+  let penv = Env.penalty_env env q3 in
+  let chain = Relax.Space.sequence ~max_steps:32 penv in
+  let encs =
+    List.map (fun e -> Joins.Encoded.of_ops_exn q3 e.Relax.Space.ops) chain
+  in
+  (match List.filter Joins.Twig.applicable encs with
+  | [] -> ()
+  | conj -> emit "Q3-relaxed" q3 (List.nth conj (List.length conj - 1)));
+  (match List.find_opt (fun e -> not (Joins.Twig.applicable e)) encs with
+  | None -> ()
+  | Some enc -> emit "Q3-fallback" q3 enc);
+  let result =
+    Printf.sprintf
+      "{\n\
+      \  \"schema_version\": 1,\n\
+      \  \"bench\": \"twig\",\n\
+      \  \"quick\": %b,\n\
+      \  \"mb\": %g,\n\
+      \  \"series\": [\n%s\n  ]\n}\n"
+      quick mb
+      (String.concat ",\n" (List.rev !cells))
+  in
+  let oc = open_out "BENCH_twig.json" in
+  output_string oc result;
+  close_out oc;
+  Printf.printf "  [artifact] BENCH_twig.json written\n%!"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates. *)
 
@@ -1128,6 +1209,7 @@ let all_figures =
     ("abl_supervision", abl_supervision);
     ("abl_ingest", abl_ingest);
     ("abl_shard", abl_shard);
+    ("abl_twig", abl_twig);
   ]
 
 let () =

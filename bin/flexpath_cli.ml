@@ -1223,19 +1223,24 @@ let bench_check_cmd =
         Printf.eprintf "error: %s: %s\n" path msg;
         exit_usage
       | Ok () ->
-        let scales =
+        let count key =
           match Result.to_option (Ljson.parse text) with
-          | Some json -> List.length (Ljson.to_list (Option.value ~default:Ljson.Null (Ljson.member "scales" json)))
+          | Some json ->
+            List.length (Ljson.to_list (Option.value ~default:Ljson.Null (Ljson.member key json)))
           | None -> 0
         in
-        Printf.printf "%s: ok (%d scales)\n" path scales;
+        (match count "scales" with
+        | 0 -> Printf.printf "%s: ok (%d series entries)\n" path (count "series")
+        | n -> Printf.printf "%s: ok (%d scales)\n" path n);
         0)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Validate a bench artifact's schema: version, non-empty scales, goodput and \
-          p50/p99/p999 on every scale.  Exit 0 when well-formed; CI gates on this.")
+         "Validate a bench artifact's schema.  Serve artifacts need a version, non-empty scales, \
+          goodput and p50/p99/p999 on every scale; twig ablation artifacts (bench = \"twig\") a \
+          non-empty series with per-query binary/holistic timings.  Exit 0 when well-formed; CI \
+          gates on this.")
     Term.(const run $ file_arg)
 
 let bench_cmd =

@@ -178,9 +178,9 @@ let truncation_bound scheme penv last_completed =
   | Some entry -> Float.min (max_total scheme penv) (unseen_bound scheme penv entry)
   | None -> max_total scheme penv
 
-let evaluate ?metrics ?cancel env penv orig ops strategy =
+let evaluate ?metrics ?cancel ?executor env penv orig ops strategy =
   let enc = Joins.Encoded.of_ops_exn ~hierarchy:(Relax.Penalty.hierarchy penv) orig ops in
-  Joins.Exec.run ?metrics ?cancel (Env.exec_env env penv) enc strategy
+  Joins.Exec.run ?metrics ?cancel ?executor (Env.exec_env env penv) enc strategy
   |> List.map Answer.of_exec
 
 (* ------------------------------------------------------------------ *)
@@ -223,7 +223,7 @@ let encoded_entry p i =
     Atomic.set p.encoded.(i) (Some enc);
     enc
 
-let evaluate_entry ?metrics ?cancel env p i strategy =
+let evaluate_entry ?metrics ?cancel ?executor env p i strategy =
   let enc = encoded_entry p i in
-  Joins.Exec.run ?metrics ?cancel (Env.exec_env env p.penv) enc strategy
+  Joins.Exec.run ?metrics ?cancel ?executor (Env.exec_env env p.penv) enc strategy
   |> List.map Answer.of_exec

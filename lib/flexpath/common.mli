@@ -67,6 +67,7 @@ val truncation_bound :
 val evaluate :
   ?metrics:Joins.Exec.metrics ->
   ?cancel:(int -> bool) ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   Relax.Penalty.t ->
   Tpq.Query.t ->
@@ -74,9 +75,10 @@ val evaluate :
   Joins.Exec.strategy ->
   Answer.t list
 (** Evaluate the query obtained by applying [ops] to the original,
-    scored against the original's closure.  [cancel] is threaded to
-    {!Joins.Exec.run}; when it aborts, {!Joins.Exec.Cancelled} escapes
-    to the calling algorithm. *)
+    scored against the original's closure.  [cancel] and [executor]
+    (physical operator selection, default [Auto]) are threaded to
+    {!Joins.Exec.run}; when [cancel] aborts, {!Joins.Exec.Cancelled}
+    escapes to the calling algorithm. *)
 
 (** {2 Reusable evaluation plans}
 
@@ -110,6 +112,7 @@ val encoded_entry : plan -> int -> Joins.Encoded.t
 val evaluate_entry :
   ?metrics:Joins.Exec.metrics ->
   ?cancel:(int -> bool) ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   plan ->
   int ->

@@ -557,9 +557,10 @@ let budget_class = function
    write to, loss of, or recovery of {e any} shard changes the vector
    and therefore misses — a cached merged answer can never outlive a
    change to one of the shards it was gathered from. *)
-let answer_key t ~algorithm ~scheme ~k ~budget q =
-  Printf.sprintf "%s|%s|k=%d|b=%s|g=%s" (algorithm_to_string algorithm)
+let answer_key t ~algorithm ~scheme ~k ~budget ~executor q =
+  Printf.sprintf "%s|%s|k=%d|b=%s|x=%s|g=%s" (algorithm_to_string algorithm)
     (Ranking.to_string scheme) k (budget_class budget)
+    (Joins.Exec.executor_to_string executor)
     ((Atomic.get t.view).v_gen_vector)
   ^ "|" ^ Tpq.Query.canonical_key q
 
@@ -594,11 +595,11 @@ let doc_relative full =
     | None -> ""
     | Some j -> String.sub full (j + 1) (String.length full - j - 1))
 
-let run_algo algorithm ~guard ~plan ~floor env ~scheme ~k q =
+let run_algo algorithm ~guard ~plan ~floor ~executor env ~scheme ~k q =
   match algorithm with
-  | DPO -> Dpo.run ~guard ~plan ~floor env ~scheme ~k q
-  | SSO -> Sso.run ~guard ~plan ~floor env ~scheme ~k q
-  | Hybrid -> Hybrid.run ~guard ~plan ~floor env ~scheme ~k q
+  | DPO -> Dpo.run ~guard ~plan ~floor ~executor env ~scheme ~k q
+  | SSO -> Sso.run ~guard ~plan ~floor ~executor env ~scheme ~k q
+  | Hybrid -> Hybrid.run ~guard ~plan ~floor ~executor env ~scheme ~k q
 
 let strike t s reason =
   with_lock t.reg_lock (fun () ->
@@ -613,8 +614,8 @@ let clear_strikes t s =
   if s.strikes > 0 then with_lock t.reg_lock (fun () -> s.strikes <- 0)
 
 let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(use_cache = true)
-    ~k q =
-  let akey = lazy (answer_key t ~algorithm ~scheme ~k ~budget q) in
+    ?(executor = Joins.Exec.Auto) ~k q =
+  let akey = lazy (answer_key t ~algorithm ~scheme ~k ~budget ~executor q) in
   match
     if use_cache then Qcache.find_ext t.cache (Lazy.force akey) else None
   with
@@ -718,7 +719,7 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
             else
               match
                 Failpoint.hit "shard_probe";
-                run_algo algorithm ~guard ~plan ~floor:floor_fn senv ~scheme ~k q
+                run_algo algorithm ~guard ~plan ~floor:floor_fn ~executor senv ~scheme ~k q
               with
               | r ->
                 let doc = senv.Env.doc in

@@ -189,6 +189,7 @@ val query :
   ?algorithm:algorithm ->
   ?scheme:Ranking.scheme ->
   ?use_cache:bool ->
+  ?executor:Joins.Exec.executor ->
   k:int ->
   Tpq.Query.t ->
   (result, Error.t) Stdlib.result
@@ -196,7 +197,9 @@ val query :
     span all probes).  Answer- and plan-tier cache keys embed the full
     generation vector, so any write to, loss of, or recovery of any
     shard invalidates them; only [Complete], non-degraded, fully
-    served results are cached. *)
+    served results are cached.  [executor] selects the physical join
+    operator used by every probe (default [Auto]); merged results are
+    byte-identical across executors. *)
 
 val answer_line : answer -> string
 (** ["<doc-id>/<relpath>  ss=... ks=...  exact"] — the wire rendering,

@@ -3,7 +3,7 @@
    polymorphic default. *)
 module Itbl = Hashtbl.Make (Int)
 
-let run ?max_steps ?(guard = Guard.none) ?metrics ?plan ?floor env ~scheme ~k q =
+let run ?max_steps ?(guard = Guard.none) ?metrics ?plan ?floor ?executor env ~scheme ~k q =
   let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
   let penv = plan.Common.penv in
   let metrics = match metrics with Some m -> m | None -> Joins.Exec.fresh_metrics () in
@@ -32,7 +32,7 @@ let run ?max_steps ?(guard = Guard.none) ?metrics ?plan ?floor env ~scheme ~k q 
       | Some reason -> truncate reason
       | None -> (
         incr passes;
-        match Common.evaluate_entry ~metrics ?cancel env plan i Joins.Exec.exact_strategy with
+        match Common.evaluate_entry ~metrics ?cancel ?executor env plan i Joins.Exec.exact_strategy with
         | exception Joins.Exec.Cancelled ->
           (* The pass was abandoned mid-join: nothing of it is kept, the
              bound stays that of the last completed entry. *)

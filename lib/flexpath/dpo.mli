@@ -19,6 +19,7 @@ val run :
   ?metrics:Joins.Exec.metrics ->
   ?plan:Common.plan ->
   ?floor:(unit -> float) ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
@@ -34,4 +35,7 @@ val run :
     scatter-gather merge passes the global top-K floor): the chain walk
     stops as soon as [max(local kth, floor ())] meets [unseen_bound],
     which is sound because both are lower bounds on the true global
-    k-th score. *)
+    k-th score.  [executor] selects the physical operator per pass
+    (default [Auto]: holistic twig operator on conjunctive chain
+    entries, binary pipeline otherwise); results are byte-identical
+    across executors. *)

@@ -55,15 +55,21 @@ let plan_key ~algorithm ~scheme ?max_steps q =
     (Option.value max_steps ~default:32)
     (Tpq.Query.canonical_key q)
 
-let answer_key ~plan_key ~k ~budget =
-  Printf.sprintf "%s|k=%d|b=%s" plan_key k (budget_class budget)
+(* The executor is part of the answer key, not the plan key: plans are
+   executor-independent, and while executors agree byte-for-byte on
+   un-truncated results, a tuple budget or deadline can trip at a
+   different point under each, so a governed request must not see a
+   truncation computed under the other operator. *)
+let answer_key ~plan_key ~k ~budget ~executor =
+  Printf.sprintf "%s|k=%d|b=%s|x=%s" plan_key k (budget_class budget)
+    (Joins.Exec.executor_to_string executor)
 
-let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?budget ?cache env ~k q
-    =
+let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?budget ?cache
+    ?(executor = Joins.Exec.Auto) env ~k q =
   let keys =
     lazy
       (let pk = plan_key ~algorithm ~scheme ?max_steps q in
-       (pk, answer_key ~plan_key:pk ~k ~budget))
+       (pk, answer_key ~plan_key:pk ~k ~budget ~executor))
   in
   let answer_hit =
     match cache with
@@ -88,9 +94,9 @@ let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?bu
             Some p)
       in
       match algorithm with
-      | DPO -> Dpo.run ?max_steps ?plan ~guard env ~scheme ~k q
-      | SSO -> Sso.run ?max_steps ?plan ~guard env ~scheme ~k q
-      | Hybrid -> Hybrid.run ?max_steps ?plan ~guard env ~scheme ~k q
+      | DPO -> Dpo.run ?max_steps ?plan ~guard ~executor env ~scheme ~k q
+      | SSO -> Sso.run ?max_steps ?plan ~guard ~executor env ~scheme ~k q
+      | Hybrid -> Hybrid.run ?max_steps ?plan ~guard ~executor env ~scheme ~k q
     in
     match eval () with
     | result ->
@@ -102,21 +108,21 @@ let run ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?max_steps ?bu
       Error (Error.Capacity { what; limit; actual })
     | exception Failpoint.Injected point -> Error (Error.Fault point))
 
-let run_exn ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q =
-  match run ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q with
+let run_exn ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k q =
+  match run ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k q with
   | Ok result -> result
   | Error e -> raise (Failed e)
 
-let top_k ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q =
-  (run_exn ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q).Common.answers
+let top_k ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k q =
+  (run_exn ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k q).Common.answers
 
-let top_k_xpath ?algorithm ?scheme ?max_steps ?budget ?cache env ~k s =
+let top_k_xpath ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k s =
   match Tpq.Xpath.parse s with
   | Error { offset; message } -> Error (Error.Query_error { offset; message })
   | Ok q ->
     Result.map
       (fun r -> r.Common.answers)
-      (run ?algorithm ?scheme ?max_steps ?budget ?cache env ~k q)
+      (run ?algorithm ?scheme ?max_steps ?budget ?cache ?executor env ~k q)
 
 let exact_answers (env : Env.t) q =
   Tpq.Semantics.answers ~hierarchy:env.hierarchy env.doc env.index q

@@ -63,9 +63,16 @@ val plan_key : algorithm:algorithm -> scheme:Ranking.scheme -> ?max_steps:int ->
     everything that shapes the chain and its evaluation
     ([algorithm], [scheme], effective [max_steps]). *)
 
-val answer_key : plan_key:string -> k:int -> budget:Guard.budget option -> string
-(** The {!Qcache} answer-tier key: the plan key extended with [k] and
-    the budget class. *)
+val answer_key :
+  plan_key:string ->
+  k:int ->
+  budget:Guard.budget option ->
+  executor:Joins.Exec.executor ->
+  string
+(** The {!Qcache} answer-tier key: the plan key extended with [k], the
+    budget class and the executor (truncation points under a budget
+    can differ per physical operator, so governed results must not
+    cross executors; un-truncated results are identical either way). *)
 
 val run :
   ?algorithm:algorithm ->
@@ -73,6 +80,7 @@ val run :
   ?max_steps:int ->
   ?budget:Guard.budget ->
   ?cache:Qcache.t ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -87,7 +95,12 @@ val run :
     on a miss the plan tier supplies — or is populated with — the
     penalty environment, relaxation chain and compiled join plans, and
     a [Complete], non-degraded result is stored back.  The cache must
-    have been created for {e this} [env] (see {!Qcache}). *)
+    have been created for {e this} [env] (see {!Qcache}).
+
+    [executor] (default [Auto]) selects the physical join operator per
+    evaluation pass — see {!Joins.Exec.executor}.  Results are
+    byte-identical across executors; the executor is still part of the
+    answer-cache key because budget truncation points can differ. *)
 
 val run_exn :
   ?algorithm:algorithm ->
@@ -95,6 +108,7 @@ val run_exn :
   ?max_steps:int ->
   ?budget:Guard.budget ->
   ?cache:Qcache.t ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -107,6 +121,7 @@ val top_k :
   ?max_steps:int ->
   ?budget:Guard.budget ->
   ?cache:Qcache.t ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   k:int ->
   Tpq.Query.t ->
@@ -119,6 +134,7 @@ val top_k_xpath :
   ?max_steps:int ->
   ?budget:Guard.budget ->
   ?cache:Qcache.t ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   k:int ->
   string ->

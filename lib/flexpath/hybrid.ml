@@ -1,2 +1,3 @@
-let run ?max_steps ?guard ?plan ?floor env ~scheme ~k q =
-  Sso.run_with ?max_steps ?guard ?plan ?floor ~sort_on_score:false ~bucketize:true env ~scheme ~k q
+let run ?max_steps ?guard ?plan ?floor ?executor env ~scheme ~k q =
+  Sso.run_with ?max_steps ?guard ?plan ?floor ?executor ~sort_on_score:false ~bucketize:true env
+    ~scheme ~k q

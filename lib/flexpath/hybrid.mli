@@ -12,9 +12,10 @@ val run :
   ?guard:Guard.t ->
   ?plan:Common.plan ->
   ?floor:(unit -> float) ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
   Tpq.Query.t ->
   Common.result
-(** [floor] as in {!Dpo.run}. *)
+(** [floor] and [executor] as in {!Dpo.run}. *)

@@ -21,7 +21,8 @@ let prune_for scheme penv k =
   | Ranking.Combined -> (Some k, Relax.Penalty.max_keyword_score penv)
   | Ranking.Keyword_first -> (None, 0.0)
 
-let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ~sort_on_score ~bucketize env ~scheme ~k q =
+let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ?executor ~sort_on_score ~bucketize env
+    ~scheme ~k q =
   let plan = match plan with Some p -> p | None -> Common.build_plan env ?max_steps q in
   let penv = plan.Common.penv in
   let chain_arr = plan.Common.chain in
@@ -55,7 +56,7 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ~sort_on_score ~bucke
   let degrade restarts passes =
     Common.Log.debug (fun m ->
         m "SSO/Hybrid: degrading to DPO per-step evaluation after %d restarts" restarts);
-    let r = Dpo.run ~guard ~metrics ~plan ?floor env ~scheme ~k q in
+    let r = Dpo.run ~guard ~metrics ~plan ?floor ?executor env ~scheme ~k q in
     { r with Common.restarts; passes = passes + r.Common.passes; degraded = true }
   in
   (* [done_] counts completed evaluation passes; the pass about to run
@@ -79,7 +80,7 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ~sort_on_score ~bucke
           m "SSO/Hybrid: evaluating cut %d (%d relaxations, score floor %.3f), attempt %d" cut
             (List.length entry.Relax.Space.ops)
             entry.Relax.Space.score (restarts + 1));
-      match Common.evaluate_entry ~metrics ?cancel env plan cut strategy with
+      match Common.evaluate_entry ~metrics ?cancel ?executor env plan cut strategy with
       | exception Joins.Exec.Cancelled -> degrade restarts (done_ + 1)
       | answers ->
         (* As in DPO, an external floor from the scatter-gather merge
@@ -110,5 +111,6 @@ let run_with ?max_steps ?(guard = Guard.none) ?plan ?floor ~sort_on_score ~bucke
   in
   attempt cut 0 0
 
-let run ?max_steps ?guard ?plan ?floor env ~scheme ~k q =
-  run_with ?max_steps ?guard ?plan ?floor ~sort_on_score:true ~bucketize:false env ~scheme ~k q
+let run ?max_steps ?guard ?plan ?floor ?executor env ~scheme ~k q =
+  run_with ?max_steps ?guard ?plan ?floor ?executor ~sort_on_score:true ~bucketize:false env
+    ~scheme ~k q

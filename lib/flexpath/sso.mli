@@ -18,13 +18,15 @@ val run :
   ?guard:Guard.t ->
   ?plan:Common.plan ->
   ?floor:(unit -> float) ->
+  ?executor:Joins.Exec.executor ->
   Env.t ->
   scheme:Ranking.scheme ->
   k:int ->
   Tpq.Query.t ->
   Common.result
 (** [floor] as in {!Dpo.run}: an external lower bound on the global
-    k-th total, folded into the enough-answers stopping test. *)
+    k-th total, folded into the enough-answers stopping test.
+    [executor] as in {!Dpo.run}. *)
 
 val pick_cut :
   Env.t -> scheme:Ranking.scheme -> k:int -> Relax.Space.entry list -> int
@@ -37,6 +39,7 @@ val run_with :
   ?guard:Guard.t ->
   ?plan:Common.plan ->
   ?floor:(unit -> float) ->
+  ?executor:Joins.Exec.executor ->
   sort_on_score:bool ->
   bucketize:bool ->
   Env.t ->

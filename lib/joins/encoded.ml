@@ -16,6 +16,8 @@ type t = {
   distinguished : int;
   slots : (int, int) Hashtbl.t;
   vars : int array;
+  exact : bool; (* built from an empty operator sequence *)
+  conjunctive : bool; (* no optional specs: every variable must bind *)
 }
 
 (* Information retained for a deleted variable: what it looked like and
@@ -85,7 +87,16 @@ let of_ops ?(hierarchy = Tpq.Hierarchy.empty) orig ops =
     let vars = Array.of_list (List.map (fun s -> s.var) specs) in
     let slots = Hashtbl.create 16 in
     Array.iteri (fun i v -> Hashtbl.replace slots v i) vars;
-    Ok { original = orig; specs; distinguished = Query.distinguished final; slots; vars }
+    Ok
+      {
+        original = orig;
+        specs;
+        distinguished = Query.distinguished final;
+        slots;
+        vars;
+        exact = ops = [];
+        conjunctive = not (List.exists (fun s -> s.optional) specs);
+      }
 
 let of_ops_exn ?hierarchy orig ops =
   match of_ops ?hierarchy orig ops with
@@ -94,6 +105,8 @@ let of_ops_exn ?hierarchy orig ops =
 
 let original t = t.original
 let specs t = t.specs
+let exact t = t.exact
+let conjunctive t = t.conjunctive
 let spec t v = List.find (fun s -> s.var = v) t.specs
 let distinguished t = t.distinguished
 let var_count t = Array.length t.vars

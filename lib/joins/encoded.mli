@@ -44,6 +44,15 @@ val spec : t -> int -> var_spec
 val distinguished : t -> int
 val var_count : t -> int
 
+val exact : t -> bool
+(** True when the encoding was built from the empty operator sequence —
+    the specs are the original query verbatim. *)
+
+val conjunctive : t -> bool
+(** True when no spec is optional (no leaf deletion was encoded): every
+    variable of a match must bind.  The twig-shape condition the
+    planner tests before selecting the holistic executor. *)
+
 val slot_of_var : t -> int -> int
 (** Dense slot index used by the tuple executor. *)
 

@@ -31,6 +31,17 @@ type strategy = {
 let exact_strategy =
   { sort_on_score = false; bucketize = false; prune_k = None; prune_slack = 0.0 }
 
+type executor = Auto | Binary | Holistic
+
+let executor_to_string = function Auto -> "auto" | Binary -> "binary" | Holistic -> "holistic"
+
+let executor_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Ok Auto
+  | "binary" -> Ok Binary
+  | "holistic" -> Ok Holistic
+  | other -> Error (Printf.sprintf "unknown executor %S (expected auto, binary or holistic)" other)
+
 type metrics = {
   mutable tuples_produced : int;
   mutable tuples_pruned : int;
@@ -38,6 +49,9 @@ type metrics = {
   mutable buckets_touched : int;
   mutable stages : int;
   mutable cancel_polls : int;
+  mutable holistic_runs : int;
+  mutable holistic_fast_paths : int;
+  mutable stream_elements : int;
 }
 
 let fresh_metrics () =
@@ -48,6 +62,9 @@ let fresh_metrics () =
     buckets_touched = 0;
     stages = 0;
     cancel_polls = 0;
+    holistic_runs = 0;
+    holistic_fast_paths = 0;
+    stream_elements = 0;
   }
 
 (* A tuple in flight: bindings per slot (-1 unbound / not yet reached),
@@ -224,7 +241,31 @@ let prune_threshold cp metrics k s tuples =
 
 let poll_interval = 4096
 
-let run ?(metrics = fresh_metrics ()) ?cancel env enc strategy =
+(* The per-spec candidate stream of the holistic operator: the sorted
+   posting pool with the spec's local conditions (tag under hierarchy,
+   attributes, required contains) evaluated once per element — the
+   binary pipeline re-evaluates them per (tuple, candidate). *)
+let filtered_candidates env (spec : Encoded.var_spec) =
+  let pool = candidate_pool env spec in
+  (* [candidate_pool] already resolves the tag under the hierarchy, so
+     a spec with no attribute or contains conditions is satisfied by
+     the whole pool — hand the shared posting array to the operator
+     as-is (it only reads), no per-element check, no copy. *)
+  if spec.attrs = [] && spec.required_contains = [] then pool
+  else begin
+    let len = Array.length pool in
+    let buf = Array.make (max 1 len) 0 in
+    let j = ref 0 in
+    for i = 0 to len - 1 do
+      if node_satisfies env spec pool.(i) then begin
+        buf.(!j) <- pool.(i);
+        incr j
+      end
+    done;
+    Array.sub buf 0 !j
+  end
+
+let run ?(metrics = fresh_metrics ()) ?cancel ?(executor = Auto) env enc strategy =
   !failpoint "exec.run";
   let cp = compile env enc in
   let specs = Array.of_list (Encoded.specs enc) in
@@ -250,19 +291,118 @@ let run ?(metrics = fresh_metrics ()) ?cancel env enc strategy =
           if !unpolled >= poll_interval then consult f),
         fun () -> if !unpolled > 0 then consult f )
   in
-  (* stage 0: scan for the root spec *)
-  let root_spec = specs.(0) in
-  let init =
+  (* Planner rule: the holistic operator handles conjunctive (twig-
+     shaped, no optional spec) patterns; anything else falls back to
+     the binary pipeline, including under [Holistic] — forcing the
+     executor must not change what a plan means. *)
+  let use_holistic =
+    (match executor with Binary -> false | Auto | Holistic -> true) && Twig.applicable enc
+  in
+  let streams =
+    if not use_holistic then None
+    else begin
+      metrics.holistic_runs <- metrics.holistic_runs + 1;
+      let anchors =
+        Array.map
+          (fun (s : Encoded.var_spec) ->
+            Option.map (fun (p, ax) -> (Encoded.slot_of_var enc p, ax)) s.anchor)
+          specs
+      in
+      let candidates = Array.map (filtered_candidates env) specs in
+      let st = Twig.filter env.doc ~anchors ~candidates ~tick in
+      Array.iter
+        (fun s -> metrics.stream_elements <- metrics.stream_elements + Array.length s)
+        st;
+      flush_tick ();
+      Some st
+    end
+  in
+  let fast_path =
+    match streams with
+    | Some st
+      when Encoded.exact enc
+           && Tpq.Hierarchy.is_empty (hierarchy env)
+           && (not strategy.sort_on_score)
+           && (not strategy.bucketize)
+           && strategy.prune_k = None -> Some st
+    | _ -> None
+  in
+  match fast_path with
+  | Some st ->
+    (* Exact conjunctive encoding, no hierarchy, plain strategy: a full
+       embedding satisfies every original predicate by construction,
+       every closure-derived predicate by soundness of the inference
+       rules on data, and no tag predicate is scored without a
+       hierarchy — so each answer's mask is full and its structural
+       score is exactly [base].  The distinguished solution stream IS
+       the answer set; no tuple is ever enumerated.  The stage
+       failpoints still fire once per join stage so fault-injection
+       schedules are executor-independent. *)
+    for _s = 1 to n - 1 do
+      !failpoint "exec.stage";
+      metrics.stages <- metrics.stages + 1
+    done;
+    metrics.holistic_fast_paths <- metrics.holistic_fast_paths + 1;
+    let dist_stream = st.(cp.dist_slot) in
+    metrics.tuples_produced <- metrics.tuples_produced + Array.length dist_stream;
+    tick (Array.length dist_stream);
+    flush_tick ();
+    let contains_preds = Query.contains_preds (Relax.Penalty.original env.penalty) in
+    let satisfied = Array.to_list cp.scored_preds in
+    let dist_var = Encoded.distinguished enc in
     Array.fold_right
       (fun e acc ->
-        if node_satisfies env root_spec e then begin
-          let bindings = Array.make n (-1) in
-          bindings.(0) <- e;
-          settle env cp 0 { bindings; mask = 0; score = cp.base } :: acc
-        end
-        else acc)
-      (candidate_pool env root_spec)
-      []
+        {
+          target = e;
+          sscore = cp.base;
+          kscore = keyword_score env e contains_preds;
+          satisfied;
+          failed = [];
+          bindings = [ (dist_var, e) ];
+        }
+        :: acc)
+      dist_stream []
+  | None ->
+  (* stage 0: scan for the root spec *)
+  let root_spec = specs.(0) in
+  let root_list =
+    match streams with
+    | Some st -> Array.to_list st.(0)
+    | None ->
+      Array.fold_right
+        (fun e acc -> if node_satisfies env root_spec e then e :: acc else acc)
+        (candidate_pool env root_spec)
+        []
+  in
+  (* Candidate source for join stages: under the holistic operator,
+     slices of the filtered solution streams (local spec conditions
+     already evaluated, non-solution elements already gone); otherwise
+     the binary pipeline's per-anchor pool filtering.  Both produce
+     candidates in ascending pre-order, so enumeration order — and
+     therefore every downstream tie-break — is executor-independent. *)
+  let cands_below_at =
+    match streams with
+    | None -> fun _s spec axis anchor -> candidates_below env spec axis anchor
+    | Some st ->
+      fun s _spec axis anchor ->
+        (match axis with
+        | Query.Child -> Structural_join.children_with_tag env.doc st.(s) anchor
+        | Query.Descendant ->
+          let stream = st.(s) in
+          let lo, hi = Structural_join.subtree_slice env.doc stream anchor in
+          let out = ref [] in
+          for i = hi - 1 downto lo do
+            out := stream.(i) :: !out
+          done;
+          !out)
+  in
+  let init =
+    List.map
+      (fun e ->
+        let bindings = Array.make n (-1) in
+        bindings.(0) <- e;
+        settle env cp 0 { bindings; mask = 0; score = cp.base })
+      root_list
   in
   metrics.tuples_produced <- metrics.tuples_produced + List.length init;
   (* Dead-column projection: tuples that agree on the satisfied-set and
@@ -341,7 +481,7 @@ let run ?(metrics = fresh_metrics ()) ?cancel env enc strategy =
             [ settle env cp s t ]
           end
           else begin
-            match candidates_below env spec axis anchor with
+            match cands_below_at s spec axis anchor with
             | [] ->
               if spec.optional then begin
                 tick 1;

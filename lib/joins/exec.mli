@@ -70,6 +70,20 @@ val exact_strategy : strategy
 (** No sorting, no buckets, no pruning — plain evaluation (DPO uses
     this per relaxation). *)
 
+type executor = Auto | Binary | Holistic
+(** Physical operator selection.  [Auto] is the planner rule: the
+    holistic twig operator ({!Twig}) when the encoded pattern is
+    conjunctive (twig-shaped, no optional spec), the binary pipeline
+    otherwise.  [Binary] forces the pipeline; [Holistic] requests the
+    twig operator but still falls back to the pipeline on
+    non-conjunctive plans — forcing an executor never changes what a
+    plan means.  Results are byte-identical across executors (same
+    answers, scores, and tie-breaks); only metrics and — under tuple
+    budgets or deadlines — truncation points differ. *)
+
+val executor_to_string : executor -> string
+val executor_of_string : string -> (executor, string) result
+
 type metrics = {
   mutable tuples_produced : int;
   mutable tuples_pruned : int;
@@ -79,19 +93,45 @@ type metrics = {
   mutable stages : int;
   mutable cancel_polls : int;
       (** Times the cooperative cancellation callback was consulted. *)
+  mutable holistic_runs : int;
+      (** Runs that took the holistic twig operator. *)
+  mutable holistic_fast_paths : int;
+      (** Holistic runs whose answers came straight off the solution
+          streams with no tuple enumeration at all (exact conjunctive
+          encoding, empty hierarchy, plain strategy). *)
+  mutable stream_elements : int;
+      (** Total elements across all solution streams after twig
+          filtering. *)
 }
 
 val fresh_metrics : unit -> metrics
 
 val run :
-  ?metrics:metrics -> ?cancel:(int -> bool) -> env -> Encoded.t -> strategy -> answer list
+  ?metrics:metrics ->
+  ?cancel:(int -> bool) ->
+  ?executor:executor ->
+  env ->
+  Encoded.t ->
+  strategy ->
+  answer list
 (** All answers of the encoded query, one per distinct distinguished
     binding (the best-scoring embedding is kept), unordered.  With
     [prune_k = Some k], answers outside any possible top-k may be
     missing — by design.
 
+    [executor] (default [Auto]) selects the physical operator; see
+    {!executor}.  Answer contents are executor-independent, with one
+    caveat: answers produced by the holistic fast path list only the
+    distinguished variable in [bindings] (no embedding witness is
+    enumerated).  [target], scores, [satisfied] and [failed] are always
+    identical.
+
     [cancel] is the cooperative cancellation check: it is polled from
     the join loop roughly every 4096 tuples (and at every stage
     boundary) with the number of tuples produced since the previous
     poll; returning [true] aborts the evaluation by raising
-    {!Cancelled}.  Without [cancel] the hot path is unchanged. *)
+    {!Cancelled}.  Without [cancel] the hot path is unchanged.  The
+    holistic operator ticks the same counter per stream element while
+    filtering, so budgets still bound its work — tuple-budget
+    truncation points therefore legitimately differ between
+    executors. *)

@@ -6,4 +6,5 @@
 
 module Structural_join = Structural_join
 module Encoded = Encoded
+module Twig = Twig
 module Exec = Exec

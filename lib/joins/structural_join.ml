@@ -31,26 +31,74 @@ let ad_pairs doc ~anc ~desc =
   done;
   List.rev !out
 
+(* Same sweep as [ad_pairs], but the parent check happens as each
+   descendant is visited instead of filtering a materialized a-d pair
+   list: on a deep recursive document the a-d output is quadratic while
+   the p-c answer is linear, so building the former first is a blowup.
+   After [pop_closed d] every stack member contains [d]; the innermost
+   one (skipping [d] itself when the element sits in both inputs) is
+   the only member that can be [d]'s parent, because anything nested
+   strictly between a parent and its child would have to be both a
+   descendant of the parent and an ancestor of the child. *)
 let pc_pairs doc ~anc ~desc =
-  List.filter (fun (a, d) -> Doc.is_parent doc a d) (ad_pairs doc ~anc ~desc)
+  let out = ref [] in
+  let stack = ref [] in
+  let na = Array.length anc and nd = Array.length desc in
+  let ai = ref 0 and di = ref 0 in
+  let pop_closed e =
+    let rec go = function
+      | s :: rest when e >= Doc.subtree_end doc s -> go rest
+      | stack -> stack
+    in
+    stack := go !stack
+  in
+  while !di < nd do
+    let d = desc.(!di) in
+    while !ai < na && anc.(!ai) <= d do
+      pop_closed anc.(!ai);
+      stack := anc.(!ai) :: !stack;
+      incr ai
+    done;
+    pop_closed d;
+    (match !stack with
+    | a :: _ when a <> d && Doc.is_parent doc a d -> out := (a, d) :: !out
+    | d' :: a :: _ when d' = d && Doc.is_parent doc a d -> out := (a, d) :: !out
+    | _ -> ());
+    incr di
+  done;
+  List.rev !out
 
-let lower_bound a x =
-  let lo = ref 0 and hi = ref (Array.length a) in
+let lower_bound_in a lo hi x =
+  let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if a.(mid) < x then lo := mid + 1 else hi := mid
   done;
   !lo
 
+let lower_bound a x = lower_bound_in a 0 (Array.length a) x
+
 let subtree_slice doc sorted e =
   let lo = lower_bound sorted (e + 1) in
   let hi = lower_bound sorted (Doc.subtree_end doc e) in
   (lo, hi)
 
+(* Every element of the slice is a proper descendant of [e], so its
+   level is at least [level e + 1], with equality exactly for children.
+   Whatever the level of the element under scan, no other element at
+   child level can start before that element's subtree ends (deeper
+   elements live inside some child's subtree), so the scan can jump to
+   [subtree_end] wholesale instead of testing [is_parent] node by node
+   — on nested same-tag elements that turns an O(slice) scan into
+   O(children · log slice). *)
 let children_with_tag doc sorted e =
   let lo, hi = subtree_slice doc sorted e in
+  let child_level = Doc.level doc e + 1 in
   let out = ref [] in
-  for i = hi - 1 downto lo do
-    if Doc.is_parent doc e sorted.(i) then out := sorted.(i) :: !out
+  let i = ref lo in
+  while !i < hi do
+    let x = sorted.(!i) in
+    if Doc.level doc x = child_level then out := x :: !out;
+    i := lower_bound_in sorted (!i + 1) hi (Doc.subtree_end doc x)
   done;
-  !out
+  List.rev !out

@@ -16,7 +16,15 @@ val ad_pairs :
 val pc_pairs :
   Xmldom.Doc.t -> anc:Xmldom.Doc.elem array -> desc:Xmldom.Doc.elem array ->
   (Xmldom.Doc.elem * Xmldom.Doc.elem) list
-(** Parent-child pairs, same order. *)
+(** Parent-child pairs, same order.  Runs the same stack sweep with the
+    parent test applied per descendant — O(|anc| + |desc| + |output|),
+    never materializing the ancestor-descendant pairs (which can be
+    quadratically larger on recursive documents). *)
+
+val lower_bound_in : Xmldom.Doc.elem array -> int -> int -> Xmldom.Doc.elem -> int
+(** [lower_bound_in a lo hi x]: first index in [lo, hi) whose element is
+    [>= x], or [hi].  The range-bounded binary search behind
+    {!subtree_slice}, exposed for the twig operator's skip scans. *)
 
 val subtree_slice :
   Xmldom.Doc.t -> Xmldom.Doc.elem array -> Xmldom.Doc.elem -> int * int
@@ -26,4 +34,7 @@ val subtree_slice :
 
 val children_with_tag :
   Xmldom.Doc.t -> Xmldom.Doc.elem array -> Xmldom.Doc.elem -> Xmldom.Doc.elem list
-(** Elements of the sorted array that are children of [e]. *)
+(** Elements of the sorted array that are children of [e], ascending.
+    Uses the level column to identify children and jumps each visited
+    element's whole subtree, so nested same-tag elements cost
+    O(log slice) instead of a full-slice scan. *)

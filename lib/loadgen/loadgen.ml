@@ -614,11 +614,38 @@ let report ~config ~results =
      ]
     @ summary)
 
-let check_report json =
+(* The twig ablation's artifact ([BENCH_twig.json], bench "twig"):
+   non-empty [series], and per entry a query label plus numeric
+   binary/holistic timings and the speedup ratio. *)
+let check_twig_report json =
   let ( let* ) = Result.bind in
   let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
-  let* version = require "schema_version" (Option.bind (Json.member "schema_version" json) Json.to_int) in
-  let* () = if version >= 1 then Ok () else Error "schema_version must be >= 1" in
+  let* series = require "series array" (Json.member "series" json) in
+  let entries = Json.to_list series in
+  let* () = if entries <> [] then Ok () else Error "series must be non-empty" in
+  let check_entry i entry =
+    let at what = Printf.sprintf "series[%d].%s" i what in
+    let* _ =
+      require (at "query")
+        (match Json.member "query" entry with Some (Json.Str s) -> Some s | _ -> None)
+    in
+    let num what = require (at what) (Option.bind (Json.member what entry) Json.to_float) in
+    let* _ = num "binary_ms" in
+    let* _ = num "holistic_ms" in
+    let* _ = num "speedup" in
+    Ok ()
+  in
+  let rec all i = function
+    | [] -> Ok ()
+    | entry :: rest ->
+      let* () = check_entry i entry in
+      all (i + 1) rest
+  in
+  all 0 entries
+
+let check_serve_report json =
+  let ( let* ) = Result.bind in
+  let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
   let* scales = require "scales array" (Json.member "scales" json) in
   let entries = Json.to_list scales in
   let* () = if entries <> [] then Ok () else Error "scales must be non-empty" in
@@ -640,3 +667,15 @@ let check_report json =
       all (i + 1) rest
   in
   all 0 entries
+
+(* The public gate dispatches on the artifact's [bench] tag: the twig
+   ablation has its own shape; everything else (including untagged
+   legacy artifacts) is held to the serve schema. *)
+let check_report json =
+  let ( let* ) = Result.bind in
+  let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
+  let* version = require "schema_version" (Option.bind (Json.member "schema_version" json) Json.to_int) in
+  let* () = if version >= 1 then Ok () else Error "schema_version must be >= 1" in
+  match Json.member "bench" json with
+  | Some (Json.Str "twig") -> check_twig_report json
+  | Some _ | None -> check_serve_report json

@@ -90,7 +90,11 @@ val report : config:(string * Json.t) list -> results:result list -> Json.t
     smallest's (the depth-8 baseline ratio the roadmap tracks). *)
 
 val check_report : Json.t -> (unit, string) Stdlib.result
-(** The schema gate [flexpath bench check] and CI enforce: positive
-    [schema_version], non-empty [scales], and for every scale a
-    positive [connections], numeric [goodput_rps] and a [latency_ms]
-    object with numeric [p50]/[p99]/[p999]. *)
+(** The schema gate [flexpath bench check] and CI enforce.  Dispatches
+    on the artifact's ["bench"] tag: a serve artifact (or any untagged
+    one) needs a positive [schema_version], non-empty [scales], and for
+    every scale a positive [connections], numeric [goodput_rps] and a
+    [latency_ms] object with numeric [p50]/[p99]/[p999]; a ["twig"]
+    artifact ([BENCH_twig.json], the holistic-vs-binary ablation) needs
+    a non-empty [series] whose entries carry a [query] label and
+    numeric [binary_ms]/[holistic_ms]/[speedup]. *)

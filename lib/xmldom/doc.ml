@@ -253,6 +253,41 @@ let by_tag_name d name =
   | None -> [||]
   | Some t -> by_tag d t
 
+let levels d = d.level
+let parents d = d.parent
+let subtree_ends d = d.subtree_end
+
+module Postings = struct
+  type cursor = { arr : elem array; mutable pos : int }
+
+  let of_array arr = { arr; pos = 0 }
+  let length c = Array.length c.arr
+  let at_end c = c.pos >= Array.length c.arr
+  let peek c = c.arr.(c.pos)
+  let advance c = c.pos <- c.pos + 1
+
+  (* Gallop forward to the first element >= x: exponential probe from
+     the current position, then binary search inside the bracketed run.
+     O(log gap), so a full sweep of monotone seeks stays linear in the
+     posting array even when individual seeks jump far ahead. *)
+  let seek_geq c x =
+    let a = c.arr in
+    let n = Array.length a in
+    if c.pos < n && a.(c.pos) < x then begin
+      let step = ref 1 in
+      let base = c.pos in
+      while base + !step < n && a.(base + !step) < x do
+        step := !step * 2
+      done;
+      let lo = ref (base + (!step / 2) + 1) and hi = ref (min n (base + !step + 1)) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) < x then lo := mid + 1 else hi := mid
+      done;
+      c.pos <- !lo
+    end
+end
+
 let chunk_count d = Array.length d.chunk_text
 let chunk_owner d c = d.chunk_owner.(c)
 let chunk_text d c = d.chunk_text.(c)

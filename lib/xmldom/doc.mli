@@ -63,6 +63,45 @@ val by_tag : t -> Tag.t -> elem array
 val by_tag_name : t -> string -> elem array
 (** Like {!by_tag}, resolving the name first; [||] for unknown tags. *)
 
+val levels : t -> int array
+(** The packed level column, indexed by element id.  Shared with the
+    document: do not mutate.  For join inner loops that cannot afford a
+    call per node. *)
+
+val parents : t -> int array
+(** The packed parent column ([-1] for the root).  Shared: do not
+    mutate. *)
+
+val subtree_ends : t -> int array
+(** The packed subtree-end column (see {!subtree_end}).  Shared: do not
+    mutate. *)
+
+(** Cursor-style access to sorted posting arrays (per-tag element
+    streams, or any pre-order-sorted element array).  A cursor only
+    moves forward; {!Postings.seek_geq} gallops, so a monotone sequence
+    of seeks costs O(n) over the whole stream regardless of how far the
+    individual jumps are.  This is the access path the holistic twig
+    join uses: branch-light sequential scans, no per-tuple list
+    allocation. *)
+module Postings : sig
+  type cursor
+
+  val of_array : elem array -> cursor
+  (** Cursor at the start of the (borrowed, not copied) array. *)
+
+  val length : cursor -> int
+  val at_end : cursor -> bool
+
+  val peek : cursor -> elem
+  (** The element under the cursor.  Undefined when [at_end]. *)
+
+  val advance : cursor -> unit
+
+  val seek_geq : cursor -> elem -> unit
+  (** Move forward to the first element [>= x] (or the end).  Never
+      moves backward: seeking below the current position is a no-op. *)
+end
+
 val chunk_count : t -> int
 val chunk_owner : t -> int -> elem
 val chunk_text : t -> int -> string

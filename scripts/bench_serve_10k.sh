@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Two-process serving benchmark: a real `flexpath serve` process and
+# the open-loop load generator driven against it over --port, so the
+# client's fd budget is spent on client connections only and the top
+# scale can reach 10k concurrent connections (in-process mode pays two
+# fds per connection and caps out at about half the limit).
+#
+# CI-friendly: no fixed ports (the server picks an ephemeral port and
+# writes it to a file), bounded runtime (a few minutes at the default
+# scales), artifact schema-checked before the script exits, and the
+# server is torn down on any exit path.
+#
+# Knobs (env vars): SCALES, RATE, DURATION_S, WARMUP_S, ARTICLES, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALES="${SCALES:-8,256,2048,10000}"
+RATE="${RATE:-150}"
+DURATION_S="${DURATION_S:-8}"
+WARMUP_S="${WARMUP_S:-2}"
+ARTICLES="${ARTICLES:-200}"
+OUT="${OUT:-BENCH_serve.json}"
+
+# The top scale needs an fd per connection on each side, plus listener,
+# poller and snapshot overhead.
+TOP="${SCALES##*,}"
+NEED=$((TOP + 256))
+if [ "$(ulimit -n)" -lt "$NEED" ]; then
+  ulimit -n "$NEED" || {
+    echo "bench_serve_10k: cannot raise 'ulimit -n' to $NEED" >&2
+    exit 1
+  }
+fi
+
+dune build --profile strict bin/flexpath_cli.exe
+CLI=_build/default/bin/flexpath_cli.exe
+
+PORT_FILE="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -f "$PORT_FILE"
+}
+trap cleanup EXIT
+
+"$CLI" serve --articles "$ARTICLES" --port 0 --port-file "$PORT_FILE" \
+  --workers 4 --max-conns $((TOP + 64)) &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "bench_serve_10k: server died during startup" >&2; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "bench_serve_10k: server never published its port" >&2; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+
+"$CLI" bench serve --port "$PORT" --scales "$SCALES" --rate "$RATE" \
+  --duration-s "$DURATION_S" --warmup-s "$WARMUP_S" -o "$OUT"
+"$CLI" bench check "$OUT"

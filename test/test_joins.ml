@@ -87,6 +87,57 @@ let test_children_with_tag () =
   let xs = Doc.by_tag_name d "x" in
   check_int "two x children of root" 2 (List.length (Sj.children_with_tag d xs 0))
 
+(* Regression: on a deep recursive document the ancestor-descendant
+   pair list is quadratic while the parent-child answer is linear.
+   [pc_pairs] must produce the linear answer without materializing the
+   quadratic intermediate (with the old filter-over-[ad_pairs]
+   implementation this test would allocate ~4.5M pairs). *)
+let test_pc_pairs_deep_recursive () =
+  let depth = 3000 in
+  let rec nest n = if n = 0 then el "leaf" [] else el "p" [ nest (n - 1) ] in
+  let d = Doc.of_tree (el "r" [ nest depth ]) in
+  let ps = Doc.by_tag_name d "p" in
+  let pairs = Sj.pc_pairs d ~anc:ps ~desc:ps in
+  check_int "linear pc answer" (depth - 1) (List.length pairs);
+  check_bool "each pair is parent-child" true
+    (List.for_all (fun (a, c) -> Doc.is_parent d a c) pairs);
+  (* order contract: sorted by (descendant, ancestor) preorder id *)
+  let sorted = List.sort (fun (a1, d1) (a2, d2) -> compare (d1, a1) (d2, a2)) pairs in
+  check_bool "sweep order preserved" true (pairs = sorted)
+
+let test_pc_pairs_shared_element_in_both_inputs () =
+  (* an element present in both inputs sits on top of its own stack
+     entry when it is visited as a descendant; the parent underneath
+     must still be found *)
+  let d = Doc.of_tree (el "r" [ el "p" [ el "p" [ el "p" [] ] ] ]) in
+  let ps = Doc.by_tag_name d "p" in
+  let fast = List.sort compare (Sj.pc_pairs d ~anc:ps ~desc:ps) in
+  check_bool "matches naive" true (fast = pairs_naive d ps ps ~pc:true)
+
+(* Regression: [children_with_tag] must skip whole subtrees using the
+   level column instead of testing [is_parent] on every slice element —
+   and stay correct when the same tag nests arbitrarily. *)
+let test_children_with_tag_nested_same_tag () =
+  let rec nest n = if n = 0 then el "y" [] else el "x" [ nest (n - 1) ] in
+  let d =
+    Doc.of_tree
+      (el "r" [ nest 40; el "x" [ nest 10; el "x" [] ]; el "y" [ el "x" [ nest 5 ] ] ])
+  in
+  let xs = Doc.by_tag_name d "x" in
+  let naive e =
+    let lo, hi = Sj.subtree_slice d xs e in
+    let out = ref [] in
+    for i = hi - 1 downto lo do
+      if Doc.is_parent d e xs.(i) then out := xs.(i) :: !out
+    done;
+    !out
+  in
+  Doc.iter_elements d (fun e ->
+      check_bool
+        (Printf.sprintf "children of %d" e)
+        true
+        (Sj.children_with_tag d xs e = naive e))
+
 (* ------------------------------------------------------------------ *)
 (* Encoded queries *)
 
@@ -398,6 +449,12 @@ let () =
           Alcotest.test_case "empty inputs" `Quick test_ad_pairs_empty_inputs;
           Alcotest.test_case "subtree slice" `Quick test_subtree_slice;
           Alcotest.test_case "children with tag" `Quick test_children_with_tag;
+          Alcotest.test_case "pc pairs deep recursion stays linear" `Quick
+            test_pc_pairs_deep_recursive;
+          Alcotest.test_case "pc pairs shared element" `Quick
+            test_pc_pairs_shared_element_in_both_inputs;
+          Alcotest.test_case "children with tag, nested same tag" `Quick
+            test_children_with_tag_nested_same_tag;
         ] );
       ( "encoded",
         [

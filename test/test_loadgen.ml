@@ -157,6 +157,35 @@ let test_schema_gate () =
   | Ok _ -> Alcotest.fail "malformed JSON parsed"
   | Error msg -> check_bool "parse error carries offset" true (msg <> "")
 
+(* The gate dispatches on the "bench" tag: twig artifacts carry a
+   series of per-query binary/holistic timings instead of scales. *)
+let twig_entry ?(drop = "") name =
+  Json.Obj
+    (List.filter
+       (fun (k, _) -> k <> drop)
+       [
+         ("query", Json.Str name);
+         ("binary_ms", Json.Num 10.0);
+         ("holistic_ms", Json.Num 4.0);
+         ("speedup", Json.Num 2.5);
+       ])
+
+let twig_artifact entries =
+  Json.Obj
+    [ ("schema_version", Json.Num 1.0); ("bench", Json.Str "twig"); ("series", Json.List entries) ]
+
+let test_schema_gate_twig () =
+  (match Loadgen.check_report (twig_artifact [ twig_entry "Q1"; twig_entry "Q2" ]) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid twig artifact rejected: %s" msg);
+  expect_reject "empty series" (twig_artifact []) "non-empty";
+  expect_reject "missing speedup" (twig_artifact [ twig_entry ~drop:"speedup" "Q1" ]) "speedup";
+  expect_reject "missing query label" (twig_artifact [ twig_entry ~drop:"query" "Q1" ]) "query";
+  (* a twig tag does not exempt an artifact from the serve rules *)
+  expect_reject "twig artifact without series"
+    (Json.Obj [ ("schema_version", Json.Num 1.0); ("bench", Json.Str "twig") ])
+    "series"
+
 let test_json_roundtrip () =
   let v =
     Json.Obj
@@ -194,6 +223,7 @@ let () =
         [
           Alcotest.test_case "open-loop run emits a valid artifact" `Quick test_run_and_artifact;
           Alcotest.test_case "schema gate accepts and rejects" `Quick test_schema_gate;
+          Alcotest.test_case "schema gate: twig artifacts" `Quick test_schema_gate_twig;
         ] );
       ("json", [ Alcotest.test_case "emit/parse round-trip" `Quick test_json_roundtrip ]);
     ]
