@@ -1058,6 +1058,208 @@ let abl_shard ~quick () =
   close_out oc;
   Printf.printf "  [artifact] BENCH_shard.json written\n%!"
 
+(* Replication (DESIGN.md §4l): what redundancy costs and what it buys.
+   Query latency healthy vs losing one replica per query (failover keeps
+   every answer COMPLETE), ingest throughput under sync vs async WAL
+   shipping, and how long a follower that missed records takes to catch
+   up from its primary.  The numbers land in BENCH_replica.json so
+   regressions show up in review diffs. *)
+let abl_replica ~quick () =
+  let module Corpus = Flexpath.Corpus in
+  let dir = Filename.temp_file "flexpath_bench_replica" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let n_docs = if quick then 80 else 300 in
+  let n_queries = if quick then 60 else 200 in
+  let article seed =
+    let rng = Xmark.Prng.create seed in
+    let archetype =
+      Xmark.Prng.pick rng
+        [|
+          Xmark.Articles.Exact;
+          Xmark.Articles.Title_keywords;
+          Xmark.Articles.Algo_elsewhere;
+          Xmark.Articles.No_algorithm;
+          Xmark.Articles.Keywords_only;
+          Xmark.Articles.Irrelevant;
+        |]
+    in
+    Xmldom.Xml.to_string (Xmark.Articles.article rng archetype seed)
+  in
+  let bodies = List.init n_docs (fun i -> (Printf.sprintf "d%d" i, article (9000 + i))) in
+  let query_mix =
+    List.map Xpath.parse_exn
+      [
+        "//article[.contains(\"xml\")]";
+        "//article[./section[./algorithm and ./paragraph[.contains(\"xml\" and \"streaming\")]]]";
+        "//section[./title]";
+      ]
+  in
+  let percentile sorted p =
+    if Array.length sorted = 0 then 0.0
+    else
+      sorted.(min
+                (Array.length sorted - 1)
+                (int_of_float (p /. 100.0 *. float_of_int (Array.length sorted))))
+  in
+  let open_replicated ?ack_mode name =
+    let prefix = Filename.concat dir name in
+    match
+      Corpus.open_corpus ?ack_mode ~strike_threshold:max_int ~replicas:2 ~shards:2 ~prefix ()
+    with
+    | Error e -> failwith (Flexpath.Error.to_string e)
+    | Ok corpus -> corpus
+  in
+  let fill corpus =
+    List.iter
+      (fun (id, xml) ->
+        match Corpus.ingest corpus ~id xml with
+        | Ok _ -> ()
+        | Error e -> failwith (Flexpath.Error.to_string e))
+      bodies
+  in
+  (* Ingest throughput: sync ships every record through the follower's
+     WAL before the ack; async acks on the primary alone and drains the
+     queue afterwards (the drain is included in the throughput — the
+     work doesn't disappear, it moves off the ack path). *)
+  let ingest_rate ack_mode =
+    let corpus = open_replicated ~ack_mode (Corpus.ack_mode_to_string ack_mode) in
+    Fun.protect
+      ~finally:(fun () -> Corpus.close corpus)
+      (fun () ->
+        let _, t_ms =
+          time (fun () ->
+              fill corpus;
+              for ord = 0 to Corpus.shard_count corpus - 1 do
+                Corpus.ship_pending corpus ord
+              done)
+        in
+        float_of_int n_docs /. (t_ms /. 1000.0))
+  in
+  let sync_rate = ingest_rate Corpus.Sync in
+  let async_rate = ingest_rate Corpus.Async in
+  (* Query latency over a sync-replicated corpus: a healthy pass, then
+     a pass losing one replica on every query — failover answers from
+     the surviving copy, so partials must stay 0. *)
+  let corpus = open_replicated "measure" in
+  let q_healthy, q_lost, catchup =
+    Fun.protect
+      ~finally:(fun () -> Corpus.close corpus)
+      (fun () ->
+        fill corpus;
+        let measure ~degrade =
+          let lat = ref [] in
+          let partials = ref 0 and failovers = ref 0 in
+          for i = 0 to n_queries - 1 do
+            if degrade then
+              (match Failpoint.activate_n "shard_probe" 1 with
+              | Ok () -> ()
+              | Error e -> failwith e);
+            let q = List.nth query_mix (i mod List.length query_mix) in
+            let r, t =
+              time (fun () ->
+                  match Corpus.query corpus ~use_cache:false ~k:10 q with
+                  | Ok r -> r
+                  | Error e -> failwith (Flexpath.Error.to_string e))
+            in
+            (match r.Corpus.completeness with
+            | Corpus.Partial _ -> incr partials
+            | Corpus.Complete -> ());
+            failovers := !failovers + r.Corpus.failovers;
+            lat := t :: !lat
+          done;
+          Failpoint.reset ();
+          let sorted = List.sort Float.compare !lat |> Array.of_list in
+          (percentile sorted 50.0, percentile sorted 99.0, !partials, !failovers)
+        in
+        let healthy = measure ~degrade:false in
+        let lost = measure ~degrade:true in
+        (* Catch-up: kill shipping for one write so shard 0's follower
+           falls out of sync, widen the gap with fresh documents it
+           never sees, then time the snapshot-copy + WAL-tail-replay
+           recovery. *)
+        let fresh =
+          let rec go i acc n =
+            if n = 0 then List.rev acc
+            else
+              let id = Printf.sprintf "x%d" i in
+              if Corpus.shard_of_id corpus id = 0 then go (i + 1) (id :: acc) (n - 1)
+              else go (i + 1) acc n
+          in
+          go 0 [] (max 8 (n_docs / 4))
+        in
+        (match Failpoint.activate_n "replica_ship" 1 with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        List.iteri
+          (fun i id ->
+            match Corpus.ingest corpus ~id (article (12_000 + i)) with
+            | Ok _ -> ()
+            | Error e -> failwith (Flexpath.Error.to_string e))
+          fresh;
+        Failpoint.reset ();
+        let behind =
+          let h = (Corpus.health corpus).(0) in
+          h.Corpus.h_replicas.(0).Corpus.rh_docs - h.Corpus.h_replicas.(1).Corpus.rh_docs
+        in
+        let _, catchup_ms = time (fun () -> ignore (Corpus.reload corpus ~replica:1 0)) in
+        (healthy, lost, (behind, catchup_ms)))
+  in
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let h_p50, h_p99, h_partials, h_failovers = q_healthy in
+  let l_p50, l_p99, l_partials, l_failovers = q_lost in
+  let behind, catchup_ms = catchup in
+  header "Ablation: shard replication"
+    (Printf.sprintf
+       "2 shards x 2 replicas (%d docs, K=10, cache off): query latency healthy vs one replica \
+        lost per query (failover, zero PARTIAL)"
+       n_docs)
+    [ "p50-ms"; "p99-ms"; "partials"; "failovers" ];
+  row "healthy"
+    [ ms h_p50; ms h_p99; string_of_int h_partials; string_of_int h_failovers ];
+  row "replica-lost"
+    [ ms l_p50; ms l_p99; string_of_int l_partials; string_of_int l_failovers ];
+  header "Replication: ingest and catch-up"
+    "WAL-shipping ack modes (docs/s includes the async drain), and follower catch-up from the \
+     primary"
+    [ "sync-docs/s"; "async-docs/s"; "behind"; "catchup-ms" ];
+  row "replicas=2"
+    [
+      Printf.sprintf "%.0f" sync_rate;
+      Printf.sprintf "%.0f" async_rate;
+      string_of_int behind;
+      ms catchup_ms;
+    ];
+  let result =
+    Printf.sprintf
+      "{\n\
+      \  \"schema_version\": 1,\n\
+      \  \"bench\": \"replica\",\n\
+      \  \"quick\": %b,\n\
+      \  \"docs\": %d,\n\
+      \  \"queries_per_pass\": %d,\n\
+      \  \"shards\": 2,\n\
+      \  \"replicas\": 2,\n\
+      \  \"query\": {\n\
+      \    \"healthy\": { \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"partials\": %d, \"failovers\": \
+       %d },\n\
+      \    \"replica_lost\": { \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"partials\": %d, \
+       \"failovers\": %d }\n\
+      \  },\n\
+      \  \"ingest\": { \"sync_docs_per_s\": %.1f, \"async_docs_per_s\": %.1f },\n\
+      \  \"catchup\": { \"records_behind\": %d, \"ms\": %.3f }\n\
+       }\n"
+      quick n_docs n_queries h_p50 h_p99 h_partials h_failovers l_p50 l_p99 l_partials l_failovers
+      sync_rate async_rate behind catchup_ms
+  in
+  let oc = open_out "BENCH_replica.json" in
+  output_string oc result;
+  close_out oc;
+  Printf.printf "  [artifact] BENCH_replica.json written\n%!"
+
 (* Holistic twig join (DESIGN.md §4k): the TwigStack-style physical
    operator against the binary structural-join pipeline, on identical
    plans returning identical answers.  Exact conjunctive plans take the
@@ -1209,6 +1411,7 @@ let all_figures =
     ("abl_supervision", abl_supervision);
     ("abl_ingest", abl_ingest);
     ("abl_shard", abl_shard);
+    ("abl_replica", abl_replica);
     ("abl_twig", abl_twig);
   ]
 

@@ -19,7 +19,9 @@ open Cmdliner
    corruption (a saved environment failed its integrity checks),
    5 server overloaded (the client's retries were all answered
    OVERLOADED), 6 query quarantined (the server fast-rejects this
-   query shape; retrying cannot help).
+   query shape; retrying cannot help), 7 store read-only (a disk fault
+   degraded the write path; the server's retry-after-ms hint says when
+   the probation re-probe opens).
 
    Write idempotency under retries: the server fsyncs an INGEST into
    its WAL before acking, so a connection that dies mid-request leaves
@@ -29,13 +31,19 @@ open Cmdliner
    ambiguity (it fails with exit code 1); pass --ingest-id whenever
    --retries is nonzero.  OVERLOADED (exit 5) and QUARANTINED (exit 6)
    are definitive server verdicts, never ambiguous, for writes and
-   queries alike.  Everything that is not an answer goes to stderr. *)
+   queries alike.  READONLY (exit 7) is retried with the hint only for
+   idempotent writes (an INGEST with id=, a DELETE); an anonymous
+   INGEST fails fast under the same policy as ambiguous outcomes — a
+   resend that later dies mid-flight could double-ingest once the
+   store recovers.  Everything that is not an answer goes to
+   stderr. *)
 
 let exit_usage = 1
 let exit_budget = 3
 let exit_snapshot = 4
 let exit_overloaded = 5
 let exit_quarantined = 6
+let exit_readonly = 7
 
 module Error = Flexpath.Error
 
@@ -670,10 +678,46 @@ let serve_cmd =
              --env (the per-shard file prefix); implies live ingestion (--ingest-wal is not \
              needed — each shard has its own WAL).  Default 1: a single unsharded store.")
   in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Keep $(docv) copies of each shard (DESIGN.md §4l): a primary plus followers, each \
+             a full WAL-backed store (follower j at <env>.shard<i>.r<j>), kept in sync by WAL \
+             shipping.  Queries fail over to the next in-sync replica, so losing one copy still \
+             yields Complete answers; SHARDS/STATS gain per-replica lines and RELOAD \
+             <shard>.<replica> catches one copy up from its primary.  Works with --shards 1 \
+             too (a replicated single shard).  Default 1: unreplicated.")
+  in
+  let ack_mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sync", Flexpath.Corpus.Sync); ("async", Flexpath.Corpus.Async) ])
+          Flexpath.Corpus.Sync
+      & info [ "ack-mode" ] ~docv:"sync|async"
+          ~doc:
+            "Replication ack mode.  $(b,sync) (default): acked records reach every in-sync \
+             follower (through its own WAL and fsync) before the ack returns.  $(b,async): \
+             ships queue per follower and drain on the background tick — lower write latency, \
+             bounded follower lag (a lagging follower is excluded from the queryable view \
+             until drained).")
+  in
+  let probation_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "probation-ms" ] ~docv:"MS"
+          ~doc:
+            "Read-only probation after a disk fault (ENOSPC/EIO on the durability path): \
+             writes are answered READONLY with a retry-after-ms hint until a post-probation \
+             write re-probes the disk successfully (default 2000).")
+  in
   let run file xmark articles hierarchy_file weights_spec env_file host port port_file workers
       queue_depth max_conns read_timeout_ms write_timeout_ms k timeout_ms tuple_budget step_budget
       restart_cap cache_mb no_cache hard_wall_ms no_supervise quarantine_strikes queue_deadline_ms
-      ingest_wal merge_interval_ms max_doc_bytes max_doc_elems write_lane shards =
+      ingest_wal merge_interval_ms max_doc_bytes max_doc_elems write_lane shards replicas ack_mode
+      probation_ms =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -683,7 +727,9 @@ let serve_cmd =
     in
     let* weights = load_weights weights_spec in
     let* env =
-      match ((if shards > 1 then Some () else Option.map ignore ingest_wal), env_file) with
+      match
+        ((if shards > 1 || replicas > 1 then Some () else Option.map ignore ingest_wal), env_file)
+      with
       | Some _, _ ->
         (* The ingest store (opened inside Server.create) loads the
            snapshot and replays the WAL itself; this env only donates
@@ -724,10 +770,11 @@ let serve_cmd =
         quarantine_strikes;
         queue_deadline_ms;
         ingest =
-          (* --shards N (N > 1) enables the sharded corpus even without
-             --ingest-wal: every shard owns its own WAL, so the single
-             WAL path is unused there. *)
-          (match (ingest_wal, shards > 1) with
+          (* --shards N (N > 1) or --replicas R (R > 1) enables the
+             sharded/replicated corpus even without --ingest-wal: every
+             replica owns its own WAL, so the single WAL path is unused
+             there. *)
+          (match (ingest_wal, shards > 1 || replicas > 1) with
           | None, false -> None
           | wal_opt, _ ->
             let wal = Option.value wal_opt ~default:"" in
@@ -741,6 +788,9 @@ let serve_cmd =
                 max_doc_elems = Option.value max_doc_elems ~default:d.Server.max_doc_elems;
                 write_lane = Option.value write_lane ~default:d.Server.write_lane;
                 shards;
+                replicas;
+                ack_mode;
+                probation_ms = Option.value probation_ms ~default:d.Server.probation_ms;
               });
       }
     in
@@ -773,7 +823,7 @@ let serve_cmd =
       $ step_budget_arg $ restart_cap_arg $ cache_mb_arg $ no_cache_arg $ hard_wall_arg
       $ no_supervise_arg $ quarantine_arg $ queue_deadline_arg $ ingest_wal_arg
       $ merge_interval_arg $ max_doc_bytes_arg $ max_doc_elems_arg $ write_lane_arg
-      $ shards_arg)
+      $ shards_arg $ replicas_arg $ ack_mode_arg $ probation_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -787,7 +837,11 @@ let serve_cmd =
           With --shards N, the corpus is sharded into independent failure domains: queries \
           scatter-gather over the live shards, a lost shard degrades answers to PARTIAL with a \
           sound bound instead of failing them, and SHARDS/RELOAD <i> expose per-shard health \
-          and recovery (DESIGN.md §4i).")
+          and recovery (DESIGN.md §4i).  With --replicas R, each shard is a replica set kept \
+          in sync by WAL shipping: probes fail over to the next in-sync copy (losing one \
+          replica keeps answers Complete), RELOAD <i>.<j> catches one copy up from its \
+          primary, and a disk fault degrades the store to READONLY instead of crashing \
+          (DESIGN.md §4l).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -920,6 +974,7 @@ let client_cmd =
           match failure with
           | Client.Overloaded -> exit_overloaded
           | Client.Budget_exhausted -> exit_budget
+          | Client.Store_readonly -> exit_readonly
           | Client.Connect_failed _ | Client.No_response -> exit_usage
         in
         (* A quarantined response earlier in the run still names the more
@@ -1239,8 +1294,10 @@ let bench_check_cmd =
        ~doc:
          "Validate a bench artifact's schema.  Serve artifacts need a version, non-empty scales, \
           goodput and p50/p99/p999 on every scale; twig ablation artifacts (bench = \"twig\") a \
-          non-empty series with per-query binary/holistic timings.  Exit 0 when well-formed; CI \
-          gates on this.")
+          non-empty series with per-query binary/holistic timings; replication artifacts (bench \
+          = \"replica\") healthy/replica-lost percentiles with zero lost-pass partials, sync and \
+          async ingest rates, and a catch-up measurement.  Exit 0 when well-formed; CI gates on \
+          this.")
     Term.(const run $ file_arg)
 
 let bench_cmd =

@@ -31,12 +31,30 @@
    truncation bound; a lost or down shard reports [max_total], which
    depends only on the query's predicate weights and so needs no data
    from the lost shard.  The merged result is then [Partial] with
-   [served]/[total] attribution. *)
+   [served]/[total] attribution.
+
+   Replication (DESIGN.md §4l).  With [replicas = R] each shard is a
+   replica *set*: R full stores, each with its own snapshot and WAL.
+   The primary is the first in-sync live replica; acked records are
+   shipped to the followers — applied through their own WAL+fsync
+   before the ack in [Sync] mode, or queued and drained shortly after
+   in [Async] mode (bounded-lag gauge).  A follower that misses a
+   record (disk fault, probe loss) is marked out-of-sync and excluded
+   from the queryable view until catch-up: copy the primary's snapshot
+   and WAL files and reopen, i.e. genuine snapshot copy + WAL tail
+   replay.  Queries fail over: a probe that dies on one replica
+   retries the next in-sync replica under the same guard, so a
+   single-replica loss yields a [Complete] answer byte-identical to
+   the healthy run; [Partial] remains as the R-failures-out-of-R
+   floor, with [served]/[total] counting replica sets. *)
 
 type algorithm = DPO | SSO | Hybrid
 
 let algorithm_to_string = function DPO -> "dpo" | SSO -> "sso" | Hybrid -> "hybrid"
 
+type ack_mode = Sync | Async
+
+let ack_mode_to_string = function Sync -> "sync" | Async -> "async"
 let default_strike_threshold = 3
 
 (* ------------------------------------------------------------------ *)
@@ -58,17 +76,45 @@ let route ~shards id = fnv1a id mod shards
 (* ------------------------------------------------------------------ *)
 (* State *)
 
+(* One copy of a shard.  [rep_synced = false] means the replica missed
+   an acked record (failed ship, disk fault, or it has not finished
+   async drain/catch-up); it keeps serving nothing until it converges
+   back to the primary's acked set, because an out-of-sync replica's
+   node ids may not match the published spans. *)
+type replica = {
+  rep_idx : int;
+  rep_snapshot_path : string;
+  rep_wal_path : string;
+  mutable rep_store : Ingest.store option;  (* [None] while the replica is down *)
+  mutable rep_generation : int;
+  mutable rep_strikes : int;
+  mutable rep_quarantined : bool;
+  mutable rep_synced : bool;
+  mutable rep_pending : Wal.record list;  (* async ship queue, newest first; drained in reverse *)
+  mutable rep_pending_since_ms : float option;  (* arrival of the oldest pending record *)
+  mutable rep_last_error : string option;
+}
+
 type shard = {
   ord : int;
-  snapshot_path : string;
-  wal_path : string;
-  wlock : Mutex.t;  (* serializes writers (ingest/delete/merge/reload) *)
-  mutable store : Ingest.store option;  (* [None] while the shard is down *)
-  mutable generation : int;
-  mutable strikes : int;
-  mutable quarantined : bool;
-  mutable last_error : string option;
+  replicas : replica array;  (* replica 0 carries the legacy single-copy paths *)
+  wlock : Mutex.t;  (* serializes writers (ingest/delete/merge/ship/reload) *)
 }
+
+(* A replica that can serve right now: live, unquarantined, in sync
+   and with no queued-but-unapplied ships — i.e. value-identical to
+   the primary's acked corpus, so any of them can serve a probe
+   against the published spans. *)
+let replica_usable r =
+  r.rep_store <> None && (not r.rep_quarantined) && r.rep_synced && r.rep_pending = []
+
+(* The primary is the first usable replica — promotion is implicit in
+   the ordering, and a recovered lower replica resumes the primary
+   role after catch-up. *)
+let primary_of s = Array.to_seq s.replicas |> Seq.find replica_usable
+
+(* Query-usable replicas, primary first. *)
+let usable_replicas s = Array.to_list s.replicas |> List.filter replica_usable
 
 (* One ingested document inside a shard view: its wrapper element, its
    subtree span, and the pre-order id its wrapper would have in the
@@ -84,7 +130,10 @@ type doc_span = {
 
 type shard_view = {
   sv_ord : int;
-  sv_env : Env.t option;  (* scoring view (overlay + merged stats); [None] when down *)
+  sv_replicas : (int * Env.t) array;
+      (* (replica index, scoring view) for every in-sync live replica,
+         primary first — the probe's failover order.  Empty when the
+         whole replica set is down. *)
   sv_spans : doc_span array;  (* ascending by wrapper id *)
   sv_error : string option;
 }
@@ -100,11 +149,12 @@ type view = {
 type t = {
   shards : shard array;
   reg_lock : Mutex.t;
-      (* protects [order], [next_auto], shard meta fields and view
+      (* protects [order], [next_auto], replica meta fields and view
          publication; never held while waiting on a [wlock] *)
   mutable order : string list;  (* global arrival order, oldest first *)
   mutable next_auto : int;
   strike_threshold : int;
+  ack_mode : ack_mode;
   view : view Atomic.t;
   cache : Qcache.t;
   fallback_env : Env.t;  (* empty corpus env: bounds when every shard is down *)
@@ -112,9 +162,9 @@ type t = {
       (* probe parallelism for the scatter; [None] keeps the original
          strictly sequential per-shard fold *)
   reopen : snapshot:string -> wal:string -> (Ingest.store, Error.t) Stdlib.result;
-      (* opens a shard store with the corpus's own weights, hierarchy,
+      (* opens a replica store with the corpus's own weights, hierarchy,
          scorer and limits — what [reload] must reuse, or a swapped
-         shard would score under different parameters *)
+         replica would score under different parameters *)
 }
 
 let with_lock m f =
@@ -122,6 +172,8 @@ let with_lock m f =
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let shard_count t = Array.length t.shards
+let replica_count t = Array.length t.shards.(0).replicas
+let ack_mode t = t.ack_mode
 let shard_of_id t id = route ~shards:(Array.length t.shards) id
 
 (* ------------------------------------------------------------------ *)
@@ -129,12 +181,15 @@ let shard_of_id t id = route ~shards:(Array.length t.shards) id
    published view with one [Atomic.get] and never block. *)
 
 let publish t =
+  (* Corpus-global statistics merge one env per shard — the primary's.
+     In-sync followers are value-identical copies; folding them in too
+     would double-count every document. *)
   let live_envs =
     Array.to_list t.shards
     |> List.filter_map (fun s ->
-           match s.store with
-           | Some st when not s.quarantined -> Some (Ingest.store_env st)
-           | _ -> None)
+           match primary_of s with
+           | Some r -> Option.map Ingest.store_env r.rep_store
+           | None -> None)
   in
   let scoring_of =
     match live_envs with
@@ -152,9 +207,22 @@ let publish t =
   let shard_views =
     Array.map
       (fun s ->
-        match s.store with
-        | Some st when not s.quarantined ->
-          let env = Ingest.store_env st in
+        match usable_replicas s with
+        | [] ->
+          let err =
+            let any_quarantined = Array.exists (fun r -> r.rep_quarantined) s.replicas in
+            match
+              Array.to_list s.replicas |> List.find_map (fun r -> r.rep_last_error)
+            with
+            | Some e -> Some e
+            | None -> Some (if any_quarantined then "quarantined" else "down")
+          in
+          { sv_ord = s.ord; sv_replicas = [||]; sv_spans = [||]; sv_error = err }
+        | prim :: _ as usable ->
+          (* Spans come from the primary's doc; every usable replica is
+             value-identical, so the same spans map any of their node
+             ids into the combined corpus. *)
+          let env = Ingest.store_env (Option.get prim.rep_store) in
           let doc = env.Env.doc in
           let spans =
             Xmldom.Doc.children doc (Xmldom.Doc.root doc)
@@ -169,14 +237,14 @@ let publish t =
                    | None -> None)
             |> Array.of_list
           in
-          { sv_ord = s.ord; sv_env = scoring_of env; sv_spans = spans; sv_error = None }
-        | _ ->
-          let err =
-            match s.last_error with
-            | Some e -> Some e
-            | None -> Some (if s.quarantined then "quarantined" else "down")
+          let sv_replicas =
+            usable
+            |> List.filter_map (fun r ->
+                   let e = Ingest.store_env (Option.get r.rep_store) in
+                   Option.map (fun senv -> (r.rep_idx, senv)) (scoring_of e))
+            |> Array.of_list
           in
-          { sv_ord = s.ord; sv_env = None; sv_spans = [||]; sv_error = err })
+          { sv_ord = s.ord; sv_replicas; sv_spans = spans; sv_error = None })
       t.shards
   in
   (* Global wrapper bases follow the corpus-level arrival order, so a
@@ -193,15 +261,25 @@ let publish t =
       | None -> ())
     t.order;
   let gen_vector =
+    (* One ':'-joined component per replica — ["<gen>"] when usable,
+       ["<gen>!"] when down, quarantined or out-of-sync — so any change
+       to a replica's content or availability invalidates cached
+       answers.  At R = 1 this is exactly the PR-7 per-shard format. *)
     t.shards
     |> Array.map (fun s ->
-           let g = string_of_int s.generation in
-           match s.store with Some _ when not s.quarantined -> g | _ -> g ^ "!")
+           Array.to_list s.replicas
+           |> List.map (fun r ->
+                  let g = string_of_int r.rep_generation in
+                  if replica_usable r then g else g ^ "!")
+           |> String.concat ":")
     |> Array.to_list |> String.concat "."
   in
   let planner =
     Array.fold_left
-      (fun acc sv -> match acc with Some _ -> acc | None -> sv.sv_env)
+      (fun acc sv ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Array.length sv.sv_replicas > 0 then Some (snd sv.sv_replicas.(0)) else None)
       None shard_views
   in
   Atomic.set t.view { v_shards = shard_views; v_gen_vector = gen_vector; v_planner = planner }
@@ -221,50 +299,104 @@ let auto_seed ids =
       else acc)
     1 ids
 
-let shard_paths ~prefix i =
-  (Printf.sprintf "%s.shard%d" prefix i, Printf.sprintf "%s.shard%d.wal" prefix i)
+(* Replica 0 keeps the PR-7 single-copy layout, so an existing corpus
+   opened with [--replicas R] finds its data as replica 0 and the
+   followers bootstrap empty (catch-up or the first writes sync
+   them). *)
+let replica_paths ~prefix i j =
+  if j = 0 then (Printf.sprintf "%s.shard%d" prefix i, Printf.sprintf "%s.shard%d.wal" prefix i)
+  else
+    ( Printf.sprintf "%s.shard%d.r%d" prefix i j,
+      Printf.sprintf "%s.shard%d.r%d.wal" prefix i j )
+
+
+(* In-sync here means "holds exactly the primary's acked set".  At open
+   every replica recovered its own snapshot+WAL; a follower whose
+   recovered ids differ from the primary's missed acked records while
+   it was away (or tore its WAL) and must catch up before serving. *)
+let synced_with_primary ~prim_ids st = List.equal String.equal prim_ids (Ingest.store_ids st)
 
 let open_corpus ?weights ?hierarchy ?scorer ?limits
-    ?(strike_threshold = default_strike_threshold) ?(probe_domains = 0) ~shards ~prefix () =
+    ?(strike_threshold = default_strike_threshold) ?(probe_domains = 0) ?(replicas = 1)
+    ?(ack_mode = Sync) ?probation_ms ~shards ~prefix () =
   if shards < 1 || shards > 1024 then
     Error
       (Error.Config_error
          { what = "shards"; message = Printf.sprintf "shard count %d outside 1..1024" shards })
+  else if replicas < 1 || replicas > 8 then
+    Error
+      (Error.Config_error
+         { what = "replicas"; message = Printf.sprintf "replica count %d outside 1..8" replicas })
   else
     match Result.map Ingest.env (Ingest.empty ?weights ?hierarchy ?scorer ()) with
     | Error e -> Error e
     | Ok fallback_env ->
       let reopen ~snapshot ~wal =
-        Ingest.open_store ?weights ?hierarchy ?scorer ?limits ~snapshot ~wal ()
+        Ingest.open_store ?weights ?hierarchy ?scorer ?limits ?probation_ms ~snapshot ~wal ()
       in
       let shard_arr =
         Array.init shards (fun i ->
-            let snapshot_path, wal_path = shard_paths ~prefix i in
-            let shard =
-              {
-                ord = i;
-                snapshot_path;
-                wal_path;
-                wlock = Mutex.create ();
-                store = None;
-                generation = 0;
-                strikes = 0;
-                quarantined = false;
-                last_error = None;
-              }
+            let reps =
+              Array.init replicas (fun j ->
+                  let snapshot_path, wal_path = replica_paths ~prefix i j in
+                  let rep =
+                    {
+                      rep_idx = j;
+                      rep_snapshot_path = snapshot_path;
+                      rep_wal_path = wal_path;
+                      rep_store = None;
+                      rep_generation = 0;
+                      rep_strikes = 0;
+                      rep_quarantined = false;
+                      rep_synced = true;
+                      rep_pending = [];
+                      rep_pending_since_ms = None;
+                      rep_last_error = None;
+                    }
+                  in
+                  (* Fault isolation starts at load: a replica whose
+                     snapshot fails its integrity checks opens down with
+                     the error recorded — the rest of the set still
+                     serves. *)
+                  (match reopen ~snapshot:snapshot_path ~wal:wal_path with
+                  | Ok st -> rep.rep_store <- Some st
+                  | Error e -> rep.rep_last_error <- Some (Error.to_string e));
+                  rep)
             in
-            (* Fault isolation starts at load: a shard whose snapshot
-               fails its integrity checks opens [Down] with the error
-               recorded — the other shards still serve. *)
-            (match reopen ~snapshot:snapshot_path ~wal:wal_path with
-            | Ok st -> shard.store <- Some st
-            | Error e -> shard.last_error <- Some (Error.to_string e));
-            shard)
+            (* Pick the recovery reference: the live replica with the
+               largest recovered acked set (ties to the lowest index) —
+               a replica that accepted writes while its peers were down
+               must win, or its acked records would be clobbered by
+               catch-up.  (Delete-only divergence can still pick the
+               stale copy; term/epoch numbers are the named follow-up
+               in DESIGN.md §4l.)  Everything that differs from the
+               reference is out-of-sync until catch-up. *)
+            (match
+               Array.to_list reps
+               |> List.filter_map (fun r -> Option.map (fun st -> (r, Ingest.store_ids st)) r.rep_store)
+               |> List.fold_left
+                    (fun acc (r, ids) ->
+                      match acc with
+                      | Some (_, best) when List.length best >= List.length ids -> acc
+                      | _ -> Some (r, ids))
+                    None
+             with
+            | None -> ()
+            | Some (_, prim_ids) ->
+              Array.iter
+                (fun r ->
+                  match r.rep_store with
+                  | Some st when not (synced_with_primary ~prim_ids st) -> r.rep_synced <- false
+                  | _ -> ())
+                reps);
+            { ord = i; replicas = reps; wlock = Mutex.create () })
       in
       let order =
         Array.to_list shard_arr
         |> List.concat_map (fun s ->
-               match s.store with Some st -> Ingest.store_ids st | None -> [])
+               match primary_of s with
+               | Some r -> Ingest.store_ids (Option.get r.rep_store)
+               | None -> [])
       in
       let t =
         {
@@ -273,6 +405,7 @@ let open_corpus ?weights ?hierarchy ?scorer ?limits
           order;
           next_auto = auto_seed order;
           strike_threshold;
+          ack_mode;
           view = Atomic.make { v_shards = [||]; v_gen_vector = ""; v_planner = None };
           cache = Qcache.create ();
           fallback_env;
@@ -295,25 +428,100 @@ let close t =
   Array.iter
     (fun s ->
       with_lock s.wlock (fun () ->
-          match s.store with
-          | Some st ->
-            Ingest.close st;
-            s.store <- None
-          | None -> ()))
+          Array.iter
+            (fun r ->
+              match r.rep_store with
+              | Some st ->
+                Ingest.close st;
+                r.rep_store <- None
+              | None -> ())
+            s.replicas))
     t.shards
 
 let probe_parallelism t = match t.pool with Some p -> Taskpool.size p + 1 | None -> 1
 
 (* ------------------------------------------------------------------ *)
-(* Writes: route, apply under the shard's writer lock, publish. *)
+(* Writes: route, apply to the primary under the shard's writer lock,
+   ship to the followers, publish. *)
 
 let unavailable s =
-  let reason = if s.quarantined then "quarantined" else "down" in
+  let reason =
+    if Array.exists (fun r -> r.rep_quarantined) s.replicas then "quarantined" else "down"
+  in
   Error.Io_error
-    { path = s.snapshot_path; message = Printf.sprintf "shard %d is %s" s.ord reason }
+    {
+      path = s.replicas.(0).rep_snapshot_path;
+      message = Printf.sprintf "shard %d is %s" s.ord reason;
+    }
 
 let note_arrival t id =
   t.order <- List.filter (fun existing -> not (String.equal existing id)) t.order @ [ id ]
+
+(* A follower that missed an acked record is out-of-sync: it stops
+   serving (and receiving ships) until catch-up, but the ack stands on
+   the surviving copies — losing one replica's durability is the
+   failure replication exists to absorb. *)
+let mark_out_of_sync t rep why =
+  with_lock t.reg_lock (fun () ->
+      rep.rep_synced <- false;
+      rep.rep_pending <- [];
+      rep.rep_pending_since_ms <- None;
+      rep.rep_generation <- rep.rep_generation + 1;
+      rep.rep_last_error <- Some why)
+
+(* Apply one acked record to a follower through its own WAL (fsync
+   included).  [replica_ship] is the fault-injection point for a
+   follower that dies mid-ship. *)
+let ship_record t rep record =
+  match rep.rep_store with
+  | None -> mark_out_of_sync t rep "ship: replica down"
+  | Some st -> (
+    match
+      Failpoint.hit "replica_ship";
+      Ingest.apply_shipped st record
+    with
+    | Ok () -> with_lock t.reg_lock (fun () -> rep.rep_generation <- rep.rep_generation + 1)
+    | Error e -> mark_out_of_sync t rep ("ship: " ^ Error.to_string e)
+    | exception Failpoint.Injected p -> mark_out_of_sync t rep ("ship: fault: " ^ p))
+
+(* Drain a follower's async queue, oldest first.  The queue order is
+   the primary's ack order, so a fully drained follower is
+   value-identical to the primary again. *)
+let drain_replica t rep =
+  match List.rev rep.rep_pending with
+  | [] -> ()
+  | records ->
+    with_lock t.reg_lock (fun () ->
+        rep.rep_pending <- [];
+        rep.rep_pending_since_ms <- None);
+    List.iter (fun r -> if rep.rep_synced then ship_record t rep r) records
+
+let drain_shard t s = Array.iter (fun rep -> drain_replica t rep) s.replicas
+
+let enqueue_record t rep record =
+  with_lock t.reg_lock (fun () ->
+      rep.rep_pending <- record :: rep.rep_pending;
+      if rep.rep_pending_since_ms = None then rep.rep_pending_since_ms <- Some (Monotime.now_ms ()))
+
+(* Followers eligible for shipping: live, unquarantined, in sync and
+   not the primary.  Out-of-sync replicas are skipped — they need
+   catch-up, not a record from the middle of a sequence they hold a
+   prefix of. *)
+let ship_targets s prim =
+  Array.to_list s.replicas
+  |> List.filter (fun r ->
+         r != prim && r.rep_store <> None && (not r.rep_quarantined) && r.rep_synced
+         && r.rep_pending = [])
+
+let ship t s prim record =
+  match t.ack_mode with
+  | Sync -> List.iter (fun rep -> ship_record t rep record) (ship_targets s prim)
+  | Async ->
+    List.iter
+      (fun rep -> enqueue_record t rep record)
+      (Array.to_list s.replicas
+      |> List.filter (fun r ->
+             r != prim && r.rep_store <> None && (not r.rep_quarantined) && r.rep_synced))
 
 let ingest t ?id body =
   let id =
@@ -327,15 +535,16 @@ let ingest t ?id body =
   in
   let s = t.shards.(shard_of_id t id) in
   with_lock s.wlock (fun () ->
-      match s.store with
+      drain_shard t s;
+      match primary_of s with
       | None -> Error (unavailable s)
-      | Some _ when s.quarantined -> Error (unavailable s)
-      | Some st -> (
-        match Ingest.ingest st ~id body with
+      | Some prim -> (
+        match Ingest.ingest (Option.get prim.rep_store) ~id body with
         | Error e -> Error e
         | Ok id ->
+          ship t s prim (Wal.Add { id; xml = body });
           with_lock t.reg_lock (fun () ->
-              s.generation <- s.generation + 1;
+              prim.rep_generation <- prim.rep_generation + 1;
               note_arrival t id;
               publish t);
           Ok id))
@@ -343,15 +552,16 @@ let ingest t ?id body =
 let delete t ~id =
   let s = t.shards.(shard_of_id t id) in
   with_lock s.wlock (fun () ->
-      match s.store with
+      drain_shard t s;
+      match primary_of s with
       | None -> Error (unavailable s)
-      | Some _ when s.quarantined -> Error (unavailable s)
-      | Some st -> (
-        match Ingest.delete st ~id with
+      | Some prim -> (
+        match Ingest.delete (Option.get prim.rep_store) ~id with
         | Error e -> Error e
         | Ok () ->
+          ship t s prim (Wal.Delete { id });
           with_lock t.reg_lock (fun () ->
-              s.generation <- s.generation + 1;
+              prim.rep_generation <- prim.rep_generation + 1;
               t.order <- List.filter (fun existing -> not (String.equal existing id)) t.order;
               publish t);
           Ok ()))
@@ -363,69 +573,277 @@ let check_ord t ord =
          { what = "shard"; message = Printf.sprintf "shard %d outside 0..%d" ord (Array.length t.shards - 1) })
   else Ok t.shards.(ord)
 
+(* Drain one shard's async queues outside a write — the server's merge
+   loop tick, and the lag-bounding knob the async mode's gauge is
+   checked against. *)
+let ship_pending t ord =
+  match check_ord t ord with
+  | Error _ -> ()
+  | Ok s ->
+    with_lock s.wlock (fun () ->
+        if Array.exists (fun r -> r.rep_pending <> []) s.replicas then begin
+          drain_shard t s;
+          with_lock t.reg_lock (fun () -> publish t)
+        end)
+
 let merge t ord =
   match check_ord t ord with
   | Error e -> Error e
   | Ok s ->
     with_lock s.wlock (fun () ->
-        match s.store with
+        drain_shard t s;
+        match primary_of s with
         | None -> Error (unavailable s)
-        | Some st -> (
-          match Ingest.merge st with
-          | Ok () -> Ok ()
+        | Some prim ->
+          let res = Ingest.merge (Option.get prim.rep_store) in
+          (match res with
+          | Ok () -> ()
           | Error e ->
-            (* A failed merge leaves snapshot+WAL intact and the shard
-               serving; record it for SHARDS without striking. *)
-            with_lock t.reg_lock (fun () -> s.last_error <- Some (Error.to_string e));
-            Error e))
+            (* A failed merge leaves snapshot+WAL intact and the
+               replica serving; record it for SHARDS without
+               striking.  (A disk error also armed the store's
+               read-only probation — see {!Ingest}.) *)
+            with_lock t.reg_lock (fun () -> prim.rep_last_error <- Some (Error.to_string e)));
+          (* Compact the in-sync followers too: each replica's own
+             snapshot must keep pace or its WAL — and every catch-up
+             copy of it — grows without bound. *)
+          Array.iter
+            (fun r ->
+              if r != prim && replica_usable r then
+                match Ingest.merge (Option.get r.rep_store) with
+                | Ok () -> ()
+                | Error e ->
+                  with_lock t.reg_lock (fun () -> r.rep_last_error <- Some (Error.to_string e)))
+            s.replicas;
+          res)
 
-let reload t ord =
+(* ------------------------------------------------------------------ *)
+(* Catch-up and reload. *)
+
+(* Plain byte copy via a temp file + rename, so a crash mid-copy never
+   leaves a half-written snapshot or WAL in place. *)
+let copy_file src dst =
+  if not (Sys.file_exists src) then begin
+    if Sys.file_exists dst then Sys.remove dst;
+    Ok ()
+  end
+  else begin
+    match
+      let ic = open_in_bin src in
+      let n = in_channel_length ic in
+      let buf = really_input_string ic n in
+      close_in ic;
+      let tmp = dst ^ ".cp" in
+      let oc = open_out_bin tmp in
+      output_string oc buf;
+      close_out oc;
+      Sys.rename tmp dst
+    with
+    | () -> Ok ()
+    | exception Sys_error m -> Error (Error.Io_error { path = dst; message = m })
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Error.Io_error { path = dst; message = fn ^ ": " ^ Unix.error_message e })
+  end
+
+(* Reconcile the arrival order with what the shard actually recovered:
+   surviving documents keep their global position — so tie-breaks, and
+   therefore answers, are unchanged by a reload that recovers the same
+   documents — ids the shard no longer holds drop out, and genuinely
+   new (WAL-recovered) ids append.  [reg_lock] held. *)
+let reconcile_order t ord recovered =
+  let keep id = shard_of_id t id <> ord || List.exists (String.equal id) recovered in
+  let fresh = List.filter (fun id -> not (List.exists (String.equal id) t.order)) recovered in
+  t.order <- List.filter keep t.order @ fresh;
+  t.next_auto <- max t.next_auto (auto_seed t.order)
+
+let close_replica rep =
+  match rep.rep_store with
+  | Some st ->
+    Ingest.close st;
+    rep.rep_store <- None
+  | None -> ()
+
+(* Catch a follower up to the primary's acked set: copy the primary's
+   snapshot and WAL files over the follower's and reopen — the
+   ordinary {!Ingest.open_store} replay machinery then performs the
+   snapshot load + WAL tail replay, so catch-up exercises exactly the
+   recovery path.  [wlock] held; the lock keeps the primary's files
+   quiescent for the duration. *)
+let catchup_replica t prim rep =
+  close_replica rep;
+  let prim_st = Option.get prim.rep_store in
+  let ( let* ) = Result.bind in
+  let res =
+    let* () = copy_file prim.rep_snapshot_path rep.rep_snapshot_path in
+    let* () = copy_file prim.rep_wal_path rep.rep_wal_path in
+    let* st = t.reopen ~snapshot:rep.rep_snapshot_path ~wal:rep.rep_wal_path in
+    if synced_with_primary ~prim_ids:(Ingest.store_ids prim_st) st then Ok st
+    else begin
+      Ingest.close st;
+      Error
+        (Error.Io_error
+           {
+             path = rep.rep_snapshot_path;
+             message = "catch-up copy diverged from the primary's acked set";
+           })
+    end
+  in
+  match res with
+  | Ok st ->
+    with_lock t.reg_lock (fun () ->
+        rep.rep_store <- Some st;
+        rep.rep_generation <- rep.rep_generation + 1;
+        rep.rep_strikes <- 0;
+        rep.rep_quarantined <- false;
+        rep.rep_synced <- true;
+        rep.rep_pending <- [];
+        rep.rep_pending_since_ms <- None;
+        rep.rep_last_error <- None);
+    Ok ()
+  | Error e ->
+    with_lock t.reg_lock (fun () ->
+        rep.rep_generation <- rep.rep_generation + 1;
+        rep.rep_synced <- false;
+        rep.rep_last_error <- Some (Error.to_string e));
+    Error e
+
+(* Reopen one replica from its own on-disk snapshot + WAL (no copy):
+   the restart path.  Sync status is settled by the caller. *)
+let reopen_replica t rep =
+  close_replica rep;
+  match t.reopen ~snapshot:rep.rep_snapshot_path ~wal:rep.rep_wal_path with
+  | Ok st ->
+    with_lock t.reg_lock (fun () ->
+        rep.rep_store <- Some st;
+        rep.rep_generation <- rep.rep_generation + 1;
+        rep.rep_strikes <- 0;
+        rep.rep_quarantined <- false;
+        rep.rep_pending <- [];
+        rep.rep_pending_since_ms <- None;
+        rep.rep_last_error <- None);
+    Ok ()
+  | Error e ->
+    with_lock t.reg_lock (fun () ->
+        rep.rep_generation <- rep.rep_generation + 1;
+        rep.rep_last_error <- Some (Error.to_string e);
+        rep.rep_synced <- false);
+    Error e
+
+(* After reopening replicas from disk, re-derive who is in sync: the
+   reference is the live replica with the largest recovered acked set
+   (same rule as [open_corpus]); everything equal to it is in sync.
+   [reg_lock] NOT held.  Returns the reference's ids. *)
+let resync_shard t s =
+  let live =
+    Array.to_list s.replicas
+    |> List.filter_map (fun r ->
+           match r.rep_store with
+           | Some st when not r.rep_quarantined -> Some (r, Ingest.store_ids st)
+           | _ -> None)
+  in
+  let reference =
+    List.fold_left
+      (fun acc (r, ids) ->
+        match acc with
+        | Some (_, best) when List.length best >= List.length ids -> acc
+        | _ -> Some (r, ids))
+      None live
+  in
+  with_lock t.reg_lock (fun () ->
+      match reference with
+      | None -> []
+      | Some (_, prim_ids) ->
+        List.iter
+          (fun (r, ids) -> r.rep_synced <- List.equal String.equal prim_ids ids)
+          live;
+        prim_ids)
+
+let reload t ?replica ord =
   match check_ord t ord with
   | Error e -> Error e
-  | Ok s ->
-    with_lock s.wlock (fun () ->
-        (match s.store with
-        | Some st ->
-          Ingest.close st;
-          s.store <- None
-        | None -> ());
-        match t.reopen ~snapshot:s.snapshot_path ~wal:s.wal_path with
-        | Ok st ->
-          with_lock t.reg_lock (fun () ->
-              s.store <- Some st;
-              s.generation <- s.generation + 1;
-              s.strikes <- 0;
-              s.quarantined <- false;
-              s.last_error <- None;
-              (* Reconcile the arrival order with what the shard
-                 actually recovered: surviving documents keep their
-                 global position — so tie-breaks, and therefore
-                 answers, are unchanged by a reload that recovers the
-                 same documents — ids the reopened shard no longer
-                 holds drop out, and genuinely new (WAL-recovered) ids
-                 append. *)
-              let recovered = Ingest.store_ids st in
-              let keep id =
-                shard_of_id t id <> ord || List.exists (String.equal id) recovered
-              in
-              let fresh =
-                List.filter
-                  (fun id -> not (List.exists (String.equal id) t.order))
-                  recovered
-              in
-              t.order <- List.filter keep t.order @ fresh;
-              t.next_auto <- max t.next_auto (auto_seed t.order);
-              publish t);
-          Ok ()
-        | Error e ->
-          with_lock t.reg_lock (fun () ->
-              s.generation <- s.generation + 1;
-              s.last_error <- Some (Error.to_string e);
-              publish t);
-          Error e)
+  | Ok s -> (
+    match replica with
+    | Some j when j < 0 || j >= Array.length s.replicas ->
+      Error
+        (Error.Config_error
+           {
+             what = "replica";
+             message =
+               Printf.sprintf "replica %d outside 0..%d" j (Array.length s.replicas - 1);
+           })
+    | Some j ->
+      (* One replica: catch up from the primary when a distinct one is
+         live (snapshot copy + WAL tail replay to the primary's acked
+         set — the quarantine-recovery path); otherwise a plain reopen
+         from its own files. *)
+      with_lock s.wlock (fun () ->
+          drain_shard t s;
+          let rep = s.replicas.(j) in
+          let res =
+            match primary_of s with
+            | Some prim when prim != rep -> catchup_replica t prim rep
+            | _ -> (
+              match reopen_replica t rep with
+              | Error e -> Error e
+              | Ok () ->
+                let recovered = resync_shard t s in
+                with_lock t.reg_lock (fun () -> reconcile_order t ord recovered);
+                Ok ())
+          in
+          with_lock t.reg_lock (fun () -> publish t);
+          res)
+    | None ->
+      (* Whole replica set: reopen every replica from disk, settle the
+         sync reference, reconcile the arrival order against it, then
+         catch stragglers up from the new primary. *)
+      with_lock s.wlock (fun () ->
+          let errors =
+            Array.to_list s.replicas
+            |> List.filter_map (fun rep ->
+                   match reopen_replica t rep with Ok () -> None | Error e -> Some e)
+          in
+          let recovered = resync_shard t s in
+          with_lock t.reg_lock (fun () -> reconcile_order t ord recovered);
+          (match primary_of s with
+          | Some prim ->
+            Array.iter
+              (fun rep ->
+                if rep != prim && rep.rep_store <> None && not rep.rep_synced then
+                  ignore (catchup_replica t prim rep))
+              s.replicas
+          | None -> ());
+          with_lock t.reg_lock (fun () -> publish t);
+          match (primary_of s, errors) with
+          | Some _, _ -> Ok ()
+          | None, e :: _ -> Error e
+          | None, [] -> Error (unavailable s)))
 
 (* ------------------------------------------------------------------ *)
 (* Health *)
+
+type replica_role = Primary | Follower
+
+let role_to_string = function Primary -> "primary" | Follower -> "follower"
+
+type replica_health = {
+  rh_idx : int;
+  rh_role : replica_role;
+  rh_live : bool;
+  rh_quarantined : bool;
+  rh_synced : bool;
+  rh_generation : int;
+  rh_docs : int;
+  rh_strikes : int;
+  rh_unmerged : int;
+  rh_staleness_ms : float;
+  rh_wal_bytes : int;
+  rh_replayed : int;
+  rh_lag : int;  (* queued-but-unapplied shipped records (async mode) *)
+  rh_lag_ms : float;  (* age of the oldest queued record *)
+  rh_readonly : bool;
+  rh_readonly_retry_ms : int;
+  rh_last_error : string option;
+}
 
 type shard_health = {
   h_ord : int;
@@ -439,39 +857,91 @@ type shard_health = {
   h_wal_bytes : int;
   h_replayed : int;
   h_last_error : string option;
+  h_replicas : replica_health array;
 }
 
 let health t =
   Array.map
     (fun s ->
+      let prim = primary_of s in
+      let reps =
+        Array.map
+          (fun r ->
+            let docs, unmerged, staleness, wal_bytes, replayed, ro, ro_retry =
+              match r.rep_store with
+              | Some st ->
+                ( Ingest.doc_count st,
+                  Ingest.unmerged_records st,
+                  Ingest.staleness_ms st,
+                  Ingest.wal_bytes st,
+                  Ingest.replayed_records st,
+                  Ingest.readonly st,
+                  Ingest.readonly_retry_after_ms st )
+              | None -> (0, 0, 0., 0, 0, false, 0)
+            in
+            {
+              rh_idx = r.rep_idx;
+              rh_role = (match prim with Some p when p == r -> Primary | _ -> Follower);
+              rh_live = r.rep_store <> None && not r.rep_quarantined;
+              rh_quarantined = r.rep_quarantined;
+              rh_synced = r.rep_synced && r.rep_pending = [];
+              rh_generation = r.rep_generation;
+              rh_docs = docs;
+              rh_strikes = r.rep_strikes;
+              rh_unmerged = unmerged;
+              rh_staleness_ms = staleness;
+              rh_wal_bytes = wal_bytes;
+              rh_replayed = replayed;
+              rh_lag = List.length r.rep_pending;
+              rh_lag_ms =
+                (match r.rep_pending_since_ms with
+                | None -> 0.
+                | Some ts -> Float.max 0.0 (Monotime.now_ms () -. ts));
+              rh_readonly = ro;
+              rh_readonly_retry_ms = ro_retry;
+              rh_last_error = r.rep_last_error;
+            })
+          s.replicas
+      in
+      (* The shard-level line keeps the PR-7 shape, reported from the
+         primary's perspective; a shard is live when any replica can
+         serve. *)
+      let p = prim in
       let docs, unmerged, staleness, wal_bytes, replayed =
-        match s.store with
-        | Some st ->
-          ( Ingest.doc_count st,
-            Ingest.unmerged_records st,
-            Ingest.staleness_ms st,
-            Ingest.wal_bytes st,
-            Ingest.replayed_records st )
+        match p with
+        | Some r -> (
+          match r.rep_store with
+          | Some st ->
+            ( Ingest.doc_count st,
+              Ingest.unmerged_records st,
+              Ingest.staleness_ms st,
+              Ingest.wal_bytes st,
+              Ingest.replayed_records st )
+          | None -> (0, 0, 0., 0, 0))
         | None -> (0, 0, 0., 0, 0)
       in
       {
         h_ord = s.ord;
-        h_live = (s.store <> None && not s.quarantined);
-        h_quarantined = s.quarantined;
-        h_generation = s.generation;
+        h_live = p <> None;
+        h_quarantined = Array.for_all (fun r -> r.rep_quarantined) s.replicas;
+        h_generation = (match p with Some r -> r.rep_generation | None -> s.replicas.(0).rep_generation);
         h_docs = docs;
-        h_strikes = s.strikes;
+        h_strikes = Array.fold_left (fun acc r -> acc + r.rep_strikes) 0 s.replicas;
         h_unmerged = unmerged;
         h_staleness_ms = staleness;
         h_wal_bytes = wal_bytes;
         h_replayed = replayed;
-        h_last_error = s.last_error;
+        h_last_error = Array.to_list s.replicas |> List.find_map (fun r -> r.rep_last_error);
+        h_replicas = reps;
       })
     t.shards
 
 let doc_count t =
   Array.fold_left
-    (fun acc s -> match s.store with Some st -> acc + Ingest.doc_count st | None -> acc)
+    (fun acc s ->
+      match primary_of s with
+      | Some r -> acc + Ingest.doc_count (Option.get r.rep_store)
+      | None -> acc)
     0 t.shards
 
 let ids t = t.order
@@ -482,15 +952,42 @@ let ids t = t.order
 let scoring_env t =
   match (Atomic.get t.view).v_planner with Some e -> e | None -> t.fallback_env
 
+(* Write-lane backpressure: the worst backlog across the replica set —
+   unmerged WAL records plus any async ship queue — because an acked
+   write is not "clear" until every in-sync copy has applied and can
+   compact it. *)
 let merge_backlog t ord =
   match check_ord t ord with
   | Error _ -> 0
-  | Ok s -> ( match s.store with Some st -> Ingest.unmerged_records st | None -> 0)
+  | Ok s ->
+    Array.fold_left
+      (fun acc r ->
+        let b =
+          (match r.rep_store with Some st -> Ingest.unmerged_records st | None -> 0)
+          + List.length r.rep_pending
+        in
+        max acc b)
+      0 s.replicas
 
 let staleness_ms t ord =
   match check_ord t ord with
   | Error _ -> 0.
-  | Ok s -> ( match s.store with Some st -> Ingest.staleness_ms st | None -> 0.)
+  | Ok s -> (
+    match primary_of s with
+    | Some r -> Ingest.staleness_ms (Option.get r.rep_store)
+    | None -> 0.)
+
+(* True when some replica of the routed shard is inside its read-only
+   probation — the server's write path surfaces the hint. *)
+let readonly_hint t ord =
+  match check_ord t ord with
+  | Error _ -> None
+  | Ok s -> (
+    match primary_of s with
+    | Some r ->
+      let st = Option.get r.rep_store in
+      if Ingest.readonly st then Some (Ingest.readonly_retry_after_ms st) else None
+    | None -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Scatter-gather query *)
@@ -513,7 +1010,13 @@ type shard_status =
   | Lost of string  (** Probe failed mid-query; bound is [max_total]. *)
   | Down of string  (** Shard was unavailable before the query (load failure / quarantine). *)
 
-type shard_report = { r_ord : int; r_status : shard_status; r_bound : float; r_found : int }
+type shard_report = {
+  r_ord : int;
+  r_replica : int;  (* replica that served (or -1: none did) *)
+  r_status : shard_status;
+  r_bound : float;
+  r_found : int;
+}
 
 type result = {
   answers : answer list;
@@ -522,6 +1025,7 @@ type result = {
   completeness : completeness;
   degraded : bool;
   reports : shard_report list;
+  failovers : int;  (* probes retried on another replica this query *)
   relaxations_evaluated : int;
   passes : int;
   restarts : int;
@@ -601,17 +1105,17 @@ let run_algo algorithm ~guard ~plan ~floor ~executor env ~scheme ~k q =
   | SSO -> Sso.run ~guard ~plan ~floor ~executor env ~scheme ~k q
   | Hybrid -> Hybrid.run ~guard ~plan ~floor ~executor env ~scheme ~k q
 
-let strike t s reason =
+let strike t rep reason =
   with_lock t.reg_lock (fun () ->
-      s.strikes <- s.strikes + 1;
-      s.last_error <- Some reason;
-      if s.strikes >= t.strike_threshold && not s.quarantined then begin
-        s.quarantined <- true;
-        s.generation <- s.generation + 1
+      rep.rep_strikes <- rep.rep_strikes + 1;
+      rep.rep_last_error <- Some reason;
+      if rep.rep_strikes >= t.strike_threshold && not rep.rep_quarantined then begin
+        rep.rep_quarantined <- true;
+        rep.rep_generation <- rep.rep_generation + 1
       end)
 
-let clear_strikes t s =
-  if s.strikes > 0 then with_lock t.reg_lock (fun () -> s.strikes <- 0)
+let clear_strikes t rep =
+  if rep.rep_strikes > 0 then with_lock t.reg_lock (fun () -> rep.rep_strikes <- 0)
 
 let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(use_cache = true)
     ?(executor = Joins.Exec.Auto) ~k q =
@@ -642,10 +1146,12 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
             |> List.map (fun sv ->
                    {
                      r_ord = sv.sv_ord;
+                     r_replica = -1;
                      r_status = Down (Option.value sv.sv_error ~default:"down");
                      r_bound = mt;
                      r_found = 0;
                    });
+          failovers = 0;
           relaxations_evaluated = 0;
           passes = 0;
           restarts = 0;
@@ -667,6 +1173,7 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
         let best = ref [] in
         let degraded = ref false in
         let relax = ref 0 and passes = ref 0 and restarts = ref 0 and tuples = ref 0 in
+        let failovers = ref 0 in
         let meta_dirty = ref false in
         (* The scatter runs the probes on the corpus's domain pool when
            one was opened (DESIGN.md §4j); every piece of gather state
@@ -687,15 +1194,15 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
               match Common.kth_total scheme k !best with Some x -> x | None -> neg_infinity)
         in
         let probe sv =
-          match sv.sv_env with
-          | None ->
+          if Array.length sv.sv_replicas = 0 then
             {
               r_ord = sv.sv_ord;
+              r_replica = -1;
               r_status = Down (Option.value sv.sv_error ~default:"down");
               r_bound = mt;
               r_found = 0;
             }
-          | Some senv -> (
+          else begin
             (* Exact threshold-algorithm cutoff, tie-breaks
                included: an unprobed shard's best conceivable
                answer is (score = max_total, node = its smallest
@@ -715,60 +1222,93 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
                      | None -> false)
             in
             if skip_exact () then
-              { r_ord = sv.sv_ord; r_status = Skipped; r_bound = neg_infinity; r_found = 0 }
-            else
-              match
-                Failpoint.hit "shard_probe";
-                run_algo algorithm ~guard ~plan ~floor:floor_fn ~executor senv ~scheme ~k q
-              with
-              | r ->
-                let doc = senv.Env.doc in
-                locked (fun () ->
-                    let mapped =
-                      List.map
-                        (fun (a : Answer.t) ->
-                          match find_span sv.sv_spans a.Answer.node with
-                          | Some sp ->
-                            let g = sp.d_base + (a.Answer.node - sp.d_wrapper) in
-                            Hashtbl.replace locations g
-                              (sp.d_id, doc_relative (Xmldom.Doc.path_to_root doc a.Answer.node));
-                            { a with Answer.node = g }
-                          | None ->
-                            (* the synthetic corpus root; queries are not
-                               expected to target it, but map it stably *)
-                            Hashtbl.replace locations 0 ("", Ingest.corpus_tag);
-                            { a with Answer.node = 0 })
-                        r.Common.answers
+              {
+                r_ord = sv.sv_ord;
+                r_replica = -1;
+                r_status = Skipped;
+                r_bound = neg_infinity;
+                r_found = 0;
+              }
+            else begin
+              (* Failover walk down the replica set: every usable
+                 replica is value-identical, so retrying the probe on
+                 the next one — under the same guard, against the same
+                 spans — reproduces the answer the first would have
+                 given.  Only when the last replica dies too does the
+                 shard report [Lost]: the R-failures-out-of-R floor. *)
+              let n_reps = Array.length sv.sv_replicas in
+              let rec attempt i last_reason =
+                if i >= n_reps then begin
+                  locked (fun () -> meta_dirty := true);
+                  {
+                    r_ord = sv.sv_ord;
+                    r_replica = -1;
+                    r_status = Lost last_reason;
+                    r_bound = mt;
+                    r_found = 0;
+                  }
+                end
+                else begin
+                  let rep_idx, senv = sv.sv_replicas.(i) in
+                  match
+                    Failpoint.hit "shard_probe";
+                    run_algo algorithm ~guard ~plan ~floor:floor_fn ~executor senv ~scheme ~k q
+                  with
+                  | r ->
+                    let doc = senv.Env.doc in
+                    locked (fun () ->
+                        let mapped =
+                          List.map
+                            (fun (a : Answer.t) ->
+                              match find_span sv.sv_spans a.Answer.node with
+                              | Some sp ->
+                                let g = sp.d_base + (a.Answer.node - sp.d_wrapper) in
+                                Hashtbl.replace locations g
+                                  ( sp.d_id,
+                                    doc_relative (Xmldom.Doc.path_to_root doc a.Answer.node) );
+                                { a with Answer.node = g }
+                              | None ->
+                                (* the synthetic corpus root; queries are not
+                                   expected to target it, but map it stably *)
+                                Hashtbl.replace locations 0 ("", Ingest.corpus_tag);
+                                { a with Answer.node = 0 })
+                            r.Common.answers
+                        in
+                        best := Answer.sort_and_truncate scheme k (mapped @ !best);
+                        relax := !relax + r.Common.relaxations_evaluated;
+                        passes := !passes + r.Common.passes;
+                        restarts := !restarts + r.Common.restarts;
+                        tuples := !tuples + r.Common.metrics.Joins.Exec.tuples_produced;
+                        degraded := !degraded || r.Common.degraded);
+                    let status, bound =
+                      match r.Common.completeness with
+                      | Common.Complete ->
+                        clear_strikes t t.shards.(sv.sv_ord).replicas.(rep_idx);
+                        (Served, neg_infinity)
+                      | Common.Truncated { reason; score_bound } -> (Budget reason, score_bound)
                     in
-                    best := Answer.sort_and_truncate scheme k (mapped @ !best);
-                    relax := !relax + r.Common.relaxations_evaluated;
-                    passes := !passes + r.Common.passes;
-                    restarts := !restarts + r.Common.restarts;
-                    tuples := !tuples + r.Common.metrics.Joins.Exec.tuples_produced;
-                    degraded := !degraded || r.Common.degraded);
-                let status, bound =
-                  match r.Common.completeness with
-                  | Common.Complete ->
-                    clear_strikes t t.shards.(sv.sv_ord);
-                    (Served, neg_infinity)
-                  | Common.Truncated { reason; score_bound } -> (Budget reason, score_bound)
-                in
-                {
-                  r_ord = sv.sv_ord;
-                  r_status = status;
-                  r_bound = bound;
-                  r_found = List.length r.Common.answers;
-                }
-              | exception (Joins.Exec.Capacity_exceeded _ as e) -> raise e
-              | exception e ->
-                let reason =
-                  match e with
-                  | Failpoint.Injected p -> "fault: " ^ p
-                  | e -> Printexc.to_string e
-                in
-                strike t t.shards.(sv.sv_ord) reason;
-                locked (fun () -> meta_dirty := true);
-                { r_ord = sv.sv_ord; r_status = Lost reason; r_bound = mt; r_found = 0 })
+                    {
+                      r_ord = sv.sv_ord;
+                      r_replica = rep_idx;
+                      r_status = status;
+                      r_bound = bound;
+                      r_found = List.length r.Common.answers;
+                    }
+                  | exception (Joins.Exec.Capacity_exceeded _ as e) -> raise e
+                  | exception e ->
+                    let reason =
+                      match e with
+                      | Failpoint.Injected p -> "fault: " ^ p
+                      | e -> Printexc.to_string e
+                    in
+                    strike t t.shards.(sv.sv_ord).replicas.(rep_idx) reason;
+                    if i + 1 < n_reps then locked (fun () -> incr failovers);
+                    attempt (i + 1) reason
+                end
+              in
+              attempt 0 "down"
+            end
+          end
         in
         let n_shards = Array.length v.v_shards in
         let report_slots = Array.make n_shards None in
@@ -838,6 +1378,7 @@ let query t ?budget ?(algorithm = Hybrid) ?(scheme = Ranking.Structure_first) ?(
           completeness;
           degraded = !degraded;
           reports;
+          failovers = !failovers;
           relaxations_evaluated = !relax;
           passes = !passes;
           restarts = !restarts;

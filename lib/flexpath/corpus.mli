@@ -27,13 +27,37 @@
     bound instead of an error, and the merged result reports
     [Partial] with [served]/[total] attribution.  [max_total] depends
     only on the query's predicate weights, so the bound for a lost
-    shard needs no data from it. *)
+    shard needs no data from it.
+
+    {b Replication} (DESIGN.md §4l).  With [replicas = R] each shard
+    is a replica {e set}: R full stores, each with its own snapshot
+    and WAL, kept in sync by WAL shipping — the primary's acked
+    records are applied through each follower's own WAL+fsync before
+    the ack ([Sync]) or queued and drained shortly after ([Async],
+    with a bounded-lag gauge).  Probes fail over: a replica that dies
+    mid-query is struck and the next in-sync replica retried under
+    the same guard, so single-replica loss yields [Complete] answers
+    byte-identical to the healthy run; [Partial] remains as the
+    R-failures-out-of-R floor and [served]/[total] counts replica
+    sets.  A follower that misses a record is excluded from the view
+    until catch-up (primary snapshot copy + WAL tail replay —
+    {!reload} with [~replica]). *)
 
 type t
 
 type algorithm = DPO | SSO | Hybrid
 
 val algorithm_to_string : algorithm -> string
+
+type ack_mode =
+  | Sync  (** Ship to every in-sync follower before the ack returns. *)
+  | Async
+      (** Queue per follower; drained on the next write, {!ship_pending}
+          or {!merge} of the shard.  A lagging follower is excluded
+          from the queryable view until drained (its lag is visible in
+          {!replica_health}), so failover never serves a stale copy. *)
+
+val ack_mode_to_string : ack_mode -> string
 
 val route : shards:int -> string -> int
 (** The routing function itself (FNV-1a mod [shards]); exposed for
@@ -46,26 +70,39 @@ val open_corpus :
   ?limits:Ingest.limits ->
   ?strike_threshold:int ->
   ?probe_domains:int ->
+  ?replicas:int ->
+  ?ack_mode:ack_mode ->
+  ?probation_ms:float ->
   shards:int ->
   prefix:string ->
   unit ->
   (t, Error.t) result
-(** Open [shards] stores at [<prefix>.shard<i>] / [<prefix>.shard<i>.wal].
-    A shard whose snapshot fails integrity checks opens {e down} with
-    the error recorded in its health — the corpus itself still opens
-    and serves from the remaining shards.  [strike_threshold]
-    (default 3) is the number of mid-query losses after which a shard
-    is quarantined until {!reload}.  [probe_domains > 0] opens a
-    {!Taskpool} of that many domains (capped at [shards - 1]) and
-    {!query} scatters its shard probes across them plus the calling
-    domain; the default [0] keeps the scatter strictly sequential.
-    Healthy merged answers are byte-identical either way — the
-    threshold-algorithm floor is a sound monotone cutoff, so a
-    concurrently-read stale floor only reduces pruning. *)
+(** Open [shards] replica sets of [replicas] (default 1, max 8) stores
+    each.  Replica 0 of shard [i] keeps the PR-7 single-copy layout
+    [<prefix>.shard<i>] / [<prefix>.shard<i>.wal]; follower [j > 0]
+    lives at [<prefix>.shard<i>.r<j>](.wal), so an existing corpus
+    reopened with [--replicas R] finds its data as replica 0 and the
+    followers catch up.  A replica whose snapshot fails integrity
+    checks opens {e down} with the error recorded in its health — the
+    rest of the set still serves.  At open the replica with the
+    largest recovered acked set is the sync reference; live replicas
+    that differ are out-of-sync until caught up ({!reload}).
+    [strike_threshold] (default 3) is the number of mid-query losses
+    after which a {e replica} is quarantined until {!reload}.
+    [probe_domains > 0] opens a {!Taskpool} of that many domains
+    (capped at [shards - 1]) and {!query} scatters its shard probes
+    across them plus the calling domain; the default [0] keeps the
+    scatter strictly sequential.  Healthy merged answers are
+    byte-identical either way — the threshold-algorithm floor is a
+    sound monotone cutoff, so a concurrently-read stale floor only
+    reduces pruning.  [probation_ms] scopes each store's read-only
+    degrade ({!Ingest}). *)
 
 val close : t -> unit
 
 val shard_count : t -> int
+val replica_count : t -> int
+val ack_mode : t -> ack_mode
 val shard_of_id : t -> string -> int
 val doc_count : t -> int
 
@@ -77,56 +114,109 @@ val ids : t -> string list
 (** Document ids in global arrival order (upserts move to the end). *)
 
 val generation_vector : t -> string
-(** One component per shard — ["<generation>"], or ["<generation>!"]
-    for a down or quarantined shard.  Scopes every cache key. *)
+(** One ['.']-joined component per shard, each a [':']-joined component
+    per replica — ["<generation>"], or ["<generation>!"] for a down,
+    quarantined or out-of-sync replica.  At [R = 1] this is exactly the
+    PR-7 per-shard format.  Scopes every cache key. *)
 
 (** {2 Writes} *)
 
 val ingest : t -> ?id:string -> string -> (string, Error.t) result
-(** Route (auto-assigning [doc-N] when [id] is omitted), apply under
-    the shard's writer lock with the durability contract of
-    {!Ingest.ingest}, and publish a new view.  [Io_error] when the
-    target shard is down or quarantined — other shards' documents are
-    unaffected. *)
+(** Route (auto-assigning [doc-N] when [id] is omitted), apply to the
+    routed shard's primary under the shard's writer lock with the
+    durability contract of {!Ingest.ingest}, ship the acked record to
+    the in-sync followers (per {!ack_mode}), and publish a new view.
+    A follower whose ship fails is marked out-of-sync — the ack
+    stands on the surviving copies.  [Io_error] when the whole
+    replica set is down or quarantined; [Error.Readonly] when the
+    primary's store is inside its read-only probation. *)
 
 val delete : t -> id:string -> (unit, Error.t) result
 
-val merge : t -> int -> (unit, Error.t) result
-(** Durable compaction of one shard ({!Ingest.merge}); shards merge
-    independently, so one shard's backlog never blocks another's. *)
+val ship_pending : t -> int -> unit
+(** Drain one shard's async ship queues outside a write (the server's
+    merge-loop tick calls this).  No-op in [Sync] mode or when nothing
+    is queued. *)
 
-val reload : t -> int -> (unit, Error.t) result
-(** Swap one shard's state for its on-disk snapshot + WAL (opened with
-    the corpus's own weights, hierarchy and limits): close, reopen,
-    clear strikes and quarantine, publish.  In-flight queries keep the
+val merge : t -> int -> (unit, Error.t) result
+(** Durable compaction of one shard's replica set ({!Ingest.merge} on
+    the primary, then each in-sync follower — every copy's own
+    snapshot must keep pace or its WAL grows without bound); shards
+    merge independently, so one shard's backlog never blocks
+    another's.  Drains async queues first. *)
+
+val reload : t -> ?replica:int -> int -> (unit, Error.t) result
+(** [reload t ord] swaps shard [ord]'s whole replica set for its
+    on-disk state: each replica closes and reopens from its own
+    snapshot + WAL (with the corpus's own weights, hierarchy and
+    limits), the largest recovered acked set becomes the sync
+    reference, stragglers catch up from it, strikes and quarantine
+    clear, and a new view publishes.  In-flight queries keep the
     previous immutable view and are never dropped.  Documents the
-    reopened shard recovers keep their place in the global arrival
-    order — tie-breaks, and therefore answers, are unchanged by a
-    reload that recovers the same documents; ids it no longer holds
-    drop out and newly recovered ones append.  On failure the shard is
-    down with the error recorded. *)
+    reference recovers keep their place in the global arrival order —
+    tie-breaks, and therefore answers, are unchanged by a reload that
+    recovers the same documents; ids it no longer holds drop out and
+    newly recovered ones append.
+
+    [reload t ~replica:j ord] addresses one replica: if a distinct
+    primary is live the replica {e catches up} — the primary's
+    snapshot and WAL files are copied over and reopened, i.e. a real
+    snapshot copy + WAL tail replay to the primary's acked set (the
+    recovery path for a torn follower WAL or a quarantined replica);
+    otherwise it reopens from its own files. *)
 
 val merge_backlog : t -> int -> int
-(** Unmerged WAL records on one shard — the write-lane backpressure
-    signal ([retry-after] hints reflect the {e routed} shard's
-    backlog, not a global queue). *)
+(** Worst backlog across one shard's replica set — unmerged WAL
+    records plus queued async ships — the write-lane backpressure
+    signal ([retry-after] hints reflect the {e routed} shard's replica
+    set, not a global queue). *)
 
 val staleness_ms : t -> int -> float
 
+val readonly_hint : t -> int -> int option
+(** [Some retry_after_ms] when the routed shard's primary store is
+    inside its read-only probation ({!Ingest.readonly}) — what the
+    server turns into a [READONLY] wire response. *)
+
 (** {2 Health} *)
+
+type replica_role = Primary | Follower
+
+val role_to_string : replica_role -> string
+
+type replica_health = {
+  rh_idx : int;
+  rh_role : replica_role;  (** [Primary] is the first usable replica. *)
+  rh_live : bool;
+  rh_quarantined : bool;
+  rh_synced : bool;  (** Holds exactly the primary's acked set. *)
+  rh_generation : int;
+  rh_docs : int;
+  rh_strikes : int;
+  rh_unmerged : int;
+  rh_staleness_ms : float;
+  rh_wal_bytes : int;
+  rh_replayed : int;
+  rh_lag : int;  (** Queued-but-unapplied shipped records (async). *)
+  rh_lag_ms : float;  (** Age of the oldest queued record. *)
+  rh_readonly : bool;  (** Store inside (or awaiting re-probe of) its read-only degrade. *)
+  rh_readonly_retry_ms : int;
+  rh_last_error : string option;
+}
 
 type shard_health = {
   h_ord : int;
-  h_live : bool;
-  h_quarantined : bool;
+  h_live : bool;  (** Some replica can serve. *)
+  h_quarantined : bool;  (** Every replica is quarantined. *)
   h_generation : int;
   h_docs : int;
-  h_strikes : int;
+  h_strikes : int;  (** Summed over the replica set. *)
   h_unmerged : int;
   h_staleness_ms : float;
   h_wal_bytes : int;
-  h_replayed : int;  (** WAL records replayed when the shard last opened. *)
+  h_replayed : int;  (** WAL records replayed when the primary last opened. *)
   h_last_error : string option;
+  h_replicas : replica_health array;  (** Per-replica detail, index order. *)
 }
 
 val health : t -> shard_health array
@@ -163,18 +253,34 @@ type shard_status =
       (** Exact threshold-algorithm skip: nothing on this shard could
           enter the top-K.  Counts as served. *)
   | Budget of Guard.reason
-  | Lost of string  (** Probe failed mid-query (fault, wedge); the shard was struck. *)
-  | Down of string  (** Unavailable before the query began. *)
+      (** The shared guard tripped.  Budget truncation does {e not}
+          fail over: the guard spans the whole scatter, so a retry on
+          a value-identical replica would truncate identically. *)
+  | Lost of string
+      (** Every replica of the set failed mid-query; each was struck.
+          With [R > 1] a single replica loss is absorbed by failover
+          and reports [Served] instead. *)
+  | Down of string  (** No replica was available before the query began. *)
 
-type shard_report = { r_ord : int; r_status : shard_status; r_bound : float; r_found : int }
+type shard_report = {
+  r_ord : int;
+  r_replica : int;  (** Replica that served ([-1] when none did). *)
+  r_status : shard_status;
+  r_bound : float;
+  r_found : int;
+}
 
 type result = {
   answers : answer list;
-  served : int;  (** Shards fully or partially accounted for ([Served]/[Skipped]/[Budget]). *)
+  served : int;
+      (** Replica {e sets} fully or partially accounted for
+          ([Served]/[Skipped]/[Budget]); [total] counts sets, not
+          copies. *)
   total : int;
   completeness : completeness;
   degraded : bool;
   reports : shard_report list;
+  failovers : int;  (** Probes retried on another replica during this query. *)
   relaxations_evaluated : int;
   passes : int;
   restarts : int;

@@ -14,6 +14,7 @@ type t =
   | Config_error of { what : string; message : string }
   | Snapshot_error of { path : string; corruption : corruption }
   | Fault of string
+  | Readonly of { path : string; retry_after_ms : int }
 
 let corruption_to_string = function
   | Bad_magic -> "not a FleXPath snapshot (bad magic)"
@@ -41,10 +42,13 @@ let to_string = function
   | Snapshot_error { path; corruption } ->
     Printf.sprintf "%s: %s" path (corruption_to_string corruption)
   | Fault point -> Printf.sprintf "injected fault at %s" point
+  | Readonly { path; retry_after_ms } ->
+    Printf.sprintf "%s: store is read-only after a disk fault (retry in %d ms)" path retry_after_ms
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 let exit_code = function
   | Xml_error _ | Query_error _ -> 2
   | Snapshot_error _ -> 4
+  | Readonly _ -> 7
   | Capacity _ | Io_error _ | Config_error _ | Fault _ -> 1

@@ -53,6 +53,14 @@ type t =
   | Fault of string
       (** An activated {!Failpoint} fired; the payload is the failpoint
           name. *)
+  | Readonly of { path : string; retry_after_ms : int }
+      (** The store refused a write because it degraded to read-only
+          after a disk fault ([ENOSPC]/[EIO] on a WAL append, fsync or
+          snapshot rename — see {!Ingest}).  Reads still serve;
+          [retry_after_ms] is the probation interval after which the
+          store re-probes the disk.  Distinct from [Io_error]: that is
+          the fault itself, this is the refusal-to-risk-it that
+          follows. *)
 
 val corruption_to_string : corruption -> string
 val to_string : t -> string
@@ -60,6 +68,7 @@ val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** CLI conventions: 2 for parse errors ([Xml_error], [Query_error]),
-    4 for snapshot corruption ([Snapshot_error]), 1 for everything
-    else.  (Exit code 3 is reserved for budget exhaustion, which is a
-    truncated result, not an error.) *)
+    4 for snapshot corruption ([Snapshot_error]), 7 for a read-only
+    store ([Readonly]), 1 for everything else.  (Exit code 3 is
+    reserved for budget exhaustion, which is a truncated result, not an
+    error; 5/6 are the client's overload/quarantine codes.) *)

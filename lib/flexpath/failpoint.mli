@@ -48,18 +48,37 @@ val catalog : string list
     ["client_send"] fails a {!Flexpath_server.Client} request send,
     exercising the retry path.  The sharding point ["shard_probe"]
     fires inside {!Corpus.query} at the start of each per-shard probe —
-    counted arming loses exactly one shard mid-query, which the
-    scatter-gather merge must absorb as a sound [PARTIAL]. *)
+    counted arming loses exactly one {e replica} mid-query, which
+    failover absorbs when the set holds another copy and the
+    scatter-gather merge otherwise absorbs as a sound [PARTIAL] — and
+    ["replica_ship"] fires before each WAL-shipping apply in
+    {!Corpus.ingest}/[delete], marking the targeted follower
+    out-of-sync while the ack stands on the surviving copies. *)
+
+type flavor =
+  | Inject  (** Raise {!Injected} — the classic transient fault. *)
+  | Errno of Unix.error
+      (** Raise [Unix.Unix_error (e, name, "")] — a simulated disk
+          fault ([ENOSPC], [EIO]) that flows through the same
+          [Unix_error] → [Error.Io_error] conversions a real syscall
+          failure takes, and therefore trips the ingest store's
+          read-only degrade where a plain injected fault (transient by
+          contract) does not. *)
 
 val activate : string -> (unit, string) result
 (** Arms a point; fails on names outside {!catalog}. *)
 
-val activate_n : string -> int -> (unit, string) result
+val activate_n : ?flavor:flavor -> string -> int -> (unit, string) result
 (** Arms a point for exactly [n] hits, after which it disarms itself.
     Counted arming is what makes the loss-injection points usable: a
     permanently armed [worker_wedge] would wedge every replacement
     worker too, whereas [activate_n "worker_wedge" 1] wedges exactly
     one request. *)
+
+val activate_errno : string -> Unix.error -> int -> (unit, string) result
+(** [activate_errno name e n] = [activate_n ~flavor:(Errno e) name n]:
+    the next [n] passages through [name] raise
+    [Unix.Unix_error (e, name, "")]. *)
 
 val deactivate : string -> unit
 val reset : unit -> unit  (** Disarms every point. *)
@@ -75,5 +94,6 @@ val hit : string -> unit
 val install : unit -> unit
 (** Plants {!hit} into the lower-layer hooks and arms the points named
     in [FLEXPATH_FAILPOINTS] (comma-separated; each item is [name] for
-    unlimited hits, [name:N] for [N] hits, or [name:once] for one).
-    Idempotent; runs at library initialization. *)
+    unlimited hits, [name:N] for [N] hits, [name:once] for one, or the
+    disk-fault flavors [name:enospc[:N]] / [name:eio[:N]] for errno
+    injection).  Idempotent; runs at library initialization. *)

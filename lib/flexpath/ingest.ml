@@ -198,6 +198,13 @@ type store = {
   mutable unmerged : int;  (* acked records not yet folded into the snapshot *)
   mutable oldest_unmerged_ms : float option;  (* Monotime.now_ms of the oldest *)
   replayed : int;  (* WAL records replayed when this store was opened *)
+  probation_ms : float;
+  mutable readonly_since_ms : float option;
+      (* [Some t]: a WAL append/fsync or snapshot write returned a disk
+         error ([Error.Io_error]) at [t] and the store refuses writes
+         until the probation interval passes; the first write attempted
+         after that is the re-probe — success clears the flag, another
+         disk error re-arms it. *)
 }
 
 let apply_record corpus r =
@@ -225,7 +232,10 @@ let next_auto_of ids =
       | _ -> acc)
     0 ids
 
-let open_store ?weights ?hierarchy ?scorer ?(limits = default_limits) ~snapshot ~wal:wal_path () =
+let default_probation_ms = 2_000.0
+
+let open_store ?weights ?hierarchy ?scorer ?(limits = default_limits)
+    ?(probation_ms = default_probation_ms) ~snapshot ~wal:wal_path () =
   let base =
     if Sys.file_exists snapshot then
       match Storage.load ?weights snapshot with
@@ -261,6 +271,8 @@ let open_store ?weights ?hierarchy ?scorer ?(limits = default_limits) ~snapshot 
             unmerged = replayed;
             oldest_unmerged_ms = (if replayed = 0 then None else Some (Monotime.now_ms ()));
             replayed;
+            probation_ms;
+            readonly_since_ms = None;
           }))
 
 let store_env st = st.corpus.env
@@ -278,47 +290,127 @@ let record_acked st =
   st.unmerged <- st.unmerged + 1;
   if st.oldest_unmerged_ms = None then st.oldest_unmerged_ms <- Some (Monotime.now_ms ())
 
+(* ------------------------------------------------------------------ *)
+(* Read-only degrade.
+
+   A disk that returns ENOSPC/EIO on the durability path (WAL append,
+   fsync, snapshot rename) cannot be trusted to honor an ack, so the
+   store stops accepting writes *explicitly* — [Error.Readonly] with a
+   retry hint — rather than crashing or acking non-durably.  Reads are
+   unaffected: the in-memory corpus is still exactly the acked set.
+   The flag is time-scoped: once [probation_ms] has passed, the next
+   write attempt goes through and acts as the re-probe — success
+   clears the degrade, another [Io_error] refreshes it.  Only
+   [Io_error] (a syscall that actually failed) arms the flag;
+   [Error.Fault] stays transient by contract (the PR-6 suite asserts
+   writes succeed immediately after an injected fault). *)
+
+let readonly st = st.readonly_since_ms <> None
+let probation_ms st = st.probation_ms
+
+let readonly_retry_after_ms st =
+  match st.readonly_since_ms with
+  | None -> 0
+  | Some t ->
+    int_of_float (Float.max 1.0 (st.probation_ms -. (Monotime.now_ms () -. t)))
+
+(* [Ok ()] when writes may proceed (healthy, or probation expired and
+   this write is the re-probe); [Error Readonly] inside probation. *)
+let readonly_gate st =
+  match st.readonly_since_ms with
+  | None -> Ok ()
+  | Some t ->
+    let age = Monotime.now_ms () -. t in
+    if age >= st.probation_ms then Ok ()
+    else
+      Error
+        (Error.Readonly
+           {
+             path = st.snapshot;
+             retry_after_ms = int_of_float (Float.max 1.0 (st.probation_ms -. age));
+           })
+
+(* Classify a durability-path result: a disk error arms (or refreshes)
+   the read-only flag, success clears it. *)
+let note_disk st = function
+  | Error (Error.Io_error _) as e ->
+    st.readonly_since_ms <- Some (Monotime.now_ms ());
+    e
+  | Ok _ as ok ->
+    st.readonly_since_ms <- None;
+    ok
+  | other -> other
+
 (* Apply first (building the successor corpus; the served one is
    untouched), then log, then commit and ack — an error anywhere
    leaves both the store and the log describing exactly the acked
    prefix. *)
 let ingest st ?id xml =
-  match parse_doc ~limits:st.limits xml with
+  match readonly_gate st with
   | Error e -> Error e
-  | Ok tree -> (
-    let id =
-      match id with
-      | Some id -> check_id id
-      | None -> Ok (Printf.sprintf "doc-%d" (next_auto_of st.corpus.ids))
-    in
-    match id with
+  | Ok () -> (
+    match parse_doc ~limits:st.limits xml with
     | Error e -> Error e
-    | Ok id -> (
-      match add st.corpus ~id tree with
+    | Ok tree -> (
+      let id =
+        match id with
+        | Some id -> check_id id
+        | None -> Ok (Printf.sprintf "doc-%d" (next_auto_of st.corpus.ids))
+      in
+      match id with
       | Error e -> Error e
-      | exception Failpoint.Injected p -> Error (Error.Fault p)
-      | Ok corpus -> (
-        match Wal.append st.wal (Wal.Add { id; xml }) with
+      | Ok id -> (
+        match add st.corpus ~id tree with
         | Error e -> Error e
-        | Ok () ->
-          st.corpus <- corpus;
-          record_acked st;
-          Ok id)))
+        | exception Failpoint.Injected p -> Error (Error.Fault p)
+        | Ok corpus -> (
+          match note_disk st (Wal.append st.wal (Wal.Add { id; xml })) with
+          | Error e -> Error e
+          | Ok () ->
+            st.corpus <- corpus;
+            record_acked st;
+            Ok id))))
 
 let delete st ~id =
-  match
-    if not (mem st.corpus id) then
-      Error (Error.Config_error { what = "document id"; message = Printf.sprintf "no document %S" id })
-    else remove st.corpus ~id
-  with
+  match readonly_gate st with
   | Error e -> Error e
-  | Ok corpus -> (
-    match Wal.append st.wal (Wal.Delete { id }) with
+  | Ok () -> (
+    match
+      if not (mem st.corpus id) then
+        Error
+          (Error.Config_error { what = "document id"; message = Printf.sprintf "no document %S" id })
+      else remove st.corpus ~id
+    with
     | Error e -> Error e
-    | Ok () ->
-      st.corpus <- corpus;
-      record_acked st;
-      Ok ())
+    | Ok corpus -> (
+      match note_disk st (Wal.append st.wal (Wal.Delete { id })) with
+      | Error e -> Error e
+      | Ok () ->
+        st.corpus <- corpus;
+        record_acked st;
+        Ok ()))
+
+(* Replication: apply one already-acked WAL record shipped from a
+   primary.  Same apply-then-log-then-commit order as [ingest]/[delete]
+   — the follower's own WAL and fsync give it independent durability —
+   but no parse budget (the primary already enforced it) and deletes of
+   unknown ids are no-ops (replay semantics, not user requests), so a
+   follower converges to the primary's acked set no matter where its
+   own recovery left off. *)
+let apply_shipped st r =
+  match readonly_gate st with
+  | Error e -> Error e
+  | Ok () -> (
+    match apply_record st.corpus r with
+    | Error e -> Error e
+    | exception Failpoint.Injected p -> Error (Error.Fault p)
+    | Ok corpus -> (
+      match note_disk st (Wal.append st.wal r) with
+      | Error e -> Error e
+      | Ok () ->
+        st.corpus <- corpus;
+        record_acked st;
+        Ok ()))
 
 (* Durable compaction: snapshot the whole corpus atomically, then — and
    only then — truncate the log.  The [merge_publish] failpoint sits in
@@ -330,16 +422,19 @@ let delete st ~id =
 let merge st =
   if st.unmerged = 0 && Sys.file_exists st.snapshot then Ok ()
   else begin
-    match Storage.save st.corpus.env st.snapshot with
+    match readonly_gate st with
     | Error e -> Error e
-    | Ok () ->
-      Failpoint.hit "merge_publish";
-      (match Wal.truncate st.wal with
+    | Ok () -> (
+      match note_disk st (Storage.save st.corpus.env st.snapshot) with
       | Error e -> Error e
       | Ok () ->
-        st.unmerged <- 0;
-        st.oldest_unmerged_ms <- None;
-        Ok ())
+        Failpoint.hit "merge_publish";
+        (match note_disk st (Wal.truncate st.wal) with
+        | Error e -> Error e
+        | Ok () ->
+          st.unmerged <- 0;
+          st.oldest_unmerged_ms <- None;
+          Ok ()))
   end
 
 let close st = Wal.close st.wal

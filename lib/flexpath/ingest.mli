@@ -99,11 +99,15 @@ val remove : corpus -> id:string -> (corpus, Error.t) result
 
 type store
 
+val default_probation_ms : float
+(** 2000 ms — the read-only probation interval. *)
+
 val open_store :
   ?weights:Relax.Penalty.weights ->
   ?hierarchy:Tpq.Hierarchy.t ->
   ?scorer:Fulltext.Scorer.t ->
   ?limits:limits ->
+  ?probation_ms:float ->
   snapshot:string ->
   wal:string ->
   unit ->
@@ -111,7 +115,8 @@ val open_store :
 (** Load the snapshot if present (else start empty), open the WAL and
     replay its valid prefix.  [snapshot] is also where {!merge}
     publishes; [weights]/[hierarchy]/[scorer] apply when starting
-    empty (a snapshot carries its own index and hierarchy). *)
+    empty (a snapshot carries its own index and hierarchy).
+    [probation_ms] scopes the read-only degrade (below). *)
 
 val ingest : store -> ?id:string -> string -> (string, Error.t) result
 (** Parse under the store's budget, apply, WAL-append, fsync, commit;
@@ -119,6 +124,37 @@ val ingest : store -> ?id:string -> string -> (string, Error.t) result
     [Error] means the write is in neither the corpus nor the log. *)
 
 val delete : store -> id:string -> (unit, Error.t) result
+
+val apply_shipped : store -> Wal.record -> (unit, Error.t) result
+(** Replication: apply one already-acked WAL record shipped from a
+    primary, appending it to this store's own WAL (fsync included) so
+    the follower is independently durable.  Unlike {!ingest} there is
+    no parse budget (the primary enforced it at ack time) and a
+    [Delete] of an unknown id is a no-op, so shipping the primary's
+    acked sequence from any prefix converges the follower to the
+    primary's acked set — the property follower catch-up relies on. *)
+
+(** {2 Read-only degrade}
+
+    A disk error ([Error.Io_error] — real or injected via the
+    [enospc]/[eio] failpoint flavors) on the durability path arms a
+    read-only flag: subsequent writes fail fast with [Error.Readonly]
+    carrying a retry hint instead of risking a non-durable ack, while
+    reads keep serving the acked in-memory corpus.  After
+    [probation_ms] the next write attempt is the automatic re-probe —
+    success clears the flag, another disk error refreshes it.
+    Injected [Error.Fault]s never arm the flag; they model transient
+    faults, not a failing disk. *)
+
+val readonly : store -> bool
+(** The store is currently degraded (flag armed; cleared only by a
+    successful post-probation write or merge). *)
+
+val readonly_retry_after_ms : store -> int
+(** Remaining probation, in ms (0 when not degraded; ≥ 1 while
+    degraded, even past probation — the hint for "retry now"). *)
+
+val probation_ms : store -> float
 
 val merge : store -> (unit, Error.t) result
 (** Durable compaction: atomic {!Storage.save} of the corpus, then WAL

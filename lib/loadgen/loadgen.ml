@@ -305,7 +305,10 @@ let run ~host ~port ~connections w =
           | Partial ->
             counters.c_partial <- counters.c_partial + 1;
             add_latency lat_ms
-          | Overloaded -> counters.c_overloaded <- counters.c_overloaded + 1
+          | Overloaded | Readonly ->
+            (* Both are retry-with-hint shed classes: admission backoff
+               and the disk-fault read-only degrade. *)
+            counters.c_overloaded <- counters.c_overloaded + 1
           | Quarantined -> counters.c_quarantined <- counters.c_quarantined + 1
           | Err | Bye -> counters.c_errors <- counters.c_errors + 1)
         end
@@ -643,6 +646,44 @@ let check_twig_report json =
   in
   all 0 entries
 
+(* The replication ablation's artifact ([BENCH_replica.json], bench
+   "replica"): healthy and replica-lost latency percentiles with their
+   partial/failover counts, sync/async ingest rates, and the follower
+   catch-up measurement.  The failover claim is part of the schema:
+   losing one replica per query must report zero partials. *)
+let check_replica_report json =
+  let ( let* ) = Result.bind in
+  let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
+  let num obj what path = require path (Option.bind (Json.member what obj) Json.to_float) in
+  let* query = require "query object" (Json.member "query" json) in
+  let pass name =
+    let* p = require ("query." ^ name) (Json.member name query) in
+    let* _ = num p "p50_ms" (Printf.sprintf "query.%s.p50_ms" name) in
+    let* _ = num p "p99_ms" (Printf.sprintf "query.%s.p99_ms" name) in
+    let* partials =
+      require
+        (Printf.sprintf "query.%s.partials" name)
+        (Option.bind (Json.member "partials" p) Json.to_int)
+    in
+    Ok partials
+  in
+  let* _ = pass "healthy" in
+  let* lost_partials = pass "replica_lost" in
+  let* () =
+    if lost_partials = 0 then Ok ()
+    else Error "query.replica_lost.partials must be 0 (failover must absorb the loss)"
+  in
+  let* ingest = require "ingest object" (Json.member "ingest" json) in
+  let* _ = num ingest "sync_docs_per_s" "ingest.sync_docs_per_s" in
+  let* _ = num ingest "async_docs_per_s" "ingest.async_docs_per_s" in
+  let* catchup = require "catchup object" (Json.member "catchup" json) in
+  let* _ = num catchup "ms" "catchup.ms" in
+  let* _ =
+    require "catchup.records_behind"
+      (Option.bind (Json.member "records_behind" catchup) Json.to_int)
+  in
+  Ok ()
+
 let check_serve_report json =
   let ( let* ) = Result.bind in
   let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
@@ -669,8 +710,8 @@ let check_serve_report json =
   all 0 entries
 
 (* The public gate dispatches on the artifact's [bench] tag: the twig
-   ablation has its own shape; everything else (including untagged
-   legacy artifacts) is held to the serve schema. *)
+   and replica ablations have their own shapes; everything else
+   (including untagged legacy artifacts) is held to the serve schema. *)
 let check_report json =
   let ( let* ) = Result.bind in
   let require what = function Some v -> Ok v | None -> Error ("missing or mistyped " ^ what) in
@@ -678,4 +719,5 @@ let check_report json =
   let* () = if version >= 1 then Ok () else Error "schema_version must be >= 1" in
   match Json.member "bench" json with
   | Some (Json.Str "twig") -> check_twig_report json
+  | Some (Json.Str "replica") -> check_replica_report json
   | Some _ | None -> check_serve_report json

@@ -97,4 +97,9 @@ val check_report : Json.t -> (unit, string) Stdlib.result
     [latency_ms] object with numeric [p50]/[p99]/[p999]; a ["twig"]
     artifact ([BENCH_twig.json], the holistic-vs-binary ablation) needs
     a non-empty [series] whose entries carry a [query] label and
-    numeric [binary_ms]/[holistic_ms]/[speedup]. *)
+    numeric [binary_ms]/[holistic_ms]/[speedup]; a ["replica"] artifact
+    ([BENCH_replica.json], the §4l replication ablation) needs
+    [query.healthy]/[query.replica_lost] latency percentiles — with
+    [replica_lost.partials] exactly 0, the failover guarantee encoded
+    as schema — numeric [ingest.sync_docs_per_s]/[async_docs_per_s],
+    and a [catchup] object with [records_behind] and [ms]. *)

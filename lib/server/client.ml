@@ -74,13 +74,19 @@ type retry = {
 let default_retry =
   { retries = 0; budget_ms = None; base_backoff_ms = 50.0; max_backoff_ms = 2000.0 }
 
-type failure = Connect_failed of string | No_response | Overloaded | Budget_exhausted
+type failure =
+  | Connect_failed of string
+  | No_response
+  | Overloaded
+  | Budget_exhausted
+  | Store_readonly
 
 let failure_to_string = function
   | Connect_failed msg -> msg
   | No_response -> "connection closed before a response (retries exhausted)"
   | Overloaded -> "server overloaded (retries exhausted)"
   | Budget_exhausted -> "retry budget exhausted"
+  | Store_readonly -> "store is read-only after a disk fault (see the retry-after-ms hint)"
 
 (* Deadline propagation: a QUERY carries the client's remaining
    end-to-end budget as its [timeout_ms] option, so however many
@@ -228,6 +234,19 @@ let run_requests ?metrics ?rng ?(host = "127.0.0.1") ~port ~retry requests =
           drop_conn ();
           backoff ~attempt ~hint_ms:(Protocol.parse_retry_after body);
           attempt_request r ~attempt:(attempt + 1) ~last:Overloaded
+        | Some (Protocol.Readonly, _) when ambiguous_on_retry r.line ->
+          (* An anonymous INGEST is never auto-resent (same policy as
+             the ambiguous-outcome rule above): a resend that dies
+             mid-flight once the store recovers could double-ingest. *)
+          Error Store_readonly
+        | Some (Protocol.Readonly, body) ->
+          (* Disk-fault degrade: deterministic until the probation
+             re-probe, so the hint floors the backoff.  Idempotent
+             writes (id= upserts, DELETE) converge on a replay; the
+             connection stays usable — the server only refused the
+             write class. *)
+          backoff ~attempt ~hint_ms:(Protocol.parse_retry_after body);
+          attempt_request r ~attempt:(attempt + 1) ~last:Store_readonly
         | Some response ->
           (* OK, PARTIAL, ERR, QUARANTINED, BYE: a definitive answer.
              ERR and QUARANTINED are deterministic — retrying them

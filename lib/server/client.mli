@@ -10,10 +10,11 @@
 
     - {e retried}: connect failures, send failures (including the
       [client_send] failpoint), connections that die or time out
-      before a response, and [OVERLOADED] — honoring the server's
+      before a response, [OVERLOADED] — honoring the server's
       [retry-after-ms] hint as a floor under full-jitter exponential
       backoff (bounded retries plus jitter, not bigger queues, is what
-      keeps retry storms from amplifying an overload).
+      keeps retry storms from amplifying an overload) — and
+      [READONLY] for idempotent writes only (see {!failure}).
     - {e not retried}: [OK], [PARTIAL], [ERR], [BYE] — and
       [QUARANTINED], which is the server saying this exact query
       deterministically costs it workers; retrying it would spend the
@@ -80,6 +81,14 @@ type failure =
   | No_response
   | Overloaded  (** Still [OVERLOADED] after every allowed attempt. *)
   | Budget_exhausted  (** [budget_ms] ran out before a definitive response. *)
+  | Store_readonly
+      (** [READONLY] — the disk-fault degrade (DESIGN.md §4l).
+          Idempotent writes ([id=] upserts, [DELETE]) are retried with
+          the server's [retry-after-ms] probation hint as the backoff
+          floor before this failure is reported; an anonymous [INGEST]
+          fails fast with it (never auto-resent, same policy as the
+          ambiguous-outcome rule — a resend dying mid-flight after
+          recovery could double-ingest). *)
 
 val failure_to_string : failure -> string
 

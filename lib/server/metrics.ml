@@ -146,6 +146,7 @@ type ingest_gauges = {
   wal_bytes : int;
   staleness_ms : float;
   wal_replayed_records : int;
+  readonly_stores : int;
 }
 
 type loop_gauges = {
@@ -157,6 +158,20 @@ type loop_gauges = {
   loop_lag_p99_ms : float;
 }
 
+type replica_gauges = {
+  replica_idx : int;
+  replica_role : string;  (** ["primary"] / ["follower"]. *)
+  replica_live : bool;
+  replica_quarantined : bool;
+  replica_synced : bool;
+  replica_generation : int;
+  replica_docs : int;
+  replica_lag : int;
+  replica_lag_ms : float;
+  replica_readonly : bool;
+  replica_readonly_retry_ms : int;
+}
+
 type shard_gauges = {
   shard_live : bool;
   shard_quarantined : bool;
@@ -166,6 +181,9 @@ type shard_gauges = {
   shard_unmerged : int;
   shard_staleness_ms : float;
   shard_wal_bytes : int;
+  shard_replicas : replica_gauges list;
+      (** Per-replica detail; rendered only past one replica, so the
+          single-copy STATS format is unchanged at [R = 1]. *)
 }
 
 (* The corpus cache-key convention: one component per shard, [!]
@@ -222,7 +240,9 @@ let render t ?loop ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~in
         line "delta_docs: %d" g.delta_docs;
         line "wal_bytes: %d" g.wal_bytes;
         line "staleness_ms: %.0f" g.staleness_ms;
-        line "wal_replayed_records: %d" g.wal_replayed_records);
+        line "wal_replayed_records: %d" g.wal_replayed_records;
+        line "readonly: %s" (if g.readonly_stores > 0 then "yes" else "no");
+        if g.readonly_stores > 0 then line "readonly_stores: %d" g.readonly_stores);
       (match (shards : shard_gauges list) with
       | [] -> ()
       | gs ->
@@ -237,7 +257,24 @@ let render t ?loop ~queue_depth ~queue_capacity ~generation ~uptime_s ~cache ~in
                else if g.shard_live then "live"
                else "down")
               g.shard_generation g.shard_docs g.shard_strikes g.shard_unmerged
-              g.shard_staleness_ms g.shard_wal_bytes)
+              g.shard_staleness_ms g.shard_wal_bytes;
+            if List.length g.shard_replicas > 1 then
+              List.iter
+                (fun r ->
+                  line
+                    "shard %d replica %d: %s %s generation=%d docs=%d lag=%d lag_ms=%.0f \
+                     readonly=%s%s"
+                    i r.replica_idx r.replica_role
+                    (if r.replica_quarantined then "quarantined"
+                     else if not r.replica_live then "down"
+                     else if r.replica_synced then "synced"
+                     else "catching-up")
+                    r.replica_generation r.replica_docs r.replica_lag r.replica_lag_ms
+                    (if r.replica_readonly then "yes" else "no")
+                    (if r.replica_readonly then
+                       Printf.sprintf " retry_after_ms=%d" r.replica_readonly_retry_ms
+                     else ""))
+                g.shard_replicas)
           gs);
       (match (cache : Flexpath.Qcache.counters option) with
       | None -> line "cache: off"

@@ -101,6 +101,10 @@ type ingest_gauges = {
       (** Age of the oldest unmerged write — bounded by the merge
           interval while the merge domain is healthy. *)
   wal_replayed_records : int;  (** WAL records replayed at startup. *)
+  readonly_stores : int;
+      (** Stores currently inside their read-only degrade (disk-fault
+          probation, DESIGN.md §4l); renders the [readonly: yes/no]
+          flag. *)
 }
 (** Point-in-time ingestion gauges the server samples from its
     {!Flexpath.Ingest} store when rendering [STATS]. *)
@@ -120,6 +124,22 @@ type loop_gauges = {
 (** Point-in-time event-loop gauges, sampled from {!Eventloop.stats}
     when rendering [STATS]. *)
 
+type replica_gauges = {
+  replica_idx : int;
+  replica_role : string;  (** ["primary"] / ["follower"]. *)
+  replica_live : bool;
+  replica_quarantined : bool;
+  replica_synced : bool;  (** Holds exactly the primary's acked set. *)
+  replica_generation : int;
+  replica_docs : int;
+  replica_lag : int;  (** Shipped records queued but not yet applied. *)
+  replica_lag_ms : float;  (** Age of the oldest queued record. *)
+  replica_readonly : bool;
+  replica_readonly_retry_ms : int;
+}
+(** Per-replica gauges of one shard's replica set (DESIGN.md §4l),
+    sampled from {!Flexpath.Corpus.health}. *)
+
 type shard_gauges = {
   shard_live : bool;
   shard_quarantined : bool;
@@ -129,6 +149,10 @@ type shard_gauges = {
   shard_unmerged : int;  (** This shard's own merge backlog (WAL records). *)
   shard_staleness_ms : float;
   shard_wal_bytes : int;
+  shard_replicas : replica_gauges list;
+      (** Rendered as [shard <i> replica <j>: …] lines only past one
+          replica — the [R = 1] STATS format is byte-identical to the
+          pre-replication one. *)
 }
 (** Point-in-time per-shard gauges, sampled from
     {!Flexpath.Corpus.health} when the server runs a sharded corpus. *)

@@ -183,7 +183,7 @@ let parse_request line =
             RELOAD or SHUTDOWN)"
            verb))
 
-type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye
+type status = Ok_ | Partial | Err | Overloaded | Quarantined | Readonly | Bye
 
 let status_to_string = function
   | Ok_ -> "OK"
@@ -191,6 +191,7 @@ let status_to_string = function
   | Err -> "ERR"
   | Overloaded -> "OVERLOADED"
   | Quarantined -> "QUARANTINED"
+  | Readonly -> "READONLY"
   | Bye -> "BYE"
 
 let status_of_string = function
@@ -199,6 +200,7 @@ let status_of_string = function
   | "ERR" -> Ok Err
   | "OVERLOADED" -> Ok Overloaded
   | "QUARANTINED" -> Ok Quarantined
+  | "READONLY" -> Ok Readonly
   | "BYE" -> Ok Bye
   | other -> Error (Printf.sprintf "unknown response status %S" other)
 

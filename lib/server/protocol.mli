@@ -88,13 +88,19 @@ type request =
   | Reload of string option
       (** [None]: re-load the snapshot the server started from (every
           shard, on a sharded server).  [Some arg]: a snapshot path —
-          or, sharded, the ordinal of the one shard to swap. *)
+          or, sharded, the shard to swap: [<ord>] for the whole replica
+          set, [<ord>.<replica>] for one replica (catch-up from the
+          primary when a distinct primary is live). *)
   | Shutdown
 
 val parse_request : string -> (request, string) result
 (** Parses one request line (without its terminating newline). *)
 
-type status = Ok_ | Partial | Err | Overloaded | Quarantined | Bye
+type status = Ok_ | Partial | Err | Overloaded | Quarantined | Readonly | Bye
+(** [Readonly] is the disk-fault degrade (DESIGN.md §4l): the write
+    routed to a store whose durability path failed; the body carries a
+    [retry-after-ms=N] probation hint.  Reads keep being served — only
+    the write class degrades. *)
 
 val status_to_string : status -> string
 val status_of_string : string -> (status, string) result

@@ -11,6 +11,9 @@ type ingest_config = {
   max_doc_elems : int;
   write_lane : int;
   shards : int;
+  replicas : int;
+  ack_mode : Corpus.ack_mode;
+  probation_ms : float;
 }
 
 let ingest_defaults ~wal =
@@ -21,6 +24,9 @@ let ingest_defaults ~wal =
     max_doc_elems = Flexpath.Ingest.default_limits.Flexpath.Ingest.max_elems;
     write_lane = 4;
     shards = 1;
+    replicas = 1;
+    ack_mode = Corpus.Sync;
+    probation_ms = Flexpath.Ingest.default_probation_ms;
   }
 
 type config = {
@@ -182,11 +188,12 @@ let open_ingest (cfg : config) ~env =
           Flexpath.Ingest.max_elems = icfg.max_doc_elems;
         }
       in
-      if icfg.shards > 1 then
-        (* Sharded: the snapshot path is the per-shard file prefix
-           ([<prefix>.shard<i>] / [.wal]); [icfg.wal] is unused.  The
-           corpus opens even when some shard is corrupt — that shard
-           is down, the rest serve. *)
+      if icfg.shards > 1 || icfg.replicas > 1 then
+        (* Sharded (or replicated): the snapshot path is the per-shard
+           file prefix ([<prefix>.shard<i>] / [.wal], followers at
+           [.r<j>]); [icfg.wal] is unused.  The corpus opens even when
+           some replica is corrupt — that replica is down, the rest
+           serve. *)
         Result.map
           (fun corpus ->
             ( None,
@@ -200,6 +207,7 @@ let open_ingest (cfg : config) ~env =
                 } ))
           (Flexpath.Corpus.open_corpus ~weights:env.Flexpath.Env.weights
              ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~probe_domains
+             ~replicas:icfg.replicas ~ack_mode:icfg.ack_mode ~probation_ms:icfg.probation_ms
              ~shards:icfg.shards ~prefix:snapshot ())
       else
         Result.map
@@ -215,7 +223,8 @@ let open_ingest (cfg : config) ~env =
                 },
               None ))
           (Flexpath.Ingest.open_store ~weights:env.Flexpath.Env.weights
-             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~snapshot ~wal:icfg.wal ()))
+             ~hierarchy:env.Flexpath.Env.hierarchy ~limits ~probation_ms:icfg.probation_ms
+             ~snapshot ~wal:icfg.wal ()))
 
 let create cfg ~env =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be at least 1";
@@ -417,7 +426,20 @@ let ingest_gauges rt =
     wal_bytes = Flexpath.Ingest.wal_bytes rt.store;
     staleness_ms = Flexpath.Ingest.staleness_ms rt.store;
     wal_replayed_records = Flexpath.Ingest.replayed_records rt.store;
+    readonly_stores = (if Flexpath.Ingest.readonly rt.store then 1 else 0);
   }
+
+(* The write-class error mapping: a read-only degrade (disk fault,
+   DESIGN.md §4l) is its own wire status so clients can distinguish
+   "the store protects durability, retry after probation" from a
+   deterministic ERR; everything else stays ERR. *)
+let write_error_response e =
+  match e with
+  | Error.Readonly { retry_after_ms; _ } ->
+    ( Protocol.Readonly,
+      Printf.sprintf "%s %s" (Protocol.retry_after_body retry_after_ms) (Error.to_string e),
+      `Error )
+  | e -> (Protocol.Err, Error.to_string e, `Error)
 
 (* Publish the store's corpus env as a new generation.  Same contract
    as a RELOAD swap: the fresh cache is installed atomically with the
@@ -455,7 +477,7 @@ let with_write_lane t rt f =
 
 let exec_ingest t rt ~id body =
   match Flexpath.Ingest.ingest rt.store ?id body with
-  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Error e -> write_error_response e
   | Ok doc_id ->
     (* The WAL append and fsync succeeded: the write is durable.
        Publish, then ack with the id (the client needs it to address
@@ -466,7 +488,7 @@ let exec_ingest t rt ~id body =
 
 let exec_delete t rt ~id =
   match Flexpath.Ingest.delete rt.store ~id with
-  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Error e -> write_error_response e
   | Ok () ->
     let generation = publish t (Flexpath.Ingest.store_env rt.store) in
     Metrics.deleted t.metrics;
@@ -491,7 +513,7 @@ let exec_merge t rt =
         (Protocol.Ok_, Printf.sprintf "merged %d delta record(s); wal truncated" deltas, `Ok)
       | Error e ->
         Metrics.merge_failed t.metrics;
-        (Protocol.Err, Error.to_string e, `Error)
+        write_error_response e
       | exception Failpoint.Injected p ->
         Metrics.merge_failed t.metrics;
         (Protocol.Err, Error.to_string (Error.Fault p), `Error))
@@ -521,6 +543,29 @@ let corpus_ingest_gauges c =
       Array.fold_left (fun a (s : Corpus.shard_health) -> Float.max a s.h_staleness_ms) 0.0 h;
     wal_replayed_records =
       Array.fold_left (fun a (s : Corpus.shard_health) -> a + s.h_replayed) 0 h;
+    readonly_stores =
+      Array.fold_left
+        (fun a (s : Corpus.shard_health) ->
+          a
+          + Array.fold_left
+              (fun a (r : Corpus.replica_health) -> if r.rh_readonly then a + 1 else a)
+              0 s.h_replicas)
+        0 h;
+  }
+
+let replica_gauges (r : Corpus.replica_health) =
+  {
+    Metrics.replica_idx = r.rh_idx;
+    replica_role = Corpus.role_to_string r.rh_role;
+    replica_live = r.rh_live;
+    replica_quarantined = r.rh_quarantined;
+    replica_synced = r.rh_synced;
+    replica_generation = r.rh_generation;
+    replica_docs = r.rh_docs;
+    replica_lag = r.rh_lag;
+    replica_lag_ms = r.rh_lag_ms;
+    replica_readonly = r.rh_readonly;
+    replica_readonly_retry_ms = r.rh_readonly_retry_ms;
   }
 
 let corpus_shard_gauges c =
@@ -536,24 +581,52 @@ let corpus_shard_gauges c =
            shard_unmerged = s.h_unmerged;
            shard_staleness_ms = s.h_staleness_ms;
            shard_wal_bytes = s.h_wal_bytes;
+           shard_replicas = Array.to_list (Array.map replica_gauges s.h_replicas);
          })
        (Corpus.health c))
 
 let exec_shards (crt : corpus_rt) =
+  (* One line per shard, exactly the PR-7 format at [R = 1]; past one
+     replica each shard line is followed by one indented line per
+     replica (role, sync/lag, read-only state — satellite of §4l). *)
+  let replica_lines (s : Corpus.shard_health) =
+    if Array.length s.h_replicas <= 1 then []
+    else
+      Array.to_list
+        (Array.map
+           (fun (r : Corpus.replica_health) ->
+             let state =
+               if r.rh_quarantined then "quarantined"
+               else if not r.rh_live then "down"
+               else if r.rh_synced then "synced"
+               else "catching-up"
+             in
+             Printf.sprintf
+               "  replica %d.%d: %s %s generation=%d docs=%d strikes=%d lag=%d lag_ms=%.0f \
+                readonly=%s%s%s"
+               s.h_ord r.rh_idx
+               (Corpus.role_to_string r.rh_role)
+               state r.rh_generation r.rh_docs r.rh_strikes r.rh_lag r.rh_lag_ms
+               (if r.rh_readonly then "yes" else "no")
+               (if r.rh_readonly then Printf.sprintf " retry_after_ms=%d" r.rh_readonly_retry_ms
+                else "")
+               (match r.rh_last_error with None -> "" | Some e -> "  error=" ^ e))
+           s.h_replicas)
+  in
   let lines =
-    Array.to_list
-      (Array.map
-         (fun (s : Corpus.shard_health) ->
-           let state =
-             if s.h_quarantined then "quarantined" else if s.h_live then "live" else "down"
-           in
-           Printf.sprintf
-             "shard %d: %s generation=%d docs=%d strikes=%d unmerged=%d staleness_ms=%.0f \
-              wal_bytes=%d replayed=%d%s"
-             s.h_ord state s.h_generation s.h_docs s.h_strikes s.h_unmerged s.h_staleness_ms
-             s.h_wal_bytes s.h_replayed
-             (match s.h_last_error with None -> "" | Some e -> "  error=" ^ e))
-         (Corpus.health crt.corpus))
+    List.concat_map
+      (fun (s : Corpus.shard_health) ->
+        let state =
+          if s.h_quarantined then "quarantined" else if s.h_live then "live" else "down"
+        in
+        Printf.sprintf
+          "shard %d: %s generation=%d docs=%d strikes=%d unmerged=%d staleness_ms=%.0f \
+           wal_bytes=%d replayed=%d%s"
+          s.h_ord state s.h_generation s.h_docs s.h_strikes s.h_unmerged s.h_staleness_ms
+          s.h_wal_bytes s.h_replayed
+          (match s.h_last_error with None -> "" | Some e -> "  error=" ^ e)
+        :: replica_lines s)
+      (Array.to_list (Corpus.health crt.corpus))
   in
   (Protocol.Ok_, String.concat "\n" lines, `Ok)
 
@@ -584,7 +657,7 @@ let with_corpus_write_lane t (crt : corpus_rt) ~id f =
 
 let exec_corpus_ingest t (crt : corpus_rt) ~id body =
   match Corpus.ingest crt.corpus ?id body with
-  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Error e -> write_error_response e
   | Ok doc_id ->
     Metrics.ingested t.metrics;
     ( Protocol.Ok_,
@@ -595,7 +668,7 @@ let exec_corpus_ingest t (crt : corpus_rt) ~id body =
 
 let exec_corpus_delete t (crt : corpus_rt) ~id =
   match Corpus.delete crt.corpus ~id with
-  | Error e -> (Protocol.Err, Error.to_string e, `Error)
+  | Error e -> write_error_response e
   | Ok () ->
     Metrics.deleted t.metrics;
     ( Protocol.Ok_,
@@ -617,10 +690,10 @@ let exec_corpus_merge t (crt : corpus_rt) =
           records := !records + s.h_unmerged;
           Metrics.merged t.metrics
         | Error e ->
-          failed := (s.h_ord, Error.to_string e) :: !failed;
+          failed := (s.h_ord, e) :: !failed;
           Metrics.merge_failed t.metrics
         | exception Failpoint.Injected p ->
-          failed := (s.h_ord, Error.to_string (Error.Fault p)) :: !failed;
+          failed := (s.h_ord, Error.Fault p) :: !failed;
           Metrics.merge_failed t.metrics)
     (Corpus.health c);
   match List.rev !failed with
@@ -629,43 +702,68 @@ let exec_corpus_merge t (crt : corpus_rt) =
       Printf.sprintf "merged %d delta record(s) across %d shard(s); wals truncated" !records
         !shards_merged,
       `Ok )
-  | (ord, e) :: _ -> (Protocol.Err, Printf.sprintf "shard %d: %s" ord e, `Error)
+  | (ord, e) :: _ ->
+    let status, body, outcome = write_error_response e in
+    (status, Printf.sprintf "shard %d: %s" ord body, outcome)
 
-(* RELOAD over a corpus: the argument is a shard ordinal (one shard
-   swaps; the others keep serving), or absent — every shard reloads,
-   stopping at the first failure. *)
+(* RELOAD over a corpus: the argument is a shard ordinal (one replica
+   set swaps; the others keep serving), [<ord>.<replica>] for a single
+   replica (catch-up from the primary — the recovery path for a torn
+   follower WAL or a quarantined copy), or absent — every shard
+   reloads, stopping at the first failure. *)
 let exec_corpus_reload t (crt : corpus_rt) arg =
   let c = crt.corpus in
   let n = Corpus.shard_count c in
-  let targets =
-    match arg with
-    | None -> Ok (List.init n Fun.id)
-    | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some ord when ord >= 0 && ord < n -> Ok [ ord ]
+  let r = Corpus.replica_count c in
+  let parse_target s =
+    let parse_ord tok =
+      match int_of_string_opt tok with
+      | Some ord when ord >= 0 && ord < n -> Ok ord
       | Some ord -> Error (Printf.sprintf "reload: shard %d out of range (0..%d)" ord (n - 1))
       | None ->
         Error
-          (Printf.sprintf "reload: expected a shard ordinal 0..%d on a sharded server, got %S"
-             (n - 1) s))
+          (Printf.sprintf
+             "reload: expected a shard ordinal 0..%d (or <shard>.<replica>) on a sharded \
+              server, got %S"
+             (n - 1) s)
+    in
+    match String.split_on_char '.' (String.trim s) with
+    | [ tok ] -> Result.map (fun ord -> (ord, None)) (parse_ord tok)
+    | [ tok; rep ] -> (
+      Result.bind (parse_ord tok) (fun ord ->
+          match int_of_string_opt rep with
+          | Some j when j >= 0 && j < r -> Ok (ord, Some j)
+          | Some j -> Error (Printf.sprintf "reload: replica %d out of range (0..%d)" j (r - 1))
+          | None -> Error (Printf.sprintf "reload: bad replica ordinal %S" rep)))
+    | _ -> Error (Printf.sprintf "reload: bad target %S (expected <shard> or <shard>.<replica>)" s)
+  in
+  let targets =
+    match arg with
+    | None -> Ok (List.init n (fun ord -> (ord, None)))
+    | Some s -> Result.map (fun t -> [ t ]) (parse_target s)
   in
   match targets with
   | Error msg -> (Protocol.Err, msg, `Error)
-  | Ok ords -> (
+  | Ok targets -> (
     let rec go = function
       | [] -> Ok ()
-      | ord :: rest -> (
-        match Corpus.reload c ord with
+      | (ord, replica) :: rest -> (
+        match Corpus.reload c ?replica ord with
         | Ok () -> go rest
         | Error e -> Error (ord, Error.to_string e))
     in
-    match go ords with
+    match go targets with
     | Ok () ->
       Metrics.reloads t.metrics;
       ( Protocol.Ok_,
-        Printf.sprintf "reloaded shard(s) %s; generations %s"
-          (String.concat "," (List.map string_of_int ords))
-          (Corpus.generation_vector c),
+        (match targets with
+        | [ (ord, Some j) ] ->
+          Printf.sprintf "reloaded replica %d.%d; generations %s" ord j
+            (Corpus.generation_vector c)
+        | _ ->
+          Printf.sprintf "reloaded shard(s) %s; generations %s"
+            (String.concat "," (List.map (fun (ord, _) -> string_of_int ord) targets))
+            (Corpus.generation_vector c)),
         `Ok )
     | Error (ord, e) -> (Protocol.Err, Printf.sprintf "shard %d: %s" ord e, `Error))
 
@@ -702,13 +800,21 @@ let corpus_merge_loop t (crt : corpus_rt) () =
   while not (Atomic.get t.stopping) do
     Unix.sleepf 0.05;
     for ord = 0 to n - 1 do
+      (* Async replication: drain queued ships every tick (not on the
+         merge cadence) so follower lag stays bounded by the tick, not
+         by the merge interval. *)
+      Corpus.ship_pending crt.corpus ord;
       if
         Monotime.now_ms () -. last.(ord) >= interval_ms
         && Corpus.merge_backlog crt.corpus ord > 0
       then begin
         last.(ord) <- Monotime.now_ms ();
+        (* A read-only shard (disk-fault probation) fails its merge
+           with [Readonly] until the probation re-probe succeeds;
+           that is the degrade working, not a merge-domain fault. *)
         match Corpus.merge crt.corpus ord with
         | Ok () -> Metrics.merged t.metrics
+        | Error (Error.Readonly _) -> ()
         | Error _ -> Metrics.merge_failed t.metrics
       end
     done

@@ -68,11 +68,34 @@ type ingest_config = {
           [RELOAD <ord>] swaps one shard; background merges are
           scheduled per shard.  [1] (the default) is the unsharded
           store. *)
+  replicas : int;
+      (** [> 1] keeps that many copies of each shard (DESIGN.md §4l):
+          a primary plus followers, each a full WAL-backed store
+          (follower [j] at [<prefix>.shard<i>.r<j>]), kept in sync by
+          WAL shipping.  Probes fail over to the next in-sync replica,
+          so a single replica loss still yields [Complete] answers;
+          [SHARDS]/[STATS] gain per-replica lines and
+          [RELOAD <ord>.<replica>] catches one replica up from its
+          primary.  Implies the corpus path even at [shards = 1].  [1]
+          (the default) is the unreplicated layout. *)
+  ack_mode : Flexpath.Corpus.ack_mode;
+      (** [Sync] (default): acked records reach every in-sync follower
+          (through its own WAL + fsync) before the ack returns.
+          [Async]: ships are queued per follower and drained on the
+          merge loop's tick, bounding follower lag by the tick rather
+          than adding it to write latency; a lagging follower is
+          excluded from the queryable view until drained. *)
+  probation_ms : float;
+      (** Read-only degrade window after a disk fault
+          ({!Flexpath.Ingest}): writes are answered [READONLY] with a
+          [retry-after-ms] hint until a post-probation write re-probes
+          the disk successfully. *)
 }
 
 val ingest_defaults : wal:string -> ingest_config
 (** 2 s merge interval, {!Flexpath.Ingest.default_limits} document
-    budgets, write lane 4, unsharded. *)
+    budgets, write lane 4, unsharded, unreplicated ([Sync] ack,
+    {!Flexpath.Ingest.default_probation_ms} probation). *)
 
 type config = {
   host : string;  (** Listen address, default ["127.0.0.1"]. *)

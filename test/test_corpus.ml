@@ -14,7 +14,17 @@
      lost shard held); repeated losses quarantine the shard; RELOAD
      restores COMPLETE;
    - the answer cache is scoped by the full per-shard generation
-     vector: a write to any one shard invalidates cached merges. *)
+     vector: a write to any one shard invalidates cached merges;
+   - replication (R = 2): WAL shipping keeps followers holding the
+     acked set (sync before the ack, async within a bounded drain), a
+     replica lost mid-query or corrupt at load fails over so the
+     answer stays COMPLETE and byte-identical to the healthy run, a
+     torn follower WAL catches up from the primary (snapshot copy +
+     WAL tail replay), and killing the primary mid-soak drops no acked
+     write and degrades no answer;
+   - disk faults (ENOSPC/EIO on the durability path) degrade the store
+     to explicit read-only — typed refusal with a retry hint, reads
+     unaffected — and a post-probation write or merge recovers it. *)
 
 module Xml = Xmldom.Xml
 module Doc = Xmldom.Doc
@@ -44,13 +54,17 @@ let temp_prefix =
 
 let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
 
-let with_corpus_paths ~shards f =
+let with_corpus_paths ?(replicas = 1) ~shards f =
   let prefix = temp_prefix () in
   Fun.protect
     ~finally:(fun () ->
       for i = 0 to shards - 1 do
         remove_quiet (Printf.sprintf "%s.shard%d" prefix i);
-        remove_quiet (Printf.sprintf "%s.shard%d.wal" prefix i)
+        remove_quiet (Printf.sprintf "%s.shard%d.wal" prefix i);
+        for j = 1 to replicas - 1 do
+          remove_quiet (Printf.sprintf "%s.shard%d.r%d" prefix i j);
+          remove_quiet (Printf.sprintf "%s.shard%d.r%d.wal" prefix i j)
+        done
       done)
     (fun () -> f prefix)
 
@@ -490,6 +504,290 @@ let test_all_shards_down () =
           | _ -> Alcotest.fail "expected shard-loss PARTIAL"))
 
 (* ------------------------------------------------------------------ *)
+(* Replication: WAL shipping, failover, catch-up, read-only degrade *)
+
+let replica_of c ~ord ~idx = (Corpus.health c).(ord).Corpus.h_replicas.(idx)
+
+let must = function Ok () -> () | Error m -> Alcotest.fail m
+
+let test_replicated_equals_plain () =
+  let docs = bodies 10 1700 in
+  let fp_plain = plain_fingerprint docs in
+  List.iter
+    (fun ack_mode ->
+      with_corpus_paths ~replicas:2 ~shards:3 (fun prefix ->
+          let c =
+            ok_exn "open" (Corpus.open_corpus ~replicas:2 ~ack_mode ~shards:3 ~prefix ())
+          in
+          Fun.protect
+            ~finally:(fun () -> Corpus.close c)
+            (fun () ->
+              fill c docs;
+              (match ack_mode with
+              | Corpus.Sync ->
+                (* sync shipping: every follower already holds the acked
+                   set when the ack returns *)
+                Array.iter
+                  (fun h ->
+                    Array.iter
+                      (fun rh ->
+                        check_bool "synced" true rh.Corpus.rh_synced;
+                        check_int "docs agree" h.Corpus.h_docs rh.Corpus.rh_docs)
+                      h.Corpus.h_replicas)
+                  (Corpus.health c)
+              | Corpus.Async ->
+                (* async shipping: a follower with queued records is
+                   excluded from the view ([!] in the vector) until
+                   drained, so failover can never serve a stale copy *)
+                check_bool "lagging follower excluded" true
+                  (String.contains (Corpus.generation_vector c) '!');
+                for ord = 0 to Corpus.shard_count c - 1 do
+                  Corpus.ship_pending c ord
+                done;
+                Array.iter
+                  (fun h ->
+                    Array.iter
+                      (fun rh ->
+                        check_bool "drained and synced" true
+                          (rh.Corpus.rh_lag = 0 && rh.Corpus.rh_synced))
+                      h.Corpus.h_replicas)
+                  (Corpus.health c));
+              check_string
+                (Printf.sprintf "replicated (%s) == plain single-env"
+                   (Corpus.ack_mode_to_string ack_mode))
+                fp_plain (corpus_fingerprint c))))
+    [ Corpus.Sync; Corpus.Async ]
+
+let test_probe_loss_failover_complete () =
+  let docs = bodies 12 1900 in
+  let shards = 2 in
+  with_corpus_paths ~replicas:2 ~shards (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~replicas:2 ~shards ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () ->
+          Failpoint.reset ();
+          Corpus.close c)
+        (fun () ->
+          fill c docs;
+          let q = parse_query (List.nth queries 2) in
+          let healthy = ok_exn "healthy" (Corpus.query c ~use_cache:false ~k:10 q) in
+          check_bool "healthy complete" true (healthy.Corpus.completeness = Corpus.Complete);
+          (* the first probe attempt (shard 0's primary) dies mid-query:
+             the probe retries on the follower under the same guard *)
+          must (Failpoint.activate_n "shard_probe" 1);
+          let r = ok_exn "failover query" (Corpus.query c ~use_cache:false ~k:10 q) in
+          check_bool "still complete" true (r.Corpus.completeness = Corpus.Complete);
+          check_int "all sets served" shards r.Corpus.served;
+          check_int "one failover" 1 r.Corpus.failovers;
+          check_bool "answers byte-identical to healthy" true
+            (r.Corpus.answers = healthy.Corpus.answers);
+          let rep0 = List.find (fun rep -> rep.Corpus.r_ord = 0) r.Corpus.reports in
+          check_bool "shard 0 served" true (rep0.Corpus.r_status = Corpus.Served);
+          check_int "served by the follower" 1 rep0.Corpus.r_replica;
+          check_int "primary struck" 1 (replica_of c ~ord:0 ~idx:0).Corpus.rh_strikes;
+          (* a healthy probe served by the primary clears its strike *)
+          ignore (ok_exn "healthy again" (Corpus.query c ~use_cache:false ~k:10 q));
+          check_int "strike cleared" 0 (replica_of c ~ord:0 ~idx:0).Corpus.rh_strikes))
+
+let test_corrupt_primary_failover_and_catchup () =
+  let docs = bodies 12 2100 in
+  let shards = 2 in
+  with_corpus_paths ~replicas:2 ~shards (fun prefix ->
+      (* fill + merge so every replica owns a snapshot, then capture the
+         healthy post-restart fingerprint (a reopen reconstructs
+         cross-shard arrival order, so the baseline must be a reopen
+         too) *)
+      (let c = ok_exn "open to fill" (Corpus.open_corpus ~replicas:2 ~shards ~prefix ()) in
+       Fun.protect
+         ~finally:(fun () -> Corpus.close c)
+         (fun () ->
+           fill c docs;
+           for i = 0 to shards - 1 do
+             ok_exn "merge" (Corpus.merge c i)
+           done));
+      let fp_healthy =
+        let c = ok_exn "reopen healthy" (Corpus.open_corpus ~replicas:2 ~shards ~prefix ()) in
+        Fun.protect ~finally:(fun () -> Corpus.close c) (fun () -> corpus_fingerprint c)
+      in
+      (* bit-flip the PRIMARY's snapshot of shard 0: integrity checking
+         fails its load, the follower is promoted, and the corpus still
+         answers COMPLETE, byte-identical to the healthy run *)
+      let victim = prefix ^ ".shard0" in
+      let good = read_file victim in
+      let pos = min 100 (String.length good - 1) in
+      write_file victim
+        (String.mapi (fun i ch -> if i = pos then Char.chr (Char.code ch lxor 0x40) else ch) good);
+      let c = ok_exn "reopen corrupt" (Corpus.open_corpus ~replicas:2 ~shards ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          let r0 = replica_of c ~ord:0 ~idx:0 and r1 = replica_of c ~ord:0 ~idx:1 in
+          check_bool "replica 0 down" false r0.Corpus.rh_live;
+          check_bool "load error recorded" true (r0.Corpus.rh_last_error <> None);
+          check_bool "follower promoted" true (r1.Corpus.rh_role = Corpus.Primary);
+          check_bool "set still live" true (Corpus.health c).(0).Corpus.h_live;
+          check_string "one replica lost == healthy" fp_healthy (corpus_fingerprint c);
+          (* writes routed to shard 0 keep flowing through the promoted
+             primary *)
+          let rec pick i =
+            let id = Printf.sprintf "p%d" i in
+            if Corpus.shard_of_id c id = 0 then id else pick (i + 1)
+          in
+          ignore
+            (ok_exn "write to promoted primary"
+               (Corpus.ingest c ~id:(pick 0) (Xml.to_string (article 321))));
+          (* catch the dead replica up from the promoted primary: a real
+             snapshot copy + WAL tail replay, past both the corruption
+             and the write it missed *)
+          ok_exn "reload replica" (Corpus.reload c ~replica:0 0);
+          let r0 = replica_of c ~ord:0 ~idx:0 in
+          check_bool "replica 0 back" true (r0.Corpus.rh_live && r0.Corpus.rh_synced);
+          check_int "caught up past the corruption"
+            (replica_of c ~ord:0 ~idx:1).Corpus.rh_docs r0.Corpus.rh_docs))
+
+let test_torn_follower_wal_catchup () =
+  let docs = bodies 8 2300 in
+  with_corpus_paths ~replicas:2 ~shards:1 (fun prefix ->
+      (let c = ok_exn "open" (Corpus.open_corpus ~replicas:2 ~shards:1 ~prefix ()) in
+       Fun.protect ~finally:(fun () -> Corpus.close c) (fun () -> fill c docs));
+      (* tear the follower's WAL mid-record: replay recovers the valid
+         prefix, so the follower reopens live but behind the primary *)
+      let fwal = prefix ^ ".shard0.r1.wal" in
+      let bytes = read_file fwal in
+      write_file fwal (String.sub bytes 0 (String.length bytes / 2));
+      let c = ok_exn "reopen" (Corpus.open_corpus ~replicas:2 ~shards:1 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () -> Corpus.close c)
+        (fun () ->
+          let prim = replica_of c ~ord:0 ~idx:0 and rf = replica_of c ~ord:0 ~idx:1 in
+          check_int "primary has all docs" (List.length docs) prim.Corpus.rh_docs;
+          check_bool "follower live but behind" true
+            (rf.Corpus.rh_live
+            && (not rf.Corpus.rh_synced)
+            && rf.Corpus.rh_docs < List.length docs);
+          check_bool "out-of-sync marked in the vector" true
+            (String.contains (Corpus.generation_vector c) '!');
+          (* queries keep serving COMPLETE from the primary *)
+          let r =
+            ok_exn "query" (Corpus.query c ~use_cache:false ~k:10 (parse_query (List.hd queries)))
+          in
+          check_bool "complete" true (r.Corpus.completeness = Corpus.Complete);
+          (* catch-up: primary snapshot copy + WAL tail replay to the
+             primary's acked set *)
+          ok_exn "catch up" (Corpus.reload c ~replica:1 0);
+          let rf = replica_of c ~ord:0 ~idx:1 in
+          check_bool "follower synced" true (rf.Corpus.rh_synced && rf.Corpus.rh_live);
+          check_int "doc counts agree" (List.length docs) rf.Corpus.rh_docs;
+          (* shipping resumes: a new write reaches both copies before ack *)
+          ignore (ok_exn "ingest" (Corpus.ingest c ~id:"post" (Xml.to_string (article 77))));
+          check_int "primary ahead" (List.length docs + 1)
+            (replica_of c ~ord:0 ~idx:0).Corpus.rh_docs;
+          check_int "follower keeps pace" (List.length docs + 1)
+            (replica_of c ~ord:0 ~idx:1).Corpus.rh_docs))
+
+let test_kill_primary_mid_soak () =
+  let docs = bodies 10 2500 in
+  let shards = 2 in
+  with_corpus_paths ~replicas:2 ~shards (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~replicas:2 ~shards ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () ->
+          Failpoint.reset ();
+          Corpus.close c)
+        (fun () ->
+          fill c docs;
+          let q = parse_query (List.nth queries 2) in
+          (* three mid-query losses quarantine shard 0's primary — the
+             permanent-kill model — and every one of them is absorbed by
+             failover, never surfacing as PARTIAL *)
+          for _ = 1 to 3 do
+            must (Failpoint.activate_n "shard_probe" 1);
+            let r = ok_exn "query during kill" (Corpus.query c ~use_cache:false ~k:10 q) in
+            check_bool "complete during kill" true (r.Corpus.completeness = Corpus.Complete)
+          done;
+          check_bool "primary quarantined" true (replica_of c ~ord:0 ~idx:0).Corpus.rh_quarantined;
+          check_bool "follower promoted" true
+            ((replica_of c ~ord:0 ~idx:1).Corpus.rh_role = Corpus.Primary);
+          (* soak: interleaved writes and queries against the one-copy
+             set — zero PARTIAL, zero dropped writes *)
+          let written = ref [] in
+          for i = 0 to 9 do
+            let id = Printf.sprintf "soak%d" i in
+            ignore (ok_exn ("ingest " ^ id) (Corpus.ingest c ~id (Xml.to_string (article (3000 + i)))));
+            written := id :: !written;
+            let r = ok_exn "soak query" (Corpus.query c ~use_cache:false ~k:10 q) in
+            check_bool "soak complete" true (r.Corpus.completeness = Corpus.Complete);
+            check_int "soak served" shards r.Corpus.served
+          done;
+          let ids = Corpus.ids c in
+          List.iter (fun id -> check_bool ("retained " ^ id) true (List.mem id ids)) !written;
+          check_int "zero dropped" (List.length docs + 10) (Corpus.doc_count c);
+          (* RELOAD the set: the quarantined replica reopens, catches up
+             from the survivor, and the set is fully redundant again *)
+          ok_exn "reload" (Corpus.reload c 0);
+          let r0 = replica_of c ~ord:0 ~idx:0 and r1 = replica_of c ~ord:0 ~idx:1 in
+          check_bool "replica 0 recovered" true
+            (r0.Corpus.rh_live && r0.Corpus.rh_synced && not r0.Corpus.rh_quarantined);
+          check_int "replica doc counts agree" r1.Corpus.rh_docs r0.Corpus.rh_docs;
+          let r = ok_exn "query after reload" (Corpus.query c ~use_cache:false ~k:10 q) in
+          check_bool "complete after reload" true (r.Corpus.completeness = Corpus.Complete)))
+
+let test_disk_fault_readonly_degrade () =
+  with_corpus_paths ~shards:1 (fun prefix ->
+      let c = ok_exn "open" (Corpus.open_corpus ~probation_ms:300.0 ~shards:1 ~prefix ()) in
+      Fun.protect
+        ~finally:(fun () ->
+          Failpoint.reset ();
+          Corpus.close c)
+        (fun () ->
+          ignore (ok_exn "seed" (Corpus.ingest c ~id:"a" (Xml.to_string (article 1))));
+          (* ENOSPC on the WAL append: the failing write reports Io_error
+             and is in neither the corpus nor the log — never a silent
+             non-durable ack *)
+          must (Failpoint.activate_errno "wal_append" Unix.ENOSPC 1);
+          (match Corpus.ingest c ~id:"b" (Xml.to_string (article 2)) with
+          | Error (Error.Io_error _) -> ()
+          | Error e -> Alcotest.failf "expected Io_error, got %s" (Error.to_string e)
+          | Ok _ -> Alcotest.fail "ENOSPC write must fail");
+          check_bool "failed write absent" false (List.mem "b" (Corpus.ids c));
+          (* the store is now explicitly read-only: the typed refusal
+             with a retry hint (wire READONLY, exit code 7) *)
+          (match Corpus.ingest c ~id:"b" (Xml.to_string (article 2)) with
+          | Error (Error.Readonly { retry_after_ms; _ } as e) ->
+            check_bool "positive hint" true (retry_after_ms >= 1);
+            check_int "exit code" 7 (Error.exit_code e)
+          | Error e -> Alcotest.failf "expected Readonly, got %s" (Error.to_string e)
+          | Ok _ -> Alcotest.fail "degraded store must refuse writes");
+          check_bool "hint surfaced" true (Corpus.readonly_hint c 0 <> None);
+          check_bool "health flag" true (replica_of c ~ord:0 ~idx:0).Corpus.rh_readonly;
+          (* reads keep serving the acked corpus *)
+          let r =
+            ok_exn "read while degraded"
+              (Corpus.query c ~use_cache:false ~k:5 (parse_query (List.hd queries)))
+          in
+          check_bool "reads complete" true (r.Corpus.completeness = Corpus.Complete);
+          (* after probation the next write is the automatic re-probe;
+             the healthy disk clears the degrade *)
+          Unix.sleepf 0.4;
+          ignore (ok_exn "re-probe write" (Corpus.ingest c ~id:"b" (Xml.to_string (article 2))));
+          check_bool "degrade cleared" true (Corpus.readonly_hint c 0 = None);
+          check_bool "health cleared" false (replica_of c ~ord:0 ~idx:0).Corpus.rh_readonly;
+          (* EIO on the snapshot-publishing rename during a merge arms
+             the same degrade; a post-probation merge recovers *)
+          must (Failpoint.activate_errno "storage_rename" Unix.EIO 1);
+          (match Corpus.merge c 0 with
+          | Error (Error.Io_error _) -> ()
+          | Error e -> Alcotest.failf "expected Io_error, got %s" (Error.to_string e)
+          | Ok () -> Alcotest.fail "EIO merge must fail");
+          (match Corpus.ingest c ~id:"d" (Xml.to_string (article 3)) with
+          | Error (Error.Readonly _) -> ()
+          | Error e -> Alcotest.failf "expected Readonly, got %s" (Error.to_string e)
+          | Ok _ -> Alcotest.fail "degraded store must refuse writes");
+          Unix.sleepf 0.4;
+          ok_exn "recovered merge" (Corpus.merge c 0);
+          check_bool "cleared after merge" true (Corpus.readonly_hint c 0 = None)))
+
+(* ------------------------------------------------------------------ *)
 (* Budget and cache *)
 
 let test_budget_partial_is_sound () =
@@ -567,6 +865,21 @@ let () =
           Alcotest.test_case "probe loss, strikes, quarantine, RELOAD" `Slow
             test_shard_lost_mid_query_and_quarantine;
           Alcotest.test_case "all shards down" `Quick test_all_shards_down;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "replicated (sync and async) == plain single-env" `Slow
+            test_replicated_equals_plain;
+          Alcotest.test_case "probe loss fails over: COMPLETE, byte-identical" `Slow
+            test_probe_loss_failover_complete;
+          Alcotest.test_case "corrupt primary: promotion, then catch-up" `Slow
+            test_corrupt_primary_failover_and_catchup;
+          Alcotest.test_case "torn follower WAL: catch-up resyncs" `Quick
+            test_torn_follower_wal_catchup;
+          Alcotest.test_case "kill primary mid-soak: zero PARTIAL, zero dropped" `Slow
+            test_kill_primary_mid_soak;
+          Alcotest.test_case "ENOSPC/EIO: read-only degrade and recovery" `Quick
+            test_disk_fault_readonly_degrade;
         ] );
       ( "budget+cache",
         [

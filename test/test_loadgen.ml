@@ -186,6 +186,41 @@ let test_schema_gate_twig () =
     (Json.Obj [ ("schema_version", Json.Num 1.0); ("bench", Json.Str "twig") ])
     "series"
 
+(* Replica artifacts encode the §4l failover guarantee in the schema:
+   the replica-lost pass must report exactly zero PARTIAL answers. *)
+let replica_artifact ?(drop = "") ?(lost_partials = 0.0) () =
+  let pass partials =
+    Json.Obj
+      [
+        ("p50_ms", Json.Num 0.3);
+        ("p99_ms", Json.Num 4.0);
+        ("partials", Json.Num partials);
+        ("failovers", Json.Num 60.0);
+      ]
+  in
+  Json.Obj
+    (List.filter
+       (fun (k, _) -> k <> drop)
+       [
+         ("schema_version", Json.Num 1.0);
+         ("bench", Json.Str "replica");
+         ("query", Json.Obj [ ("healthy", pass 0.0); ("replica_lost", pass lost_partials) ]);
+         ( "ingest",
+           Json.Obj
+             [ ("sync_docs_per_s", Json.Num 1300.0); ("async_docs_per_s", Json.Num 1400.0) ] );
+         ("catchup", Json.Obj [ ("records_behind", Json.Num 20.0); ("ms", Json.Num 11.0) ]);
+       ])
+
+let test_schema_gate_replica () =
+  (match Loadgen.check_report (replica_artifact ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid replica artifact rejected: %s" msg);
+  (* one lost replica leaking a PARTIAL is a broken failover, not a datapoint *)
+  expect_reject "nonzero lost partials" (replica_artifact ~lost_partials:3.0 ()) "partials";
+  expect_reject "missing query passes" (replica_artifact ~drop:"query" ()) "query";
+  expect_reject "missing ingest rates" (replica_artifact ~drop:"ingest" ()) "ingest";
+  expect_reject "missing catchup" (replica_artifact ~drop:"catchup" ()) "catchup"
+
 let test_json_roundtrip () =
   let v =
     Json.Obj
@@ -224,6 +259,7 @@ let () =
           Alcotest.test_case "open-loop run emits a valid artifact" `Quick test_run_and_artifact;
           Alcotest.test_case "schema gate accepts and rejects" `Quick test_schema_gate;
           Alcotest.test_case "schema gate: twig artifacts" `Quick test_schema_gate_twig;
+          Alcotest.test_case "schema gate: replica artifacts" `Quick test_schema_gate_replica;
         ] );
       ("json", [ Alcotest.test_case "emit/parse round-trip" `Quick test_json_roundtrip ]);
     ]

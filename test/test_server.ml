@@ -1410,14 +1410,23 @@ let test_ingest_chaos_soak () =
 
 module Corpus = Flexpath.Corpus
 
-let shard_cfg ?(merge_interval_ms = 0.0) ?(write_lane = 4) ?(shards = 3) ~prefix () =
+let shard_cfg ?(merge_interval_ms = 0.0) ?(write_lane = 4) ?(shards = 3) ?(replicas = 1)
+    ?probation_ms ~prefix () =
+  let d = Server.ingest_defaults ~wal:"" in
   {
     Server.default_config with
     workers = 2;
     snapshot = Some prefix;
     ingest =
       Some
-        { (Server.ingest_defaults ~wal:"") with Server.merge_interval_ms; write_lane; shards };
+        {
+          d with
+          Server.merge_interval_ms;
+          write_lane;
+          shards;
+          replicas;
+          probation_ms = Option.value probation_ms ~default:d.Server.probation_ms;
+        };
   }
 
 let with_shard_dir f =
@@ -1634,6 +1643,141 @@ let test_shard_write_hint_tracks_backlog () =
             (hint_for (id_on ~shards:2 0));
           check_int "a clear shard's hint is the floor" 50 (hint_for (id_on ~shards:2 1))))
 
+(* Replication over the wire (DESIGN.md §4l): per-replica SHARDS/STATS
+   lines, RELOAD <ord>.<replica>, probe failover keeping queries
+   COMPLETE, and the READONLY disk-fault degrade with its retry hint
+   and recovery. *)
+let test_replica_wire () =
+  with_shard_dir (fun ~prefix ->
+      with_server
+        ~cfg:(shard_cfg ~shards:2 ~replicas:2 ~probation_ms:400.0 ~prefix ())
+        (placeholder_env ())
+        (fun srv ->
+          Fun.protect ~finally:Failpoint.reset (fun () ->
+              let c = connect (Server.port srv) in
+              for i = 0 to 5 do
+                let id = Printf.sprintf "w%d" i in
+                let status, _ = request_ingest_exn c ~id (shard_article i) in
+                check_string "ingest acked" "OK" (Protocol.status_to_string status)
+              done;
+              (* SHARDS: each shard line is followed by per-replica lines
+                 with role, sync state and read-only flag. *)
+              let _, body = request_exn c "SHARDS" in
+              List.iter
+                (fun needle ->
+                  check_bool
+                    (Printf.sprintf "SHARDS has %s" needle)
+                    true (has_infix ~affix:needle body))
+                [
+                  "replica 0.0: primary synced";
+                  "replica 0.1: follower synced";
+                  "replica 1.0: primary synced";
+                  "readonly=no";
+                ];
+              (* STATS gains the same per-replica gauges. *)
+              let _, body = request_exn c "STATS" in
+              List.iter
+                (fun needle ->
+                  check_bool
+                    (Printf.sprintf "STATS has %s" needle)
+                    true (has_infix ~affix:needle body))
+                [
+                  "shard 0 replica 0: primary synced";
+                  "shard 0 replica 1: follower synced";
+                  "readonly: no";
+                ];
+              (* RELOAD <ord>.<replica> addresses one replica (the
+                 catch-up path); a bad replica ordinal is refused. *)
+              let status, body = request_exn c "RELOAD 0.1" in
+              check_string "replica reload ok" "OK" (Protocol.status_to_string status);
+              check_bool "reload names the replica" true
+                (has_infix ~affix:"reloaded replica 0.1" body);
+              let status, _ = request_exn c "RELOAD 0.7" in
+              check_string "out-of-range replica is ERR" "ERR" (Protocol.status_to_string status);
+              (* A replica lost mid-query fails over inside the probe:
+                 the response stays OK with no partial header. *)
+              arm_probe 1;
+              let status, body = request_exn c "QUERY k=6 //article[.contains(\"xml\")]" in
+              check_string "failover keeps the query COMPLETE" "OK"
+                (Protocol.status_to_string status);
+              check_bool "no partial header" true (not (has_infix ~affix:"# partial" body));
+              (* ENOSPC on the primary's WAL: the failing write is ERR
+                 (in neither the corpus nor the log), the store degrades,
+                 and the next write gets READONLY with a retry hint — on
+                 a connection that stays open. *)
+              let ord0_id = id_on ~shards:2 0 in
+              (match Failpoint.activate_errno "wal_append" Unix.ENOSPC 1 with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e);
+              let status, _ = request_ingest_exn c ~id:ord0_id (shard_article 90) in
+              check_string "ENOSPC write is ERR" "ERR" (Protocol.status_to_string status);
+              let status, body = request_ingest_exn c ~id:ord0_id (shard_article 90) in
+              check_string "degraded write is READONLY" "READONLY"
+                (Protocol.status_to_string status);
+              (match Protocol.parse_retry_after body with
+              | Some ms -> check_bool "positive retry hint" true (ms >= 1)
+              | None -> Alcotest.fail "READONLY carries no retry-after-ms hint");
+              (* the connection survived the refusal; reads still serve *)
+              let status, _ = request_exn c "QUERY k=5 //article[.contains(\"xml\")]" in
+              check_string "reads unaffected" "OK" (Protocol.status_to_string status);
+              let _, body = request_exn c "STATS" in
+              check_bool "STATS flags the degrade" true (has_infix ~affix:"readonly: yes" body);
+              check_bool "STATS counts degraded stores" true
+                (has_infix ~affix:"readonly_stores: 1" body);
+              let _, body = request_exn c "SHARDS" in
+              check_bool "SHARDS shows the degraded replica" true
+                (has_infix ~affix:"readonly=yes retry_after_ms=" body);
+              (* past probation the next write is the re-probe; recovery
+                 is visible in STATS *)
+              Unix.sleepf 0.5;
+              let status, _ = request_ingest_exn c ~id:ord0_id (shard_article 90) in
+              check_string "post-probation write recovers" "OK" (Protocol.status_to_string status);
+              let _, body = request_exn c "STATS" in
+              check_bool "degrade cleared" true (has_infix ~affix:"readonly: no" body);
+              close c)))
+
+(* The client's READONLY policy (DESIGN.md §4l): an id= upsert retries
+   with the server's hint as its backoff floor and converges after
+   probation; an anonymous INGEST fails fast — never auto-resent, since
+   a resend dying mid-flight after recovery could double-ingest. *)
+let test_client_readonly_policy () =
+  with_shard_dir (fun ~prefix ->
+      with_server
+        ~cfg:(shard_cfg ~shards:1 ~replicas:2 ~probation_ms:250.0 ~prefix ())
+        (placeholder_env ())
+        (fun srv ->
+          Fun.protect ~finally:Failpoint.reset (fun () ->
+              let port = Server.port srv in
+              let rng = Random.State.make [| 42 |] in
+              (* trip the degrade with a direct armed write *)
+              (match Server.corpus srv with
+              | None -> Alcotest.fail "replicated server exposes its corpus"
+              | Some corpus -> (
+                (match Failpoint.activate_errno "wal_append" Unix.ENOSPC 1 with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e);
+                match Corpus.ingest corpus ~id:"seed" (shard_article 1) with
+                | Error (Error.Io_error _) -> ()
+                | Error e -> Alcotest.failf "expected Io_error, got %s" (Error.to_string e)
+                | Ok _ -> Alcotest.fail "armed write must fail"));
+              let retry = { Client.default_retry with retries = 5; base_backoff_ms = 5.0 } in
+              (match
+                 Client.run_requests ~rng ~port ~retry [ Client.ingest_request (shard_article 2) ]
+               with
+              | Error (Client.Store_readonly, done_) ->
+                check_int "nothing completed before the fail-fast" 0 (List.length done_)
+              | Error (f, _) ->
+                Alcotest.fail ("expected Store_readonly, got " ^ Client.failure_to_string f)
+              | Ok _ -> Alcotest.fail "anonymous INGEST must fail fast on READONLY");
+              match
+                Client.run_requests ~rng ~port ~retry
+                  [ Client.ingest_request ~id:"retry-doc" (shard_article 3) ]
+              with
+              | Ok [ (Protocol.Ok_, _) ] -> ()
+              | Ok rs -> Alcotest.failf "unexpected responses (%d)" (List.length rs)
+              | Error (f, _) ->
+                Alcotest.fail ("idempotent upsert should converge: " ^ Client.failure_to_string f))))
+
 let test_shards_verb_unsharded () =
   with_server (make_env ()) (fun srv ->
       let c = connect (Server.port srv) in
@@ -1814,5 +1958,12 @@ let () =
           Alcotest.test_case "write hints track the routed shard's backlog" `Quick
             test_shard_write_hint_tracks_backlog;
           Alcotest.test_case "SHARDS refused unsharded" `Quick test_shards_verb_unsharded;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "replica wire: SHARDS/STATS, RELOAD ord.replica, READONLY" `Quick
+            test_replica_wire;
+          Alcotest.test_case "client READONLY policy: retry upserts, fail-fast anonymous" `Quick
+            test_client_readonly_policy;
         ] );
     ]
